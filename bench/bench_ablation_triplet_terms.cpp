@@ -1,0 +1,52 @@
+// Ablation (ours): what does each part of the triplet buy?
+//   FedTrip       — anchor + historical term, xi = 1/gap (the paper).
+//   FedTrip-fixed — historical term with xi pinned to 1 (no staleness
+//                   scaling; isolates the participation-gap rule).
+//   FedTrip-noHist— xi = 0, anchor only (== FedProx with FedTrip's mu).
+//   FedAvg        — neither term.
+// Run on CNN/MNIST under Dir-0.5 and Dir-0.1.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+
+  print_header("Ablation — contribution of each triplet-regularization term",
+                "DESIGN.md ablation index (not in paper)");
+
+  struct Variant {
+    const char* label;
+    const char* method;
+    float mu;
+    float xi_scale;
+  };
+  const std::vector<Variant> variants = {
+      {"FedTrip (xi=1/gap)", "FedTrip", 0.4f, 1.0f},
+      {"FedTrip (xi fixed 1)", "FedTrip", 0.4f, 1e6f},  // clamped to 1
+      {"FedTrip (no history)", "FedTrip", 0.4f, 0.0f},
+      {"FedAvg", "FedAvg", 0.0f, 0.0f},
+  };
+
+  for (auto het : {data::Heterogeneity::kDir05, data::Heterogeneity::kDir01}) {
+    Case c{"CNN/MNIST", nn::Arch::kCNN, "mnist", 0.10, 0.90, 15, 0.4f};
+    auto cfg = base_config(c, opt, /*rounds_default=*/25);
+    cfg.heterogeneity = het;
+
+    std::printf("\n--- CNN / MNIST / %s ---\n",
+                data::heterogeneity_name(het));
+    std::printf("%-22s %12s %18s\n", "variant", "best acc",
+                "rounds to 90%");
+    for (const auto& v : variants) {
+      algorithms::AlgoParams p;
+      p.mu = v.mu;
+      p.xi_scale = v.xi_scale;
+      auto hist = run_averaged(cfg, v.method, p, opt.trials);
+      auto r = fl::rounds_to_target(hist, 0.90);
+      std::printf("%-22s %11.2f%% %18s\n", v.label,
+                  100.0 * fl::best_accuracy(hist),
+                  rounds_str(r, cfg.rounds).c_str());
+    }
+  }
+  return 0;
+}

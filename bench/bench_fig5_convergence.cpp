@@ -1,0 +1,57 @@
+// Fig 5: accuracy-vs-round convergence curves of the CNN on the MNIST /
+// FMNIST / EMNIST analogues under Dir-0.5 and Orthogonal-5, six methods,
+// EMA-smoothed like the paper. Prints one CSV-style series block per panel.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+
+  print_header(
+      "Fig 5 — CNN convergence curves under Dir-0.5 and Orthogonal-5",
+      "FedTrip paper, Fig 5 (a)-(f)");
+
+  struct Panel {
+    const char* name;
+    const char* dataset;
+    data::Heterogeneity het;
+    double quick_scale;
+  };
+  const std::vector<Panel> panels = {
+      {"(a) MNIST / Dir-0.5", "mnist", data::Heterogeneity::kDir05, 0.10},
+      {"(b) FMNIST / Dir-0.5", "fmnist", data::Heterogeneity::kDir05, 0.05},
+      {"(c) EMNIST / Dir-0.5", "emnist", data::Heterogeneity::kDir05, 0.02},
+      {"(d) MNIST / Orthogonal-5", "mnist", data::Heterogeneity::kOrthogonal5,
+       0.10},
+      {"(e) FMNIST / Orthogonal-5", "fmnist",
+       data::Heterogeneity::kOrthogonal5, 0.05},
+      {"(f) EMNIST / Orthogonal-5", "emnist",
+       data::Heterogeneity::kOrthogonal5, 0.02},
+  };
+
+  for (const auto& panel : panels) {
+    Case c{"CNN", nn::Arch::kCNN, panel.dataset, panel.quick_scale, 0.9, 15,
+           0.4f};
+    auto cfg = base_config(c, opt, /*rounds_default=*/18);
+    cfg.heterogeneity = panel.het;
+    cfg.eval_every = 1;
+
+    std::printf("\n--- %s (accuracy %%, EMA beta=0.6) ---\n", panel.name);
+    std::printf("round");
+    std::vector<std::vector<double>> series;
+    for (const auto& method : algorithms::paper_methods()) {
+      std::printf(",%s", method.c_str());
+      auto p = params_for(method, c, cfg);
+      auto hist = run_averaged(cfg, method, p, opt.trials);
+      series.push_back(fl::ema_accuracy(hist, 0.6));
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < series[0].size(); ++i) {
+      std::printf("%zu", i + 1);
+      for (const auto& s : series) std::printf(",%.2f", 100.0 * s[i]);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

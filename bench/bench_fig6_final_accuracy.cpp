@@ -1,0 +1,51 @@
+// Fig 6: final accuracy (mean over the last 10 evaluation rounds) of CNN
+// and MLP on the FMNIST analogue under the four heterogeneity types —
+// printed as boxplot statistics over trials (the paper draws boxplots over
+// repeated runs).
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+  if (opt.trials == 1) opt.trials = 2;  // boxplots need a few trials
+
+  print_header(
+      "Fig 6 — final accuracy boxplots on FMNIST (CNN and MLP, 4 "
+      "heterogeneity types)",
+      "FedTrip paper, Fig 6");
+
+  const std::vector<data::Heterogeneity> hets = {
+      data::Heterogeneity::kOrthogonal10, data::Heterogeneity::kOrthogonal5,
+      data::Heterogeneity::kDir01, data::Heterogeneity::kDir05};
+
+  for (auto arch : {nn::Arch::kCNN, nn::Arch::kMLP}) {
+    std::printf("\n=== %s on FMNIST ===\n", nn::arch_name(arch));
+    for (auto het : hets) {
+      Case c{"FMNIST", arch, "fmnist", 0.05, 0.75, 15,
+             arch == nn::Arch::kMLP ? 1.0f : 0.4f};
+      auto cfg = base_config(c, opt, /*rounds_default=*/15);
+      cfg.heterogeneity = het;
+
+      std::printf("\n--- %s (final acc %%, %zu trials: min/q1/med/q3/max) "
+                  "---\n",
+                  data::heterogeneity_name(het), opt.trials);
+      for (const auto& method : algorithms::paper_methods()) {
+        auto p = params_for(method, c, cfg);
+        std::vector<double> finals;
+        for (std::size_t t = 0; t < opt.trials; ++t) {
+          auto trial_cfg = cfg;
+          trial_cfg.seed = cfg.seed + 1000 * t;
+          fl::Simulation sim(trial_cfg,
+                             algorithms::make_algorithm(method, p));
+          finals.push_back(100.0 *
+                           fl::final_accuracy(sim.run().history, 10));
+        }
+        auto s = fl::box_stats(finals);
+        std::printf("%-10s %6.1f %6.1f %6.1f %6.1f %6.1f\n", method.c_str(),
+                    s.min, s.q1, s.median, s.q3, s.max);
+      }
+    }
+  }
+  return 0;
+}

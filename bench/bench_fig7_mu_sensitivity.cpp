@@ -1,0 +1,56 @@
+// Fig 7: sensitivity of FedTrip to mu — best accuracy and rounds to the
+// target for mu in {0.1 .. 2.5}, CNN/MNIST under Dir-0.1, Dir-0.5 and
+// Orthogonal-5, plus MLP/FMNIST under Dir-0.5. The paper finds a sweet spot
+// around mu = 0.4 and degradation for mu > ~1.5.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+
+  print_header("Fig 7 — sensitivity of FedTrip to mu",
+                "FedTrip paper, Fig 7 (a)-(d)");
+
+  const std::vector<float> mus = {0.1f, 0.4f, 1.0f, 1.5f, 2.0f, 2.5f};
+
+  struct Panel {
+    const char* name;
+    nn::Arch arch;
+    const char* dataset;
+    data::Heterogeneity het;
+    double target;
+    double quick_scale;
+  };
+  const std::vector<Panel> panels = {
+      {"(a) CNN/MNIST Dir-0.1", nn::Arch::kCNN, "mnist",
+       data::Heterogeneity::kDir01, 0.90, 0.10},
+      {"(b) CNN/MNIST Dir-0.5", nn::Arch::kCNN, "mnist",
+       data::Heterogeneity::kDir05, 0.90, 0.10},
+      {"(c) CNN/MNIST Orthogonal-5", nn::Arch::kCNN, "mnist",
+       data::Heterogeneity::kOrthogonal5, 0.90, 0.10},
+      {"(d) MLP/FMNIST Dir-0.5", nn::Arch::kMLP, "fmnist",
+       data::Heterogeneity::kDir05, 0.95, 0.05},
+  };
+
+  for (const auto& panel : panels) {
+    Case c{panel.name, panel.arch, panel.dataset, panel.quick_scale,
+           panel.target, 15, 0.4f};
+    auto cfg = base_config(c, opt, /*rounds_default=*/20);
+    cfg.heterogeneity = panel.het;
+
+    std::printf("\n--- %s (target %.0f%%) ---\n", panel.name,
+                100.0 * panel.target);
+    std::printf("%-6s %14s %18s\n", "mu", "best acc", "rounds to target");
+    for (float mu : mus) {
+      algorithms::AlgoParams p;
+      p.mu = mu;
+      auto hist = run_averaged(cfg, "FedTrip", p, opt.trials);
+      auto r = fl::rounds_to_target(hist, panel.target);
+      std::printf("%-6.1f %13.2f%% %18s\n", mu,
+                  100.0 * fl::best_accuracy(hist),
+                  rounds_str(r, cfg.rounds).c_str());
+    }
+  }
+  return 0;
+}

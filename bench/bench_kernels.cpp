@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: GEMM, im2col
+// convolution, and the attaching operations whose 2|w| / 4|w| costs drive
+// the paper's Table V/VIII accounting.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "nn/models.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/vec_math.h"
+
+namespace {
+
+using namespace fedtrip;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    ops::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2d conv(6, 16, 5, 1, 0, rng);
+  Tensor x(Shape{8, 6, 14, 14});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(6, 16, 5, 1, 0, rng);
+  Tensor x(Shape{8, 6, 14, 14});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  Tensor y = conv.forward(x, true);
+  Tensor g(y.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+// The FedTrip attaching operation on a CNN-sized parameter vector: measures
+// the actual cost behind the paper's "negligible 4K|w|" claim.
+void BM_FedTripAttach(benchmark::State& state) {
+  const std::size_t n = 620'000;
+  Rng rng(4);
+  std::vector<float> w(n), wg(n), wh(n), delta(n);
+  for (auto& v : w) v = rng.normal();
+  for (auto& v : wg) v = rng.normal();
+  for (auto& v : wh) v = rng.normal();
+  const float mu = 0.4f, xi = 0.5f;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      delta[i] = mu * ((w[i] - wg[i]) + xi * (wh[i] - w[i]));
+    }
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n);
+}
+BENCHMARK(BM_FedTripAttach);
+
+void BM_FedProxAttach(benchmark::State& state) {
+  const std::size_t n = 620'000;
+  Rng rng(5);
+  std::vector<float> w(n), wg(n), delta(n);
+  for (auto& v : w) v = rng.normal();
+  for (auto& v : wg) v = rng.normal();
+  const float mu = 0.1f;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) delta[i] = mu * (w[i] - wg[i]);
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_FedProxAttach);
+
+// One feedforward of the CNN on a batch — the unit MOON pays (1+p) extra
+// times per local iteration.
+void BM_CnnFeedforward(benchmark::State& state) {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kCNN;
+  auto model = nn::build_model(spec, 6);
+  Rng rng(7);
+  Tensor x(Shape{16, 1, 28, 28});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  for (auto _ : state) {
+    Tensor y = model->forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CnnFeedforward);
+
+void BM_WeightedAggregation(benchmark::State& state) {
+  const std::size_t n = 620'000;
+  Rng rng(8);
+  std::vector<std::vector<float>> updates(4, std::vector<float>(n));
+  for (auto& u : updates) {
+    for (auto& v : u) v = rng.normal();
+  }
+  std::vector<float> global(n);
+  for (auto _ : state) {
+    vec::zero(global);
+    for (const auto& u : updates) {
+      vec::accumulate_weighted(global, 0.25f, u);
+    }
+    benchmark::DoNotOptimize(global.data());
+  }
+}
+BENCHMARK(BM_WeightedAggregation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table III: per-model communication volume (MB), parameter count (M) and
+// forward MFLOPs. Paper: MLP 0.3MB/0.8M/0.08; CNN 0.24MB/0.62M/0.42;
+// AlexNet 10.42MB/2.72M/145.93. (The paper counts multiply-accumulates;
+// we report both MAC- and FLOP-counted columns.)
+#include "common.h"
+#include "nn/parameter_vector.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+  (void)opt;
+
+  print_header("Table III — model communication and computation statistics",
+                "FedTrip paper, Table III");
+
+  struct Row {
+    const char* name;
+    nn::ModelSpec spec;
+    const char* input;
+  };
+  std::vector<Row> rows;
+  {
+    nn::ModelSpec mlp;
+    mlp.arch = nn::Arch::kMLP;
+    rows.push_back({"MLP", mlp, "1x28x28"});
+    nn::ModelSpec cnn;
+    cnn.arch = nn::Arch::kCNN;
+    rows.push_back({"CNN", cnn, "1x28x28"});
+    nn::ModelSpec alex;
+    alex.arch = nn::Arch::kAlexNet;
+    alex.channels = 3;
+    alex.height = 32;
+    alex.width = 32;
+    rows.push_back({"AlexNet", alex, "3x32x32"});
+  }
+
+  std::printf("%-8s %-9s %12s %10s %12s %12s\n", "model", "input",
+              "comm (MB)", "params(M)", "fwd MFLOPs", "fwd MMACs");
+  for (const auto& row : rows) {
+    auto model = nn::build_model(row.spec, 1);
+    // Warm-up so conv geometry is known.
+    Tensor x(Shape{1, row.spec.channels, row.spec.height, row.spec.width});
+    model->forward(x, false);
+
+    const double params = static_cast<double>(nn::parameter_count(*model));
+    const double fwd = model->forward_flops_per_sample();
+    std::printf("%-8s %-9s %12.2f %10.2f %12.2f %12.2f\n", row.name,
+                row.input, params * 4.0 / 1e6, params / 1e6, fwd / 1e6,
+                fwd / 2e6);
+  }
+  std::printf(
+      "\npaper reference: MLP 0.3/0.8/0.08, CNN 0.24/0.62/0.42, "
+      "AlexNet 10.42/2.72/145.93 (MB / Mparams / MFLOPs)\n");
+  return 0;
+}

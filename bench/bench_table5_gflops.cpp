@@ -1,0 +1,40 @@
+// Table V: total GFLOPs of feedforward + attaching operations spent until
+// the target accuracy is reached (same runs as Table IV). The paper reports
+// FedTrip cheapest on average and MOON ~4.5x FedTrip.
+#include "cases.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+
+  print_header(
+      "Table V — GFLOPs of local computation until target accuracy "
+      "(Dir-0.5, 4-of-10)",
+      "FedTrip paper, Table V");
+
+  // A subset of the Table IV grid keeps the default run quick; pass
+  // --full / --scale to widen.
+  std::vector<Case> cases = {table4_cases()[0], table4_cases()[2],
+                             table4_cases()[4]};
+  if (opt.full) cases = table4_cases();
+
+  for (const auto& c : cases) {
+    auto cfg = base_config(c, opt, /*rounds_default=*/30);
+    std::printf("\n--- %s ---\n", c.label);
+    std::printf("%-10s %14s %14s\n", "method", "GFLOPs@target",
+                "vs FedTrip");
+
+    double fedtrip_gflops = 0.0;
+    for (const auto& method : algorithms::paper_methods()) {
+      auto p = params_for(method, c, cfg);
+      auto hist = run_averaged(cfg, method, p, opt.trials);
+      const double gf = fl::gflops_at_target(hist, c.target);
+      if (method == "FedTrip") fedtrip_gflops = gf;
+      std::printf("%-10s %14.3f %13.2fx\n", method.c_str(), gf,
+                  fedtrip_gflops > 0.0 ? gf / fedtrip_gflops : 0.0);
+    }
+  }
+  return 0;
+}

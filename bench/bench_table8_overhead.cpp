@@ -1,0 +1,80 @@
+// Table VIII / Appendix A: closed-form per-round computation and
+// communication overhead of the attaching operations, evaluated for the
+// paper's three models. Reproduces the analytic comparison (SCAFFOLD
+// 2(K+1)|w| + n(FP+BP), MOON KM(1+p)FP, FedProx 2K|w|, FedDyn/FedTrip
+// 4K|w|) and the headline ratios (MOON / FedTrip = 50x MLP, 171x CNN,
+// 1336x AlexNet at each local iteration).
+#include "common.h"
+#include "fl/flops.h"
+#include "nn/parameter_vector.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  using namespace fedtrip::bench;
+  auto opt = BenchOptions::parse(argc, argv);
+  (void)opt;
+
+  print_header(
+      "Table VIII — per-round overhead of attaching operations (closed form)",
+      "FedTrip paper, Table VIII / Appendix A");
+
+  struct ModelRow {
+    const char* name;
+    nn::ModelSpec spec;
+    double n_samples;  // local dataset size (Table II client samples)
+  };
+  std::vector<ModelRow> models;
+  {
+    nn::ModelSpec mlp;
+    mlp.arch = nn::Arch::kMLP;
+    models.push_back({"MLP", mlp, 600});
+    nn::ModelSpec cnn;
+    cnn.arch = nn::Arch::kCNN;
+    models.push_back({"CNN", cnn, 600});
+    nn::ModelSpec alex;
+    alex.arch = nn::Arch::kAlexNet;
+    alex.channels = 3;
+    alex.height = 32;
+    alex.width = 32;
+    models.push_back({"AlexNet", alex, 2000});
+  }
+
+  const double batch = 50.0;
+  const std::vector<std::string> methods = {
+      "FedTrip", "FedProx", "FedDyn", "MOON", "SCAFFOLD", "MimeLite",
+      "FedAvg"};
+
+  for (const auto& m : models) {
+    auto model = nn::build_model(m.spec, 1);
+    Tensor x(Shape{1, m.spec.channels, m.spec.height, m.spec.width});
+    model->forward(x, false);
+    const double w = static_cast<double>(nn::parameter_count(*model));
+    const double fp = model->forward_flops_per_sample();
+    const double bp = model->backward_flops_per_sample();
+    const double k_iters = m.n_samples / batch;
+
+    std::printf("\n--- %s (|w|=%.3gM, FP=%.3g MFLOPs, K=%g, n=%g) ---\n",
+                m.name, w / 1e6, fp / 1e6, k_iters, m.n_samples);
+    std::printf("%-10s %16s %14s %14s\n", "method", "attach MFLOPs",
+                "vs FedTrip", "extra comm");
+
+    const double fedtrip_flops =
+        fl::attach_cost_fedtrip(k_iters, w).flops;
+    for (const auto& method : methods) {
+      auto cost =
+          fl::attach_cost_by_name(method, k_iters, batch, w, m.n_samples,
+                                  fp, bp);
+      std::printf("%-10s %16.3f %13.1fx %11.2f MB\n", method.c_str(),
+                  cost.flops / 1e6,
+                  fedtrip_flops > 0 ? cost.flops / fedtrip_flops : 0.0,
+                  cost.comm_floats * 4.0 / 1e6);
+    }
+    const double moon_per_iter =
+        fl::attach_cost_moon(1.0, batch, 1.0, fp).flops;
+    const double trip_per_iter = fl::attach_cost_fedtrip(1.0, w).flops;
+    std::printf("MOON / FedTrip per local iteration: %.0fx "
+                "(paper: 50x MLP, 171.4x CNN, 1336x AlexNet)\n",
+                moon_per_iter / trip_per_iter);
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --rounds N    override the round budget
+//   --trials N    repeat runs with different seeds and average
+//   --scale X     dataset sample-count scale (default: per-bench quick value)
+//   --full        paper-scale settings (slow; hours on a laptop core)
+// and prints rows shaped like the corresponding paper table/figure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+
+namespace fedtrip::bench {
+
+struct BenchOptions {
+  std::size_t rounds = 0;  // 0 = bench default
+  std::size_t trials = 1;
+  double scale = 0.0;  // 0 = bench default
+  bool full = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--rounds") && i + 1 < argc) {
+        opt.rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+        opt.trials = static_cast<std::size_t>(std::atoi(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+        opt.scale = std::atof(argv[++i]);
+      } else if (!std::strcmp(argv[i], "--full")) {
+        opt.full = true;
+      } else if (!std::strcmp(argv[i], "--help")) {
+        std::printf(
+            "options: --rounds N  --trials N  --scale X  --full\n");
+        std::exit(0);
+      }
+    }
+    return opt;
+  }
+};
+
+/// One experiment case of the paper's evaluation grid.
+struct Case {
+  const char* label;      // e.g. "CNN / MNIST-90%"
+  nn::Arch arch;
+  const char* dataset;
+  double quick_scale;     // dataset scale for the default quick run
+  double target;          // target accuracy in [0,1] (quick-calibrated)
+  std::size_t batch_size;
+  float fedtrip_mu;       // paper: 1.0 for MLP, 0.4 otherwise
+  double alexnet_width = 0.125;  // width_mult for quick AlexNet runs
+};
+
+inline fl::ExperimentConfig base_config(const Case& c,
+                                        const BenchOptions& opt,
+                                        std::size_t rounds_default) {
+  fl::ExperimentConfig cfg;
+  cfg.model.arch = c.arch;
+  cfg.dataset = c.dataset;
+  if (std::string(c.dataset) == "cifar10") {
+    cfg.model.channels = 3;
+    cfg.model.height = 32;
+    cfg.model.width = 32;
+  }
+  if (std::string(c.dataset) == "emnist") cfg.model.classes = 47;
+  if (c.arch == nn::Arch::kAlexNet) {
+    cfg.model.width_mult = opt.full ? 1.0 : c.alexnet_width;
+  }
+  cfg.data_scale = opt.scale > 0.0 ? opt.scale
+                   : opt.full      ? 1.0
+                                   : c.quick_scale;
+  cfg.heterogeneity = data::Heterogeneity::kDir05;
+  cfg.num_clients = 10;
+  cfg.clients_per_round = 4;
+  cfg.rounds = opt.rounds > 0 ? opt.rounds
+               : opt.full     ? 100
+                              : rounds_default;
+  cfg.local_epochs = 1;
+  cfg.batch_size = opt.full ? 50 : c.batch_size;
+  return cfg;
+}
+
+inline algorithms::AlgoParams params_for(const std::string& method,
+                                         const Case& c,
+                                         const fl::ExperimentConfig& cfg) {
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  if (method == "FedTrip") {
+    p.mu = c.fedtrip_mu;
+  } else if (method == "FedProx" || method == "FedDANE") {
+    p.mu = 0.1f;  // paper §V-A
+  }
+  p.moon_mu = 1.0f;
+  p.moon_tau = 0.5f;
+  // Paper: FedDyn alpha = 1 on MNIST, 0.1 elsewhere.
+  p.feddyn_alpha = std::string(c.dataset) == "mnist" ? 1.0f : 0.1f;
+  return p;
+}
+
+/// Runs `trials` seeds and returns per-round accuracy histories averaged
+/// element-wise (plus the last run's cost columns, which are seed-invariant).
+inline std::vector<fl::RoundRecord> run_averaged(
+    const fl::ExperimentConfig& base, const std::string& method,
+    const algorithms::AlgoParams& p, std::size_t trials) {
+  std::vector<fl::RoundRecord> mean;
+  for (std::size_t t = 0; t < trials; ++t) {
+    fl::ExperimentConfig cfg = base;
+    cfg.seed = base.seed + 1000 * t;
+    fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+    auto hist = sim.run().history;
+    if (mean.empty()) {
+      mean = hist;
+    } else {
+      for (std::size_t i = 0; i < mean.size() && i < hist.size(); ++i) {
+        mean[i].test_accuracy += hist[i].test_accuracy;
+        mean[i].train_loss += hist[i].train_loss;
+      }
+    }
+  }
+  for (auto& r : mean) {
+    r.test_accuracy /= static_cast<double>(trials);
+    r.train_loss /= static_cast<double>(trials);
+  }
+  return mean;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+/// "28" or ">40" when the target was never reached within the budget.
+inline std::string rounds_str(const std::optional<std::size_t>& r,
+                              std::size_t budget) {
+  if (r.has_value()) return std::to_string(*r);
+  return ">" + std::to_string(budget);
+}
+
+/// "1.63x" speedup-vs-FedTrip column of Table IV / VI.
+inline std::string speedup_str(const std::optional<std::size_t>& method_r,
+                               const std::optional<std::size_t>& fedtrip_r) {
+  if (!fedtrip_r.has_value()) return "-";
+  if (!method_r.has_value()) return ">";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx",
+                static_cast<double>(*method_r) /
+                    static_cast<double>(*fedtrip_r));
+  return buf;
+}
+
+}  // namespace fedtrip::bench

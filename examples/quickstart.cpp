@@ -1,0 +1,52 @@
+// Quickstart: train a CNN with FedTrip on a non-IID MNIST-analogue and
+// print the accuracy curve — the smallest end-to-end use of the library.
+//
+//   ./quickstart [rounds]
+#include <cstdlib>
+#include <iostream>
+
+#include "algorithms/registry.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+
+  // 1. Describe the experiment: model, data, heterogeneity, FL schedule.
+  fl::ExperimentConfig cfg;
+  cfg.model.arch = nn::Arch::kCNN;
+  cfg.model.classes = 10;
+  cfg.dataset = "mnist";
+  cfg.data_scale = 0.1;  // 10% of the paper's sample counts for speed
+  cfg.heterogeneity = data::Heterogeneity::kDir05;
+  cfg.num_clients = 10;
+  cfg.clients_per_round = 4;
+  cfg.rounds = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+  cfg.batch_size = 32;
+  cfg.seed = 42;
+
+  // 2. Pick an algorithm. FedTrip with the paper's CNN hyperparameter.
+  algorithms::AlgoParams params;
+  params.mu = 0.4f;
+
+  // 3. Run.
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", params));
+  auto result = sim.run();
+
+  // 4. Inspect.
+  std::cout << "FedTrip on " << cfg.dataset << " ("
+            << data::heterogeneity_name(cfg.heterogeneity) << ", "
+            << cfg.clients_per_round << " of " << cfg.num_clients
+            << " clients per round)\n";
+  std::cout << "model parameters: " << result.model_params << "\n\n";
+  std::cout << "round  accuracy  train_loss  cum_GFLOPs  cum_comm_MB\n";
+  for (const auto& r : result.history) {
+    std::printf("%5zu  %7.2f%%  %10.4f  %10.3f  %11.3f\n", r.round,
+                100.0 * r.test_accuracy, r.train_loss, r.cum_gflops,
+                r.cum_comm_mb);
+  }
+
+  std::cout << "\nbest accuracy: " << 100.0 * fl::best_accuracy(result.history)
+            << "%\n";
+  return 0;
+}

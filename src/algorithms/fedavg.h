@@ -1,0 +1,21 @@
+// FedAvg (McMahan et al., AISTATS 2017): the baseline — plain local SGD,
+// weighted server averaging, no attaching operation.
+#pragma once
+
+#include "algorithms/gradient_adjusting.h"
+
+namespace fedtrip::algorithms {
+
+class FedAvg : public GradientAdjustingAlgorithm {
+ public:
+  std::string name() const override { return "FedAvg"; }
+
+ protected:
+  bool has_adjustment() const override { return false; }
+  double adjust_gradients(std::vector<float>&, const std::vector<float>&,
+                          const fl::ClientContext&) override {
+    return 0.0;
+  }
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,53 @@
+// FedDyn (Acar et al., ICLR 2021): dynamic regularization.
+//
+// Client k keeps a gradient memory g_k (init 0). Local objective:
+//   F_k(w) - <g_k, w> + (alpha/2) ||w - w_global||^2
+// so the attaching gradient is  -g_k + alpha (w - w_global).
+// After local training: g_k <- g_k - alpha (w_k - w_global).
+// Server keeps h: h <- h - (alpha/N) sum_{k in S} (w_k - w_global);
+//   w_{t+1} = avg_k(w_k) - h / alpha.
+// Cost: 4K|w| per round (Table VIII). Uses plain SGD locally (§V-A).
+#pragma once
+
+#include <vector>
+
+#include "algorithms/gradient_adjusting.h"
+
+namespace fedtrip::algorithms {
+
+class FedDyn : public GradientAdjustingAlgorithm {
+ public:
+  explicit FedDyn(float alpha) : alpha_(alpha) {}
+
+  std::string name() const override { return "FedDyn"; }
+
+  void initialize(std::size_t num_clients, std::size_t param_dim) override {
+    grad_memory_.assign(num_clients,
+                        std::vector<float>(param_dim, 0.0f));
+    h_.assign(param_dim, 0.0f);
+    num_clients_ = num_clients;
+  }
+
+  void aggregate(std::vector<float>& global,
+                 const std::vector<fl::ClientUpdate>& updates,
+                 std::size_t round) override;
+
+  optim::OptKind optimizer_kind() const override {
+    return optim::OptKind::kSGD;
+  }
+
+ protected:
+  double adjust_gradients(std::vector<float>& delta,
+                          const std::vector<float>& w,
+                          const fl::ClientContext& ctx) override;
+  void on_round_end(const std::vector<float>& final_params, std::size_t steps,
+                    fl::ClientContext& ctx, fl::ClientUpdate& update) override;
+
+ private:
+  float alpha_;
+  std::size_t num_clients_ = 0;
+  std::vector<std::vector<float>> grad_memory_;  // g_k per client
+  std::vector<float> h_;                         // server state
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,30 @@
+// FedProx (Li et al., MLSys 2020): proximal term mu/2 ||w - w_global||^2,
+// i.e. attaching gradient mu * (w - w_global). Cost: 2K|w| per round.
+#pragma once
+
+#include "algorithms/gradient_adjusting.h"
+
+namespace fedtrip::algorithms {
+
+class FedProx : public GradientAdjustingAlgorithm {
+ public:
+  explicit FedProx(float mu) : mu_(mu) {}
+  std::string name() const override { return "FedProx"; }
+
+  float mu() const { return mu_; }
+
+ protected:
+  double adjust_gradients(std::vector<float>& delta,
+                          const std::vector<float>& w,
+                          const fl::ClientContext& ctx) override {
+    const std::vector<float>& wg = *ctx.global_params;
+    const std::size_t n = w.size();
+    for (std::size_t i = 0; i < n; ++i) delta[i] = mu_ * (w[i] - wg[i]);
+    return 2.0 * static_cast<double>(n);
+  }
+
+ private:
+  float mu_;
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,28 @@
+#include "algorithms/fedtrip.h"
+
+namespace fedtrip::algorithms {
+
+double FedTrip::adjust_gradients(std::vector<float>& delta,
+                                 const std::vector<float>& w,
+                                 const fl::ClientContext& ctx) {
+  const std::vector<float>& wg = *ctx.global_params;
+  const std::size_t n = w.size();
+
+  if (ctx.history == nullptr || xi_scale_ <= 0.0f) {
+    // First participation (or ablated history term): proximal pull only.
+    for (std::size_t i = 0; i < n; ++i) delta[i] = mu_ * (w[i] - wg[i]);
+    return 2.0 * static_cast<double>(n);
+  }
+
+  const std::vector<float>& wh = ctx.history->params;
+  const std::size_t gap = ctx.round - ctx.history->round;
+  const float xi = xi_for_gap(gap, xi_scale_);
+
+  // h += mu * ((w - wg) + xi * (wh - w)) — the 4|w| attaching operation.
+  for (std::size_t i = 0; i < n; ++i) {
+    delta[i] = mu_ * ((w[i] - wg[i]) + xi * (wh[i] - w[i]));
+  }
+  return 4.0 * static_cast<double>(n);
+}
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,55 @@
+// GradientAdjustingAlgorithm: shared local-training loop for methods whose
+// only deviation from FedAvg is an additive gradient term (the "attaching
+// operation"): FedProx, FedTrip, FedDyn, SCAFFOLD, FedDANE — and FedAvg
+// itself with a no-op adjustment.
+//
+// Loop per batch (Algorithm 1, lines 5-9):
+//   logits = f(w; x);  loss = F_k
+//   g = dF_k/dw                       (backprop)
+//   g += adjust(w, context)           (attaching operation, flat space)
+//   w  = w - lr * U(g)                (optimizer step)
+#pragma once
+
+#include <vector>
+
+#include "algorithms/params.h"
+#include "fl/algorithm.h"
+
+namespace fedtrip::algorithms {
+
+class GradientAdjustingAlgorithm : public fl::FederatedAlgorithm {
+ public:
+  fl::ClientUpdate train_client(fl::ClientContext& ctx) override;
+
+ protected:
+  /// Called once when the client has loaded the global model, before local
+  /// iterations. Use for per-round constants (FedTrip's xi, SCAFFOLD's
+  /// c - c_k).
+  virtual void on_round_start(fl::ClientContext& ctx) { (void)ctx; }
+
+  /// Computes the attaching-operation term into `delta` (same size as `w`)
+  /// given the current flat parameters `w`. Returns the FLOPs consumed.
+  /// Must be thread-safe across distinct clients. A zero return with
+  /// `delta_used = false` (see below) skips the add entirely (FedAvg).
+  virtual double adjust_gradients(std::vector<float>& delta,
+                                  const std::vector<float>& w,
+                                  const fl::ClientContext& ctx) = 0;
+
+  /// Called after the local iterations with the final local parameters.
+  /// Use for per-client state updates (FedDyn's gradient memory, SCAFFOLD's
+  /// control variate). `steps` is the number of local iterations executed.
+  /// May fill `update.aux` / `update.extra_upload_floats`.
+  virtual void on_round_end(const std::vector<float>& final_params,
+                            std::size_t steps, fl::ClientContext& ctx,
+                            fl::ClientUpdate& update) {
+    (void)final_params;
+    (void)steps;
+    (void)ctx;
+    (void)update;
+  }
+
+  /// Whether adjust_gradients produces a non-zero delta (FedAvg: false).
+  virtual bool has_adjustment() const { return true; }
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,38 @@
+// MOON (Li et al., CVPR 2021): model-contrastive federated learning.
+//
+// Adds a contrastive loss over penultimate-layer representations:
+//   z      = features of the current local model
+//   z_glob = features of the (frozen) global model
+//   z_prev = features of the (frozen) previous local model
+//   l_con  = -log  exp(cos(z, z_glob)/tau)
+//                 ------------------------------------------------
+//                 exp(cos(z, z_glob)/tau) + exp(cos(z, z_prev)/tau)
+//   L = F(w) + mu * l_con
+// This needs (1+p) extra feedforward passes per local iteration (p = number
+// of historical models, 1 here) — the computation overhead the paper's
+// Table V/VIII charges MOON with, and the motivation for FedTrip's
+// parameter-space (rather than representation-space) triplet.
+#pragma once
+
+#include "algorithms/params.h"
+#include "fl/algorithm.h"
+
+namespace fedtrip::algorithms {
+
+class Moon : public fl::FederatedAlgorithm {
+ public:
+  Moon(float mu, float tau) : mu_(mu), tau_(tau) {}
+
+  std::string name() const override { return "MOON"; }
+
+  fl::ClientUpdate train_client(fl::ClientContext& ctx) override;
+
+  float mu() const { return mu_; }
+  float tau() const { return tau_; }
+
+ private:
+  float mu_;
+  float tau_;
+};
+
+}  // namespace fedtrip::algorithms

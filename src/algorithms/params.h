@@ -1,0 +1,30 @@
+// AlgoParams: hyperparameters for all methods, defaulted to the paper's
+// experiment settings (§V-A).
+#pragma once
+
+namespace fedtrip::algorithms {
+
+struct AlgoParams {
+  /// FedTrip / FedProx proximal coefficient mu. Paper: FedTrip mu = 1.0 for
+  /// MLP experiments, 0.4 otherwise; FedProx mu = 0.1.
+  float mu = 0.4f;
+  /// Scale on FedTrip's xi (xi = xi_scale / participation-gap). 1.0 in the
+  /// paper; 0 disables the historical term (ablation).
+  float xi_scale = 1.0f;
+  /// MOON: contrastive weight and temperature (paper: mu = 1, tau = 0.5).
+  float moon_mu = 1.0f;
+  float moon_tau = 0.5f;
+  /// FedDyn regularization alpha (paper: 1.0 on MNIST, 0.1 elsewhere).
+  float feddyn_alpha = 0.1f;
+  /// SlowMo server momentum and slow learning rate.
+  float slowmo_beta = 0.5f;
+  float slowmo_lr = 1.0f;
+  /// Client learning rate (SCAFFOLD's control-variate update needs it).
+  float lr = 0.01f;
+  /// Server-side optimizer settings (FedAvgM / FedAdam, Reddi et al. [23]).
+  float server_beta1 = 0.9f;
+  float server_beta2 = 0.99f;
+  float server_lr = 0.1f;
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,52 @@
+#include "algorithms/registry.h"
+
+#include <stdexcept>
+
+#include "algorithms/fedavg.h"
+#include "algorithms/feddane.h"
+#include "algorithms/feddyn.h"
+#include "algorithms/fedprox.h"
+#include "algorithms/fedtrip.h"
+#include "algorithms/moon.h"
+#include "algorithms/scaffold.h"
+#include "algorithms/server_opt.h"
+#include "algorithms/slowmo.h"
+
+namespace fedtrip::algorithms {
+
+fl::AlgorithmPtr make_algorithm(const std::string& name,
+                                const AlgoParams& p) {
+  if (name == "FedTrip") return std::make_unique<FedTrip>(p.mu, p.xi_scale);
+  if (name == "FedAvg") return std::make_unique<FedAvg>();
+  if (name == "FedProx") return std::make_unique<FedProx>(p.mu);
+  if (name == "SlowMo") {
+    return std::make_unique<SlowMo>(p.slowmo_beta, p.slowmo_lr, p.lr);
+  }
+  if (name == "MOON") return std::make_unique<Moon>(p.moon_mu, p.moon_tau);
+  if (name == "FedDyn") return std::make_unique<FedDyn>(p.feddyn_alpha);
+  if (name == "SCAFFOLD") return std::make_unique<Scaffold>(p.lr);
+  if (name == "FedDANE") return std::make_unique<FedDane>(p.mu);
+  if (name == "FedAvgM") {
+    return std::make_unique<FedAvgM>(p.server_beta1, p.server_lr);
+  }
+  if (name == "FedAdam") {
+    return std::make_unique<FedAdam>(p.server_beta1, p.server_beta2,
+                                     p.server_lr);
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+const std::vector<std::string>& paper_methods() {
+  static const std::vector<std::string> methods = {
+      "FedTrip", "FedAvg", "FedProx", "SlowMo", "MOON", "FedDyn"};
+  return methods;
+}
+
+const std::vector<std::string>& all_methods() {
+  static const std::vector<std::string> methods = {
+      "FedTrip", "FedAvg",  "FedProx",  "SlowMo",  "MOON",
+      "FedDyn",  "SCAFFOLD", "FedDANE", "FedAvgM", "FedAdam"};
+  return methods;
+}
+
+}  // namespace fedtrip::algorithms

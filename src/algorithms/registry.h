@@ -1,0 +1,23 @@
+// Registry: create algorithms by name with paper-default hyperparameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algorithms/params.h"
+#include "fl/algorithm.h"
+
+namespace fedtrip::algorithms {
+
+/// Instantiates a method: "FedTrip", "FedAvg", "FedProx", "SlowMo", "MOON",
+/// "FedDyn", "SCAFFOLD", "FedDANE". Throws std::invalid_argument otherwise.
+fl::AlgorithmPtr make_algorithm(const std::string& name,
+                                const AlgoParams& params);
+
+/// The six methods evaluated head-to-head in the paper's tables/figures.
+const std::vector<std::string>& paper_methods();
+
+/// All implemented methods (paper six + SCAFFOLD + FedDANE).
+const std::vector<std::string>& all_methods();
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,58 @@
+// SCAFFOLD (Karimireddy et al., ICML 2020): stochastic controlled averaging.
+//
+// Server keeps control variate c; client k keeps c_k. Local step:
+//   w <- w - lr (dF_k(w) + c - c_k)
+// After K local steps (option II update):
+//   c_k+ = c_k - c + (w_global - w_k) / (K * lr)
+// Client uploads Delta w and Delta c = c_k+ - c_k; server:
+//   w <- w + avg(Delta w);  c <- c + (|S|/N) avg(Delta c)
+// Cost: 2(K+1)|w| + control-variate traffic 2|w| per round (Table VIII's
+// SCAFFOLD row; the appendix comparator, not among the paper's six main
+// baselines).
+#pragma once
+
+#include <vector>
+
+#include "algorithms/gradient_adjusting.h"
+
+namespace fedtrip::algorithms {
+
+class Scaffold : public GradientAdjustingAlgorithm {
+ public:
+  explicit Scaffold(float client_lr) : client_lr_(client_lr) {}
+
+  std::string name() const override { return "SCAFFOLD"; }
+
+  void initialize(std::size_t num_clients, std::size_t param_dim) override {
+    c_server_.assign(param_dim, 0.0f);
+    c_clients_.assign(num_clients, std::vector<float>(param_dim, 0.0f));
+    num_clients_ = num_clients;
+  }
+
+  void aggregate(std::vector<float>& global,
+                 const std::vector<fl::ClientUpdate>& updates,
+                 std::size_t round) override;
+
+  optim::OptKind optimizer_kind() const override {
+    return optim::OptKind::kSGD;
+  }
+
+  std::size_t extra_downlink_floats(std::size_t param_dim) const override {
+    return param_dim;  // server control variate broadcast
+  }
+
+ protected:
+  double adjust_gradients(std::vector<float>& delta,
+                          const std::vector<float>& w,
+                          const fl::ClientContext& ctx) override;
+  void on_round_end(const std::vector<float>& final_params, std::size_t steps,
+                    fl::ClientContext& ctx, fl::ClientUpdate& update) override;
+
+ private:
+  float client_lr_;
+  std::size_t num_clients_ = 0;
+  std::vector<float> c_server_;
+  std::vector<std::vector<float>> c_clients_;
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,34 @@
+#include "algorithms/server_opt.h"
+
+#include <cmath>
+
+namespace fedtrip::algorithms {
+
+void FedAvgM::aggregate(std::vector<float>& global,
+                        const std::vector<fl::ClientUpdate>& updates,
+                        std::size_t round) {
+  std::vector<float> avg = global;
+  FederatedAlgorithm::aggregate(avg, updates, round);
+  const std::size_t n = global.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = global[i] - avg[i];
+    m_[i] = beta1_ * m_[i] + d;
+    global[i] -= server_lr_ * m_[i];
+  }
+}
+
+void FedAdam::aggregate(std::vector<float>& global,
+                        const std::vector<fl::ClientUpdate>& updates,
+                        std::size_t round) {
+  std::vector<float> avg = global;
+  FederatedAlgorithm::aggregate(avg, updates, round);
+  const std::size_t n = global.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = global[i] - avg[i];
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * d;
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * d * d;
+    global[i] -= server_lr_ * m_[i] / (std::sqrt(v_[i]) + eps_);
+  }
+}
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,81 @@
+// Server-side adaptive optimization (Reddi et al., "Adaptive Federated
+// Optimization" — reference [23] of the paper, its future-work direction).
+//
+// Both methods treat the round's aggregation residual as a pseudo-gradient
+//   d_t = w_t - avg_k(w_k^t)
+// and apply a server optimizer instead of plain replacement:
+//   FedAvgM: m = beta1 m + d;                w -= eta m
+//   FedAdam: m = beta1 m + (1-beta1) d;
+//            v = beta2 v + (1-beta2) d^2;    w -= eta m / (sqrt(v) + eps)
+// Clients run plain FedAvg-style local SGD.
+#pragma once
+
+#include <vector>
+
+#include "algorithms/gradient_adjusting.h"
+
+namespace fedtrip::algorithms {
+
+class FedAvgM : public GradientAdjustingAlgorithm {
+ public:
+  FedAvgM(float beta1, float server_lr)
+      : beta1_(beta1), server_lr_(server_lr) {}
+
+  std::string name() const override { return "FedAvgM"; }
+
+  void initialize(std::size_t /*num_clients*/,
+                  std::size_t param_dim) override {
+    m_.assign(param_dim, 0.0f);
+  }
+
+  void aggregate(std::vector<float>& global,
+                 const std::vector<fl::ClientUpdate>& updates,
+                 std::size_t round) override;
+
+ protected:
+  bool has_adjustment() const override { return false; }
+  double adjust_gradients(std::vector<float>&, const std::vector<float>&,
+                          const fl::ClientContext&) override {
+    return 0.0;
+  }
+
+ private:
+  float beta1_;
+  float server_lr_;
+  std::vector<float> m_;
+};
+
+class FedAdam : public GradientAdjustingAlgorithm {
+ public:
+  FedAdam(float beta1, float beta2, float server_lr, float epsilon = 1e-3f)
+      : beta1_(beta1), beta2_(beta2), server_lr_(server_lr), eps_(epsilon) {}
+
+  std::string name() const override { return "FedAdam"; }
+
+  void initialize(std::size_t /*num_clients*/,
+                  std::size_t param_dim) override {
+    m_.assign(param_dim, 0.0f);
+    v_.assign(param_dim, 0.0f);
+  }
+
+  void aggregate(std::vector<float>& global,
+                 const std::vector<fl::ClientUpdate>& updates,
+                 std::size_t round) override;
+
+ protected:
+  bool has_adjustment() const override { return false; }
+  double adjust_gradients(std::vector<float>&, const std::vector<float>&,
+                          const fl::ClientContext&) override {
+    return 0.0;
+  }
+
+ private:
+  float beta1_;
+  float beta2_;
+  float server_lr_;
+  float eps_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,20 @@
+#include "algorithms/slowmo.h"
+
+namespace fedtrip::algorithms {
+
+void SlowMo::aggregate(std::vector<float>& global,
+                       const std::vector<fl::ClientUpdate>& updates,
+                       std::size_t round) {
+  std::vector<float> avg = global;  // w_t (pre-aggregation global)
+  FederatedAlgorithm::aggregate(avg, updates, round);
+
+  const std::size_t n = global.size();
+  const float inv_lr = 1.0f / client_lr_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = (global[i] - avg[i]) * inv_lr;
+    momentum_[i] = beta_ * momentum_[i] + d;
+    global[i] -= slow_lr_ * client_lr_ * momentum_[i];
+  }
+}
+
+}  // namespace fedtrip::algorithms

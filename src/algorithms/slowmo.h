@@ -1,0 +1,50 @@
+// SlowMo (Wang et al., 2019): clients run plain SGD (FedAvg-style); the
+// server applies slow momentum over the round's pseudo-gradient:
+//   d_t = (w_t - avg_k(w_k)) / lr
+//   m   = beta * m + d_t
+//   w_{t+1} = w_t - slow_lr * lr * m
+// No attaching operation on clients (0 extra FLOPs); the server-side state
+// update is O(|w|) per round.
+#pragma once
+
+#include <vector>
+
+#include "algorithms/gradient_adjusting.h"
+
+namespace fedtrip::algorithms {
+
+class SlowMo : public GradientAdjustingAlgorithm {
+ public:
+  SlowMo(float beta, float slow_lr, float client_lr)
+      : beta_(beta), slow_lr_(slow_lr), client_lr_(client_lr) {}
+
+  std::string name() const override { return "SlowMo"; }
+
+  void initialize(std::size_t /*num_clients*/,
+                  std::size_t param_dim) override {
+    momentum_.assign(param_dim, 0.0f);
+  }
+
+  void aggregate(std::vector<float>& global,
+                 const std::vector<fl::ClientUpdate>& updates,
+                 std::size_t round) override;
+
+  optim::OptKind optimizer_kind() const override {
+    return optim::OptKind::kSGD;
+  }
+
+ protected:
+  bool has_adjustment() const override { return false; }
+  double adjust_gradients(std::vector<float>&, const std::vector<float>&,
+                          const fl::ClientContext&) override {
+    return 0.0;
+  }
+
+ private:
+  float beta_;
+  float slow_lr_;
+  float client_lr_;
+  std::vector<float> momentum_;
+};
+
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,30 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+
+namespace fedtrip::data {
+
+std::vector<Batch> DataLoader::epoch(Rng& rng) const {
+  std::vector<std::size_t> order = indices_;
+  rng.shuffle(order);
+
+  std::vector<Batch> batches;
+  batches.reserve(batches_per_epoch());
+  for (std::size_t start = 0; start < order.size(); start += batch_size_) {
+    const std::size_t end = std::min(order.size(), start + batch_size_);
+    std::vector<std::size_t> chunk(order.begin() +
+                                       static_cast<std::ptrdiff_t>(start),
+                                   order.begin() +
+                                       static_cast<std::ptrdiff_t>(end));
+    batches.push_back(Batch{dataset_->make_batch(chunk),
+                            dataset_->make_batch_labels(chunk)});
+  }
+  return batches;
+}
+
+Batch DataLoader::all() const {
+  return Batch{dataset_->make_batch(indices_),
+               dataset_->make_batch_labels(indices_)};
+}
+
+}  // namespace fedtrip::data

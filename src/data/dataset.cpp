@@ -1,0 +1,46 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fedtrip::data {
+
+void Dataset::add_sample(const std::vector<float>& pixels,
+                         std::int64_t label) {
+  assert(static_cast<std::int64_t>(pixels.size()) == sample_numel());
+  assert(label >= 0 && label < classes_);
+  images_.insert(images_.end(), pixels.begin(), pixels.end());
+  labels_.push_back(label);
+}
+
+Tensor Dataset::make_batch(const std::vector<std::size_t>& indices) const {
+  const std::int64_t b = static_cast<std::int64_t>(indices.size());
+  Tensor batch(Shape{b, channels_, height_, width_});
+  const std::size_t stride = static_cast<std::size_t>(sample_numel());
+  for (std::int64_t i = 0; i < b; ++i) {
+    assert(indices[static_cast<std::size_t>(i)] < size());
+    std::memcpy(batch.data() + static_cast<std::size_t>(i) * stride,
+                pixels(indices[static_cast<std::size_t>(i)]),
+                stride * sizeof(float));
+  }
+  return batch;
+}
+
+std::vector<std::int64_t> Dataset::make_batch_labels(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<std::int64_t> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(labels_[i]);
+  return out;
+}
+
+std::vector<std::int64_t> Dataset::class_histogram(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(classes_), 0);
+  for (std::size_t i : indices) {
+    hist[static_cast<std::size_t>(labels_[i])] += 1;
+  }
+  return hist;
+}
+
+}  // namespace fedtrip::data

@@ -1,0 +1,62 @@
+// Dataset: in-memory labelled image dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedtrip::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::int64_t classes, std::int64_t channels,
+          std::int64_t height, std::int64_t width)
+      : name_(std::move(name)),
+        classes_(classes),
+        channels_(channels),
+        height_(height),
+        width_(width) {}
+
+  const std::string& name() const { return name_; }
+  std::int64_t classes() const { return classes_; }
+  std::int64_t channels() const { return channels_; }
+  std::int64_t height() const { return height_; }
+  std::int64_t width() const { return width_; }
+  std::int64_t sample_numel() const { return channels_ * height_ * width_; }
+  std::size_t size() const { return labels_.size(); }
+
+  /// Appends one sample; `pixels` must have sample_numel() entries.
+  void add_sample(const std::vector<float>& pixels, std::int64_t label);
+
+  std::int64_t label(std::size_t i) const { return labels_[i]; }
+  const std::vector<std::int64_t>& labels() const { return labels_; }
+  const float* pixels(std::size_t i) const {
+    return images_.data() + i * static_cast<std::size_t>(sample_numel());
+  }
+
+  /// Gathers the given samples into an [B, C, H, W] input tensor.
+  Tensor make_batch(const std::vector<std::size_t>& indices) const;
+
+  /// Labels for the given samples.
+  std::vector<std::int64_t> make_batch_labels(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Per-class sample counts over a subset of indices (or the whole dataset
+  /// when `indices` is empty and `whole` is true).
+  std::vector<std::int64_t> class_histogram(
+      const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::string name_;
+  std::int64_t classes_ = 0;
+  std::int64_t channels_ = 0;
+  std::int64_t height_ = 0;
+  std::int64_t width_ = 0;
+  std::vector<float> images_;
+  std::vector<std::int64_t> labels_;
+};
+
+}  // namespace fedtrip::data

@@ -1,0 +1,89 @@
+#include "data/idx_loader.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fedtrip::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("idx: truncated header");
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+}  // namespace
+
+Dataset load_idx(const std::string& images_path,
+                 const std::string& labels_path, const std::string& name,
+                 std::int64_t classes) {
+  std::ifstream img(images_path, std::ios::binary);
+  if (!img) throw std::runtime_error("idx: cannot open " + images_path);
+  std::ifstream lab(labels_path, std::ios::binary);
+  if (!lab) throw std::runtime_error("idx: cannot open " + labels_path);
+
+  if (read_be32(img) != 0x00000803u) {
+    throw std::runtime_error("idx: bad image magic in " + images_path);
+  }
+  if (read_be32(lab) != 0x00000801u) {
+    throw std::runtime_error("idx: bad label magic in " + labels_path);
+  }
+  const std::uint32_t n_img = read_be32(img);
+  const std::uint32_t rows = read_be32(img);
+  const std::uint32_t cols = read_be32(img);
+  const std::uint32_t n_lab = read_be32(lab);
+  if (n_img != n_lab) {
+    throw std::runtime_error("idx: image/label count mismatch");
+  }
+
+  Dataset ds(name, classes, 1, static_cast<std::int64_t>(rows),
+             static_cast<std::int64_t>(cols));
+  const std::size_t pixels_n = static_cast<std::size_t>(rows) * cols;
+  std::vector<unsigned char> raw(pixels_n);
+  std::vector<float> pixels(pixels_n);
+  for (std::uint32_t i = 0; i < n_img; ++i) {
+    img.read(reinterpret_cast<char*>(raw.data()),
+             static_cast<std::streamsize>(pixels_n));
+    char label_byte = 0;
+    lab.read(&label_byte, 1);
+    if (!img || !lab) throw std::runtime_error("idx: truncated data");
+    const auto label = static_cast<std::int64_t>(
+        static_cast<unsigned char>(label_byte));
+    if (label >= classes) {
+      throw std::runtime_error("idx: label out of range");
+    }
+    for (std::size_t p = 0; p < pixels_n; ++p) {
+      pixels[p] = (static_cast<float>(raw[p]) / 255.0f - 0.5f) * 2.0f;
+    }
+    ds.add_sample(pixels, label);
+  }
+  return ds;
+}
+
+std::optional<IdxTrainTest> try_load_mnist_dir(const std::string& dir,
+                                               std::int64_t classes) {
+  const std::string ti = dir + "/train-images-idx3-ubyte";
+  const std::string tl = dir + "/train-labels-idx1-ubyte";
+  const std::string ei = dir + "/t10k-images-idx3-ubyte";
+  const std::string el = dir + "/t10k-labels-idx1-ubyte";
+  if (!file_exists(ti) || !file_exists(tl) || !file_exists(ei) ||
+      !file_exists(el)) {
+    return std::nullopt;
+  }
+  return IdxTrainTest{load_idx(ti, tl, "mnist", classes),
+                      load_idx(ei, el, "mnist-test", classes)};
+}
+
+}  // namespace fedtrip::data

@@ -1,0 +1,37 @@
+// IDX loader: reads the MNIST / FMNIST / EMNIST IDX file format
+// (idx3-ubyte images + idx1-ubyte labels). When the real datasets are
+// available on disk the experiments can run on them instead of the
+// synthetic analogues; in the offline default, callers fall back to
+// data::generate().
+//
+// Format (big-endian):
+//   images: magic 0x00000803, count, rows, cols, then count*rows*cols u8
+//   labels: magic 0x00000801, count, then count u8
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fedtrip::data {
+
+/// Loads an IDX image/label pair into a Dataset (pixels normalised to
+/// mean 0 / range [-1, 1] via (x/255 - 0.5) * 2). Throws std::runtime_error
+/// on malformed files.
+Dataset load_idx(const std::string& images_path,
+                 const std::string& labels_path, const std::string& name,
+                 std::int64_t classes);
+
+/// Convenience: tries the conventional four files under `dir`
+/// (train-images-idx3-ubyte, train-labels-idx1-ubyte, t10k-...). Returns
+/// nullopt when any file is missing — the caller then uses the synthetic
+/// generator.
+struct IdxTrainTest {
+  Dataset train;
+  Dataset test;
+};
+std::optional<IdxTrainTest> try_load_mnist_dir(const std::string& dir,
+                                               std::int64_t classes = 10);
+
+}  // namespace fedtrip::data

@@ -1,0 +1,203 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fedtrip::data {
+
+namespace {
+
+/// Shuffled per-class index pools.
+std::vector<std::vector<std::size_t>> class_pools(const Dataset& dataset,
+                                                  Rng& rng) {
+  std::vector<std::vector<std::size_t>> pools(
+      static_cast<std::size_t>(dataset.classes()));
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    pools[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+  for (auto& pool : pools) rng.shuffle(pool);
+  return pools;
+}
+
+}  // namespace
+
+Partition partition_iid(std::size_t dataset_size, std::size_t num_clients,
+                        std::size_t samples_per_client, Rng& rng) {
+  if (num_clients * samples_per_client > dataset_size) {
+    throw std::invalid_argument(
+        "partition_iid: dataset too small for requested partition");
+  }
+  auto perm = rng.permutation(dataset_size);
+  Partition part(num_clients);
+  std::size_t next = 0;
+  for (auto& client : part) {
+    client.assign(perm.begin() + static_cast<std::ptrdiff_t>(next),
+                  perm.begin() +
+                      static_cast<std::ptrdiff_t>(next + samples_per_client));
+    next += samples_per_client;
+  }
+  return part;
+}
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_clients,
+                              double alpha, std::size_t samples_per_client,
+                              Rng& rng) {
+  if (num_clients * samples_per_client > dataset.size()) {
+    throw std::invalid_argument(
+        "partition_dirichlet: dataset too small for requested partition");
+  }
+  const auto classes = static_cast<std::size_t>(dataset.classes());
+  auto pools = class_pools(dataset, rng);
+
+  Partition part(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    // Each client's prior over classes (paper: per-client Dirichlet draw).
+    std::vector<double> prior = rng.dirichlet(alpha, classes);
+    auto& indices = part[k];
+    indices.reserve(samples_per_client);
+    while (indices.size() < samples_per_client) {
+      // Renormalise over classes that still have samples left.
+      double total = 0.0;
+      for (std::size_t c = 0; c < classes; ++c) {
+        if (!pools[c].empty()) total += prior[c];
+      }
+      std::size_t chosen = classes;  // sentinel
+      if (total > 0.0) {
+        double u = rng.uniform() * total;
+        for (std::size_t c = 0; c < classes; ++c) {
+          if (pools[c].empty()) continue;
+          u -= prior[c];
+          if (u <= 0.0) {
+            chosen = c;
+            break;
+          }
+        }
+      }
+      if (chosen == classes) {
+        // Prior mass exhausted (all its classes empty): fall back to any
+        // non-empty class so the preset count is always reached.
+        for (std::size_t c = 0; c < classes; ++c) {
+          if (!pools[c].empty()) {
+            chosen = c;
+            break;
+          }
+        }
+      }
+      assert(chosen < classes && "no samples left in any class");
+      indices.push_back(pools[chosen].back());
+      pools[chosen].pop_back();
+    }
+  }
+  return part;
+}
+
+Partition partition_orthogonal(const Dataset& dataset,
+                               std::size_t num_clients, std::size_t clusters,
+                               std::size_t samples_per_client, Rng& rng) {
+  if (clusters == 0 || clusters > num_clients) {
+    throw std::invalid_argument(
+        "partition_orthogonal: clusters must be in [1, num_clients]");
+  }
+  const auto classes = static_cast<std::size_t>(dataset.classes());
+  if (clusters > classes) {
+    throw std::invalid_argument(
+        "partition_orthogonal: more clusters than classes");
+  }
+  auto pools = class_pools(dataset, rng);
+
+  // Disjoint class groups: group g owns classes {c : c mod clusters == g}
+  // after a random class permutation.
+  std::vector<std::size_t> class_perm = rng.permutation(classes);
+  std::vector<std::vector<std::size_t>> group_classes(clusters);
+  for (std::size_t i = 0; i < classes; ++i) {
+    group_classes[i % clusters].push_back(class_perm[i]);
+  }
+
+  Partition part(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    const auto& my_classes = group_classes[k % clusters];
+    auto& indices = part[k];
+    indices.reserve(samples_per_client);
+    while (indices.size() < samples_per_client) {
+      // IID within the cluster's class slice.
+      std::vector<std::size_t> nonempty;
+      for (std::size_t c : my_classes) {
+        if (!pools[c].empty()) nonempty.push_back(c);
+      }
+      if (nonempty.empty()) {
+        throw std::runtime_error(
+            "partition_orthogonal: cluster class pool exhausted; "
+            "reduce samples_per_client or enlarge the dataset");
+      }
+      const std::size_t c = nonempty[rng.uniform_int(nonempty.size())];
+      indices.push_back(pools[c].back());
+      pools[c].pop_back();
+    }
+  }
+  return part;
+}
+
+const char* heterogeneity_name(Heterogeneity h) {
+  switch (h) {
+    case Heterogeneity::kIID:
+      return "IID";
+    case Heterogeneity::kDir01:
+      return "Dir-0.1";
+    case Heterogeneity::kDir05:
+      return "Dir-0.5";
+    case Heterogeneity::kOrthogonal5:
+      return "Orthogonal-5";
+    case Heterogeneity::kOrthogonal10:
+      return "Orthogonal-10";
+  }
+  return "?";
+}
+
+Heterogeneity heterogeneity_from_name(const std::string& name) {
+  if (name == "IID" || name == "iid") return Heterogeneity::kIID;
+  if (name == "Dir-0.1" || name == "dir0.1") return Heterogeneity::kDir01;
+  if (name == "Dir-0.5" || name == "dir0.5") return Heterogeneity::kDir05;
+  if (name == "Orthogonal-5" || name == "ortho5") {
+    return Heterogeneity::kOrthogonal5;
+  }
+  if (name == "Orthogonal-10" || name == "ortho10") {
+    return Heterogeneity::kOrthogonal10;
+  }
+  throw std::invalid_argument("unknown heterogeneity: " + name);
+}
+
+Partition make_partition(Heterogeneity h, const Dataset& dataset,
+                         std::size_t num_clients,
+                         std::size_t samples_per_client, Rng& rng) {
+  switch (h) {
+    case Heterogeneity::kIID:
+      return partition_iid(dataset.size(), num_clients, samples_per_client,
+                           rng);
+    case Heterogeneity::kDir01:
+      return partition_dirichlet(dataset, num_clients, 0.1,
+                                 samples_per_client, rng);
+    case Heterogeneity::kDir05:
+      return partition_dirichlet(dataset, num_clients, 0.5,
+                                 samples_per_client, rng);
+    case Heterogeneity::kOrthogonal5:
+      return partition_orthogonal(dataset, num_clients, 5, samples_per_client,
+                                  rng);
+    case Heterogeneity::kOrthogonal10:
+      return partition_orthogonal(dataset, num_clients, 10,
+                                  samples_per_client, rng);
+  }
+  throw std::invalid_argument("unknown heterogeneity");
+}
+
+std::vector<std::vector<std::int64_t>> partition_histograms(
+    const Dataset& dataset, const Partition& partition) {
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(partition.size());
+  for (const auto& indices : partition) {
+    out.push_back(dataset.class_histogram(indices));
+  }
+  return out;
+}
+
+}  // namespace fedtrip::data

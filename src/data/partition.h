@@ -1,0 +1,57 @@
+// Non-IID partitioners (paper §V-A, "Data Partitioning").
+//
+//  - IID: uniform random split.
+//  - Dirichlet(alpha): every client draws a class-probability vector from
+//    Dir(alpha * 1) and samples without replacement from per-class pools
+//    until its preset sample count is reached (LEAF-style; alpha = 0.1 / 0.5
+//    in the paper, named Dir-0.1 / Dir-0.5).
+//  - Orthogonal(k): clients are grouped into k clusters; each cluster owns a
+//    disjoint slice of the label space and samples IID within it
+//    (Orthogonal-5 / Orthogonal-10 in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::data {
+
+/// client -> indices into the train dataset.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+Partition partition_iid(std::size_t dataset_size, std::size_t num_clients,
+                        std::size_t samples_per_client, Rng& rng);
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_clients,
+                              double alpha, std::size_t samples_per_client,
+                              Rng& rng);
+
+Partition partition_orthogonal(const Dataset& dataset,
+                               std::size_t num_clients, std::size_t clusters,
+                               std::size_t samples_per_client, Rng& rng);
+
+/// Named heterogeneity settings used throughout the paper's evaluation.
+enum class Heterogeneity {
+  kIID,
+  kDir01,          // Dirichlet alpha = 0.1
+  kDir05,          // Dirichlet alpha = 0.5
+  kOrthogonal5,    // 5 clusters
+  kOrthogonal10,   // 10 clusters
+};
+
+const char* heterogeneity_name(Heterogeneity h);
+Heterogeneity heterogeneity_from_name(const std::string& name);
+
+/// Dispatches to the matching partitioner.
+Partition make_partition(Heterogeneity h, const Dataset& dataset,
+                         std::size_t num_clients,
+                         std::size_t samples_per_client, Rng& rng);
+
+/// Per-client class histograms — the data behind the paper's Fig 4.
+std::vector<std::vector<std::int64_t>> partition_histograms(
+    const Dataset& dataset, const Partition& partition);
+
+}  // namespace fedtrip::data

@@ -1,0 +1,56 @@
+// Synthetic dataset generators standing in for MNIST / FMNIST / EMNIST /
+// CIFAR-10 (see DESIGN.md §2 — the environment is offline, so real downloads
+// are substituted by deterministic generators with identical shape metadata).
+//
+// Each class c has a smooth random "prototype image" P_c (coarse Gaussian
+// grid, bilinearly upsampled). A sample of class c is
+//     x = gain * P_c + sigma * noise,    gain ~ N(1, intra_class_jitter)
+// Class separability is controlled by `noise_sigma`: higher sigma means the
+// classifier needs more samples/rounds to reach a target accuracy, which is
+// how the per-dataset difficulty is calibrated against the paper's target
+// accuracies (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::data {
+
+struct SyntheticSpec {
+  std::string name = "mnist";
+  std::int64_t classes = 10;
+  std::int64_t channels = 1;
+  std::int64_t height = 28;
+  std::int64_t width = 28;
+  std::int64_t train_samples = 6000;
+  std::int64_t test_samples = 1000;
+  /// Per-client sample count from Table II (600 / 1000 / 3000 / 2000).
+  std::int64_t client_samples = 600;
+  /// Coarse prototype grid edge (smoothness of class structure).
+  std::int64_t proto_grid = 7;
+  /// Noise level relative to prototype scale — the difficulty knob.
+  float noise_sigma = 1.0f;
+  /// Std-dev of the multiplicative per-sample gain.
+  float intra_class_jitter = 0.15f;
+};
+
+/// Canonical specs mirroring Table II of the paper. `scale` in (0, 1]
+/// multiplies sample counts for quick runs (1.0 = paper-scale counts).
+SyntheticSpec mnist_spec(double scale = 1.0);
+SyntheticSpec fmnist_spec(double scale = 1.0);
+SyntheticSpec emnist_spec(double scale = 1.0);
+SyntheticSpec cifar10_spec(double scale = 1.0);
+SyntheticSpec spec_by_name(const std::string& name, double scale = 1.0);
+
+/// Deterministically generates train and test splits. The same seed always
+/// produces the same prototypes and samples.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+TrainTest generate(const SyntheticSpec& spec, std::uint64_t seed);
+
+}  // namespace fedtrip::data

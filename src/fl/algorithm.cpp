@@ -1,0 +1,25 @@
+#include "fl/algorithm.h"
+
+#include <cassert>
+
+#include "tensor/vec_math.h"
+
+namespace fedtrip::fl {
+
+void FederatedAlgorithm::aggregate(std::vector<float>& global,
+                                   const std::vector<ClientUpdate>& updates,
+                                   std::size_t /*round*/) {
+  assert(!updates.empty());
+  std::size_t total_samples = 0;
+  for (const auto& u : updates) total_samples += u.num_samples;
+  assert(total_samples > 0);
+
+  vec::zero(global);
+  for (const auto& u : updates) {
+    const float rho = static_cast<float>(u.num_samples) /
+                      static_cast<float>(total_samples);
+    vec::accumulate_weighted(global, rho, u.params);
+  }
+}
+
+}  // namespace fedtrip::fl

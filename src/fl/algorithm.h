@@ -1,0 +1,88 @@
+// FederatedAlgorithm: the strategy interface every FL method implements.
+//
+// The engine (Simulation) drives the FedAvg-shaped outer loop — client
+// sampling, broadcast, parallel local training, aggregation — and delegates
+// the method-specific pieces to this interface:
+//   * train_client(): the local objective / update rule (Algorithm 1, lines
+//     5-9 for FedTrip; analogous loops for the baselines);
+//   * aggregate(): server-side model combination (weighted average by
+//     default; SlowMo/FedDyn/SCAFFOLD override to apply server state);
+//   * pre_round(): optional extra communication phase (FedDANE's gradient
+//     averaging).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/history.h"
+#include "fl/types.h"
+#include "nn/models.h"
+#include "optim/optimizer.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::fl {
+
+/// Everything a client needs for one round of local training.
+struct ClientContext {
+  std::size_t round = 0;  // t, 1-based
+  Client* client = nullptr;
+  const std::vector<float>* global_params = nullptr;
+  const HistoryEntry* history = nullptr;  // nullptr before first participation
+  const nn::ModelFactory* model_factory = nullptr;
+  std::size_t local_epochs = 1;
+  /// Deterministic per-(trial, round, client) stream.
+  Rng rng;
+};
+
+class FederatedAlgorithm {
+ public:
+  virtual ~FederatedAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before round 1. `param_dim` is |w|.
+  virtual void initialize(std::size_t num_clients, std::size_t param_dim) {
+    (void)num_clients;
+    (void)param_dim;
+  }
+
+  /// Optional extra phase before local training (FedDANE). Contexts cover
+  /// the selected clients; implementations may run forward/backward passes
+  /// and must record their FLOPs via the returned value (FLOPs per client,
+  /// summed by the engine into the round cost).
+  virtual double pre_round(std::vector<ClientContext>& contexts) {
+    (void)contexts;
+    return 0.0;
+  }
+
+  /// Local training of one client. Must be thread-safe across distinct
+  /// clients (per-client algorithm state only).
+  virtual ClientUpdate train_client(ClientContext& ctx) = 0;
+
+  /// Server aggregation: combines updates into `global`. Default: Eq 2,
+  /// weighted average by sample count.
+  virtual void aggregate(std::vector<float>& global,
+                         const std::vector<ClientUpdate>& updates,
+                         std::size_t round);
+
+  /// The optimizer family this method uses locally (paper §V-A: SGDm by
+  /// default, plain SGD for SlowMo / FedDyn / SCAFFOLD).
+  virtual optim::OptKind optimizer_kind() const {
+    return optim::OptKind::kSGDMomentum;
+  }
+
+  /// Extra per-round downlink floats per client beyond |w| (SCAFFOLD: |w|
+  /// for the server control variate; FedDANE: |w| for the averaged
+  /// gradient).
+  virtual std::size_t extra_downlink_floats(std::size_t param_dim) const {
+    (void)param_dim;
+    return 0;
+  }
+};
+
+using AlgorithmPtr = std::unique_ptr<FederatedAlgorithm>;
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,77 @@
+#include "fl/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedtrip::fl {
+
+namespace {
+constexpr char kMagic[8] = {'F', 'E', 'D', 'T', 'R', 'I', 'P', '1'};
+}
+
+void save_parameters(const std::string& path,
+                     const std::vector<float>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = params.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<float> load_parameters_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("bad checkpoint header: " + path);
+  }
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) throw std::runtime_error("truncated checkpoint: " + path);
+  std::vector<float> params(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("truncated checkpoint: " + path);
+  return params;
+}
+
+void save_history_csv(const std::string& path,
+                      const std::vector<RoundRecord>& history) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.precision(17);  // lossless double round-trip
+  out << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb\n";
+  for (const auto& r : history) {
+    out << r.round << ',' << r.test_accuracy << ',' << r.train_loss << ','
+        << r.cum_gflops << ',' << r.cum_comm_mb << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<RoundRecord> load_history_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::vector<RoundRecord> history;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    RoundRecord r;
+    char comma;
+    ss >> r.round >> comma >> r.test_accuracy >> comma >> r.train_loss >>
+        comma >> r.cum_gflops >> comma >> r.cum_comm_mb;
+    if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
+    history.push_back(r);
+  }
+  return history;
+}
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,32 @@
+// Checkpointing and result export.
+//
+//  - save/load of flat parameter vectors (binary, versioned header) so long
+//    experiments can resume and final models can be shipped;
+//  - CSV export of per-round histories for external plotting (the Fig 5/6/7
+//    series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fl/types.h"
+
+namespace fedtrip::fl {
+
+/// Writes a parameter vector to `path`. Throws std::runtime_error on I/O
+/// failure.
+void save_parameters(const std::string& path, const std::vector<float>& params);
+
+/// Reads a parameter vector written by save_parameters. Throws
+/// std::runtime_error on I/O failure or format mismatch.
+std::vector<float> load_parameters_file(const std::string& path);
+
+/// Writes a per-round history as CSV with a header row:
+/// round,test_accuracy,train_loss,cum_gflops,cum_comm_mb
+void save_history_csv(const std::string& path,
+                      const std::vector<RoundRecord>& history);
+
+/// Parses a CSV produced by save_history_csv.
+std::vector<RoundRecord> load_history_csv(const std::string& path);
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,51 @@
+// Client: one federated participant — its local data shard, model instance
+// and optimizer. Model and optimizer live across rounds (the model is
+// overwritten with the global parameters at the start of each participating
+// round; the optimizer is reset, matching the per-round local SGD of the
+// paper's Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/models.h"
+#include "nn/sequential.h"
+#include "optim/optimizer.h"
+
+namespace fedtrip::fl {
+
+class Client {
+ public:
+  Client(std::size_t id, const data::Dataset& train_data,
+         std::vector<std::size_t> indices, const nn::ModelFactory& factory,
+         optim::OptimizerPtr optimizer, std::size_t batch_size)
+      : id_(id),
+        model_(factory()),
+        optimizer_(std::move(optimizer)),
+        loader_(train_data, std::move(indices), batch_size) {}
+
+  std::size_t id() const { return id_; }
+  nn::Sequential& model() { return *model_; }
+  optim::Optimizer& optimizer() { return *optimizer_; }
+  const data::DataLoader& loader() const { return loader_; }
+  std::size_t num_samples() const { return loader_.size(); }
+
+  /// Lazily-created auxiliary model (MOON's global/historical representation
+  /// models). Index 0 and 1 are used; created from the same factory.
+  nn::Sequential& aux_model(std::size_t slot, const nn::ModelFactory& factory) {
+    if (aux_models_.size() <= slot) aux_models_.resize(slot + 1);
+    if (!aux_models_[slot]) aux_models_[slot] = factory();
+    return *aux_models_[slot];
+  }
+
+ private:
+  std::size_t id_;
+  std::unique_ptr<nn::Sequential> model_;
+  optim::OptimizerPtr optimizer_;
+  data::DataLoader loader_;
+  std::vector<std::unique_ptr<nn::Sequential>> aux_models_;
+};
+
+}  // namespace fedtrip::fl

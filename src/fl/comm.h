@@ -1,0 +1,37 @@
+// CommModel: client-server communication accounting.
+//
+// All compared methods move |w| down and |w| up per selected client per
+// round; SCAFFOLD/MimeLite/FedDANE add method-specific extras. The paper's
+// communication metric (Table IV) is rounds-to-target because per-round
+// volume is identical across its chosen baselines; this model additionally
+// exposes bytes so Table VIII's "communication overhead" column can be
+// reproduced.
+#pragma once
+
+#include <cstddef>
+
+namespace fedtrip::fl {
+
+class CommModel {
+ public:
+  explicit CommModel(std::size_t param_dim) : param_dim_(param_dim) {}
+
+  /// Accounts one round: K clients, plus any per-client extras (floats).
+  void record_round(std::size_t clients, std::size_t extra_down_per_client,
+                    std::size_t extra_up_total) {
+    total_floats_ += clients * (2 * param_dim_ + extra_down_per_client);
+    total_floats_ += extra_up_total;
+  }
+
+  double total_mb() const {
+    return static_cast<double>(total_floats_) * 4.0 / 1e6;
+  }
+
+  std::size_t param_dim() const { return param_dim_; }
+
+ private:
+  std::size_t param_dim_;
+  std::size_t total_floats_ = 0;
+};
+
+}  // namespace fedtrip::fl

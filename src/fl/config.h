@@ -1,0 +1,41 @@
+// ExperimentConfig: one FL run's full parameterisation.
+//
+// Defaults mirror the paper's default setting (§V-A): 100 rounds, batch 50,
+// 1 local epoch, 4 of 10 clients per round, SGDm lr 0.01 momentum 0.9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/partition.h"
+#include "nn/models.h"
+
+namespace fedtrip::fl {
+
+struct ExperimentConfig {
+  nn::ModelSpec model;
+  /// Synthetic dataset analogue: "mnist" | "fmnist" | "emnist" | "cifar10".
+  std::string dataset = "mnist";
+  /// Sample-count scale in (0, 1]; 1.0 = Table II counts.
+  double data_scale = 1.0;
+  data::Heterogeneity heterogeneity = data::Heterogeneity::kDir05;
+
+  std::size_t num_clients = 10;
+  std::size_t clients_per_round = 4;
+  std::size_t rounds = 100;
+  std::size_t local_epochs = 1;
+  std::size_t batch_size = 50;
+
+  float lr = 0.01f;
+  float momentum = 0.9f;
+
+  std::uint64_t seed = 42;
+  /// Evaluate the global model on the test set every `eval_every` rounds.
+  std::size_t eval_every = 1;
+  /// Cap on test samples per evaluation (0 = all).
+  std::size_t eval_max_samples = 0;
+  /// Worker threads for parallel client training (0 = global pool size).
+  std::size_t workers = 0;
+};
+
+}  // namespace fedtrip::fl

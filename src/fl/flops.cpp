@@ -1,0 +1,66 @@
+#include "fl/flops.h"
+
+#include <stdexcept>
+
+namespace fedtrip::fl {
+
+AttachCost attach_cost_fedavg() { return {0.0, 0.0}; }
+
+AttachCost attach_cost_fedprox(double k_iters, double w) {
+  // mu*(w - w_global): one subtraction + one axpy per iteration = 2|w|.
+  return {2.0 * k_iters * w, 0.0};
+}
+
+AttachCost attach_cost_fedtrip(double k_iters, double w) {
+  // mu*((w - w_global) + xi*(w_hist - w)): two subtractions + scale + add
+  // = 4|w| per iteration (Table VIII). No extra communication.
+  return {4.0 * k_iters * w, 0.0};
+}
+
+AttachCost attach_cost_feddyn(double k_iters, double w) {
+  // -grad_hat + alpha*(w - w_global) plus the state update: 4|w| per
+  // iteration (Table VIII).
+  return {4.0 * k_iters * w, 0.0};
+}
+
+AttachCost attach_cost_moon(double k_iters, double batch, double p,
+                            double forward_flops) {
+  // (1+p) extra feedforwards per local iteration over the mini-batch.
+  return {k_iters * batch * (1.0 + p) * forward_flops, 0.0};
+}
+
+AttachCost attach_cost_scaffold(double k_iters, double w, double n_samples,
+                                double forward_flops, double backward_flops) {
+  // 2(K+1)|w| for control-variate arithmetic + full-batch gradient
+  // n(FP+BP); 2|w| extra communication (c down, Delta c up).
+  return {2.0 * (k_iters + 1.0) * w +
+              n_samples * (forward_flops + backward_flops),
+          2.0 * w};
+}
+
+AttachCost attach_cost_mimelite(double w, double n_samples,
+                                double forward_flops, double backward_flops) {
+  return {n_samples * (forward_flops + backward_flops), 2.0 * w};
+}
+
+AttachCost attach_cost_by_name(const std::string& method, double k_iters,
+                               double batch, double w, double n_samples,
+                               double forward_flops, double backward_flops) {
+  if (method == "FedAvg" || method == "SlowMo") return attach_cost_fedavg();
+  if (method == "FedProx") return attach_cost_fedprox(k_iters, w);
+  if (method == "FedTrip") return attach_cost_fedtrip(k_iters, w);
+  if (method == "FedDyn") return attach_cost_feddyn(k_iters, w);
+  if (method == "MOON") {
+    return attach_cost_moon(k_iters, batch, 1.0, forward_flops);
+  }
+  if (method == "SCAFFOLD") {
+    return attach_cost_scaffold(k_iters, w, n_samples, forward_flops,
+                                backward_flops);
+  }
+  if (method == "MimeLite") {
+    return attach_cost_mimelite(w, n_samples, forward_flops, backward_flops);
+  }
+  throw std::invalid_argument("attach_cost_by_name: unknown method " + method);
+}
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,50 @@
+// FlopsModel: computation accounting.
+//
+// Two layers of accounting, both used by the benches:
+//  1. Runtime accumulation — the engine sums the actual FLOPs of every
+//     forward / backward / attaching operation executed (Table V).
+//  2. Closed-form per-round attaching cost of each method (Appendix A /
+//     Table VIII): SCAFFOLD 2(K+1)|w| + n(FP+BP); MimeLite n(FP+BP);
+//     MOON K*M*(1+p)*FP; FedProx 2K|w|; FedDyn 4K|w|; FedTrip 4K|w|.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedtrip::fl {
+
+/// Per-model FLOP/byte constants (Table III).
+struct ModelCost {
+  double params = 0.0;            // |w|
+  double forward_flops = 0.0;     // FP, per sample
+  double backward_flops = 0.0;    // BP, per sample
+  double comm_mb() const { return params * 4.0 / 1e6; }
+  double params_m() const { return params / 1e6; }
+  double forward_mflops() const { return forward_flops / 1e6; }
+};
+
+/// Closed-form attaching-operation cost per communication round for one
+/// client (Appendix A, Table VIII). K = local iterations, M = batch size,
+/// n = local dataset size, p = number of historical models in MOON.
+struct AttachCost {
+  double flops = 0.0;
+  /// Extra communicated floats per round (both directions summed).
+  double comm_floats = 0.0;
+};
+
+AttachCost attach_cost_fedavg();
+AttachCost attach_cost_fedprox(double k_iters, double w);
+AttachCost attach_cost_fedtrip(double k_iters, double w);
+AttachCost attach_cost_feddyn(double k_iters, double w);
+AttachCost attach_cost_moon(double k_iters, double batch, double p,
+                            double forward_flops);
+AttachCost attach_cost_scaffold(double k_iters, double w, double n_samples,
+                                double forward_flops, double backward_flops);
+AttachCost attach_cost_mimelite(double w, double n_samples,
+                                double forward_flops, double backward_flops);
+AttachCost attach_cost_by_name(const std::string& method, double k_iters,
+                               double batch, double w, double n_samples,
+                               double forward_flops, double backward_flops);
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,40 @@
+// HistoryStore: per-client historical local models.
+//
+// FedTrip needs ~w_k (the model the client produced the last time it was
+// selected) and the participation gap t - t_last, from which it derives
+// xi = 1 / gap (the paper's xi lies in (0, 1]; its expectation p*ln(p)/(p-1)
+// matches E[1/gap] for geometric participation gaps — see DESIGN.md).
+// MOON reads the same store for its historical representation model.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fl/types.h"
+
+namespace fedtrip::fl {
+
+class HistoryStore {
+ public:
+  explicit HistoryStore(std::size_t num_clients) : entries_(num_clients) {}
+
+  /// Historical model of a client, or nullptr before first participation.
+  const HistoryEntry* get(std::size_t client_id) const {
+    const auto& e = entries_[client_id];
+    return e.has_value() ? &*e : nullptr;
+  }
+
+  /// Records the model a client produced at `round`.
+  void put(std::size_t client_id, std::vector<float> params,
+           std::size_t round) {
+    entries_[client_id] = HistoryEntry{std::move(params), round};
+  }
+
+  std::size_t num_clients() const { return entries_.size(); }
+
+ private:
+  std::vector<std::optional<HistoryEntry>> entries_;
+};
+
+}  // namespace fedtrip::fl

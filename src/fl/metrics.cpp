@@ -1,0 +1,77 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedtrip::fl {
+
+std::optional<std::size_t> rounds_to_target(
+    const std::vector<RoundRecord>& history, double target) {
+  for (const auto& r : history) {
+    if (r.test_accuracy >= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> ema_accuracy(const std::vector<RoundRecord>& history,
+                                 double beta) {
+  std::vector<double> out;
+  out.reserve(history.size());
+  double ema = 0.0;
+  bool first = true;
+  for (const auto& r : history) {
+    if (first) {
+      ema = r.test_accuracy;
+      first = false;
+    } else {
+      ema = beta * ema + (1.0 - beta) * r.test_accuracy;
+    }
+    out.push_back(ema);
+  }
+  return out;
+}
+
+double final_accuracy(const std::vector<RoundRecord>& history, std::size_t n) {
+  if (history.empty()) return 0.0;
+  const std::size_t count = std::min(n, history.size());
+  double sum = 0.0;
+  for (std::size_t i = history.size() - count; i < history.size(); ++i) {
+    sum += history[i].test_accuracy;
+  }
+  return sum / static_cast<double>(count);
+}
+
+double best_accuracy(const std::vector<RoundRecord>& history) {
+  double best = 0.0;
+  for (const auto& r : history) best = std::max(best, r.test_accuracy);
+  return best;
+}
+
+double gflops_at_target(const std::vector<RoundRecord>& history,
+                        double target) {
+  for (const auto& r : history) {
+    if (r.test_accuracy >= target) return r.cum_gflops;
+  }
+  return history.empty() ? 0.0 : history.back().cum_gflops;
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  BoxStats s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(values.size() - 1, lo + 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  s.min = values.front();
+  s.q1 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.q3 = quantile(0.75);
+  s.max = values.back();
+  return s;
+}
+
+}  // namespace fedtrip::fl

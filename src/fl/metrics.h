@@ -1,0 +1,39 @@
+// Metrics helpers over per-round histories.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fl/types.h"
+
+namespace fedtrip::fl {
+
+/// First round (1-based) at which test accuracy reaches `target` (in [0,1]).
+std::optional<std::size_t> rounds_to_target(
+    const std::vector<RoundRecord>& history, double target);
+
+/// Exponential moving average of the accuracy series (the paper smooths the
+/// Fig 5 curves this way). `beta` is the smoothing weight on history.
+std::vector<double> ema_accuracy(const std::vector<RoundRecord>& history,
+                                 double beta);
+
+/// Mean test accuracy over the last `n` recorded rounds (Fig 6's "final
+/// accuracy" uses the last 10 rounds).
+double final_accuracy(const std::vector<RoundRecord>& history, std::size_t n);
+
+/// Best test accuracy across the run (Fig 7's "final accuracy" definition).
+double best_accuracy(const std::vector<RoundRecord>& history);
+
+/// Cumulative GFLOPs at the first round reaching `target` (falls back to
+/// end-of-run when the target is never reached).
+double gflops_at_target(const std::vector<RoundRecord>& history,
+                        double target);
+
+/// Quartile summary used for the boxplot bench (Fig 6).
+struct BoxStats {
+  double min = 0.0, q1 = 0.0, median = 0.0, q3 = 0.0, max = 0.0;
+};
+BoxStats box_stats(std::vector<double> values);
+
+}  // namespace fedtrip::fl

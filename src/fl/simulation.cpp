@@ -1,0 +1,197 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/parameter_vector.h"
+#include "optim/sgd.h"
+#include "tensor/thread_pool.h"
+
+namespace fedtrip::fl {
+
+namespace {
+
+// Warm-up forward so conv layers know their output geometry; required before
+// forward_flops_per_sample() is meaningful.
+void warm_up(nn::Sequential& model, const data::Dataset& ds) {
+  if (ds.size() == 0) return;
+  Tensor x = ds.make_batch({0});
+  (void)model.forward(x, /*train=*/false);
+}
+
+}  // namespace
+
+Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm)
+    : Simulation(config, std::move(algorithm),
+                 data::generate(
+                     data::spec_by_name(config.dataset, config.data_scale),
+                     config.seed)) {}
+
+Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm,
+                       data::TrainTest dataset)
+    : config_(config),
+      algorithm_(std::move(algorithm)),
+      data_(std::move(dataset)),
+      partition_(),
+      history_(config.num_clients),
+      root_rng_(config.seed ^ 0xF37D7431Full) {
+  if (config_.clients_per_round == 0 ||
+      config_.clients_per_round > config_.num_clients) {
+    throw std::invalid_argument(
+        "clients_per_round must be in [1, num_clients]");
+  }
+  const auto spec = data::spec_by_name(config_.dataset, config_.data_scale);
+  // Per-client sample budget: the Table II per-client count, clamped so the
+  // partition always fits in the generated training split.
+  std::size_t per_client = static_cast<std::size_t>(spec.client_samples);
+  per_client = std::min(per_client, data_.train.size() / config_.num_clients);
+  if (per_client == 0) {
+    throw std::invalid_argument("dataset too small for num_clients");
+  }
+
+  Rng part_rng = root_rng_.split(0xDA7A);
+  partition_ = data::make_partition(config_.heterogeneity, data_.train,
+                                    config_.num_clients, per_client, part_rng);
+
+  model_factory_ = nn::make_model_factory(config_.model, config_.seed);
+
+  clients_.reserve(config_.num_clients);
+  for (std::size_t k = 0; k < config_.num_clients; ++k) {
+    auto opt = optim::make_optimizer(algorithm_->optimizer_kind(), config_.lr,
+                                     config_.momentum);
+    clients_.push_back(std::make_unique<Client>(
+        k, data_.train, partition_[k], model_factory_, std::move(opt),
+        config_.batch_size));
+  }
+
+  eval_model_ = model_factory_();
+  warm_up(*eval_model_, data_.test);
+  global_params_ = nn::flatten_parameters(*eval_model_);
+
+  if (config_.workers > 0) {
+    own_pool_ = std::make_unique<ThreadPool>(config_.workers);
+  }
+
+  algorithm_->initialize(config_.num_clients, global_params_.size());
+}
+
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+Simulation::~Simulation() = default;
+
+double Simulation::evaluate(const std::vector<float>& params) {
+  nn::load_parameters(*eval_model_, params);
+  const std::size_t total =
+      config_.eval_max_samples > 0
+          ? std::min(config_.eval_max_samples, data_.test.size())
+          : data_.test.size();
+  if (total == 0) return 0.0;
+
+  constexpr std::size_t kEvalBatch = 128;
+  std::size_t correct_weighted = 0;
+  double acc_sum = 0.0;
+  std::size_t seen = 0;
+  (void)correct_weighted;
+  for (std::size_t start = 0; start < total; start += kEvalBatch) {
+    const std::size_t end = std::min(total, start + kEvalBatch);
+    std::vector<std::size_t> idx(end - start);
+    for (std::size_t i = start; i < end; ++i) idx[i - start] = i;
+    Tensor x = data_.test.make_batch(idx);
+    auto labels = data_.test.make_batch_labels(idx);
+    Tensor logits = eval_model_->forward(x, /*train=*/false);
+    acc_sum += nn::accuracy(logits, labels) * static_cast<double>(idx.size());
+    seen += idx.size();
+  }
+  return acc_sum / static_cast<double>(seen);
+}
+
+std::vector<ClientUpdate> Simulation::run_round(
+    std::size_t round, const std::vector<std::size_t>& selected,
+    double* pre_round_flops) {
+  std::vector<ClientContext> contexts;
+  contexts.reserve(selected.size());
+  for (std::size_t k : selected) {
+    ClientContext ctx;
+    ctx.round = round;
+    ctx.client = clients_[k].get();
+    ctx.global_params = &global_params_;
+    ctx.history = history_.get(k);
+    ctx.model_factory = &model_factory_;
+    ctx.local_epochs = config_.local_epochs;
+    // Stream keyed by (round, client): identical for any thread schedule.
+    ctx.rng = root_rng_.split((round << 20) ^ (k + 1));
+    contexts.push_back(std::move(ctx));
+  }
+
+  *pre_round_flops = algorithm_->pre_round(contexts);
+
+  std::vector<ClientUpdate> updates(contexts.size());
+  parallel_for(
+      0, contexts.size(),
+      [&](std::size_t i) {
+        updates[i] = algorithm_->train_client(contexts[i]);
+        updates[i].client_id = contexts[i].client->id();
+      },
+      own_pool_.get());
+  return updates;
+}
+
+RunResult Simulation::run() {
+  RunResult result;
+  result.partition_histograms =
+      data::partition_histograms(data_.train, partition_);
+  result.model_params = static_cast<double>(global_params_.size());
+  result.model_forward_flops = eval_model_->forward_flops_per_sample();
+  result.model_backward_flops = eval_model_->backward_flops_per_sample();
+
+  CommModel comm(global_params_.size());
+  double cum_flops = 0.0;
+  Rng select_rng = root_rng_.split(0x5E1EC7);
+
+  for (std::size_t t = 1; t <= config_.rounds; ++t) {
+    auto selected = select_rng.sample_without_replacement(
+        config_.num_clients, config_.clients_per_round);
+    std::sort(selected.begin(), selected.end());
+
+    double pre_flops = 0.0;
+    auto updates = run_round(t, selected, &pre_flops);
+    cum_flops += pre_flops;
+
+    double loss_sum = 0.0;
+    std::size_t extra_up = 0;
+    for (const auto& u : updates) {
+      cum_flops += u.flops;
+      loss_sum += u.train_loss;
+      extra_up += u.extra_upload_floats;
+    }
+    comm.record_round(updates.size(),
+                      algorithm_->extra_downlink_floats(global_params_.size()),
+                      extra_up);
+
+    algorithm_->aggregate(global_params_, updates, t);
+
+    // Historical models: each participating client's freshly-produced local
+    // model becomes its ~w_k (Algorithm 1: "generated at the last local
+    // training").
+    for (const auto& u : updates) {
+      history_.put(u.client_id, u.params, t);
+    }
+
+    if (t % config_.eval_every == 0 || t == config_.rounds) {
+      RoundRecord rec;
+      rec.round = t;
+      rec.test_accuracy = evaluate(global_params_);
+      rec.train_loss = loss_sum / static_cast<double>(updates.size());
+      rec.cum_gflops = cum_flops / 1e9;
+      rec.cum_comm_mb = comm.total_mb();
+      result.history.push_back(rec);
+    }
+  }
+
+  result.final_params = global_params_;
+  return result;
+}
+
+}  // namespace fedtrip::fl

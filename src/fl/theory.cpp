@@ -1,0 +1,54 @@
+#include "fl/theory.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedtrip::fl::theory {
+
+double expected_xi(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1.0;  // every round: gap always 1
+  return p * std::log(p) / (p - 1.0);
+}
+
+double descent_rho(double mu, double lipschitz_l, double dissimilarity_b,
+                   double gamma) {
+  assert(mu > 0.0);
+  const double b = dissimilarity_b;
+  const double l = lipschitz_l;
+  return 1.0 / mu - gamma * b / mu - l * (1.0 + gamma) * b / (mu * mu) -
+         l * (1.0 + gamma) * (1.0 + gamma) * b * b / (2.0 * mu * mu);
+}
+
+double descent_rho_exact(double mu, double lipschitz_l,
+                         double dissimilarity_b) {
+  return descent_rho(mu, lipschitz_l, dissimilarity_b, 0.0);
+}
+
+bool converges(double mu, double lipschitz_l, double dissimilarity_b,
+               double gamma) {
+  return descent_rho(mu, lipschitz_l, dissimilarity_b, gamma) > 0.0;
+}
+
+double min_convergent_mu(double lipschitz_l, double dissimilarity_b,
+                         double gamma) {
+  // rho is increasing in mu (the negative terms decay faster), so binary
+  // search on [eps, hi].
+  double lo = 1e-9;
+  double hi = 1.0;
+  while (!converges(hi, lipschitz_l, dissimilarity_b, gamma) && hi < 1e12) {
+    hi *= 2.0;
+  }
+  if (hi >= 1e12) return hi;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (converges(mid, lipschitz_l, dissimilarity_b, gamma)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace fedtrip::fl::theory

@@ -1,0 +1,34 @@
+// theory: closed-form quantities from the paper's convergence analysis
+// (§IV-C, Theorem 1 and Appendix B).
+#pragma once
+
+namespace fedtrip::fl::theory {
+
+/// Expected xi under client participation ratio p in (0, 1):
+///   E_k[xi_t] = p ln(p) / (p - 1)   (paper §IV-C)
+/// This is E[1/gap] for geometrically-distributed participation gaps, and is
+/// monotonically increasing in p (low participation => small xi => slower
+/// absorption of historical information => slower convergence).
+double expected_xi(double participation_ratio);
+
+/// The descent coefficient of Theorem 1:
+///   rho = 1/mu - gamma*B/mu - L(1+gamma)B/mu^2 - L(1+gamma)^2 B^2 / (2 mu^2)
+/// FedTrip and FedProx share this rho; FedTrip additionally subtracts the
+/// positive Q_t term, giving the faster rate.
+double descent_rho(double mu, double lipschitz_l, double dissimilarity_b,
+                   double gamma);
+
+/// rho with exact local solves (gamma = 0): 1/mu - LB/mu^2 - LB^2/(2 mu^2).
+double descent_rho_exact(double mu, double lipschitz_l,
+                         double dissimilarity_b);
+
+/// Whether the Theorem 1 convergence condition rho > 0 holds.
+bool converges(double mu, double lipschitz_l, double dissimilarity_b,
+               double gamma);
+
+/// Smallest mu (binary search) for which rho > 0 at the given constants —
+/// mirrors FedProx's "mu = 6LB^2" style guidance.
+double min_convergent_mu(double lipschitz_l, double dissimilarity_b,
+                         double gamma);
+
+}  // namespace fedtrip::fl::theory

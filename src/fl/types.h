@@ -1,0 +1,45 @@
+// Shared value types of the FL engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fedtrip::fl {
+
+/// Result of one client's local training in a round.
+struct ClientUpdate {
+  std::size_t client_id = 0;
+  /// Updated local parameters w_k^t (flat).
+  std::vector<float> params;
+  /// Number of local training samples (aggregation weight, Eq 2).
+  std::size_t num_samples = 0;
+  /// Mean training loss over the local iterations.
+  double train_loss = 0.0;
+  /// FLOPs spent locally this round (feedforward + backward + attaching).
+  double flops = 0.0;
+  /// Floats uploaded beyond the baseline |w| (e.g. SCAFFOLD's control delta).
+  std::size_t extra_upload_floats = 0;
+  /// Algorithm-specific payload (e.g. SCAFFOLD's Delta c).
+  std::vector<float> aux;
+};
+
+/// Historical local model of a client (FedTrip's ~w_k, MOON's w_hist).
+struct HistoryEntry {
+  std::vector<float> params;
+  /// Round at which this model was produced (1-based).
+  std::size_t round = 0;
+};
+
+/// Per-round metrics recorded by the simulation.
+struct RoundRecord {
+  std::size_t round = 0;
+  double test_accuracy = 0.0;
+  double train_loss = 0.0;
+  /// Cumulative local computation in GFLOPs up to and including this round.
+  double cum_gflops = 0.0;
+  /// Cumulative client-server communication in MB up to this round.
+  double cum_comm_mb = 0.0;
+};
+
+}  // namespace fedtrip::fl

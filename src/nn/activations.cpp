@@ -1,0 +1,59 @@
+#include "nn/activations.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedtrip::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  Tensor out = input;
+  mask_ = Tensor(input.shape());
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (out[idx] > 0.0f) {
+      mask_[idx] = 1.0f;
+    } else {
+      out[idx] = 0.0f;
+    }
+  }
+  last_per_sample_ = input.shape()[0] > 0 ? n / input.shape()[0] : 0;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  assert(grad_output.shape() == mask_.shape());
+  Tensor grad = grad_output;
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    grad[idx] *= mask_[idx];
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*train*/) {
+  Tensor out = input;
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out[idx] = std::tanh(out[idx]);
+  }
+  output_cache_ = out;
+  last_per_sample_ = input.shape()[0] > 0 ? n / input.shape()[0] : 0;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  assert(grad_output.shape() == output_cache_.shape());
+  Tensor grad = grad_output;
+  const std::int64_t n = grad.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const float y = output_cache_[idx];
+    grad[idx] *= (1.0f - y * y);
+  }
+  return grad;
+}
+
+}  // namespace fedtrip::nn

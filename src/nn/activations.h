@@ -1,0 +1,39 @@
+// Pointwise activation layers.
+#pragma once
+
+#include "nn/module.h"
+
+namespace fedtrip::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+  double forward_flops_per_sample() const override {
+    return static_cast<double>(last_per_sample_);
+  }
+  double backward_flops_per_sample() const override {
+    return static_cast<double>(last_per_sample_);
+  }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+  std::int64_t last_per_sample_ = 0;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+  double forward_flops_per_sample() const override {
+    return static_cast<double>(last_per_sample_);
+  }
+
+ private:
+  Tensor output_cache_;
+  std::int64_t last_per_sample_ = 0;
+};
+
+}  // namespace fedtrip::nn

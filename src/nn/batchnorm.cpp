@@ -1,0 +1,116 @@
+#include "nn/batchnorm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedtrip::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::full(Shape{channels}, 1.0f)),
+      beta_(Shape{channels}),
+      grad_gamma_(Shape{channels}),
+      grad_beta_(Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::full(Shape{channels}, 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == channels_);
+  input_shape_ = input.shape();
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  const std::int64_t per_channel = batch * hw;
+  last_per_sample_ = channels_ * hw;
+  last_train_ = train;
+
+  Tensor out(input.shape());
+  if (train) {
+    x_hat_ = Tensor(input.shape());
+    batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  }
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    float mean, var;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* plane =
+            input.data() + (n * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          sum += plane[i];
+          sq += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      mean = static_cast<float>(sum / per_channel);
+      var = static_cast<float>(sq / per_channel) - mean * mean;
+      if (var < 0.0f) var = 0.0f;
+      const auto ci = static_cast<std::size_t>(c);
+      running_mean_[ci] =
+          (1.0f - momentum_) * running_mean_[ci] + momentum_ * mean;
+      running_var_[ci] =
+          (1.0f - momentum_) * running_var_[ci] + momentum_ * var;
+      batch_mean_[ci] = mean;
+      batch_inv_std_[ci] = 1.0f / std::sqrt(var + eps_);
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    const float g = gamma_[static_cast<std::size_t>(c)];
+    const float b = beta_[static_cast<std::size_t>(c)];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* in_plane = input.data() + (n * channels_ + c) * hw;
+      float* out_plane = out.data() + (n * channels_ + c) * hw;
+      float* xh_plane =
+          train ? x_hat_.data() + (n * channels_ + c) * hw : nullptr;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float xh = (in_plane[i] - mean) * inv_std;
+        if (train) xh_plane[i] = xh;
+        out_plane[i] = g * xh + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  assert(last_train_ && "BatchNorm2d::backward requires a train forward");
+  const std::int64_t batch = input_shape_[0];
+  const std::int64_t hw = input_shape_[2] * input_shape_[3];
+  const auto m = static_cast<float>(batch * hw);
+
+  Tensor grad_input(input_shape_);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    // Accumulate sum(dy), sum(dy * x_hat).
+    double sum_dy = 0.0, sum_dy_xh = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * hw;
+      const float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xh += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    grad_beta_[ci] += static_cast<float>(sum_dy);
+    grad_gamma_[ci] += static_cast<float>(sum_dy_xh);
+
+    // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+    const float scale = gamma_[ci] * batch_inv_std_[ci] / m;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * hw;
+      const float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+      float* dx = grad_input.data() + (n * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dx[i] = scale * (m * dy[i] - static_cast<float>(sum_dy) -
+                         xh[i] * static_cast<float>(sum_dy_xh));
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace fedtrip::nn

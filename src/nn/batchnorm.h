@@ -1,0 +1,50 @@
+// BatchNorm2d: per-channel batch normalisation with learnable affine
+// parameters, running statistics for eval mode, and full backward.
+// Provided for extension models (FedBN-style experiments, deeper CIFAR
+// nets); the paper's three architectures do not use it.
+#pragma once
+
+#include "nn/module.h"
+
+namespace fedtrip::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_gamma_, &grad_beta_};
+  }
+  std::string name() const override { return "BatchNorm2d"; }
+  double forward_flops_per_sample() const override {
+    return 6.0 * static_cast<double>(last_per_sample_);
+  }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Backward caches (training mode).
+  Tensor x_hat_;          // normalised input
+  std::vector<float> batch_mean_;
+  std::vector<float> batch_inv_std_;
+  Shape input_shape_;
+  std::int64_t last_per_sample_ = 0;
+  bool last_train_ = false;
+};
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,114 @@
+#include "nn/conv2d.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace fedtrip::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      grad_bias_(Shape{out_channels}) {
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (std::int64_t i = 0; i < weight_.numel(); ++i) {
+    weight_[static_cast<std::size_t>(i)] = rng.uniform(-bound, bound);
+  }
+  bias_.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == in_channels_);
+  input_cache_ = input;
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  const std::int64_t out_h = ops::conv_out_size(h, kernel_, stride_, pad_);
+  const std::int64_t out_w = ops::conv_out_size(w, kernel_, stride_, pad_);
+  last_h_ = h;
+  last_w_ = w;
+  last_out_h_ = out_h;
+  last_out_w_ = out_w;
+
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::int64_t col_cols = out_h * out_w;
+  Tensor out(Shape{batch, out_channels_, out_h, out_w});
+  std::vector<float> cols(static_cast<std::size_t>(col_rows * col_cols));
+  const std::int64_t img_size = in_channels_ * h * w;
+  const std::int64_t out_size = out_channels_ * col_cols;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    ops::im2col(input.data() + n * img_size, in_channels_, h, w, kernel_,
+                kernel_, stride_, pad_, cols.data());
+    // out[n] (out_c x out_hw) = W (out_c x col_rows) * cols
+    ops::gemm(weight_.data(), cols.data(), out.data() + n * out_size,
+              out_channels_, col_rows, col_cols);
+    float* o = out.data() + n * out_size;
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float b = bias_[static_cast<std::size_t>(c)];
+      for (std::int64_t i = 0; i < col_cols; ++i) o[c * col_cols + i] += b;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::int64_t batch = grad_output.shape()[0];
+  assert(grad_output.shape()[1] == out_channels_);
+  const std::int64_t out_h = grad_output.shape()[2];
+  const std::int64_t out_w = grad_output.shape()[3];
+  assert(out_h == last_out_h_ && out_w == last_out_w_);
+
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::int64_t col_cols = out_h * out_w;
+  const std::int64_t img_size = in_channels_ * last_h_ * last_w_;
+  const std::int64_t out_size = out_channels_ * col_cols;
+
+  Tensor grad_input(Shape{batch, in_channels_, last_h_, last_w_});
+  std::vector<float> cols(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> dcols(static_cast<std::size_t>(col_rows * col_cols));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* go = grad_output.data() + n * out_size;
+    // grad_bias += per-channel sums
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < col_cols; ++i) acc += go[c * col_cols + i];
+      grad_bias_[static_cast<std::size_t>(c)] += acc;
+    }
+    // grad_weight += grad_output[n] (out_c x out_hw) * cols^T
+    ops::im2col(input_cache_.data() + n * img_size, in_channels_, last_h_,
+                last_w_, kernel_, kernel_, stride_, pad_, cols.data());
+    ops::gemm_nt(go, cols.data(), grad_weight_.data(), out_channels_, col_cols,
+                 col_rows, 1.0f, 1.0f);
+    // dcols (col_rows x out_hw) = W^T (col_rows x out_c) * grad_output[n]
+    ops::gemm_tn(weight_.data(), go, dcols.data(), col_rows, out_channels_,
+                 col_cols);
+    ops::col2im(dcols.data(), in_channels_, last_h_, last_w_, kernel_, kernel_,
+                stride_, pad_, grad_input.data() + n * img_size);
+  }
+  return grad_input;
+}
+
+double Conv2d::forward_flops_per_sample() const {
+  // Requires the geometry from the last forward; before any forward we fall
+  // back to assuming output spatial == input unknown, so return 0.
+  if (last_out_h_ == 0) return 0.0;
+  const double macs = static_cast<double>(out_channels_) * in_channels_ *
+                      kernel_ * kernel_ * last_out_h_ * last_out_w_;
+  return 2.0 * macs + static_cast<double>(out_channels_) * last_out_h_ *
+                          last_out_w_;
+}
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,27 @@
+// Flatten: collapses [N, C, H, W] (or any rank >= 2) to [N, features].
+#pragma once
+
+#include "nn/module.h"
+
+namespace fedtrip::nn {
+
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool /*train*/) override {
+    input_shape_ = input.shape();
+    const std::int64_t batch = input.shape()[0];
+    const std::int64_t features = input.numel() / (batch > 0 ? batch : 1);
+    return input.reshaped(Shape{batch, features});
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    return grad_output.reshaped(input_shape_);
+  }
+
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,78 @@
+#include "nn/lrn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fedtrip::nn {
+
+Tensor LocalResponseNorm::forward(const Tensor& input, bool /*train*/) {
+  assert(input.shape().rank() == 4);
+  input_cache_ = input;
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t channels = input.shape()[1];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  last_per_sample_ = channels * hw;
+
+  Tensor out(input.shape());
+  denom_cache_ = Tensor(input.shape());
+  const float scale = alpha_ / static_cast<float>(size_);
+  const std::int64_t half = size_ / 2;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* in_base = input.data() + n * channels * hw;
+    float* out_base = out.data() + n * channels * hw;
+    float* den_base = denom_cache_.data() + n * channels * hw;
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+      const std::int64_t hi = std::min(channels - 1, c + half);
+      for (std::int64_t i = 0; i < hw; ++i) {
+        float acc = 0.0f;
+        for (std::int64_t j = lo; j <= hi; ++j) {
+          const float v = in_base[j * hw + i];
+          acc += v * v;
+        }
+        const float den = k_ + scale * acc;
+        den_base[c * hw + i] = den;
+        out_base[c * hw + i] = in_base[c * hw + i] * std::pow(den, -beta_);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor LocalResponseNorm::backward(const Tensor& grad_output) {
+  const std::int64_t batch = input_cache_.shape()[0];
+  const std::int64_t channels = input_cache_.shape()[1];
+  const std::int64_t hw = input_cache_.shape()[2] * input_cache_.shape()[3];
+  const float scale = alpha_ / static_cast<float>(size_);
+  const std::int64_t half = size_ / 2;
+
+  Tensor grad_input(input_cache_.shape());
+  // d b_i / d a_j = delta_ij * den_i^-beta
+  //              - 2*beta*scale * a_i * a_j * den_i^(-beta-1)  (j in window of i)
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* a = input_cache_.data() + n * channels * hw;
+    const float* den = denom_cache_.data() + n * channels * hw;
+    const float* go = grad_output.data() + n * channels * hw;
+    float* gi = grad_input.data() + n * channels * hw;
+    for (std::int64_t c = 0; c < channels; ++c) {
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const std::int64_t idx = c * hw + i;
+        float acc = go[idx] * std::pow(den[idx], -beta_);
+        // Gather the cross terms from every output i' whose window contains c.
+        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+        const std::int64_t hi = std::min(channels - 1, c + half);
+        for (std::int64_t cp = lo; cp <= hi; ++cp) {
+          const std::int64_t pidx = cp * hw + i;
+          acc -= 2.0f * beta_ * scale * a[pidx] * a[idx] *
+                 std::pow(den[pidx], -beta_ - 1.0f) * go[pidx];
+        }
+        gi[idx] = acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,32 @@
+// LocalResponseNorm: AlexNet-style cross-channel local response
+// normalisation, b_i = a_i / (k + (alpha/n) * sum_{j in window} a_j^2)^beta.
+#pragma once
+
+#include "nn/module.h"
+
+namespace fedtrip::nn {
+
+class LocalResponseNorm : public Module {
+ public:
+  explicit LocalResponseNorm(std::int64_t size = 5, float alpha = 1e-4f,
+                             float beta = 0.75f, float k = 2.0f)
+      : size_(size), alpha_(alpha), beta_(beta), k_(k) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LocalResponseNorm"; }
+  double forward_flops_per_sample() const override {
+    return static_cast<double>(last_per_sample_) * (2.0 * size_ + 4.0);
+  }
+
+ private:
+  std::int64_t size_;
+  float alpha_;
+  float beta_;
+  float k_;
+  Tensor input_cache_;
+  Tensor denom_cache_;  // (k + alpha/n * window-sum) per element
+  std::int64_t last_per_sample_ = 0;
+};
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,165 @@
+#include "nn/models.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::nn {
+
+namespace {
+
+std::int64_t scaled(std::int64_t channels, double mult) {
+  return std::max<std::int64_t>(1,
+                                static_cast<std::int64_t>(channels * mult));
+}
+
+std::unique_ptr<Sequential> build_mlp(const ModelSpec& spec, Rng& rng) {
+  const std::int64_t in = spec.channels * spec.height * spec.width;
+  const std::int64_t hidden = scaled(100, spec.width_mult);
+  auto model = std::make_unique<Sequential>();
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Linear>(in, hidden, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Linear>(hidden, spec.classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> build_cnn(const ModelSpec& spec, Rng& rng) {
+  // LeNet5-derived: 3 conv layers with 5x5 filters, two pools, FC-84 + head.
+  const std::int64_t c1 = scaled(6, spec.width_mult);
+  const std::int64_t c2 = scaled(16, spec.width_mult);
+  const std::int64_t c3 = scaled(120, spec.width_mult);
+  const std::int64_t fc = scaled(84, spec.width_mult);
+
+  auto model = std::make_unique<Sequential>();
+  std::int64_t h = spec.height;
+  std::int64_t w = spec.width;
+
+  model->add(std::make_unique<Conv2d>(spec.channels, c1, 5, 1, 2, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  h = ops::conv_out_size(ops::conv_out_size(h, 5, 1, 2), 2, 2, 0);
+  w = ops::conv_out_size(ops::conv_out_size(w, 5, 1, 2), 2, 2, 0);
+
+  model->add(std::make_unique<Conv2d>(c1, c2, 5, 1, 0, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  h = ops::conv_out_size(ops::conv_out_size(h, 5, 1, 0), 2, 2, 0);
+  w = ops::conv_out_size(ops::conv_out_size(w, 5, 1, 0), 2, 2, 0);
+
+  // Third conv must fit in the remaining spatial extent.
+  const std::int64_t k3 = std::min<std::int64_t>(5, std::min(h, w));
+  model->add(std::make_unique<Conv2d>(c2, c3, k3, 1, 0, rng));
+  model->add(std::make_unique<ReLU>());
+  h = ops::conv_out_size(h, k3, 1, 0);
+  w = ops::conv_out_size(w, k3, 1, 0);
+
+  model->add(std::make_unique<Flatten>());
+  model->add(std::make_unique<Linear>(c3 * h * w, fc, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Linear>(fc, spec.classes, rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> build_alexnet(const ModelSpec& spec, Rng& rng) {
+  // Compact AlexNet for 32x32 inputs (the usual CIFAR adaptation):
+  // 5 conv layers + 3 FC layers, ~2.7M parameters at width_mult = 1.
+  const double m = spec.width_mult;
+  const std::int64_t c1 = scaled(64, m);
+  const std::int64_t c2 = scaled(192, m);
+  const std::int64_t c3 = scaled(384, m);
+  const std::int64_t c4 = scaled(256, m);
+  const std::int64_t c5 = scaled(256, m);
+  const std::int64_t f1 = scaled(512, m);
+  const std::int64_t f2 = scaled(256, m);
+
+  auto model = std::make_unique<Sequential>();
+  std::int64_t h = spec.height;
+  std::int64_t w = spec.width;
+
+  model->add(std::make_unique<Conv2d>(spec.channels, c1, 3, 2, 1, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  h = ops::conv_out_size(ops::conv_out_size(h, 3, 2, 1), 2, 2, 0);
+  w = ops::conv_out_size(ops::conv_out_size(w, 3, 2, 1), 2, 2, 0);
+
+  model->add(std::make_unique<Conv2d>(c1, c2, 3, 1, 1, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  h = ops::conv_out_size(ops::conv_out_size(h, 3, 1, 1), 2, 2, 0);
+  w = ops::conv_out_size(ops::conv_out_size(w, 3, 1, 1), 2, 2, 0);
+
+  model->add(std::make_unique<Conv2d>(c2, c3, 3, 1, 1, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Conv2d>(c3, c4, 3, 1, 1, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Conv2d>(c4, c5, 3, 1, 1, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  h = ops::conv_out_size(h, 2, 2, 0);
+  w = ops::conv_out_size(w, 2, 2, 0);
+
+  model->add(std::make_unique<Flatten>());
+  if (spec.dropout > 0.0f) {
+    model->add(std::make_unique<Dropout>(spec.dropout));
+  }
+  model->add(std::make_unique<Linear>(c5 * h * w, f1, rng));
+  model->add(std::make_unique<ReLU>());
+  if (spec.dropout > 0.0f) {
+    model->add(std::make_unique<Dropout>(spec.dropout));
+  }
+  model->add(std::make_unique<Linear>(f1, f2, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Linear>(f2, spec.classes, rng));
+  return model;
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> build_model(const ModelSpec& spec,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  switch (spec.arch) {
+    case Arch::kMLP:
+      return build_mlp(spec, rng);
+    case Arch::kCNN:
+      return build_cnn(spec, rng);
+    case Arch::kAlexNet:
+      return build_alexnet(spec, rng);
+  }
+  throw std::invalid_argument("unknown architecture");
+}
+
+ModelFactory make_model_factory(const ModelSpec& spec, std::uint64_t seed) {
+  return [spec, seed] { return build_model(spec, seed); };
+}
+
+const char* arch_name(Arch arch) {
+  switch (arch) {
+    case Arch::kMLP:
+      return "MLP";
+    case Arch::kCNN:
+      return "CNN";
+    case Arch::kAlexNet:
+      return "AlexNet";
+  }
+  return "?";
+}
+
+Arch arch_from_name(const std::string& name) {
+  if (name == "MLP" || name == "mlp") return Arch::kMLP;
+  if (name == "CNN" || name == "cnn") return Arch::kCNN;
+  if (name == "AlexNet" || name == "alexnet") return Arch::kAlexNet;
+  throw std::invalid_argument("unknown architecture: " + name);
+}
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,59 @@
+#include "nn/parameter_vector.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fedtrip::nn {
+
+std::int64_t parameter_count(Module& model) { return model.parameter_count(); }
+
+std::vector<float> flatten_parameters(Module& model) {
+  std::vector<float> flat;
+  copy_parameters_into(model, flat);
+  return flat;
+}
+
+std::vector<float> flatten_gradients(Module& model) {
+  std::vector<float> flat(static_cast<std::size_t>(model.parameter_count()));
+  std::size_t off = 0;
+  for (Tensor* g : model.gradients()) {
+    std::memcpy(flat.data() + off, g->data(),
+                static_cast<std::size_t>(g->numel()) * sizeof(float));
+    off += static_cast<std::size_t>(g->numel());
+  }
+  assert(off == flat.size());
+  return flat;
+}
+
+void load_parameters(Module& model, std::span<const float> flat) {
+  assert(static_cast<std::int64_t>(flat.size()) == model.parameter_count());
+  std::size_t off = 0;
+  for (Tensor* p : model.parameters()) {
+    std::memcpy(p->data(), flat.data() + off,
+                static_cast<std::size_t>(p->numel()) * sizeof(float));
+    off += static_cast<std::size_t>(p->numel());
+  }
+}
+
+void add_to_gradients(Module& model, std::span<const float> delta) {
+  assert(static_cast<std::int64_t>(delta.size()) == model.parameter_count());
+  std::size_t off = 0;
+  for (Tensor* g : model.gradients()) {
+    float* gd = g->data();
+    const std::size_t n = static_cast<std::size_t>(g->numel());
+    for (std::size_t i = 0; i < n; ++i) gd[i] += delta[off + i];
+    off += n;
+  }
+}
+
+void copy_parameters_into(Module& model, std::vector<float>& out) {
+  out.resize(static_cast<std::size_t>(model.parameter_count()));
+  std::size_t off = 0;
+  for (Tensor* p : model.parameters()) {
+    std::memcpy(out.data() + off, p->data(),
+                static_cast<std::size_t>(p->numel()) * sizeof(float));
+    off += static_cast<std::size_t>(p->numel());
+  }
+}
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,38 @@
+// ParameterVector: flat-vector view over a model's parameters.
+//
+// Every FL algorithm in this library (and in the paper) operates on the
+// flattened parameter vector w in R^d: server aggregation (Eq 2), the FedProx
+// proximal pull, FedTrip's triplet attaching operation (Algorithm 1 line 7),
+// FedDyn's correction and SCAFFOLD's control variates. These helpers move
+// data between the structured per-layer tensors and the flat representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fedtrip::nn {
+
+/// Total number of scalar parameters in the model.
+std::int64_t parameter_count(Module& model);
+
+/// Copies all parameters into a single flat vector (layer order).
+std::vector<float> flatten_parameters(Module& model);
+
+/// Copies all gradients into a single flat vector (layer order).
+std::vector<float> flatten_gradients(Module& model);
+
+/// Loads a flat vector back into the model parameters. `flat.size()` must
+/// equal parameter_count(model).
+void load_parameters(Module& model, std::span<const float> flat);
+
+/// Adds `delta` element-wise onto the model's gradients. Used to apply
+/// attaching-operation terms (e.g. mu*(w - w_global)) computed in flat form.
+void add_to_gradients(Module& model, std::span<const float> delta);
+
+/// Writes the model's current parameters into `out` (resizing as needed).
+void copy_parameters_into(Module& model, std::vector<float>& out);
+
+}  // namespace fedtrip::nn

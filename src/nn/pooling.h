@@ -1,0 +1,52 @@
+// MaxPool2d / AvgPool2d with backward.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fedtrip::nn {
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+  double forward_flops_per_sample() const override {
+    return static_cast<double>(last_out_per_sample_ * kernel_ * kernel_);
+  }
+  double backward_flops_per_sample() const override {
+    return static_cast<double>(last_out_per_sample_);
+  }
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index of each output max
+  std::int64_t last_out_per_sample_ = 0;
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride)
+      : kernel_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+  double forward_flops_per_sample() const override {
+    return static_cast<double>(last_out_per_sample_ * kernel_ * kernel_);
+  }
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  Shape input_shape_;
+  std::int64_t last_out_per_sample_ = 0;
+};
+
+}  // namespace fedtrip::nn

@@ -1,0 +1,44 @@
+// Optimizer: the local update rule U(h) of Algorithm 1 line 8.
+//
+// The paper's default optimizer is SGD with momentum (lr 0.01, momentum 0.9);
+// SlowMo and FedDyn use plain SGD because server-side corrections interact
+// badly with client momentum (paper §V-A).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+
+namespace fedtrip::optim {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step using the gradients currently stored in the
+  /// model: w <- w - lr * U(grad).
+  virtual void step(nn::Module& model) = 0;
+
+  /// Clears any internal state (momentum buffers). Called when a client
+  /// receives a fresh global model at the start of a round.
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+  float lr_;
+};
+
+using OptimizerPtr = std::unique_ptr<Optimizer>;
+
+/// Factory for per-client optimizers.
+enum class OptKind { kSGD, kSGDMomentum };
+
+OptimizerPtr make_optimizer(OptKind kind, float lr, float momentum = 0.9f);
+
+}  // namespace fedtrip::optim

@@ -1,0 +1,49 @@
+#include "optim/sgd.h"
+
+#include <cassert>
+
+namespace fedtrip::optim {
+
+void SGD::step(nn::Module& model) {
+  auto params = model.parameters();
+  auto grads = model.gradients();
+  assert(params.size() == grads.size());
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    float* p = params[t]->data();
+    const float* g = grads[t]->data();
+    const std::size_t n = static_cast<std::size_t>(params[t]->numel());
+    for (std::size_t i = 0; i < n; ++i) p[i] -= lr_ * g[i];
+  }
+}
+
+void SGDMomentum::step(nn::Module& model) {
+  auto params = model.parameters();
+  auto grads = model.gradients();
+  assert(params.size() == grads.size());
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), {});
+  }
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    float* p = params[t]->data();
+    const float* g = grads[t]->data();
+    const std::size_t n = static_cast<std::size_t>(params[t]->numel());
+    auto& v = velocity_[t];
+    if (v.size() != n) v.assign(n, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = momentum_ * v[i] + g[i];
+      p[i] -= lr_ * v[i];
+    }
+  }
+}
+
+OptimizerPtr make_optimizer(OptKind kind, float lr, float momentum) {
+  switch (kind) {
+    case OptKind::kSGD:
+      return std::make_unique<SGD>(lr);
+    case OptKind::kSGDMomentum:
+      return std::make_unique<SGDMomentum>(lr, momentum);
+  }
+  return nullptr;
+}
+
+}  // namespace fedtrip::optim

@@ -1,0 +1,33 @@
+// Plain SGD and SGD with (heavy-ball) momentum.
+#pragma once
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace fedtrip::optim {
+
+class SGD : public Optimizer {
+ public:
+  explicit SGD(float lr) : Optimizer(lr) {}
+  void step(nn::Module& model) override;
+  void reset() override {}
+  std::string name() const override { return "SGD"; }
+};
+
+class SGDMomentum : public Optimizer {
+ public:
+  SGDMomentum(float lr, float momentum) : Optimizer(lr), momentum_(momentum) {}
+  void step(nn::Module& model) override;
+  void reset() override { velocity_.clear(); }
+  std::string name() const override { return "SGDMomentum"; }
+
+  float momentum() const { return momentum_; }
+
+ private:
+  float momentum_;
+  // One velocity buffer per parameter tensor, lazily sized on first step.
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace fedtrip::optim

@@ -1,0 +1,87 @@
+#include "tensor/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedtrip {
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on (0,1] uniforms to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  has_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+double Rng::gamma(double alpha) {
+  assert(alpha > 0.0);
+  if (alpha < 1.0) {
+    // Boost to alpha+1 then apply the standard shape correction.
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return gamma(alpha + 1.0) * std::pow(u, 1.0 / alpha);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x;
+    double v;
+    do {
+      x = static_cast<double>(normal());
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t k) {
+  std::vector<double> p(k);
+  double sum = 0.0;
+  for (auto& v : p) {
+    v = gamma(alpha);
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (all zeros): fall back to uniform.
+    for (auto& v : p) v = 1.0 / static_cast<double>(k);
+    return p;
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates: only the first k positions are materialised.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + uniform_int(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace fedtrip

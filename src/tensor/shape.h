@@ -1,0 +1,76 @@
+// Shape: small value type describing the extents of a dense row-major tensor.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+namespace fedtrip {
+
+/// Dense row-major shape with up to kMaxRank dimensions.
+/// Rank-0 shapes describe scalars (numel() == 1).
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::int64_t> dims) : rank_(dims.size()) {
+    assert(dims.size() <= kMaxRank && "Shape rank exceeds kMaxRank");
+    std::size_t i = 0;
+    for (auto d : dims) {
+      assert(d >= 0 && "Shape dimensions must be non-negative");
+      dims_[i++] = d;
+    }
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::int64_t dim(std::size_t i) const {
+    assert(i < rank_);
+    return dims_[i];
+  }
+
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  /// Total number of elements; 1 for a scalar (rank-0) shape.
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.to_string();
+}
+
+}  // namespace fedtrip

@@ -1,0 +1,96 @@
+// Tensor: dense row-major float32 tensor with value semantics.
+//
+// The whole library runs on float32 (the paper trains float32 models); the
+// tensor deliberately has no autograd — backprop is implemented manually in
+// the nn layer, which keeps the FLOPs accounting transparent.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace fedtrip {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0f) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {
+    assert(static_cast<std::int64_t>(data_.size()) == shape_.numel());
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(shape); }
+
+  static Tensor full(Shape shape, float value) {
+    Tensor t(shape);
+    for (auto& v : t.data_) v = value;
+    return t;
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D indexed access (rank must be 2).
+  float& at(std::int64_t r, std::int64_t c) {
+    assert(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    assert(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// 4-D indexed access (rank must be 4): [n][c][h][w].
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    assert(shape_.rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const {
+    assert(shape_.rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  void fill(float value) {
+    for (auto& v : data_) v = value;
+  }
+  void zero() { fill(0.0f); }
+
+  /// Reinterprets the buffer with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const {
+    assert(new_shape.numel() == shape_.numel());
+    return Tensor(new_shape, data_);
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedtrip

@@ -1,0 +1,80 @@
+#include "tensor/vec_math.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace fedtrip::vec {
+
+void axpy(float a, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void axpby(float a, std::span<const float> x, float b, std::span<float> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+void scale(std::span<float> x, float a) {
+  for (auto& v : x) v *= a;
+}
+
+void copy(std::span<const float> src, std::span<float> dst) {
+  assert(src.size() == dst.size());
+  if (!src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double norm2(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+double squared_distance(std::span<const float> x, std::span<const float> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double cosine_similarity(std::span<const float> x, std::span<const float> y) {
+  const double nx = norm2(x);
+  const double ny = norm2(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return dot(x, y) / (nx * ny);
+}
+
+void sub(std::span<const float> x, std::span<const float> y,
+         std::span<float> out) {
+  assert(x.size() == y.size() && x.size() == out.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void add(std::span<const float> x, std::span<const float> y,
+         std::span<float> out) {
+  assert(x.size() == y.size() && x.size() == out.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void zero(std::span<float> x) {
+  if (!x.empty()) std::memset(x.data(), 0, x.size() * sizeof(float));
+}
+
+}  // namespace fedtrip::vec

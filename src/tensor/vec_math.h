@@ -1,0 +1,56 @@
+// vec_math: flat-vector primitives used by every FL regularizer.
+//
+// All attaching operations in the paper (FedProx's proximal pull, FedTrip's
+// triplet term, FedDyn's correction, SCAFFOLD's control variates) are
+// axpy-style loops over the flattened parameter vector; keeping them here
+// makes the 2K|w| / 4K|w| FLOP accounting of Appendix A literal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedtrip::vec {
+
+/// y += a * x
+void axpy(float a, std::span<const float> x, std::span<float> y);
+
+/// y = a * x + b * y
+void axpby(float a, std::span<const float> x, float b, std::span<float> y);
+
+/// x *= a
+void scale(std::span<float> x, float a);
+
+/// dst = src
+void copy(std::span<const float> src, std::span<float> dst);
+
+/// sum_i x_i * y_i
+double dot(std::span<const float> x, std::span<const float> y);
+
+/// ||x||_2
+double norm2(std::span<const float> x);
+
+/// ||x - y||_2^2
+double squared_distance(std::span<const float> x, std::span<const float> y);
+
+/// Cosine similarity; returns 0 when either vector is zero.
+double cosine_similarity(std::span<const float> x, std::span<const float> y);
+
+/// out = x - y (out may alias x)
+void sub(std::span<const float> x, std::span<const float> y,
+         std::span<float> out);
+
+/// out = x + y (out may alias x)
+void add(std::span<const float> x, std::span<const float> y,
+         std::span<float> out);
+
+/// x = 0
+void zero(std::span<float> x);
+
+/// Weighted accumulation: acc += w * x. The core of server aggregation (Eq 2).
+inline void accumulate_weighted(std::span<float> acc, float w,
+                                std::span<const float> x) {
+  axpy(w, x, acc);
+}
+
+}  // namespace fedtrip::vec

@@ -1,0 +1,76 @@
+// Harness for unit-testing FederatedAlgorithm implementations without a
+// full Simulation: one tiny client, hand-built contexts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/algorithm.h"
+#include "nn/models.h"
+#include "nn/parameter_vector.h"
+#include "optim/sgd.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::algorithms::testing {
+
+struct AlgoHarness {
+  nn::ModelSpec spec;
+  data::Dataset dataset;
+  nn::ModelFactory factory;
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  std::vector<float> global_params;
+  fl::HistoryStore history{4};
+
+  explicit AlgoHarness(std::size_t num_clients = 2,
+                       std::size_t samples_per_client = 12,
+                       std::uint64_t seed = 77)
+      : dataset("unit", 4, 1, 4, 4) {
+    spec.arch = nn::Arch::kMLP;
+    spec.channels = 1;
+    spec.height = 4;
+    spec.width = 4;
+    spec.classes = 4;
+    factory = nn::make_model_factory(spec, seed);
+
+    Rng rng(seed);
+    const std::size_t total = num_clients * samples_per_client;
+    for (std::size_t i = 0; i < total; ++i) {
+      std::vector<float> pixels(16);
+      const auto label = static_cast<std::int64_t>(i % 4);
+      for (std::size_t p = 0; p < 16; ++p) {
+        pixels[p] = static_cast<float>(label) * 0.5f + 0.3f * rng.normal();
+      }
+      dataset.add_sample(pixels, label);
+    }
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      std::vector<std::size_t> idx;
+      for (std::size_t i = 0; i < samples_per_client; ++i) {
+        idx.push_back(k * samples_per_client + i);
+      }
+      clients.push_back(std::make_unique<fl::Client>(
+          k, dataset, idx, factory,
+          optim::make_optimizer(optim::OptKind::kSGDMomentum, 0.05f, 0.9f),
+          /*batch_size=*/6));
+    }
+    auto model = factory();
+    global_params = nn::flatten_parameters(*model);
+  }
+
+  fl::ClientContext context(std::size_t client_id, std::size_t round,
+                            std::uint64_t rng_key = 1) {
+    fl::ClientContext ctx;
+    ctx.round = round;
+    ctx.client = clients[client_id].get();
+    ctx.global_params = &global_params;
+    ctx.history = history.get(client_id);
+    ctx.model_factory = &factory;
+    ctx.local_epochs = 1;
+    ctx.rng = Rng(rng_key * 1000 + round * 10 + client_id);
+    return ctx;
+  }
+
+  std::size_t param_dim() const { return global_params.size(); }
+};
+
+}  // namespace fedtrip::algorithms::testing

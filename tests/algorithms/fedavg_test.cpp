@@ -1,0 +1,88 @@
+#include "algorithms/fedavg.h"
+
+#include <gtest/gtest.h>
+
+#include "algo_util.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(FedAvgTest, Name) {
+  FedAvg algo;
+  EXPECT_EQ(algo.name(), "FedAvg");
+}
+
+TEST(FedAvgTest, TrainProducesValidUpdate) {
+  testing::AlgoHarness h;
+  FedAvg algo;
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto u = algo.train_client(ctx);
+  EXPECT_EQ(u.params.size(), h.param_dim());
+  EXPECT_EQ(u.num_samples, 12u);
+  EXPECT_TRUE(u.aux.empty());
+  EXPECT_EQ(u.extra_upload_floats, 0u);
+}
+
+TEST(FedAvgTest, LocalTrainingMovesParameters) {
+  testing::AlgoHarness h;
+  FedAvg algo;
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto u = algo.train_client(ctx);
+  EXPECT_NE(u.params, h.global_params);
+}
+
+TEST(FedAvgTest, AggregateIsWeightedAverage) {
+  FedAvg algo;
+  std::vector<float> global{0.0f, 0.0f};
+  fl::ClientUpdate u1, u2;
+  u1.params = {1.0f, 2.0f};
+  u1.num_samples = 1;
+  u2.params = {4.0f, 8.0f};
+  u2.num_samples = 3;
+  algo.aggregate(global, {u1, u2}, 1);
+  EXPECT_FLOAT_EQ(global[0], 0.25f * 1.0f + 0.75f * 4.0f);
+  EXPECT_FLOAT_EQ(global[1], 0.25f * 2.0f + 0.75f * 8.0f);
+}
+
+TEST(FedAvgTest, AggregateEqualWeightsIsMean) {
+  FedAvg algo;
+  std::vector<float> global{9.0f};
+  fl::ClientUpdate u1, u2;
+  u1.params = {2.0f};
+  u1.num_samples = 5;
+  u2.params = {4.0f};
+  u2.num_samples = 5;
+  algo.aggregate(global, {u1, u2}, 1);
+  EXPECT_FLOAT_EQ(global[0], 3.0f);
+}
+
+TEST(FedAvgTest, MultipleEpochsRunMoreIterations) {
+  testing::AlgoHarness h1, h2;
+  FedAvg algo;
+  algo.initialize(2, h1.param_dim());
+  auto c1 = h1.context(0, 1, 3);
+  c1.local_epochs = 1;
+  auto u1 = algo.train_client(c1);
+  auto c2 = h2.context(0, 1, 3);
+  c2.local_epochs = 3;
+  auto u2 = algo.train_client(c2);
+  EXPECT_NEAR(u2.flops, 3.0 * u1.flops, 1e-6 * u2.flops);
+}
+
+TEST(FedAvgTest, LoadsGlobalModelBeforeTraining) {
+  // Training twice from the same global params with the same rng stream
+  // must be identical (client state does not leak across rounds).
+  testing::AlgoHarness h;
+  FedAvg algo;
+  algo.initialize(2, h.param_dim());
+  auto c1 = h.context(0, 1, 7);
+  auto u1 = algo.train_client(c1);
+  auto c2 = h.context(0, 1, 7);
+  auto u2 = algo.train_client(c2);
+  EXPECT_EQ(u1.params, u2.params);
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

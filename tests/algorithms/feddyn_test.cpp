@@ -1,0 +1,102 @@
+#include "algorithms/feddyn.h"
+
+#include <gtest/gtest.h>
+
+#include "algo_util.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(FedDynTest, Name) {
+  FedDyn algo(0.1f);
+  EXPECT_EQ(algo.name(), "FedDyn");
+}
+
+TEST(FedDynTest, UsesPlainSgd) {
+  FedDyn algo(0.1f);
+  EXPECT_EQ(algo.optimizer_kind(), optim::OptKind::kSGD);
+}
+
+TEST(FedDynTest, TrainProducesValidUpdate) {
+  testing::AlgoHarness h;
+  FedDyn algo(0.1f);
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto u = algo.train_client(ctx);
+  EXPECT_EQ(u.params.size(), h.param_dim());
+  EXPECT_GT(u.flops, 0.0);
+}
+
+TEST(FedDynTest, GradientMemoryChangesSecondRound) {
+  // After round 1 the client's gradient memory is non-zero, so training
+  // from identical state must differ from a fresh FedDyn client.
+  testing::AlgoHarness h;
+  FedDyn algo(0.5f);
+  algo.initialize(2, h.param_dim());
+  auto c1 = h.context(0, 1, 5);
+  auto u1 = algo.train_client(c1);
+
+  // Same client again (memory updated in round 1).
+  auto c2 = h.context(0, 2, 5);
+  auto u2 = algo.train_client(c2);
+
+  // Fresh algorithm, same rng: no memory.
+  testing::AlgoHarness h3;
+  FedDyn fresh(0.5f);
+  fresh.initialize(2, h3.param_dim());
+  auto c3 = h3.context(0, 2, 5);
+  auto u3 = fresh.train_client(c3);
+
+  EXPECT_NE(u2.params, u3.params);
+  (void)u1;
+}
+
+TEST(FedDynTest, AggregateAppliesServerState) {
+  FedDyn algo(1.0f);
+  algo.initialize(2, 2);
+  std::vector<float> global{0.0f, 0.0f};
+  fl::ClientUpdate u1, u2;
+  u1.params = {1.0f, 1.0f};
+  u1.num_samples = 1;
+  u2.params = {3.0f, 3.0f};
+  u2.num_samples = 1;
+  algo.aggregate(global, {u1, u2}, 1);
+  // avg = 2; h = -(1/2)*(1+3) = -2 per coord; w = avg - h/alpha = 2 + 2 = 4.
+  EXPECT_FLOAT_EQ(global[0], 4.0f);
+  EXPECT_FLOAT_EQ(global[1], 4.0f);
+}
+
+TEST(FedDynTest, ServerStateAccumulates) {
+  FedDyn algo(1.0f);
+  algo.initialize(1, 1);
+  std::vector<float> global{0.0f};
+  fl::ClientUpdate u;
+  u.params = {1.0f};
+  u.num_samples = 1;
+  algo.aggregate(global, {u}, 1);
+  // h = -1, w = 1 + 1 = 2.
+  EXPECT_FLOAT_EQ(global[0], 2.0f);
+  fl::ClientUpdate u2;
+  u2.params = {2.0f};
+  u2.num_samples = 1;
+  algo.aggregate(global, {u2}, 2);
+  // h = -1 - (2-2) = -1; w = 2 - (-1) = 3.
+  EXPECT_FLOAT_EQ(global[0], 3.0f);
+}
+
+TEST(FedDynTest, FlopsChargeFourWPerIteration) {
+  testing::AlgoHarness h1, h2;
+  FedDyn dyn(0.1f);
+  dyn.initialize(2, h1.param_dim());
+  auto c1 = h1.context(0, 1, 9);
+  auto u_dyn = dyn.train_client(c1);
+
+  FedDyn zero_like(0.0f);  // still runs the 4|w| loop
+  zero_like.initialize(2, h2.param_dim());
+  auto c2 = h2.context(0, 1, 9);
+  auto u_zero = zero_like.train_client(c2);
+  EXPECT_DOUBLE_EQ(u_dyn.flops, u_zero.flops);
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

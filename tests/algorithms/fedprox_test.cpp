@@ -1,0 +1,77 @@
+#include "algorithms/fedprox.h"
+
+#include <gtest/gtest.h>
+
+#include "algo_util.h"
+#include "algorithms/fedavg.h"
+#include "tensor/vec_math.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(FedProxTest, Name) {
+  FedProx algo(0.1f);
+  EXPECT_EQ(algo.name(), "FedProx");
+  EXPECT_FLOAT_EQ(algo.mu(), 0.1f);
+}
+
+TEST(FedProxTest, TrainProducesValidUpdate) {
+  testing::AlgoHarness h;
+  FedProx algo(0.1f);
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto u = algo.train_client(ctx);
+  EXPECT_EQ(u.params.size(), h.param_dim());
+  EXPECT_GT(u.flops, 0.0);
+}
+
+TEST(FedProxTest, MuZeroEqualsFedAvg) {
+  testing::AlgoHarness h1, h2;
+  FedProx prox(0.0f);
+  FedAvg avg;
+  prox.initialize(2, h1.param_dim());
+  avg.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, 11);
+  auto c2 = h2.context(0, 1, 11);
+  EXPECT_EQ(prox.train_client(c1).params, avg.train_client(c2).params);
+}
+
+TEST(FedProxTest, ProximalTermShrinksDivergence) {
+  // Larger mu must keep the local model closer to the global model.
+  auto divergence = [](float mu) {
+    testing::AlgoHarness h;
+    FedProx algo(mu);
+    algo.initialize(2, h.param_dim());
+    auto ctx = h.context(0, 1, 13);
+    auto u = algo.train_client(ctx);
+    return vec::squared_distance(u.params, h.global_params);
+  };
+  EXPECT_LT(divergence(5.0f), divergence(0.0f));
+}
+
+TEST(FedProxTest, FlopsChargeTwoWPerIteration) {
+  testing::AlgoHarness h1, h2;
+  FedProx prox(0.1f);
+  FedAvg avg;
+  prox.initialize(2, h1.param_dim());
+  avg.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, 17);
+  auto c2 = h2.context(0, 1, 17);
+  const double diff =
+      prox.train_client(c1).flops - avg.train_client(c2).flops;
+  // 12 samples, batch 6 -> 2 iterations of 2|w|.
+  EXPECT_NEAR(diff, 2.0 * 2.0 * static_cast<double>(h1.param_dim()), 1.0);
+}
+
+TEST(FedProxTest, DeterministicGivenRngKey) {
+  testing::AlgoHarness h1, h2;
+  FedProx a(0.1f), b(0.1f);
+  a.initialize(2, h1.param_dim());
+  b.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, 21);
+  auto c2 = h2.context(0, 1, 21);
+  EXPECT_EQ(a.train_client(c1).params, b.train_client(c2).params);
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

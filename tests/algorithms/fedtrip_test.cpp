@@ -1,0 +1,162 @@
+#include "algorithms/fedtrip.h"
+
+#include <gtest/gtest.h>
+
+#include "algo_util.h"
+#include "algorithms/fedprox.h"
+#include "tensor/vec_math.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(FedTripTest, Name) {
+  FedTrip algo(0.4f);
+  EXPECT_EQ(algo.name(), "FedTrip");
+}
+
+TEST(FedTripTest, XiForGapIsInverse) {
+  EXPECT_FLOAT_EQ(FedTrip::xi_for_gap(1, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(FedTrip::xi_for_gap(2, 1.0f), 0.5f);
+  EXPECT_FLOAT_EQ(FedTrip::xi_for_gap(5, 1.0f), 0.2f);
+}
+
+TEST(FedTripTest, XiClampedToOne) {
+  EXPECT_FLOAT_EQ(FedTrip::xi_for_gap(1, 3.0f), 1.0f);
+  EXPECT_FLOAT_EQ(FedTrip::xi_for_gap(0, 1.0f), 1.0f);  // defensive gap=0
+}
+
+TEST(FedTripTest, XiScaleScales) {
+  EXPECT_FLOAT_EQ(FedTrip::xi_for_gap(4, 0.5f), 0.125f);
+}
+
+TEST(FedTripTest, XiInUnitInterval) {
+  // Paper §IV-C: xi_t in (0, 1].
+  for (std::size_t gap = 1; gap < 100; ++gap) {
+    const float xi = FedTrip::xi_for_gap(gap, 1.0f);
+    EXPECT_GT(xi, 0.0f);
+    EXPECT_LE(xi, 1.0f);
+  }
+}
+
+TEST(FedTripTest, TrainProducesValidUpdate) {
+  testing::AlgoHarness h;
+  FedTrip algo(0.4f);
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto update = algo.train_client(ctx);
+  EXPECT_EQ(update.params.size(), h.param_dim());
+  EXPECT_EQ(update.num_samples, 12u);
+  EXPECT_GT(update.flops, 0.0);
+  EXPECT_GT(update.train_loss, 0.0);
+  EXPECT_EQ(update.extra_upload_floats, 0u);  // no extra communication
+}
+
+TEST(FedTripTest, FirstRoundEqualsFedProxWithSameMu) {
+  // With no history the triplet collapses to the proximal pull, so the
+  // first participation must match FedProx(mu) exactly.
+  testing::AlgoHarness h1, h2;
+  FedTrip trip(0.4f);
+  FedProx prox(0.4f);
+  trip.initialize(2, h1.param_dim());
+  prox.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, /*rng_key=*/9);
+  auto c2 = h2.context(0, 1, /*rng_key=*/9);
+  auto u1 = trip.train_client(c1);
+  auto u2 = prox.train_client(c2);
+  EXPECT_EQ(u1.params, u2.params);
+}
+
+TEST(FedTripTest, HistoryChangesTrajectory) {
+  testing::AlgoHarness h;
+  FedTrip algo(0.4f);
+  algo.initialize(2, h.param_dim());
+
+  // Without history.
+  auto ctx_a = h.context(0, 2, 5);
+  auto u_a = algo.train_client(ctx_a);
+
+  // With a far-away historical model.
+  std::vector<float> hist = h.global_params;
+  for (auto& v : hist) v += 0.2f;
+  h.history.put(0, hist, 1);
+  auto ctx_b = h.context(0, 2, 5);
+  auto u_b = algo.train_client(ctx_b);
+
+  EXPECT_NE(u_a.params, u_b.params);
+}
+
+TEST(FedTripTest, HistoryTermRepelsFromHistoricalModel) {
+  // One gradient-free check of the attaching operation itself: with
+  // F = 0 (no data gradient), the update must move w away from w_hist
+  // relative to the pure-prox trajectory.
+  testing::AlgoHarness h;
+  FedTrip algo(1.0f);
+  algo.initialize(2, h.param_dim());
+
+  std::vector<float> hist = h.global_params;
+  hist[0] += 1.0f;  // historical model displaced in coordinate 0
+  h.history.put(0, hist, 1);
+
+  auto ctx = h.context(0, 2, 3);
+  auto update = algo.train_client(ctx);
+  // The triplet term contributes mu*xi*(wh - w) to the gradient h, and the
+  // optimizer steps along -h, i.e. away from wh in coordinate 0.
+  // Compare with FedProx from the same state: FedTrip must end further from
+  // the historical value in coordinate 0.
+  testing::AlgoHarness h2;
+  FedProx prox(1.0f);
+  prox.initialize(2, h2.param_dim());
+  auto ctx2 = h2.context(0, 2, 3);
+  auto u_prox = prox.train_client(ctx2);
+
+  const float d_trip = std::abs(update.params[0] - hist[0]);
+  const float d_prox = std::abs(u_prox.params[0] - hist[0]);
+  EXPECT_GT(d_trip, d_prox);
+}
+
+TEST(FedTripTest, FlopsAccountFourWPerIteration) {
+  testing::AlgoHarness h;
+  // Two iterations per epoch (12 samples, batch 6).
+  FedTrip with_hist(0.4f);
+  with_hist.initialize(2, h.param_dim());
+  h.history.put(0, h.global_params, 1);
+  auto ctx = h.context(0, 2);
+  auto u = with_hist.train_client(ctx);
+
+  // Difference vs the xi=0 (2|w|) path must be exactly 2|w| per iteration.
+  {
+    testing::AlgoHarness h2;
+    FedTrip no_adjust(0.4f, 0.0f);  // xi=0 -> prox path = 2|w|
+    no_adjust.initialize(2, h2.param_dim());
+    h2.history.put(0, h2.global_params, 1);
+    auto ctx2 = h2.context(0, 2);
+    auto u2 = no_adjust.train_client(ctx2);
+    const double diff = u.flops - u2.flops;
+    EXPECT_NEAR(diff, 2.0 * 2.0 * static_cast<double>(h.param_dim()), 1.0);
+  }
+}
+
+TEST(FedTripTest, XiZeroAblationMatchesFedProx) {
+  testing::AlgoHarness h1, h2;
+  FedTrip ablated(0.4f, /*xi_scale=*/0.0f);
+  FedProx prox(0.4f);
+  ablated.initialize(2, h1.param_dim());
+  prox.initialize(2, h2.param_dim());
+  h1.history.put(0, std::vector<float>(h1.param_dim(), 1.0f), 1);
+  auto c1 = h1.context(0, 2, 4);
+  auto c2 = h2.context(0, 2, 4);
+  EXPECT_EQ(ablated.train_client(c1).params, prox.train_client(c2).params);
+}
+
+TEST(FedTripTest, DefaultOptimizerIsSgdMomentum) {
+  FedTrip algo(0.4f);
+  EXPECT_EQ(algo.optimizer_kind(), optim::OptKind::kSGDMomentum);
+}
+
+TEST(FedTripTest, NoExtraDownlink) {
+  FedTrip algo(0.4f);
+  EXPECT_EQ(algo.extra_downlink_floats(1000), 0u);
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

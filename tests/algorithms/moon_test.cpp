@@ -1,0 +1,105 @@
+#include "algorithms/moon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo_util.h"
+#include "algorithms/fedavg.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(MoonTest, Name) {
+  Moon algo(1.0f, 0.5f);
+  EXPECT_EQ(algo.name(), "MOON");
+  EXPECT_FLOAT_EQ(algo.mu(), 1.0f);
+  EXPECT_FLOAT_EQ(algo.tau(), 0.5f);
+}
+
+TEST(MoonTest, TrainProducesValidUpdate) {
+  testing::AlgoHarness h;
+  Moon algo(1.0f, 0.5f);
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto u = algo.train_client(ctx);
+  EXPECT_EQ(u.params.size(), h.param_dim());
+  EXPECT_GT(u.flops, 0.0);
+  EXPECT_EQ(u.extra_upload_floats, 0u);  // MOON has no comm overhead
+}
+
+TEST(MoonTest, ThreeTimesFeedforwardCost) {
+  // MOON's per-batch FLOPs = FP + BP + 2*FP; FedAvg's = FP + BP.
+  testing::AlgoHarness h1, h2;
+  Moon moon(1.0f, 0.5f);
+  FedAvg avg;
+  moon.initialize(2, h1.param_dim());
+  avg.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, 3);
+  auto c2 = h2.context(0, 1, 3);
+  const double moon_flops = moon.train_client(c1).flops;
+  const double avg_flops = avg.train_client(c2).flops;
+  EXPECT_GT(moon_flops, avg_flops * 1.5);
+}
+
+TEST(MoonTest, HistoryChangesTrajectory) {
+  testing::AlgoHarness h;
+  Moon algo(5.0f, 0.5f);
+  algo.initialize(2, h.param_dim());
+  auto c1 = h.context(0, 2, 5);
+  auto u_no_hist = algo.train_client(c1);
+
+  std::vector<float> hist = h.global_params;
+  for (auto& v : hist) v = -v;  // a very different historical model
+  h.history.put(0, hist, 1);
+  auto c2 = h.context(0, 2, 5);
+  auto u_hist = algo.train_client(c2);
+  EXPECT_NE(u_no_hist.params, u_hist.params);
+}
+
+TEST(MoonTest, MuZeroStillTrains) {
+  // mu = 0 disables the contrastive force; training must still reduce loss.
+  testing::AlgoHarness h;
+  Moon algo(0.0f, 0.5f);
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1, 7);
+  auto u = algo.train_client(ctx);
+  EXPECT_NE(u.params, h.global_params);
+  EXPECT_GT(u.train_loss, 0.0);
+}
+
+TEST(MoonTest, MuZeroMatchesFedAvgTrajectory) {
+  // Without the contrastive gradient MOON's update rule is exactly FedAvg
+  // (same optimizer, same batches).
+  testing::AlgoHarness h1, h2;
+  Moon moon(0.0f, 0.5f);
+  FedAvg avg;
+  moon.initialize(2, h1.param_dim());
+  avg.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, 9);
+  auto c2 = h2.context(0, 1, 9);
+  auto u_m = moon.train_client(c1);
+  auto u_a = avg.train_client(c2);
+  ASSERT_EQ(u_m.params.size(), u_a.params.size());
+  for (std::size_t i = 0; i < u_m.params.size(); ++i) {
+    EXPECT_NEAR(u_m.params[i], u_a.params[i], 1e-5) << i;
+  }
+}
+
+TEST(MoonTest, LossIncludesContrastiveTerm) {
+  // With history == global the two similarities are equal, so
+  // l_con = log(2) per sample; reported loss = CE + mu*log(2).
+  testing::AlgoHarness h1, h2;
+  Moon with(1.0f, 0.5f);
+  Moon without(0.0f, 0.5f);
+  with.initialize(2, h1.param_dim());
+  without.initialize(2, h2.param_dim());
+  auto c1 = h1.context(0, 1, 11);
+  auto c2 = h2.context(0, 1, 11);
+  const double l_with = with.train_client(c1).train_loss;
+  const double l_without = without.train_client(c2).train_loss;
+  EXPECT_NEAR(l_with - l_without, std::log(2.0), 0.05);
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

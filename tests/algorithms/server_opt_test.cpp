@@ -1,0 +1,102 @@
+#include "algorithms/server_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "algo_util.h"
+#include "algorithms/registry.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(FedAvgMTest, Name) {
+  FedAvgM algo(0.9f, 1.0f);
+  EXPECT_EQ(algo.name(), "FedAvgM");
+}
+
+TEST(FedAvgMTest, FirstRoundWithUnitLrIsFedAvg) {
+  // m = d, w = w - 1.0 * d = avg.
+  FedAvgM algo(0.9f, 1.0f);
+  algo.initialize(2, 2);
+  std::vector<float> global{10.0f, 0.0f};
+  fl::ClientUpdate u;
+  u.params = {4.0f, 2.0f};
+  u.num_samples = 1;
+  algo.aggregate(global, {u}, 1);
+  EXPECT_FLOAT_EQ(global[0], 4.0f);
+  EXPECT_FLOAT_EQ(global[1], 2.0f);
+}
+
+TEST(FedAvgMTest, MomentumAccumulates) {
+  FedAvgM algo(1.0f, 1.0f);  // beta = 1 never forgets
+  algo.initialize(1, 1);
+  std::vector<float> global{0.0f};
+  fl::ClientUpdate u;
+  u.params = {-1.0f};
+  u.num_samples = 1;
+  algo.aggregate(global, {u}, 1);  // d = 1, m = 1, w = -1
+  EXPECT_FLOAT_EQ(global[0], -1.0f);
+  u.params = {-1.0f};
+  algo.aggregate(global, {u}, 2);  // d = 0, m = 1, w = -2
+  EXPECT_FLOAT_EQ(global[0], -2.0f);
+}
+
+TEST(FedAvgMTest, TrainsEndToEnd) {
+  testing::AlgoHarness h;
+  FedAvgM algo(0.9f, 1.0f);
+  algo.initialize(2, h.param_dim());
+  auto ctx = h.context(0, 1);
+  auto u = algo.train_client(ctx);
+  EXPECT_EQ(u.params.size(), h.param_dim());
+}
+
+TEST(FedAdamTest, Name) {
+  FedAdam algo(0.9f, 0.99f, 0.1f);
+  EXPECT_EQ(algo.name(), "FedAdam");
+}
+
+TEST(FedAdamTest, StepIsBoundedByServerLr) {
+  // Adam's normalised step: |delta w| <= eta * |m| / (sqrt(v)+eps) which for
+  // the first round equals eta * (1-b1)d / (sqrt((1-b2)) |d| + eps)
+  // — bounded regardless of the pseudo-gradient magnitude.
+  FedAdam algo(0.9f, 0.99f, 0.1f);
+  algo.initialize(1, 1);
+  std::vector<float> global{0.0f};
+  fl::ClientUpdate u;
+  u.params = {-1000.0f};  // enormous pseudo-gradient d = 1000
+  u.num_samples = 1;
+  algo.aggregate(global, {u}, 1);
+  EXPECT_LT(std::abs(global[0]), 2.0f);
+}
+
+TEST(FedAdamTest, MovesTowardClientConsensus) {
+  FedAdam algo(0.9f, 0.99f, 0.5f);
+  algo.initialize(1, 1);
+  std::vector<float> global{0.0f};
+  for (std::size_t t = 1; t <= 50; ++t) {
+    fl::ClientUpdate u;
+    u.params = {5.0f};  // clients keep voting for 5
+    u.num_samples = 1;
+    algo.aggregate(global, {u}, t);
+  }
+  EXPECT_GT(global[0], 1.0f);  // steadily approaching the consensus
+}
+
+TEST(FedAdamTest, ZeroPseudoGradientNoMove) {
+  FedAdam algo(0.9f, 0.99f, 0.1f);
+  algo.initialize(1, 1);
+  std::vector<float> global{3.0f};
+  fl::ClientUpdate u;
+  u.params = {3.0f};
+  u.num_samples = 1;
+  algo.aggregate(global, {u}, 1);
+  EXPECT_FLOAT_EQ(global[0], 3.0f);
+}
+
+TEST(ServerOptRegistryTest, Creatable) {
+  AlgoParams p;
+  EXPECT_EQ(make_algorithm("FedAvgM", p)->name(), "FedAvgM");
+  EXPECT_EQ(make_algorithm("FedAdam", p)->name(), "FedAdam");
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

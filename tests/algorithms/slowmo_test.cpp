@@ -1,0 +1,79 @@
+#include "algorithms/slowmo.h"
+
+#include <gtest/gtest.h>
+
+#include "algo_util.h"
+
+namespace fedtrip::algorithms {
+namespace {
+
+TEST(SlowMoTest, Name) {
+  SlowMo algo(0.5f, 1.0f, 0.01f);
+  EXPECT_EQ(algo.name(), "SlowMo");
+}
+
+TEST(SlowMoTest, UsesPlainSgd) {
+  SlowMo algo(0.5f, 1.0f, 0.01f);
+  EXPECT_EQ(algo.optimizer_kind(), optim::OptKind::kSGD);
+}
+
+TEST(SlowMoTest, ZeroBetaUnitSlowLrEqualsFedAvgAggregation) {
+  // With beta = 0 and slow_lr = 1: w_new = w - lr * (w - avg)/lr = avg.
+  SlowMo algo(0.0f, 1.0f, 0.1f);
+  algo.initialize(2, 2);
+  std::vector<float> global{10.0f, 10.0f};
+  fl::ClientUpdate u1, u2;
+  u1.params = {1.0f, 2.0f};
+  u1.num_samples = 1;
+  u2.params = {3.0f, 4.0f};
+  u2.num_samples = 1;
+  algo.aggregate(global, {u1, u2}, 1);
+  EXPECT_FLOAT_EQ(global[0], 2.0f);
+  EXPECT_FLOAT_EQ(global[1], 3.0f);
+}
+
+TEST(SlowMoTest, MomentumCarriesAcrossRounds) {
+  SlowMo algo(1.0f, 1.0f, 1.0f);  // beta=1 accumulates the pseudo-gradient
+  algo.initialize(1, 1);
+  std::vector<float> global{0.0f};
+  fl::ClientUpdate u;
+  u.params = {-1.0f};  // pseudo-gradient d = (0 - (-1))/1 = 1
+  u.num_samples = 1;
+  algo.aggregate(global, {u}, 1);
+  // m=1, w = 0 - 1 = -1.
+  EXPECT_FLOAT_EQ(global[0], -1.0f);
+  fl::ClientUpdate u2;
+  u2.params = {-1.0f};  // d = (-1 - (-1))/1 = 0, but m stays 1
+  u2.num_samples = 1;
+  algo.aggregate(global, {u2}, 2);
+  // m = 1*1 + 0 = 1; w = -1 - 1 = -2.
+  EXPECT_FLOAT_EQ(global[0], -2.0f);
+}
+
+TEST(SlowMoTest, SlowLrScalesStep) {
+  auto run = [](float slow_lr) {
+    SlowMo algo(0.0f, slow_lr, 1.0f);
+    algo.initialize(1, 1);
+    std::vector<float> global{0.0f};
+    fl::ClientUpdate u;
+    u.params = {-2.0f};
+    u.num_samples = 1;
+    algo.aggregate(global, {u}, 1);
+    return global[0];
+  };
+  EXPECT_FLOAT_EQ(run(1.0f), -2.0f);
+  EXPECT_FLOAT_EQ(run(0.5f), -1.0f);
+}
+
+TEST(SlowMoTest, ClientTrainingHasNoAttachCost) {
+  testing::AlgoHarness h1, h2;
+  SlowMo slowmo(0.5f, 1.0f, 0.05f);
+  slowmo.initialize(2, h1.param_dim());
+  auto c1 = h1.context(0, 1, 3);
+  auto u = slowmo.train_client(c1);
+  EXPECT_EQ(u.extra_upload_floats, 0u);
+  EXPECT_EQ(slowmo.extra_downlink_floats(h1.param_dim()), 0u);
+}
+
+}  // namespace
+}  // namespace fedtrip::algorithms

@@ -1,0 +1,70 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtrip::data {
+namespace {
+
+Dataset tiny() {
+  Dataset ds("tiny", 3, 1, 2, 2);
+  ds.add_sample({1, 2, 3, 4}, 0);
+  ds.add_sample({5, 6, 7, 8}, 1);
+  ds.add_sample({9, 10, 11, 12}, 2);
+  ds.add_sample({13, 14, 15, 16}, 1);
+  return ds;
+}
+
+TEST(DatasetTest, Metadata) {
+  Dataset ds = tiny();
+  EXPECT_EQ(ds.name(), "tiny");
+  EXPECT_EQ(ds.classes(), 3);
+  EXPECT_EQ(ds.channels(), 1);
+  EXPECT_EQ(ds.height(), 2);
+  EXPECT_EQ(ds.width(), 2);
+  EXPECT_EQ(ds.sample_numel(), 4);
+  EXPECT_EQ(ds.size(), 4u);
+}
+
+TEST(DatasetTest, LabelsStored) {
+  Dataset ds = tiny();
+  EXPECT_EQ(ds.label(0), 0);
+  EXPECT_EQ(ds.label(3), 1);
+  EXPECT_EQ(ds.labels().size(), 4u);
+}
+
+TEST(DatasetTest, PixelsAccessible) {
+  Dataset ds = tiny();
+  EXPECT_FLOAT_EQ(ds.pixels(1)[0], 5.0f);
+  EXPECT_FLOAT_EQ(ds.pixels(2)[3], 12.0f);
+}
+
+TEST(DatasetTest, MakeBatchShapeAndContent) {
+  Dataset ds = tiny();
+  Tensor batch = ds.make_batch({2, 0});
+  EXPECT_EQ(batch.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch[0], 9.0f);   // sample 2 first pixel
+  EXPECT_FLOAT_EQ(batch[4], 1.0f);   // sample 0 first pixel
+}
+
+TEST(DatasetTest, MakeBatchLabels) {
+  Dataset ds = tiny();
+  auto labels = ds.make_batch_labels({3, 1, 0});
+  EXPECT_EQ(labels, (std::vector<std::int64_t>{1, 1, 0}));
+}
+
+TEST(DatasetTest, EmptyBatch) {
+  Dataset ds = tiny();
+  Tensor batch = ds.make_batch({});
+  EXPECT_EQ(batch.shape()[0], 0);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  Dataset ds = tiny();
+  auto hist = ds.class_histogram({0, 1, 2, 3});
+  EXPECT_EQ(hist, (std::vector<std::int64_t>{1, 2, 1}));
+  auto partial = ds.class_histogram({1, 3});
+  EXPECT_EQ(partial, (std::vector<std::int64_t>{0, 2, 0}));
+}
+
+}  // namespace
+}  // namespace fedtrip::data

@@ -1,0 +1,143 @@
+#include "data/idx_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace fedtrip::data {
+namespace {
+
+void write_be32(std::ofstream& out, std::uint32_t v) {
+  unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                        static_cast<unsigned char>(v >> 16),
+                        static_cast<unsigned char>(v >> 8),
+                        static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<char*>(b), 4);
+}
+
+std::string temp(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_idx_pair(const std::string& img_path, const std::string& lab_path,
+                    std::uint32_t count, std::uint32_t rows,
+                    std::uint32_t cols,
+                    const std::vector<unsigned char>& pixels,
+                    const std::vector<unsigned char>& labels) {
+  std::ofstream img(img_path, std::ios::binary);
+  write_be32(img, 0x00000803u);
+  write_be32(img, count);
+  write_be32(img, rows);
+  write_be32(img, cols);
+  img.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  std::ofstream lab(lab_path, std::ios::binary);
+  write_be32(lab, 0x00000801u);
+  write_be32(lab, count);
+  lab.write(reinterpret_cast<const char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size()));
+}
+
+TEST(IdxLoaderTest, LoadsTinyDataset) {
+  const std::string img = temp("ti.idx3"), lab = temp("tl.idx1");
+  // 2 images of 2x2.
+  write_idx_pair(img, lab, 2, 2, 2, {0, 128, 255, 64, 10, 20, 30, 40},
+                 {3, 7});
+  Dataset ds = load_idx(img, lab, "tiny", 10);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.height(), 2);
+  EXPECT_EQ(ds.width(), 2);
+  EXPECT_EQ(ds.label(0), 3);
+  EXPECT_EQ(ds.label(1), 7);
+  // Pixel 0 = 0 -> -1.0; pixel 255 -> +1.0.
+  EXPECT_NEAR(ds.pixels(0)[0], -1.0f, 1e-6);
+  EXPECT_NEAR(ds.pixels(0)[2], 1.0f, 1e-6);
+  std::remove(img.c_str());
+  std::remove(lab.c_str());
+}
+
+TEST(IdxLoaderTest, NormalisationRange) {
+  const std::string img = temp("ri.idx3"), lab = temp("rl.idx1");
+  std::vector<unsigned char> pixels(256);
+  for (int i = 0; i < 256; ++i) pixels[static_cast<std::size_t>(i)] =
+      static_cast<unsigned char>(i);
+  write_idx_pair(img, lab, 1, 16, 16, pixels, {0});
+  Dataset ds = load_idx(img, lab, "range", 10);
+  for (std::int64_t p = 0; p < ds.sample_numel(); ++p) {
+    EXPECT_GE(ds.pixels(0)[p], -1.0f);
+    EXPECT_LE(ds.pixels(0)[p], 1.0f);
+  }
+  std::remove(img.c_str());
+  std::remove(lab.c_str());
+}
+
+TEST(IdxLoaderTest, BadMagicThrows) {
+  const std::string img = temp("bad.idx3"), lab = temp("badl.idx1");
+  std::ofstream(img, std::ios::binary) << "garbage....";
+  write_idx_pair(temp("ok.idx3"), lab, 1, 1, 1, {0}, {0});
+  EXPECT_THROW(load_idx(img, lab, "x", 10), std::runtime_error);
+  std::remove(img.c_str());
+  std::remove(lab.c_str());
+  std::remove(temp("ok.idx3").c_str());
+}
+
+TEST(IdxLoaderTest, CountMismatchThrows) {
+  const std::string img = temp("mi.idx3"), lab = temp("ml.idx1");
+  // 2 images but 1 label.
+  std::ofstream i(img, std::ios::binary);
+  write_be32(i, 0x00000803u);
+  write_be32(i, 2);
+  write_be32(i, 1);
+  write_be32(i, 1);
+  unsigned char px[2] = {1, 2};
+  i.write(reinterpret_cast<char*>(px), 2);
+  i.close();
+  std::ofstream l(lab, std::ios::binary);
+  write_be32(l, 0x00000801u);
+  write_be32(l, 1);
+  unsigned char lb = 0;
+  l.write(reinterpret_cast<char*>(&lb), 1);
+  l.close();
+  EXPECT_THROW(load_idx(img, lab, "x", 10), std::runtime_error);
+  std::remove(img.c_str());
+  std::remove(lab.c_str());
+}
+
+TEST(IdxLoaderTest, LabelOutOfRangeThrows) {
+  const std::string img = temp("oi.idx3"), lab = temp("ol.idx1");
+  write_idx_pair(img, lab, 1, 1, 1, {100}, {11});  // label 11 >= classes 10
+  EXPECT_THROW(load_idx(img, lab, "x", 10), std::runtime_error);
+  std::remove(img.c_str());
+  std::remove(lab.c_str());
+}
+
+TEST(IdxLoaderTest, MissingFileThrows) {
+  EXPECT_THROW(load_idx(temp("nope.idx3"), temp("nope.idx1"), "x", 10),
+               std::runtime_error);
+}
+
+TEST(IdxLoaderTest, TryLoadMissingDirReturnsNullopt) {
+  EXPECT_FALSE(try_load_mnist_dir(temp("no_such_dir")).has_value());
+}
+
+TEST(IdxLoaderTest, TryLoadCompleteDir) {
+  const std::string dir = temp("mnist_dir");
+  std::remove(dir.c_str());
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  write_idx_pair(dir + "/train-images-idx3-ubyte",
+                 dir + "/train-labels-idx1-ubyte", 2, 2, 2,
+                 {0, 1, 2, 3, 4, 5, 6, 7}, {0, 1});
+  write_idx_pair(dir + "/t10k-images-idx3-ubyte",
+                 dir + "/t10k-labels-idx1-ubyte", 1, 2, 2, {9, 9, 9, 9},
+                 {2});
+  auto tt = try_load_mnist_dir(dir);
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_EQ(tt->train.size(), 2u);
+  EXPECT_EQ(tt->test.size(), 1u);
+  EXPECT_EQ(tt->test.label(0), 2);
+}
+
+}  // namespace
+}  // namespace fedtrip::data

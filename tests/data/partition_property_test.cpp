@@ -1,0 +1,114 @@
+// Property sweeps over partitioner configurations: every (heterogeneity,
+// clients, samples-per-client) combination must produce disjoint,
+// exactly-sized shards covering only valid indices.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "data/partition.h"
+
+namespace fedtrip::data {
+namespace {
+
+Dataset balanced(std::int64_t classes, std::size_t per_class) {
+  Dataset ds("bal", classes, 1, 1, 1);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (std::int64_t c = 0; c < classes; ++c) {
+      ds.add_sample({static_cast<float>(c)}, c);
+    }
+  }
+  return ds;
+}
+
+// (heterogeneity, num_clients, samples_per_client)
+using PartParam = std::tuple<Heterogeneity, std::size_t, std::size_t>;
+
+class PartitionPropertyTest : public ::testing::TestWithParam<PartParam> {};
+
+TEST_P(PartitionPropertyTest, DisjointExactAndInRange) {
+  const auto [het, clients, per_client] = GetParam();
+  Dataset ds = balanced(10, 200);  // 2000 samples
+  Rng rng(99);
+  auto part = make_partition(het, ds, clients, per_client, rng);
+
+  ASSERT_EQ(part.size(), clients);
+  std::set<std::size_t> seen;
+  for (const auto& shard : part) {
+    EXPECT_EQ(shard.size(), per_client);
+    for (std::size_t idx : shard) {
+      EXPECT_LT(idx, ds.size());
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate " << idx;
+    }
+  }
+}
+
+TEST_P(PartitionPropertyTest, HistogramsSumToShardSizes) {
+  const auto [het, clients, per_client] = GetParam();
+  Dataset ds = balanced(10, 200);
+  Rng rng(7);
+  auto part = make_partition(het, ds, clients, per_client, rng);
+  auto hists = partition_histograms(ds, part);
+  ASSERT_EQ(hists.size(), clients);
+  for (const auto& hist : hists) {
+    std::int64_t total = 0;
+    for (std::int64_t c : hist) total += c;
+    EXPECT_EQ(static_cast<std::size_t>(total), per_client);
+  }
+}
+
+TEST_P(PartitionPropertyTest, DeterministicForSameSeed) {
+  const auto [het, clients, per_client] = GetParam();
+  Dataset ds = balanced(10, 200);
+  Rng r1(5), r2(5);
+  EXPECT_EQ(make_partition(het, ds, clients, per_client, r1),
+            make_partition(het, ds, clients, per_client, r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionPropertyTest,
+    ::testing::Values(
+        PartParam{Heterogeneity::kIID, 10, 100},
+        PartParam{Heterogeneity::kIID, 50, 40},
+        PartParam{Heterogeneity::kDir01, 10, 100},
+        PartParam{Heterogeneity::kDir01, 50, 40},
+        PartParam{Heterogeneity::kDir05, 10, 100},
+        PartParam{Heterogeneity::kDir05, 20, 50},
+        PartParam{Heterogeneity::kOrthogonal5, 10, 100},
+        PartParam{Heterogeneity::kOrthogonal5, 20, 50},
+        PartParam{Heterogeneity::kOrthogonal10, 10, 100},
+        PartParam{Heterogeneity::kOrthogonal10, 20, 50}),
+    [](const ::testing::TestParamInfo<PartParam>& info) {
+      std::string name = heterogeneity_name(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name + "_c" + std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Dirichlet skew must increase monotonically as alpha decreases.
+class DirichletSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletSkewTest, TopClassShareAboveIidBaseline) {
+  const double alpha = GetParam();
+  Dataset ds = balanced(10, 200);
+  Rng rng(11);
+  auto part = partition_dirichlet(ds, 10, alpha, 150, rng);
+  auto hists = partition_histograms(ds, part);
+  double share = 0.0;
+  for (const auto& hist : hists) {
+    std::int64_t top = 0;
+    for (std::int64_t c : hist) top = std::max(top, c);
+    share += static_cast<double>(top) / 150.0;
+  }
+  share /= static_cast<double>(hists.size());
+  // IID baseline would be ~0.1 + noise; any alpha <= 1 must exceed it.
+  EXPECT_GT(share, 0.15) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, DirichletSkewTest,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace fedtrip::data

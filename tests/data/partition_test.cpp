@@ -1,0 +1,216 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace fedtrip::data {
+namespace {
+
+Dataset balanced_dataset(std::int64_t classes, std::size_t per_class) {
+  Dataset ds("bal", classes, 1, 1, 1);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (std::int64_t c = 0; c < classes; ++c) {
+      ds.add_sample({static_cast<float>(c)}, c);
+    }
+  }
+  return ds;
+}
+
+void expect_disjoint_and_sized(const Partition& part, std::size_t size) {
+  std::set<std::size_t> seen;
+  for (const auto& client : part) {
+    EXPECT_EQ(client.size(), size);
+    for (std::size_t idx : client) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+}
+
+TEST(PartitionIidTest, DisjointAndSized) {
+  Rng rng(1);
+  auto part = partition_iid(1000, 10, 80, rng);
+  ASSERT_EQ(part.size(), 10u);
+  expect_disjoint_and_sized(part, 80);
+}
+
+TEST(PartitionIidTest, ThrowsWhenTooSmall) {
+  Rng rng(1);
+  EXPECT_THROW(partition_iid(100, 10, 20, rng), std::invalid_argument);
+}
+
+TEST(PartitionIidTest, RoughlyBalancedClasses) {
+  Dataset ds = balanced_dataset(10, 100);
+  Rng rng(2);
+  auto part = partition_iid(ds.size(), 10, 90, rng);
+  auto hists = partition_histograms(ds, part);
+  for (const auto& hist : hists) {
+    for (std::int64_t count : hist) {
+      EXPECT_GT(count, 0);   // every class present
+      EXPECT_LT(count, 30);  // no extreme skew
+    }
+  }
+}
+
+TEST(PartitionDirichletTest, DisjointAndSized) {
+  Dataset ds = balanced_dataset(10, 100);
+  Rng rng(3);
+  auto part = partition_dirichlet(ds, 10, 0.5, 90, rng);
+  ASSERT_EQ(part.size(), 10u);
+  expect_disjoint_and_sized(part, 90);
+}
+
+TEST(PartitionDirichletTest, LowAlphaConcentratesLabels) {
+  // Under Dir-0.1 most clients hold 1-2 dominant classes (paper Fig 4);
+  // under Dir-0.5, 3-4. We check the mean share of the top class is much
+  // higher at alpha = 0.1.
+  Dataset ds = balanced_dataset(10, 200);
+  auto top_share = [&](double alpha, std::uint64_t seed) {
+    Rng rng(seed);
+    auto part = partition_dirichlet(ds, 10, alpha, 150, rng);
+    auto hists = partition_histograms(ds, part);
+    double share = 0.0;
+    for (const auto& hist : hists) {
+      std::int64_t top = 0, total = 0;
+      for (std::int64_t c : hist) {
+        top = std::max(top, c);
+        total += c;
+      }
+      share += static_cast<double>(top) / static_cast<double>(total);
+    }
+    return share / static_cast<double>(hists.size());
+  };
+  EXPECT_GT(top_share(0.1, 4), top_share(0.5, 4) + 0.1);
+}
+
+TEST(PartitionDirichletTest, ExactClientSampleCountAlways) {
+  // Even when prior classes are exhausted the preset count must be met
+  // (the paper partitions a fixed number of samples to each client).
+  Dataset ds = balanced_dataset(10, 60);  // 600 total
+  Rng rng(5);
+  auto part = partition_dirichlet(ds, 10, 0.05, 60, rng);  // uses everything
+  expect_disjoint_and_sized(part, 60);
+}
+
+TEST(PartitionDirichletTest, DeterministicGivenRng) {
+  Dataset ds = balanced_dataset(10, 100);
+  Rng r1(6), r2(6);
+  auto a = partition_dirichlet(ds, 5, 0.5, 100, r1);
+  auto b = partition_dirichlet(ds, 5, 0.5, 100, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PartitionOrthogonalTest, DisjointClassGroups) {
+  Dataset ds = balanced_dataset(10, 200);
+  Rng rng(7);
+  auto part = partition_orthogonal(ds, 10, 5, 100, rng);
+  auto hists = partition_histograms(ds, part);
+
+  // Clients in the same cluster (k mod 5) share a class set; different
+  // clusters' class sets are disjoint.
+  auto class_set = [&](std::size_t k) {
+    std::set<std::int64_t> s;
+    for (std::int64_t c = 0; c < 10; ++c) {
+      if (hists[k][static_cast<std::size_t>(c)] > 0) s.insert(c);
+    }
+    return s;
+  };
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      auto sa = class_set(a);
+      auto sb = class_set(b);
+      std::set<std::int64_t> inter;
+      std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                            std::inserter(inter, inter.begin()));
+      if (a % 5 == b % 5) {
+        EXPECT_FALSE(inter.empty()) << a << " vs " << b;
+      } else {
+        EXPECT_TRUE(inter.empty()) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(PartitionOrthogonalTest, TenClustersOneClassEach) {
+  // Orthogonal-10 with 10 classes: every client sees exactly 1 class
+  // (paper Fig 4 rightmost panel).
+  Dataset ds = balanced_dataset(10, 100);
+  Rng rng(8);
+  auto part = partition_orthogonal(ds, 10, 10, 90, rng);
+  auto hists = partition_histograms(ds, part);
+  for (const auto& hist : hists) {
+    int nonzero = 0;
+    for (std::int64_t c : hist) nonzero += (c > 0);
+    EXPECT_EQ(nonzero, 1);
+  }
+}
+
+TEST(PartitionOrthogonalTest, FiveClustersTwoClassesEach) {
+  Dataset ds = balanced_dataset(10, 100);
+  Rng rng(9);
+  auto part = partition_orthogonal(ds, 10, 5, 100, rng);
+  auto hists = partition_histograms(ds, part);
+  for (const auto& hist : hists) {
+    int nonzero = 0;
+    for (std::int64_t c : hist) nonzero += (c > 0);
+    EXPECT_EQ(nonzero, 2);
+  }
+}
+
+TEST(PartitionOrthogonalTest, InvalidArguments) {
+  Dataset ds = balanced_dataset(10, 10);
+  Rng rng(10);
+  EXPECT_THROW(partition_orthogonal(ds, 10, 0, 5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_orthogonal(ds, 4, 5, 5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_orthogonal(ds, 20, 15, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(PartitionOrthogonalTest, ThrowsOnExhaustedCluster) {
+  Dataset ds = balanced_dataset(10, 10);  // 10 per class
+  Rng rng(11);
+  // 10 clients, 10 clusters -> 1 class per client, only 10 samples there.
+  EXPECT_THROW(partition_orthogonal(ds, 10, 10, 50, rng), std::runtime_error);
+}
+
+TEST(HeterogeneityTest, Names) {
+  EXPECT_STREQ(heterogeneity_name(Heterogeneity::kDir01), "Dir-0.1");
+  EXPECT_STREQ(heterogeneity_name(Heterogeneity::kOrthogonal5),
+               "Orthogonal-5");
+  EXPECT_EQ(heterogeneity_from_name("Dir-0.5"), Heterogeneity::kDir05);
+  EXPECT_EQ(heterogeneity_from_name("IID"), Heterogeneity::kIID);
+  EXPECT_EQ(heterogeneity_from_name("Orthogonal-10"),
+            Heterogeneity::kOrthogonal10);
+  EXPECT_THROW(heterogeneity_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(MakePartitionTest, DispatchesAllKinds) {
+  Dataset ds = balanced_dataset(10, 100);
+  for (auto h : {Heterogeneity::kIID, Heterogeneity::kDir01,
+                 Heterogeneity::kDir05, Heterogeneity::kOrthogonal5,
+                 Heterogeneity::kOrthogonal10}) {
+    Rng rng(12);
+    auto part = make_partition(h, ds, 10, 50, rng);
+    EXPECT_EQ(part.size(), 10u) << heterogeneity_name(h);
+    expect_disjoint_and_sized(part, 50);
+  }
+}
+
+TEST(PartitionHistogramsTest, CountsMatchPartition) {
+  Dataset ds = balanced_dataset(3, 10);
+  Partition part{{0, 1, 2}, {3, 4}};
+  auto hists = partition_histograms(ds, part);
+  ASSERT_EQ(hists.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& h : hists) {
+    for (std::int64_t c : h) total += c;
+  }
+  EXPECT_EQ(total, 5);
+}
+
+}  // namespace
+}  // namespace fedtrip::data

@@ -1,0 +1,216 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fedtrip::data {
+namespace {
+
+TEST(SyntheticSpecTest, TableIIMetadata) {
+  // Shape metadata must match Table II of the paper.
+  auto mnist = mnist_spec();
+  EXPECT_EQ(mnist.classes, 10);
+  EXPECT_EQ(mnist.channels, 1);
+  EXPECT_EQ(mnist.height, 28);
+  EXPECT_EQ(mnist.client_samples, 600);
+
+  auto fmnist = fmnist_spec();
+  EXPECT_EQ(fmnist.classes, 10);
+  EXPECT_EQ(fmnist.client_samples, 1000);
+
+  auto emnist = emnist_spec();
+  EXPECT_EQ(emnist.classes, 47);
+  EXPECT_EQ(emnist.client_samples, 3000);
+
+  auto cifar = cifar10_spec();
+  EXPECT_EQ(cifar.classes, 10);
+  EXPECT_EQ(cifar.channels, 3);
+  EXPECT_EQ(cifar.height, 32);
+  EXPECT_EQ(cifar.client_samples, 2000);
+}
+
+TEST(SyntheticSpecTest, ScaleShrinksCounts) {
+  auto full = mnist_spec(1.0);
+  auto tenth = mnist_spec(0.1);
+  EXPECT_EQ(tenth.train_samples, full.train_samples / 10);
+  EXPECT_EQ(tenth.client_samples, full.client_samples / 10);
+}
+
+TEST(SyntheticSpecTest, ByName) {
+  EXPECT_EQ(spec_by_name("mnist").name, "mnist");
+  EXPECT_EQ(spec_by_name("fmnist").name, "fmnist");
+  EXPECT_EQ(spec_by_name("emnist").name, "emnist");
+  EXPECT_EQ(spec_by_name("cifar10").name, "cifar10");
+  EXPECT_EQ(spec_by_name("cifar").name, "cifar10");
+  EXPECT_THROW(spec_by_name("imagenet"), std::invalid_argument);
+}
+
+TEST(SyntheticGenerateTest, SizesMatchSpec) {
+  auto spec = mnist_spec(0.05);
+  auto tt = generate(spec, 1);
+  EXPECT_EQ(tt.train.size(), static_cast<std::size_t>(spec.train_samples));
+  EXPECT_EQ(tt.test.size(), static_cast<std::size_t>(spec.test_samples));
+  EXPECT_EQ(tt.train.sample_numel(), 28 * 28);
+}
+
+TEST(SyntheticGenerateTest, Deterministic) {
+  auto spec = mnist_spec(0.02);
+  auto a = generate(spec, 9);
+  auto b = generate(spec, 9);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.label(i), b.train.label(i));
+    EXPECT_EQ(a.train.pixels(i)[0], b.train.pixels(i)[0]);
+  }
+}
+
+TEST(SyntheticGenerateTest, DifferentSeedsDiffer) {
+  auto spec = mnist_spec(0.02);
+  auto a = generate(spec, 1);
+  auto b = generate(spec, 2);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    if (a.train.pixels(i)[0] != b.train.pixels(i)[0]) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(SyntheticGenerateTest, AllClassesPresent) {
+  auto spec = mnist_spec(0.1);
+  auto tt = generate(spec, 3);
+  std::set<std::int64_t> seen(tt.train.labels().begin(),
+                              tt.train.labels().end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SyntheticGenerateTest, LabelsInRange) {
+  auto spec = emnist_spec(0.02);
+  auto tt = generate(spec, 4);
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    EXPECT_GE(tt.train.label(i), 0);
+    EXPECT_LT(tt.train.label(i), 47);
+  }
+}
+
+TEST(SyntheticGenerateTest, ClassesAreSeparable) {
+  // Same-class samples must be closer (on average) than cross-class samples
+  // — otherwise no classifier could learn anything.
+  auto spec = mnist_spec(0.05);
+  spec.noise_sigma = 1.0f;
+  auto tt = generate(spec, 5);
+  const auto n = tt.train.size();
+  const auto d = static_cast<std::size_t>(tt.train.sample_numel());
+
+  double same_dist = 0.0, cross_dist = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (std::size_t i = 0; i + 1 < std::min<std::size_t>(n, 200); ++i) {
+    for (std::size_t j = i + 1; j < std::min<std::size_t>(n, 200); ++j) {
+      double dist = 0.0;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double delta = tt.train.pixels(i)[p] - tt.train.pixels(j)[p];
+        dist += delta * delta;
+      }
+      if (tt.train.label(i) == tt.train.label(j)) {
+        same_dist += dist;
+        ++same_n;
+      } else {
+        cross_dist += dist;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same_dist / same_n, cross_dist / cross_n);
+}
+
+TEST(SyntheticGenerateTest, TrainTestShareClassStructure) {
+  // A nearest-prototype rule learned from train data must beat chance on
+  // test data.
+  auto spec = mnist_spec(0.05);
+  auto tt = generate(spec, 6);
+  const auto d = static_cast<std::size_t>(tt.train.sample_numel());
+
+  // Per-class mean from train.
+  std::vector<std::vector<double>> means(10, std::vector<double>(d, 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const auto c = static_cast<std::size_t>(tt.train.label(i));
+    for (std::size_t p = 0; p < d; ++p) means[c][p] += tt.train.pixels(i)[p];
+    counts[c] += 1;
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    if (counts[c] > 0) {
+      for (auto& v : means[c]) v /= counts[c];
+    }
+  }
+
+  int correct = 0;
+  const std::size_t eval_n = std::min<std::size_t>(tt.test.size(), 200);
+  for (std::size_t i = 0; i < eval_n; ++i) {
+    double best = 1e30;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double delta = tt.test.pixels(i)[p] - means[c][p];
+        dist += delta * delta;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (static_cast<std::int64_t>(best_c) == tt.test.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / eval_n, 0.3);  // chance = 0.1
+}
+
+TEST(SyntheticGenerateTest, HigherNoiseIsHarder) {
+  // Nearest-prototype accuracy must drop as noise_sigma grows.
+  auto eval_acc = [](float sigma) {
+    auto spec = mnist_spec(0.05);
+    spec.noise_sigma = sigma;
+    auto tt = generate(spec, 7);
+    const auto d = static_cast<std::size_t>(tt.train.sample_numel());
+    std::vector<std::vector<double>> means(10, std::vector<double>(d, 0.0));
+    std::vector<int> counts(10, 0);
+    for (std::size_t i = 0; i < tt.train.size(); ++i) {
+      const auto c = static_cast<std::size_t>(tt.train.label(i));
+      for (std::size_t p = 0; p < d; ++p) {
+        means[c][p] += tt.train.pixels(i)[p];
+      }
+      counts[c] += 1;
+    }
+    for (std::size_t c = 0; c < 10; ++c) {
+      if (counts[c] > 0) {
+        for (auto& v : means[c]) v /= counts[c];
+      }
+    }
+    int correct = 0;
+    const std::size_t n = std::min<std::size_t>(tt.test.size(), 150);
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = 1e30;
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < 10; ++c) {
+        double dist = 0.0;
+        for (std::size_t p = 0; p < d; ++p) {
+          const double delta = tt.test.pixels(i)[p] - means[c][p];
+          dist += delta * delta;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (static_cast<std::int64_t>(best_c) == tt.test.label(i)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+  };
+  EXPECT_GT(eval_acc(0.5f), eval_acc(6.0f));
+}
+
+}  // namespace
+}  // namespace fedtrip::data

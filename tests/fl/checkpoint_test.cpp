@@ -1,0 +1,121 @@
+#include "fl/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace fedtrip::fl {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  std::string temp(const char* name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(CheckpointTest, ParamsRoundTrip) {
+  const std::string path = temp("params.bin");
+  std::vector<float> params{1.0f, -2.5f, 3.25f, 0.0f};
+  save_parameters(path, params);
+  EXPECT_EQ(load_parameters_file(path), params);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, EmptyParamsRoundTrip) {
+  const std::string path = temp("empty.bin");
+  save_parameters(path, {});
+  EXPECT_TRUE(load_parameters_file(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LargeParamsRoundTrip) {
+  const std::string path = temp("large.bin");
+  std::vector<float> params(100'000);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] = static_cast<float>(i) * 0.001f;
+  }
+  save_parameters(path, params);
+  EXPECT_EQ(load_parameters_file(path), params);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, MissingFileThrows) {
+  EXPECT_THROW(load_parameters_file(temp("nonexistent.bin")),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, BadMagicThrows) {
+  const std::string path = temp("garbage.bin");
+  std::ofstream(path) << "this is not a checkpoint";
+  EXPECT_THROW(load_parameters_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncatedFileThrows) {
+  const std::string path = temp("trunc.bin");
+  save_parameters(path, std::vector<float>(100, 1.0f));
+  // Truncate mid-payload.
+  std::ofstream out(path, std::ios::binary | std::ios::in);
+  out.seekp(50);
+  out.close();
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(0, std::ios::end);
+  }
+  std::ofstream trunc(temp("trunc2.bin"), std::ios::binary);
+  std::ifstream src(path, std::ios::binary);
+  std::vector<char> buf(60);
+  src.read(buf.data(), 60);
+  trunc.write(buf.data(), 60);
+  trunc.close();
+  EXPECT_THROW(load_parameters_file(temp("trunc2.bin")), std::runtime_error);
+  std::remove(path.c_str());
+  std::remove(temp("trunc2.bin").c_str());
+}
+
+TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
+  const std::string path = temp("hist.csv");
+  std::vector<RoundRecord> history;
+  for (std::size_t t = 1; t <= 5; ++t) {
+    RoundRecord r;
+    r.round = t;
+    r.test_accuracy = 0.1 * static_cast<double>(t);
+    r.train_loss = 2.0 / static_cast<double>(t);
+    r.cum_gflops = 1.5 * static_cast<double>(t);
+    r.cum_comm_mb = 4.0 * static_cast<double>(t);
+    history.push_back(r);
+  }
+  save_history_csv(path, history);
+  auto loaded = load_history_csv(path);
+  ASSERT_EQ(loaded.size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(loaded[i].round, history[i].round);
+    EXPECT_NEAR(loaded[i].test_accuracy, history[i].test_accuracy, 1e-9);
+    EXPECT_NEAR(loaded[i].train_loss, history[i].train_loss, 1e-9);
+    EXPECT_NEAR(loaded[i].cum_gflops, history[i].cum_gflops, 1e-9);
+    EXPECT_NEAR(loaded[i].cum_comm_mb, history[i].cum_comm_mb, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, EmptyHistoryCsv) {
+  const std::string path = temp("empty.csv");
+  save_history_csv(path, {});
+  EXPECT_TRUE(load_history_csv(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, CsvHasHeader) {
+  const std::string path = temp("header.csv");
+  save_history_csv(path, {});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

@@ -1,0 +1,79 @@
+#include "fl/client.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/parameter_vector.h"
+#include "optim/sgd.h"
+
+namespace fedtrip::fl {
+namespace {
+
+data::Dataset tiny_data() {
+  data::Dataset ds("c", 2, 1, 2, 2);
+  for (int i = 0; i < 8; ++i) {
+    ds.add_sample({1.0f * i, 0, 0, 0}, i % 2);
+  }
+  return ds;
+}
+
+nn::ModelFactory factory() {
+  nn::ModelSpec spec;
+  spec.arch = nn::Arch::kMLP;
+  spec.channels = 1;
+  spec.height = 2;
+  spec.width = 2;
+  spec.classes = 2;
+  return nn::make_model_factory(spec, 5);
+}
+
+TEST(ClientTest, BasicAccessors) {
+  auto ds = tiny_data();
+  Client c(3, ds, {0, 1, 2}, factory(),
+           optim::make_optimizer(optim::OptKind::kSGD, 0.1f), 2);
+  EXPECT_EQ(c.id(), 3u);
+  EXPECT_EQ(c.num_samples(), 3u);
+  EXPECT_EQ(c.loader().batch_size(), 2u);
+  EXPECT_EQ(c.optimizer().name(), "SGD");
+}
+
+TEST(ClientTest, ModelBuiltFromFactory) {
+  auto ds = tiny_data();
+  auto f = factory();
+  Client c(0, ds, {0}, f, optim::make_optimizer(optim::OptKind::kSGD, 0.1f),
+           1);
+  auto reference = f();
+  EXPECT_EQ(nn::flatten_parameters(c.model()),
+            nn::flatten_parameters(*reference));
+}
+
+TEST(ClientTest, AuxModelsLazyAndPersistent) {
+  auto ds = tiny_data();
+  auto f = factory();
+  Client c(0, ds, {0}, f, optim::make_optimizer(optim::OptKind::kSGD, 0.1f),
+           1);
+  nn::Sequential& a0 = c.aux_model(0, f);
+  nn::Sequential& a0_again = c.aux_model(0, f);
+  EXPECT_EQ(&a0, &a0_again);  // created once, reused
+  nn::Sequential& a1 = c.aux_model(1, f);
+  EXPECT_NE(&a0, &a1);
+}
+
+TEST(ClientTest, AuxModelIndependentOfMainModel) {
+  auto ds = tiny_data();
+  auto f = factory();
+  Client c(0, ds, {0}, f, optim::make_optimizer(optim::OptKind::kSGD, 0.1f),
+           1);
+  auto& aux = c.aux_model(0, f);
+  std::vector<float> zeros(
+      static_cast<std::size_t>(nn::parameter_count(aux)), 0.0f);
+  nn::load_parameters(aux, zeros);
+  // Main model untouched.
+  double norm = 0.0;
+  for (float v : nn::flatten_parameters(c.model())) {
+    norm += static_cast<double>(v) * v;
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

@@ -1,0 +1,88 @@
+#include "fl/flops.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtrip::fl {
+namespace {
+
+// Table VIII symbols: K local iterations, M batch, n local samples,
+// |w| parameters, FP/BP per-sample pass costs.
+constexpr double kK = 12.0;
+constexpr double kM = 50.0;
+constexpr double kW = 1e5;
+constexpr double kN = 600.0;
+constexpr double kFP = 4e5;
+constexpr double kBP = 8e5;
+
+TEST(AttachCostTest, FedAvgIsFree) {
+  auto c = attach_cost_fedavg();
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+  EXPECT_DOUBLE_EQ(c.comm_floats, 0.0);
+}
+
+TEST(AttachCostTest, FedProxIs2KW) {
+  auto c = attach_cost_fedprox(kK, kW);
+  EXPECT_DOUBLE_EQ(c.flops, 2.0 * kK * kW);
+  EXPECT_DOUBLE_EQ(c.comm_floats, 0.0);
+}
+
+TEST(AttachCostTest, FedTripIs4KW) {
+  auto c = attach_cost_fedtrip(kK, kW);
+  EXPECT_DOUBLE_EQ(c.flops, 4.0 * kK * kW);
+  EXPECT_DOUBLE_EQ(c.comm_floats, 0.0);
+}
+
+TEST(AttachCostTest, FedTripEqualsFedDyn) {
+  // Table VIII: both are 4K|w|.
+  EXPECT_DOUBLE_EQ(attach_cost_fedtrip(kK, kW).flops,
+                   attach_cost_feddyn(kK, kW).flops);
+}
+
+TEST(AttachCostTest, MoonIsKM1pFP) {
+  auto c = attach_cost_moon(kK, kM, 1.0, kFP);
+  EXPECT_DOUBLE_EQ(c.flops, kK * kM * 2.0 * kFP);
+}
+
+TEST(AttachCostTest, MoonDwarfsFedTrip) {
+  // The paper's headline: MOON's attaching cost is orders of magnitude
+  // larger than FedTrip's (50x for MLP up to 1336x for AlexNet).
+  const double moon = attach_cost_moon(kK, kM, 1.0, kFP).flops;
+  const double trip = attach_cost_fedtrip(kK, kW).flops;
+  EXPECT_GT(moon / trip, 50.0);
+}
+
+TEST(AttachCostTest, ScaffoldHasCommOverhead) {
+  auto c = attach_cost_scaffold(kK, kW, kN, kFP, kBP);
+  EXPECT_DOUBLE_EQ(c.flops, 2.0 * (kK + 1.0) * kW + kN * (kFP + kBP));
+  EXPECT_DOUBLE_EQ(c.comm_floats, 2.0 * kW);
+}
+
+TEST(AttachCostTest, MimeLite) {
+  auto c = attach_cost_mimelite(kW, kN, kFP, kBP);
+  EXPECT_DOUBLE_EQ(c.flops, kN * (kFP + kBP));
+  EXPECT_DOUBLE_EQ(c.comm_floats, 2.0 * kW);
+}
+
+TEST(AttachCostTest, ByNameDispatch) {
+  EXPECT_DOUBLE_EQ(
+      attach_cost_by_name("FedTrip", kK, kM, kW, kN, kFP, kBP).flops,
+      4.0 * kK * kW);
+  EXPECT_DOUBLE_EQ(
+      attach_cost_by_name("FedAvg", kK, kM, kW, kN, kFP, kBP).flops, 0.0);
+  EXPECT_DOUBLE_EQ(
+      attach_cost_by_name("SlowMo", kK, kM, kW, kN, kFP, kBP).flops, 0.0);
+  EXPECT_THROW(attach_cost_by_name("bogus", kK, kM, kW, kN, kFP, kBP),
+               std::invalid_argument);
+}
+
+TEST(ModelCostTest, DerivedUnits) {
+  ModelCost mc;
+  mc.params = 620'000;
+  mc.forward_flops = 420'000;
+  EXPECT_NEAR(mc.comm_mb(), 2.48, 1e-6);
+  EXPECT_NEAR(mc.params_m(), 0.62, 1e-9);
+  EXPECT_NEAR(mc.forward_mflops(), 0.42, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

@@ -1,0 +1,39 @@
+#include "fl/history.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtrip::fl {
+namespace {
+
+TEST(HistoryStoreTest, EmptyBeforeFirstPut) {
+  HistoryStore store(4);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(store.get(k), nullptr);
+}
+
+TEST(HistoryStoreTest, PutThenGet) {
+  HistoryStore store(2);
+  store.put(1, {1.0f, 2.0f}, 7);
+  const HistoryEntry* e = store.get(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->round, 7u);
+  EXPECT_EQ(e->params, (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(store.get(0), nullptr);
+}
+
+TEST(HistoryStoreTest, PutOverwrites) {
+  HistoryStore store(1);
+  store.put(0, {1.0f}, 1);
+  store.put(0, {9.0f}, 5);
+  const HistoryEntry* e = store.get(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->round, 5u);
+  EXPECT_FLOAT_EQ(e->params[0], 9.0f);
+}
+
+TEST(HistoryStoreTest, NumClients) {
+  HistoryStore store(11);
+  EXPECT_EQ(store.num_clients(), 11u);
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

@@ -1,0 +1,122 @@
+#include "fl/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtrip::fl {
+namespace {
+
+std::vector<RoundRecord> make_history(std::initializer_list<double> accs) {
+  std::vector<RoundRecord> h;
+  std::size_t t = 1;
+  double flops = 0.0;
+  for (double a : accs) {
+    RoundRecord r;
+    r.round = t++;
+    r.test_accuracy = a;
+    flops += 1.0;
+    r.cum_gflops = flops;
+    h.push_back(r);
+  }
+  return h;
+}
+
+TEST(RoundsToTargetTest, FindsFirstCrossing) {
+  auto h = make_history({0.1, 0.5, 0.9, 0.95});
+  auto r = rounds_to_target(h, 0.9);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 3u);
+}
+
+TEST(RoundsToTargetTest, ExactMatchCounts) {
+  auto h = make_history({0.5, 0.7});
+  EXPECT_EQ(*rounds_to_target(h, 0.7), 2u);
+}
+
+TEST(RoundsToTargetTest, NeverReached) {
+  auto h = make_history({0.1, 0.2});
+  EXPECT_FALSE(rounds_to_target(h, 0.9).has_value());
+}
+
+TEST(RoundsToTargetTest, NonMonotoneUsesFirstCrossing) {
+  auto h = make_history({0.1, 0.9, 0.3, 0.95});
+  EXPECT_EQ(*rounds_to_target(h, 0.85), 2u);
+}
+
+TEST(EmaTest, FirstValueSeedsSeries) {
+  auto h = make_history({0.4, 0.8});
+  auto ema = ema_accuracy(h, 0.5);
+  ASSERT_EQ(ema.size(), 2u);
+  EXPECT_DOUBLE_EQ(ema[0], 0.4);
+  EXPECT_DOUBLE_EQ(ema[1], 0.5 * 0.4 + 0.5 * 0.8);
+}
+
+TEST(EmaTest, BetaZeroIsIdentity) {
+  auto h = make_history({0.1, 0.5, 0.9});
+  auto ema = ema_accuracy(h, 0.0);
+  EXPECT_DOUBLE_EQ(ema[1], 0.5);
+  EXPECT_DOUBLE_EQ(ema[2], 0.9);
+}
+
+TEST(EmaTest, SmoothsSpikes) {
+  auto h = make_history({0.5, 0.5, 1.0, 0.5, 0.5});
+  auto ema = ema_accuracy(h, 0.8);
+  EXPECT_LT(ema[2], 0.7);  // spike damped
+}
+
+TEST(FinalAccuracyTest, AveragesLastN) {
+  auto h = make_history({0.0, 0.0, 0.8, 1.0});
+  EXPECT_DOUBLE_EQ(final_accuracy(h, 2), 0.9);
+}
+
+TEST(FinalAccuracyTest, NLargerThanHistory) {
+  auto h = make_history({0.5, 0.7});
+  EXPECT_DOUBLE_EQ(final_accuracy(h, 10), 0.6);
+}
+
+TEST(FinalAccuracyTest, EmptyHistory) {
+  EXPECT_DOUBLE_EQ(final_accuracy({}, 10), 0.0);
+}
+
+TEST(BestAccuracyTest, Max) {
+  auto h = make_history({0.3, 0.9, 0.5});
+  EXPECT_DOUBLE_EQ(best_accuracy(h), 0.9);
+}
+
+TEST(GflopsAtTargetTest, TakesCumAtCrossing) {
+  auto h = make_history({0.1, 0.6, 0.9});
+  EXPECT_DOUBLE_EQ(gflops_at_target(h, 0.6), 2.0);
+}
+
+TEST(GflopsAtTargetTest, FallsBackToEnd) {
+  auto h = make_history({0.1, 0.2});
+  EXPECT_DOUBLE_EQ(gflops_at_target(h, 0.99), 2.0);
+}
+
+TEST(BoxStatsTest, KnownQuartiles) {
+  auto s = box_stats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(BoxStatsTest, UnsortedInput) {
+  auto s = box_stats({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(BoxStatsTest, SingleValue) {
+  auto s = box_stats({2.5});
+  EXPECT_DOUBLE_EQ(s.min, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+}
+
+TEST(BoxStatsTest, EmptyIsZeros) {
+  auto s = box_stats({});
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

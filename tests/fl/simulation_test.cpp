@@ -1,0 +1,139 @@
+#include "fl/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/fedavg.h"
+#include "algorithms/fedtrip.h"
+#include "sim_util.h"
+
+namespace fedtrip::fl {
+namespace {
+
+TEST(SimulationTest, RunsConfiguredRounds) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  EXPECT_EQ(result.history.size(), cfg.rounds);
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    EXPECT_EQ(result.history[i].round, i + 1);
+  }
+}
+
+TEST(SimulationTest, EvalEverySkipsRounds) {
+  auto cfg = testing::tiny_config();
+  cfg.rounds = 6;
+  cfg.eval_every = 3;
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_EQ(result.history[0].round, 3u);
+  EXPECT_EQ(result.history[1].round, 6u);
+}
+
+TEST(SimulationTest, AccuraciesAreProbabilities) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  for (const auto& r : sim.run().history) {
+    EXPECT_GE(r.test_accuracy, 0.0);
+    EXPECT_LE(r.test_accuracy, 1.0);
+  }
+}
+
+TEST(SimulationTest, FlopsAndCommAreMonotone) {
+  auto cfg = testing::tiny_config();
+  cfg.rounds = 4;
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GT(result.history[i].cum_gflops, result.history[i - 1].cum_gflops);
+    EXPECT_GT(result.history[i].cum_comm_mb,
+              result.history[i - 1].cum_comm_mb);
+  }
+}
+
+TEST(SimulationTest, CommVolumeMatchesClosedForm) {
+  auto cfg = testing::tiny_config();
+  cfg.rounds = 5;
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  // FedAvg: 2 |w| per selected client per round.
+  const double expected_mb = 5.0 * cfg.clients_per_round * 2.0 *
+                             result.model_params * 4.0 / 1e6;
+  EXPECT_NEAR(result.history.back().cum_comm_mb, expected_mb, 1e-9);
+}
+
+TEST(SimulationTest, PartitionHistogramsExposed) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  ASSERT_EQ(result.partition_histograms.size(), cfg.num_clients);
+  for (const auto& hist : result.partition_histograms) {
+    EXPECT_EQ(hist.size(), 10u);
+    std::int64_t total = 0;
+    for (auto c : hist) total += c;
+    EXPECT_GT(total, 0);
+  }
+}
+
+TEST(SimulationTest, FinalParamsMatchModelSize) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  EXPECT_EQ(static_cast<double>(result.final_params.size()),
+            result.model_params);
+  // MLP 784-100-10.
+  EXPECT_EQ(result.final_params.size(), 79510u);
+}
+
+TEST(SimulationTest, ModelCostsPopulated) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  EXPECT_GT(result.model_forward_flops, 0.0);
+  EXPECT_GT(result.model_backward_flops, result.model_forward_flops);
+}
+
+TEST(SimulationTest, InvalidClientCountsThrow) {
+  auto cfg = testing::tiny_config();
+  cfg.clients_per_round = 0;
+  EXPECT_THROW(Simulation(cfg, std::make_unique<algorithms::FedAvg>()),
+               std::invalid_argument);
+  cfg.clients_per_round = 99;
+  EXPECT_THROW(Simulation(cfg, std::make_unique<algorithms::FedAvg>()),
+               std::invalid_argument);
+}
+
+TEST(SimulationTest, EvaluateOnLoadedParams) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  const double acc = sim.evaluate(result.final_params);
+  EXPECT_NEAR(acc, result.history.back().test_accuracy, 1e-12);
+}
+
+TEST(SimulationTest, TrainingImprovesOverInit) {
+  auto cfg = testing::learning_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  auto result = sim.run();
+  // Final accuracy clearly above the 10% chance level.
+  EXPECT_GT(result.history.back().test_accuracy, 0.3);
+}
+
+TEST(SimulationTest, FedTripRunsEndToEnd) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedTrip>(0.4f));
+  auto result = sim.run();
+  EXPECT_EQ(result.history.size(), cfg.rounds);
+}
+
+TEST(SimulationTest, TrainLossRecorded) {
+  auto cfg = testing::tiny_config();
+  Simulation sim(cfg, std::make_unique<algorithms::FedAvg>());
+  for (const auto& r : sim.run().history) {
+    EXPECT_GT(r.train_loss, 0.0);
+    EXPECT_LT(r.train_loss, 20.0);
+  }
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

@@ -1,0 +1,105 @@
+#include "fl/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedtrip::fl::theory {
+namespace {
+
+TEST(ExpectedXiTest, MatchesClosedForm) {
+  // E[xi] = p ln p / (p-1).
+  for (double p : {0.08, 0.2, 0.4, 0.9}) {
+    EXPECT_NEAR(expected_xi(p), p * std::log(p) / (p - 1.0), 1e-12) << p;
+  }
+}
+
+TEST(ExpectedXiTest, FullParticipationIsOne) {
+  EXPECT_DOUBLE_EQ(expected_xi(1.0), 1.0);
+}
+
+TEST(ExpectedXiTest, MonotonicallyIncreasingInP) {
+  // Paper §IV-C: E[xi] increases with p; low participation => slow
+  // convergence contribution.
+  double prev = 0.0;
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double v = expected_xi(p);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ExpectedXiTest, InUnitInterval) {
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    EXPECT_GT(expected_xi(p), 0.0);
+    EXPECT_LE(expected_xi(p), 1.0);
+  }
+}
+
+TEST(ExpectedXiTest, PaperScalingClaim) {
+  // §V-D: moving from 4-of-10 (p=0.4) to 4-of-50 (p=0.08) shrinks E[xi]
+  // to roughly 1/5.
+  const double ratio = expected_xi(0.08) / expected_xi(0.4);
+  EXPECT_NEAR(ratio, 0.36, 0.05);  // ~0.22/0.61
+}
+
+TEST(ExpectedXiTest, MatchesGeometricSimulation) {
+  // Property: E[1/gap] for geometric(p) gaps equals the closed form.
+  const double p = 0.3;
+  double sum = 0.0;
+  for (int gap = 1; gap < 10000; ++gap) {
+    sum += p * std::pow(1.0 - p, gap - 1) / gap;
+  }
+  EXPECT_NEAR(expected_xi(p), sum, 1e-9);
+}
+
+TEST(DescentRhoTest, ExactSolveFormula) {
+  // gamma = 0: rho = 1/mu - LB/mu^2 - LB^2/(2 mu^2)  (Theorem 1).
+  const double mu = 10.0, l = 1.0, b = 2.0;
+  EXPECT_NEAR(descent_rho_exact(mu, l, b),
+              1.0 / mu - l * b / (mu * mu) - l * b * b / (2.0 * mu * mu),
+              1e-12);
+}
+
+TEST(DescentRhoTest, PositiveBeyondThreshold) {
+  // rho(mu) = 1/mu - c1/mu^2 is negative for small mu and stays positive
+  // for every mu past the threshold (it decays to 0+ like 1/mu).
+  const double l = 1.0, b = 2.0, gamma = 0.1;
+  const double threshold = min_convergent_mu(l, b, gamma);
+  for (double mu = threshold * 1.01; mu < threshold * 100.0; mu *= 1.5) {
+    EXPECT_GT(descent_rho(mu, l, b, gamma), 0.0) << mu;
+  }
+  for (double mu = threshold * 0.99; mu > threshold * 0.01; mu *= 0.5) {
+    EXPECT_LE(descent_rho(mu, l, b, gamma), 0.0) << mu;
+  }
+}
+
+TEST(DescentRhoTest, InexactnessHurts) {
+  EXPECT_GT(descent_rho(10.0, 1.0, 2.0, 0.0),
+            descent_rho(10.0, 1.0, 2.0, 0.5));
+}
+
+TEST(ConvergesTest, FedProxGuidanceMuSatisfies) {
+  // FedProx suggests mu ~ 6 L B^2; that choice must satisfy rho > 0.
+  const double l = 1.0, b = 3.0;
+  EXPECT_TRUE(converges(6.0 * l * b * b, l, b, 0.0));
+}
+
+TEST(ConvergesTest, TinyMuFails) {
+  EXPECT_FALSE(converges(0.01, 1.0, 3.0, 0.0));
+}
+
+TEST(MinConvergentMuTest, BoundaryIsTight) {
+  const double l = 1.0, b = 2.0, gamma = 0.1;
+  const double mu = min_convergent_mu(l, b, gamma);
+  EXPECT_TRUE(converges(mu * 1.01, l, b, gamma));
+  EXPECT_FALSE(converges(mu * 0.99, l, b, gamma));
+}
+
+TEST(MinConvergentMuTest, HarderProblemNeedsLargerMu) {
+  EXPECT_GT(min_convergent_mu(1.0, 4.0, 0.0), min_convergent_mu(1.0, 2.0, 0.0));
+  EXPECT_GT(min_convergent_mu(2.0, 2.0, 0.0), min_convergent_mu(1.0, 2.0, 0.0));
+}
+
+}  // namespace
+}  // namespace fedtrip::fl::theory

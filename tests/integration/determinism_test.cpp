@@ -1,0 +1,68 @@
+// Determinism: results must be bit-identical across runs and across worker
+// counts (DESIGN.md decision 4 — pre-split RNG streams, ordered
+// aggregation).
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+std::vector<float> run_final_params(const fl::ExperimentConfig& cfg,
+                                    const std::string& method) {
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+  return sim.run().final_params;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, SameSeedBitIdentical) {
+  auto cfg = fl::testing::tiny_config();
+  auto a = run_final_params(cfg, GetParam());
+  auto b = run_final_params(cfg, GetParam());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, DeterminismTest,
+    ::testing::ValuesIn(algorithms::all_methods()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(DeterminismTest, DifferentSeedsDiffer) {
+  auto cfg = fl::testing::tiny_config();
+  auto a = run_final_params(cfg, "FedTrip");
+  cfg.seed = cfg.seed + 1;
+  auto b = run_final_params(cfg, "FedTrip");
+  EXPECT_NE(a, b);
+}
+
+TEST(DeterminismTest, AccuracyHistoryReproducible) {
+  auto cfg = fl::testing::tiny_config();
+  algorithms::AlgoParams p;
+  fl::Simulation s1(cfg, algorithms::make_algorithm("FedTrip", p));
+  fl::Simulation s2(cfg, algorithms::make_algorithm("FedTrip", p));
+  auto h1 = s1.run().history;
+  auto h2 = s2.run().history;
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h1[i].test_accuracy, h2[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(h1[i].train_loss, h2[i].train_loss);
+  }
+}
+
+TEST(DeterminismTest, PartitionReproducible) {
+  auto cfg = fl::testing::tiny_config();
+  algorithms::AlgoParams p;
+  fl::Simulation s1(cfg, algorithms::make_algorithm("FedAvg", p));
+  fl::Simulation s2(cfg, algorithms::make_algorithm("FedAvg", p));
+  EXPECT_EQ(s1.partition(), s2.partition());
+}
+
+}  // namespace
+}  // namespace fedtrip

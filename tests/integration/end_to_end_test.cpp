@@ -1,0 +1,131 @@
+// End-to-end: every algorithm runs a short federated training through the
+// full Simulation stack on every heterogeneity type.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+class EveryAlgorithmTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryAlgorithmTest, RunsThreeRounds) {
+  auto cfg = fl::testing::tiny_config();
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm(GetParam(), p));
+  auto result = sim.run();
+  ASSERT_EQ(result.history.size(), cfg.rounds);
+  for (const auto& r : result.history) {
+    EXPECT_GE(r.test_accuracy, 0.0);
+    EXPECT_LE(r.test_accuracy, 1.0);
+    EXPECT_GT(r.cum_gflops, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, EveryAlgorithmTest,
+    ::testing::ValuesIn(algorithms::all_methods()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+class EveryHeterogeneityTest
+    : public ::testing::TestWithParam<data::Heterogeneity> {};
+
+TEST_P(EveryHeterogeneityTest, FedTripRuns) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.num_clients = 10;  // orthogonal-10 needs >= 10 clients
+  cfg.clients_per_round = 4;
+  cfg.data_scale = 0.05;
+  cfg.heterogeneity = GetParam();
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  auto result = sim.run();
+  EXPECT_EQ(result.history.size(), cfg.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeterogeneity, EveryHeterogeneityTest,
+    ::testing::Values(data::Heterogeneity::kIID, data::Heterogeneity::kDir01,
+                      data::Heterogeneity::kDir05,
+                      data::Heterogeneity::kOrthogonal5,
+                      data::Heterogeneity::kOrthogonal10),
+    [](const ::testing::TestParamInfo<data::Heterogeneity>& info) {
+      std::string name = data::heterogeneity_name(info.param);
+      for (auto& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+class EveryArchTest : public ::testing::TestWithParam<nn::Arch> {};
+
+TEST_P(EveryArchTest, FedTripTrainsOneRound) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.rounds = 1;
+  cfg.model.arch = GetParam();
+  if (GetParam() == nn::Arch::kAlexNet) {
+    cfg.dataset = "cifar10";
+    cfg.data_scale = 0.005;
+    cfg.model.channels = 3;
+    cfg.model.height = 32;
+    cfg.model.width = 32;
+    cfg.model.width_mult = 0.125;  // keep the test fast
+    cfg.batch_size = 4;
+  }
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  auto result = sim.run();
+  EXPECT_EQ(result.history.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, EveryArchTest,
+                         ::testing::Values(nn::Arch::kMLP, nn::Arch::kCNN,
+                                           nn::Arch::kAlexNet),
+                         [](const ::testing::TestParamInfo<nn::Arch>& info) {
+                           return nn::arch_name(info.param);
+                         });
+
+TEST(EndToEndTest, LocalEpochsMultiplyComputation) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.rounds = 2;
+  algorithms::AlgoParams p;
+
+  fl::Simulation sim1(cfg, algorithms::make_algorithm("FedAvg", p));
+  const double flops1 = sim1.run().history.back().cum_gflops;
+
+  cfg.local_epochs = 3;
+  fl::Simulation sim3(cfg, algorithms::make_algorithm("FedAvg", p));
+  const double flops3 = sim3.run().history.back().cum_gflops;
+  EXPECT_NEAR(flops3, 3.0 * flops1, 0.01 * flops3);
+}
+
+TEST(EndToEndTest, ScaffoldCommExceedsFedAvg) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.rounds = 2;
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation avg(cfg, algorithms::make_algorithm("FedAvg", p));
+  fl::Simulation scaf(cfg, algorithms::make_algorithm("SCAFFOLD", p));
+  const double mb_avg = avg.run().history.back().cum_comm_mb;
+  const double mb_scaf = scaf.run().history.back().cum_comm_mb;
+  // SCAFFOLD moves 2x the volume (c down, Delta c up).
+  EXPECT_NEAR(mb_scaf, 2.0 * mb_avg, 0.01 * mb_scaf);
+}
+
+TEST(EndToEndTest, MoonBurnsMoreFlopsThanFedTrip) {
+  // Table V's qualitative claim at tiny scale.
+  auto cfg = fl::testing::tiny_config();
+  cfg.rounds = 2;
+  algorithms::AlgoParams p;
+  fl::Simulation moon(cfg, algorithms::make_algorithm("MOON", p));
+  fl::Simulation trip(cfg, algorithms::make_algorithm("FedTrip", p));
+  EXPECT_GT(moon.run().history.back().cum_gflops,
+            trip.run().history.back().cum_gflops);
+}
+
+}  // namespace
+}  // namespace fedtrip

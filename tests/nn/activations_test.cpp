@@ -1,0 +1,87 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+
+namespace fedtrip::nn {
+namespace {
+
+TEST(ReLUTest, ClampsNegatives) {
+  ReLU relu;
+  Tensor x(Shape{1, 4}, {-1.0f, 0.0f, 0.5f, 2.0f});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 2.0f);
+}
+
+TEST(ReLUTest, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor x(Shape{1, 4}, {-1.0f, -0.1f, 0.5f, 2.0f});
+  relu.forward(x, true);
+  Tensor g(Shape{1, 4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+  EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(ReLUTest, GradCheckAwayFromKink) {
+  ReLU relu;
+  // Keep inputs away from 0 so finite differences are valid.
+  Tensor x(Shape{2, 3}, {-2.0f, -1.0f, 1.0f, 2.0f, -0.8f, 0.9f});
+  testing::check_input_gradient(relu, x, 1e-2, 1e-3f);
+}
+
+TEST(ReLUTest, NoParameters) {
+  ReLU relu;
+  EXPECT_TRUE(relu.parameters().empty());
+  EXPECT_TRUE(relu.gradients().empty());
+}
+
+TEST(ReLUTest, FlopsPerSample) {
+  ReLU relu;
+  relu.forward(testing::random_tensor(Shape{4, 10}, 1), true);
+  EXPECT_DOUBLE_EQ(relu.forward_flops_per_sample(), 10.0);
+}
+
+TEST(TanhTest, KnownValues) {
+  Tanh tanh_layer;
+  Tensor x(Shape{1, 3}, {0.0f, 1.0f, -1.0f});
+  Tensor y = tanh_layer.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_NEAR(y[1], std::tanh(1.0f), 1e-6);
+  EXPECT_NEAR(y[2], -std::tanh(1.0f), 1e-6);
+}
+
+TEST(TanhTest, BackwardUsesDerivative) {
+  Tanh tanh_layer;
+  Tensor x(Shape{1, 1}, {0.5f});
+  Tensor y = tanh_layer.forward(x, true);
+  Tensor g(Shape{1, 1}, {1.0f});
+  Tensor gx = tanh_layer.backward(g);
+  EXPECT_NEAR(gx[0], 1.0f - y[0] * y[0], 1e-6);
+}
+
+TEST(TanhTest, GradCheck) {
+  Tanh tanh_layer;
+  testing::check_input_gradient(
+      tanh_layer, testing::random_tensor(Shape{2, 5}, 3), 1e-2, 1e-3f);
+}
+
+TEST(TanhTest, OutputBounded) {
+  Tanh tanh_layer;
+  Tensor x = testing::random_tensor(Shape{1, 100}, 4, 10.0f);
+  Tensor y = tanh_layer.forward(x, true);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_LE(std::abs(y[static_cast<std::size_t>(i)]), 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

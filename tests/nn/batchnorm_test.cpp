@@ -1,0 +1,100 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+
+namespace fedtrip::nn {
+namespace {
+
+TEST(BatchNormTest, ShapePreserved) {
+  BatchNorm2d bn(3);
+  Tensor x = testing::random_tensor(Shape{4, 3, 5, 5}, 1);
+  Tensor y = bn.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(BatchNormTest, TrainOutputIsNormalised) {
+  BatchNorm2d bn(2);
+  Tensor x = testing::random_tensor(Shape{8, 2, 4, 4}, 2, 3.0f);
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ~ 0, var ~ 1 (gamma = 1, beta = 0 at init).
+  const std::int64_t hw = 16;
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t n = 0; n < 8; ++n) {
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float v = y.data()[(n * 2 + c) * hw + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    const double mean = sum / (8.0 * hw);
+    const double var = sq / (8.0 * hw) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, AffineParametersApplied) {
+  BatchNorm2d bn(1);
+  bn.parameters()[0]->fill(2.0f);   // gamma
+  bn.parameters()[1]->fill(-1.0f);  // beta
+  Tensor x = testing::random_tensor(Shape{4, 1, 3, 3}, 3);
+  Tensor y = bn.forward(x, true);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    sum += y[static_cast<std::size_t>(i)];
+  }
+  // Mean of output should be beta = -1 (normalised mean 0 scaled by gamma).
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), -1.0, 1e-4);
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  // Feed batches with mean 5, std 2.
+  Rng rng(4);
+  for (int step = 0; step < 50; ++step) {
+    Tensor x(Shape{16, 1, 2, 2});
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[static_cast<std::size_t>(i)] = rng.normal(5.0f, 2.0f);
+    }
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.5f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 1.0f);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm2d bn(1, 1e-5f, 1.0f);  // momentum 1: running = last batch
+  Tensor train_x = testing::random_tensor(Shape{8, 1, 2, 2}, 5, 2.0f);
+  bn.forward(train_x, true);
+  // Eval on a constant input equal to the running mean -> output ~ beta = 0.
+  Tensor eval_x = Tensor::full(Shape{1, 1, 2, 2}, bn.running_mean()[0]);
+  Tensor y = bn.forward(eval_x, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 0.0f, 1e-4);
+  }
+}
+
+TEST(BatchNormTest, InputGradCheck) {
+  BatchNorm2d bn(2);
+  Tensor x = testing::random_tensor(Shape{3, 2, 3, 3}, 6);
+  testing::check_input_gradient(bn, x, 3e-2, 1e-2f);
+}
+
+TEST(BatchNormTest, ParameterGradCheck) {
+  BatchNorm2d bn(2);
+  Tensor x = testing::random_tensor(Shape{3, 2, 3, 3}, 7);
+  testing::check_parameter_gradients(bn, x, 3e-2, 1e-2f);
+}
+
+TEST(BatchNormTest, ParameterCount) {
+  BatchNorm2d bn(16);
+  EXPECT_EQ(bn.parameter_count(), 32);
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

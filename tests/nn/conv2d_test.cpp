@@ -1,0 +1,125 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck_util.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::nn {
+namespace {
+
+TEST(Conv2dTest, OutputShapeValid) {
+  Rng rng(1);
+  Conv2d conv(1, 4, 5, 1, 0, rng);
+  Tensor x = testing::random_tensor(Shape{2, 1, 28, 28}, 2);
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 24, 24}));
+}
+
+TEST(Conv2dTest, OutputShapeSamePadding) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 5, 1, 2, rng);
+  Tensor x = testing::random_tensor(Shape{1, 3, 16, 16}, 2);
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 8, 16, 16}));
+}
+
+TEST(Conv2dTest, OutputShapeStride2) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  Tensor x = testing::random_tensor(Shape{1, 3, 32, 32}, 2);
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 8, 16, 16}));
+}
+
+TEST(Conv2dTest, IdentityKernel) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, 0, rng);
+  conv.parameters()[0]->fill(1.0f);  // 1x1 weight = 1
+  conv.parameters()[1]->zero();      // bias = 0
+  Tensor x = testing::random_tensor(Shape{1, 1, 4, 4}, 3);
+  Tensor y = conv.forward(x, true);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_FLOAT_EQ(y[idx], x[idx]);
+  }
+}
+
+TEST(Conv2dTest, SumKernelComputesWindowSums) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 2, 1, 0, rng);
+  conv.parameters()[0]->fill(1.0f);
+  conv.parameters()[1]->zero();
+  Tensor x(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 10.0f);
+}
+
+TEST(Conv2dTest, BiasAdded) {
+  Rng rng(1);
+  Conv2d conv(1, 2, 1, 1, 0, rng);
+  conv.parameters()[0]->zero();
+  (*conv.parameters()[1])[0] = 3.0f;
+  (*conv.parameters()[1])[1] = -1.0f;
+  Tensor x = testing::random_tensor(Shape{1, 1, 3, 3}, 4);
+  Tensor y = conv.forward(x, true);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(i)], 3.0f);
+    EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(9 + i)], -1.0f);
+  }
+}
+
+TEST(Conv2dTest, MultiChannelMixes) {
+  Rng rng(1);
+  Conv2d conv(2, 1, 1, 1, 0, rng);
+  // w = [2, 3] over channels
+  Tensor& w = *conv.parameters()[0];
+  w[0] = 2.0f;
+  w[1] = 3.0f;
+  conv.parameters()[1]->zero();
+  Tensor x(Shape{1, 2, 1, 1}, {5.0f, 7.0f});
+  Tensor y = conv.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 5.0f + 3.0f * 7.0f);
+}
+
+TEST(Conv2dTest, InputGradient) {
+  Rng rng(2);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  testing::check_input_gradient(
+      conv, testing::random_tensor(Shape{2, 2, 6, 6}, 5));
+}
+
+TEST(Conv2dTest, InputGradientStride2) {
+  Rng rng(3);
+  Conv2d conv(1, 2, 3, 2, 1, rng);
+  testing::check_input_gradient(
+      conv, testing::random_tensor(Shape{1, 1, 8, 8}, 6));
+}
+
+TEST(Conv2dTest, ParameterGradients) {
+  Rng rng(4);
+  Conv2d conv(2, 2, 3, 1, 0, rng);
+  testing::check_parameter_gradients(
+      conv, testing::random_tensor(Shape{2, 2, 5, 5}, 7));
+}
+
+TEST(Conv2dTest, FlopsAfterForward) {
+  Rng rng(5);
+  Conv2d conv(1, 6, 5, 1, 2, rng);
+  EXPECT_EQ(conv.forward_flops_per_sample(), 0.0);  // geometry unknown yet
+  conv.forward(testing::random_tensor(Shape{1, 1, 28, 28}, 8), true);
+  // 2 * Cout*Cin*k*k*OH*OW + bias adds
+  const double macs = 6.0 * 1 * 5 * 5 * 28 * 28;
+  EXPECT_DOUBLE_EQ(conv.forward_flops_per_sample(),
+                   2.0 * macs + 6.0 * 28 * 28);
+}
+
+TEST(Conv2dTest, ParameterCount) {
+  Rng rng(6);
+  Conv2d conv(6, 16, 5, 1, 0, rng);
+  EXPECT_EQ(conv.parameter_count(), 16 * 6 * 5 * 5 + 16);
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

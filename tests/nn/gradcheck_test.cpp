@@ -1,0 +1,105 @@
+// End-to-end gradient checks: full model + cross-entropy loss against
+// central differences. These are the strongest correctness guarantees for
+// the manual backprop implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/parameter_vector.h"
+
+namespace fedtrip::nn {
+namespace {
+
+double ce_loss(Sequential& model, const Tensor& x,
+               const std::vector<std::int64_t>& labels) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits = model.forward(x, /*train=*/false);
+  return ce.forward(logits, labels);
+}
+
+void check_model_gradient(Sequential& model, const Tensor& x,
+                          const std::vector<std::int64_t>& labels,
+                          std::size_t samples, double tol) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits = model.forward(x, /*train=*/true);
+  ce.forward(logits, labels);
+  model.zero_grad();
+  model.backward(ce.backward());
+  auto grads = flatten_gradients(model);
+  auto params = flatten_parameters(model);
+
+  Rng rng(777);
+  const float eps = 5e-3f;
+  for (std::size_t trial = 0; trial < samples; ++trial) {
+    const std::size_t i = rng.uniform_int(params.size());
+    auto flat = params;
+    flat[i] = params[i] + eps;
+    load_parameters(model, flat);
+    const double lp = ce_loss(model, x, labels);
+    flat[i] = params[i] - eps;
+    load_parameters(model, flat);
+    const double lm = ce_loss(model, x, labels);
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grads[i], num, tol * std::max(1.0, std::abs(num)))
+        << "flat index " << i;
+  }
+  load_parameters(model, params);
+}
+
+TEST(GradCheckTest, MlpEndToEnd) {
+  ModelSpec spec;
+  spec.arch = Arch::kMLP;
+  auto model = build_model(spec, 11);
+  Tensor x = testing::random_tensor(Shape{4, 1, 28, 28}, 12, 0.5f);
+  check_model_gradient(*model, x, {0, 3, 7, 9}, 60, 5e-2);
+}
+
+TEST(GradCheckTest, CnnEndToEnd) {
+  ModelSpec spec;
+  spec.arch = Arch::kCNN;
+  auto model = build_model(spec, 13);
+  Tensor x = testing::random_tensor(Shape{2, 1, 28, 28}, 14, 0.5f);
+  check_model_gradient(*model, x, {1, 8}, 40, 5e-2);
+}
+
+TEST(GradCheckTest, AlexNetSmallEndToEnd) {
+  ModelSpec spec;
+  spec.arch = Arch::kAlexNet;
+  spec.channels = 3;
+  spec.height = 32;
+  spec.width = 32;
+  spec.width_mult = 0.125;
+  auto model = build_model(spec, 15);
+  Tensor x = testing::random_tensor(Shape{2, 3, 32, 32}, 16, 0.5f);
+  check_model_gradient(*model, x, {2, 5}, 25, 8e-2);
+}
+
+TEST(GradCheckTest, LossDecreasesAlongNegativeGradient) {
+  // Property: a small step against the gradient reduces the loss.
+  ModelSpec spec;
+  spec.arch = Arch::kMLP;
+  auto model = build_model(spec, 17);
+  Tensor x = testing::random_tensor(Shape{8, 1, 28, 28}, 18, 0.5f);
+  std::vector<std::int64_t> labels{0, 1, 2, 3, 4, 5, 6, 7};
+
+  SoftmaxCrossEntropy ce;
+  Tensor logits = model->forward(x, true);
+  const double before = ce.forward(logits, labels);
+  model->zero_grad();
+  model->backward(ce.backward());
+
+  auto params = flatten_parameters(*model);
+  auto grads = flatten_gradients(*model);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= 0.1f * grads[i];
+  }
+  load_parameters(*model, params);
+  const double after = ce_loss(*model, x, labels);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

@@ -1,0 +1,127 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck_util.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear lin(8, 3, rng);
+  Tensor x = testing::random_tensor(Shape{4, 8}, 2);
+  Tensor y = lin.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{4, 3}));
+}
+
+TEST(LinearTest, KnownValues) {
+  Rng rng(1);
+  Linear lin(2, 2, rng);
+  // Overwrite init: W = [[1, 2], [3, 4]], b = [0.5, -0.5]
+  lin.weight() = Tensor(Shape{2, 2}, {1, 2, 3, 4});
+  lin.bias() = Tensor(Shape{2}, {0.5f, -0.5f});
+  Tensor x(Shape{1, 2}, {1.0f, 1.0f});
+  Tensor y = lin.forward(x, true);
+  // y = xW^T + b = [1+2, 3+4] + b = [3.5, 6.5]
+  EXPECT_FLOAT_EQ(y[0], 3.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.5f);
+}
+
+TEST(LinearTest, BiasAppliedToEveryRow) {
+  Rng rng(2);
+  Linear lin(3, 2, rng);
+  lin.weight().zero();
+  lin.bias() = Tensor(Shape{2}, {1.0f, -2.0f});
+  Tensor x = testing::random_tensor(Shape{5, 3}, 7);
+  Tensor y = lin.forward(x, true);
+  for (std::int64_t n = 0; n < 5; ++n) {
+    EXPECT_FLOAT_EQ(y.at(n, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(n, 1), -2.0f);
+  }
+}
+
+TEST(LinearTest, InputGradient) {
+  Rng rng(3);
+  Linear lin(6, 4, rng);
+  testing::check_input_gradient(lin, testing::random_tensor(Shape{3, 6}, 8));
+}
+
+TEST(LinearTest, ParameterGradients) {
+  Rng rng(4);
+  Linear lin(5, 3, rng);
+  testing::check_parameter_gradients(
+      lin, testing::random_tensor(Shape{2, 5}, 9));
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwards) {
+  Rng rng(5);
+  Linear lin(2, 2, rng);
+  Tensor x = testing::random_tensor(Shape{1, 2}, 10);
+  Tensor g(Shape{1, 2}, {1.0f, 1.0f});
+  lin.zero_grad();
+  lin.forward(x, true);
+  lin.backward(g);
+  auto grads1 = lin.gradients();
+  Tensor gw_once = *grads1[0];
+  lin.forward(x, true);
+  lin.backward(g);
+  for (std::int64_t i = 0; i < gw_once.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_FLOAT_EQ((*lin.gradients()[0])[idx], 2.0f * gw_once[idx]);
+  }
+}
+
+TEST(LinearTest, ZeroGradClears) {
+  Rng rng(6);
+  Linear lin(2, 2, rng);
+  Tensor x = testing::random_tensor(Shape{1, 2}, 11);
+  lin.forward(x, true);
+  lin.backward(Tensor(Shape{1, 2}, {1.0f, 1.0f}));
+  lin.zero_grad();
+  for (Tensor* g : lin.gradients()) {
+    for (std::int64_t i = 0; i < g->numel(); ++i) {
+      EXPECT_EQ((*g)[static_cast<std::size_t>(i)], 0.0f);
+    }
+  }
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(7);
+  Linear lin(10, 4, rng);
+  EXPECT_EQ(lin.parameter_count(), 10 * 4 + 4);
+}
+
+TEST(LinearTest, ForwardFlops) {
+  Rng rng(8);
+  Linear lin(100, 10, rng);
+  EXPECT_DOUBLE_EQ(lin.forward_flops_per_sample(), 2.0 * 100 * 10 + 10);
+}
+
+TEST(LinearTest, InitIsBoundedByKaiming) {
+  Rng rng(9);
+  Linear lin(64, 32, rng);
+  const float bound = std::sqrt(6.0f / 64.0f);
+  for (std::int64_t i = 0; i < lin.weight().numel(); ++i) {
+    const float w = lin.weight()[static_cast<std::size_t>(i)];
+    EXPECT_LE(std::abs(w), bound + 1e-6f);
+  }
+  for (std::int64_t i = 0; i < lin.bias().numel(); ++i) {
+    EXPECT_EQ(lin.bias()[static_cast<std::size_t>(i)], 0.0f);
+  }
+}
+
+TEST(LinearTest, DifferentSeedsDifferentInit) {
+  Rng r1(1), r2(2);
+  Linear a(8, 8, r1), b(8, 8, r2);
+  int same = 0;
+  for (std::int64_t i = 0; i < a.weight().numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (a.weight()[idx] == b.weight()[idx]) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

@@ -1,0 +1,60 @@
+#include "nn/lrn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+
+namespace fedtrip::nn {
+namespace {
+
+TEST(LrnTest, ShapePreserved) {
+  LocalResponseNorm lrn;
+  Tensor x = testing::random_tensor(Shape{2, 8, 4, 4}, 1);
+  Tensor y = lrn.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(LrnTest, SingleChannelKnownValue) {
+  // With one channel, window sum = a^2:
+  // b = a / (k + (alpha/n) a^2)^beta.
+  LocalResponseNorm lrn(/*size=*/1, /*alpha=*/1.0f, /*beta=*/0.5f,
+                        /*k=*/1.0f);
+  Tensor x(Shape{1, 1, 1, 1}, {3.0f});
+  Tensor y = lrn.forward(x, true);
+  EXPECT_NEAR(y[0], 3.0f / std::sqrt(1.0f + 9.0f), 1e-5);
+}
+
+TEST(LrnTest, ZeroInputZeroOutput) {
+  LocalResponseNorm lrn;
+  Tensor x(Shape{1, 4, 2, 2});
+  Tensor y = lrn.forward(x, true);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_EQ(y[static_cast<std::size_t>(i)], 0.0f);
+  }
+}
+
+TEST(LrnTest, SuppressesWithNeighbours) {
+  // The same activation surrounded by large neighbours must shrink.
+  LocalResponseNorm lrn(3, 1.0f, 0.75f, 1.0f);
+  Tensor lone(Shape{1, 3, 1, 1}, {0.0f, 1.0f, 0.0f});
+  Tensor crowded(Shape{1, 3, 1, 1}, {5.0f, 1.0f, 5.0f});
+  const float y_lone = lrn.forward(lone, true)[1];
+  const float y_crowded = lrn.forward(crowded, true)[1];
+  EXPECT_GT(y_lone, y_crowded);
+}
+
+TEST(LrnTest, GradCheck) {
+  LocalResponseNorm lrn(3, 0.5f, 0.75f, 2.0f);
+  testing::check_input_gradient(
+      lrn, testing::random_tensor(Shape{1, 5, 3, 3}, 2), 2e-2, 1e-3f);
+}
+
+TEST(LrnTest, NoParameters) {
+  LocalResponseNorm lrn;
+  EXPECT_TRUE(lrn.parameters().empty());
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

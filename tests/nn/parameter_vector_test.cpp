@@ -1,0 +1,106 @@
+#include "nn/parameter_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck_util.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::nn {
+namespace {
+
+std::unique_ptr<Sequential> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  auto m = std::make_unique<Sequential>();
+  m->add(std::make_unique<Linear>(3, 4, rng));
+  m->add(std::make_unique<ReLU>());
+  m->add(std::make_unique<Linear>(4, 2, rng));
+  return m;
+}
+
+TEST(ParameterVectorTest, CountMatchesLayers) {
+  auto m = tiny_model(1);
+  EXPECT_EQ(parameter_count(*m), (3 * 4 + 4) + (4 * 2 + 2));
+}
+
+TEST(ParameterVectorTest, FlattenLoadRoundTrip) {
+  auto m = tiny_model(2);
+  auto flat = flatten_parameters(*m);
+  EXPECT_EQ(static_cast<std::int64_t>(flat.size()), parameter_count(*m));
+
+  // Perturb, load back, flatten again.
+  for (auto& v : flat) v += 1.0f;
+  load_parameters(*m, flat);
+  auto flat2 = flatten_parameters(*m);
+  EXPECT_EQ(flat, flat2);
+}
+
+TEST(ParameterVectorTest, LoadChangesForwardOutput) {
+  auto m = tiny_model(3);
+  Tensor x = testing::random_tensor(Shape{1, 3}, 4);
+  Tensor y0 = m->forward(x, false);
+  auto flat = flatten_parameters(*m);
+  for (auto& v : flat) v = 0.0f;
+  load_parameters(*m, flat);
+  Tensor y1 = m->forward(x, false);
+  for (std::int64_t i = 0; i < y1.numel(); ++i) {
+    EXPECT_EQ(y1[static_cast<std::size_t>(i)], 0.0f);
+  }
+  (void)y0;
+}
+
+TEST(ParameterVectorTest, TwoModelsSameSeedSameFlat) {
+  auto a = tiny_model(7);
+  auto b = tiny_model(7);
+  EXPECT_EQ(flatten_parameters(*a), flatten_parameters(*b));
+}
+
+TEST(ParameterVectorTest, FlattenGradients) {
+  auto m = tiny_model(5);
+  Tensor x = testing::random_tensor(Shape{2, 3}, 6);
+  m->forward(x, true);
+  m->zero_grad();
+  m->backward(testing::random_tensor(Shape{2, 2}, 7));
+  auto g = flatten_gradients(*m);
+  EXPECT_EQ(static_cast<std::int64_t>(g.size()), parameter_count(*m));
+  double norm = 0.0;
+  for (float v : g) norm += static_cast<double>(v) * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(ParameterVectorTest, AddToGradients) {
+  auto m = tiny_model(8);
+  m->zero_grad();
+  std::vector<float> delta(static_cast<std::size_t>(parameter_count(*m)),
+                           0.5f);
+  add_to_gradients(*m, delta);
+  auto g = flatten_gradients(*m);
+  for (float v : g) EXPECT_FLOAT_EQ(v, 0.5f);
+  // Adding again accumulates.
+  add_to_gradients(*m, delta);
+  g = flatten_gradients(*m);
+  for (float v : g) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(ParameterVectorTest, CopyParametersIntoReuseBuffer) {
+  auto m = tiny_model(9);
+  std::vector<float> buf;
+  copy_parameters_into(*m, buf);
+  EXPECT_EQ(static_cast<std::int64_t>(buf.size()), parameter_count(*m));
+  auto expected = flatten_parameters(*m);
+  EXPECT_EQ(buf, expected);
+}
+
+TEST(ParameterVectorTest, LayerOrderIsStable) {
+  // First weight element of the first Linear must be at flat index 0.
+  auto m = tiny_model(10);
+  auto flat = flatten_parameters(*m);
+  EXPECT_EQ(flat[0], (*m->parameters()[0])[0]);
+  // Bias of the first Linear right after its weight block.
+  EXPECT_EQ(flat[12], (*m->parameters()[1])[0]);
+}
+
+}  // namespace
+}  // namespace fedtrip::nn

@@ -1,0 +1,135 @@
+#include "optim/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/parameter_vector.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::optim {
+namespace {
+
+std::unique_ptr<nn::Sequential> one_layer(std::uint64_t seed) {
+  Rng rng(seed);
+  auto m = std::make_unique<nn::Sequential>();
+  m->add(std::make_unique<nn::Linear>(2, 2, rng));
+  return m;
+}
+
+void set_gradients(nn::Module& m, float value) {
+  for (Tensor* g : m.gradients()) g->fill(value);
+}
+
+TEST(SgdTest, StepMovesAgainstGradient) {
+  auto m = one_layer(1);
+  auto before = nn::flatten_parameters(*m);
+  set_gradients(*m, 1.0f);
+  SGD opt(0.1f);
+  opt.step(*m);
+  auto after = nn::flatten_parameters(*m);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] - 0.1f, 1e-6);
+  }
+}
+
+TEST(SgdTest, ZeroGradientNoMove) {
+  auto m = one_layer(2);
+  auto before = nn::flatten_parameters(*m);
+  set_gradients(*m, 0.0f);
+  SGD opt(0.1f);
+  opt.step(*m);
+  EXPECT_EQ(nn::flatten_parameters(*m), before);
+}
+
+TEST(SgdTest, LearningRateScales) {
+  auto m1 = one_layer(3);
+  auto m2 = one_layer(3);
+  set_gradients(*m1, 1.0f);
+  set_gradients(*m2, 1.0f);
+  SGD small(0.01f), large(0.1f);
+  auto before = nn::flatten_parameters(*m1);
+  small.step(*m1);
+  large.step(*m2);
+  auto a1 = nn::flatten_parameters(*m1);
+  auto a2 = nn::flatten_parameters(*m2);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i] - a2[i], 10.0f * (before[i] - a1[i]), 1e-5);
+  }
+}
+
+TEST(SgdMomentumTest, FirstStepEqualsPlainSgd) {
+  auto m1 = one_layer(4);
+  auto m2 = one_layer(4);
+  set_gradients(*m1, 0.5f);
+  set_gradients(*m2, 0.5f);
+  SGD plain(0.1f);
+  SGDMomentum mom(0.1f, 0.9f);
+  plain.step(*m1);
+  mom.step(*m2);
+  EXPECT_EQ(nn::flatten_parameters(*m1), nn::flatten_parameters(*m2));
+}
+
+TEST(SgdMomentumTest, AcceleratesWithConstantGradient) {
+  // v_t = mu v_{t-1} + g: step sizes grow geometrically toward g/(1-mu).
+  auto m = one_layer(5);
+  SGDMomentum mom(0.1f, 0.9f);
+  auto p0 = nn::flatten_parameters(*m);
+  set_gradients(*m, 1.0f);
+  mom.step(*m);
+  auto p1 = nn::flatten_parameters(*m);
+  set_gradients(*m, 1.0f);
+  mom.step(*m);
+  auto p2 = nn::flatten_parameters(*m);
+  const float step1 = p0[0] - p1[0];
+  const float step2 = p1[0] - p2[0];
+  EXPECT_NEAR(step1, 0.1f, 1e-6);
+  EXPECT_NEAR(step2, 0.1f * 1.9f, 1e-5);  // v2 = 0.9*1 + 1
+}
+
+TEST(SgdMomentumTest, ResetClearsVelocity) {
+  auto m = one_layer(6);
+  SGDMomentum mom(0.1f, 0.9f);
+  set_gradients(*m, 1.0f);
+  mom.step(*m);
+  mom.reset();
+  auto p1 = nn::flatten_parameters(*m);
+  set_gradients(*m, 1.0f);
+  mom.step(*m);
+  auto p2 = nn::flatten_parameters(*m);
+  // After reset the step is again lr * g exactly.
+  EXPECT_NEAR(p1[0] - p2[0], 0.1f, 1e-6);
+}
+
+TEST(SgdMomentumTest, ZeroMomentumEqualsSgdAlways) {
+  auto m1 = one_layer(7);
+  auto m2 = one_layer(7);
+  SGD plain(0.05f);
+  SGDMomentum mom(0.05f, 0.0f);
+  for (int i = 0; i < 5; ++i) {
+    set_gradients(*m1, 0.3f);
+    set_gradients(*m2, 0.3f);
+    plain.step(*m1);
+    mom.step(*m2);
+  }
+  auto a = nn::flatten_parameters(*m1);
+  auto b = nn::flatten_parameters(*m2);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(MakeOptimizerTest, Factory) {
+  auto sgd = make_optimizer(OptKind::kSGD, 0.01f);
+  auto sgdm = make_optimizer(OptKind::kSGDMomentum, 0.01f, 0.9f);
+  EXPECT_EQ(sgd->name(), "SGD");
+  EXPECT_EQ(sgdm->name(), "SGDMomentum");
+  EXPECT_FLOAT_EQ(sgd->learning_rate(), 0.01f);
+}
+
+TEST(OptimizerTest, SetLearningRate) {
+  SGD opt(0.1f);
+  opt.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5f);
+}
+
+}  // namespace
+}  // namespace fedtrip::optim

@@ -1,0 +1,138 @@
+// Property sweeps over kernel shapes: GEMM variants against a naive
+// reference, and im2col/col2im adjointness, across a parameter grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fedtrip {
+namespace {
+
+using GemmShape = std::tuple<int, int, int>;  // m, k, n
+
+class GemmPropertyTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmPropertyTest, AllVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+
+  // Reference.
+  std::vector<float> ref(static_cast<std::size_t>(m * n), 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      ref[i * n + j] = acc;
+    }
+  }
+
+  // gemm (NN).
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  ops::gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], 1e-3f * (std::abs(ref[i]) + 1.0f));
+  }
+
+  // gemm_tn with explicitly transposed A storage.
+  std::vector<float> at(static_cast<std::size_t>(k * m));
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) at[p * m + i] = a[i * k + p];
+  }
+  std::vector<float> c_tn(static_cast<std::size_t>(m * n), 0.0f);
+  ops::gemm_tn(at.data(), b.data(), c_tn.data(), m, k, n);
+  for (std::size_t i = 0; i < c_tn.size(); ++i) {
+    ASSERT_NEAR(c_tn[i], ref[i], 1e-3f * (std::abs(ref[i]) + 1.0f));
+  }
+
+  // gemm_nt with explicitly transposed B storage.
+  std::vector<float> bt(static_cast<std::size_t>(n * k));
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  }
+  std::vector<float> c_nt(static_cast<std::size_t>(m * n), 0.0f);
+  ops::gemm_nt(a.data(), bt.data(), c_nt.data(), m, k, n);
+  for (std::size_t i = 0; i < c_nt.size(); ++i) {
+    ASSERT_NEAR(c_nt[i], ref[i], 1e-3f * (std::abs(ref[i]) + 1.0f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, GemmPropertyTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 7, 3},
+                      GemmShape{5, 1, 9}, GemmShape{8, 8, 8},
+                      GemmShape{3, 17, 2}, GemmShape{16, 5, 11},
+                      GemmShape{2, 2, 32}, GemmShape{31, 13, 7}));
+
+// (channels, h, w, kernel, stride, pad)
+using ConvGeom = std::tuple<int, int, int, int, int, int>;
+
+class Im2ColPropertyTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2ColPropertyTest, AdjointIdentity) {
+  const auto [c, h, w, kk, stride, pad] = GetParam();
+  const std::int64_t oh = ops::conv_out_size(h, kk, stride, pad);
+  const std::int64_t ow = ops::conv_out_size(w, kk, stride, pad);
+  ASSERT_GT(oh, 0);
+  ASSERT_GT(ow, 0);
+  Rng rng(static_cast<std::uint64_t>(c * 131 + h * 17 + kk));
+  const std::size_t img_n = static_cast<std::size_t>(c * h * w);
+  const std::size_t col_n =
+      static_cast<std::size_t>(c * kk * kk * oh * ow);
+  std::vector<float> x(img_n), y(col_n), cols(col_n, 0.0f),
+      back(img_n, 0.0f);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  ops::im2col(x.data(), c, h, w, kk, kk, stride, pad, cols.data());
+  ops::col2im(y.data(), c, h, w, kk, kk, stride, pad, back.data());
+  // <im2col(x), y> == <x, col2im(y)>
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_n; ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < img_n; ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+TEST_P(Im2ColPropertyTest, ColumnsContainOnlyImagePixelsOrZero) {
+  const auto [c, h, w, kk, stride, pad] = GetParam();
+  const std::int64_t oh = ops::conv_out_size(h, kk, stride, pad);
+  const std::int64_t ow = ops::conv_out_size(w, kk, stride, pad);
+  ASSERT_GT(oh, 0);
+  ASSERT_GT(ow, 0);
+  // Unique pixel values: every column entry must be one of them or 0 (pad).
+  const std::size_t img_n = static_cast<std::size_t>(c * h * w);
+  std::vector<float> x(img_n);
+  for (std::size_t i = 0; i < img_n; ++i) {
+    x[i] = static_cast<float>(i + 1);
+  }
+  std::vector<float> cols(
+      static_cast<std::size_t>(c * kk * kk * oh * ow), -1.0f);
+  ops::im2col(x.data(), c, h, w, kk, kk, stride, pad, cols.data());
+  for (float v : cols) {
+    const bool is_zero_pad = (v == 0.0f);
+    const bool is_pixel =
+        v >= 1.0f && v <= static_cast<float>(img_n) &&
+        v == std::floor(v);
+    EXPECT_TRUE(is_zero_pad || is_pixel) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeomGrid, Im2ColPropertyTest,
+    ::testing::Values(ConvGeom{1, 4, 4, 1, 1, 0}, ConvGeom{1, 5, 5, 3, 1, 1},
+                      ConvGeom{2, 6, 6, 3, 2, 1}, ConvGeom{3, 8, 8, 5, 1, 2},
+                      ConvGeom{2, 7, 5, 3, 2, 0}, ConvGeom{1, 9, 9, 5, 2, 2},
+                      ConvGeom{4, 4, 4, 2, 2, 0}));
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,216 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace fedtrip {
+namespace {
+
+// Naive reference GEMM for cross-checking.
+std::vector<float> ref_gemm(const std::vector<float>& a,
+                            const std::vector<float>& b, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  std::vector<float> a{1, 2, 3, 4};
+  std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4, -1.0f);
+  ops::gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(GemmTest, MatchesReferenceRandom) {
+  Rng rng(1);
+  const std::int64_t m = 7, k = 13, n = 5;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> c(m * n, 0.0f);
+  ops::gemm(a.data(), b.data(), c.data(), m, k, n);
+  auto ref = ref_gemm(a, b, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(GemmTest, AlphaBeta) {
+  std::vector<float> a{1, 0, 0, 1};  // identity
+  std::vector<float> b{1, 2, 3, 4};
+  std::vector<float> c{10, 10, 10, 10};
+  ops::gemm(a.data(), b.data(), c.data(), 2, 2, 2, 2.0f, 0.5f);
+  // c = 2*I*b + 0.5*c
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+  EXPECT_FLOAT_EQ(c[1], 9.0f);
+  EXPECT_FLOAT_EQ(c[2], 11.0f);
+  EXPECT_FLOAT_EQ(c[3], 13.0f);
+}
+
+TEST(GemmTest, BetaOneAccumulates) {
+  std::vector<float> a{1, 1};
+  std::vector<float> b{1, 1};
+  std::vector<float> c{5};
+  ops::gemm(a.data(), b.data(), c.data(), 1, 2, 1, 1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+}
+
+TEST(GemmTnTest, MatchesExplicitTranspose) {
+  Rng rng(2);
+  const std::int64_t m = 6, k = 9, n = 4;
+  std::vector<float> a(k * m), b(k * n);  // A stored (k x m)
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> at(m * k);
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t i = 0; i < m; ++i) at[i * k + p] = a[p * m + i];
+  }
+  std::vector<float> c(m * n, 0.0f);
+  ops::gemm_tn(a.data(), b.data(), c.data(), m, k, n);
+  auto ref = ref_gemm(at, b, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(GemmNtTest, MatchesExplicitTranspose) {
+  Rng rng(3);
+  const std::int64_t m = 5, k = 8, n = 6;
+  std::vector<float> a(m * k), b(n * k);  // B stored (n x k)
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> bt(k * n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  }
+  std::vector<float> c(m * n, 0.0f);
+  ops::gemm_nt(a.data(), b.data(), c.data(), m, k, n);
+  auto ref = ref_gemm(a, bt, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(MatmulTest, TensorWrapper) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 1}, {1, 1, 1});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(c[0], 6.0f);
+  EXPECT_FLOAT_EQ(c[1], 15.0f);
+}
+
+TEST(ConvOutSizeTest, StandardCases) {
+  EXPECT_EQ(ops::conv_out_size(28, 5, 1, 2), 28);  // same padding
+  EXPECT_EQ(ops::conv_out_size(28, 5, 1, 0), 24);  // valid
+  EXPECT_EQ(ops::conv_out_size(28, 2, 2, 0), 14);  // pool
+  EXPECT_EQ(ops::conv_out_size(32, 3, 2, 1), 16);  // stride 2
+}
+
+TEST(Im2ColTest, IdentityKernelNoPad) {
+  // 1x1 kernel, stride 1: columns == image.
+  std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(4, 0.0f);
+  ops::im2col(img.data(), 1, 2, 2, 1, 1, 1, 0, cols.data());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2ColTest, KnownPatch) {
+  // 3x3 image, 2x2 kernel, stride 1 -> 2x2 output, 4 columns.
+  std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::int64_t out_hw = 4;
+  std::vector<float> cols(static_cast<std::size_t>(4 * out_hw), 0.0f);
+  ops::im2col(img.data(), 1, 3, 3, 2, 2, 1, 0, cols.data());
+  // Row 0 of cols = top-left element of each window: 1 2 4 5
+  EXPECT_FLOAT_EQ(cols[0], 1.0f);
+  EXPECT_FLOAT_EQ(cols[1], 2.0f);
+  EXPECT_FLOAT_EQ(cols[2], 4.0f);
+  EXPECT_FLOAT_EQ(cols[3], 5.0f);
+  // Row 3 = bottom-right of each window: 5 6 8 9
+  EXPECT_FLOAT_EQ(cols[3 * out_hw + 0], 5.0f);
+  EXPECT_FLOAT_EQ(cols[3 * out_hw + 3], 9.0f);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  std::vector<float> img{1, 2, 3, 4};
+  // 2x2 image, 3x3 kernel, pad 1 -> 2x2 output.
+  std::vector<float> cols(static_cast<std::size_t>(9 * 4), -1.0f);
+  ops::im2col(img.data(), 1, 2, 2, 3, 3, 1, 1, cols.data());
+  // Kernel position (0,0) for output (0,0) hits padding -> 0.
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+  // Kernel centre (1,1) for output (0,0) hits pixel (0,0) = 1.
+  EXPECT_FLOAT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Col2ImTest, RoundTripAdjoint) {
+  // col2im(im2col(x)) multiplies each pixel by its window multiplicity;
+  // with 1x1 kernel stride 1 it must be the identity.
+  std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(4, 0.0f);
+  ops::im2col(img.data(), 1, 2, 2, 1, 1, 1, 0, cols.data());
+  std::vector<float> back(4, 0.0f);
+  ops::col2im(cols.data(), 1, 2, 2, 1, 1, 1, 0, back.data());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(back[i], img[i]);
+}
+
+TEST(Col2ImTest, DotProductIdentity) {
+  // Adjoint property: <im2col(x), y> == <x, col2im(y)> for any x, y.
+  Rng rng(9);
+  const std::int64_t c = 2, h = 5, w = 5, kh = 3, kw = 3, stride = 1, pad = 1;
+  const std::int64_t oh = ops::conv_out_size(h, kh, stride, pad);
+  const std::int64_t ow = ops::conv_out_size(w, kw, stride, pad);
+  const std::size_t img_n = static_cast<std::size_t>(c * h * w);
+  const std::size_t col_n = static_cast<std::size_t>(c * kh * kw * oh * ow);
+  std::vector<float> x(img_n), y(col_n), cols(col_n, 0.0f), back(img_n, 0.0f);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  ops::im2col(x.data(), c, h, w, kh, kw, stride, pad, cols.data());
+  ops::col2im(y.data(), c, h, w, kh, kw, stride, pad, back.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_n; ++i) lhs += cols[i] * y[i];
+  for (std::size_t i = 0; i < img_n; ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(SoftmaxRowsTest, RowsSumToOne) {
+  std::vector<float> x{1, 2, 3, -1, 0, 1};
+  ops::softmax_rows(x.data(), 2, 3);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-6);
+  EXPECT_NEAR(x[3] + x[4] + x[5], 1.0f, 1e-6);
+}
+
+TEST(SoftmaxRowsTest, MonotoneInLogits) {
+  std::vector<float> x{1, 2, 3};
+  ops::softmax_rows(x.data(), 1, 3);
+  EXPECT_LT(x[0], x[1]);
+  EXPECT_LT(x[1], x[2]);
+}
+
+TEST(SoftmaxRowsTest, NumericallyStableForLargeLogits) {
+  std::vector<float> x{1000.0f, 1000.0f};
+  ops::softmax_rows(x.data(), 1, 2);
+  EXPECT_NEAR(x[0], 0.5f, 1e-6);
+  EXPECT_NEAR(x[1], 0.5f, 1e-6);
+  EXPECT_FALSE(std::isnan(x[0]));
+}
+
+TEST(SoftmaxRowsTest, ShiftInvariance) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{101, 102, 103};
+  ops::softmax_rows(a.data(), 1, 3);
+  ops::softmax_rows(b.data(), 1, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,45 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtrip {
+namespace {
+
+TEST(ShapeTest, DefaultIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(ShapeTest, Numel) {
+  EXPECT_EQ((Shape{5}).numel(), 5);
+  EXPECT_EQ((Shape{2, 3}).numel(), 6);
+  EXPECT_EQ((Shape{2, 3, 4, 5}).numel(), 120);
+}
+
+TEST(ShapeTest, NumelWithZeroDim) {
+  EXPECT_EQ((Shape{0, 7}).numel(), 0);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+  EXPECT_EQ(Shape{}, Shape{});
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,73 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fedtrip {
+namespace {
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullFill) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.fill(-1.0f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], -1.0f);
+  t.zero();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromData) {
+  Tensor t(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, At2DWrites) {
+  Tensor t(Shape{3, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+}
+
+TEST(TensorTest, At4DIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  // Row-major: ((n*C + c)*H + h)*W + w
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(TensorTest, SpanViews) {
+  Tensor t(Shape{4});
+  auto s = t.span();
+  s[2] = 3.0f;
+  EXPECT_EQ(t[2], 3.0f);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.span()[2], 3.0f);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(TensorTest, ValueSemanticsCopyIsDeep) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, EmptyDefault) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace fedtrip

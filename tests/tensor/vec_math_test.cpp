@@ -1,0 +1,111 @@
+#include "tensor/vec_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fedtrip {
+namespace {
+
+TEST(VecMathTest, Axpy) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  vec::axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+}
+
+TEST(VecMathTest, Axpby) {
+  std::vector<float> x{1, 2};
+  std::vector<float> y{3, 4};
+  vec::axpby(2.0f, x, 0.5f, y);  // y = 2x + 0.5y
+  EXPECT_FLOAT_EQ(y[0], 3.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+}
+
+TEST(VecMathTest, Scale) {
+  std::vector<float> x{2, -4};
+  vec::scale(x, -0.5f);
+  EXPECT_FLOAT_EQ(x[0], -1.0f);
+  EXPECT_FLOAT_EQ(x[1], 2.0f);
+}
+
+TEST(VecMathTest, Copy) {
+  std::vector<float> src{1, 2, 3};
+  std::vector<float> dst(3, 0.0f);
+  vec::copy(src, dst);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(VecMathTest, CopyEmptyIsSafe) {
+  std::vector<float> src, dst;
+  vec::copy(src, dst);  // must not crash
+}
+
+TEST(VecMathTest, Dot) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(vec::dot(x, y), 32.0);
+}
+
+TEST(VecMathTest, Norm2) {
+  std::vector<float> x{3, 4};
+  EXPECT_DOUBLE_EQ(vec::norm2(x), 5.0);
+}
+
+TEST(VecMathTest, SquaredDistance) {
+  std::vector<float> x{1, 2};
+  std::vector<float> y{4, 6};
+  EXPECT_DOUBLE_EQ(vec::squared_distance(x, y), 25.0);
+  EXPECT_DOUBLE_EQ(vec::squared_distance(x, x), 0.0);
+}
+
+TEST(VecMathTest, CosineSimilarity) {
+  std::vector<float> x{1, 0};
+  std::vector<float> y{0, 1};
+  std::vector<float> z{2, 0};
+  EXPECT_NEAR(vec::cosine_similarity(x, y), 0.0, 1e-12);
+  EXPECT_NEAR(vec::cosine_similarity(x, z), 1.0, 1e-12);
+  std::vector<float> neg{-3, 0};
+  EXPECT_NEAR(vec::cosine_similarity(x, neg), -1.0, 1e-12);
+}
+
+TEST(VecMathTest, CosineSimilarityZeroVector) {
+  std::vector<float> x{0, 0};
+  std::vector<float> y{1, 2};
+  EXPECT_DOUBLE_EQ(vec::cosine_similarity(x, y), 0.0);
+}
+
+TEST(VecMathTest, SubAdd) {
+  std::vector<float> x{5, 7};
+  std::vector<float> y{2, 3};
+  std::vector<float> out(2);
+  vec::sub(x, y, out);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+  vec::add(out, y, out);  // aliasing allowed
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+}
+
+TEST(VecMathTest, Zero) {
+  std::vector<float> x{1, 2, 3};
+  vec::zero(x);
+  for (float v : x) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(VecMathTest, AccumulateWeightedIsAggregation) {
+  // Weighted average of two client models, Eq 2 style.
+  std::vector<float> acc(2, 0.0f);
+  std::vector<float> w1{1.0f, 2.0f};
+  std::vector<float> w2{3.0f, 6.0f};
+  vec::accumulate_weighted(acc, 0.25f, w1);
+  vec::accumulate_weighted(acc, 0.75f, w2);
+  EXPECT_FLOAT_EQ(acc[0], 2.5f);
+  EXPECT_FLOAT_EQ(acc[1], 5.0f);
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,36 @@
+#include "algorithms/registry.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+// Difficulty-calibration probe: prints accuracy trajectories of four
+// methods on one configuration. Used to tune the synthetic datasets'
+// noise_sigma against the paper's target accuracies (see EXPERIMENTS.md).
+//
+//   calibrate [dataset scale arch rounds batch [het [epochs]]]
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+  fl::ExperimentConfig cfg;
+  cfg.dataset = argc > 1 ? argv[1] : "mnist";
+  cfg.data_scale = argc > 2 ? atof(argv[2]) : 0.1;
+  cfg.model.arch = nn::arch_from_name(argc > 3 ? argv[3] : "CNN");
+  cfg.rounds = argc > 4 ? static_cast<std::size_t>(atoi(argv[4])) : 15;
+  cfg.batch_size = argc > 5 ? static_cast<std::size_t>(atoi(argv[5])) : 15;
+  cfg.heterogeneity = data::heterogeneity_from_name(argc>6?argv[6]:"Dir-0.5");
+  cfg.local_epochs = argc>7?static_cast<std::size_t>(atoi(argv[7])):1;
+  if (cfg.dataset == "emnist") cfg.model.classes = 47;
+  if (cfg.dataset == "cifar10") { cfg.model.channels=3; cfg.model.height=32; cfg.model.width=32; cfg.model.width_mult=0.125; }
+  cfg.num_clients = 10; cfg.clients_per_round = 4;
+  cfg.eval_every = 1; cfg.seed = 42;
+  for (const char* m : {"FedTrip","FedAvg","FedProx","MOON"}) {
+    algorithms::AlgoParams p; p.mu = cfg.model.arch==nn::Arch::kMLP?1.0f:0.4f;
+    if (!strcmp(m,"FedProx")) p.mu = 0.1f;
+    fl::Simulation sim(cfg, algorithms::make_algorithm(m, p));
+    auto h = sim.run().history;
+    printf("%-8s: ", m);
+    for (size_t i = 0; i < h.size(); i += 4) printf("%.0f ", 100*h[i].test_accuracy);
+    printf("| best=%.0f\n", 100*fl::best_accuracy(h));
+  }
+  return 0;
+}
