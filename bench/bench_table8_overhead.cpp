@@ -4,6 +4,12 @@
 // 2(K+1)|w| + n(FP+BP), MOON KM(1+p)FP, FedProx 2K|w|, FedDyn/FedTrip
 // 4K|w|) and the headline ratios (MOON / FedTrip = 50x MLP, 171x CNN,
 // 1336x AlexNet at each local iteration).
+//
+// The trailing compression-aware section goes beyond the paper: per-client
+// model transfers compressed by each registered codec (method extras ride
+// uncompressed, as in the Simulation's channel), showing how the analytic
+// overhead column shrinks once the comm subsystem is in play.
+#include "comm/registry.h"
 #include "common.h"
 #include "fl/flops.h"
 #include "nn/parameter_vector.h"
@@ -75,6 +81,21 @@ int main(int argc, char** argv) {
     std::printf("MOON / FedTrip per local iteration: %.0fx "
                 "(paper: 50x MLP, 171.4x CNN, 1336x AlexNet)\n",
                 moon_per_iter / trip_per_iter);
+
+    // Compression-aware refresh: per-client round bytes (|w| down + |w| up
+    // through the codec, method extras uncompressed) for SCAFFOLD — the
+    // extras-heaviest method — and the extra-free baseline.
+    comm::CommParams cp;
+    const auto wi = static_cast<std::size_t>(w);
+    std::printf("%-12s %22s %22s\n", "compressor",
+                "base round MB (2|w|)", "SCAFFOLD round MB (4|w|)");
+    for (const auto& name : comm::all_compressors()) {
+      auto c = comm::make_compressor(name, cp);
+      const double wire = static_cast<double>(c->wire_bytes(wi));
+      const double extras = 2.0 * 4.0 * w;  // control down + delta up, raw
+      std::printf("%-12s %22.3f %22.3f\n", c->name().c_str(),
+                  2.0 * wire / 1e6, (2.0 * wire + extras) / 1e6);
+    }
   }
   return 0;
 }

@@ -32,6 +32,11 @@ const char* kUsage = R"(run_experiment options:
   --out FILE       write per-round history CSV
   --save-model F   write final global model checkpoint
   --idx-dir DIR    load real IDX-format data from DIR instead of synthetic
+  --compressor N   uplink compressor: identity|topk|qsgd|qsgd8|qsgd4|randmask
+  --down-compressor N  downlink compressor (default identity)
+  --topk-frac X --qsgd-bits N --mask-keep X   compressor hyperparameters
+  --network P      none|uniform|heterogeneous|straggler (simulated network)
+  --bandwidth X    mean client bandwidth, Mbps   --latency X   one-way ms
 )";
 
 }  // namespace
@@ -95,6 +100,22 @@ int main(int argc, char** argv) {
       save_model = next();
     } else if (!std::strcmp(argv[i], "--idx-dir")) {
       idx_dir = next();
+    } else if (!std::strcmp(argv[i], "--compressor")) {
+      cfg.comm.uplink = next();
+    } else if (!std::strcmp(argv[i], "--down-compressor")) {
+      cfg.comm.downlink = next();
+    } else if (!std::strcmp(argv[i], "--topk-frac")) {
+      cfg.comm.params.topk_fraction = static_cast<float>(std::atof(next()));
+    } else if (!std::strcmp(argv[i], "--qsgd-bits")) {
+      cfg.comm.params.qsgd_bits = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--mask-keep")) {
+      cfg.comm.params.mask_keep = static_cast<float>(std::atof(next()));
+    } else if (!std::strcmp(argv[i], "--network")) {
+      cfg.comm.network.profile = comm::net_profile_from_name(next());
+    } else if (!std::strcmp(argv[i], "--bandwidth")) {
+      cfg.comm.network.bandwidth_mbps = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--latency")) {
+      cfg.comm.network.latency_ms = std::atof(next());
     } else if (!std::strcmp(argv[i], "--help")) {
       std::printf("%s", kUsage);
       return 0;
@@ -150,6 +171,14 @@ int main(int argc, char** argv) {
   }
   std::printf("best accuracy: %.2f%%\n",
               100.0 * fl::best_accuracy(result.history));
+  std::printf("comm: channel %s  down %.3f MB  up %.3f MB",
+              result.channel_name.c_str(), result.comm_stats.mb_down(),
+              result.comm_stats.mb_up());
+  if (cfg.comm.network.profile != comm::NetProfile::kNone) {
+    std::printf("  simulated %.2f s over %s network", result.comm_seconds,
+                comm::net_profile_name(cfg.comm.network.profile));
+  }
+  std::printf("\n");
 
   if (!out_csv.empty()) {
     fl::save_history_csv(out_csv, result.history);

@@ -1,0 +1,84 @@
+#include "comm/channel.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fedtrip::comm {
+
+void Channel::account_raw(Direction dir, std::size_t floats) {
+  if (floats == 0) return;
+  if (dir == Direction::kDown) {
+    stats_.raw_floats_down += floats;
+    stats_.bytes_down += 4 * floats;
+  } else {
+    stats_.raw_floats_up += floats;
+    stats_.bytes_up += 4 * floats;
+  }
+}
+
+void Channel::record(Direction dir, std::size_t wire_bytes,
+                     std::size_t copies) {
+  if (dir == Direction::kDown) {
+    stats_.bytes_down += wire_bytes * copies;
+    stats_.messages_down += copies;
+  } else {
+    stats_.bytes_up += wire_bytes * copies;
+    stats_.messages_up += copies;
+  }
+}
+
+CompressedChannel::CompressedChannel(CompressorPtr downlink,
+                                     CompressorPtr uplink)
+    : down_(std::move(downlink)), up_(std::move(uplink)) {
+  if (!down_ || !up_) {
+    throw std::invalid_argument("channel needs a compressor per direction");
+  }
+}
+
+std::string CompressedChannel::name() const {
+  return "down:" + down_->name() + "/up:" + up_->name();
+}
+
+const Compressor& CompressedChannel::compressor(Direction dir) const {
+  return dir == Direction::kDown ? *down_ : *up_;
+}
+
+bool CompressedChannel::transparent(Direction dir) const {
+  return compressor(dir).lossless();
+}
+
+std::size_t CompressedChannel::transmit(Direction dir, std::vector<float>& x,
+                                        Rng& rng, std::size_t copies) {
+  const Compressor& codec = compressor(dir);
+  std::size_t bytes;
+  if (codec.lossless()) {
+    // Transparent path: accounting only, no encode/decode, no copy.
+    bytes = codec.wire_bytes(x.size());
+  } else {
+    Encoded e = codec.compress(x, rng);
+    bytes = e.wire_bytes;
+    x = codec.decompress(e);
+  }
+  record(dir, bytes, copies);
+  return bytes;
+}
+
+Payload CompressedChannel::transmit_payload(Direction dir,
+                                            const std::vector<float>& x,
+                                            Rng& rng, std::size_t copies) {
+  const Compressor& codec = compressor(dir);
+  Payload p;
+  p.codec = codec.name();
+  if (codec.lossless()) {
+    p.values = x;
+    p.wire_bytes = codec.wire_bytes(x.size());
+  } else {
+    Encoded e = codec.compress(x, rng);
+    p.wire_bytes = e.wire_bytes;
+    p.values = codec.decompress(e);
+  }
+  record(dir, p.wire_bytes, copies);
+  return p;
+}
+
+}  // namespace fedtrip::comm

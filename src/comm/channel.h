@@ -1,0 +1,103 @@
+// Channel: the transport every broadcast and client update flows through.
+//
+// A channel encodes a float vector with the direction's compressor, accounts
+// the exact wire bytes (per delivered copy — a broadcast to K clients is one
+// encode, K deliveries), and hands the receiver the decoded floats. The
+// transparent (lossless) path never copies: the caller's vector is left
+// bit-identical and only the accounting runs, which is what makes the
+// default identity channel reproduce uncompressed runs exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "comm/compressor.h"
+#include "comm/config.h"
+
+namespace fedtrip::comm {
+
+enum class Direction { kDown, kUp };
+
+/// Per-direction byte accounting, exact to the byte.
+struct ChannelStats {
+  std::size_t bytes_down = 0;
+  std::size_t bytes_up = 0;
+  std::size_t messages_down = 0;
+  std::size_t messages_up = 0;
+  /// Uncompressed side-channel floats (algorithm extras, e.g. SCAFFOLD's
+  /// control variates). Their bytes are already included in bytes_*.
+  std::size_t raw_floats_down = 0;
+  std::size_t raw_floats_up = 0;
+
+  double mb_down() const { return static_cast<double>(bytes_down) / 1e6; }
+  double mb_up() const { return static_cast<double>(bytes_up) / 1e6; }
+  double total_mb() const { return mb_down() + mb_up(); }
+};
+
+/// One transmitted message as seen by the receiver.
+struct Payload {
+  /// Decoded floats delivered to the receiver (empty for raw side-channel
+  /// transfers, which are accounted but carry algorithm-owned data).
+  std::vector<float> values;
+  /// Exact wire bytes per delivered copy.
+  std::size_t wire_bytes = 0;
+  /// Codec that produced the encoding.
+  std::string codec;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when `transmit` in this direction is a bit-identical no-op on the
+  /// payload (accounting still runs). Callers may skip defensive copies.
+  virtual bool transparent(Direction dir) const = 0;
+
+  /// Sends `x` through the channel, replacing it in place with what the
+  /// receiver decodes (transparent directions leave it untouched). Records
+  /// `copies` deliveries of the same encoding — broadcast fan-out — and
+  /// returns the wire bytes of one copy. `rng` drives stochastic codecs.
+  virtual std::size_t transmit(Direction dir, std::vector<float>& x,
+                               Rng& rng, std::size_t copies = 1) = 0;
+
+  /// Full-payload variant for callers that need the encoding metadata.
+  virtual Payload transmit_payload(Direction dir, const std::vector<float>& x,
+                                   Rng& rng, std::size_t copies = 1) = 0;
+
+  /// Accounts `floats` uncompressed side-channel floats (algorithm extras
+  /// the channel does not transform).
+  void account_raw(Direction dir, std::size_t floats);
+
+  const ChannelStats& stats() const { return stats_; }
+
+ protected:
+  void record(Direction dir, std::size_t wire_bytes, std::size_t copies);
+
+  ChannelStats stats_;
+};
+
+using ChannelPtr = std::unique_ptr<Channel>;
+
+/// The standard channel: an independent compressor per direction.
+class CompressedChannel : public Channel {
+ public:
+  CompressedChannel(CompressorPtr downlink, CompressorPtr uplink);
+
+  std::string name() const override;
+  bool transparent(Direction dir) const override;
+  std::size_t transmit(Direction dir, std::vector<float>& x, Rng& rng,
+                       std::size_t copies = 1) override;
+  Payload transmit_payload(Direction dir, const std::vector<float>& x,
+                           Rng& rng, std::size_t copies = 1) override;
+
+  const Compressor& compressor(Direction dir) const;
+
+ private:
+  CompressorPtr down_;
+  CompressorPtr up_;
+};
+
+}  // namespace fedtrip::comm

@@ -1,0 +1,226 @@
+#include "comm/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedtrip::comm {
+
+// ------------------------------------------------------------- identity
+
+Encoded IdentityCompressor::compress(const std::vector<float>& x,
+                                     Rng& rng) const {
+  (void)rng;
+  Encoded e;
+  e.dim = x.size();
+  e.values = x;
+  e.wire_bytes = wire_bytes(x.size());
+  return e;
+}
+
+std::vector<float> IdentityCompressor::decompress(const Encoded& e) const {
+  return e.values;
+}
+
+std::size_t IdentityCompressor::wire_bytes(std::size_t dim) const {
+  return 4 * dim;  // unframed: matches the closed-form CommModel exactly
+}
+
+// ----------------------------------------------------------------- topk
+
+TopKCompressor::TopKCompressor(float fraction) : fraction_(fraction) {
+  if (!(fraction > 0.0f) || fraction > 1.0f) {
+    throw std::invalid_argument("topk fraction must be in (0, 1]");
+  }
+}
+
+std::string TopKCompressor::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "topk-%g", static_cast<double>(fraction_));
+  return buf;
+}
+
+std::size_t TopKCompressor::k_for(std::size_t dim) const {
+  auto k = static_cast<std::size_t>(
+      std::lround(static_cast<double>(fraction_) * static_cast<double>(dim)));
+  return std::min(std::max<std::size_t>(k, 1), dim);
+}
+
+Encoded TopKCompressor::compress(const std::vector<float>& x,
+                                 Rng& rng) const {
+  (void)rng;  // deterministic selection
+  Encoded e;
+  e.dim = x.size();
+  if (x.empty()) {
+    e.wire_bytes = wire_bytes(0);
+    return e;
+  }
+  const std::size_t k = k_for(x.size());
+
+  std::vector<std::uint32_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Largest |x_i| first; ties broken by lower index so the selection is a
+  // pure function of the data.
+  auto better = [&x](std::uint32_t a, std::uint32_t b) {
+    const float fa = std::fabs(x[a]), fb = std::fabs(x[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  };
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(k) - 1,
+                   order.end(), better);
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  e.indices = std::move(order);
+  e.values.reserve(k);
+  for (std::uint32_t i : e.indices) e.values.push_back(x[i]);
+  e.wire_bytes = wire_bytes(x.size());
+  return e;
+}
+
+std::vector<float> TopKCompressor::decompress(const Encoded& e) const {
+  std::vector<float> x(e.dim, 0.0f);
+  for (std::size_t j = 0; j < e.indices.size(); ++j) {
+    x[e.indices[j]] = e.values[j];
+  }
+  return x;
+}
+
+std::size_t TopKCompressor::wire_bytes(std::size_t dim) const {
+  return kHeaderBytes + 4 + 8 * k_for(dim);
+}
+
+// ----------------------------------------------------------------- qsgd
+
+QsgdCompressor::QsgdCompressor(int bits) : bits_(bits) {
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument("qsgd bits must be in [1, 8]");
+  }
+}
+
+std::string QsgdCompressor::name() const {
+  return "qsgd" + std::to_string(bits_);
+}
+
+Encoded QsgdCompressor::compress(const std::vector<float>& x,
+                                 Rng& rng) const {
+  Encoded e;
+  e.dim = x.size();
+  if (x.empty()) {
+    e.wire_bytes = wire_bytes(0);
+    return e;
+  }
+  auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+  e.lo = *lo_it;
+  e.hi = *hi_it;
+
+  const auto levels = static_cast<std::uint32_t>((1u << bits_) - 1);
+  const float range = e.hi - e.lo;
+  e.packed.assign((x.size() * static_cast<std::size_t>(bits_) + 7) / 8, 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::uint32_t q = 0;
+    if (range > 0.0f) {
+      // Stochastic rounding: E[q] = t, so the decode is unbiased.
+      const double t = static_cast<double>(x[i] - e.lo) / range *
+                       static_cast<double>(levels);
+      q = static_cast<std::uint32_t>(t);
+      const double frac = t - static_cast<double>(q);
+      if (rng.uniform() < frac) ++q;
+      q = std::min(q, levels);
+    }
+    const std::size_t bit = i * static_cast<std::size_t>(bits_);
+    // Levels fit in <= 8 bits, so a value spans at most two bytes.
+    e.packed[bit / 8] |= static_cast<std::uint8_t>(q << (bit % 8));
+    if (bit % 8 + static_cast<std::size_t>(bits_) > 8) {
+      e.packed[bit / 8 + 1] |=
+          static_cast<std::uint8_t>(q >> (8 - bit % 8));
+    }
+  }
+  e.wire_bytes = wire_bytes(x.size());
+  return e;
+}
+
+std::vector<float> QsgdCompressor::decompress(const Encoded& e) const {
+  std::vector<float> x(e.dim, e.lo);
+  if (e.dim == 0) return x;
+  const auto levels = static_cast<std::uint32_t>((1u << bits_) - 1);
+  const float range = e.hi - e.lo;
+  if (range <= 0.0f) return x;
+  const std::uint32_t mask = levels;
+  for (std::size_t i = 0; i < e.dim; ++i) {
+    const std::size_t bit = i * static_cast<std::size_t>(bits_);
+    std::uint32_t q = static_cast<std::uint32_t>(e.packed[bit / 8]) >>
+                      (bit % 8);
+    if (bit % 8 + static_cast<std::size_t>(bits_) > 8) {
+      q |= static_cast<std::uint32_t>(e.packed[bit / 8 + 1])
+           << (8 - bit % 8);
+    }
+    q &= mask;
+    x[i] = e.lo + static_cast<float>(q) / static_cast<float>(levels) * range;
+  }
+  return x;
+}
+
+std::size_t QsgdCompressor::wire_bytes(std::size_t dim) const {
+  return kHeaderBytes + 8 +
+         (dim * static_cast<std::size_t>(bits_) + 7) / 8;
+}
+
+// ------------------------------------------------------------- randmask
+
+RandomMaskCompressor::RandomMaskCompressor(float keep) : keep_(keep) {
+  if (!(keep > 0.0f) || keep > 1.0f) {
+    throw std::invalid_argument("mask keep must be in (0, 1]");
+  }
+}
+
+std::string RandomMaskCompressor::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "randmask-%g", static_cast<double>(keep_));
+  return buf;
+}
+
+std::size_t RandomMaskCompressor::k_for(std::size_t dim) const {
+  auto k = static_cast<std::size_t>(
+      std::lround(static_cast<double>(keep_) * static_cast<double>(dim)));
+  return std::min(std::max<std::size_t>(k, 1), dim);
+}
+
+Encoded RandomMaskCompressor::compress(const std::vector<float>& x,
+                                       Rng& rng) const {
+  Encoded e;
+  e.dim = x.size();
+  if (x.empty()) {
+    e.wire_bytes = wire_bytes(0);
+    return e;
+  }
+  const std::size_t k = k_for(x.size());
+  // Only the seed travels; the receiver regenerates the same mask.
+  e.mask_seed = rng.next_u64();
+  Rng mask_rng(e.mask_seed);
+  const auto kept = mask_rng.sample_without_replacement(x.size(), k);
+  const float scale =
+      static_cast<float>(x.size()) / static_cast<float>(k);  // unbiased
+  e.values.reserve(k);
+  for (std::size_t i : kept) e.values.push_back(x[i] * scale);
+  e.wire_bytes = wire_bytes(x.size());
+  return e;
+}
+
+std::vector<float> RandomMaskCompressor::decompress(const Encoded& e) const {
+  std::vector<float> x(e.dim, 0.0f);
+  if (e.dim == 0) return x;
+  Rng mask_rng(e.mask_seed);
+  const auto kept =
+      mask_rng.sample_without_replacement(e.dim, e.values.size());
+  for (std::size_t j = 0; j < kept.size(); ++j) x[kept[j]] = e.values[j];
+  return x;
+}
+
+std::size_t RandomMaskCompressor::wire_bytes(std::size_t dim) const {
+  return kHeaderBytes + 8 + 4 + 4 * k_for(dim);
+}
+
+}  // namespace fedtrip::comm

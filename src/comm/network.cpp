@@ -1,0 +1,110 @@
+#include "comm/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedtrip::comm {
+
+namespace {
+
+constexpr double kBytesPerMbit = 1e6 / 8.0;
+
+}  // namespace
+
+NetProfile net_profile_from_name(const std::string& name) {
+  if (name == "none") return NetProfile::kNone;
+  if (name == "uniform") return NetProfile::kUniform;
+  if (name == "heterogeneous") return NetProfile::kHeterogeneous;
+  if (name == "straggler") return NetProfile::kStraggler;
+  throw std::invalid_argument("unknown network profile: " + name);
+}
+
+const char* net_profile_name(NetProfile profile) {
+  switch (profile) {
+    case NetProfile::kNone: return "none";
+    case NetProfile::kUniform: return "uniform";
+    case NetProfile::kHeterogeneous: return "heterogeneous";
+    case NetProfile::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+NetworkModel::NetworkModel(const NetworkParams& params,
+                           std::size_t num_clients, Rng rng)
+    : params_(params) {
+  if (params_.profile != NetProfile::kNone &&
+      (params_.bandwidth_mbps <= 0.0 || params_.latency_ms < 0.0)) {
+    throw std::invalid_argument("network needs bandwidth > 0, latency >= 0");
+  }
+  links_.resize(num_clients);
+  const double base_bps = params_.bandwidth_mbps * kBytesPerMbit;
+  const double base_lat = params_.latency_ms / 1e3;
+  switch (params_.profile) {
+    case NetProfile::kNone:
+    case NetProfile::kUniform:
+      for (auto& l : links_) l = {base_bps, base_lat};
+      break;
+    case NetProfile::kHeterogeneous: {
+      const double spread = std::max(params_.het_spread, 1.0);
+      for (auto& l : links_) {
+        // Log-uniform bandwidth in [base/spread, base*spread]: half the
+        // draws land below the mean — a long-tailed edge population.
+        const double u = 2.0 * rng.uniform() - 1.0;  // [-1, 1)
+        l.bandwidth_bps = base_bps * std::pow(spread, u);
+        l.latency_s = base_lat * (0.5 + rng.uniform());
+      }
+      break;
+    }
+    case NetProfile::kStraggler: {
+      for (auto& l : links_) l = {base_bps, base_lat};
+      const double slow = std::max(params_.straggler_slowdown, 1.0);
+      auto n_slow = static_cast<std::size_t>(
+          std::lround(params_.straggler_fraction *
+                      static_cast<double>(num_clients)));
+      n_slow = std::min(n_slow, num_clients);
+      for (std::size_t i : rng.sample_without_replacement(num_clients,
+                                                          n_slow)) {
+        links_[i].bandwidth_bps = base_bps / slow;
+        links_[i].latency_s = base_lat * slow;
+      }
+      break;
+    }
+  }
+}
+
+double NetworkModel::client_seconds(std::size_t client,
+                                    std::size_t bytes_down,
+                                    std::size_t bytes_up) const {
+  if (!enabled()) return 0.0;
+  const LinkSpec& l = links_[client];
+  return 2.0 * l.latency_s +
+         (static_cast<double>(bytes_down) + static_cast<double>(bytes_up)) /
+             l.bandwidth_bps;
+}
+
+double NetworkModel::round_seconds(
+    const std::vector<std::size_t>& selected,
+    std::size_t bytes_down_per_client,
+    const std::vector<std::size_t>& bytes_up) const {
+  if (!enabled() || selected.empty()) return 0.0;
+  if (bytes_up.size() != selected.size()) {
+    throw std::invalid_argument("bytes_up must align with selected clients");
+  }
+  double slowest = 0.0;
+  double total_bytes = 0.0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    slowest = std::max(slowest,
+                       client_seconds(selected[i], bytes_down_per_client,
+                                      bytes_up[i]));
+    total_bytes += static_cast<double>(bytes_down_per_client) +
+                   static_cast<double>(bytes_up[i]);
+  }
+  double server = 0.0;
+  if (params_.server_bandwidth_mbps > 0.0) {
+    server = total_bytes / (params_.server_bandwidth_mbps * kBytesPerMbit);
+  }
+  return slowest + server;
+}
+
+}  // namespace fedtrip::comm

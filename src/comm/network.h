@@ -1,0 +1,54 @@
+// NetworkModel: converts per-round bytes into simulated wall-clock time.
+//
+// Each client gets a fixed link (bandwidth, one-way latency) drawn once at
+// construction from the configured profile. A synchronous FL round costs the
+// slowest selected client's transfer time — broadcast down, then update up —
+// plus an optional shared server link that serialises all transfers. Links
+// are drawn from a dedicated RNG stream, so enabling the network model never
+// perturbs training randomness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/config.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::comm {
+
+/// One client's access link.
+struct LinkSpec {
+  double bandwidth_bps = 0.0;  // bytes per second, both directions
+  double latency_s = 0.0;      // one-way seconds
+};
+
+class NetworkModel {
+ public:
+  /// Draws every client's link up front from `rng` (profile kNone keeps the
+  /// model disabled: round_seconds() is identically zero).
+  NetworkModel(const NetworkParams& params, std::size_t num_clients, Rng rng);
+
+  bool enabled() const { return params_.profile != NetProfile::kNone; }
+  const NetworkParams& params() const { return params_; }
+  const LinkSpec& link(std::size_t client) const { return links_[client]; }
+  std::size_t num_clients() const { return links_.size(); }
+
+  /// Seconds one client needs for a round-trip: down latency + download,
+  /// up latency + upload.
+  double client_seconds(std::size_t client, std::size_t bytes_down,
+                        std::size_t bytes_up) const;
+
+  /// Simulated seconds for one synchronous round: max over the selected
+  /// clients' round-trips, plus the shared server link's serialisation time
+  /// when server_bandwidth_mbps > 0. `bytes_up` is per selected client,
+  /// aligned with `selected`.
+  double round_seconds(const std::vector<std::size_t>& selected,
+                       std::size_t bytes_down_per_client,
+                       const std::vector<std::size_t>& bytes_up) const;
+
+ private:
+  NetworkParams params_;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace fedtrip::comm

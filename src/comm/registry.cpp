@@ -1,0 +1,32 @@
+#include "comm/registry.h"
+
+#include <stdexcept>
+
+namespace fedtrip::comm {
+
+CompressorPtr make_compressor(const std::string& name,
+                              const CommParams& p) {
+  if (name == "identity") return std::make_unique<IdentityCompressor>();
+  if (name == "topk") return std::make_unique<TopKCompressor>(p.topk_fraction);
+  if (name == "qsgd") return std::make_unique<QsgdCompressor>(p.qsgd_bits);
+  if (name == "qsgd8") return std::make_unique<QsgdCompressor>(8);
+  if (name == "qsgd4") return std::make_unique<QsgdCompressor>(4);
+  if (name == "randmask") {
+    return std::make_unique<RandomMaskCompressor>(p.mask_keep);
+  }
+  throw std::invalid_argument("unknown compressor: " + name);
+}
+
+const std::vector<std::string>& all_compressors() {
+  static const std::vector<std::string> names = {
+      "identity", "topk", "qsgd8", "qsgd4", "randmask"};
+  return names;
+}
+
+ChannelPtr make_channel(const CommConfig& config) {
+  return std::make_unique<CompressedChannel>(
+      make_compressor(config.downlink, config.params),
+      make_compressor(config.uplink, config.params));
+}
+
+}  // namespace fedtrip::comm

@@ -1,0 +1,25 @@
+// Registry: create compressors and channels by name, mirroring
+// src/algorithms/registry.* so experiment drivers can sweep the
+// algorithm x compressor x network grid with strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/compressor.h"
+#include "comm/config.h"
+
+namespace fedtrip::comm {
+
+/// Instantiates a compressor: "identity", "topk", "qsgd" (params.qsgd_bits),
+/// "qsgd8", "qsgd4", "randmask". Throws std::invalid_argument otherwise.
+CompressorPtr make_compressor(const std::string& name, const CommParams& params);
+
+/// All registry names, identity first.
+const std::vector<std::string>& all_compressors();
+
+/// Builds the configured channel (per-direction compressors by name).
+ChannelPtr make_channel(const CommConfig& config);
+
+}  // namespace fedtrip::comm

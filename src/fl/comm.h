@@ -1,11 +1,17 @@
-// CommModel: client-server communication accounting.
+// CommModel: closed-form client-server communication accounting.
 //
 // All compared methods move |w| down and |w| up per selected client per
 // round; SCAFFOLD/MimeLite/FedDANE add method-specific extras. The paper's
 // communication metric (Table IV) is rounds-to-target because per-round
-// volume is identical across its chosen baselines; this model additionally
-// exposes bytes so Table VIII's "communication overhead" column can be
-// reproduced.
+// volume is identical across its chosen baselines; this model exposes the
+// byte volumes behind Table VIII's "communication overhead" column.
+//
+// This is the analytic twin of the identity channel in src/comm/: a
+// default-configured Simulation's ChannelStats match these totals exactly
+// (the identity codec's wire format is an unframed raw float stream).
+// Accounting is per direction and symmetric — both extras are round totals —
+// fixing the seed version's asymmetry where the downlink extra was silently
+// multiplied by the client count while the uplink extra was not.
 #pragma once
 
 #include <cstddef>
@@ -16,22 +22,29 @@ class CommModel {
  public:
   explicit CommModel(std::size_t param_dim) : param_dim_(param_dim) {}
 
-  /// Accounts one round: K clients, plus any per-client extras (floats).
-  void record_round(std::size_t clients, std::size_t extra_down_per_client,
+  /// Accounts one synchronous round: `clients` participants each move |w|
+  /// down and |w| up, plus round-total extra floats per direction (e.g.
+  /// SCAFFOLD: clients * |w| in both).
+  void record_round(std::size_t clients, std::size_t extra_down_total,
                     std::size_t extra_up_total) {
-    total_floats_ += clients * (2 * param_dim_ + extra_down_per_client);
-    total_floats_ += extra_up_total;
+    down_floats_ += clients * param_dim_ + extra_down_total;
+    up_floats_ += clients * param_dim_ + extra_up_total;
   }
 
-  double total_mb() const {
-    return static_cast<double>(total_floats_) * 4.0 / 1e6;
+  double down_mb() const {
+    return static_cast<double>(down_floats_) * 4.0 / 1e6;
   }
+  double up_mb() const {
+    return static_cast<double>(up_floats_) * 4.0 / 1e6;
+  }
+  double total_mb() const { return down_mb() + up_mb(); }
 
   std::size_t param_dim() const { return param_dim_; }
 
  private:
   std::size_t param_dim_;
-  std::size_t total_floats_ = 0;
+  std::size_t down_floats_ = 0;
+  std::size_t up_floats_ = 0;
 };
 
 }  // namespace fedtrip::fl

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "comm/config.h"
 #include "data/partition.h"
 #include "nn/models.h"
 
@@ -36,6 +37,11 @@ struct ExperimentConfig {
   std::size_t eval_max_samples = 0;
   /// Worker threads for parallel client training (0 = global pool size).
   std::size_t workers = 0;
+
+  /// Communication pipeline: per-direction compressors and the simulated
+  /// network. Defaults (identity / no network) are fully transparent — the
+  /// run is bit-identical to one without a channel.
+  comm::CommConfig comm;
 };
 
 }  // namespace fedtrip::fl

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "comm/registry.h"
 #include "nn/loss.h"
 #include "nn/parameter_vector.h"
 #include "optim/sgd.h"
@@ -70,6 +71,12 @@ Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm,
   warm_up(*eval_model_, data_.test);
   global_params_ = nn::flatten_parameters(*eval_model_);
 
+  // Channel and network draw from dedicated split streams: configuring them
+  // never perturbs partitioning, model init, or training randomness.
+  channel_ = comm::make_channel(config_.comm);
+  network_ = std::make_unique<comm::NetworkModel>(
+      config_.comm.network, config_.num_clients, root_rng_.split(0x4E7F10));
+
   if (config_.workers > 0) {
     own_pool_ = std::make_unique<ThreadPool>(config_.workers);
   }
@@ -109,14 +116,14 @@ double Simulation::evaluate(const std::vector<float>& params) {
 
 std::vector<ClientUpdate> Simulation::run_round(
     std::size_t round, const std::vector<std::size_t>& selected,
-    double* pre_round_flops) {
+    const std::vector<float>& round_params, double* pre_round_flops) {
   std::vector<ClientContext> contexts;
   contexts.reserve(selected.size());
   for (std::size_t k : selected) {
     ClientContext ctx;
     ctx.round = round;
     ctx.client = clients_[k].get();
-    ctx.global_params = &global_params_;
+    ctx.global_params = &round_params;
     ctx.history = history_.get(k);
     ctx.model_factory = &model_factory_;
     ctx.local_epochs = config_.local_epochs;
@@ -146,17 +153,39 @@ RunResult Simulation::run() {
   result.model_forward_flops = eval_model_->forward_flops_per_sample();
   result.model_backward_flops = eval_model_->backward_flops_per_sample();
 
-  CommModel comm(global_params_.size());
+  result.channel_name = channel_->name();
+  const std::size_t dim = global_params_.size();
   double cum_flops = 0.0;
+  double cum_comm_seconds = 0.0;
   Rng select_rng = root_rng_.split(0x5E1EC7);
+  // Compression streams live under their own root; even keys drive the
+  // round's downlink encode, odd keys the per-client uplink encodes.
+  Rng comm_rng = root_rng_.split(0xC0B17E5);
 
   for (std::size_t t = 1; t <= config_.rounds; ++t) {
     auto selected = select_rng.sample_without_replacement(
         config_.num_clients, config_.clients_per_round);
     std::sort(selected.begin(), selected.end());
 
+    // Broadcast through the channel: one encode, one delivery per selected
+    // client. The transparent (identity) path hands clients the global
+    // vector itself — bit-identical, no copy.
+    Rng down_rng = comm_rng.split(2 * t);
+    const std::vector<float>* round_params = &global_params_;
+    std::vector<float> bcast;
+    std::size_t down_wire = 0;
+    if (channel_->transparent(comm::Direction::kDown)) {
+      down_wire = channel_->transmit(comm::Direction::kDown, global_params_,
+                                     down_rng, selected.size());
+    } else {
+      bcast = global_params_;
+      down_wire = channel_->transmit(comm::Direction::kDown, bcast, down_rng,
+                                     selected.size());
+      round_params = &bcast;
+    }
+
     double pre_flops = 0.0;
-    auto updates = run_round(t, selected, &pre_flops);
+    auto updates = run_round(t, selected, *round_params, &pre_flops);
     cum_flops += pre_flops;
 
     double loss_sum = 0.0;
@@ -166,17 +195,49 @@ RunResult Simulation::run() {
       loss_sum += u.train_loss;
       extra_up += u.extra_upload_floats;
     }
-    comm.record_round(updates.size(),
-                      algorithm_->extra_downlink_floats(global_params_.size()),
-                      extra_up);
+
+    // Uplink: each client's update goes through the channel; the server
+    // aggregates what it decodes. Clients keep their own uncompressed local
+    // model, so the history store snapshots params before transmission.
+    const bool lossy_up = !channel_->transparent(comm::Direction::kUp);
+    std::vector<std::vector<float>> local_models;
+    if (lossy_up) local_models.resize(updates.size());
+    std::vector<std::size_t> up_bytes(updates.size(), 0);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (lossy_up) local_models[i] = updates[i].params;
+      Rng up_rng =
+          comm_rng.split((t << 20) ^ (2 * updates[i].client_id + 1));
+      up_bytes[i] =
+          channel_->transmit(comm::Direction::kUp, updates[i].params, up_rng);
+    }
+
+    // Algorithm extras (control variates, averaged gradients) ride the
+    // channel uncompressed.
+    const std::size_t extra_down =
+        updates.size() * algorithm_->extra_downlink_floats(dim);
+    channel_->account_raw(comm::Direction::kDown, extra_down);
+    channel_->account_raw(comm::Direction::kUp, extra_up);
+
+    if (network_->enabled()) {
+      std::vector<std::size_t> client_up(updates.size());
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        client_up[i] = up_bytes[i] + 4 * updates[i].extra_upload_floats;
+      }
+      const std::size_t client_down =
+          down_wire + 4 * algorithm_->extra_downlink_floats(dim);
+      cum_comm_seconds +=
+          network_->round_seconds(selected, client_down, client_up);
+    }
 
     algorithm_->aggregate(global_params_, updates, t);
 
     // Historical models: each participating client's freshly-produced local
     // model becomes its ~w_k (Algorithm 1: "generated at the last local
     // training").
-    for (const auto& u : updates) {
-      history_.put(u.client_id, u.params, t);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      history_.put(updates[i].client_id,
+                   lossy_up ? std::move(local_models[i]) : updates[i].params,
+                   t);
     }
 
     if (t % config_.eval_every == 0 || t == config_.rounds) {
@@ -185,12 +246,18 @@ RunResult Simulation::run() {
       rec.test_accuracy = evaluate(global_params_);
       rec.train_loss = loss_sum / static_cast<double>(updates.size());
       rec.cum_gflops = cum_flops / 1e9;
-      rec.cum_comm_mb = comm.total_mb();
+      const auto& stats = channel_->stats();
+      rec.cum_comm_mb = stats.total_mb();
+      rec.cum_mb_down = stats.mb_down();
+      rec.cum_mb_up = stats.mb_up();
+      rec.cum_comm_seconds = cum_comm_seconds;
       result.history.push_back(rec);
     }
   }
 
   result.final_params = global_params_;
+  result.comm_stats = channel_->stats();
+  result.comm_seconds = cum_comm_seconds;
   return result;
 }
 

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "comm/channel.h"
+#include "comm/network.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/algorithm.h"
@@ -32,6 +35,12 @@ struct RunResult {
   double model_params = 0.0;          // |w|
   double model_forward_flops = 0.0;   // FP per sample
   double model_backward_flops = 0.0;  // BP per sample
+  /// Final channel accounting (wire bytes per direction, message counts).
+  comm::ChannelStats comm_stats;
+  /// Total simulated communication time (0 without a network model).
+  double comm_seconds = 0.0;
+  /// "down:<codec>/up:<codec>" of the channel the run went through.
+  std::string channel_name;
 };
 
 class Simulation {
@@ -57,10 +66,13 @@ class Simulation {
   const data::Dataset& train_data() const { return data_.train; }
   const data::Dataset& test_data() const { return data_.test; }
   const data::Partition& partition() const { return partition_; }
+  const comm::Channel& channel() const { return *channel_; }
+  const comm::NetworkModel& network() const { return *network_; }
 
  private:
   std::vector<ClientUpdate> run_round(std::size_t round,
                                       const std::vector<std::size_t>& selected,
+                                      const std::vector<float>& round_params,
                                       double* pre_round_flops);
 
   ExperimentConfig config_;
@@ -72,6 +84,8 @@ class Simulation {
   std::unique_ptr<nn::Sequential> eval_model_;
   HistoryStore history_;
   std::vector<float> global_params_;
+  std::unique_ptr<comm::Channel> channel_;
+  std::unique_ptr<comm::NetworkModel> network_;
   Rng root_rng_;
   /// Dedicated pool when config.workers > 0; otherwise the global pool.
   std::unique_ptr<ThreadPool> own_pool_;

@@ -40,6 +40,12 @@ struct RoundRecord {
   double cum_gflops = 0.0;
   /// Cumulative client-server communication in MB up to this round.
   double cum_comm_mb = 0.0;
+  /// Per-direction split of cum_comm_mb (wire bytes after compression).
+  double cum_mb_down = 0.0;
+  double cum_mb_up = 0.0;
+  /// Cumulative simulated communication wall-clock in seconds (0 when no
+  /// network model is configured).
+  double cum_comm_seconds = 0.0;
 };
 
 }  // namespace fedtrip::fl

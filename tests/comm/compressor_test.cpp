@@ -1,0 +1,263 @@
+// Compressor round-trip error bounds, unbiasedness over RNG draws, and
+// exact byte accounting (wire layout documented in comm/compressor.h).
+#include "comm/compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace fedtrip::comm {
+namespace {
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+// ------------------------------------------------------------- identity
+
+TEST(IdentityCompressorTest, RoundTripBitExact) {
+  IdentityCompressor c;
+  Rng rng(1);
+  const auto x = random_vector(257, 7);
+  const auto y = c.decompress(c.compress(x, rng));
+  EXPECT_EQ(x, y);
+  EXPECT_TRUE(c.lossless());
+}
+
+TEST(IdentityCompressorTest, WireBytesExact) {
+  IdentityCompressor c;
+  Rng rng(1);
+  // Unframed raw floats: exactly 4*dim, matching the closed-form CommModel.
+  EXPECT_EQ(c.wire_bytes(1000), 4000u);
+  EXPECT_EQ(c.compress(random_vector(1000, 3), rng).wire_bytes, 4000u);
+}
+
+// ----------------------------------------------------------------- topk
+
+TEST(TopKCompressorTest, RetainedCoordinatesAreExact) {
+  TopKCompressor c(0.1f);
+  Rng rng(1);
+  const auto x = random_vector(200, 11);
+  const Encoded e = c.compress(x, rng);
+  ASSERT_EQ(e.indices.size(), 20u);
+  const auto y = c.decompress(e);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t j = 0; j < e.indices.size(); ++j) {
+    EXPECT_EQ(y[e.indices[j]], x[e.indices[j]]);  // bit-exact retention
+  }
+}
+
+TEST(TopKCompressorTest, DroppedCoordinatesAreZeroAndSmaller) {
+  TopKCompressor c(0.05f);
+  Rng rng(1);
+  const auto x = random_vector(400, 13);
+  const Encoded e = c.compress(x, rng);
+  const auto y = c.decompress(e);
+  float min_kept = 1e30f;
+  for (std::uint32_t i : e.indices) {
+    min_kept = std::min(min_kept, std::fabs(x[i]));
+  }
+  std::vector<bool> kept(x.size(), false);
+  for (std::uint32_t i : e.indices) kept[i] = true;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (kept[i]) continue;
+    EXPECT_EQ(y[i], 0.0f);
+    // Every dropped coordinate has magnitude <= every kept one.
+    EXPECT_LE(std::fabs(x[i]), min_kept);
+  }
+}
+
+TEST(TopKCompressorTest, DeterministicWithoutRng) {
+  TopKCompressor c(0.01f);
+  Rng r1(1), r2(999);  // different streams must not matter
+  const auto x = random_vector(1000, 17);
+  const Encoded a = c.compress(x, r1);
+  const Encoded b = c.compress(x, r2);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(TopKCompressorTest, WireBytesExact) {
+  TopKCompressor c(0.01f);
+  Rng rng(1);
+  // dim=10000, k=100: header(8) + k-count(4) + 100*(4+4).
+  EXPECT_EQ(c.k_for(10000), 100u);
+  EXPECT_EQ(c.wire_bytes(10000), 8u + 4u + 800u);
+  EXPECT_EQ(c.compress(random_vector(10000, 5), rng).wire_bytes,
+            c.wire_bytes(10000));
+  // k never drops to zero.
+  EXPECT_EQ(c.k_for(10), 1u);
+}
+
+TEST(TopKCompressorTest, RejectsBadFraction) {
+  EXPECT_THROW(TopKCompressor(0.0f), std::invalid_argument);
+  EXPECT_THROW(TopKCompressor(1.5f), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- qsgd
+
+TEST(QsgdCompressorTest, ErrorBoundedByOneLevel) {
+  for (int bits : {8, 4, 2}) {
+    QsgdCompressor c(bits);
+    Rng rng(23);
+    const auto x = random_vector(500, 29);
+    const Encoded e = c.compress(x, rng);
+    const auto y = c.decompress(e);
+    const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+    const float step = (*hi - *lo) / static_cast<float>((1 << bits) - 1);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(y[i], x[i], step * 1.0001f) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(QsgdCompressorTest, StochasticRoundingIsUnbiased) {
+  // E[decompress(compress(x))] = x: average many independent draws and
+  // check each coordinate converges within a few standard errors.
+  QsgdCompressor c(4);
+  const auto x = random_vector(32, 31);
+  const int trials = 4000;
+  std::vector<double> mean(x.size(), 0.0);
+  Rng rng(37);
+  for (int t = 0; t < trials; ++t) {
+    const auto y = c.decompress(c.compress(x, rng));
+    for (std::size_t i = 0; i < x.size(); ++i) mean[i] += y[i];
+  }
+  const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+  const double step = static_cast<double>(*hi - *lo) / 15.0;
+  // Per-draw error is < step; the mean of `trials` draws has standard error
+  // < step / sqrt(trials). Allow 5 sigma.
+  const double tol = 5.0 * step / std::sqrt(static_cast<double>(trials));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(mean[i] / trials, static_cast<double>(x[i]), tol) << i;
+  }
+}
+
+TEST(QsgdCompressorTest, ConstantVectorIsExact) {
+  QsgdCompressor c(8);
+  Rng rng(1);
+  std::vector<float> x(100, 3.25f);
+  const auto y = c.decompress(c.compress(x, rng));
+  EXPECT_EQ(x, y);
+}
+
+TEST(QsgdCompressorTest, RangeEndpointsExactlyRepresentable) {
+  QsgdCompressor c(8);
+  Rng rng(1);
+  std::vector<float> x = {-2.0f, 0.0f, 2.0f};
+  const auto y = c.decompress(c.compress(x, rng));
+  EXPECT_EQ(y[0], -2.0f);  // lo maps to level 0
+  EXPECT_EQ(y[2], 2.0f);   // hi maps to the top level
+}
+
+TEST(QsgdCompressorTest, WireBytesExact) {
+  Rng rng(1);
+  // 8-bit: header(8) + lo/hi(8) + dim bytes.
+  EXPECT_EQ(QsgdCompressor(8).wire_bytes(1000), 8u + 8u + 1000u);
+  // 4-bit: two values per byte, odd dim rounds up.
+  EXPECT_EQ(QsgdCompressor(4).wire_bytes(1001), 8u + 8u + 501u);
+  // 1-bit: eight per byte.
+  EXPECT_EQ(QsgdCompressor(1).wire_bytes(17), 8u + 8u + 3u);
+  EXPECT_EQ(QsgdCompressor(4).compress(random_vector(1001, 3), rng).wire_bytes,
+            QsgdCompressor(4).wire_bytes(1001));
+}
+
+TEST(QsgdCompressorTest, PackingRoundTripsAllLevels) {
+  // 4-bit values straddle byte boundaries; check every level survives.
+  QsgdCompressor c(4);
+  Rng rng(1);
+  std::vector<float> x(16);
+  for (int i = 0; i < 16; ++i) x[static_cast<std::size_t>(i)] = i / 15.0f;
+  const auto y = c.decompress(c.compress(x, rng));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-6f) << i;  // grid points are representable
+  }
+}
+
+TEST(QsgdCompressorTest, RejectsBadBits) {
+  EXPECT_THROW(QsgdCompressor(0), std::invalid_argument);
+  EXPECT_THROW(QsgdCompressor(9), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- randmask
+
+TEST(RandomMaskCompressorTest, DecodeRegeneratesMaskFromSeed) {
+  RandomMaskCompressor c(0.25f);
+  Rng rng(41);
+  const auto x = random_vector(100, 43);
+  const Encoded e = c.compress(x, rng);
+  ASSERT_EQ(e.values.size(), 25u);
+  // Decoding twice gives the same vector (mask derived from the seed).
+  EXPECT_EQ(c.decompress(e), c.decompress(e));
+  // Kept coordinates carry x * dim/k; exactly k are non-zero (modulo
+  // coordinates of x that are themselves zero — measure-zero for normals).
+  const auto y = c.decompress(e);
+  std::size_t nonzero = 0;
+  for (float v : y) nonzero += v != 0.0f;
+  EXPECT_EQ(nonzero, 25u);
+}
+
+TEST(RandomMaskCompressorTest, UnbiasedOverDraws) {
+  RandomMaskCompressor c(0.5f);
+  const auto x = random_vector(16, 47);
+  const int trials = 6000;
+  std::vector<double> mean(x.size(), 0.0);
+  Rng rng(53);
+  for (int t = 0; t < trials; ++t) {
+    const auto y = c.decompress(c.compress(x, rng));
+    for (std::size_t i = 0; i < x.size(); ++i) mean[i] += y[i];
+  }
+  // Var of one draw per coordinate is x_i^2 * (1/keep - 1) at keep=0.5;
+  // 5-sigma tolerance on the mean.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double sigma =
+        std::fabs(static_cast<double>(x[i])) / std::sqrt(trials / 1.0);
+    EXPECT_NEAR(mean[i] / trials, static_cast<double>(x[i]),
+                5.0 * sigma + 1e-9)
+        << i;
+  }
+}
+
+TEST(RandomMaskCompressorTest, WireBytesExact) {
+  RandomMaskCompressor c(0.1f);
+  Rng rng(1);
+  // dim=1000, k=100: header(8) + seed(8) + k-count(4) + 100*4 values.
+  EXPECT_EQ(c.wire_bytes(1000), 8u + 8u + 4u + 400u);
+  EXPECT_EQ(c.compress(random_vector(1000, 3), rng).wire_bytes,
+            c.wire_bytes(1000));
+}
+
+TEST(RandomMaskCompressorTest, RejectsBadKeep) {
+  EXPECT_THROW(RandomMaskCompressor(0.0f), std::invalid_argument);
+  EXPECT_THROW(RandomMaskCompressor(2.0f), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ edge cases
+
+TEST(CompressorTest, EmptyVectorSafeEverywhere) {
+  Rng rng(1);
+  std::vector<float> empty;
+  IdentityCompressor id;
+  TopKCompressor topk(0.01f);
+  QsgdCompressor qsgd(8);
+  RandomMaskCompressor mask(0.1f);
+  for (const Compressor* c :
+       {static_cast<const Compressor*>(&id),
+        static_cast<const Compressor*>(&topk),
+        static_cast<const Compressor*>(&qsgd),
+        static_cast<const Compressor*>(&mask)}) {
+    const Encoded e = c->compress(empty, rng);
+    EXPECT_EQ(e.dim, 0u);
+    EXPECT_TRUE(c->decompress(e).empty()) << c->name();
+  }
+}
+
+}  // namespace
+}  // namespace fedtrip::comm

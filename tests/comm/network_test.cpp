@@ -1,0 +1,123 @@
+// NetworkModel: profile link draws, round-time math, determinism.
+#include "comm/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fedtrip::comm {
+namespace {
+
+NetworkParams uniform_params() {
+  NetworkParams p;
+  p.profile = NetProfile::kUniform;
+  p.bandwidth_mbps = 8.0;  // exactly 1e6 bytes/s
+  p.latency_ms = 100.0;
+  return p;
+}
+
+TEST(NetworkModelTest, ProfileNamesRoundTrip) {
+  for (auto prof : {NetProfile::kNone, NetProfile::kUniform,
+                    NetProfile::kHeterogeneous, NetProfile::kStraggler}) {
+    EXPECT_EQ(net_profile_from_name(net_profile_name(prof)), prof);
+  }
+  EXPECT_THROW(net_profile_from_name("5g"), std::invalid_argument);
+}
+
+TEST(NetworkModelTest, NoneProfileIsDisabledAndFree) {
+  NetworkModel net(NetworkParams{}, 10, Rng(1));
+  EXPECT_FALSE(net.enabled());
+  EXPECT_DOUBLE_EQ(net.round_seconds({0, 1}, 123456, {100, 200}), 0.0);
+}
+
+TEST(NetworkModelTest, UniformRoundTimeClosedForm) {
+  NetworkModel net(uniform_params(), 4, Rng(1));
+  ASSERT_TRUE(net.enabled());
+  // Each client: 2 * 0.1s latency + (1e6 down + 5e5 up) / 1e6 B/s = 1.7s.
+  EXPECT_DOUBLE_EQ(net.client_seconds(0, 1000000, 500000), 1.7);
+  // Synchronous round = slowest client; identical links -> same value.
+  EXPECT_DOUBLE_EQ(
+      net.round_seconds({0, 1, 2}, 1000000, {500000, 500000, 500000}), 1.7);
+}
+
+TEST(NetworkModelTest, RoundTimeIsMaxOverSelected) {
+  NetworkModel net(uniform_params(), 4, Rng(1));
+  // Client 2 uploads 4x more -> it gates the round.
+  const double t =
+      net.round_seconds({0, 1, 2}, 1000000, {500000, 500000, 2000000});
+  EXPECT_DOUBLE_EQ(t, 2.0 * 0.1 + (1000000.0 + 2000000.0) / 1e6);
+}
+
+TEST(NetworkModelTest, ServerLinkSerialisesAllTransfers) {
+  auto p = uniform_params();
+  p.server_bandwidth_mbps = 8.0;  // 1e6 B/s shared
+  NetworkModel net(p, 4, Rng(1));
+  // Slowest client 1.7s + (2 * (1e6 + 5e5)) / 1e6 = 3.0s server time.
+  EXPECT_DOUBLE_EQ(net.round_seconds({0, 1}, 1000000, {500000, 500000}),
+                   1.7 + 3.0);
+}
+
+TEST(NetworkModelTest, HeterogeneousSpreadsBandwidth) {
+  NetworkParams p = uniform_params();
+  p.profile = NetProfile::kHeterogeneous;
+  p.het_spread = 10.0;
+  NetworkModel net(p, 64, Rng(7));
+  const double base = 1e6;
+  double lo = 1e30, hi = 0.0;
+  for (std::size_t i = 0; i < net.num_clients(); ++i) {
+    lo = std::min(lo, net.link(i).bandwidth_bps);
+    hi = std::max(hi, net.link(i).bandwidth_bps);
+    EXPECT_GE(net.link(i).bandwidth_bps, base / 10.0 * 0.999);
+    EXPECT_LE(net.link(i).bandwidth_bps, base * 10.0 * 1.001);
+  }
+  // With 64 draws over a 100x log-range, the spread should be substantial.
+  EXPECT_GT(hi / lo, 5.0);
+}
+
+TEST(NetworkModelTest, StragglersAreSlowedByFactor) {
+  NetworkParams p = uniform_params();
+  p.profile = NetProfile::kStraggler;
+  p.straggler_fraction = 0.25;
+  p.straggler_slowdown = 10.0;
+  NetworkModel net(p, 20, Rng(11));
+  std::size_t slow = 0;
+  for (std::size_t i = 0; i < net.num_clients(); ++i) {
+    const auto& l = net.link(i);
+    if (l.bandwidth_bps < 1e6 * 0.5) {
+      ++slow;
+      EXPECT_DOUBLE_EQ(l.bandwidth_bps, 1e5);
+      EXPECT_DOUBLE_EQ(l.latency_s, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(l.bandwidth_bps, 1e6);
+      EXPECT_DOUBLE_EQ(l.latency_s, 0.1);
+    }
+  }
+  EXPECT_EQ(slow, 5u);  // exactly fraction * num_clients
+}
+
+TEST(NetworkModelTest, DeterministicGivenSeed) {
+  NetworkParams p = uniform_params();
+  p.profile = NetProfile::kHeterogeneous;
+  NetworkModel a(p, 16, Rng(3)), b(p, 16, Rng(3)), c(p, 16, Rng(4));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.link(i).bandwidth_bps, b.link(i).bandwidth_bps);
+    EXPECT_DOUBLE_EQ(a.link(i).latency_s, b.link(i).latency_s);
+    any_diff |= a.link(i).bandwidth_bps != c.link(i).bandwidth_bps;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NetworkModelTest, RejectsMisalignedUploadVector) {
+  NetworkModel net(uniform_params(), 4, Rng(1));
+  EXPECT_THROW(net.round_seconds({0, 1}, 100, {100}), std::invalid_argument);
+}
+
+TEST(NetworkModelTest, RejectsBadParams) {
+  NetworkParams p = uniform_params();
+  p.bandwidth_mbps = 0.0;
+  EXPECT_THROW(NetworkModel(p, 4, Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtrip::comm

@@ -85,6 +85,9 @@ TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
     r.train_loss = 2.0 / static_cast<double>(t);
     r.cum_gflops = 1.5 * static_cast<double>(t);
     r.cum_comm_mb = 4.0 * static_cast<double>(t);
+    r.cum_mb_down = 2.5 * static_cast<double>(t);
+    r.cum_mb_up = 1.5 * static_cast<double>(t);
+    r.cum_comm_seconds = 0.25 * static_cast<double>(t);
     history.push_back(r);
   }
   save_history_csv(path, history);
@@ -96,6 +99,10 @@ TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
     EXPECT_NEAR(loaded[i].train_loss, history[i].train_loss, 1e-9);
     EXPECT_NEAR(loaded[i].cum_gflops, history[i].cum_gflops, 1e-9);
     EXPECT_NEAR(loaded[i].cum_comm_mb, history[i].cum_comm_mb, 1e-9);
+    EXPECT_NEAR(loaded[i].cum_mb_down, history[i].cum_mb_down, 1e-9);
+    EXPECT_NEAR(loaded[i].cum_mb_up, history[i].cum_mb_up, 1e-9);
+    EXPECT_NEAR(loaded[i].cum_comm_seconds, history[i].cum_comm_seconds,
+                1e-9);
   }
   std::remove(path.c_str());
 }
@@ -113,7 +120,37 @@ TEST_F(CheckpointTest, CsvHasHeader) {
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb");
+  EXPECT_EQ(line,
+            "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+            "cum_mb_down,cum_mb_up,cum_comm_seconds");
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadsPreCommFiveColumnCsv) {
+  // CSVs written before the comm columns existed still load; the missing
+  // fields default to zero.
+  const std::string path = temp("legacy.csv");
+  std::ofstream(path)
+      << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb\n"
+      << "3,0.5,1.25,2.5,4.5\n";
+  auto loaded = load_history_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].round, 3u);
+  EXPECT_NEAR(loaded[0].cum_comm_mb, 4.5, 1e-12);
+  EXPECT_EQ(loaded[0].cum_mb_down, 0.0);
+  EXPECT_EQ(loaded[0].cum_mb_up, 0.0);
+  EXPECT_EQ(loaded[0].cum_comm_seconds, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncatedCommColumnsThrow) {
+  // A new-format row cut off mid-write is corrupt, not legacy.
+  const std::string path = temp("truncated.csv");
+  std::ofstream(path)
+      << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+         "cum_mb_down,cum_mb_up,cum_comm_seconds\n"
+      << "3,0.5,1.25,2.5,4.5,2.0\n";
+  EXPECT_THROW(load_history_csv(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

@@ -9,6 +9,7 @@ TEST(CommModelTest, BaseRoundVolume) {
   CommModel comm(1000);
   comm.record_round(4, 0, 0);  // 4 clients, down + up = 2|w| each
   EXPECT_DOUBLE_EQ(comm.total_mb(), 4.0 * 2.0 * 1000.0 * 4.0 / 1e6);
+  EXPECT_DOUBLE_EQ(comm.down_mb(), comm.up_mb());
 }
 
 TEST(CommModelTest, AccumulatesOverRounds) {
@@ -18,16 +19,31 @@ TEST(CommModelTest, AccumulatesOverRounds) {
   EXPECT_DOUBLE_EQ(comm.total_mb(), 2.0 * 2.0 * 2.0 * 100.0 * 4.0 / 1e6);
 }
 
-TEST(CommModelTest, ExtraDownlinkPerClient) {
+TEST(CommModelTest, ExtraDownlinkTotal) {
+  // SCAFFOLD-style control broadcast: |w| extra per client, passed as the
+  // round total (3 clients x 100 floats).
   CommModel comm(100);
-  comm.record_round(3, 100, 0);  // SCAFFOLD-style control broadcast
-  EXPECT_DOUBLE_EQ(comm.total_mb(), 3.0 * (200.0 + 100.0) * 4.0 / 1e6);
+  comm.record_round(3, 300, 0);
+  EXPECT_DOUBLE_EQ(comm.down_mb(), (3.0 * 100.0 + 300.0) * 4.0 / 1e6);
+  EXPECT_DOUBLE_EQ(comm.up_mb(), 3.0 * 100.0 * 4.0 / 1e6);
 }
 
 TEST(CommModelTest, ExtraUplinkTotal) {
   CommModel comm(100);
   comm.record_round(2, 0, 150);
-  EXPECT_DOUBLE_EQ(comm.total_mb(), (2.0 * 200.0 + 150.0) * 4.0 / 1e6);
+  EXPECT_DOUBLE_EQ(comm.up_mb(), (2.0 * 100.0 + 150.0) * 4.0 / 1e6);
+  EXPECT_DOUBLE_EQ(comm.down_mb(), 2.0 * 100.0 * 4.0 / 1e6);
+}
+
+TEST(CommModelTest, ExtrasAreSymmetric) {
+  // The seed multiplied the downlink extra by the client count but not the
+  // uplink extra; both are now round totals, so mirrored extras cost the
+  // same in either direction.
+  CommModel down_heavy(100), up_heavy(100);
+  down_heavy.record_round(4, 400, 0);
+  up_heavy.record_round(4, 0, 400);
+  EXPECT_DOUBLE_EQ(down_heavy.total_mb(), up_heavy.total_mb());
+  EXPECT_DOUBLE_EQ(down_heavy.down_mb(), up_heavy.up_mb());
 }
 
 TEST(CommModelTest, ParamDim) {

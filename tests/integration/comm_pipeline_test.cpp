@@ -1,0 +1,190 @@
+// Comm subsystem end-to-end: the identity channel is fully transparent (no
+// training perturbation for any algorithm, byte totals matching the
+// closed-form CommModel), compressed runs are deterministic under fixed
+// seeds, and compression/network effects land in RoundRecord.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "comm/registry.h"
+#include "fl/comm.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+fl::RunResult run_with(const fl::ExperimentConfig& cfg,
+                       const std::string& method = "FedAvg") {
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+  return sim.run();
+}
+
+// ---------------------------------------------------- identity transparency
+
+class CommTransparencyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CommTransparencyTest, NetworkModelNeverPerturbsTraining) {
+  // Identity channel + simulated network must reproduce the plain run
+  // bit-identically — the network only converts bytes to time.
+  auto cfg = fl::testing::tiny_config();
+  const auto plain = run_with(cfg, GetParam());
+
+  cfg.comm.network.profile = comm::NetProfile::kHeterogeneous;
+  const auto with_net = run_with(cfg, GetParam());
+
+  EXPECT_EQ(plain.final_params, with_net.final_params);
+  ASSERT_EQ(plain.history.size(), with_net.history.size());
+  for (std::size_t i = 0; i < plain.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.history[i].test_accuracy,
+                     with_net.history[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(plain.history[i].train_loss,
+                     with_net.history[i].train_loss);
+    EXPECT_DOUBLE_EQ(plain.history[i].cum_comm_mb,
+                     with_net.history[i].cum_comm_mb);
+  }
+  EXPECT_DOUBLE_EQ(plain.comm_seconds, 0.0);
+  EXPECT_GT(with_net.comm_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, CommTransparencyTest,
+    ::testing::ValuesIn(algorithms::all_methods()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(CommPipelineTest, IdentityChannelMatchesClosedFormCommModel) {
+  auto cfg = fl::testing::tiny_config();
+  const auto result = run_with(cfg, "FedAvg");
+
+  const auto dim = static_cast<std::size_t>(result.model_params);
+  fl::CommModel model(dim);
+  for (std::size_t t = 0; t < cfg.rounds; ++t) {
+    model.record_round(cfg.clients_per_round, 0, 0);
+  }
+  EXPECT_DOUBLE_EQ(result.comm_stats.mb_down(), model.down_mb());
+  EXPECT_DOUBLE_EQ(result.comm_stats.mb_up(), model.up_mb());
+  EXPECT_DOUBLE_EQ(result.history.back().cum_comm_mb, model.total_mb());
+  EXPECT_EQ(result.channel_name, "down:identity/up:identity");
+}
+
+TEST(CommPipelineTest, ScaffoldExtrasMatchClosedForm) {
+  // SCAFFOLD moves an extra |w| per client in both directions; the channel
+  // accounts them as raw side-channel floats.
+  auto cfg = fl::testing::tiny_config();
+  const auto result = run_with(cfg, "SCAFFOLD");
+
+  const auto dim = static_cast<std::size_t>(result.model_params);
+  fl::CommModel model(dim);
+  for (std::size_t t = 0; t < cfg.rounds; ++t) {
+    model.record_round(cfg.clients_per_round, cfg.clients_per_round * dim,
+                       cfg.clients_per_round * dim);
+  }
+  EXPECT_DOUBLE_EQ(result.comm_stats.mb_down(), model.down_mb());
+  EXPECT_DOUBLE_EQ(result.comm_stats.mb_up(), model.up_mb());
+}
+
+// ------------------------------------------------------ compressed runs
+
+class CompressedDeterminismTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompressedDeterminismTest, FixedSeedBitIdentical) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = GetParam();
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  const auto a = run_with(cfg, "FedTrip");
+  const auto b = run_with(cfg, "FedTrip");
+  EXPECT_EQ(a.final_params, b.final_params);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].test_accuracy, b.history[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(a.history[i].cum_mb_up, b.history[i].cum_mb_up);
+    EXPECT_DOUBLE_EQ(a.history[i].cum_comm_seconds,
+                     b.history[i].cum_comm_seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompressors, CompressedDeterminismTest,
+                         ::testing::ValuesIn(comm::all_compressors()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (auto& ch : name) {
+                             if (ch == '-' || ch == '.') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CommPipelineTest, LossyUplinkActuallyChangesTraining) {
+  auto cfg = fl::testing::tiny_config();
+  const auto plain = run_with(cfg, "FedAvg");
+  cfg.comm.uplink = "qsgd8";
+  const auto lossy = run_with(cfg, "FedAvg");
+  EXPECT_NE(plain.final_params, lossy.final_params);
+}
+
+TEST(CommPipelineTest, TopKUplinkBytesReduction) {
+  auto cfg = fl::testing::tiny_config();
+  const auto plain = run_with(cfg, "FedAvg");
+
+  cfg.comm.uplink = "topk";
+  cfg.comm.params.topk_fraction = 0.01f;
+  const auto topk = run_with(cfg, "FedAvg");
+
+  // k=1%: indices+values double the per-coordinate cost -> ~50x fewer
+  // uplink bytes; downlink unchanged.
+  EXPECT_GE(static_cast<double>(plain.comm_stats.bytes_up) /
+                static_cast<double>(topk.comm_stats.bytes_up),
+            10.0);
+  EXPECT_EQ(plain.comm_stats.bytes_down, topk.comm_stats.bytes_down);
+}
+
+TEST(CommPipelineTest, QsgdUplinkBytesReduction) {
+  auto cfg = fl::testing::tiny_config();
+  const auto plain = run_with(cfg, "FedAvg");
+  cfg.comm.uplink = "qsgd8";
+  const auto q8 = run_with(cfg, "FedAvg");
+  const double ratio = static_cast<double>(plain.comm_stats.bytes_up) /
+                       static_cast<double>(q8.comm_stats.bytes_up);
+  EXPECT_GT(ratio, 3.9);  // 32 -> 8 bits, minus framing overhead
+  EXPECT_LT(ratio, 4.1);
+}
+
+TEST(CommPipelineTest, RoundRecordAccumulatesCommColumns) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "topk";
+  cfg.comm.network.profile = comm::NetProfile::kUniform;
+  const auto result = run_with(cfg, "FedAvg");
+  ASSERT_FALSE(result.history.empty());
+  double prev_mb = 0.0, prev_s = 0.0;
+  for (const auto& r : result.history) {
+    EXPECT_GT(r.cum_mb_down, 0.0);
+    EXPECT_GT(r.cum_mb_up, 0.0);
+    EXPECT_NEAR(r.cum_comm_mb, r.cum_mb_down + r.cum_mb_up, 1e-12);
+    EXPECT_GT(r.cum_mb_down + r.cum_mb_up, prev_mb);
+    EXPECT_GT(r.cum_comm_seconds, prev_s);
+    prev_mb = r.cum_mb_down + r.cum_mb_up;
+    prev_s = r.cum_comm_seconds;
+  }
+  EXPECT_DOUBLE_EQ(result.history.back().cum_comm_seconds,
+                   result.comm_seconds);
+}
+
+TEST(CommPipelineTest, StragglerProfileSlowsRounds) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.network.profile = comm::NetProfile::kUniform;
+  const auto uniform = run_with(cfg, "FedAvg");
+
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  cfg.comm.network.straggler_fraction = 1.0;  // everyone slowed 10x
+  const auto straggler = run_with(cfg, "FedAvg");
+
+  EXPECT_GT(straggler.comm_seconds, uniform.comm_seconds * 5.0);
+  // Time simulation never touches the learning trajectory.
+  EXPECT_EQ(uniform.final_params, straggler.final_params);
+}
+
+}  // namespace
+}  // namespace fedtrip
