@@ -69,27 +69,52 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- live FL runs: %s, %zu rounds, method FedTrip ---\n",
               quick.label, base.rounds);
-  std::printf("%-12s %-14s %10s %10s %9s %12s\n", "uplink", "network",
-              "up MB", "down MB", "final%", "sim s/round");
+  std::printf("%-16s %-12s %-14s %10s %10s %9s %12s\n", "uplink",
+              "downlink", "network", "up MB", "down MB", "final%",
+              "sim s/round");
 
-  for (const auto& codec : comm::all_compressors()) {
+  // The codec sweep, then the scheme axes the registry composes on top:
+  // error feedback (ef+), delta (w_k - w) compression, EF-on-delta (the
+  // standard deep-gradient-compression stack), and downlink compression
+  // (the down-direction codec, exercised on the broadcast path).
+  struct Row {
+    std::string uplink;
+    std::string downlink = "identity";
+    bool delta = false;
+  };
+  std::vector<Row> rows;
+  for (const auto& codec : comm::all_compressors()) rows.push_back({codec});
+  rows.push_back({"ef+topk"});
+  rows.push_back({"topk", "identity", /*delta=*/true});
+  rows.push_back({"ef+topk", "identity", /*delta=*/true});
+  rows.push_back({"identity", "qsgd8"});
+  rows.push_back({"topk", "qsgd8"});
+
+  for (const auto& row : rows) {
     for (const char* profile : {"uniform", "straggler"}) {
       fl::ExperimentConfig cfg = base;
-      cfg.comm.uplink = codec;
+      cfg.comm.uplink = row.uplink;
+      cfg.comm.downlink = row.downlink;
+      cfg.comm.delta_uplink = row.delta;
       cfg.comm.network.profile = comm::net_profile_from_name(profile);
       auto params = params_for("FedTrip", quick, cfg);
       fl::Simulation sim(cfg,
                          algorithms::make_algorithm("FedTrip", params));
       auto result = sim.run();
-      std::printf("%-12s %-14s %10.3f %10.3f %8.2f%% %12.3f\n",
-                  codec.c_str(), profile, result.comm_stats.mb_up(),
-                  result.comm_stats.mb_down(),
+      const std::string up_label = row.uplink + (row.delta ? " (delta)" : "");
+      std::printf("%-16s %-12s %-14s %10.3f %10.3f %8.2f%% %12.3f\n",
+                  up_label.c_str(), row.downlink.c_str(), profile,
+                  result.comm_stats.mb_up(), result.comm_stats.mb_down(),
                   100.0 * fl::best_accuracy(result.history),
                   result.comm_seconds / static_cast<double>(cfg.rounds));
     }
   }
   std::printf(
       "\nExpected: topk (1%%) >= 10x uplink reduction, qsgd8 ~4x; identity"
-      " matches the uncompressed baseline bit-for-bit.\n");
+      " matches the uncompressed baseline bit-for-bit.\nError feedback"
+      " recovers most of top-k's accuracy loss at the same byte budget;"
+      "\ndelta compression pays off late in training (run with more"
+      " --rounds to see the crossover); downlink qsgd8 cuts broadcast MB"
+      " ~4x.\n");
   return 0;
 }

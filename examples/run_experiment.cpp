@@ -33,10 +33,16 @@ const char* kUsage = R"(run_experiment options:
   --save-model F   write final global model checkpoint
   --idx-dir DIR    load real IDX-format data from DIR instead of synthetic
   --compressor N   uplink compressor: identity|topk|qsgd|qsgd8|qsgd4|randmask
+                   ("ef+" prefix adds error feedback, e.g. ef+topk)
   --down-compressor N  downlink compressor (default identity)
   --topk-frac X --qsgd-bits N --mask-keep X   compressor hyperparameters
+  --delta          compress the update delta w_k - w instead of w_k (uplink)
   --network P      none|uniform|heterogeneous|straggler (simulated network)
   --bandwidth X    mean client bandwidth, Mbps   --latency X   one-way ms
+  --schedule P     round scheduler: sync|fastk|async       (default sync)
+  --overselect M   fastk: clients dispatched per round     (default 2K)
+  --buffer B       async: arrivals per aggregation         (default K)
+  --staleness-alpha X  async: weight updates by 1/(1+s)^X  (default 0.5)
 )";
 
 }  // namespace
@@ -110,6 +116,16 @@ int main(int argc, char** argv) {
       cfg.comm.params.qsgd_bits = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--mask-keep")) {
       cfg.comm.params.mask_keep = static_cast<float>(std::atof(next()));
+    } else if (!std::strcmp(argv[i], "--delta")) {
+      cfg.comm.delta_uplink = true;
+    } else if (!std::strcmp(argv[i], "--schedule")) {
+      cfg.sched.policy = next();
+    } else if (!std::strcmp(argv[i], "--overselect")) {
+      cfg.sched.overselect = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--buffer")) {
+      cfg.sched.buffer_size = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--staleness-alpha")) {
+      cfg.sched.staleness_alpha = std::atof(next());
     } else if (!std::strcmp(argv[i], "--network")) {
       cfg.comm.network.profile = comm::net_profile_from_name(next());
     } else if (!std::strcmp(argv[i], "--bandwidth")) {
@@ -149,13 +165,15 @@ int main(int argc, char** argv) {
   }
 
   std::printf("method=%s model=%s dataset=%s het=%s rounds=%zu "
-              "clients=%zu/%zu batch=%zu epochs=%zu mu=%.2f seed=%llu\n",
+              "clients=%zu/%zu batch=%zu epochs=%zu mu=%.2f seed=%llu "
+              "schedule=%s\n",
               method.c_str(), nn::arch_name(cfg.model.arch),
               cfg.dataset.c_str(),
               data::heterogeneity_name(cfg.heterogeneity), cfg.rounds,
               cfg.clients_per_round, cfg.num_clients, cfg.batch_size,
               cfg.local_epochs, params.mu,
-              static_cast<unsigned long long>(cfg.seed));
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.sched.policy.c_str());
 
   auto algorithm = algorithms::make_algorithm(method, params);
   auto sim = real_data.has_value()
@@ -179,6 +197,13 @@ int main(int argc, char** argv) {
                 comm::net_profile_name(cfg.comm.network.profile));
   }
   std::printf("\n");
+  if (cfg.sched.policy != "sync" && !result.history.empty()) {
+    const auto& last = result.history.back();
+    std::printf("schedule %s: last-round staleness mean %.2f max %zu, "
+                "dropped %zu/round\n",
+                result.sched_policy.c_str(), last.mean_staleness,
+                last.max_staleness, last.dropped);
+  }
 
   if (!out_csv.empty()) {
     fl::save_history_csv(out_csv, result.history);

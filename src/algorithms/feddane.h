@@ -34,6 +34,10 @@ class FedDane : public GradientAdjustingAlgorithm {
     return param_dim;  // averaged gradient broadcast
   }
 
+  std::size_t extra_uplink_floats(std::size_t param_dim) const override {
+    return param_dim;  // local gradient upload (see on_round_end)
+  }
+
  protected:
   double adjust_gradients(std::vector<float>& delta,
                           const std::vector<float>& w,

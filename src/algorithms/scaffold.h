@@ -41,6 +41,10 @@ class Scaffold : public GradientAdjustingAlgorithm {
     return param_dim;  // server control variate broadcast
   }
 
+  std::size_t extra_uplink_floats(std::size_t param_dim) const override {
+    return param_dim;  // control delta upload (see on_round_end)
+  }
+
  protected:
   double adjust_gradients(std::vector<float>& delta,
                           const std::vector<float>& w,

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tensor/vec_math.h"
+
 namespace fedtrip::comm {
 
 void Channel::account_raw(Direction dir, std::size_t floats) {
@@ -28,15 +30,21 @@ void Channel::record(Direction dir, std::size_t wire_bytes,
 }
 
 CompressedChannel::CompressedChannel(CompressorPtr downlink,
-                                     CompressorPtr uplink)
-    : down_(std::move(downlink)), up_(std::move(uplink)) {
+                                     CompressorPtr uplink, bool ef_down,
+                                     bool ef_up)
+    : down_(std::move(downlink)),
+      up_(std::move(uplink)),
+      ef_down_(ef_down),
+      ef_up_(ef_up) {
   if (!down_ || !up_) {
     throw std::invalid_argument("channel needs a compressor per direction");
   }
 }
 
 std::string CompressedChannel::name() const {
-  return "down:" + down_->name() + "/up:" + up_->name();
+  const std::string d = (ef_down_ ? "ef+" : "") + down_->name();
+  const std::string u = (ef_up_ ? "ef+" : "") + up_->name();
+  return "down:" + d + "/up:" + u;
 }
 
 const Compressor& CompressedChannel::compressor(Direction dir) const {
@@ -47,17 +55,48 @@ bool CompressedChannel::transparent(Direction dir) const {
   return compressor(dir).lossless();
 }
 
+const std::vector<float>& CompressedChannel::residual(
+    Direction dir, std::size_t stream) const {
+  static const std::vector<float> kEmpty;
+  const auto& map = dir == Direction::kDown ? residual_down_ : residual_up_;
+  auto it = map.find(stream);
+  return it == map.end() ? kEmpty : it->second;
+}
+
+Encoded CompressedChannel::encode(Direction dir, const std::vector<float>& x,
+                                  Rng& rng, std::size_t stream,
+                                  std::vector<float>* decoded) {
+  const Compressor& codec = compressor(dir);
+  if (!error_feedback(dir) || codec.lossless()) {
+    Encoded e = codec.compress(x, rng);
+    *decoded = codec.decompress(e);
+    return e;
+  }
+  // Error feedback: transmit payload + carried residual, keep the part the
+  // codec dropped for this stream's next message.
+  auto& r = (dir == Direction::kDown ? residual_down_ : residual_up_)[stream];
+  r.resize(x.size(), 0.0f);
+  std::vector<float> carried(x.size());
+  vec::add(x, r, carried);
+  Encoded e = codec.compress(carried, rng);
+  *decoded = codec.decompress(e);
+  vec::sub(carried, *decoded, r);
+  return e;
+}
+
 std::size_t CompressedChannel::transmit(Direction dir, std::vector<float>& x,
-                                        Rng& rng, std::size_t copies) {
+                                        Rng& rng, std::size_t copies,
+                                        std::size_t stream) {
   const Compressor& codec = compressor(dir);
   std::size_t bytes;
   if (codec.lossless()) {
     // Transparent path: accounting only, no encode/decode, no copy.
     bytes = codec.wire_bytes(x.size());
   } else {
-    Encoded e = codec.compress(x, rng);
+    std::vector<float> decoded;
+    Encoded e = encode(dir, x, rng, stream, &decoded);
     bytes = e.wire_bytes;
-    x = codec.decompress(e);
+    x = std::move(decoded);
   }
   record(dir, bytes, copies);
   return bytes;
@@ -65,7 +104,8 @@ std::size_t CompressedChannel::transmit(Direction dir, std::vector<float>& x,
 
 Payload CompressedChannel::transmit_payload(Direction dir,
                                             const std::vector<float>& x,
-                                            Rng& rng, std::size_t copies) {
+                                            Rng& rng, std::size_t copies,
+                                            std::size_t stream) {
   const Compressor& codec = compressor(dir);
   Payload p;
   p.codec = codec.name();
@@ -73,9 +113,8 @@ Payload CompressedChannel::transmit_payload(Direction dir,
     p.values = x;
     p.wire_bytes = codec.wire_bytes(x.size());
   } else {
-    Encoded e = codec.compress(x, rng);
+    Encoded e = encode(dir, x, rng, stream, &p.values);
     p.wire_bytes = e.wire_bytes;
-    p.values = codec.decompress(e);
   }
   record(dir, p.wire_bytes, copies);
   return p;

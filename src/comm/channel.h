@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "comm/compressor.h"
 #include "comm/config.h"
@@ -56,16 +57,25 @@ class Channel {
   /// payload (accounting still runs). Callers may skip defensive copies.
   virtual bool transparent(Direction dir) const = 0;
 
+  /// Data-independent wire bytes of one dim-float message in `dir` (every
+  /// built-in codec's size is a pure function of dim) — what schedulers use
+  /// to predict arrival times before any payload exists.
+  virtual std::size_t message_bytes(Direction dir, std::size_t dim) const = 0;
+
   /// Sends `x` through the channel, replacing it in place with what the
   /// receiver decodes (transparent directions leave it untouched). Records
   /// `copies` deliveries of the same encoding — broadcast fan-out — and
   /// returns the wire bytes of one copy. `rng` drives stochastic codecs.
+  /// `stream` identifies the sender's logical stream (client id on the
+  /// uplink): error-feedback state is accumulated per (direction, stream).
   virtual std::size_t transmit(Direction dir, std::vector<float>& x,
-                               Rng& rng, std::size_t copies = 1) = 0;
+                               Rng& rng, std::size_t copies = 1,
+                               std::size_t stream = 0) = 0;
 
   /// Full-payload variant for callers that need the encoding metadata.
   virtual Payload transmit_payload(Direction dir, const std::vector<float>& x,
-                                   Rng& rng, std::size_t copies = 1) = 0;
+                                   Rng& rng, std::size_t copies = 1,
+                                   std::size_t stream = 0) = 0;
 
   /// Accounts `floats` uncompressed side-channel floats (algorithm extras
   /// the channel does not transform).
@@ -81,23 +91,48 @@ class Channel {
 
 using ChannelPtr = std::unique_ptr<Channel>;
 
-/// The standard channel: an independent compressor per direction.
+/// The standard channel: an independent compressor per direction, each
+/// optionally wrapped in error feedback (EF-SGD / EF21 style): the codec's
+/// residual x - decode(encode(x)) is accumulated per sender stream and
+/// added to that stream's next payload, so every coordinate's error is
+/// eventually transmitted. EF changes no wire bytes — only what the values
+/// carry — and is a no-op around lossless codecs.
 class CompressedChannel : public Channel {
  public:
-  CompressedChannel(CompressorPtr downlink, CompressorPtr uplink);
+  CompressedChannel(CompressorPtr downlink, CompressorPtr uplink,
+                    bool ef_down = false, bool ef_up = false);
 
   std::string name() const override;
   bool transparent(Direction dir) const override;
+  std::size_t message_bytes(Direction dir, std::size_t dim) const override {
+    return compressor(dir).wire_bytes(dim);
+  }
   std::size_t transmit(Direction dir, std::vector<float>& x, Rng& rng,
-                       std::size_t copies = 1) override;
+                       std::size_t copies = 1,
+                       std::size_t stream = 0) override;
   Payload transmit_payload(Direction dir, const std::vector<float>& x,
-                           Rng& rng, std::size_t copies = 1) override;
+                           Rng& rng, std::size_t copies = 1,
+                           std::size_t stream = 0) override;
 
   const Compressor& compressor(Direction dir) const;
+  bool error_feedback(Direction dir) const {
+    return dir == Direction::kDown ? ef_down_ : ef_up_;
+  }
+  /// Accumulated EF residual of a stream (empty before its first transmit).
+  const std::vector<float>& residual(Direction dir, std::size_t stream) const;
 
  private:
+  /// Encodes `x` (plus the stream's residual under EF), stores the new
+  /// residual, returns the decoded values and wire bytes.
+  Encoded encode(Direction dir, const std::vector<float>& x, Rng& rng,
+                 std::size_t stream, std::vector<float>* decoded);
+
   CompressorPtr down_;
   CompressorPtr up_;
+  bool ef_down_;
+  bool ef_up_;
+  std::unordered_map<std::size_t, std::vector<float>> residual_down_;
+  std::unordered_map<std::size_t, std::vector<float>> residual_up_;
 };
 
 }  // namespace fedtrip::comm

@@ -59,9 +59,17 @@ struct NetworkParams {
 };
 
 struct CommConfig {
-  /// Compressor registry names for each direction (comm/registry.h).
+  /// Compressor registry names for each direction (comm/registry.h). An
+  /// "ef+" prefix (e.g. "ef+topk") wraps the codec in per-stream error
+  /// feedback: the compression residual is accumulated client-side and
+  /// added to that stream's next payload.
   std::string uplink = "identity";
   std::string downlink = "identity";
+  /// Compress the update delta w_k - w (the standard deep-gradient-
+  /// compression setting) instead of the raw parameters on the uplink; the
+  /// server adds the broadcast reference back after decoding. Sparsifiers
+  /// keep much more signal this way late in training.
+  bool delta_uplink = false;
   CommParams params;
   NetworkParams network;
 };

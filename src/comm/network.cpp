@@ -83,6 +83,12 @@ double NetworkModel::client_seconds(std::size_t client,
              l.bandwidth_bps;
 }
 
+double NetworkModel::server_seconds(std::size_t bytes) const {
+  if (!enabled() || params_.server_bandwidth_mbps <= 0.0) return 0.0;
+  return static_cast<double>(bytes) /
+         (params_.server_bandwidth_mbps * kBytesPerMbit);
+}
+
 double NetworkModel::round_seconds(
     const std::vector<std::size_t>& selected,
     std::size_t bytes_down_per_client,

@@ -38,6 +38,12 @@ class NetworkModel {
   double client_seconds(std::size_t client, std::size_t bytes_down,
                         std::size_t bytes_up) const;
 
+  /// Serialisation time of `bytes` on the shared server link (0 when the
+  /// link is unconstrained or the model disabled). round_seconds() charges
+  /// this once per round over the round's total bytes; event-driven
+  /// schedulers charge it per message instead.
+  double server_seconds(std::size_t bytes) const;
+
   /// Simulated seconds for one synchronous round: max over the selected
   /// clients' round-trips, plus the shared server link's serialisation time
   /// when server_bandwidth_mbps > 0. `bytes_up` is per selected client,

@@ -23,10 +23,22 @@ const std::vector<std::string>& all_compressors() {
   return names;
 }
 
+bool strip_ef_prefix(std::string& name) {
+  if (name.rfind("ef+", 0) == 0) {
+    name = name.substr(3);
+    return true;
+  }
+  return false;
+}
+
 ChannelPtr make_channel(const CommConfig& config) {
+  std::string down = config.downlink;
+  std::string up = config.uplink;
+  const bool ef_down = strip_ef_prefix(down);
+  const bool ef_up = strip_ef_prefix(up);
   return std::make_unique<CompressedChannel>(
-      make_compressor(config.downlink, config.params),
-      make_compressor(config.uplink, config.params));
+      make_compressor(down, config.params),
+      make_compressor(up, config.params), ef_down, ef_up);
 }
 
 }  // namespace fedtrip::comm

@@ -14,10 +14,16 @@ namespace fedtrip::comm {
 
 /// Instantiates a compressor: "identity", "topk", "qsgd" (params.qsgd_bits),
 /// "qsgd8", "qsgd4", "randmask". Throws std::invalid_argument otherwise.
+/// (The "ef+" error-feedback prefix is channel state, not a codec — it is
+/// handled by make_channel; see strip_ef_prefix.)
 CompressorPtr make_compressor(const std::string& name, const CommParams& params);
 
 /// All registry names, identity first.
 const std::vector<std::string>& all_compressors();
+
+/// Splits an optional "ef+" prefix off a compressor scheme name: returns
+/// true and rewrites `name` to the inner codec when present.
+bool strip_ef_prefix(std::string& name);
 
 /// Builds the configured channel (per-direction compressors by name).
 ChannelPtr make_channel(const CommConfig& config);

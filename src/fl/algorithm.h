@@ -37,6 +37,12 @@ struct ClientContext {
   Rng rng;
 };
 
+/// Normalised aggregation weights over a round's updates: the paper's Eq 2
+/// sample-count weighting, scaled by each update's scheduler-applied
+/// `weight_scale` (async staleness discount). When every scale is exactly 1
+/// this reduces bit-for-bit to the legacy n_i / sum(n) float division.
+std::vector<float> aggregation_weights(const std::vector<ClientUpdate>& updates);
+
 class FederatedAlgorithm {
  public:
   virtual ~FederatedAlgorithm() = default;
@@ -78,6 +84,15 @@ class FederatedAlgorithm {
   /// for the server control variate; FedDANE: |w| for the averaged
   /// gradient).
   virtual std::size_t extra_downlink_floats(std::size_t param_dim) const {
+    (void)param_dim;
+    return 0;
+  }
+
+  /// Extra per-round uplink floats per client beyond |w| (SCAFFOLD: |w|
+  /// for the control delta; FedDANE: |w| for the local gradient). Must
+  /// match what train_client sets in ClientUpdate::extra_upload_floats —
+  /// schedulers predict arrival times from it before training runs.
+  virtual std::size_t extra_uplink_floats(std::size_t param_dim) const {
     (void)param_dim;
     return 0;
   }

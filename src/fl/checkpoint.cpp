@@ -48,11 +48,14 @@ void save_history_csv(const std::string& path,
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   out.precision(17);  // lossless double round-trip
   out << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
-         "cum_mb_down,cum_mb_up,cum_comm_seconds\n";
+         "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
+         "max_staleness,dropped\n";
   for (const auto& r : history) {
     out << r.round << ',' << r.test_accuracy << ',' << r.train_loss << ','
         << r.cum_gflops << ',' << r.cum_comm_mb << ',' << r.cum_mb_down
-        << ',' << r.cum_mb_up << ',' << r.cum_comm_seconds << '\n';
+        << ',' << r.cum_mb_up << ',' << r.cum_comm_seconds << ','
+        << r.mean_staleness << ',' << r.max_staleness << ',' << r.dropped
+        << '\n';
   }
   if (!out) throw std::runtime_error("write failed: " + path);
 }
@@ -71,13 +74,20 @@ std::vector<RoundRecord> load_history_csv(const std::string& path) {
     ss >> r.round >> comma >> r.test_accuracy >> comma >> r.train_loss >>
         comma >> r.cum_gflops >> comma >> r.cum_comm_mb;
     if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
-    // Comm columns were added with the src/comm/ subsystem; exactly-5-field
-    // legacy rows still load (comm fields default to 0), but a new-format
-    // row truncated mid-write is corrupt, not legacy.
+    // Comm columns were added with the src/comm/ subsystem and scheduler
+    // columns with src/sched/; shorter rows from either era still load
+    // (missing fields default to 0), but a row truncated mid-write within
+    // a column group is corrupt, not legacy.
     ss >> std::ws;
     if (!ss.eof()) {
       ss >> comma >> r.cum_mb_down >> comma >> r.cum_mb_up >> comma >>
           r.cum_comm_seconds;
+      if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
+    }
+    ss >> std::ws;
+    if (!ss.eof()) {
+      ss >> comma >> r.mean_staleness >> comma >> r.max_staleness >> comma >>
+          r.dropped;
       if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
     }
     history.push_back(r);

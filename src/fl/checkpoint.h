@@ -22,7 +22,8 @@ void save_parameters(const std::string& path, const std::vector<float>& params);
 std::vector<float> load_parameters_file(const std::string& path);
 
 /// Writes a per-round history as CSV with a header row:
-/// round,test_accuracy,train_loss,cum_gflops,cum_comm_mb
+/// round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,cum_mb_down,
+/// cum_mb_up,cum_comm_seconds,mean_staleness,max_staleness,dropped
 void save_history_csv(const std::string& path,
                       const std::vector<RoundRecord>& history);
 

@@ -10,6 +10,7 @@
 #include "comm/config.h"
 #include "data/partition.h"
 #include "nn/models.h"
+#include "sched/config.h"
 
 namespace fedtrip::fl {
 
@@ -42,6 +43,10 @@ struct ExperimentConfig {
   /// network. Defaults (identity / no network) are fully transparent — the
   /// run is bit-identical to one without a channel.
   comm::CommConfig comm;
+
+  /// Round orchestration: sync (default, bit-identical to the classic
+  /// loop), fastest-K, or buffered async on the virtual clock.
+  sched::SchedConfig sched;
 };
 
 }  // namespace fedtrip::fl

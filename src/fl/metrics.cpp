@@ -55,6 +55,14 @@ double gflops_at_target(const std::vector<RoundRecord>& history,
   return history.empty() ? 0.0 : history.back().cum_gflops;
 }
 
+std::optional<double> seconds_to_target(
+    const std::vector<RoundRecord>& history, double target) {
+  for (const auto& r : history) {
+    if (r.test_accuracy >= target) return r.cum_comm_seconds;
+  }
+  return std::nullopt;
+}
+
 BoxStats box_stats(std::vector<double> values) {
   BoxStats s;
   if (values.empty()) return s;

@@ -30,6 +30,12 @@ double best_accuracy(const std::vector<RoundRecord>& history);
 double gflops_at_target(const std::vector<RoundRecord>& history,
                         double target);
 
+/// Simulated communication seconds (virtual clock) at the first round
+/// reaching `target` — the time-to-accuracy metric the round scheduler
+/// policies compete on. nullopt when the target is never reached.
+std::optional<double> seconds_to_target(
+    const std::vector<RoundRecord>& history, double target);
+
 /// Quartile summary used for the boxplot bench (Fig 6).
 struct BoxStats {
   double min = 0.0, q1 = 0.0, median = 0.0, q3 = 0.0, max = 0.0;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "comm/registry.h"
 #include "nn/loss.h"
 #include "nn/parameter_vector.h"
 #include "optim/sgd.h"
+#include "sched/registry.h"
 #include "tensor/thread_pool.h"
+#include "tensor/vec_math.h"
 
 namespace fedtrip::fl {
 
@@ -114,6 +117,225 @@ double Simulation::evaluate(const std::vector<float>& params) {
   return acc_sum / static_cast<double>(seen);
 }
 
+void Simulation::init_result(RunResult* result) const {
+  result->partition_histograms =
+      data::partition_histograms(data_.train, partition_);
+  result->model_params = static_cast<double>(global_params_.size());
+  result->model_forward_flops = eval_model_->forward_flops_per_sample();
+  result->model_backward_flops = eval_model_->backward_flops_per_sample();
+  result->channel_name = channel_->name();
+}
+
+// ----------------------------------------------------- scheduler adapter
+
+/// The sched::Host the Simulation hands to the configured policy: each
+/// primitive is one stage of the classic round, so the sync policy driving
+/// them in legacy order with legacy RNG stream keys reproduces
+/// run_reference() bit for bit.
+class RoundHost final : public sched::Host {
+ public:
+  RoundHost(Simulation& sim, RunResult& result)
+      : sim_(sim),
+        result_(result),
+        dim_(sim.global_params_.size()),
+        select_rng_(sim.root_rng_.split(0x5E1EC7)),
+        comm_rng_(sim.root_rng_.split(0xC0B17E5)) {}
+
+  std::size_t num_clients() const override { return sim_.config_.num_clients; }
+  std::size_t clients_per_round() const override {
+    return sim_.config_.clients_per_round;
+  }
+  std::size_t total_rounds() const override { return sim_.config_.rounds; }
+  const comm::NetworkModel& network() const override {
+    return *sim_.network_;
+  }
+  std::size_t message_bytes(comm::Direction dir) const override {
+    return sim_.channel_->message_bytes(dir, dim_);
+  }
+  std::size_t extra_down_bytes() const override {
+    return 4 * sim_.algorithm_->extra_downlink_floats(dim_);
+  }
+  std::size_t extra_up_bytes() const override {
+    return 4 * sim_.algorithm_->extra_uplink_floats(dim_);
+  }
+
+  std::vector<std::size_t> select(std::size_t count,
+                                  const std::vector<bool>* busy) override {
+    std::vector<std::size_t> selected;
+    if (busy == nullptr) {
+      selected = select_rng_.sample_without_replacement(
+          sim_.config_.num_clients, count);
+    } else {
+      std::vector<std::size_t> available;
+      available.reserve(busy->size());
+      for (std::size_t k = 0; k < busy->size(); ++k) {
+        if (!(*busy)[k]) available.push_back(k);
+      }
+      count = std::min(count, available.size());
+      for (std::size_t i :
+           select_rng_.sample_without_replacement(available.size(), count)) {
+        selected.push_back(available[i]);
+      }
+    }
+    std::sort(selected.begin(), selected.end());
+    return selected;
+  }
+
+  std::shared_ptr<const std::vector<float>> broadcast(
+      std::uint64_t key, std::size_t copies, bool alias_ok,
+      std::size_t* wire_bytes) override {
+    Rng down_rng = comm_rng_.split(key);
+    std::shared_ptr<const std::vector<float>> snapshot;
+    if (sim_.channel_->transparent(comm::Direction::kDown)) {
+      *wire_bytes = sim_.channel_->transmit(
+          comm::Direction::kDown, sim_.global_params_, down_rng, copies);
+      if (alias_ok) {
+        // Non-owning view of the live global vector: valid because the
+        // caller consumes it before the next aggregation mutates it.
+        snapshot = std::shared_ptr<const std::vector<float>>(
+            std::shared_ptr<void>(), &sim_.global_params_);
+      } else {
+        snapshot =
+            std::make_shared<std::vector<float>>(sim_.global_params_);
+      }
+    } else {
+      auto bcast =
+          std::make_shared<std::vector<float>>(sim_.global_params_);
+      *wire_bytes = sim_.channel_->transmit(comm::Direction::kDown, *bcast,
+                                            down_rng, copies);
+      snapshot = std::move(bcast);
+    }
+    sim_.channel_->account_raw(
+        comm::Direction::kDown,
+        copies * sim_.algorithm_->extra_downlink_floats(dim_));
+    return snapshot;
+  }
+
+  std::vector<ClientUpdate> train(
+      const std::vector<sched::Dispatch>& batch) override {
+    std::vector<ClientContext> contexts;
+    contexts.reserve(batch.size());
+    for (const auto& d : batch) {
+      ClientContext ctx;
+      ctx.round = d.round;
+      ctx.client = sim_.clients_[d.client_id].get();
+      ctx.global_params = d.params.get();
+      ctx.history = sim_.history_.get(d.client_id);
+      ctx.model_factory = &sim_.model_factory_;
+      ctx.local_epochs = sim_.config_.local_epochs;
+      // Stream keyed by the dispatch: identical for any thread schedule.
+      ctx.rng = sim_.root_rng_.split(d.train_key);
+      contexts.push_back(std::move(ctx));
+    }
+
+    cum_flops_ += sim_.algorithm_->pre_round(contexts);
+
+    std::vector<ClientUpdate> updates(contexts.size());
+    parallel_for(
+        0, contexts.size(),
+        [&](std::size_t i) {
+          updates[i] = sim_.algorithm_->train_client(contexts[i]);
+          updates[i].client_id = contexts[i].client->id();
+        },
+        sim_.own_pool_.get());
+    for (const auto& u : updates) cum_flops_ += u.flops;
+    return updates;
+  }
+
+  std::size_t uplink(ClientUpdate& update, std::uint64_t key,
+                     const std::vector<float>& sent_from,
+                     std::size_t round) override {
+    Rng up_rng = comm_rng_.split(key);
+    std::size_t bytes;
+    if (sim_.channel_->transparent(comm::Direction::kUp)) {
+      // Lossless: the decode is bit-exact whether or not a delta was
+      // framed, so skip the delta round-trip (x - ref + ref re-rounds).
+      bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
+                                      up_rng, 1, update.client_id);
+      sim_.history_.put(update.client_id, update.params, round);
+    } else {
+      // The client keeps its own uncompressed model as its history entry;
+      // the server aggregates what it decodes.
+      std::vector<float> local = update.params;
+      if (sim_.config_.comm.delta_uplink) {
+        vec::sub(update.params, sent_from, update.params);
+        bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
+                                        up_rng, 1, update.client_id);
+        vec::add(update.params, sent_from, update.params);
+      } else {
+        bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
+                                        up_rng, 1, update.client_id);
+      }
+      sim_.history_.put(update.client_id, std::move(local), round);
+    }
+    sim_.channel_->account_raw(comm::Direction::kUp,
+                               update.extra_upload_floats);
+    return bytes;
+  }
+
+  void aggregate(std::vector<ClientUpdate>& updates,
+                 const sched::RoundMeta& meta) override {
+    assert(!updates.empty());
+    double loss_sum = 0.0;
+    for (const auto& u : updates) loss_sum += u.train_loss;
+
+    sim_.algorithm_->aggregate(sim_.global_params_, updates, meta.round);
+    clock_seconds_ = meta.clock_seconds;
+
+    const std::size_t t = meta.round;
+    if (t % sim_.config_.eval_every == 0 || t == sim_.config_.rounds) {
+      RoundRecord rec;
+      rec.round = t;
+      rec.test_accuracy = sim_.evaluate(sim_.global_params_);
+      rec.train_loss = loss_sum / static_cast<double>(updates.size());
+      rec.cum_gflops = cum_flops_ / 1e9;
+      const auto& stats = sim_.channel_->stats();
+      rec.cum_comm_mb = stats.total_mb();
+      rec.cum_mb_down = stats.mb_down();
+      rec.cum_mb_up = stats.mb_up();
+      rec.cum_comm_seconds = clock_seconds_;
+      rec.mean_staleness = meta.mean_staleness;
+      rec.max_staleness = meta.max_staleness;
+      rec.dropped = meta.dropped;
+      result_.history.push_back(rec);
+    }
+  }
+
+  double clock_seconds() const { return clock_seconds_; }
+
+ private:
+  Simulation& sim_;
+  RunResult& result_;
+  std::size_t dim_;
+  Rng select_rng_;
+  Rng comm_rng_;
+  double cum_flops_ = 0.0;
+  double clock_seconds_ = 0.0;
+};
+
+RunResult Simulation::run() {
+  auto scheduler = sched::make_scheduler(config_.sched);
+
+  RunResult result;
+  init_result(&result);
+  result.sched_policy = scheduler->name();
+
+  RoundHost host(*this, result);
+  scheduler->run(host);
+
+  result.final_params = global_params_;
+  result.comm_stats = channel_->stats();
+  result.comm_seconds = host.clock_seconds();
+  return result;
+}
+
+// ------------------------------------------------------- reference loop
+//
+// The pre-scheduler synchronous loop, frozen as the executable spec of the
+// sync policy. Do not refactor it to share code with the scheduler path:
+// its value is being an independent implementation the equivalence test
+// compares against. (It predates delta_uplink and ignores that flag.)
+
 std::vector<ClientUpdate> Simulation::run_round(
     std::size_t round, const std::vector<std::size_t>& selected,
     const std::vector<float>& round_params, double* pre_round_flops) {
@@ -145,15 +367,11 @@ std::vector<ClientUpdate> Simulation::run_round(
   return updates;
 }
 
-RunResult Simulation::run() {
+RunResult Simulation::run_reference() {
   RunResult result;
-  result.partition_histograms =
-      data::partition_histograms(data_.train, partition_);
-  result.model_params = static_cast<double>(global_params_.size());
-  result.model_forward_flops = eval_model_->forward_flops_per_sample();
-  result.model_backward_flops = eval_model_->backward_flops_per_sample();
+  init_result(&result);
+  result.sched_policy = "reference";
 
-  result.channel_name = channel_->name();
   const std::size_t dim = global_params_.size();
   double cum_flops = 0.0;
   double cum_comm_seconds = 0.0;
@@ -207,8 +425,9 @@ RunResult Simulation::run() {
       if (lossy_up) local_models[i] = updates[i].params;
       Rng up_rng =
           comm_rng.split((t << 20) ^ (2 * updates[i].client_id + 1));
-      up_bytes[i] =
-          channel_->transmit(comm::Direction::kUp, updates[i].params, up_rng);
+      up_bytes[i] = channel_->transmit(comm::Direction::kUp,
+                                       updates[i].params, up_rng, 1,
+                                       updates[i].client_id);
     }
 
     // Algorithm extras (control variates, averaged gradients) ride the

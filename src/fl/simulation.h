@@ -1,11 +1,14 @@
-// Simulation: the FedAvg-shaped outer loop (paper Algorithm 1, lines 1-13).
+// Simulation: the FL engine around the paper's Algorithm 1.
 //
-// Per round: sample K of N clients uniformly at random, broadcast the global
-// model, train the selected clients in parallel on the thread pool,
-// aggregate with the algorithm's server rule, update the history store, and
-// evaluate the global model on the held-out test set. Client training uses
-// pre-split RNG streams keyed by (seed, round, client), so results are
-// bit-identical for any worker count.
+// The Simulation owns models, clients, data, the comm channel and the
+// history store, and exposes them to a sched::Scheduler as Host primitives
+// (select / broadcast / train / uplink / aggregate). The configured policy
+// (sync / fastk / async, see src/sched/) owns the outer loop: who trains
+// when on the event-driven virtual clock fed by comm::NetworkModel. Client
+// training uses pre-split RNG streams keyed per dispatch, so results are
+// bit-identical for any worker count, and the default sync policy
+// reproduces the classic wait-for-everyone loop (run_reference) bit for
+// bit.
 #pragma once
 
 #include <memory>
@@ -22,6 +25,7 @@
 #include "fl/config.h"
 #include "fl/history.h"
 #include "fl/types.h"
+#include "sched/scheduler.h"
 #include "tensor/thread_pool.h"
 
 namespace fedtrip::fl {
@@ -37,10 +41,12 @@ struct RunResult {
   double model_backward_flops = 0.0;  // BP per sample
   /// Final channel accounting (wire bytes per direction, message counts).
   comm::ChannelStats comm_stats;
-  /// Total simulated communication time (0 without a network model).
+  /// Virtual clock at the end of the run (0 without a network model).
   double comm_seconds = 0.0;
   /// "down:<codec>/up:<codec>" of the channel the run went through.
   std::string channel_name;
+  /// Scheduling policy that orchestrated the rounds ("sync" by default).
+  std::string sched_policy;
 };
 
 class Simulation {
@@ -57,8 +63,15 @@ class Simulation {
   Simulation& operator=(Simulation&&) noexcept;
   ~Simulation();
 
-  /// Runs the configured number of rounds and returns the recorded history.
+  /// Runs the configured number of rounds under the configured scheduling
+  /// policy and returns the recorded history.
   RunResult run();
+
+  /// The pre-scheduler synchronous loop, preserved verbatim as the
+  /// executable specification of the sync policy: a run() with the default
+  /// SchedConfig must match it bit for bit (enforced by
+  /// tests/integration/sched_equivalence_test.cpp). Ignores config.sched.
+  RunResult run_reference();
 
   /// Evaluates parameters on the held-out test set (accuracy in [0, 1]).
   double evaluate(const std::vector<float>& params);
@@ -70,10 +83,14 @@ class Simulation {
   const comm::NetworkModel& network() const { return *network_; }
 
  private:
+  friend class RoundHost;  // the sched::Host adapter (simulation.cpp)
+
   std::vector<ClientUpdate> run_round(std::size_t round,
                                       const std::vector<std::size_t>& selected,
                                       const std::vector<float>& round_params,
                                       double* pre_round_flops);
+  /// Shared head of run()/run_reference(): partition stats, model FLOPs.
+  void init_result(RunResult* result) const;
 
   ExperimentConfig config_;
   AlgorithmPtr algorithm_;

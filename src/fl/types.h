@@ -22,6 +22,12 @@ struct ClientUpdate {
   std::size_t extra_upload_floats = 0;
   /// Algorithm-specific payload (e.g. SCAFFOLD's Delta c).
   std::vector<float> aux;
+  /// Server rounds that passed between this update's dispatch and its
+  /// aggregation (async scheduling; 0 under sync/fastk).
+  std::size_t staleness = 0;
+  /// Scheduler-applied multiplier on the aggregation weight (async staleness
+  /// discount 1/(1+s)^a; exactly 1 otherwise).
+  float weight_scale = 1.0f;
 };
 
 /// Historical local model of a client (FedTrip's ~w_k, MOON's w_hist).
@@ -44,8 +50,14 @@ struct RoundRecord {
   double cum_mb_down = 0.0;
   double cum_mb_up = 0.0;
   /// Cumulative simulated communication wall-clock in seconds (0 when no
-  /// network model is configured).
+  /// network model is configured). Under fastk/async scheduling this is the
+  /// virtual clock at this round's aggregation.
   double cum_comm_seconds = 0.0;
+  /// Scheduler arrival stats for this round (not cumulative): staleness of
+  /// the aggregated updates and over-selected dispatches dropped (fastk).
+  double mean_staleness = 0.0;
+  std::size_t max_staleness = 0;
+  std::size_t dropped = 0;
 };
 
 }  // namespace fedtrip::fl

@@ -1,0 +1,259 @@
+#include "sched/policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+namespace fedtrip::sched {
+
+namespace {
+
+// Legacy stream keys of the pre-scheduler Simulation loop: sync must keep
+// them verbatim for bit-identity; fastk reuses them because a (round,
+// client) pair is unique there too.
+std::uint64_t train_key(std::size_t round, std::size_t client) {
+  return (static_cast<std::uint64_t>(round) << 20) ^ (client + 1);
+}
+std::uint64_t up_key(std::size_t round, std::size_t client) {
+  return (static_cast<std::uint64_t>(round) << 20) ^ (2 * client + 1);
+}
+
+std::vector<Dispatch> make_batch(
+    const std::vector<std::size_t>& clients, std::size_t round,
+    const std::shared_ptr<const std::vector<float>>& params) {
+  std::vector<Dispatch> batch;
+  batch.reserve(clients.size());
+  for (std::size_t k : clients) {
+    Dispatch d;
+    d.client_id = k;
+    d.round = round;
+    d.train_key = train_key(round, k);
+    d.up_key = up_key(round, k);
+    d.params = params;
+    batch.push_back(std::move(d));
+  }
+  return batch;
+}
+
+// Synchronous round tail shared by sync and fastk: uplink every update,
+// advance the clock by the slowest participant, aggregate.
+void finish_round(Host& host, std::vector<Dispatch>& batch,
+                  std::vector<fl::ClientUpdate>& updates,
+                  const std::vector<std::size_t>& participants,
+                  std::size_t round, std::size_t down_wire, double* clock,
+                  std::size_t dropped) {
+  std::vector<std::size_t> up_wire(updates.size(), 0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    up_wire[i] =
+        host.uplink(updates[i], batch[i].up_key, *batch[i].params, round);
+  }
+
+  if (host.network().enabled()) {
+    std::vector<std::size_t> client_up(updates.size());
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      client_up[i] = up_wire[i] + 4 * updates[i].extra_upload_floats;
+    }
+    const std::size_t client_down = down_wire + host.extra_down_bytes();
+    *clock += host.network().round_seconds(participants, client_down,
+                                           client_up);
+  }
+
+  RoundMeta meta;
+  meta.round = round;
+  meta.clock_seconds = *clock;
+  meta.dropped = dropped;
+  host.aggregate(updates, meta);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- sync
+
+void SyncScheduler::run(Host& host) {
+  double clock = 0.0;
+  for (std::size_t t = 1; t <= host.total_rounds(); ++t) {
+    auto selected = host.select(host.clients_per_round(), nullptr);
+    std::size_t down_wire = 0;
+    auto params = host.broadcast(2 * t, selected.size(), /*alias_ok=*/true,
+                                 &down_wire);
+    auto batch = make_batch(selected, t, params);
+    auto updates = host.train(batch);
+    finish_round(host, batch, updates, selected, t, down_wire, &clock,
+                 /*dropped=*/0);
+  }
+}
+
+// ------------------------------------------------------------------ fastk
+
+std::size_t FastKScheduler::overselect_for(const SchedConfig& config,
+                                           std::size_t k, std::size_t n) {
+  const std::size_t m = config.overselect > 0 ? config.overselect : 2 * k;
+  return std::clamp(m, k, n);
+}
+
+void FastKScheduler::run(Host& host) {
+  const std::size_t k = host.clients_per_round();
+  const std::size_t m =
+      overselect_for(config_, k, host.num_clients());
+  // Predicted round-trip bytes are data-independent (every codec's wire
+  // size is a pure function of dim, and the algorithm's extras are a fixed
+  // per-client amount), so the ranking never depends on training results.
+  const std::size_t down_pred =
+      host.message_bytes(comm::Direction::kDown) + host.extra_down_bytes();
+  const std::size_t up_pred =
+      host.message_bytes(comm::Direction::kUp) + host.extra_up_bytes();
+
+  double clock = 0.0;
+  for (std::size_t t = 1; t <= host.total_rounds(); ++t) {
+    auto selected = host.select(m, nullptr);
+    std::size_t down_wire = 0;
+    auto params = host.broadcast(2 * t, selected.size(), /*alias_ok=*/true,
+                                 &down_wire);
+
+    // Keep the K fastest predicted arrivals; `selected` is sorted by id, so
+    // a stable sort breaks round-trip ties by client id.
+    std::vector<std::size_t> order = selected;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return host.network().client_seconds(a, down_pred,
+                                                            up_pred) <
+                              host.network().client_seconds(b, down_pred,
+                                                            up_pred);
+                     });
+    std::vector<std::size_t> winners(order.begin(),
+                                     order.begin() + static_cast<long>(k));
+    std::sort(winners.begin(), winners.end());
+
+    // Only the winners train: the dropped clients' rounds are cancelled
+    // before their (simulated) upload, costing downlink bytes but no
+    // compute and no uplink.
+    auto batch = make_batch(winners, t, params);
+    auto updates = host.train(batch);
+    finish_round(host, batch, updates, winners, t, down_wire, &clock,
+                 /*dropped=*/m - k);
+  }
+}
+
+// ------------------------------------------------------------------ async
+
+void AsyncScheduler::run(Host& host) {
+  const std::size_t concurrency = host.clients_per_round();
+  const std::size_t rounds = host.total_rounds();
+  const std::size_t buffer_size =
+      config_.buffer_size > 0 ? config_.buffer_size : concurrency;
+  const double alpha = config_.staleness_alpha;
+  // Uplink transit bytes per arrival: codec wire bytes plus the
+  // algorithm's raw extras — the same bytes sync's round accounting
+  // charges, so cross-policy time comparisons measure scheduling, not
+  // accounting gaps.
+  const std::size_t up_bytes =
+      host.message_bytes(comm::Direction::kUp) + host.extra_up_bytes();
+
+  struct Flight {
+    Dispatch d;
+    std::size_t version = 0;  // aggregations completed at dispatch time
+    bool trained = false;
+    fl::ClientUpdate update;
+  };
+  std::vector<Flight> flights;
+  std::vector<bool> busy(host.num_clients(), false);
+  // Min-heap of (arrival virtual seconds, client id, flight index): the
+  // id tie-break makes the event trace a pure function of the links.
+  using Event = std::tuple<double, std::size_t, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+
+  std::size_t seq = 0;      // unique dispatch counter (keys RNG streams)
+  std::size_t version = 0;  // server rounds completed
+  double clock = 0.0;
+
+  auto dispatch = [&](std::size_t count, double now) {
+    for (std::size_t c : host.select(count, &busy)) {
+      ++seq;
+      std::size_t down_wire = 0;
+      // Unicast: every dispatch carries the *current* global model, so the
+      // snapshot must outlive later aggregations (no aliasing).
+      auto params =
+          host.broadcast(2 * seq, 1, /*alias_ok=*/false, &down_wire);
+      Flight f;
+      f.d.seq = seq;
+      f.d.client_id = c;
+      f.d.round = version + 1;
+      f.d.train_key = train_key(seq, c);
+      f.d.up_key = up_key(seq, c);
+      f.d.params = std::move(params);
+      f.d.dispatch_time = now;
+      f.version = version;
+      // Round-trip on the client link, plus the shared server link's
+      // per-message serialisation when one is configured (round_seconds
+      // charges the same bytes once per sync round).
+      const std::size_t down_bytes = down_wire + host.extra_down_bytes();
+      const double arrival =
+          now + host.network().client_seconds(c, down_bytes, up_bytes) +
+          host.network().server_seconds(down_bytes + up_bytes);
+      busy[c] = true;
+      flights.push_back(std::move(f));
+      queue.emplace(arrival, c, flights.size() - 1);
+    }
+  };
+
+  dispatch(concurrency, 0.0);
+
+  std::vector<fl::ClientUpdate> buffer;
+  buffer.reserve(buffer_size);
+  double staleness_sum = 0.0;
+  std::size_t staleness_max = 0;
+
+  while (version < rounds && !queue.empty()) {
+    const auto [arrival, client, idx] = queue.top();
+    queue.pop();
+
+    if (!flights[idx].trained) {
+      // Each dispatch trains as its own unit batch: the algorithm's
+      // pre-round phase sees exactly one client, so cohort-coupled
+      // corrections (FedDANE's gradient averaging) consistently degenerate
+      // to the solo client — async has no round cohort — instead of
+      // varying with whichever dispatches happen to be outstanding.
+      std::vector<Dispatch> batch{flights[idx].d};
+      auto updates = host.train(batch);
+      flights[idx].update = std::move(updates[0]);
+      flights[idx].trained = true;
+    }
+
+    clock = std::max(clock, arrival);
+    Flight& f = flights[idx];
+    host.uplink(f.update, f.d.up_key, *f.d.params, version + 1);
+    f.d.params.reset();  // release the snapshot
+
+    const std::size_t staleness = version - f.version;
+    f.update.staleness = staleness;
+    f.update.weight_scale =
+        alpha > 0.0 ? static_cast<float>(
+                          1.0 / std::pow(1.0 + static_cast<double>(staleness),
+                                         alpha))
+                    : 1.0f;
+    staleness_sum += static_cast<double>(staleness);
+    staleness_max = std::max(staleness_max, staleness);
+    buffer.push_back(std::move(f.update));
+    busy[client] = false;
+
+    if (buffer.size() >= buffer_size) {
+      ++version;
+      RoundMeta meta;
+      meta.round = version;
+      meta.clock_seconds = clock;
+      meta.mean_staleness =
+          staleness_sum / static_cast<double>(buffer.size());
+      meta.max_staleness = staleness_max;
+      host.aggregate(buffer, meta);
+      buffer.clear();
+      staleness_sum = 0.0;
+      staleness_max = 0;
+    }
+
+    // Refill the freed slot with the (possibly just-aggregated) global.
+    if (version < rounds) dispatch(1, clock);
+  }
+}
+
+}  // namespace fedtrip::sched

@@ -1,0 +1,52 @@
+// The three built-in scheduling policies (see scheduler.h for semantics).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace fedtrip::sched {
+
+/// Classic synchronous rounds: K clients, everyone waited for. Drives the
+/// host primitives in exactly the pre-scheduler Simulation order with the
+/// same RNG stream keys, so runs are bit-identical to the legacy loop
+/// (enforced by tests/integration/sched_equivalence_test.cpp).
+class SyncScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "sync"; }
+  void run(Host& host) override;
+};
+
+/// Semi-synchronous fastest-K: dispatch M >= K clients, aggregate the K
+/// whose round-trips finish first on the virtual clock (ties by client id),
+/// drop the rest without training them — their slots' compute is the price
+/// of the shorter round. Without a network model every arrival is
+/// instantaneous and the K lowest client ids win.
+class FastKScheduler : public Scheduler {
+ public:
+  explicit FastKScheduler(const SchedConfig& config) : config_(config) {}
+  std::string name() const override { return "fastk"; }
+  void run(Host& host) override;
+
+  /// M for a run: config.overselect, defaulting to 2K, clamped to [K, N].
+  static std::size_t overselect_for(const SchedConfig& config, std::size_t k,
+                                    std::size_t n);
+
+ private:
+  SchedConfig config_;
+};
+
+/// FedBuff/FedAsync-style buffered asynchronous aggregation: K clients are
+/// always in flight, each training on the global snapshot it was dispatched
+/// with; the server aggregates every B arrivals with staleness-discounted
+/// weights 1/(1+s)^a, then refills the freed slot with a fresh dispatch of
+/// the *new* global model. One aggregation == one server round.
+class AsyncScheduler : public Scheduler {
+ public:
+  explicit AsyncScheduler(const SchedConfig& config) : config_(config) {}
+  std::string name() const override { return "async"; }
+  void run(Host& host) override;
+
+ private:
+  SchedConfig config_;
+};
+
+}  // namespace fedtrip::sched

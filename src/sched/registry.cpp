@@ -1,0 +1,25 @@
+#include "sched/registry.h"
+
+#include <stdexcept>
+
+#include "sched/policies.h"
+
+namespace fedtrip::sched {
+
+SchedulerPtr make_scheduler(const SchedConfig& config) {
+  if (config.policy == "sync") return std::make_unique<SyncScheduler>();
+  if (config.policy == "fastk") {
+    return std::make_unique<FastKScheduler>(config);
+  }
+  if (config.policy == "async") {
+    return std::make_unique<AsyncScheduler>(config);
+  }
+  throw std::invalid_argument("unknown schedule policy: " + config.policy);
+}
+
+const std::vector<std::string>& all_policies() {
+  static const std::vector<std::string> names = {"sync", "fastk", "async"};
+  return names;
+}
+
+}  // namespace fedtrip::sched

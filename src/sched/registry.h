@@ -1,0 +1,21 @@
+// Registry: create round schedulers by policy name, mirroring the
+// compressor registry (comm/registry.h) so drivers sweep the
+// algorithm x compressor x network x schedule grid with strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/config.h"
+#include "sched/scheduler.h"
+
+namespace fedtrip::sched {
+
+/// Instantiates a policy: "sync" | "fastk" | "async". Throws
+/// std::invalid_argument otherwise.
+SchedulerPtr make_scheduler(const SchedConfig& config);
+
+/// All registry names, sync first.
+const std::vector<std::string>& all_policies();
+
+}  // namespace fedtrip::sched

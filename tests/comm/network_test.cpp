@@ -108,6 +108,20 @@ TEST(NetworkModelTest, DeterministicGivenSeed) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(NetworkModelTest, ServerSecondsPerMessage) {
+  NetworkParams p = uniform_params();
+  NetworkModel unconstrained(p, 4, Rng(1));
+  EXPECT_DOUBLE_EQ(unconstrained.server_seconds(1'000'000), 0.0);
+
+  p.server_bandwidth_mbps = 8.0;  // 1e6 bytes/s
+  NetworkModel constrained(p, 4, Rng(1));
+  EXPECT_DOUBLE_EQ(constrained.server_seconds(2'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(constrained.server_seconds(0), 0.0);
+
+  NetworkModel disabled(NetworkParams{}, 4, Rng(1));
+  EXPECT_DOUBLE_EQ(disabled.server_seconds(1'000'000), 0.0);
+}
+
 TEST(NetworkModelTest, RejectsMisalignedUploadVector) {
   NetworkModel net(uniform_params(), 4, Rng(1));
   EXPECT_THROW(net.round_seconds({0, 1}, 100, {100}), std::invalid_argument);

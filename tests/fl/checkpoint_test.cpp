@@ -88,6 +88,9 @@ TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
     r.cum_mb_down = 2.5 * static_cast<double>(t);
     r.cum_mb_up = 1.5 * static_cast<double>(t);
     r.cum_comm_seconds = 0.25 * static_cast<double>(t);
+    r.mean_staleness = 0.5 * static_cast<double>(t);
+    r.max_staleness = t;
+    r.dropped = 2 * t;
     history.push_back(r);
   }
   save_history_csv(path, history);
@@ -103,6 +106,9 @@ TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
     EXPECT_NEAR(loaded[i].cum_mb_up, history[i].cum_mb_up, 1e-9);
     EXPECT_NEAR(loaded[i].cum_comm_seconds, history[i].cum_comm_seconds,
                 1e-9);
+    EXPECT_NEAR(loaded[i].mean_staleness, history[i].mean_staleness, 1e-9);
+    EXPECT_EQ(loaded[i].max_staleness, history[i].max_staleness);
+    EXPECT_EQ(loaded[i].dropped, history[i].dropped);
   }
   std::remove(path.c_str());
 }
@@ -122,7 +128,8 @@ TEST_F(CheckpointTest, CsvHasHeader) {
   std::getline(in, line);
   EXPECT_EQ(line,
             "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
-            "cum_mb_down,cum_mb_up,cum_comm_seconds");
+            "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
+            "max_staleness,dropped");
   std::remove(path.c_str());
 }
 
@@ -140,6 +147,34 @@ TEST_F(CheckpointTest, LoadsPreCommFiveColumnCsv) {
   EXPECT_EQ(loaded[0].cum_mb_down, 0.0);
   EXPECT_EQ(loaded[0].cum_mb_up, 0.0);
   EXPECT_EQ(loaded[0].cum_comm_seconds, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadsPreSchedEightColumnCsv) {
+  // CSVs written before the scheduler columns existed still load; the
+  // staleness fields default to zero.
+  const std::string path = temp("presched.csv");
+  std::ofstream(path)
+      << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+         "cum_mb_down,cum_mb_up,cum_comm_seconds\n"
+      << "3,0.5,1.25,2.5,4.5,2.0,2.5,0.75\n";
+  auto loaded = load_history_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_NEAR(loaded[0].cum_comm_seconds, 0.75, 1e-12);
+  EXPECT_EQ(loaded[0].mean_staleness, 0.0);
+  EXPECT_EQ(loaded[0].max_staleness, 0u);
+  EXPECT_EQ(loaded[0].dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncatedSchedColumnsThrow) {
+  const std::string path = temp("truncsched.csv");
+  std::ofstream(path)
+      << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+         "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
+         "max_staleness,dropped\n"
+      << "3,0.5,1.25,2.5,4.5,2.0,2.5,0.75,1.5,2\n";
+  EXPECT_THROW(load_history_csv(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

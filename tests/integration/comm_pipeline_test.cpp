@@ -152,6 +152,92 @@ TEST(CommPipelineTest, QsgdUplinkBytesReduction) {
   EXPECT_LT(ratio, 4.1);
 }
 
+// ------------------------------------------------------ downlink codecs
+
+TEST(CommPipelineTest, LossyDownlinkActuallyChangesTraining) {
+  auto cfg = fl::testing::tiny_config();
+  const auto plain = run_with(cfg, "FedAvg");
+  cfg.comm.downlink = "qsgd8";
+  const auto lossy = run_with(cfg, "FedAvg");
+  EXPECT_NE(plain.final_params, lossy.final_params);
+  // Uplink untouched: byte totals match the uncompressed run.
+  EXPECT_EQ(plain.comm_stats.bytes_up, lossy.comm_stats.bytes_up);
+}
+
+TEST(CommPipelineTest, QsgdDownlinkBytesReduction) {
+  auto cfg = fl::testing::tiny_config();
+  const auto plain = run_with(cfg, "FedAvg");
+  cfg.comm.downlink = "qsgd8";
+  const auto q8 = run_with(cfg, "FedAvg");
+  const double ratio = static_cast<double>(plain.comm_stats.bytes_down) /
+                       static_cast<double>(q8.comm_stats.bytes_down);
+  EXPECT_GT(ratio, 3.9);  // 32 -> 8 bits, minus framing overhead
+  EXPECT_LT(ratio, 4.1);
+  EXPECT_EQ(q8.comm_stats.messages_down, plain.comm_stats.messages_down);
+}
+
+TEST(CommPipelineTest, DownlinkCompressedRunsDeterministic) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.downlink = "topk";
+  cfg.comm.params.topk_fraction = 0.05f;
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  const auto a = run_with(cfg, "FedTrip");
+  const auto b = run_with(cfg, "FedTrip");
+  EXPECT_EQ(a.final_params, b.final_params);
+}
+
+// ------------------------------------------- error feedback & delta modes
+
+TEST(CommPipelineTest, ErrorFeedbackChangesLossyTrajectory) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "topk";
+  cfg.comm.params.topk_fraction = 0.05f;
+  const auto plain = run_with(cfg, "FedAvg");
+  cfg.comm.uplink = "ef+topk";
+  const auto ef = run_with(cfg, "FedAvg");
+  // Same wire bytes, different decoded payloads from round 2 on.
+  EXPECT_EQ(plain.comm_stats.bytes_up, ef.comm_stats.bytes_up);
+  EXPECT_NE(plain.final_params, ef.final_params);
+  EXPECT_EQ(ef.channel_name, "down:identity/up:ef+topk-0.05");
+}
+
+TEST(CommPipelineTest, ErrorFeedbackRunsDeterministic) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "ef+qsgd4";
+  const auto a = run_with(cfg, "FedTrip");
+  const auto b = run_with(cfg, "FedTrip");
+  EXPECT_EQ(a.final_params, b.final_params);
+}
+
+TEST(CommPipelineTest, DeltaUplinkChangesLossyTrajectoryOnly) {
+  auto cfg = fl::testing::tiny_config();
+  // Lossless uplink: delta framing is skipped entirely (bit-exact either
+  // way), so the flag must be a no-op.
+  cfg.comm.delta_uplink = true;
+  const auto delta_identity = run_with(cfg, "FedAvg");
+  cfg.comm.delta_uplink = false;
+  const auto plain_identity = run_with(cfg, "FedAvg");
+  EXPECT_EQ(delta_identity.final_params, plain_identity.final_params);
+
+  // Lossy uplink: compressing w_k - w instead of w_k changes what the
+  // server decodes (same bytes).
+  cfg.comm.uplink = "topk";
+  const auto weight_topk = run_with(cfg, "FedAvg");
+  cfg.comm.delta_uplink = true;
+  const auto delta_topk = run_with(cfg, "FedAvg");
+  EXPECT_NE(weight_topk.final_params, delta_topk.final_params);
+  EXPECT_EQ(weight_topk.comm_stats.bytes_up, delta_topk.comm_stats.bytes_up);
+}
+
+TEST(CommPipelineTest, DeltaUplinkRunsDeterministic) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "ef+topk";  // the composed DGC stack
+  cfg.comm.delta_uplink = true;
+  const auto a = run_with(cfg, "FedTrip");
+  const auto b = run_with(cfg, "FedTrip");
+  EXPECT_EQ(a.final_params, b.final_params);
+}
+
 TEST(CommPipelineTest, RoundRecordAccumulatesCommColumns) {
   auto cfg = fl::testing::tiny_config();
   cfg.comm.uplink = "topk";

@@ -1,0 +1,100 @@
+// The scheduler subsystem's backward-compatibility contract: a run under
+// the default sync policy is bit-identical to Simulation::run_reference(),
+// the preserved pre-scheduler loop — for every registered algorithm, and
+// under compressed channels and simulated networks. This is what lets the
+// sched/ subsystem exist without invalidating any prior result.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+fl::RunResult run_scheduled(const fl::ExperimentConfig& cfg,
+                            const std::string& method) {
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+  return sim.run();
+}
+
+fl::RunResult run_reference(const fl::ExperimentConfig& cfg,
+                            const std::string& method) {
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+  return sim.run_reference();
+}
+
+void expect_bit_identical(const fl::RunResult& sync,
+                          const fl::RunResult& ref) {
+  EXPECT_EQ(sync.final_params, ref.final_params);
+  ASSERT_EQ(sync.history.size(), ref.history.size());
+  for (std::size_t i = 0; i < sync.history.size(); ++i) {
+    EXPECT_EQ(sync.history[i].round, ref.history[i].round);
+    EXPECT_DOUBLE_EQ(sync.history[i].test_accuracy,
+                     ref.history[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(sync.history[i].train_loss, ref.history[i].train_loss);
+    EXPECT_DOUBLE_EQ(sync.history[i].cum_gflops, ref.history[i].cum_gflops);
+    EXPECT_DOUBLE_EQ(sync.history[i].cum_comm_mb,
+                     ref.history[i].cum_comm_mb);
+    EXPECT_DOUBLE_EQ(sync.history[i].cum_mb_down, ref.history[i].cum_mb_down);
+    EXPECT_DOUBLE_EQ(sync.history[i].cum_mb_up, ref.history[i].cum_mb_up);
+    EXPECT_DOUBLE_EQ(sync.history[i].cum_comm_seconds,
+                     ref.history[i].cum_comm_seconds);
+    // Sync rounds are never stale and never drop.
+    EXPECT_DOUBLE_EQ(sync.history[i].mean_staleness, 0.0);
+    EXPECT_EQ(sync.history[i].max_staleness, 0u);
+    EXPECT_EQ(sync.history[i].dropped, 0u);
+  }
+  EXPECT_DOUBLE_EQ(sync.comm_seconds, ref.comm_seconds);
+  EXPECT_EQ(sync.comm_stats.bytes_down, ref.comm_stats.bytes_down);
+  EXPECT_EQ(sync.comm_stats.bytes_up, ref.comm_stats.bytes_up);
+  EXPECT_EQ(sync.comm_stats.messages_down, ref.comm_stats.messages_down);
+  EXPECT_EQ(sync.comm_stats.messages_up, ref.comm_stats.messages_up);
+}
+
+class SchedEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedEquivalenceTest, SyncMatchesLegacyLoopBitForBit) {
+  const auto cfg = fl::testing::tiny_config();
+  expect_bit_identical(run_scheduled(cfg, GetParam()),
+                       run_reference(cfg, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, SchedEquivalenceTest,
+    ::testing::ValuesIn(algorithms::all_methods()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(SchedEquivalenceTest, HoldsUnderCompressionAndNetwork) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "qsgd8";
+  cfg.comm.downlink = "topk";
+  cfg.comm.params.topk_fraction = 0.05f;
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  expect_bit_identical(run_scheduled(cfg, "FedTrip"),
+                       run_reference(cfg, "FedTrip"));
+}
+
+TEST(SchedEquivalenceTest, HoldsUnderErrorFeedback) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "ef+topk";
+  cfg.comm.params.topk_fraction = 0.05f;
+  expect_bit_identical(run_scheduled(cfg, "FedAvg"),
+                       run_reference(cfg, "FedAvg"));
+}
+
+TEST(SchedEquivalenceTest, HoldsWithParallelWorkers) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.workers = 4;
+  expect_bit_identical(run_scheduled(cfg, "SCAFFOLD"),
+                       run_reference(cfg, "SCAFFOLD"));
+}
+
+}  // namespace
+}  // namespace fedtrip

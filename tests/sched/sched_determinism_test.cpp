@@ -1,0 +1,199 @@
+// Scheduler determinism: the virtual-clock event trace (arrival ordering,
+// staleness, simulated seconds) and the learning trajectory must be pure
+// functions of the seed — identical for any worker count, for every
+// policy. Arrival times derive only from the network RNG stream with ties
+// broken by client id, so this is the subsystem's core invariant.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+fl::ExperimentConfig sched_config(const std::string& policy) {
+  auto cfg = fl::testing::tiny_config();
+  cfg.rounds = 6;
+  cfg.sched.policy = policy;
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  cfg.comm.network.straggler_fraction = 0.4;
+  return cfg;
+}
+
+fl::RunResult run_with(const fl::ExperimentConfig& cfg,
+                       const std::string& method = "FedTrip") {
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+  return sim.run();
+}
+
+void expect_identical(const fl::RunResult& a, const fl::RunResult& b) {
+  EXPECT_EQ(a.final_params, b.final_params);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].round, b.history[i].round);
+    EXPECT_DOUBLE_EQ(a.history[i].test_accuracy, b.history[i].test_accuracy);
+    EXPECT_DOUBLE_EQ(a.history[i].train_loss, b.history[i].train_loss);
+    // The virtual-clock trace: simulated seconds and arrival stats.
+    EXPECT_DOUBLE_EQ(a.history[i].cum_comm_seconds,
+                     b.history[i].cum_comm_seconds);
+    EXPECT_DOUBLE_EQ(a.history[i].mean_staleness,
+                     b.history[i].mean_staleness);
+    EXPECT_EQ(a.history[i].max_staleness, b.history[i].max_staleness);
+    EXPECT_EQ(a.history[i].dropped, b.history[i].dropped);
+  }
+  EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+}
+
+class SchedDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedDeterminismTest, WorkerCountNeverChangesTheTrace) {
+  auto cfg = sched_config(GetParam());
+  cfg.workers = 1;
+  const auto serial = run_with(cfg);
+  cfg.workers = 4;
+  const auto parallel = run_with(cfg);
+  expect_identical(serial, parallel);
+}
+
+TEST_P(SchedDeterminismTest, FixedSeedBitIdentical) {
+  const auto cfg = sched_config(GetParam());
+  expect_identical(run_with(cfg), run_with(cfg));
+}
+
+TEST_P(SchedDeterminismTest, CompressedUplinkStaysDeterministic) {
+  auto cfg = sched_config(GetParam());
+  cfg.comm.uplink = "qsgd8";
+  cfg.workers = 1;
+  const auto serial = run_with(cfg);
+  cfg.workers = 4;
+  const auto parallel = run_with(cfg);
+  expect_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedDeterminismTest,
+    ::testing::Values("sync", "fastk", "async"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ------------------------------------------------- policy-specific shape
+
+TEST(SchedPolicyTest, PoliciesProduceDistinctTrajectories) {
+  const auto sync = run_with(sched_config("sync"));
+  const auto fastk = run_with(sched_config("fastk"));
+  const auto async = run_with(sched_config("async"));
+  EXPECT_NE(sync.final_params, fastk.final_params);
+  EXPECT_NE(sync.final_params, async.final_params);
+  EXPECT_NE(fastk.final_params, async.final_params);
+  EXPECT_EQ(sync.sched_policy, "sync");
+  EXPECT_EQ(fastk.sched_policy, "fastk");
+  EXPECT_EQ(async.sched_policy, "async");
+}
+
+TEST(SchedPolicyTest, EveryPolicyRecordsEveryRound) {
+  for (const char* policy : {"sync", "fastk", "async"}) {
+    const auto cfg = sched_config(policy);
+    const auto result = run_with(cfg);
+    ASSERT_EQ(result.history.size(), cfg.rounds) << policy;
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+      EXPECT_EQ(result.history[i].round, i + 1);
+    }
+  }
+}
+
+TEST(SchedPolicyTest, FastKDropsOverselectedDispatches) {
+  auto cfg = sched_config("fastk");
+  cfg.sched.overselect = 4;  // K = 2 of N = 5
+  const auto result = run_with(cfg);
+  for (const auto& r : result.history) {
+    EXPECT_EQ(r.dropped, 2u);  // M - K
+    EXPECT_EQ(r.max_staleness, 0u);  // semi-sync: no stale aggregation
+  }
+  // Over-selection broadcasts to M clients but uplinks only K: more down
+  // bytes than sync, same up bytes.
+  const auto sync = run_with(sched_config("sync"));
+  EXPECT_GT(result.comm_stats.bytes_down, sync.comm_stats.bytes_down);
+  EXPECT_EQ(result.comm_stats.bytes_up, sync.comm_stats.bytes_up);
+}
+
+TEST(SchedPolicyTest, FastKAvoidsStragglers) {
+  // With everyone over-selected (M = N) and 40% of clients 10x slow, the
+  // K fastest can always dodge the slow links: the virtual clock must run
+  // faster than sync's wait-for-the-slowest.
+  auto cfg = sched_config("fastk");
+  cfg.sched.overselect = cfg.num_clients;
+  const auto fastk = run_with(cfg);
+  const auto sync = run_with(sched_config("sync"));
+  EXPECT_GT(sync.comm_seconds, 0.0);
+  EXPECT_LT(fastk.comm_seconds, sync.comm_seconds);
+}
+
+TEST(SchedPolicyTest, AsyncReportsStaleness) {
+  auto cfg = sched_config("async");
+  cfg.rounds = 8;
+  cfg.sched.buffer_size = 1;  // aggregate every arrival: staleness builds
+  const auto result = run_with(cfg);
+  double mean_sum = 0.0;
+  for (const auto& r : result.history) {
+    mean_sum += r.mean_staleness;
+    EXPECT_EQ(r.dropped, 0u);  // async defers, never drops
+  }
+  // With K = 2 in flight and per-arrival aggregation, an update dispatched
+  // one aggregation ago is routinely stale.
+  EXPECT_GT(mean_sum, 0.0);
+}
+
+TEST(SchedPolicyTest, AsyncStalenessAlphaChangesAggregation) {
+  auto cfg = sched_config("async");
+  cfg.sched.staleness_alpha = 0.0;
+  const auto flat = run_with(cfg);
+  cfg.sched.staleness_alpha = 2.0;
+  const auto discounted = run_with(cfg);
+  // Same event trace (arrival times ignore the weights)...
+  ASSERT_EQ(flat.history.size(), discounted.history.size());
+  for (std::size_t i = 0; i < flat.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(flat.history[i].cum_comm_seconds,
+                     discounted.history[i].cum_comm_seconds);
+    EXPECT_DOUBLE_EQ(flat.history[i].mean_staleness,
+                     discounted.history[i].mean_staleness);
+  }
+  // ...but different aggregation weights, hence different models.
+  EXPECT_NE(flat.final_params, discounted.final_params);
+}
+
+TEST(SchedPolicyTest, AsyncChargesUplinkExtrasInArrivalTimes) {
+  // SCAFFOLD uploads an extra |w| per update; the async virtual clock must
+  // charge those bytes just like sync's round accounting does, so its
+  // arrivals take longer than FedAvg's under identical links.
+  auto cfg = sched_config("async");
+  cfg.comm.network.profile = comm::NetProfile::kUniform;
+  const auto fedavg = run_with(cfg, "FedAvg");
+  const auto scaffold = run_with(cfg, "SCAFFOLD");
+  EXPECT_GT(scaffold.comm_seconds, fedavg.comm_seconds);
+}
+
+TEST(SchedPolicyTest, AsyncChargesSharedServerLink) {
+  auto cfg = sched_config("async");
+  const auto unconstrained = run_with(cfg);
+  cfg.comm.network.server_bandwidth_mbps = 1.0;
+  const auto constrained = run_with(cfg);
+  EXPECT_GT(constrained.comm_seconds, unconstrained.comm_seconds);
+}
+
+TEST(SchedPolicyTest, NoNetworkFallsBackToClientIdOrder) {
+  // Without a network model every arrival is instantaneous; fastk must
+  // still be well-defined (ties broken by client id) and deterministic.
+  auto cfg = sched_config("fastk");
+  cfg.comm.network.profile = comm::NetProfile::kNone;
+  const auto a = run_with(cfg);
+  const auto b = run_with(cfg);
+  EXPECT_EQ(a.final_params, b.final_params);
+  EXPECT_DOUBLE_EQ(a.comm_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace fedtrip
