@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   auto opt = BenchOptions::parse(argc, argv);
 
   print_header(
-      "Round scheduling — sync vs fastest-K vs async on a straggler network",
+      "Round scheduling — sync vs fastest-K vs async vs deadline on a "
+      "straggler network",
       "sched subsystem; extends the paper's rounds-to-target axis (Table IV)"
       " to simulated time-to-target");
 

@@ -1,51 +1,32 @@
 // run_experiment: a full command-line driver over the library — any method,
-// model, dataset, heterogeneity and schedule — with CSV + checkpoint export.
-// This is the binary a downstream user scripts their own sweeps with.
+// model, dataset, heterogeneity, schedule and client profile — with CSV +
+// checkpoint export. This is the binary a downstream user scripts their own
+// sweeps with.
+//
+// Flags are registered once in fl::experiment_flags() (src/fl/flags.h): the
+// --help text is generated from that table and this file's handler map is
+// checked against it at startup, so the accepted flags and the documented
+// flags cannot drift apart.
 //
 // Usage:
 //   ./run_experiment --method FedTrip --model cnn --dataset mnist \
 //       --het Dir-0.5 --rounds 50 --clients 10 --per-round 4 \
-//       --batch 32 --epochs 1 --mu 0.4 --scale 0.1 --seed 42 \
-//       --out history.csv --save-model final.bin [--idx-dir /path/to/mnist]
+//       --schedule deadline --deadline 20 --compute-profile bimodal \
+//       --availability markov --network straggler --out history.csv
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 
 #include "algorithms/registry.h"
 #include "data/idx_loader.h"
 #include "fl/checkpoint.h"
+#include "fl/flags.h"
 #include "fl/metrics.h"
 #include "fl/simulation.h"
-
-namespace {
-
-const char* kUsage = R"(run_experiment options:
-  --method NAME    FedTrip|FedAvg|FedProx|SlowMo|MOON|FedDyn|SCAFFOLD|
-                   FedDANE|FedAvgM|FedAdam            (default FedTrip)
-  --model ARCH     mlp|cnn|alexnet                    (default cnn)
-  --dataset NAME   mnist|fmnist|emnist|cifar10        (default mnist)
-  --het NAME       IID|Dir-0.1|Dir-0.5|Orthogonal-5|Orthogonal-10
-  --rounds N --clients N --per-round N --batch N --epochs N
-  --mu X --xi-scale X --lr X --scale X --seed N --width-mult X
-  --out FILE       write per-round history CSV
-  --save-model F   write final global model checkpoint
-  --idx-dir DIR    load real IDX-format data from DIR instead of synthetic
-  --compressor N   uplink compressor: identity|topk|qsgd|qsgd8|qsgd4|randmask
-                   ("ef+" prefix adds error feedback, e.g. ef+topk)
-  --down-compressor N  downlink compressor (default identity)
-  --topk-frac X --qsgd-bits N --mask-keep X   compressor hyperparameters
-  --delta          compress the update delta w_k - w instead of w_k (uplink)
-  --network P      none|uniform|heterogeneous|straggler (simulated network)
-  --bandwidth X    mean client bandwidth, Mbps   --latency X   one-way ms
-  --schedule P     round scheduler: sync|fastk|async       (default sync)
-  --overselect M   fastk: clients dispatched per round     (default 2K)
-  --buffer B       async: arrivals per aggregation         (default K)
-  --staleness-alpha X  async: weight updates by 1/(1+s)^X  (default 0.5)
-)";
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fedtrip;
@@ -61,84 +42,164 @@ int main(int argc, char** argv) {
   algorithms::AlgoParams params;
   params.mu = 0.4f;
 
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n%s", argv[i], kUsage);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--method")) {
-      method = next();
-    } else if (!std::strcmp(argv[i], "--model")) {
-      cfg.model.arch = nn::arch_from_name(next());
-    } else if (!std::strcmp(argv[i], "--dataset")) {
-      cfg.dataset = next();
-    } else if (!std::strcmp(argv[i], "--het")) {
-      cfg.heterogeneity = data::heterogeneity_from_name(next());
-    } else if (!std::strcmp(argv[i], "--rounds")) {
-      cfg.rounds = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--clients")) {
-      cfg.num_clients = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--per-round")) {
-      cfg.clients_per_round = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--batch")) {
-      cfg.batch_size = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--epochs")) {
-      cfg.local_epochs = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--mu")) {
-      params.mu = static_cast<float>(std::atof(next()));
-    } else if (!std::strcmp(argv[i], "--xi-scale")) {
-      params.xi_scale = static_cast<float>(std::atof(next()));
-    } else if (!std::strcmp(argv[i], "--lr")) {
-      cfg.lr = static_cast<float>(std::atof(next()));
-      params.lr = cfg.lr;
-    } else if (!std::strcmp(argv[i], "--scale")) {
-      cfg.data_scale = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--seed")) {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else if (!std::strcmp(argv[i], "--width-mult")) {
-      cfg.model.width_mult = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--out")) {
-      out_csv = next();
-    } else if (!std::strcmp(argv[i], "--save-model")) {
-      save_model = next();
-    } else if (!std::strcmp(argv[i], "--idx-dir")) {
-      idx_dir = next();
-    } else if (!std::strcmp(argv[i], "--compressor")) {
-      cfg.comm.uplink = next();
-    } else if (!std::strcmp(argv[i], "--down-compressor")) {
-      cfg.comm.downlink = next();
-    } else if (!std::strcmp(argv[i], "--topk-frac")) {
-      cfg.comm.params.topk_fraction = static_cast<float>(std::atof(next()));
-    } else if (!std::strcmp(argv[i], "--qsgd-bits")) {
-      cfg.comm.params.qsgd_bits = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--mask-keep")) {
-      cfg.comm.params.mask_keep = static_cast<float>(std::atof(next()));
-    } else if (!std::strcmp(argv[i], "--delta")) {
-      cfg.comm.delta_uplink = true;
-    } else if (!std::strcmp(argv[i], "--schedule")) {
-      cfg.sched.policy = next();
-    } else if (!std::strcmp(argv[i], "--overselect")) {
-      cfg.sched.overselect = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--buffer")) {
-      cfg.sched.buffer_size = static_cast<std::size_t>(std::atoi(next()));
-    } else if (!std::strcmp(argv[i], "--staleness-alpha")) {
-      cfg.sched.staleness_alpha = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--network")) {
-      cfg.comm.network.profile = comm::net_profile_from_name(next());
-    } else if (!std::strcmp(argv[i], "--bandwidth")) {
-      cfg.comm.network.bandwidth_mbps = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--latency")) {
-      cfg.comm.network.latency_ms = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--help")) {
-      std::printf("%s", kUsage);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown option %s\n%s", argv[i], kUsage);
+  const std::string usage = fl::experiment_usage();
+
+  // One handler per registered flag; boolean flags receive nullptr.
+  using Handler = std::function<void(const char*)>;
+  const std::map<std::string, Handler> handlers = {
+      {"--method", [&](const char* v) { method = v; }},
+      {"--model",
+       [&](const char* v) { cfg.model.arch = nn::arch_from_name(v); }},
+      {"--dataset", [&](const char* v) { cfg.dataset = v; }},
+      {"--het",
+       [&](const char* v) {
+         cfg.heterogeneity = data::heterogeneity_from_name(v);
+       }},
+      {"--rounds",
+       [&](const char* v) {
+         cfg.rounds = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--clients",
+       [&](const char* v) {
+         cfg.num_clients = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--per-round",
+       [&](const char* v) {
+         cfg.clients_per_round = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--batch",
+       [&](const char* v) {
+         cfg.batch_size = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--epochs",
+       [&](const char* v) {
+         cfg.local_epochs = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--mu",
+       [&](const char* v) { params.mu = static_cast<float>(std::atof(v)); }},
+      {"--xi-scale",
+       [&](const char* v) {
+         params.xi_scale = static_cast<float>(std::atof(v));
+       }},
+      {"--lr",
+       [&](const char* v) {
+         cfg.lr = static_cast<float>(std::atof(v));
+         params.lr = cfg.lr;
+       }},
+      {"--scale", [&](const char* v) { cfg.data_scale = std::atof(v); }},
+      {"--seed",
+       [&](const char* v) {
+         cfg.seed = static_cast<std::uint64_t>(std::atoll(v));
+       }},
+      {"--width-mult",
+       [&](const char* v) { cfg.model.width_mult = std::atof(v); }},
+      {"--out", [&](const char* v) { out_csv = v; }},
+      {"--save-model", [&](const char* v) { save_model = v; }},
+      {"--idx-dir", [&](const char* v) { idx_dir = v; }},
+      {"--compressor", [&](const char* v) { cfg.comm.uplink = v; }},
+      {"--down-compressor", [&](const char* v) { cfg.comm.downlink = v; }},
+      {"--topk-frac",
+       [&](const char* v) {
+         cfg.comm.params.topk_fraction = static_cast<float>(std::atof(v));
+       }},
+      {"--qsgd-bits",
+       [&](const char* v) { cfg.comm.params.qsgd_bits = std::atoi(v); }},
+      {"--mask-keep",
+       [&](const char* v) {
+         cfg.comm.params.mask_keep = static_cast<float>(std::atof(v));
+       }},
+      {"--delta", [&](const char*) { cfg.comm.delta_uplink = true; }},
+      {"--network",
+       [&](const char* v) {
+         cfg.comm.network.profile = comm::net_profile_from_name(v);
+       }},
+      {"--bandwidth",
+       [&](const char* v) { cfg.comm.network.bandwidth_mbps = std::atof(v); }},
+      {"--latency",
+       [&](const char* v) { cfg.comm.network.latency_ms = std::atof(v); }},
+      {"--schedule", [&](const char* v) { cfg.sched.policy = v; }},
+      {"--overselect",
+       [&](const char* v) {
+         cfg.sched.overselect = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--buffer",
+       [&](const char* v) {
+         cfg.sched.buffer_size = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--staleness-alpha",
+       [&](const char* v) { cfg.sched.staleness_alpha = std::atof(v); }},
+      {"--deadline",
+       [&](const char* v) { cfg.sched.deadline_s = std::atof(v); }},
+      {"--compute-profile",
+       [&](const char* v) { cfg.clients.compute_profile = v; }},
+      {"--seconds-per-sample",
+       [&](const char* v) { cfg.clients.seconds_per_sample = std::atof(v); }},
+      {"--availability",
+       [&](const char* v) {
+         // "always" and "markov" are kinds; anything else is a CSV trace.
+         const std::string a = v;
+         if (a == "always" || a == "markov") {
+           cfg.clients.availability = a;
+         } else {
+           cfg.clients.availability = "trace";
+           cfg.clients.availability_trace = a;
+         }
+       }},
+      {"--avail-on",
+       [&](const char* v) { cfg.clients.markov_mean_on_s = std::atof(v); }},
+      {"--avail-off",
+       [&](const char* v) { cfg.clients.markov_mean_off_s = std::atof(v); }},
+      {"--help",
+       [&](const char*) {
+         std::printf("%s", usage.c_str());
+         std::exit(0);
+       }},
+  };
+
+  // Drift guard: the handler map and the registered flag table must agree
+  // (this runs on every invocation, including the CI smoke runs).
+  const auto& specs = fl::experiment_flags();
+  for (const auto& s : specs) {
+    if (handlers.find(s.name) == handlers.end()) {
+      std::fprintf(stderr, "BUG: registered flag %s has no handler\n",
+                   s.name);
       return 2;
     }
+  }
+  if (handlers.size() != specs.size()) {
+    for (const auto& [name, fn] : handlers) {
+      (void)fn;
+      bool found = false;
+      for (const auto& s : specs) found |= name == s.name;
+      if (!found) {
+        std::fprintf(stderr,
+                     "BUG: handler for %s missing from experiment_flags()\n",
+                     name.c_str());
+      }
+    }
+    return 2;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const auto it = handlers.find(argv[i]);
+    if (it == handlers.end()) {
+      std::fprintf(stderr, "unknown option %s\n%s", argv[i], usage.c_str());
+      return 2;
+    }
+    const fl::FlagSpec* spec = nullptr;
+    for (const auto& s : specs) {
+      if (it->first == s.name) spec = &s;
+    }
+    const char* value = nullptr;
+    if (spec->value_name != nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", argv[i],
+                     usage.c_str());
+        return 2;
+      }
+      value = argv[++i];
+    }
+    it->second(value);
   }
 
   if (cfg.dataset == "emnist") cfg.model.classes = 47;
@@ -166,14 +227,15 @@ int main(int argc, char** argv) {
 
   std::printf("method=%s model=%s dataset=%s het=%s rounds=%zu "
               "clients=%zu/%zu batch=%zu epochs=%zu mu=%.2f seed=%llu "
-              "schedule=%s\n",
+              "schedule=%s compute=%s availability=%s\n",
               method.c_str(), nn::arch_name(cfg.model.arch),
               cfg.dataset.c_str(),
               data::heterogeneity_name(cfg.heterogeneity), cfg.rounds,
               cfg.clients_per_round, cfg.num_clients, cfg.batch_size,
               cfg.local_epochs, params.mu,
               static_cast<unsigned long long>(cfg.seed),
-              cfg.sched.policy.c_str());
+              cfg.sched.policy.c_str(), cfg.clients.compute_profile.c_str(),
+              cfg.clients.availability.c_str());
 
   auto algorithm = algorithms::make_algorithm(method, params);
   auto sim = real_data.has_value()
@@ -195,14 +257,22 @@ int main(int argc, char** argv) {
   if (cfg.comm.network.profile != comm::NetProfile::kNone) {
     std::printf("  simulated %.2f s over %s network", result.comm_seconds,
                 comm::net_profile_name(cfg.comm.network.profile));
+  } else if (cfg.clients.compute_profile != "none") {
+    std::printf("  simulated %.2f s (compute only)", result.comm_seconds);
   }
   std::printf("\n");
   if (cfg.sched.policy != "sync" && !result.history.empty()) {
     const auto& last = result.history.back();
     std::printf("schedule %s: last-round staleness mean %.2f max %zu, "
-                "dropped %zu/round\n",
+                "dropped %zu, deferred %zu\n",
                 result.sched_policy.c_str(), last.mean_staleness,
-                last.max_staleness, last.dropped);
+                last.max_staleness, last.dropped, last.deadline_deferred);
+  }
+  if (cfg.clients.availability != "always" && !result.history.empty()) {
+    std::size_t unavailable = 0;
+    for (const auto& r : result.history) unavailable += r.unavailable;
+    std::printf("availability %s: %zu dispatches lost to offline clients\n",
+                cfg.clients.availability.c_str(), unavailable);
   }
 
   if (!out_csv.empty()) {

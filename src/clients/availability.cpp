@@ -1,0 +1,194 @@
+#include "clients/availability.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedtrip::clients {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool blank_or_comment(const std::string& line) {
+  for (char ch : line) {
+    if (ch == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;  // all whitespace
+}
+
+}  // namespace
+
+std::vector<TraceWindow> parse_availability_trace(std::istream& in) {
+  std::vector<TraceWindow> trace;
+  std::string line;
+  bool seen_data = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    if (blank_or_comment(line)) continue;
+
+    std::stringstream ss(line);
+    TraceWindow w;
+    char c1 = 0, c2 = 0;
+    ss >> w.client >> c1 >> w.start_s >> c2 >> w.end_s;
+    if (ss.fail() || c1 != ',' || c2 != ',') {
+      // One non-numeric line before any data row is a header; a malformed
+      // numeric row is never silently skipped.
+      std::stringstream probe(line);
+      std::size_t id = 0;
+      const bool numeric_start = static_cast<bool>(probe >> id);
+      if (!seen_data && trace.empty() && !numeric_start) {
+        seen_data = true;
+        continue;
+      }
+      throw std::invalid_argument("availability trace line " +
+                                  std::to_string(line_no) +
+                                  ": expected client,start_s,end_s: " + line);
+    }
+    ss >> std::ws;
+    if (!ss.eof()) {
+      throw std::invalid_argument("availability trace line " +
+                                  std::to_string(line_no) +
+                                  ": trailing garbage: " + line);
+    }
+    if (!(w.end_s >= w.start_s) || !std::isfinite(w.start_s)) {
+      throw std::invalid_argument("availability trace line " +
+                                  std::to_string(line_no) +
+                                  ": window end before start: " + line);
+    }
+    seen_data = true;
+    trace.push_back(w);
+  }
+  return trace;
+}
+
+std::vector<TraceWindow> load_availability_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open availability trace: " + path);
+  }
+  return parse_availability_trace(in);
+}
+
+AvailabilityModel AvailabilityModel::markov(double mean_on_s,
+                                            double mean_off_s,
+                                            std::size_t num_clients,
+                                            Rng rng) {
+  if (mean_off_s <= 0.0) return AvailabilityModel();  // never off
+  if (mean_on_s <= 0.0) {
+    throw std::invalid_argument("markov availability needs mean_on_s > 0");
+  }
+  AvailabilityModel m;
+  m.kind_ = Kind::kMarkov;
+  m.mean_on_s_ = mean_on_s;
+  m.mean_off_s_ = mean_off_s;
+  m.clients_.resize(num_clients);
+  const double p_on = mean_on_s / (mean_on_s + mean_off_s);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    auto& c = m.clients_[k];
+    c.rng = rng.split(k + 1);  // each client churns on its own stream
+    c.gen_on = c.rng.uniform() < p_on;  // stationary initial state
+  }
+  return m;
+}
+
+AvailabilityModel AvailabilityModel::from_trace(
+    const std::vector<TraceWindow>& trace, std::size_t num_clients) {
+  AvailabilityModel m;
+  m.kind_ = Kind::kTrace;
+  m.clients_.resize(num_clients);
+  for (const auto& w : trace) {
+    if (w.client >= num_clients) continue;  // ids beyond the population
+    m.clients_[w.client].windows.push_back({w.start_s, w.end_s});
+  }
+  for (auto& c : m.clients_) {
+    std::sort(c.windows.begin(), c.windows.end(),
+              [](const Window& a, const Window& b) {
+                return a.start < b.start;
+              });
+    // Merge overlapping / touching windows into disjoint spans.
+    std::vector<Window> merged;
+    for (const auto& w : c.windows) {
+      if (!merged.empty() && w.start <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, w.end);
+      } else {
+        merged.push_back(w);
+      }
+    }
+    c.windows = std::move(merged);
+  }
+  return m;
+}
+
+void AvailabilityModel::extend(ClientWindows& c, double t) const {
+  while (c.gen_until <= t) {
+    const double mean = c.gen_on ? mean_on_s_ : mean_off_s_;
+    const double dur = std::max(-mean * std::log(1.0 - c.rng.uniform()),
+                                1e-9);
+    if (c.gen_on) c.windows.push_back({c.gen_until, c.gen_until + dur});
+    c.gen_until += dur;
+    c.gen_on = !c.gen_on;
+  }
+}
+
+const AvailabilityModel::Window* AvailabilityModel::find(
+    const ClientWindows& c, double t) const {
+  auto it = std::upper_bound(c.windows.begin(), c.windows.end(), t,
+                             [](double v, const Window& w) {
+                               return v < w.start;
+                             });
+  if (it == c.windows.begin()) return nullptr;
+  --it;
+  return t < it->end ? &*it : nullptr;
+}
+
+bool AvailabilityModel::available(std::size_t client, double t) const {
+  if (kind_ == Kind::kAlways) return true;
+  auto& c = clients_[client];
+  if (kind_ == Kind::kTrace && c.windows.empty()) return true;  // untraced
+  if (kind_ == Kind::kMarkov) extend(c, t);
+  return find(c, t) != nullptr;
+}
+
+double AvailabilityModel::next_available_time(std::size_t client,
+                                              double t) const {
+  if (kind_ == Kind::kAlways) return t;
+  auto& c = clients_[client];
+  if (kind_ == Kind::kTrace && c.windows.empty()) return t;
+  if (kind_ == Kind::kMarkov) extend(c, t);
+  if (find(c, t) != nullptr) return t;
+  auto next = [&]() -> const Window* {
+    auto it = std::lower_bound(c.windows.begin(), c.windows.end(), t,
+                               [](const Window& w, double v) {
+                                 return w.start < v;
+                               });
+    return it != c.windows.end() ? &*it : nullptr;
+  };
+  if (const Window* w = next()) return w->start;
+  if (kind_ == Kind::kTrace) return kInf;  // trace exhausted: gone for good
+  // Markov: the next on-window just hasn't been generated yet.
+  const double chunk = std::max(mean_on_s_ + mean_off_s_, 1.0);
+  for (int i = 0; i < 100000; ++i) {
+    extend(c, c.gen_until + chunk);
+    if (const Window* w = next()) return w->start;
+  }
+  return kInf;  // unreachable with positive means; guards a runaway loop
+}
+
+double AvailabilityModel::online_until(std::size_t client, double t) const {
+  if (kind_ == Kind::kAlways) return kInf;
+  auto& c = clients_[client];
+  if (kind_ == Kind::kTrace && c.windows.empty()) return kInf;
+  if (kind_ == Kind::kMarkov) extend(c, t);
+  const Window* w = find(c, t);
+  return w != nullptr ? w->end : t;
+}
+
+}  // namespace fedtrip::clients

@@ -1,0 +1,107 @@
+// AvailabilityModel: per-client on/off windows on the virtual clock.
+//
+// Schedulers consult the model at dispatch time — offline clients are
+// skipped (they never respond to the server's ping) — and event-driven
+// policies use online_until() to drop in-flight work when a client churns
+// off before its upload completes. Two window sources:
+//
+//   markov — parametric churn: each client alternates exponentially-
+//            distributed on/off windows drawn lazily from its own RNG
+//            stream (split off a dedicated parent, so enabling churn never
+//            perturbs training randomness). Windows extend on demand as
+//            later virtual times are queried; the generated schedule is a
+//            pure function of the seed, independent of query order.
+//   trace  — a loaded CSV schedule ("client,start_s,end_s" rows). Clients
+//            absent from the trace are treated as always available
+//            (unmanaged devices); clients with windows are offline outside
+//            them, including after their last window ends.
+//
+// Queries mutate lazy per-client generation state and are not thread-safe;
+// the scheduler event loop (single-threaded) is the only caller.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "clients/config.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::clients {
+
+/// One "client is online during [start_s, end_s)" row of a CSV trace.
+struct TraceWindow {
+  std::size_t client = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Parses a CSV availability trace: "client,start_s,end_s" rows, an
+/// optional header line, '#' comments, blank lines and CRLF line endings
+/// tolerated. Windows may overlap or arrive unsorted (the model merges
+/// them). Throws std::invalid_argument on malformed rows or end < start.
+std::vector<TraceWindow> parse_availability_trace(std::istream& in);
+
+/// parse_availability_trace over a file. Throws std::runtime_error when the
+/// file cannot be opened.
+std::vector<TraceWindow> load_availability_trace(const std::string& path);
+
+class AvailabilityModel {
+ public:
+  /// Everyone always available (the transparent default).
+  AvailabilityModel() = default;
+
+  /// Markov on/off churn. mean_off_s <= 0 degenerates to always-on;
+  /// mean_on_s <= 0 with churn enabled throws (no client could ever run).
+  static AvailabilityModel markov(double mean_on_s, double mean_off_s,
+                                  std::size_t num_clients, Rng rng);
+
+  /// Fixed windows from a parsed trace; ids >= num_clients are ignored.
+  static AvailabilityModel from_trace(const std::vector<TraceWindow>& trace,
+                                      std::size_t num_clients);
+
+  /// True for the transparent default: every query trivially available.
+  /// Policies use this to skip per-dispatch checks entirely.
+  bool always() const { return kind_ == Kind::kAlways; }
+
+  /// Is `client` online at virtual time `t`?
+  bool available(std::size_t client, double t) const;
+
+  /// Earliest time >= t at which `client` is online (t itself when already
+  /// online; +infinity when it never comes back).
+  double next_available_time(std::size_t client, double t) const;
+
+  /// End of the on-window containing t (+infinity when always-on or the
+  /// window is open-ended). Returns t when the client is offline at t.
+  double online_until(std::size_t client, double t) const;
+
+ private:
+  enum class Kind { kAlways, kMarkov, kTrace };
+
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;  // half-open [start, end)
+  };
+
+  /// Per-client window list; for markov it grows lazily via extend().
+  /// (Past-the-end semantics are decided by kind_: a traced client is
+  /// offline for good after its last window, markov extends forever.)
+  struct ClientWindows {
+    std::vector<Window> windows;
+    // Markov generation state.
+    Rng rng;
+    double gen_until = 0.0;
+    bool gen_on = false;
+  };
+
+  void extend(ClientWindows& c, double t) const;
+  const Window* find(const ClientWindows& c, double t) const;
+
+  Kind kind_ = Kind::kAlways;
+  double mean_on_s_ = 0.0;
+  double mean_off_s_ = 0.0;
+  mutable std::vector<ClientWindows> clients_;
+};
+
+}  // namespace fedtrip::clients

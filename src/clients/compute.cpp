@@ -1,0 +1,47 @@
+#include "clients/compute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedtrip::clients {
+
+ComputeModel::ComputeModel(const ClientsConfig& config,
+                           std::size_t num_clients, Rng rng) {
+  if (config.compute_profile == "none") return;
+  if (config.seconds_per_sample < 0.0) {
+    throw std::invalid_argument("seconds_per_sample must be >= 0");
+  }
+  enabled_ = true;
+  seconds_per_sample_ = config.seconds_per_sample;
+  speed_.assign(num_clients, 1.0);
+  if (config.compute_profile == "uniform") {
+    // Every client at nominal speed: heterogeneity off, compute time on.
+  } else if (config.compute_profile == "lognormal") {
+    const double sigma = std::max(config.lognormal_sigma, 0.0);
+    for (auto& s : speed_) {
+      s = std::exp(sigma * static_cast<double>(rng.normal()));
+    }
+  } else if (config.compute_profile == "bimodal") {
+    const double slow = std::max(config.bimodal_slowdown, 1.0);
+    auto n_slow = static_cast<std::size_t>(std::lround(
+        config.bimodal_fraction * static_cast<double>(num_clients)));
+    n_slow = std::min(n_slow, num_clients);
+    for (std::size_t i :
+         rng.sample_without_replacement(num_clients, n_slow)) {
+      speed_[i] = slow;
+    }
+  } else {
+    throw std::invalid_argument("unknown compute profile: " +
+                                config.compute_profile);
+  }
+}
+
+double ComputeModel::train_seconds(std::size_t client, std::size_t samples,
+                                   std::size_t epochs) const {
+  if (!enabled_) return 0.0;
+  return static_cast<double>(samples) * static_cast<double>(epochs) *
+         seconds_per_sample_ * speed_[client];
+}
+
+}  // namespace fedtrip::clients

@@ -1,0 +1,51 @@
+// ComputeModel: converts a client's local training work into simulated
+// seconds.
+//
+// Each client gets a fixed speed factor drawn once at construction from the
+// configured profile (its own draw from a dedicated RNG stream, mirroring
+// how comm::NetworkModel draws links), so a dispatch's training duration is
+// a pure data-independent function of (client id, sample count, epochs) —
+// schedulers can rank arrival predictions before any training has run, and
+// the prediction always equals the charged time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clients/config.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::clients {
+
+class ComputeModel {
+ public:
+  /// Disabled model: train_seconds() is identically zero.
+  ComputeModel() = default;
+
+  /// Draws every client's speed factor up front from `rng` (profile "none"
+  /// keeps the model disabled). Throws std::invalid_argument on an unknown
+  /// profile or seconds_per_sample < 0.
+  ComputeModel(const ClientsConfig& config, std::size_t num_clients, Rng rng);
+
+  bool enabled() const { return enabled_; }
+  std::size_t num_clients() const { return speed_.size(); }
+
+  /// The client's drawn slowdown multiplier (1 = nominal speed). 0 when the
+  /// model is disabled.
+  double speed_factor(std::size_t client) const {
+    return enabled_ ? speed_[client] : 0.0;
+  }
+
+  /// Simulated seconds one dispatch of local training takes:
+  /// samples x epochs x seconds_per_sample x speed_factor(client).
+  /// 0 when the model is disabled.
+  double train_seconds(std::size_t client, std::size_t samples,
+                       std::size_t epochs) const;
+
+ private:
+  bool enabled_ = false;
+  double seconds_per_sample_ = 0.0;
+  std::vector<double> speed_;
+};
+
+}  // namespace fedtrip::clients

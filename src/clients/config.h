@@ -1,0 +1,48 @@
+// Client heterogeneity configuration.
+//
+// ClientsConfig parameterises the two client-side heterogeneity axes the
+// simulation can model on top of the network links:
+//   * compute — per-client local-training duration (seconds per sample x a
+//     per-client speed factor drawn from the configured profile), added to
+//     the network round-trip when schedulers predict arrival times;
+//   * availability — per-client on/off windows (parametric Markov churn or
+//     a loadable CSV trace) consulted at dispatch time; offline clients are
+//     skipped, and event-driven policies drop in-flight work when a client
+//     churns off mid-round.
+// Defaults are fully transparent — no compute model, always available — so
+// a default-configured run is bit-identical to one without the subsystem.
+#pragma once
+
+#include <string>
+
+namespace fedtrip::clients {
+
+struct ClientsConfig {
+  /// Compute profile registry name (clients/registry.h):
+  /// "none" | "uniform" | "lognormal" | "bimodal".
+  std::string compute_profile = "none";
+  /// Mean local-training seconds per sample per epoch (the unit cost every
+  /// profile scales by its per-client speed factor).
+  double seconds_per_sample = 0.01;
+  /// lognormal: sigma of the per-client speed factor exp(sigma * N(0,1))
+  /// (median 1; heavier tails with larger sigma).
+  double lognormal_sigma = 0.75;
+  /// bimodal: fraction of clients that are slow and their slowdown factor
+  /// (mirrors the straggler network profile, but for compute).
+  double bimodal_fraction = 0.2;
+  double bimodal_slowdown = 10.0;
+
+  /// Availability kind (clients/registry.h):
+  /// "always" | "markov" | "trace" (trace reads availability_trace).
+  std::string availability = "always";
+  /// CSV availability trace path ("client,start_s,end_s" rows) when
+  /// availability == "trace".
+  std::string availability_trace;
+  /// markov: mean on- and off-window durations in virtual seconds
+  /// (exponential draws from each client's own stream). mean_off <= 0
+  /// degenerates to always-on.
+  double markov_mean_on_s = 60.0;
+  double markov_mean_off_s = 20.0;
+};
+
+}  // namespace fedtrip::clients

@@ -1,0 +1,46 @@
+#include "clients/registry.h"
+
+#include <stdexcept>
+
+namespace fedtrip::clients {
+
+ComputeModel make_compute(const ClientsConfig& config,
+                          std::size_t num_clients, Rng rng) {
+  // ComputeModel's constructor validates the profile name itself so the
+  // two stay in one place; the registry is the sweepable name list.
+  return ComputeModel(config, num_clients, rng);
+}
+
+AvailabilityModel make_availability(const ClientsConfig& config,
+                                    std::size_t num_clients, Rng rng) {
+  if (config.availability == "always") return AvailabilityModel();
+  if (config.availability == "markov") {
+    return AvailabilityModel::markov(config.markov_mean_on_s,
+                                     config.markov_mean_off_s, num_clients,
+                                     rng);
+  }
+  if (config.availability == "trace") {
+    if (config.availability_trace.empty()) {
+      throw std::invalid_argument(
+          "availability=trace needs availability_trace (CSV path)");
+    }
+    return AvailabilityModel::from_trace(
+        load_availability_trace(config.availability_trace), num_clients);
+  }
+  throw std::invalid_argument("unknown availability kind: " +
+                              config.availability);
+}
+
+const std::vector<std::string>& all_compute_profiles() {
+  static const std::vector<std::string> names = {"none", "uniform",
+                                                 "lognormal", "bimodal"};
+  return names;
+}
+
+const std::vector<std::string>& all_availability_kinds() {
+  static const std::vector<std::string> names = {"always", "markov",
+                                                 "trace"};
+  return names;
+}
+
+}  // namespace fedtrip::clients

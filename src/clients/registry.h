@@ -1,0 +1,35 @@
+// Registry: create client-heterogeneity models by profile name, mirroring
+// the compressor (comm/registry.h) and scheduler (sched/registry.h)
+// registries so drivers sweep the algorithm x compressor x network x
+// schedule x client-profile grid with strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clients/availability.h"
+#include "clients/compute.h"
+#include "clients/config.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::clients {
+
+/// Instantiates the compute-time model for config.compute_profile:
+/// "none" | "uniform" | "lognormal" | "bimodal". Throws
+/// std::invalid_argument otherwise.
+ComputeModel make_compute(const ClientsConfig& config,
+                          std::size_t num_clients, Rng rng);
+
+/// Instantiates the availability model for config.availability:
+/// "always" | "markov" | "trace" (reads config.availability_trace).
+/// Throws std::invalid_argument on an unknown kind or a missing trace path.
+AvailabilityModel make_availability(const ClientsConfig& config,
+                                    std::size_t num_clients, Rng rng);
+
+/// All compute profile names, "none" first.
+const std::vector<std::string>& all_compute_profiles();
+
+/// All availability kind names, "always" first.
+const std::vector<std::string>& all_availability_kinds();
+
+}  // namespace fedtrip::clients

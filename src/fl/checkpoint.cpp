@@ -49,13 +49,15 @@ void save_history_csv(const std::string& path,
   out.precision(17);  // lossless double round-trip
   out << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
          "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
-         "max_staleness,dropped\n";
+         "max_staleness,dropped,unavailable,deadline_deferred,"
+         "mean_compute_s,mean_comm_s\n";
   for (const auto& r : history) {
     out << r.round << ',' << r.test_accuracy << ',' << r.train_loss << ','
         << r.cum_gflops << ',' << r.cum_comm_mb << ',' << r.cum_mb_down
         << ',' << r.cum_mb_up << ',' << r.cum_comm_seconds << ','
         << r.mean_staleness << ',' << r.max_staleness << ',' << r.dropped
-        << '\n';
+        << ',' << r.unavailable << ',' << r.deadline_deferred << ','
+        << r.mean_compute_seconds << ',' << r.mean_comm_seconds << '\n';
   }
   if (!out) throw std::runtime_error("write failed: " + path);
 }
@@ -74,10 +76,11 @@ std::vector<RoundRecord> load_history_csv(const std::string& path) {
     ss >> r.round >> comma >> r.test_accuracy >> comma >> r.train_loss >>
         comma >> r.cum_gflops >> comma >> r.cum_comm_mb;
     if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
-    // Comm columns were added with the src/comm/ subsystem and scheduler
-    // columns with src/sched/; shorter rows from either era still load
-    // (missing fields default to 0), but a row truncated mid-write within
-    // a column group is corrupt, not legacy.
+    // Comm columns were added with the src/comm/ subsystem, scheduler
+    // columns with src/sched/, and heterogeneity columns with
+    // src/clients/; shorter rows from any earlier era still load (missing
+    // fields default to 0), but a row truncated mid-write within a column
+    // group is corrupt, not legacy.
     ss >> std::ws;
     if (!ss.eof()) {
       ss >> comma >> r.cum_mb_down >> comma >> r.cum_mb_up >> comma >>
@@ -88,6 +91,12 @@ std::vector<RoundRecord> load_history_csv(const std::string& path) {
     if (!ss.eof()) {
       ss >> comma >> r.mean_staleness >> comma >> r.max_staleness >> comma >>
           r.dropped;
+      if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
+    }
+    ss >> std::ws;
+    if (!ss.eof()) {
+      ss >> comma >> r.unavailable >> comma >> r.deadline_deferred >>
+          comma >> r.mean_compute_seconds >> comma >> r.mean_comm_seconds;
       if (ss.fail()) throw std::runtime_error("bad CSV row: " + line);
     }
     history.push_back(r);

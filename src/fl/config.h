@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "clients/config.h"
 #include "comm/config.h"
 #include "data/partition.h"
 #include "nn/models.h"
@@ -45,8 +46,14 @@ struct ExperimentConfig {
   comm::CommConfig comm;
 
   /// Round orchestration: sync (default, bit-identical to the classic
-  /// loop), fastest-K, or buffered async on the virtual clock.
+  /// loop), fastest-K, buffered async, or deadline semi-sync on the
+  /// virtual clock.
   sched::SchedConfig sched;
+
+  /// Client heterogeneity: per-client compute speed and on/off
+  /// availability. Defaults (no compute model, always available) are fully
+  /// transparent — the run is bit-identical to one without the subsystem.
+  clients::ClientsConfig clients;
 };
 
 }  // namespace fedtrip::fl

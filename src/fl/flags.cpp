@@ -1,0 +1,95 @@
+#include "fl/flags.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace fedtrip::fl {
+
+const std::vector<FlagSpec>& experiment_flags() {
+  static const std::vector<FlagSpec> specs = {
+      // Experiment grid.
+      {"--method", "NAME",
+       "FedTrip|FedAvg|FedProx|SlowMo|MOON|FedDyn|SCAFFOLD|FedDANE|"
+       "FedAvgM|FedAdam (default FedTrip)"},
+      {"--model", "ARCH", "mlp|cnn|alexnet (default cnn)"},
+      {"--dataset", "NAME", "mnist|fmnist|emnist|cifar10 (default mnist)"},
+      {"--het", "NAME", "IID|Dir-0.1|Dir-0.5|Orthogonal-5|Orthogonal-10"},
+      {"--rounds", "N", "server rounds (default 30)"},
+      {"--clients", "N", "total clients (default 10)"},
+      {"--per-round", "N", "clients selected per round (default 4)"},
+      {"--batch", "N", "local batch size (default 32)"},
+      {"--epochs", "N", "local epochs per round (default 1)"},
+      {"--mu", "X", "FedTrip/FedProx/FedDANE proximal weight"},
+      {"--xi-scale", "X", "FedTrip xi scale"},
+      {"--lr", "X", "client learning rate (default 0.01)"},
+      {"--scale", "X", "dataset sample-count scale in (0,1] (default 0.1)"},
+      {"--seed", "N", "root RNG seed (default 42)"},
+      {"--width-mult", "X", "AlexNet width multiplier"},
+      // Output and data.
+      {"--out", "FILE", "write per-round history CSV"},
+      {"--save-model", "FILE", "write final global model checkpoint"},
+      {"--idx-dir", "DIR", "load real IDX-format data instead of synthetic"},
+      // Communication pipeline.
+      {"--compressor", "NAME",
+       "uplink compressor: identity|topk|qsgd|qsgd8|qsgd4|randmask "
+       "(\"ef+\" prefix adds error feedback, e.g. ef+topk)"},
+      {"--down-compressor", "NAME", "downlink compressor (default identity)"},
+      {"--topk-frac", "X", "topk: fraction of coordinates kept"},
+      {"--qsgd-bits", "N", "qsgd: quantization bit width"},
+      {"--mask-keep", "X", "randmask: fraction of coordinates kept"},
+      {"--delta", nullptr,
+       "compress the update delta w_k - w instead of w_k (uplink)"},
+      {"--network", "P",
+       "simulated network: none|uniform|heterogeneous|straggler"},
+      {"--bandwidth", "X", "mean client bandwidth, Mbps"},
+      {"--latency", "X", "mean one-way latency, ms"},
+      // Round scheduling.
+      {"--schedule", "P",
+       "round scheduler: sync|fastk|async|deadline (default sync)"},
+      {"--overselect", "M", "fastk: clients dispatched per round (default 2K)"},
+      {"--buffer", "B", "async: arrivals per aggregation (default K)"},
+      {"--staleness-alpha", "X",
+       "async/deadline: weight stale updates by 1/(1+s)^X (default 0.5)"},
+      {"--deadline", "T",
+       "deadline: round cutoff in virtual seconds (default auto: 1.5x the "
+       "median predicted client time)"},
+      // Client heterogeneity.
+      {"--compute-profile", "P",
+       "client compute speed: none|uniform|lognormal|bimodal (default none)"},
+      {"--seconds-per-sample", "X",
+       "mean local-training seconds per sample per epoch (default 0.01)"},
+      {"--availability", "A",
+       "always|markov|<trace.csv> — per-client on/off windows consulted at "
+       "dispatch (default always)"},
+      {"--avail-on", "X", "markov availability: mean on-window seconds"},
+      {"--avail-off", "X", "markov availability: mean off-window seconds"},
+      // Meta.
+      {"--help", nullptr, "print this help and exit"},
+  };
+  return specs;
+}
+
+std::string experiment_usage() {
+  const auto& specs = experiment_flags();
+  std::size_t width = 0;
+  for (const auto& s : specs) {
+    std::size_t w = std::strlen(s.name);
+    if (s.value_name != nullptr) w += 1 + std::strlen(s.value_name);
+    width = std::max(width, w);
+  }
+  std::ostringstream out;
+  out << "run_experiment options:\n";
+  for (const auto& s : specs) {
+    std::string head = s.name;
+    if (s.value_name != nullptr) {
+      head += ' ';
+      head += s.value_name;
+    }
+    out << "  " << head << std::string(width - head.size() + 2, ' ')
+        << s.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,33 @@
+// The run_experiment command-line surface, as data.
+//
+// Every flag the driver accepts is registered here once; the --help text is
+// generated from the same table the parser is checked against, so the two
+// can never drift apart again (they did once: the PR-2 scheduler flags were
+// added to the parser but not everywhere in the docs). tests/fl/flags_test
+// asserts the generated usage mentions every registered flag, and
+// run_experiment refuses to start if its handler table and this registry
+// disagree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedtrip::fl {
+
+struct FlagSpec {
+  /// Flag name including the leading dashes, e.g. "--method".
+  const char* name;
+  /// Placeholder for the value in the help text ("NAME", "N", "X", ...);
+  /// nullptr for boolean flags that take no value.
+  const char* value_name;
+  /// One-line description shown by --help.
+  const char* help;
+};
+
+/// Every flag run_experiment accepts, in help order.
+const std::vector<FlagSpec>& experiment_flags();
+
+/// The full --help text, generated from experiment_flags().
+std::string experiment_usage();
+
+}  // namespace fedtrip::fl

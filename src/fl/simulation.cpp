@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "clients/registry.h"
 #include "comm/registry.h"
 #include "nn/loss.h"
 #include "nn/parameter_vector.h"
@@ -74,11 +75,17 @@ Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm,
   warm_up(*eval_model_, data_.test);
   global_params_ = nn::flatten_parameters(*eval_model_);
 
-  // Channel and network draw from dedicated split streams: configuring them
-  // never perturbs partitioning, model init, or training randomness.
+  // Channel, network and client-heterogeneity models draw from dedicated
+  // split streams: configuring them never perturbs partitioning, model
+  // init, or training randomness.
   channel_ = comm::make_channel(config_.comm);
   network_ = std::make_unique<comm::NetworkModel>(
       config_.comm.network, config_.num_clients, root_rng_.split(0x4E7F10));
+  compute_ = std::make_unique<clients::ComputeModel>(clients::make_compute(
+      config_.clients, config_.num_clients, root_rng_.split(0xC04B07E)));
+  availability_ = std::make_unique<clients::AvailabilityModel>(
+      clients::make_availability(config_.clients, config_.num_clients,
+                                 root_rng_.split(0xAB51E47)));
 
   if (config_.workers > 0) {
     own_pool_ = std::make_unique<ThreadPool>(config_.workers);
@@ -148,6 +155,15 @@ class RoundHost final : public sched::Host {
   std::size_t total_rounds() const override { return sim_.config_.rounds; }
   const comm::NetworkModel& network() const override {
     return *sim_.network_;
+  }
+  const clients::AvailabilityModel& availability() const override {
+    return *sim_.availability_;
+  }
+  bool compute_enabled() const override { return sim_.compute_->enabled(); }
+  double compute_seconds(std::size_t client) const override {
+    return sim_.compute_->train_seconds(
+        client, sim_.clients_[client]->num_samples(),
+        sim_.config_.local_epochs);
   }
   std::size_t message_bytes(comm::Direction dir) const override {
     return sim_.channel_->message_bytes(dir, dim_);
@@ -277,7 +293,10 @@ class RoundHost final : public sched::Host {
                  const sched::RoundMeta& meta) override {
     assert(!updates.empty());
     double loss_sum = 0.0;
-    for (const auto& u : updates) loss_sum += u.train_loss;
+    for (const auto& u : updates) {
+      loss_sum += u.train_loss;
+      ++result_.participation[u.client_id];
+    }
 
     sim_.algorithm_->aggregate(sim_.global_params_, updates, meta.round);
     clock_seconds_ = meta.clock_seconds;
@@ -297,6 +316,10 @@ class RoundHost final : public sched::Host {
       rec.mean_staleness = meta.mean_staleness;
       rec.max_staleness = meta.max_staleness;
       rec.dropped = meta.dropped;
+      rec.unavailable = meta.unavailable;
+      rec.deadline_deferred = meta.deadline_deferred;
+      rec.mean_compute_seconds = meta.mean_compute_seconds;
+      rec.mean_comm_seconds = meta.mean_comm_seconds;
       result_.history.push_back(rec);
     }
   }
@@ -319,6 +342,7 @@ RunResult Simulation::run() {
   RunResult result;
   init_result(&result);
   result.sched_policy = scheduler->name();
+  result.participation.assign(config_.num_clients, 0);
 
   RoundHost host(*this, result);
   scheduler->run(host);

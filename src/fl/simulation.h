@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "clients/availability.h"
+#include "clients/compute.h"
 #include "comm/channel.h"
 #include "comm/network.h"
 #include "data/partition.h"
@@ -47,6 +49,10 @@ struct RunResult {
   std::string channel_name;
   /// Scheduling policy that orchestrated the rounds ("sync" by default).
   std::string sched_policy;
+  /// Per-client count of aggregated updates over the run — the
+  /// participation-fairness data (fastk starving the slow tail shows up
+  /// here). Filled by run(); empty from run_reference().
+  std::vector<std::size_t> participation;
 };
 
 class Simulation {
@@ -81,6 +87,10 @@ class Simulation {
   const data::Partition& partition() const { return partition_; }
   const comm::Channel& channel() const { return *channel_; }
   const comm::NetworkModel& network() const { return *network_; }
+  const clients::ComputeModel& compute() const { return *compute_; }
+  const clients::AvailabilityModel& availability() const {
+    return *availability_;
+  }
 
  private:
   friend class RoundHost;  // the sched::Host adapter (simulation.cpp)
@@ -103,6 +113,8 @@ class Simulation {
   std::vector<float> global_params_;
   std::unique_ptr<comm::Channel> channel_;
   std::unique_ptr<comm::NetworkModel> network_;
+  std::unique_ptr<clients::ComputeModel> compute_;
+  std::unique_ptr<clients::AvailabilityModel> availability_;
   Rng root_rng_;
   /// Dedicated pool when config.workers > 0; otherwise the global pool.
   std::unique_ptr<ThreadPool> own_pool_;

@@ -58,6 +58,18 @@ struct RoundRecord {
   double mean_staleness = 0.0;
   std::size_t max_staleness = 0;
   std::size_t dropped = 0;
+  /// Dispatch attempts lost to offline clients this round (selected-but-
+  /// offline skips plus in-flight work dropped by churn). 0 with the
+  /// always-available default.
+  std::size_t unavailable = 0;
+  /// deadline policy: dispatches still in flight when the round closed —
+  /// they fold into later rounds as staleness-discounted arrivals.
+  std::size_t deadline_deferred = 0;
+  /// Per-update time split of this round's arrivals (means over the
+  /// aggregated updates): simulated local-compute seconds vs network
+  /// round-trip seconds. 0 when the respective model is disabled.
+  double mean_compute_seconds = 0.0;
+  double mean_comm_seconds = 0.0;
 };
 
 }  // namespace fedtrip::fl

@@ -4,8 +4,10 @@
 // virtual clock (sched/scheduler.h): `sync` reproduces the classic
 // wait-for-everyone loop bit-identically, `fastk` over-selects and keeps the
 // fastest arrivals, `async` streams buffered aggregations of possibly-stale
-// updates. Defaults are fully transparent — the sync policy with no tuning
-// knobs — so a default-configured run is unchanged by this subsystem.
+// updates, `deadline` aggregates whatever arrived within T virtual seconds
+// and defers the stragglers. Defaults are fully transparent — the sync
+// policy with no tuning knobs — so a default-configured run is unchanged by
+// this subsystem.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +16,8 @@
 namespace fedtrip::sched {
 
 struct SchedConfig {
-  /// Policy registry name: "sync" | "fastk" | "async" (sched/registry.h).
+  /// Policy registry name: "sync" | "fastk" | "async" | "deadline"
+  /// (sched/registry.h).
   std::string policy = "sync";
   /// fastk: number of clients dispatched per round (M >= clients_per_round;
   /// the K fastest arrivals are aggregated, the rest dropped).
@@ -23,10 +26,15 @@ struct SchedConfig {
   /// async: arrivals buffered per server aggregation (FedBuff's B).
   /// 0 = clients_per_round.
   std::size_t buffer_size = 0;
-  /// async: staleness discount exponent `a` in weight 1/(1+s)^a, where s is
-  /// the number of server rounds that passed between a client's dispatch and
-  /// its arrival. 0 disables discounting.
+  /// async + deadline: staleness discount exponent `a` in weight 1/(1+s)^a,
+  /// where s is the number of server rounds that passed between a client's
+  /// dispatch and its arrival. 0 disables discounting.
   double staleness_alpha = 0.5;
+  /// deadline: virtual seconds the server waits each round before
+  /// aggregating whatever arrived; in-flight stragglers defer to later
+  /// rounds as staleness-discounted arrivals. 0 = auto: 1.5x the median
+  /// predicted per-client round-trip + compute time.
+  double deadline_s = 0.0;
 };
 
 }  // namespace fedtrip::sched

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
+#include <stdexcept>
 #include <tuple>
 
 namespace fedtrip::sched {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cap on "wait for a client to come back online" retry loops: with fresh
+// selection draws every attempt this is unreachable unless the availability
+// model never brings anyone back.
+constexpr std::size_t kStarveGuard = 100000;
 
 // Legacy stream keys of the pre-scheduler Simulation loop: sync must keep
 // them verbatim for bit-identity; fastk reuses them because a (round,
@@ -36,33 +45,118 @@ std::vector<Dispatch> make_batch(
   return batch;
 }
 
+/// Earliest comeback among the idle clients (kInf when nobody ever
+/// returns) — where the clock jumps when a whole dispatch found everyone
+/// offline.
+double earliest_comeback(const Host& host, const std::vector<bool>* busy,
+                         double now) {
+  double t = kInf;
+  for (std::size_t k = 0; k < host.num_clients(); ++k) {
+    if (busy != nullptr && (*busy)[k]) continue;
+    t = std::min(t, host.availability().next_available_time(k, now));
+  }
+  return t;
+}
+
+/// Draws `count` clients and keeps the ones online at *clock, counting
+/// offline skips in *unavailable (the server's dispatch ping goes
+/// unanswered). When every sampled client is offline, advances *clock to
+/// the earliest comeback among idle clients and re-samples — fresh draws
+/// plus clock progress guarantee termination whenever anyone ever returns.
+/// With the always-available default this is exactly one host.select call.
+std::vector<std::size_t> select_online(Host& host, std::size_t count,
+                                       const std::vector<bool>* busy,
+                                       double* clock,
+                                       std::size_t* unavailable) {
+  const auto& avail = host.availability();
+  auto selected = host.select(count, busy);
+  if (avail.always() || selected.empty()) return selected;
+  for (std::size_t attempt = 0; attempt < kStarveGuard; ++attempt) {
+    std::vector<std::size_t> online;
+    online.reserve(selected.size());
+    for (std::size_t c : selected) {
+      if (avail.available(c, *clock)) {
+        online.push_back(c);
+      } else {
+        ++*unavailable;
+      }
+    }
+    if (!online.empty()) return online;
+    const double t = earliest_comeback(host, busy, *clock);
+    if (!std::isfinite(t)) {
+      throw std::runtime_error(
+          "availability: no client ever comes back online");
+    }
+    *clock = std::max(*clock, t);
+    selected = host.select(count, busy);
+    if (selected.empty()) return selected;
+  }
+  throw std::runtime_error("availability: client selection starved");
+}
+
 // Synchronous round tail shared by sync and fastk: uplink every update,
-// advance the clock by the slowest participant, aggregate.
+// advance the clock by the slowest participant (network round-trip plus
+// local compute), aggregate.
 void finish_round(Host& host, std::vector<Dispatch>& batch,
                   std::vector<fl::ClientUpdate>& updates,
                   const std::vector<std::size_t>& participants,
                   std::size_t round, std::size_t down_wire, double* clock,
-                  std::size_t dropped) {
+                  std::size_t dropped, std::size_t unavailable) {
   std::vector<std::size_t> up_wire(updates.size(), 0);
   for (std::size_t i = 0; i < updates.size(); ++i) {
     up_wire[i] =
         host.uplink(updates[i], batch[i].up_key, *batch[i].params, round);
   }
 
-  if (host.network().enabled()) {
-    std::vector<std::size_t> client_up(updates.size());
-    for (std::size_t i = 0; i < updates.size(); ++i) {
-      client_up[i] = up_wire[i] + 4 * updates[i].extra_upload_floats;
-    }
-    const std::size_t client_down = down_wire + host.extra_down_bytes();
-    *clock += host.network().round_seconds(participants, client_down,
-                                           client_up);
-  }
+  const bool net = host.network().enabled();
+  const bool comp = host.compute_enabled();
 
   RoundMeta meta;
   meta.round = round;
-  meta.clock_seconds = *clock;
   meta.dropped = dropped;
+  meta.unavailable = unavailable;
+
+  if ((net || comp) && !participants.empty()) {
+    const std::size_t client_down = down_wire + host.extra_down_bytes();
+    std::vector<std::size_t> client_up(updates.size(), 0);
+    std::vector<double> rt(participants.size(), 0.0);
+    std::vector<double> cs(participants.size(), 0.0);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      client_up[i] = up_wire[i] + 4 * updates[i].extra_upload_floats;
+      if (net) {
+        rt[i] = host.network().client_seconds(participants[i], client_down,
+                                              client_up[i]);
+      }
+      if (comp) cs[i] = host.compute_seconds(participants[i]);
+    }
+    if (!comp) {
+      // Communication-only: the round_seconds accounting call kept
+      // verbatim, so runs without a compute model stay bit-identical to
+      // the reference loop.
+      *clock += host.network().round_seconds(participants, client_down,
+                                             client_up);
+    } else {
+      double slowest = 0.0;
+      std::size_t total_bytes = 0;
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        slowest = std::max(slowest, rt[i] + cs[i]);
+        total_bytes += client_down + client_up[i];
+      }
+      *clock += slowest +
+                (net ? host.network().server_seconds(total_bytes) : 0.0);
+    }
+    double comm_sum = 0.0, comp_sum = 0.0;
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      comm_sum += rt[i];
+      comp_sum += cs[i];
+    }
+    meta.mean_comm_seconds =
+        comm_sum / static_cast<double>(participants.size());
+    meta.mean_compute_seconds =
+        comp_sum / static_cast<double>(participants.size());
+  }
+
+  meta.clock_seconds = *clock;
   host.aggregate(updates, meta);
 }
 
@@ -73,14 +167,16 @@ void finish_round(Host& host, std::vector<Dispatch>& batch,
 void SyncScheduler::run(Host& host) {
   double clock = 0.0;
   for (std::size_t t = 1; t <= host.total_rounds(); ++t) {
-    auto selected = host.select(host.clients_per_round(), nullptr);
+    std::size_t unavailable = 0;
+    auto selected = select_online(host, host.clients_per_round(), nullptr,
+                                  &clock, &unavailable);
     std::size_t down_wire = 0;
     auto params = host.broadcast(2 * t, selected.size(), /*alias_ok=*/true,
                                  &down_wire);
     auto batch = make_batch(selected, t, params);
     auto updates = host.train(batch);
     finish_round(host, batch, updates, selected, t, down_wire, &clock,
-                 /*dropped=*/0);
+                 /*dropped=*/0, unavailable);
   }
 }
 
@@ -98,31 +194,36 @@ void FastKScheduler::run(Host& host) {
       overselect_for(config_, k, host.num_clients());
   // Predicted round-trip bytes are data-independent (every codec's wire
   // size is a pure function of dim, and the algorithm's extras are a fixed
-  // per-client amount), so the ranking never depends on training results.
+  // per-client amount) and so is the compute term (sample count x drawn
+  // speed), so the ranking never depends on training results.
   const std::size_t down_pred =
       host.message_bytes(comm::Direction::kDown) + host.extra_down_bytes();
   const std::size_t up_pred =
       host.message_bytes(comm::Direction::kUp) + host.extra_up_bytes();
+  auto predicted = [&](std::size_t c) {
+    return host.network().client_seconds(c, down_pred, up_pred) +
+           host.compute_seconds(c);
+  };
 
   double clock = 0.0;
   for (std::size_t t = 1; t <= host.total_rounds(); ++t) {
-    auto selected = host.select(m, nullptr);
+    std::size_t unavailable = 0;
+    auto selected = select_online(host, m, nullptr, &clock, &unavailable);
     std::size_t down_wire = 0;
     auto params = host.broadcast(2 * t, selected.size(), /*alias_ok=*/true,
                                  &down_wire);
 
     // Keep the K fastest predicted arrivals; `selected` is sorted by id, so
-    // a stable sort breaks round-trip ties by client id.
+    // a stable sort breaks round-trip ties by client id. Under churn the
+    // online cohort may be smaller than K: everyone who answered trains.
     std::vector<std::size_t> order = selected;
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
-                       return host.network().client_seconds(a, down_pred,
-                                                            up_pred) <
-                              host.network().client_seconds(b, down_pred,
-                                                            up_pred);
+                       return predicted(a) < predicted(b);
                      });
-    std::vector<std::size_t> winners(order.begin(),
-                                     order.begin() + static_cast<long>(k));
+    const std::size_t k_eff = std::min(k, order.size());
+    std::vector<std::size_t> winners(
+        order.begin(), order.begin() + static_cast<long>(k_eff));
     std::sort(winners.begin(), winners.end());
 
     // Only the winners train: the dropped clients' rounds are cancelled
@@ -131,11 +232,150 @@ void FastKScheduler::run(Host& host) {
     auto batch = make_batch(winners, t, params);
     auto updates = host.train(batch);
     finish_round(host, batch, updates, winners, t, down_wire, &clock,
-                 /*dropped=*/m - k);
+                 /*dropped=*/order.size() - k_eff, unavailable);
   }
 }
 
 // ------------------------------------------------------------------ async
+//                                                            and deadline
+//
+// Shared machinery of the two event-driven policies: a Flight is one
+// dispatched unit of work, a FlightDeck owns the in-flight bookkeeping
+// (dispatch construction, arrival-time prediction with the churn-drop
+// clamp, the busy/queue invariants), and both policies drain the same
+// event heap.
+
+namespace {
+
+struct Flight {
+  Dispatch d;
+  /// Server rounds completed at dispatch time; staleness at aggregation is
+  /// (rounds completed then) - version.
+  std::size_t version = 0;
+  bool trained = false;
+  /// The client churned offline before the upload would have completed:
+  /// the work is lost and the event time is the drop instant (when the
+  /// server notices the disconnect), not an arrival.
+  bool lost = false;
+  double comm_seconds = 0.0;     // network share of the round-trip
+  double compute_seconds = 0.0;  // local-training share
+  fl::ClientUpdate update;
+};
+
+/// The async staleness discount 1/(1+s)^a (1 when disabled).
+float staleness_weight(double alpha, std::size_t staleness) {
+  if (alpha <= 0.0) return 1.0f;
+  return static_cast<float>(
+      1.0 / std::pow(1.0 + static_cast<double>(staleness), alpha));
+}
+
+class FlightDeck {
+ public:
+  explicit FlightDeck(Host& host)
+      : host_(host),
+        avail_(host.availability()),
+        // Uplink transit bytes per arrival: codec wire bytes plus the
+        // algorithm's raw extras — the same bytes sync's round accounting
+        // charges, so cross-policy time comparisons measure scheduling,
+        // not accounting gaps.
+        up_bytes_(host.message_bytes(comm::Direction::kUp) +
+                  host.extra_up_bytes()),
+        busy_(host.num_clients(), false) {}
+
+  std::size_t in_flight() const { return in_flight_; }
+  /// In-flight dispatches that will actually arrive (excludes flights
+  /// already doomed by churn) — what "deferred stragglers" means.
+  std::size_t live_in_flight() const { return in_flight_ - lost_in_flight_; }
+  bool empty() const { return in_flight_ == 0; }
+  const std::vector<bool>& busy() const { return busy_; }
+  Flight& flight(std::size_t idx) { return flights_[idx]; }
+
+  /// Dispatches up to `count` idle clients at `now`, tagging flights with
+  /// `round` (the training context round) and `version` (server rounds
+  /// completed, the staleness baseline). Offline clients are skipped and
+  /// counted in *unavailable — the server's ping goes unanswered.
+  void dispatch(std::size_t count, double now, std::size_t round,
+                std::size_t version, std::size_t* unavailable) {
+    for (std::size_t c : host_.select(count, &busy_)) {
+      if (!avail_.always() && !avail_.available(c, now)) {
+        ++*unavailable;
+        continue;
+      }
+      ++seq_;
+      std::size_t down_wire = 0;
+      // Unicast: every dispatch carries the *current* global model, so the
+      // snapshot must outlive later aggregations (no aliasing).
+      auto params =
+          host_.broadcast(2 * seq_, 1, /*alias_ok=*/false, &down_wire);
+      Flight f;
+      f.d.seq = seq_;
+      f.d.client_id = c;
+      f.d.round = round;
+      f.d.train_key = train_key(seq_, c);
+      f.d.up_key = up_key(seq_, c);
+      f.d.params = std::move(params);
+      f.d.dispatch_time = now;
+      f.version = version;
+      // Round-trip on the client link, plus the shared server link's
+      // per-message serialisation when one is configured (round_seconds
+      // charges the same bytes once per sync round), plus local compute.
+      const std::size_t down_bytes = down_wire + host_.extra_down_bytes();
+      const double link_s =
+          host_.network().client_seconds(c, down_bytes, up_bytes_);
+      const double server_s =
+          host_.network().server_seconds(down_bytes + up_bytes_);
+      f.compute_seconds = host_.compute_seconds(c);
+      double event_time = now + link_s + server_s + f.compute_seconds;
+      f.comm_seconds = link_s + server_s;
+      // Churn: a client whose on-window closes before the work would
+      // arrive drops it; the server notices at the disconnect.
+      if (!avail_.always()) {
+        const double until = avail_.online_until(c, now);
+        if (until < event_time) {
+          f.lost = true;
+          event_time = until;
+          ++lost_in_flight_;
+        }
+      }
+      busy_[c] = true;
+      ++in_flight_;
+      flights_.push_back(std::move(f));
+      queue_.emplace(event_time, c, flights_.size() - 1);
+    }
+  }
+
+  /// Pops the next event (arrival or churn-drop) and frees its slot.
+  /// Returns the flight index; writes the event's virtual time.
+  std::size_t pop(double* event_time) {
+    const auto [time, client, idx] = queue_.top();
+    queue_.pop();
+    busy_[client] = false;
+    --in_flight_;
+    if (flights_[idx].lost) --lost_in_flight_;
+    *event_time = time;
+    return idx;
+  }
+
+  /// Virtual time of the next event without popping it.
+  double next_event_time() const { return std::get<0>(queue_.top()); }
+
+ private:
+  // Min-heap of (event virtual seconds, client id, flight index): the id
+  // tie-break makes the event trace a pure function of the links.
+  using Event = std::tuple<double, std::size_t, std::size_t>;
+
+  Host& host_;
+  const clients::AvailabilityModel& avail_;
+  std::size_t up_bytes_;
+  std::vector<Flight> flights_;
+  std::vector<bool> busy_;
+  std::size_t in_flight_ = 0;
+  std::size_t lost_in_flight_ = 0;
+  std::size_t seq_ = 0;  // unique dispatch counter (keys RNG streams)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+}  // namespace
 
 void AsyncScheduler::run(Host& host) {
   const std::size_t concurrency = host.clients_per_round();
@@ -143,58 +383,13 @@ void AsyncScheduler::run(Host& host) {
   const std::size_t buffer_size =
       config_.buffer_size > 0 ? config_.buffer_size : concurrency;
   const double alpha = config_.staleness_alpha;
-  // Uplink transit bytes per arrival: codec wire bytes plus the
-  // algorithm's raw extras — the same bytes sync's round accounting
-  // charges, so cross-policy time comparisons measure scheduling, not
-  // accounting gaps.
-  const std::size_t up_bytes =
-      host.message_bytes(comm::Direction::kUp) + host.extra_up_bytes();
 
-  struct Flight {
-    Dispatch d;
-    std::size_t version = 0;  // aggregations completed at dispatch time
-    bool trained = false;
-    fl::ClientUpdate update;
-  };
-  std::vector<Flight> flights;
-  std::vector<bool> busy(host.num_clients(), false);
-  // Min-heap of (arrival virtual seconds, client id, flight index): the
-  // id tie-break makes the event trace a pure function of the links.
-  using Event = std::tuple<double, std::size_t, std::size_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
-
-  std::size_t seq = 0;      // unique dispatch counter (keys RNG streams)
+  FlightDeck deck(host);
   std::size_t version = 0;  // server rounds completed
   double clock = 0.0;
-
+  std::size_t unavailable = 0;  // offline skips/drops since last aggregation
   auto dispatch = [&](std::size_t count, double now) {
-    for (std::size_t c : host.select(count, &busy)) {
-      ++seq;
-      std::size_t down_wire = 0;
-      // Unicast: every dispatch carries the *current* global model, so the
-      // snapshot must outlive later aggregations (no aliasing).
-      auto params =
-          host.broadcast(2 * seq, 1, /*alias_ok=*/false, &down_wire);
-      Flight f;
-      f.d.seq = seq;
-      f.d.client_id = c;
-      f.d.round = version + 1;
-      f.d.train_key = train_key(seq, c);
-      f.d.up_key = up_key(seq, c);
-      f.d.params = std::move(params);
-      f.d.dispatch_time = now;
-      f.version = version;
-      // Round-trip on the client link, plus the shared server link's
-      // per-message serialisation when one is configured (round_seconds
-      // charges the same bytes once per sync round).
-      const std::size_t down_bytes = down_wire + host.extra_down_bytes();
-      const double arrival =
-          now + host.network().client_seconds(c, down_bytes, up_bytes) +
-          host.network().server_seconds(down_bytes + up_bytes);
-      busy[c] = true;
-      flights.push_back(std::move(f));
-      queue.emplace(arrival, c, flights.size() - 1);
-    }
+    deck.dispatch(count, now, version + 1, version, &unavailable);
   };
 
   dispatch(concurrency, 0.0);
@@ -203,39 +398,69 @@ void AsyncScheduler::run(Host& host) {
   buffer.reserve(buffer_size);
   double staleness_sum = 0.0;
   std::size_t staleness_max = 0;
+  double comm_sum = 0.0, compute_sum = 0.0;
+  std::size_t starve = 0;
+  std::size_t consecutive_lost = 0;
 
-  while (version < rounds && !queue.empty()) {
-    const auto [arrival, client, idx] = queue.top();
-    queue.pop();
+  while (version < rounds) {
+    if (deck.empty()) {
+      // Every candidate was offline at its dispatch instant: jump to the
+      // earliest comeback among idle clients and refill (fresh selection
+      // draws each attempt make progress even when the comeback is now).
+      if (++starve > kStarveGuard) {
+        throw std::runtime_error("async: client dispatch starved");
+      }
+      const double t = earliest_comeback(host, &deck.busy(), clock);
+      if (!std::isfinite(t)) {
+        throw std::runtime_error("async: no client ever comes back online");
+      }
+      clock = std::max(clock, t);
+      dispatch(concurrency - deck.in_flight(), clock);
+      continue;
+    }
+    starve = 0;
+    double event_time = 0.0;
+    Flight& f = deck.flight(deck.pop(&event_time));
+    clock = std::max(clock, event_time);
 
-    if (!flights[idx].trained) {
+    if (f.lost) {
+      ++unavailable;
+      f.d.params.reset();
+      // Progress guard: with on-windows consistently shorter than the
+      // round-trip every flight is lost and no round ever completes —
+      // fail loudly instead of spinning on the virtual clock forever.
+      if (++consecutive_lost > kStarveGuard) {
+        throw std::runtime_error(
+            "async: every dispatch is lost to churn before arriving");
+      }
+      if (version < rounds) dispatch(concurrency - deck.in_flight(), clock);
+      continue;
+    }
+    consecutive_lost = 0;
+
+    if (!f.trained) {
       // Each dispatch trains as its own unit batch: the algorithm's
       // pre-round phase sees exactly one client, so cohort-coupled
       // corrections (FedDANE's gradient averaging) consistently degenerate
       // to the solo client — async has no round cohort — instead of
       // varying with whichever dispatches happen to be outstanding.
-      std::vector<Dispatch> batch{flights[idx].d};
+      std::vector<Dispatch> batch{f.d};
       auto updates = host.train(batch);
-      flights[idx].update = std::move(updates[0]);
-      flights[idx].trained = true;
+      f.update = std::move(updates[0]);
+      f.trained = true;
     }
 
-    clock = std::max(clock, arrival);
-    Flight& f = flights[idx];
     host.uplink(f.update, f.d.up_key, *f.d.params, version + 1);
     f.d.params.reset();  // release the snapshot
 
     const std::size_t staleness = version - f.version;
     f.update.staleness = staleness;
-    f.update.weight_scale =
-        alpha > 0.0 ? static_cast<float>(
-                          1.0 / std::pow(1.0 + static_cast<double>(staleness),
-                                         alpha))
-                    : 1.0f;
+    f.update.weight_scale = staleness_weight(alpha, staleness);
     staleness_sum += static_cast<double>(staleness);
     staleness_max = std::max(staleness_max, staleness);
+    comm_sum += f.comm_seconds;
+    compute_sum += f.compute_seconds;
     buffer.push_back(std::move(f.update));
-    busy[client] = false;
 
     if (buffer.size() >= buffer_size) {
       ++version;
@@ -245,14 +470,170 @@ void AsyncScheduler::run(Host& host) {
       meta.mean_staleness =
           staleness_sum / static_cast<double>(buffer.size());
       meta.max_staleness = staleness_max;
+      meta.unavailable = unavailable;
+      meta.mean_comm_seconds =
+          comm_sum / static_cast<double>(buffer.size());
+      meta.mean_compute_seconds =
+          compute_sum / static_cast<double>(buffer.size());
       host.aggregate(buffer, meta);
       buffer.clear();
       staleness_sum = 0.0;
       staleness_max = 0;
+      unavailable = 0;
+      comm_sum = compute_sum = 0.0;
     }
 
-    // Refill the freed slot with the (possibly just-aggregated) global.
-    if (version < rounds) dispatch(1, clock);
+    // Top back up to K in flight with the (possibly just-aggregated)
+    // global. With always-available clients exactly one slot is free here;
+    // under churn this also re-fills slots whose earlier refill drew an
+    // offline client, so concurrency does not decay below K.
+    if (version < rounds) dispatch(concurrency - deck.in_flight(), clock);
+  }
+}
+
+// --------------------------------------------------------------- deadline
+
+double DeadlineScheduler::deadline_for(const SchedConfig& config,
+                                       const Host& host) {
+  if (config.deadline_s > 0.0) return config.deadline_s;
+  // Auto: 1.5x the median predicted per-client round-trip + compute time —
+  // roughly "wait for the typical client, not the tail".
+  const std::size_t down_pred =
+      host.message_bytes(comm::Direction::kDown) + host.extra_down_bytes();
+  const std::size_t up_pred =
+      host.message_bytes(comm::Direction::kUp) + host.extra_up_bytes();
+  std::vector<double> predicted;
+  predicted.reserve(host.num_clients());
+  for (std::size_t c = 0; c < host.num_clients(); ++c) {
+    predicted.push_back(
+        host.network().client_seconds(c, down_pred, up_pred) +
+        host.compute_seconds(c));
+  }
+  std::sort(predicted.begin(), predicted.end());
+  const double median = predicted.empty()
+                            ? 0.0
+                            : predicted[predicted.size() / 2];
+  // Without any time model every arrival is instantaneous and any positive
+  // deadline admits the whole cohort.
+  return median > 0.0 ? 1.5 * median : 1.0;
+}
+
+void DeadlineScheduler::run(Host& host) {
+  const std::size_t k = host.clients_per_round();
+  const std::size_t rounds = host.total_rounds();
+  const double alpha = config_.staleness_alpha;
+  const double deadline = deadline_for(config_, host);
+
+  FlightDeck deck(host);
+  double clock = 0.0;
+  std::size_t unavailable = 0;  // per-round offline skips/drops
+
+  // Single-pass top-up to K in flight at `now`: offline or straggling
+  // clients leave the cohort short this round; the next round tops it up
+  // again. Flights carry version = round - 1 (rounds completed at
+  // dispatch), so staleness at round t is t - dispatch_round.
+  auto dispatch_fill = [&](std::size_t round, double now) {
+    if (deck.in_flight() < k) {
+      deck.dispatch(k - deck.in_flight(), now, round, round - 1,
+                    &unavailable);
+    }
+  };
+
+  // Top up, and when every idle client is offline wait for the earliest
+  // comeback so at least one dispatch is always in flight.
+  auto ensure_in_flight = [&](std::size_t round) {
+    dispatch_fill(round, clock);
+    std::size_t guard = 0;
+    while (deck.empty()) {
+      if (++guard > kStarveGuard) {
+        throw std::runtime_error("deadline: client dispatch starved");
+      }
+      const double t = earliest_comeback(host, &deck.busy(), clock);
+      if (!std::isfinite(t)) {
+        throw std::runtime_error(
+            "deadline: no client ever comes back online");
+      }
+      clock = std::max(clock, t);
+      dispatch_fill(round, clock);
+    }
+  };
+
+  std::size_t consecutive_lost = 0;
+  for (std::size_t t = 1; t <= rounds; ++t) {
+    ensure_in_flight(t);
+    const double close_target = clock + deadline;
+    double close = close_target;
+
+    std::vector<fl::ClientUpdate> harvest;
+    double staleness_sum = 0.0, comm_sum = 0.0, compute_sum = 0.0;
+    std::size_t staleness_max = 0;
+
+    // Drain every event due by the deadline; when nothing has arrived by
+    // then (an all-straggler or all-churned round) keep going to the first
+    // real arrival — a server round cannot aggregate nothing.
+    while (true) {
+      if (deck.empty()) {
+        if (!harvest.empty()) break;
+        ensure_in_flight(t);
+      }
+      if (deck.next_event_time() > close_target && !harvest.empty()) break;
+      double event_time = 0.0;
+      Flight& f = deck.flight(deck.pop(&event_time));
+      clock = std::max(clock, event_time);
+
+      if (f.lost) {
+        ++unavailable;
+        f.d.params.reset();
+        if (++consecutive_lost > kStarveGuard) {
+          throw std::runtime_error(
+              "deadline: every dispatch is lost to churn before arriving");
+        }
+        continue;
+      }
+      consecutive_lost = 0;
+
+      // A flight pops exactly once here: train it (stragglers' compute was
+      // already charged into their event time), uplink at the aggregation
+      // round, and weight by the staleness discount.
+      std::vector<Dispatch> batch{f.d};
+      auto updates = host.train(batch);
+      fl::ClientUpdate update = std::move(updates[0]);
+      host.uplink(update, f.d.up_key, *f.d.params, t);
+      f.d.params.reset();
+
+      const std::size_t staleness = (t - 1) - f.version;
+      update.staleness = staleness;
+      update.weight_scale = staleness_weight(alpha, staleness);
+      staleness_sum += static_cast<double>(staleness);
+      staleness_max = std::max(staleness_max, staleness);
+      comm_sum += f.comm_seconds;
+      compute_sum += f.compute_seconds;
+      harvest.push_back(std::move(update));
+      if (event_time > close_target) close = event_time;  // extended round
+    }
+
+    // Nothing left in flight: there is no straggler to wait for, so the
+    // round closes at its last arrival instead of idling until T (with no
+    // time models at all this keeps the clock at zero, like sync).
+    if (deck.empty()) close = std::min(close, clock);
+    clock = std::max(clock, close);
+    RoundMeta meta;
+    meta.round = t;
+    meta.clock_seconds = clock;
+    meta.mean_staleness =
+        staleness_sum / static_cast<double>(harvest.size());
+    meta.max_staleness = staleness_max;
+    meta.unavailable = unavailable;
+    // Stragglers carried into round t+1; flights already doomed by churn
+    // are not deferred work, they are counted as unavailable when their
+    // drop event pops.
+    meta.deadline_deferred = deck.live_in_flight();
+    meta.mean_comm_seconds =
+        comm_sum / static_cast<double>(harvest.size());
+    meta.mean_compute_seconds =
+        compute_sum / static_cast<double>(harvest.size());
+    host.aggregate(harvest, meta);
+    unavailable = 0;
   }
 }
 

@@ -49,4 +49,25 @@ class AsyncScheduler : public Scheduler {
   SchedConfig config_;
 };
 
+/// Semi-synchronous deadline hybrid: K clients are kept in flight; every
+/// round the server aggregates whatever arrived within T virtual seconds
+/// of the round's start (at least one arrival — an all-straggler round
+/// extends to the first). Stragglers are not discarded: they stay in
+/// flight and fold into the round they arrive in, weighted by the async
+/// staleness discount 1/(1+s)^a. T defaults to 1.5x the median predicted
+/// per-client round-trip + compute time (SchedConfig::deadline_s = 0).
+class DeadlineScheduler : public Scheduler {
+ public:
+  explicit DeadlineScheduler(const SchedConfig& config) : config_(config) {}
+  std::string name() const override { return "deadline"; }
+  void run(Host& host) override;
+
+  /// The deadline for a run: config.deadline_s, or the auto heuristic over
+  /// the host's predicted per-client times when it is 0.
+  static double deadline_for(const SchedConfig& config, const Host& host);
+
+ private:
+  SchedConfig config_;
+};
+
 }  // namespace fedtrip::sched

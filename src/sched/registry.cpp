@@ -14,11 +14,15 @@ SchedulerPtr make_scheduler(const SchedConfig& config) {
   if (config.policy == "async") {
     return std::make_unique<AsyncScheduler>(config);
   }
+  if (config.policy == "deadline") {
+    return std::make_unique<DeadlineScheduler>(config);
+  }
   throw std::invalid_argument("unknown schedule policy: " + config.policy);
 }
 
 const std::vector<std::string>& all_policies() {
-  static const std::vector<std::string> names = {"sync", "fastk", "async"};
+  static const std::vector<std::string> names = {"sync", "fastk", "async",
+                                                 "deadline"};
   return names;
 }
 

@@ -11,7 +11,7 @@
 
 namespace fedtrip::sched {
 
-/// Instantiates a policy: "sync" | "fastk" | "async". Throws
+/// Instantiates a policy: "sync" | "fastk" | "async" | "deadline". Throws
 /// std::invalid_argument otherwise.
 SchedulerPtr make_scheduler(const SchedConfig& config);
 

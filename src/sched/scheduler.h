@@ -7,17 +7,28 @@
 // aggregate primitives over its models, channel and data) and delegates its
 // round loop to the configured policy:
 //
-//   sync   — the classic loop: K clients per round, everyone waited for.
-//            Reproduces the pre-scheduler Simulation bit-identically.
-//   fastk  — over-select M > K clients, aggregate the K fastest arrivals
-//            (virtual-clock order, ties broken by client id), drop the rest.
-//   async  — FedBuff-style buffered aggregation: K clients train
-//            continuously on possibly-stale global params; the server
-//            aggregates every B arrivals with staleness-discounted weights
-//            1/(1+s)^a and immediately re-dispatches the freed slot.
+//   sync     — the classic loop: K clients per round, everyone waited for.
+//              Reproduces the pre-scheduler Simulation bit-identically.
+//   fastk    — over-select M > K clients, aggregate the K fastest arrivals
+//              (virtual-clock order, ties broken by client id), drop the
+//              rest.
+//   async    — FedBuff-style buffered aggregation: K clients train
+//              continuously on possibly-stale global params; the server
+//              aggregates every B arrivals with staleness-discounted
+//              weights 1/(1+s)^a and immediately re-dispatches the freed
+//              slot.
+//   deadline — semi-sync hybrid: each round aggregates whatever arrived
+//              within T virtual seconds; stragglers stay in flight and fold
+//              into later rounds as staleness-discounted async arrivals.
+//
+// Arrival times combine the network round-trip (comm::NetworkModel) with
+// the client's local compute time (clients::ComputeModel), and dispatching
+// consults the availability model (clients::AvailabilityModel): offline
+// clients are skipped, and the event-driven policies drop in-flight work
+// when a client churns off before its upload completes.
 //
 // Determinism is a hard invariant: arrival times derive only from the
-// network model's per-client links (drawn from the network RNG stream) and
+// per-client links/speeds (drawn once from dedicated RNG streams) and
 // data-independent wire byte counts, with ties broken by client id — so the
 // event trace is identical for any worker count.
 #pragma once
@@ -27,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "clients/availability.h"
 #include "comm/channel.h"
 #include "comm/network.h"
 #include "fl/types.h"
@@ -67,6 +79,18 @@ struct RoundMeta {
   /// aggregated updates. Zero under sync/fastk.
   double mean_staleness = 0.0;
   std::size_t max_staleness = 0;
+  /// Dispatch attempts lost to offline clients this round: selected-but-
+  /// offline skips plus in-flight work dropped when a client churned off.
+  std::size_t unavailable = 0;
+  /// deadline: this round's dispatches still in flight when the round
+  /// closed (they defer to later rounds as staleness-discounted arrivals).
+  std::size_t deadline_deferred = 0;
+  /// Mean per-update local compute seconds over the aggregated updates
+  /// (0 without a compute model) — the compute share of the round's time.
+  double mean_compute_seconds = 0.0;
+  /// Mean per-update network round-trip seconds over the aggregated
+  /// updates (0 without a network model) — the comm share.
+  double mean_comm_seconds = 0.0;
 };
 
 /// The engine primitives a scheduler drives. Implemented by fl::Simulation;
@@ -81,6 +105,21 @@ class Host {
   virtual std::size_t total_rounds() const = 0;
 
   virtual const comm::NetworkModel& network() const = 0;
+
+  /// Availability model consulted at dispatch time (always-available by
+  /// default; policies fast-path on availability().always()).
+  virtual const clients::AvailabilityModel& availability() const = 0;
+
+  /// Whether a compute-time model is configured. When false,
+  /// compute_seconds() is identically zero and round durations reduce
+  /// bit-for-bit to the communication-only clock.
+  virtual bool compute_enabled() const = 0;
+
+  /// Predicted == charged local-training seconds of one dispatch for
+  /// `client`: local samples x epochs x seconds-per-sample x the client's
+  /// drawn speed factor. Data-independent, so schedulers rank arrivals
+  /// before training runs and the prediction is exact.
+  virtual double compute_seconds(std::size_t client) const = 0;
 
   /// Data-independent wire bytes of one |w| message in `dir` under the
   /// channel's codec (no extras) — what arrival-time prediction uses before

@@ -1,0 +1,203 @@
+// AvailabilityModel: trace parsing edge cases (the formats real-world churn
+// logs actually arrive in) and the markov churn generator's determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "clients/registry.h"
+
+namespace fedtrip::clients {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<TraceWindow> parse(const std::string& text) {
+  std::stringstream ss(text);
+  return parse_availability_trace(ss);
+}
+
+// ------------------------------------------------------------ trace parse
+
+TEST(TraceParseTest, ParsesRows) {
+  const auto t = parse("0,0,50\n1,10,20\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].client, 0u);
+  EXPECT_DOUBLE_EQ(t[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(t[0].end_s, 50.0);
+  EXPECT_EQ(t[1].client, 1u);
+}
+
+TEST(TraceParseTest, EmptyTraceParses) {
+  EXPECT_TRUE(parse("").empty());
+  EXPECT_TRUE(parse("\n\n").empty());
+  EXPECT_TRUE(parse("# just a comment\n").empty());
+}
+
+TEST(TraceParseTest, ToleratesHeaderCommentsBlanksAndCrlf) {
+  const auto t = parse(
+      "client,start_s,end_s\r\n"
+      "# maintenance window below\r\n"
+      "\r\n"
+      "2,5,15\r\n"
+      "3,0,1e9\r\n");  // trailing CRLF newline on the last row
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].client, 2u);
+  EXPECT_DOUBLE_EQ(t[1].end_s, 1e9);
+}
+
+TEST(TraceParseTest, TrailingNewlineIsFine) {
+  EXPECT_EQ(parse("0,1,2").size(), 1u);    // no trailing newline
+  EXPECT_EQ(parse("0,1,2\n").size(), 1u);  // trailing newline
+}
+
+TEST(TraceParseTest, MalformedRowsThrow) {
+  EXPECT_THROW(parse("0,1\n"), std::invalid_argument);        // missing col
+  EXPECT_THROW(parse("0;1;2\n"), std::invalid_argument);      // wrong sep
+  EXPECT_THROW(parse("0,1,2,3\n"), std::invalid_argument);    // extra col
+  EXPECT_THROW(parse("0,1,2\nbogus,x,y\n"),                   // late header
+               std::invalid_argument);
+  EXPECT_THROW(parse("0,10,5\n"), std::invalid_argument);     // end < start
+}
+
+// ------------------------------------------------------------ trace model
+
+TEST(TraceModelTest, EmptyTraceMeansEveryoneAlwaysOn) {
+  const auto m = AvailabilityModel::from_trace({}, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(m.available(c, 0.0));
+    EXPECT_TRUE(m.available(c, 1e12));
+    EXPECT_DOUBLE_EQ(m.next_available_time(c, 7.0), 7.0);
+    EXPECT_EQ(m.online_until(c, 7.0), kInf);
+  }
+}
+
+TEST(TraceModelTest, WindowsAreHalfOpen) {
+  const auto m = AvailabilityModel::from_trace({{0, 10.0, 20.0}}, 2);
+  EXPECT_FALSE(m.available(0, 9.999));
+  EXPECT_TRUE(m.available(0, 10.0));
+  EXPECT_TRUE(m.available(0, 19.999));
+  EXPECT_FALSE(m.available(0, 20.0));
+}
+
+TEST(TraceModelTest, OverlappingWindowsMerge) {
+  const auto m = AvailabilityModel::from_trace(
+      {{0, 0.0, 10.0}, {0, 5.0, 20.0}, {0, 20.0, 25.0}}, 1);
+  EXPECT_TRUE(m.available(0, 7.0));
+  EXPECT_TRUE(m.available(0, 15.0));
+  EXPECT_TRUE(m.available(0, 22.0));
+  // Merged into one [0, 25) span: the on-window end sees through the seams.
+  EXPECT_DOUBLE_EQ(m.online_until(0, 1.0), 25.0);
+  EXPECT_FALSE(m.available(0, 25.0));
+}
+
+TEST(TraceModelTest, UnsortedWindowsAreSorted) {
+  const auto m = AvailabilityModel::from_trace(
+      {{0, 30.0, 40.0}, {0, 0.0, 10.0}}, 1);
+  EXPECT_TRUE(m.available(0, 5.0));
+  EXPECT_FALSE(m.available(0, 15.0));
+  EXPECT_DOUBLE_EQ(m.next_available_time(0, 15.0), 30.0);
+}
+
+TEST(TraceModelTest, ClientNotInTraceIsAlwaysAvailable) {
+  const auto m = AvailabilityModel::from_trace({{0, 0.0, 10.0}}, 3);
+  // Client 0 is traced: offline outside its windows, for good at the end.
+  EXPECT_FALSE(m.available(0, 50.0));
+  EXPECT_EQ(m.next_available_time(0, 50.0), kInf);
+  // Clients 1 and 2 never appear: unmanaged, always on.
+  for (std::size_t c : {1u, 2u}) {
+    EXPECT_TRUE(m.available(c, 0.0));
+    EXPECT_TRUE(m.available(c, 1e9));
+    EXPECT_EQ(m.online_until(c, 0.0), kInf);
+  }
+}
+
+TEST(TraceModelTest, IdsBeyondPopulationAreIgnored) {
+  const auto m = AvailabilityModel::from_trace({{7, 0.0, 10.0}}, 2);
+  EXPECT_TRUE(m.available(0, 100.0));
+  EXPECT_TRUE(m.available(1, 100.0));
+}
+
+// ----------------------------------------------------------------- markov
+
+TEST(MarkovModelTest, DeterministicPerSeedAndQueryOrderIndependent) {
+  const auto a = AvailabilityModel::markov(10.0, 5.0, 4, Rng(42));
+  const auto b = AvailabilityModel::markov(10.0, 5.0, 4, Rng(42));
+  // Query b backwards: lazy window generation must not depend on order.
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (int i = 200; i >= 0; --i) {
+      (void)b.available(c, static_cast<double>(i));
+    }
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (int i = 0; i <= 200; ++i) {
+      const double t = static_cast<double>(i);
+      EXPECT_EQ(a.available(c, t), b.available(c, t)) << c << " " << t;
+    }
+  }
+}
+
+TEST(MarkovModelTest, NextAvailableAndOnlineUntilAreConsistent) {
+  const auto m = AvailabilityModel::markov(8.0, 4.0, 3, Rng(9));
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (double t = 0.0; t < 100.0; t += 3.7) {
+      if (m.available(c, t)) {
+        EXPECT_DOUBLE_EQ(m.next_available_time(c, t), t);
+        const double until = m.online_until(c, t);
+        EXPECT_GT(until, t);
+        EXPECT_FALSE(m.available(c, until));  // half-open window
+      } else {
+        const double back = m.next_available_time(c, t);
+        EXPECT_GT(back, t);
+        EXPECT_TRUE(std::isfinite(back));  // churn always comes back
+        EXPECT_TRUE(m.available(c, back));
+      }
+    }
+  }
+}
+
+TEST(MarkovModelTest, ChurnActuallyAlternates) {
+  const auto m = AvailabilityModel::markov(5.0, 5.0, 1, Rng(1));
+  bool saw_on = false, saw_off = false;
+  for (double t = 0.0; t < 200.0; t += 1.0) {
+    (m.available(0, t) ? saw_on : saw_off) = true;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(MarkovModelTest, ZeroMeanOffDegeneratesToAlways) {
+  const auto m = AvailabilityModel::markov(10.0, 0.0, 2, Rng(1));
+  EXPECT_TRUE(m.always());
+  EXPECT_TRUE(m.available(0, 1e9));
+}
+
+TEST(MarkovModelTest, ZeroMeanOnWithChurnThrows) {
+  EXPECT_THROW(AvailabilityModel::markov(0.0, 5.0, 2, Rng(1)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(AvailabilityRegistryTest, MakesEveryKindAndValidates) {
+  ClientsConfig cfg;
+  EXPECT_TRUE(make_availability(cfg, 4, Rng(1)).always());
+  cfg.availability = "markov";
+  EXPECT_FALSE(make_availability(cfg, 4, Rng(1)).always());
+  cfg.availability = "trace";
+  EXPECT_THROW(make_availability(cfg, 4, Rng(1)),
+               std::invalid_argument);  // no trace path
+  cfg.availability = "flaky";
+  EXPECT_THROW(make_availability(cfg, 4, Rng(1)), std::invalid_argument);
+  EXPECT_EQ(all_availability_kinds().front(), "always");
+}
+
+TEST(AvailabilityRegistryTest, MissingTraceFileThrows) {
+  ClientsConfig cfg;
+  cfg.availability = "trace";
+  cfg.availability_trace = "/nonexistent/trace.csv";
+  EXPECT_THROW(make_availability(cfg, 4, Rng(1)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedtrip::clients

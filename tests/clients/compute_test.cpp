@@ -1,0 +1,88 @@
+// ComputeModel: per-client speed draws and training-duration accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clients/registry.h"
+
+namespace fedtrip::clients {
+namespace {
+
+ClientsConfig with_profile(const std::string& profile) {
+  ClientsConfig cfg;
+  cfg.compute_profile = profile;
+  cfg.seconds_per_sample = 0.5;
+  return cfg;
+}
+
+TEST(ComputeModelTest, NoneIsDisabledAndFree) {
+  const auto m = make_compute(with_profile("none"), 8, Rng(1));
+  EXPECT_FALSE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.train_seconds(3, 100, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.speed_factor(3), 0.0);
+}
+
+TEST(ComputeModelTest, DefaultConstructedIsDisabled) {
+  const ComputeModel m;
+  EXPECT_FALSE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.train_seconds(0, 100, 1), 0.0);
+}
+
+TEST(ComputeModelTest, UniformChargesSamplesTimesEpochs) {
+  const auto m = make_compute(with_profile("uniform"), 4, Rng(1));
+  EXPECT_TRUE(m.enabled());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(m.speed_factor(c), 1.0);
+    EXPECT_DOUBLE_EQ(m.train_seconds(c, 60, 1), 30.0);  // 60 * 0.5
+    EXPECT_DOUBLE_EQ(m.train_seconds(c, 60, 3), 90.0);  // linear in epochs
+  }
+}
+
+TEST(ComputeModelTest, LognormalIsDeterministicPerSeed) {
+  const auto a = make_compute(with_profile("lognormal"), 16, Rng(7));
+  const auto b = make_compute(with_profile("lognormal"), 16, Rng(7));
+  const auto c = make_compute(with_profile("lognormal"), 16, Rng(8));
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_DOUBLE_EQ(a.speed_factor(k), b.speed_factor(k));
+    EXPECT_GT(a.speed_factor(k), 0.0);
+    any_diff |= a.speed_factor(k) != c.speed_factor(k);
+  }
+  EXPECT_TRUE(any_diff);  // a different stream draws different speeds
+}
+
+TEST(ComputeModelTest, BimodalSlowsExactlyTheConfiguredFraction) {
+  auto cfg = with_profile("bimodal");
+  cfg.bimodal_fraction = 0.3;
+  cfg.bimodal_slowdown = 8.0;
+  const auto m = make_compute(cfg, 10, Rng(3));
+  std::size_t slow = 0;
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double s = m.speed_factor(k);
+    EXPECT_TRUE(s == 1.0 || s == 8.0) << s;
+    slow += s == 8.0;
+  }
+  EXPECT_EQ(slow, 3u);  // round(0.3 * 10)
+}
+
+TEST(ComputeModelTest, UnknownProfileThrows) {
+  EXPECT_THROW(make_compute(with_profile("quadratic"), 4, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ComputeModelTest, NegativeSecondsPerSampleThrows) {
+  auto cfg = with_profile("uniform");
+  cfg.seconds_per_sample = -1.0;
+  EXPECT_THROW(make_compute(cfg, 4, Rng(1)), std::invalid_argument);
+}
+
+TEST(ComputeRegistryTest, NamesCoverEveryProfile) {
+  ASSERT_FALSE(all_compute_profiles().empty());
+  EXPECT_EQ(all_compute_profiles().front(), "none");
+  for (const auto& name : all_compute_profiles()) {
+    EXPECT_NO_THROW(make_compute(with_profile(name), 4, Rng(1)));
+  }
+}
+
+}  // namespace
+}  // namespace fedtrip::clients

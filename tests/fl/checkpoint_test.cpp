@@ -91,6 +91,10 @@ TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
     r.mean_staleness = 0.5 * static_cast<double>(t);
     r.max_staleness = t;
     r.dropped = 2 * t;
+    r.unavailable = 3 * t;
+    r.deadline_deferred = t % 3;
+    r.mean_compute_seconds = 0.125 * static_cast<double>(t);
+    r.mean_comm_seconds = 0.0625 * static_cast<double>(t);
     history.push_back(r);
   }
   save_history_csv(path, history);
@@ -109,6 +113,12 @@ TEST_F(CheckpointTest, HistoryCsvRoundTrip) {
     EXPECT_NEAR(loaded[i].mean_staleness, history[i].mean_staleness, 1e-9);
     EXPECT_EQ(loaded[i].max_staleness, history[i].max_staleness);
     EXPECT_EQ(loaded[i].dropped, history[i].dropped);
+    EXPECT_EQ(loaded[i].unavailable, history[i].unavailable);
+    EXPECT_EQ(loaded[i].deadline_deferred, history[i].deadline_deferred);
+    EXPECT_NEAR(loaded[i].mean_compute_seconds,
+                history[i].mean_compute_seconds, 1e-9);
+    EXPECT_NEAR(loaded[i].mean_comm_seconds, history[i].mean_comm_seconds,
+                1e-9);
   }
   std::remove(path.c_str());
 }
@@ -120,7 +130,11 @@ TEST_F(CheckpointTest, EmptyHistoryCsv) {
   std::remove(path.c_str());
 }
 
-TEST_F(CheckpointTest, CsvHasHeader) {
+TEST_F(CheckpointTest, CsvHeaderIsStable) {
+  // The exact header is the documented RoundRecord CSV schema
+  // (docs/EXPERIMENTS.md); external plotting scripts key on these names.
+  // Appending columns is fine (update this string and the doc together);
+  // renaming or reordering existing ones is a breaking change.
   const std::string path = temp("header.csv");
   save_history_csv(path, {});
   std::ifstream in(path);
@@ -129,7 +143,8 @@ TEST_F(CheckpointTest, CsvHasHeader) {
   EXPECT_EQ(line,
             "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
             "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
-            "max_staleness,dropped");
+            "max_staleness,dropped,unavailable,deadline_deferred,"
+            "mean_compute_s,mean_comm_s");
   std::remove(path.c_str());
 }
 
@@ -164,6 +179,37 @@ TEST_F(CheckpointTest, LoadsPreSchedEightColumnCsv) {
   EXPECT_EQ(loaded[0].mean_staleness, 0.0);
   EXPECT_EQ(loaded[0].max_staleness, 0u);
   EXPECT_EQ(loaded[0].dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LoadsPreClientsElevenColumnCsv) {
+  // CSVs written before the client-heterogeneity columns existed still
+  // load; the availability/deadline/time-split fields default to zero.
+  const std::string path = temp("preclients.csv");
+  std::ofstream(path)
+      << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+         "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
+         "max_staleness,dropped\n"
+      << "3,0.5,1.25,2.5,4.5,2.0,2.5,0.75,1.5,2,4\n";
+  auto loaded = load_history_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].dropped, 4u);
+  EXPECT_EQ(loaded[0].unavailable, 0u);
+  EXPECT_EQ(loaded[0].deadline_deferred, 0u);
+  EXPECT_EQ(loaded[0].mean_compute_seconds, 0.0);
+  EXPECT_EQ(loaded[0].mean_comm_seconds, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TruncatedClientsColumnsThrow) {
+  const std::string path = temp("truncclients.csv");
+  std::ofstream(path)
+      << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+         "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
+         "max_staleness,dropped,unavailable,deadline_deferred,"
+         "mean_compute_s,mean_comm_s\n"
+      << "3,0.5,1.25,2.5,4.5,2.0,2.5,0.75,1.5,2,4,1,2\n";
+  EXPECT_THROW(load_history_csv(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

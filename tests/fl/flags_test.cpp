@@ -1,0 +1,69 @@
+// The run_experiment flag registry: the generated --help text must mention
+// every registered flag (this is the drift guard that was missing when the
+// PR-2 scheduler flags landed in the parser but the usage text went stale),
+// and the registry must cover every subsystem's knobs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fl/flags.h"
+
+namespace fedtrip::fl {
+namespace {
+
+TEST(FlagsTest, UsageMentionsEveryRegisteredFlag) {
+  const std::string usage = experiment_usage();
+  for (const auto& spec : experiment_flags()) {
+    EXPECT_NE(usage.find(spec.name), std::string::npos)
+        << "--help text omits " << spec.name;
+  }
+}
+
+TEST(FlagsTest, NoDuplicateFlagNames) {
+  std::set<std::string> seen;
+  for (const auto& spec : experiment_flags()) {
+    EXPECT_TRUE(seen.insert(spec.name).second)
+        << spec.name << " registered twice";
+  }
+}
+
+TEST(FlagsTest, EveryFlagHasHelpText) {
+  for (const auto& spec : experiment_flags()) {
+    ASSERT_NE(spec.help, nullptr) << spec.name;
+    EXPECT_GT(std::string(spec.help).size(), 0u) << spec.name;
+  }
+}
+
+TEST(FlagsTest, CoversEverySubsystemsFlags) {
+  std::set<std::string> names;
+  for (const auto& spec : experiment_flags()) names.insert(spec.name);
+  // The PR-2 scheduler flags whose documentation drifted.
+  for (const char* flag : {"--schedule", "--overselect", "--buffer",
+                           "--staleness-alpha", "--delta"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
+  // The comm subsystem flags.
+  for (const char* flag : {"--compressor", "--down-compressor", "--network",
+                           "--bandwidth", "--latency"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
+  // The client heterogeneity flags.
+  for (const char* flag :
+       {"--compute-profile", "--seconds-per-sample", "--availability",
+        "--avail-on", "--avail-off", "--deadline"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
+}
+
+TEST(FlagsTest, ValuePlaceholdersRenderInUsage) {
+  const std::string usage = experiment_usage();
+  // A value flag renders "--name PLACEHOLDER".
+  EXPECT_NE(usage.find("--schedule P"), std::string::npos);
+  EXPECT_NE(usage.find("--deadline T"), std::string::npos);
+  // The deadline policy must be discoverable from --help.
+  EXPECT_NE(usage.find("sync|fastk|async|deadline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedtrip::fl

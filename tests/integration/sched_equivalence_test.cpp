@@ -96,5 +96,19 @@ TEST(SchedEquivalenceTest, HoldsWithParallelWorkers) {
                        run_reference(cfg, "SCAFFOLD"));
 }
 
+TEST(SchedEquivalenceTest, HoldsWithInertHeterogeneityModels) {
+  // A zero-cost compute model and churn that never fires route the sync
+  // policy through the clients-aware code paths; the reference loop
+  // (which predates src/clients/) must still be matched bit for bit.
+  auto cfg = fl::testing::tiny_config();
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  cfg.clients.compute_profile = "uniform";
+  cfg.clients.seconds_per_sample = 0.0;
+  cfg.clients.availability = "markov";
+  cfg.clients.markov_mean_off_s = 0.0;
+  expect_bit_identical(run_scheduled(cfg, "FedTrip"),
+                       run_reference(cfg, "FedTrip"));
+}
+
 }  // namespace
 }  // namespace fedtrip

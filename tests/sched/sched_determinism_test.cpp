@@ -1,9 +1,12 @@
 // Scheduler determinism: the virtual-clock event trace (arrival ordering,
 // staleness, simulated seconds) and the learning trajectory must be pure
 // functions of the seed — identical for any worker count, for every
-// policy. Arrival times derive only from the network RNG stream with ties
-// broken by client id, so this is the subsystem's core invariant.
+// policy, with and without client heterogeneity. Arrival times derive only
+// from the network/compute RNG streams with ties broken by client id, so
+// this is the subsystem's core invariant.
 #include <gtest/gtest.h>
+
+#include <fstream>
 
 #include "algorithms/registry.h"
 #include "fl/simulation.h"
@@ -18,6 +21,19 @@ fl::ExperimentConfig sched_config(const std::string& policy) {
   cfg.sched.policy = policy;
   cfg.comm.network.profile = comm::NetProfile::kStraggler;
   cfg.comm.network.straggler_fraction = 0.4;
+  return cfg;
+}
+
+/// sched_config plus the client-heterogeneity axes: bimodal compute skew
+/// and Markov availability churn on the same virtual clock.
+fl::ExperimentConfig het_config(const std::string& policy) {
+  auto cfg = sched_config(policy);
+  cfg.clients.compute_profile = "bimodal";
+  cfg.clients.bimodal_fraction = 0.4;
+  cfg.clients.seconds_per_sample = 0.05;
+  cfg.clients.availability = "markov";
+  cfg.clients.markov_mean_on_s = 8.0;
+  cfg.clients.markov_mean_off_s = 3.0;
   return cfg;
 }
 
@@ -43,8 +59,17 @@ void expect_identical(const fl::RunResult& a, const fl::RunResult& b) {
                      b.history[i].mean_staleness);
     EXPECT_EQ(a.history[i].max_staleness, b.history[i].max_staleness);
     EXPECT_EQ(a.history[i].dropped, b.history[i].dropped);
+    // The heterogeneity trace: offline skips/drops and the time split.
+    EXPECT_EQ(a.history[i].unavailable, b.history[i].unavailable);
+    EXPECT_EQ(a.history[i].deadline_deferred,
+              b.history[i].deadline_deferred);
+    EXPECT_DOUBLE_EQ(a.history[i].mean_compute_seconds,
+                     b.history[i].mean_compute_seconds);
+    EXPECT_DOUBLE_EQ(a.history[i].mean_comm_seconds,
+                     b.history[i].mean_comm_seconds);
   }
   EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  EXPECT_EQ(a.participation, b.participation);
 }
 
 class SchedDeterminismTest : public ::testing::TestWithParam<std::string> {};
@@ -75,7 +100,95 @@ TEST_P(SchedDeterminismTest, CompressedUplinkStaysDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, SchedDeterminismTest,
-    ::testing::Values("sync", "fastk", "async"),
+    ::testing::Values("sync", "fastk", "async", "deadline"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ------------------------------------------- heterogeneity determinism
+//
+// The same invariants with compute skew + availability churn switched on:
+// offline skips, in-flight drops and compute-dependent arrival orderings
+// must also be pure functions of the seed, for every policy and worker
+// count.
+
+class HetDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HetDeterminismTest, WorkerCountNeverChangesTheTrace) {
+  auto cfg = het_config(GetParam());
+  cfg.workers = 1;
+  const auto serial = run_with(cfg);
+  cfg.workers = 4;
+  const auto parallel = run_with(cfg);
+  expect_identical(serial, parallel);
+}
+
+TEST_P(HetDeterminismTest, FixedSeedBitIdentical) {
+  const auto cfg = het_config(GetParam());
+  expect_identical(run_with(cfg), run_with(cfg));
+}
+
+TEST_P(HetDeterminismTest, EveryRoundStillRecorded) {
+  const auto cfg = het_config(GetParam());
+  const auto result = run_with(cfg);
+  ASSERT_EQ(result.history.size(), cfg.rounds);
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    EXPECT_EQ(result.history[i].round, i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, HetDeterminismTest,
+    ::testing::Values("sync", "fastk", "async", "deadline"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// --------------------------------------------------- transparency checks
+//
+// The "PR-2 equivalence" contract: configurations that disable the
+// heterogeneity models in non-trivial ways (zero-cost compute, churn that
+// never fires, a trace whose windows cover the whole run) must be
+// bit-identical to the plain disabled configuration, policy by policy.
+
+class HetTransparencyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HetTransparencyTest, ZeroSecondsPerSampleMatchesDisabledCompute) {
+  auto cfg = sched_config(GetParam());
+  const auto off = run_with(cfg);
+  cfg.clients.compute_profile = "uniform";
+  cfg.clients.seconds_per_sample = 0.0;  // enabled model, zero cost
+  expect_identical(off, run_with(cfg));
+}
+
+TEST_P(HetTransparencyTest, ZeroMeanOffMarkovMatchesAlways) {
+  auto cfg = sched_config(GetParam());
+  const auto off = run_with(cfg);
+  cfg.clients.availability = "markov";
+  cfg.clients.markov_mean_off_s = 0.0;  // churn that can never fire
+  expect_identical(off, run_with(cfg));
+}
+
+TEST_P(HetTransparencyTest, FullCoverageTraceMatchesAlways) {
+  auto cfg = sched_config(GetParam());
+  const auto off = run_with(cfg);
+  const std::string path = ::testing::TempDir() + "/full_trace_" +
+                           GetParam() + ".csv";
+  {
+    std::ofstream out(path);
+    for (std::size_t c = 0; c < cfg.num_clients; ++c) {
+      out << c << ",0,1e18\n";  // online for any reachable virtual time
+    }
+  }
+  cfg.clients.availability = "trace";
+  cfg.clients.availability_trace = path;
+  expect_identical(off, run_with(cfg));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, HetTransparencyTest,
+    ::testing::Values("sync", "fastk", "async", "deadline"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       return info.param;
     });
@@ -86,16 +199,20 @@ TEST(SchedPolicyTest, PoliciesProduceDistinctTrajectories) {
   const auto sync = run_with(sched_config("sync"));
   const auto fastk = run_with(sched_config("fastk"));
   const auto async = run_with(sched_config("async"));
+  const auto deadline = run_with(sched_config("deadline"));
   EXPECT_NE(sync.final_params, fastk.final_params);
   EXPECT_NE(sync.final_params, async.final_params);
   EXPECT_NE(fastk.final_params, async.final_params);
+  EXPECT_NE(sync.final_params, deadline.final_params);
+  EXPECT_NE(async.final_params, deadline.final_params);
   EXPECT_EQ(sync.sched_policy, "sync");
   EXPECT_EQ(fastk.sched_policy, "fastk");
   EXPECT_EQ(async.sched_policy, "async");
+  EXPECT_EQ(deadline.sched_policy, "deadline");
 }
 
 TEST(SchedPolicyTest, EveryPolicyRecordsEveryRound) {
-  for (const char* policy : {"sync", "fastk", "async"}) {
+  for (const char* policy : {"sync", "fastk", "async", "deadline"}) {
     const auto cfg = sched_config(policy);
     const auto result = run_with(cfg);
     ASSERT_EQ(result.history.size(), cfg.rounds) << policy;
@@ -182,6 +299,100 @@ TEST(SchedPolicyTest, AsyncChargesSharedServerLink) {
   cfg.comm.network.server_bandwidth_mbps = 1.0;
   const auto constrained = run_with(cfg);
   EXPECT_GT(constrained.comm_seconds, unconstrained.comm_seconds);
+}
+
+TEST(SchedPolicyTest, DeadlineDefersStragglersWithDiscountedWeight) {
+  // 40% of clients 10x slow; a cutoff between the fast and slow round-trip
+  // forces the slow arrivals past the deadline: they must show up later as
+  // stale (discounted) updates rather than being dropped.
+  auto cfg = sched_config("deadline");
+  cfg.rounds = 8;
+  cfg.sched.deadline_s = 0.5;
+  const auto result = run_with(cfg);
+  std::size_t deferred = 0;
+  double stale = 0.0;
+  for (const auto& r : result.history) {
+    deferred += r.deadline_deferred;
+    stale += r.mean_staleness;
+    EXPECT_EQ(r.dropped, 0u);  // deadline defers, never discards
+  }
+  EXPECT_GT(deferred, 0u);
+  EXPECT_GT(stale, 0.0);
+}
+
+TEST(SchedPolicyTest, GenerousDeadlineNeverDefers) {
+  auto cfg = sched_config("deadline");
+  cfg.sched.deadline_s = 1e9;  // everyone always makes the cutoff
+  const auto result = run_with(cfg);
+  for (const auto& r : result.history) {
+    EXPECT_EQ(r.deadline_deferred, 0u);
+    EXPECT_DOUBLE_EQ(r.mean_staleness, 0.0);
+  }
+}
+
+TEST(SchedPolicyTest, ComputeStragglersSlowTheSyncClock) {
+  // Compute heterogeneity alone (no network model) must drive the virtual
+  // clock: sync waits for the slowest participant's local training.
+  auto cfg = sched_config("sync");
+  cfg.comm.network.profile = comm::NetProfile::kNone;
+  EXPECT_DOUBLE_EQ(run_with(cfg).comm_seconds, 0.0);
+  cfg.clients.compute_profile = "bimodal";
+  cfg.clients.seconds_per_sample = 0.05;
+  const auto result = run_with(cfg);
+  EXPECT_GT(result.comm_seconds, 0.0);
+  // The time split attributes the round entirely to compute.
+  EXPECT_GT(result.history.back().mean_compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.history.back().mean_comm_seconds, 0.0);
+}
+
+TEST(SchedPolicyTest, FastKStarvesComputeStragglers) {
+  // The fairness accounting fastk's speed comes at: with everyone
+  // over-selected and a slow compute cohort, the K fastest predicted
+  // arrivals never include a straggler — their participation count stays
+  // exactly zero while every fast client trains.
+  auto cfg = sched_config("fastk");
+  cfg.comm.network.profile = comm::NetProfile::kNone;  // compute skew only
+  cfg.clients.compute_profile = "bimodal";
+  cfg.clients.bimodal_fraction = 0.4;  // 2 of 5 clients
+  cfg.clients.bimodal_slowdown = 50.0;
+  cfg.clients.seconds_per_sample = 0.05;
+  cfg.sched.overselect = cfg.num_clients;
+  cfg.rounds = 6;
+  algorithms::AlgoParams p;
+  p.lr = cfg.lr;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  const auto result = sim.run();
+  ASSERT_EQ(result.participation.size(), cfg.num_clients);
+  std::size_t slow_part = 0, fast_part = 0, n_slow = 0;
+  for (std::size_t c = 0; c < cfg.num_clients; ++c) {
+    if (sim.compute().speed_factor(c) > 1.0) {
+      slow_part += result.participation[c];
+      ++n_slow;
+    } else {
+      fast_part += result.participation[c];
+    }
+  }
+  ASSERT_EQ(n_slow, 2u);
+  EXPECT_EQ(slow_part, 0u);  // the slow tail never aggregates
+  EXPECT_EQ(fast_part, cfg.rounds * cfg.clients_per_round);
+  // Every cancelled dispatch is accounted as dropped.
+  for (const auto& r : result.history) {
+    EXPECT_EQ(r.dropped, cfg.num_clients - cfg.clients_per_round);
+  }
+}
+
+TEST(SchedPolicyTest, AsyncAbsorbsChurn) {
+  // Aggressive on/off churn: async must skip/drop offline clients (the
+  // unavailable column), still aggregate every round, and stay live.
+  auto cfg = het_config("async");
+  cfg.rounds = 8;
+  cfg.clients.markov_mean_on_s = 2.0;
+  cfg.clients.markov_mean_off_s = 2.0;
+  const auto result = run_with(cfg);
+  ASSERT_EQ(result.history.size(), cfg.rounds);
+  std::size_t unavailable = 0;
+  for (const auto& r : result.history) unavailable += r.unavailable;
+  EXPECT_GT(unavailable, 0u);
 }
 
 TEST(SchedPolicyTest, NoNetworkFallsBackToClientIdOrder) {

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link target in the given files must
+exist on disk. External (http/https/mailto) links are not fetched — this
+is an offline structural check for the CI docs job.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+# [text](target) — excluding images' leading ! is unnecessary: image
+# targets must exist too.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check(path: str) -> list[str]:
+    errors = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Strip fenced code blocks: command examples are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]  # drop anchors
+        if not rel:
+            continue
+        if not os.path.exists(os.path.join(base, rel)):
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(argv) - 1} files: all relative links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
