@@ -54,6 +54,15 @@ int main(int argc, char** argv) {
               "best%", "sim s", "s to tgt", "stale avg", "offline",
               "tail shr%", "tail min");
 
+  struct PolicyResult {
+    std::string policy;
+    double final_acc = 0.0, best_acc = 0.0, sim_seconds = 0.0;
+    std::optional<double> seconds_to_target;
+    double mean_staleness = 0.0, tail_share = 0.0;
+    std::size_t offline = 0, tail_min = 0;
+  };
+  std::vector<PolicyResult> json_rows;
+
   std::optional<double> sync_seconds;
   for (const auto& policy : sched::all_policies()) {
     fl::ExperimentConfig cfg = base;
@@ -103,18 +112,71 @@ int main(int argc, char** argv) {
       }
       tgt = buf;
     }
+    PolicyResult row;
+    row.policy = policy;
+    row.final_acc = fl::final_accuracy(result.history, 5);
+    row.best_acc = fl::best_accuracy(result.history);
+    row.sim_seconds = result.comm_seconds;
+    row.seconds_to_target = to_target;
+    row.mean_staleness =
+        stale_sum / static_cast<double>(result.history.size());
+    row.offline = offline;
+    row.tail_share = total_part > 0
+                         ? static_cast<double>(tail_part) /
+                               static_cast<double>(total_part)
+                         : 0.0;
+    row.tail_min = tail_min;
+    json_rows.push_back(row);
+
     std::printf(
         "%-9s %6.2f%% %7.2f%% %9.1f %11s %9.2f %8zu %8.1f%% %9zu\n",
-        policy.c_str(), 100.0 * fl::final_accuracy(result.history, 5),
-        100.0 * fl::best_accuracy(result.history), result.comm_seconds,
-        tgt.c_str(),
-        stale_sum / static_cast<double>(result.history.size()), offline,
-        total_part > 0 ? 100.0 * static_cast<double>(tail_part) /
-                             static_cast<double>(total_part)
-                       : 0.0,
-        tail_min);
+        policy.c_str(), 100.0 * row.final_acc, 100.0 * row.best_acc,
+        row.sim_seconds, tgt.c_str(), row.mean_staleness, offline,
+        100.0 * row.tail_share, tail_min);
 
     fl::save_history_csv("het_" + policy + ".csv", result.history);
+  }
+
+  if (opt.json) {
+    const std::string path =
+        opt.json_path.empty() ? "bench_heterogeneity.json" : opt.json_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for write\n", path.c_str());
+      return 1;
+    }
+    JsonWriter j(f);
+    j.begin_object();
+    j.field("bench", "bench_heterogeneity");
+    j.field("schema_version", std::size_t{1});
+    j.begin_object("config");
+    j.field("rounds", base.rounds);
+    j.field("clients", base.num_clients);
+    j.field("per_round", base.clients_per_round);
+    j.field("data_scale", base.data_scale);
+    j.field("target_accuracy", target);
+    j.field("compute_profile", base.clients.compute_profile);
+    j.field("availability", base.clients.availability);
+    j.end_object();
+    j.begin_array("results");
+    for (const auto& r : json_rows) {
+      j.begin_object();
+      j.field("policy", r.policy);
+      j.field("final_accuracy", r.final_acc);
+      j.field("best_accuracy", r.best_acc);
+      j.field("sim_seconds", r.sim_seconds);
+      j.field("seconds_to_target", r.seconds_to_target);
+      j.field("mean_staleness", r.mean_staleness);
+      j.field("offline_drops", r.offline);
+      j.field("tail_participation_share", r.tail_share);
+      j.field("tail_min_participation", r.tail_min);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("machine-readable results written to %s\n", path.c_str());
   }
 
   std::printf(

@@ -5,6 +5,11 @@
 //   --trials N    repeat runs with different seeds and average
 //   --scale X     dataset sample-count scale (default: per-bench quick value)
 //   --full        paper-scale settings (slow; hours on a laptop core)
+//   --json [FILE] additionally write machine-readable results (default
+//                 <bench>.json) — the format CI archives as an artifact to
+//                 build the BENCH_* perf trajectory. Implemented by
+//                 bench_heterogeneity so far; benches without a JSON
+//                 emitter ignore the flag (see opt.json).
 // and prints rows shaped like the corresponding paper table/figure.
 #pragma once
 
@@ -26,6 +31,8 @@ struct BenchOptions {
   std::size_t trials = 1;
   double scale = 0.0;  // 0 = bench default
   bool full = false;
+  bool json = false;       // --json: emit machine-readable results
+  std::string json_path;   // optional --json FILE (else <bench>.json)
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -38,14 +45,82 @@ struct BenchOptions {
         opt.scale = std::atof(argv[++i]);
       } else if (!std::strcmp(argv[i], "--full")) {
         opt.full = true;
+      } else if (!std::strcmp(argv[i], "--json")) {
+        opt.json = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') opt.json_path = argv[++i];
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
-            "options: --rounds N  --trials N  --scale X  --full\n");
+            "options: --rounds N  --trials N  --scale X  --full  "
+            "--json [FILE] (benches with a JSON emitter; ignored "
+            "elsewhere)\n");
         std::exit(0);
       }
     }
     return opt;
   }
+};
+
+/// Minimal JSON emitter for the bench result files: objects, arrays,
+/// numeric and string fields, null for absent optionals. Numbers print
+/// with %.17g (lossless double round-trip). Keys and string values must
+/// not need escaping (bench-controlled identifiers only).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { value(); std::fputc('{', f_); first_ = true; }
+  void begin_object(const char* k) { key(k); begin_object(); }
+  void end_object() { std::fputc('}', f_); first_ = false; }
+  void begin_array(const char* k) {
+    key(k);
+    value();
+    std::fputc('[', f_);
+    first_ = true;
+  }
+  void end_array() { std::fputc(']', f_); first_ = false; }
+  void field(const char* k, double v) {
+    key(k);
+    value();
+    std::fprintf(f_, "%.17g", v);
+  }
+  void field(const char* k, std::size_t v) {
+    key(k);
+    value();
+    std::fprintf(f_, "%zu", v);
+  }
+  void field(const char* k, const char* v) {
+    key(k);
+    value();
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void field(const char* k, const std::string& v) { field(k, v.c_str()); }
+  void field(const char* k, const std::optional<double>& v) {
+    key(k);
+    value();
+    if (v.has_value()) std::fprintf(f_, "%.17g", *v);
+    else std::fputs("null", f_);
+  }
+
+ private:
+  void key(const char* k) {
+    if (!first_) std::fputc(',', f_);
+    first_ = false;
+    std::fprintf(f_, "\"%s\":", k);
+    pending_key_ = true;
+  }
+  /// Comma-separates array elements; values following a key are already
+  /// positioned.
+  void value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_) std::fputc(',', f_);
+    first_ = false;
+  }
+  std::FILE* f_;
+  bool first_ = true;
+  bool pending_key_ = false;
 };
 
 /// One experiment case of the paper's evaluation grid.
@@ -144,7 +219,11 @@ inline void print_header(const char* title, const char* paper_ref) {
 inline std::string rounds_str(const std::optional<std::size_t>& r,
                               std::size_t budget) {
   if (r.has_value()) return std::to_string(*r);
-  return ">" + std::to_string(budget);
+  // Built up in place: the `"" + std::to_string(...)` spelling trips a
+  // gcc-12 -Wrestrict false positive (GCC PR105651) under -Werror.
+  std::string s(1, '>');
+  s += std::to_string(budget);
+  return s;
 }
 
 /// "1.63x" speedup-vs-FedTrip column of Table IV / VI.

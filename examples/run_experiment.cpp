@@ -8,10 +8,11 @@
 // checked against it at startup, so the accepted flags and the documented
 // flags cannot drift apart.
 //
-// Usage:
-//   ./run_experiment --method FedTrip --model cnn --dataset mnist \
-//       --het Dir-0.5 --rounds 50 --clients 10 --per-round 4 \
-//       --schedule deadline --deadline 20 --compute-profile bimodal \
+// Usage (one shell line; wrapped here without continuations so the
+// comment stays -Wcomment-clean):
+//   ./run_experiment --method FedTrip --model cnn --dataset mnist
+//       --het Dir-0.5 --rounds 50 --clients 10 --per-round 4
+//       --schedule deadline --deadline 20 --compute-profile bimodal
 //       --availability markov --network straggler --out history.csv
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
   cfg.rounds = 30;
   cfg.batch_size = 32;
   std::string method = "FedTrip";
-  std::string out_csv, save_model, idx_dir;
+  std::string out_csv, save_model, load_model, idx_dir;
   algorithms::AlgoParams params;
   params.mu = 0.4f;
 
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
        [&](const char* v) { cfg.model.width_mult = std::atof(v); }},
       {"--out", [&](const char* v) { out_csv = v; }},
       {"--save-model", [&](const char* v) { save_model = v; }},
+      {"--load-model", [&](const char* v) { load_model = v; }},
       {"--idx-dir", [&](const char* v) { idx_dir = v; }},
       {"--compressor", [&](const char* v) { cfg.comm.uplink = v; }},
       {"--down-compressor", [&](const char* v) { cfg.comm.downlink = v; }},
@@ -109,6 +111,7 @@ int main(int argc, char** argv) {
          cfg.comm.params.mask_keep = static_cast<float>(std::atof(v));
        }},
       {"--delta", [&](const char*) { cfg.comm.delta_uplink = true; }},
+      {"--byte-exact", [&](const char*) { cfg.comm.byte_exact = true; }},
       {"--network",
        [&](const char* v) {
          cfg.comm.network.profile = comm::net_profile_from_name(v);
@@ -242,6 +245,13 @@ int main(int argc, char** argv) {
                  ? fl::Simulation(cfg, std::move(algorithm),
                                   std::move(*real_data))
                  : fl::Simulation(cfg, std::move(algorithm));
+  if (!load_model.empty()) {
+    auto initial = fl::load_parameters_file(load_model);
+    sim.set_initial_params(initial);
+    std::printf("resumed from %s (%zu parameters, accuracy %.2f%%)\n",
+                load_model.c_str(), initial.size(),
+                100.0 * sim.evaluate(initial));
+  }
   auto result = sim.run();
 
   for (const auto& r : result.history) {

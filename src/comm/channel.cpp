@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "tensor/vec_math.h"
+#include "wire/payload.h"
 
 namespace fedtrip::comm {
 
@@ -51,8 +52,21 @@ const Compressor& CompressedChannel::compressor(Direction dir) const {
   return dir == Direction::kDown ? *down_ : *up_;
 }
 
-bool CompressedChannel::transparent(Direction dir) const {
+bool CompressedChannel::lossless(Direction dir) const {
   return compressor(dir).lossless();
+}
+
+bool CompressedChannel::transparent(Direction dir) const {
+  // Byte-exact mode turns the zero-copy shortcut off: even lossless codecs
+  // round-trip through real buffers (the decode is still bit-identical).
+  return !byte_exact_ && lossless(dir);
+}
+
+std::vector<float> CompressedChannel::decode(const Compressor& codec,
+                                             const Encoded& e) const {
+  if (!byte_exact_) return codec.decompress(e);
+  const auto buf = wire::serialize(e);  // throws if size != wire_bytes
+  return codec.decompress(wire::deserialize_payload(buf, e.codec));
 }
 
 const std::vector<float>& CompressedChannel::residual(
@@ -69,7 +83,7 @@ Encoded CompressedChannel::encode(Direction dir, const std::vector<float>& x,
   const Compressor& codec = compressor(dir);
   if (!error_feedback(dir) || codec.lossless()) {
     Encoded e = codec.compress(x, rng);
-    *decoded = codec.decompress(e);
+    *decoded = decode(codec, e);
     return e;
   }
   // Error feedback: transmit payload + carried residual, keep the part the
@@ -79,7 +93,7 @@ Encoded CompressedChannel::encode(Direction dir, const std::vector<float>& x,
   std::vector<float> carried(x.size());
   vec::add(x, r, carried);
   Encoded e = codec.compress(carried, rng);
-  *decoded = codec.decompress(e);
+  *decoded = decode(codec, e);
   vec::sub(carried, *decoded, r);
   return e;
 }
@@ -89,7 +103,7 @@ std::size_t CompressedChannel::transmit(Direction dir, std::vector<float>& x,
                                         std::size_t stream) {
   const Compressor& codec = compressor(dir);
   std::size_t bytes;
-  if (codec.lossless()) {
+  if (transparent(dir)) {
     // Transparent path: accounting only, no encode/decode, no copy.
     bytes = codec.wire_bytes(x.size());
   } else {
@@ -109,7 +123,7 @@ Payload CompressedChannel::transmit_payload(Direction dir,
   const Compressor& codec = compressor(dir);
   Payload p;
   p.codec = codec.name();
-  if (codec.lossless()) {
+  if (transparent(dir)) {
     p.values = x;
     p.wire_bytes = codec.wire_bytes(x.size());
   } else {

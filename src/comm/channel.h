@@ -53,8 +53,16 @@ class Channel {
 
   virtual std::string name() const = 0;
 
+  /// True when the decode in this direction is bit-identical to the input
+  /// (whether or not the transfer is materialised as byte buffers). Drives
+  /// semantic decisions like skipping the delta round-trip, which would
+  /// re-round floats for no fidelity gain.
+  virtual bool lossless(Direction dir) const = 0;
+
   /// True when `transmit` in this direction is a bit-identical no-op on the
   /// payload (accounting still runs). Callers may skip defensive copies.
+  /// Implies lossless(dir); byte-exact mode is lossless but NOT transparent
+  /// (every transfer goes through real buffers).
   virtual bool transparent(Direction dir) const = 0;
 
   /// Data-independent wire bytes of one dim-float message in `dir` (every
@@ -102,7 +110,17 @@ class CompressedChannel : public Channel {
   CompressedChannel(CompressorPtr downlink, CompressorPtr uplink,
                     bool ef_down = false, bool ef_up = false);
 
+  /// Byte-exact mode: every transfer (identity included) is serialized to
+  /// real wire bytes and parsed back before decoding, so the simulated
+  /// path and a future socket transport share one code path. Bit-identical
+  /// to the in-process path by construction, and every message enforces
+  /// serialize(e).size() == e.wire_bytes (wire/payload.h throws on drift).
+  /// Disables the transparent zero-copy shortcut.
+  void set_byte_exact(bool on) { byte_exact_ = on; }
+  bool byte_exact() const { return byte_exact_; }
+
   std::string name() const override;
+  bool lossless(Direction dir) const override;
   bool transparent(Direction dir) const override;
   std::size_t message_bytes(Direction dir, std::size_t dim) const override {
     return compressor(dir).wire_bytes(dim);
@@ -126,11 +144,16 @@ class CompressedChannel : public Channel {
   /// residual, returns the decoded values and wire bytes.
   Encoded encode(Direction dir, const std::vector<float>& x, Rng& rng,
                  std::size_t stream, std::vector<float>* decoded);
+  /// What the receiver decodes from `e`: directly in-process, or — in
+  /// byte-exact mode — after a serialize/deserialize round trip through a
+  /// real buffer.
+  std::vector<float> decode(const Compressor& codec, const Encoded& e) const;
 
   CompressorPtr down_;
   CompressorPtr up_;
   bool ef_down_;
   bool ef_up_;
+  bool byte_exact_ = false;
   std::unordered_map<std::size_t, std::vector<float>> residual_down_;
   std::unordered_map<std::size_t, std::vector<float>> residual_up_;
 };

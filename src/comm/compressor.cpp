@@ -8,12 +8,23 @@
 
 namespace fedtrip::comm {
 
+const char* codec_kind_name(Codec codec) {
+  switch (codec) {
+    case Codec::kIdentity: return "identity";
+    case Codec::kTopK: return "topk";
+    case Codec::kQsgd: return "qsgd";
+    case Codec::kRandMask: return "randmask";
+  }
+  return "unknown";
+}
+
 // ------------------------------------------------------------- identity
 
 Encoded IdentityCompressor::compress(const std::vector<float>& x,
                                      Rng& rng) const {
   (void)rng;
   Encoded e;
+  e.codec = Codec::kIdentity;
   e.dim = x.size();
   e.values = x;
   e.wire_bytes = wire_bytes(x.size());
@@ -52,6 +63,7 @@ Encoded TopKCompressor::compress(const std::vector<float>& x,
                                  Rng& rng) const {
   (void)rng;  // deterministic selection
   Encoded e;
+  e.codec = Codec::kTopK;
   e.dim = x.size();
   if (x.empty()) {
     e.wire_bytes = wire_bytes(0);
@@ -107,6 +119,8 @@ std::string QsgdCompressor::name() const {
 Encoded QsgdCompressor::compress(const std::vector<float>& x,
                                  Rng& rng) const {
   Encoded e;
+  e.codec = Codec::kQsgd;
+  e.level_bits = static_cast<std::uint8_t>(bits_);
   e.dim = x.size();
   if (x.empty()) {
     e.wire_bytes = wire_bytes(0);
@@ -191,6 +205,7 @@ std::size_t RandomMaskCompressor::k_for(std::size_t dim) const {
 Encoded RandomMaskCompressor::compress(const std::vector<float>& x,
                                        Rng& rng) const {
   Encoded e;
+  e.codec = Codec::kRandMask;
   e.dim = x.size();
   if (x.empty()) {
     e.wire_bytes = wire_bytes(0);

@@ -1,16 +1,19 @@
 // Compressor: lossy/lossless update encodings with exact byte accounting.
 //
 // Every strategy answers two questions: what floats does the receiver
-// decode, and exactly how many bytes crossed the wire. The wire format is
-// never materialised as a byte stream (the simulation moves decoded floats
-// in-process); `Encoded::wire_bytes` is the exact size the documented
-// serialisation below would occupy, so byte accounting is testable to the
-// byte rather than estimated.
+// decode, and exactly how many bytes crossed the wire. `Encoded::wire_bytes`
+// is the exact size the wire layout below occupies; `wire::serialize`
+// (src/wire/payload.h) materialises it and is required to produce exactly
+// that many bytes, so byte accounting is an enforced invariant rather than
+// an estimate. The in-process simulation still moves decoded floats by
+// default; `CommConfig::byte_exact` routes every transfer through the real
+// byte buffers instead (bit-identical by construction).
 //
-// Wire layout (accounted, not materialised). Identity is an unframed raw
+// Wire layout (see docs/WIRE_FORMAT.md). Identity is an unframed raw
 // float stream — exactly 4*dim bytes, matching the closed-form CommModel so
 // default runs reproduce the seed's MB accounting bit-for-bit. Every other
-// codec is framed with an 8-byte header (u32 original dim, u32 codec tag):
+// codec is framed with an 8-byte header (u32 original dim, u32 codec tag =
+// kind | param << 8, little-endian):
 //   identity:  4*dim                                        (raw floats)
 //   topk:      header + 4 (k) + 4*k (u32 indices) + 4*k (float values)
 //   qsgd-b:    header + 8 (float lo, hi) + ceil(dim*b/8)    (packed levels)
@@ -26,8 +29,22 @@
 
 namespace fedtrip::comm {
 
+/// Wire codec kinds — the stable on-the-wire identifiers stored in the
+/// framed message header's tag field (docs/WIRE_FORMAT.md). Never renumber.
+enum class Codec : std::uint8_t {
+  kIdentity = 0,  // unframed raw floats; kind is carried out of band
+  kTopK = 1,
+  kQsgd = 2,
+  kRandMask = 3,
+};
+
+/// Human-readable kind name ("identity", "topk", ...).
+const char* codec_kind_name(Codec codec);
+
 /// One compressed tensor message plus its exact serialized size.
 struct Encoded {
+  Codec codec = Codec::kIdentity;      // which wire encoding this is
+  std::uint8_t level_bits = 0;         // qsgd quantization bit width (else 0)
   std::size_t dim = 0;                 // original float count
   std::vector<std::uint32_t> indices;  // sparse coordinates (top-k)
   std::vector<float> values;           // dense or sparse float payload

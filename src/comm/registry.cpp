@@ -36,9 +36,11 @@ ChannelPtr make_channel(const CommConfig& config) {
   std::string up = config.uplink;
   const bool ef_down = strip_ef_prefix(down);
   const bool ef_up = strip_ef_prefix(up);
-  return std::make_unique<CompressedChannel>(
+  auto channel = std::make_unique<CompressedChannel>(
       make_compressor(down, config.params),
       make_compressor(up, config.params), ef_down, ef_up);
+  channel->set_byte_exact(config.byte_exact);
+  return channel;
 }
 
 }  // namespace fedtrip::comm

@@ -6,40 +6,58 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "wire/container.h"
+
 namespace fedtrip::fl {
 
 namespace {
-constexpr char kMagic[8] = {'F', 'E', 'D', 'T', 'R', 'I', 'P', '1'};
+
+// Magic of the pre-wire checkpoint format (host-endian u64 count + raw
+// floats); still readable, never written.
+constexpr char kLegacyMagic[8] = {'F', 'E', 'D', 'T', 'R', 'I', 'P', '1'};
+
+std::vector<float> load_legacy(const std::vector<std::uint8_t>& buf,
+                               const std::string& path) {
+  const std::size_t header = sizeof(kLegacyMagic) + sizeof(std::uint64_t);
+  if (buf.size() < header) {
+    throw std::runtime_error("truncated checkpoint: " + path);
+  }
+  std::uint64_t n = 0;
+  std::memcpy(&n, buf.data() + sizeof(kLegacyMagic), sizeof(n));
+  if ((buf.size() - header) / sizeof(float) != n ||
+      (buf.size() - header) % sizeof(float) != 0) {
+    throw std::runtime_error("truncated checkpoint: " + path);
+  }
+  std::vector<float> params(static_cast<std::size_t>(n));
+  std::memcpy(params.data(), buf.data() + header, buf.size() - header);
+  return params;
 }
+
+}  // namespace
 
 void save_parameters(const std::string& path,
                      const std::vector<float>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint64_t n = params.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(params.data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
-  if (!out) throw std::runtime_error("write failed: " + path);
+  wire::Record rec{wire::RecordType::kCheckpoint, 0,
+                   wire::serialize_params(params)};
+  wire::write_container_file(path, {rec});
 }
 
 std::vector<float> load_parameters_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("bad checkpoint header: " + path);
+  const auto buf = wire::read_file(path);
+  if (buf.size() >= sizeof(kLegacyMagic) &&
+      std::memcmp(buf.data(), kLegacyMagic, sizeof(kLegacyMagic)) == 0) {
+    return load_legacy(buf, path);
   }
-  std::uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!in) throw std::runtime_error("truncated checkpoint: " + path);
-  std::vector<float> params(static_cast<std::size_t>(n));
-  in.read(reinterpret_cast<char*>(params.data()),
-          static_cast<std::streamsize>(n * sizeof(float)));
-  if (!in) throw std::runtime_error("truncated checkpoint: " + path);
-  return params;
+  try {
+    for (const auto& rec : wire::read_container(buf.data(), buf.size())) {
+      if (rec.type == wire::RecordType::kCheckpoint) {
+        return wire::deserialize_params(rec.bytes.data(), rec.bytes.size());
+      }
+    }
+  } catch (const wire::WireError& e) {
+    throw std::runtime_error("bad checkpoint " + path + ": " + e.what());
+  }
+  throw std::runtime_error("no checkpoint record in " + path);
 }
 
 void save_history_csv(const std::string& path,

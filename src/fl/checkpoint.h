@@ -1,7 +1,8 @@
 // Checkpointing and result export.
 //
-//  - save/load of flat parameter vectors (binary, versioned header) so long
-//    experiments can resume and final models can be shipped;
+//  - save/load of flat parameter vectors as wire containers (the versioned
+//    FTWIRE format of docs/WIRE_FORMAT.md — the same byte format payloads
+//    use) so long experiments can resume and final models can be shipped;
 //  - CSV export of per-round histories for external plotting (the Fig 5/6/7
 //    series).
 #pragma once
@@ -13,12 +14,14 @@
 
 namespace fedtrip::fl {
 
-/// Writes a parameter vector to `path`. Throws std::runtime_error on I/O
-/// failure.
+/// Writes a parameter vector to `path` as an FTWIRE container with one
+/// checkpoint record. Throws std::runtime_error on I/O failure.
 void save_parameters(const std::string& path, const std::vector<float>& params);
 
-/// Reads a parameter vector written by save_parameters. Throws
-/// std::runtime_error on I/O failure or format mismatch.
+/// Reads a parameter vector written by save_parameters. Also accepts the
+/// pre-wire legacy format (magic "FEDTRIP1") as a one-way read shim, so
+/// checkpoints from older builds keep loading. Throws std::runtime_error on
+/// I/O failure or format mismatch.
 std::vector<float> load_parameters_file(const std::string& path);
 
 /// Writes a per-round history as CSV with a header row:

@@ -29,6 +29,8 @@ const std::vector<FlagSpec>& experiment_flags() {
       // Output and data.
       {"--out", "FILE", "write per-round history CSV"},
       {"--save-model", "FILE", "write final global model checkpoint"},
+      {"--load-model", "FILE",
+       "resume from a checkpoint: load the initial global model"},
       {"--idx-dir", "DIR", "load real IDX-format data instead of synthetic"},
       // Communication pipeline.
       {"--compressor", "NAME",
@@ -40,6 +42,9 @@ const std::vector<FlagSpec>& experiment_flags() {
       {"--mask-keep", "X", "randmask: fraction of coordinates kept"},
       {"--delta", nullptr,
        "compress the update delta w_k - w instead of w_k (uplink)"},
+      {"--byte-exact", nullptr,
+       "route every transfer through real serialized wire buffers "
+       "(bit-identical; validates the wire format end to end)"},
       {"--network", "P",
        "simulated network: none|uniform|heterogeneous|straggler"},
       {"--bandwidth", "X", "mean client bandwidth, Mbps"},

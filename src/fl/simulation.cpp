@@ -98,6 +98,16 @@ Simulation::Simulation(Simulation&&) noexcept = default;
 Simulation& Simulation::operator=(Simulation&&) noexcept = default;
 Simulation::~Simulation() = default;
 
+void Simulation::set_initial_params(const std::vector<float>& params) {
+  if (params.size() != global_params_.size()) {
+    throw std::invalid_argument(
+        "checkpoint has " + std::to_string(params.size()) +
+        " parameters, model expects " +
+        std::to_string(global_params_.size()));
+  }
+  global_params_ = params;
+}
+
 double Simulation::evaluate(const std::vector<float>& params) {
   nn::load_parameters(*eval_model_, params);
   const std::size_t total =
@@ -263,9 +273,11 @@ class RoundHost final : public sched::Host {
                      std::size_t round) override {
     Rng up_rng = comm_rng_.split(key);
     std::size_t bytes;
-    if (sim_.channel_->transparent(comm::Direction::kUp)) {
+    if (sim_.channel_->lossless(comm::Direction::kUp)) {
       // Lossless: the decode is bit-exact whether or not a delta was
-      // framed, so skip the delta round-trip (x - ref + ref re-rounds).
+      // framed, so skip the delta round-trip (x - ref + ref re-rounds) —
+      // keyed on losslessness, not transparency, so byte-exact mode stays
+      // bit-identical to this path while still moving real buffers.
       bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
                                       up_rng, 1, update.client_id);
       sim_.history_.put(update.client_id, update.params, round);

@@ -82,6 +82,12 @@ class Simulation {
   /// Evaluates parameters on the held-out test set (accuracy in [0, 1]).
   double evaluate(const std::vector<float>& params);
 
+  /// Replaces the initial global model (e.g. loaded from a checkpoint via
+  /// fl::load_parameters_file) before run()/run_reference() — the resume
+  /// path. Throws std::invalid_argument on a size mismatch with the
+  /// configured model.
+  void set_initial_params(const std::vector<float>& params);
+
   const data::Dataset& train_data() const { return data_.train; }
   const data::Dataset& test_data() const { return data_.test; }
   const data::Partition& partition() const { return partition_; }

@@ -1,0 +1,64 @@
+// Container files: the on-disk envelope around wire records.
+//
+// Every serialized artefact the system writes to disk — model checkpoints,
+// payload fixtures — is one container: an 8-byte header (6-byte magic
+// "FTWIRE", u16 version, little-endian) followed by framed records, each a
+// 16-byte record header (u32 type, u32 aux, u64 length) and `length` bytes
+// of record payload. Readers validate magic, version, and framing; any
+// corruption throws wire::WireError. Version policy: readers accept
+// exactly kVersion; a breaking layout change bumps it and must ship a read
+// shim for the previous version (docs/WIRE_FORMAT.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace fedtrip::wire {
+
+inline constexpr std::uint8_t kMagic[6] = {'F', 'T', 'W', 'I', 'R', 'E'};
+inline constexpr std::uint16_t kVersion = 1;
+/// Container header: magic + version.
+inline constexpr std::size_t kContainerHeaderBytes = 8;
+/// Record header: type + aux + length.
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+
+enum class RecordType : std::uint32_t {
+  /// Model checkpoint: u64 parameter count + that many f32s. aux = 0.
+  kCheckpoint = 1,
+  /// One compressed payload message (wire/payload.h layout). aux = the
+  /// payload tag (codec kind | param << 8) — identity is unframed, so the
+  /// kind must live in the envelope.
+  kPayload = 2,
+};
+
+struct Record {
+  RecordType type;
+  std::uint32_t aux = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// True when `data` starts with the container magic (any version).
+bool is_container(const std::uint8_t* data, std::size_t size);
+
+std::vector<std::uint8_t> write_container(const std::vector<Record>& records);
+void write_container_file(const std::string& path,
+                          const std::vector<Record>& records);
+
+/// Parses a container; throws WireError on bad magic, unsupported version,
+/// or truncated records.
+std::vector<Record> read_container(const std::uint8_t* data, std::size_t size);
+std::vector<Record> read_container_file(const std::string& path);
+
+/// kCheckpoint record payload: u64 count + f32[count].
+std::vector<std::uint8_t> serialize_params(const std::vector<float>& params);
+std::vector<float> deserialize_params(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Reads a whole file into memory; throws std::runtime_error on I/O
+/// failure (shared by the checkpoint loader and tools/wire_dump).
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace fedtrip::wire

@@ -1,0 +1,82 @@
+#include "wire/golden.h"
+
+#include <bit>
+#include <limits>
+
+#include "comm/compressor.h"
+#include "tensor/rng.h"
+#include "wire/payload.h"
+
+namespace fedtrip::wire::golden {
+
+namespace {
+
+std::vector<float> uniform_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0f, 1.0f);
+  return x;
+}
+
+Fixture payload_fixture(const std::string& filename, const comm::Encoded& e) {
+  Record rec{RecordType::kPayload, payload_tag(e), serialize(e)};
+  return {filename, write_container({rec})};
+}
+
+}  // namespace
+
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> out;
+
+  // identity: hand-built so the special values are pinned exactly —
+  // including the quiet-NaN bit pattern 0x7FC00000, signed zero, and ±Inf,
+  // which must survive the byte round-trip bit for bit.
+  {
+    comm::Encoded e;
+    e.codec = comm::Codec::kIdentity;
+    e.values = {0.0f,
+                -0.0f,
+                1.0f,
+                -1.5f,
+                3.14159274f,
+                std::numeric_limits<float>::infinity(),
+                -std::numeric_limits<float>::infinity(),
+                std::bit_cast<float>(std::uint32_t{0x7FC00000u})};
+    e.dim = e.values.size();
+    e.wire_bytes = 4 * e.dim;
+    out.push_back(payload_fixture("payload_identity.bin", e));
+  }
+
+  // The lossy codecs go through the real compressors, so the fixtures also
+  // freeze compressor behaviour (selection order, packing, mask seeding).
+  {
+    const auto x = uniform_vector(24, 2024);
+    Rng rng(11);  // unused by topk (deterministic selection)
+    out.push_back(payload_fixture(
+        "payload_topk.bin", comm::TopKCompressor(0.25f).compress(x, rng)));
+  }
+  {
+    const auto x = uniform_vector(16, 77);
+    Rng rng(99);  // drives the stochastic rounding
+    out.push_back(payload_fixture(
+        "payload_qsgd4.bin", comm::QsgdCompressor(4).compress(x, rng)));
+  }
+  {
+    const auto x = uniform_vector(12, 31);
+    Rng rng(55);  // draws the mask seed
+    out.push_back(payload_fixture(
+        "payload_randmask.bin",
+        comm::RandomMaskCompressor(0.5f).compress(x, rng)));
+  }
+
+  // Model checkpoint container.
+  {
+    Record rec{RecordType::kCheckpoint, 0,
+               serialize_params(uniform_vector(10, 7))};
+    out.push_back({"checkpoint.bin", write_container({rec})});
+  }
+
+  return out;
+}
+
+}  // namespace fedtrip::wire::golden

@@ -1,0 +1,33 @@
+// Golden wire-format fixtures.
+//
+// fixtures() deterministically rebuilds, in memory, the exact byte content
+// of every file committed under tests/data/wire/. tools/wire_golden_gen
+// writes them to disk (run once, commit the output);
+// tests/wire/golden_test.cpp asserts the committed files still byte-match
+// and still decode — so any accidental format break (endianness, framing,
+// a version bump without a shim) fails the build against frozen bytes, not
+// against freshly regenerated ones.
+//
+// Inputs are drawn with arithmetic-only Rng methods (uniform, next_u64 —
+// never normal(), whose libm calls vary across platforms), so the fixture
+// bytes are identical on every toolchain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wire/container.h"
+
+namespace fedtrip::wire::golden {
+
+struct Fixture {
+  std::string filename;               // under tests/data/wire/
+  std::vector<std::uint8_t> bytes;    // full container file content
+};
+
+/// All committed fixtures: one container per codec payload (identity with
+/// NaN/±Inf values, topk, qsgd4, randmask) plus a model checkpoint.
+std::vector<Fixture> fixtures();
+
+}  // namespace fedtrip::wire::golden

@@ -1,0 +1,153 @@
+#include "wire/payload.h"
+
+#include <string>
+
+namespace fedtrip::wire {
+
+namespace {
+
+using comm::Codec;
+using comm::Encoded;
+
+std::size_t packed_len(std::size_t dim, unsigned bits) {
+  return (dim * bits + 7) / 8;
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw WireError(what);
+}
+
+}  // namespace
+
+std::uint32_t payload_tag(const Encoded& e) {
+  return static_cast<std::uint32_t>(e.codec) |
+         (static_cast<std::uint32_t>(e.level_bits) << 8);
+}
+
+std::vector<std::uint8_t> serialize(const Encoded& e) {
+  WireWriter w;
+  switch (e.codec) {
+    case Codec::kIdentity:
+      check(e.values.size() == e.dim, "identity: values.size() != dim");
+      for (float v : e.values) w.f32(v);
+      break;
+    case Codec::kTopK:
+      check(e.indices.size() == e.values.size(),
+            "topk: indices/values size mismatch");
+      check(e.indices.size() <= e.dim, "topk: k > dim");
+      w.u32(static_cast<std::uint32_t>(e.dim));
+      w.u32(payload_tag(e));
+      w.u32(static_cast<std::uint32_t>(e.indices.size()));
+      for (std::uint32_t i : e.indices) w.u32(i);
+      for (float v : e.values) w.f32(v);
+      break;
+    case Codec::kQsgd:
+      check(e.level_bits >= 1 && e.level_bits <= 8,
+            "qsgd: bit width out of [1, 8]");
+      check(e.packed.size() == packed_len(e.dim, e.level_bits),
+            "qsgd: packed length disagrees with dim and bit width");
+      w.u32(static_cast<std::uint32_t>(e.dim));
+      w.u32(payload_tag(e));
+      w.f32(e.lo);
+      w.f32(e.hi);
+      w.bytes(e.packed.data(), e.packed.size());
+      break;
+    case Codec::kRandMask:
+      check(e.values.size() <= e.dim, "randmask: k > dim");
+      w.u32(static_cast<std::uint32_t>(e.dim));
+      w.u32(payload_tag(e));
+      w.u64(e.mask_seed);
+      w.u32(static_cast<std::uint32_t>(e.values.size()));
+      for (float v : e.values) w.f32(v);
+      break;
+  }
+  // The accounting invariant: serialized bytes equal the charged bytes.
+  check(w.size() == e.wire_bytes,
+        "serialized " + std::string(comm::codec_kind_name(e.codec)) +
+            " payload is " + std::to_string(w.size()) +
+            " bytes but wire_bytes charged " + std::to_string(e.wire_bytes));
+  return w.take();
+}
+
+Encoded deserialize_payload(const std::uint8_t* data, std::size_t size,
+                            Codec codec) {
+  // The caller supplies the expected kind from out-of-band context (a
+  // container record's aux field, a channel's configuration) — an unknown
+  // value there is itself malformed input, not a programming error.
+  check(codec == Codec::kIdentity || codec == Codec::kTopK ||
+            codec == Codec::kQsgd || codec == Codec::kRandMask,
+        "unknown codec kind " +
+            std::to_string(static_cast<unsigned>(codec)));
+  Encoded e;
+  e.codec = codec;
+  e.wire_bytes = size;
+
+  if (codec == Codec::kIdentity) {
+    check(size % 4 == 0, "identity payload size not a multiple of 4");
+    e.dim = size / 4;
+    WireReader r(data, size);
+    e.values.resize(e.dim);
+    for (auto& v : e.values) v = r.f32();
+    r.expect_end();
+    return e;
+  }
+
+  WireReader r(data, size);
+  e.dim = r.u32();
+  const std::uint32_t tag = r.u32();
+  check((tag & 0xFF) == static_cast<std::uint32_t>(codec),
+        "codec tag mismatch: buffer says kind " + std::to_string(tag & 0xFF) +
+            ", expected " + std::string(comm::codec_kind_name(codec)));
+  e.level_bits = static_cast<std::uint8_t>((tag >> 8) & 0xFF);
+  check((tag >> 16) == 0, "reserved tag bits set");
+
+  switch (codec) {
+    case Codec::kTopK: {
+      check(e.level_bits == 0, "topk: nonzero tag parameter");
+      const std::uint32_t k = r.u32();
+      check(k <= e.dim, "topk: k > dim");
+      check(e.dim == 0 || k >= 1, "topk: empty selection for nonzero dim");
+      check(size == 12 + 8 * static_cast<std::size_t>(k),
+            "topk: record size disagrees with k");
+      e.indices.resize(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        e.indices[j] = r.u32();
+        check(e.indices[j] < e.dim, "topk: index out of range");
+        check(j == 0 || e.indices[j] > e.indices[j - 1],
+              "topk: indices not strictly increasing");
+      }
+      e.values.resize(k);
+      for (auto& v : e.values) v = r.f32();
+      break;
+    }
+    case Codec::kQsgd: {
+      check(e.level_bits >= 1 && e.level_bits <= 8,
+            "qsgd: bit width out of [1, 8]");
+      e.lo = r.f32();
+      e.hi = r.f32();
+      const std::size_t plen = packed_len(e.dim, e.level_bits);
+      check(size == 16 + plen, "qsgd: record size disagrees with dim");
+      e.packed.resize(plen);
+      r.bytes(e.packed.data(), plen);
+      break;
+    }
+    case Codec::kRandMask: {
+      check(e.level_bits == 0, "randmask: nonzero tag parameter");
+      e.mask_seed = r.u64();
+      const std::uint32_t k = r.u32();
+      check(k <= e.dim, "randmask: k > dim");
+      check(e.dim == 0 || k >= 1, "randmask: empty selection for nonzero dim");
+      check(size == 20 + 4 * static_cast<std::size_t>(k),
+            "randmask: record size disagrees with k");
+      e.values.resize(k);
+      for (auto& v : e.values) v = r.f32();
+      break;
+    }
+    case Codec::kIdentity:
+      break;  // handled above
+  }
+  r.expect_end();
+  return e;
+}
+
+}  // namespace fedtrip::wire

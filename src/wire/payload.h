@@ -1,0 +1,48 @@
+// Payload serialization: the byte form of every comm::Encoded message.
+//
+// serialize() materialises exactly the layout comm/compressor.h accounts —
+// `serialize(e).size() == e.wire_bytes` is enforced on every call (a
+// mismatch throws, turning the byte accounting the compressors have always
+// charged into a falsifiable invariant). deserialize_payload() parses the
+// bytes back with full validation: framing, exact record sizes, index
+// bounds and ordering, quantization bit widths — malformed buffers throw
+// wire::WireError, they never read or write out of bounds.
+//
+// Identity is an unframed raw float stream (so the default channel's bytes
+// match the closed-form CommModel exactly); its kind therefore travels out
+// of band — callers pass the expected codec kind, which the framed codecs
+// additionally verify against the buffer's tag. Layout details and the
+// version policy live in docs/WIRE_FORMAT.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/compressor.h"
+#include "wire/wire.h"
+
+namespace fedtrip::wire {
+
+/// The u32 tag field of a framed message header: low byte = codec kind,
+/// second byte = codec parameter (qsgd bit width; 0 elsewhere). Upper two
+/// bytes are reserved and must be zero.
+std::uint32_t payload_tag(const comm::Encoded& e);
+
+/// Serializes `e` to exactly `e.wire_bytes` bytes. Throws WireError if the
+/// encoding is internally inconsistent (field sizes disagreeing with dim/k,
+/// or a produced size that differs from the accounted wire_bytes).
+std::vector<std::uint8_t> serialize(const comm::Encoded& e);
+
+/// Parses a message produced by serialize(). `codec` is the expected kind
+/// (required: identity is unframed). Throws WireError on any malformed
+/// input: wrong tag, truncated or oversized buffer, k > dim, indices out of
+/// range or not strictly increasing, bad quantization bit width.
+comm::Encoded deserialize_payload(const std::uint8_t* data, std::size_t size,
+                                  comm::Codec codec);
+
+inline comm::Encoded deserialize_payload(const std::vector<std::uint8_t>& buf,
+                                         comm::Codec codec) {
+  return deserialize_payload(buf.data(), buf.size(), codec);
+}
+
+}  // namespace fedtrip::wire

@@ -1,0 +1,162 @@
+// Wire primitives: little-endian byte buffers every serialized artefact in
+// the system is built from (compressed payloads, checkpoints, golden
+// fixtures — see docs/WIRE_FORMAT.md).
+//
+// WireWriter appends fixed-width little-endian integers and IEEE-754 floats
+// to a growable buffer; WireReader parses them back with hard bounds
+// checking — every overrun, trailing byte, or malformed field throws
+// WireError instead of reading out of bounds, which is what makes the
+// deserializers safe on attacker-controlled (or merely corrupted) input.
+// Byte order is fixed little-endian by explicit shifts, not memcpy of host
+// integers, so buffers are portable across architectures.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fedtrip::wire {
+
+/// Every malformed-buffer condition surfaces as this exception; callers
+/// that hand untrusted bytes to a deserializer catch exactly one type.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian buffer builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  /// IEEE-754 bit pattern, little-endian: NaN payloads and signed zeros
+  /// round-trip exactly.
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void bytes(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty payloads may pass data == nullptr
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian parser over a borrowed buffer.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    require(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void bytes(void* out, std::size_t n) {
+    if (n == 0) return;  // empty reads may pass out == nullptr
+    require(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Throws WireError unless at least `n` bytes remain.
+  void require(std::size_t n) const {
+    if (n > size_ - pos_) {
+      throw WireError("truncated buffer: need " + std::to_string(n) +
+                      " bytes at offset " + std::to_string(pos_) +
+                      ", have " + std::to_string(size_ - pos_));
+    }
+  }
+  /// Throws WireError unless the buffer was consumed exactly.
+  void expect_end() const {
+    if (pos_ != size_) {
+      throw WireError("trailing bytes: " + std::to_string(size_ - pos_) +
+                      " unconsumed at offset " + std::to_string(pos_));
+    }
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fedtrip::wire

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+
+#include "wire/container.h"
 
 namespace fedtrip::fl {
 namespace {
@@ -38,6 +41,57 @@ TEST_F(CheckpointTest, LargeParamsRoundTrip) {
   }
   save_parameters(path, params);
   EXPECT_EQ(load_parameters_file(path), params);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, WritesWireContainerFormat) {
+  // Checkpoints are FTWIRE containers (docs/WIRE_FORMAT.md) with one
+  // checkpoint record — the same byte format payloads use.
+  const std::string path = temp("wirefmt.bin");
+  save_parameters(path, {1.0f, 2.0f});
+  const auto buf = wire::read_file(path);
+  ASSERT_TRUE(wire::is_container(buf.data(), buf.size()));
+  const auto records = wire::read_container(buf.data(), buf.size());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, wire::RecordType::kCheckpoint);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LegacyFormatStillLoads) {
+  // The pre-wire format (magic FEDTRIP1, host-endian u64 count, raw
+  // floats) is a read shim: old checkpoints load, new saves don't emit it.
+  const std::string path = temp("legacy_ckpt.bin");
+  const std::vector<float> params{0.5f, -1.5f, 2.0f};
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'F', 'E', 'D', 'T', 'R', 'I', 'P', '1'};
+    out.write(magic, sizeof(magic));
+    const std::uint64_t n = params.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(params.data()),
+              static_cast<std::streamsize>(params.size() * sizeof(float)));
+  }
+  EXPECT_EQ(load_parameters_file(path), params);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, LegacyTruncatedThrows) {
+  const std::string path = temp("legacy_trunc.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'F', 'E', 'D', 'T', 'R', 'I', 'P', '1'};
+    out.write(magic, sizeof(magic));
+    const std::uint64_t n = 100;  // claims 100 floats, carries none
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  }
+  EXPECT_THROW(load_parameters_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ContainerWithoutCheckpointRecordThrows) {
+  const std::string path = temp("nockpt.bin");
+  wire::write_container_file(path, {{wire::RecordType::kPayload, 0, {}}});
+  EXPECT_THROW(load_parameters_file(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

@@ -54,6 +54,10 @@ TEST(FlagsTest, CoversEverySubsystemsFlags) {
         "--avail-on", "--avail-off", "--deadline"}) {
     EXPECT_TRUE(names.count(flag)) << flag;
   }
+  // The wire subsystem flags (PR 4).
+  for (const char* flag : {"--byte-exact", "--load-model", "--save-model"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
 }
 
 TEST(FlagsTest, ValuePlaceholdersRenderInUsage) {

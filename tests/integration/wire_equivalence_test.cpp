@@ -1,0 +1,96 @@
+// The acceptance gate of the byte-exact channel mode: a full compressed
+// run whose every transfer round-trips through real serialized buffers
+// must be bit-identical to the in-process path — same history records,
+// same exported CSV, same byte accounting — for every codec family,
+// with error feedback and delta compression composed in, under the
+// event-driven schedulers as well as the classic sync loop.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "algorithms/registry.h"
+#include "fl/checkpoint.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+fl::RunResult run_with(fl::ExperimentConfig cfg, bool byte_exact) {
+  cfg.comm.byte_exact = byte_exact;
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  return sim.run();
+}
+
+std::string csv_of(const fl::RunResult& result) {
+  const std::string path = ::testing::TempDir() + "/wire_eq.csv";
+  fl::save_history_csv(path, result.history);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+void expect_bit_identical(const fl::ExperimentConfig& cfg,
+                          const std::string& label) {
+  const auto in_process = run_with(cfg, false);
+  const auto byte_exact = run_with(cfg, true);
+  EXPECT_EQ(in_process.final_params, byte_exact.final_params) << label;
+  EXPECT_EQ(csv_of(in_process), csv_of(byte_exact)) << label;
+  EXPECT_EQ(in_process.comm_stats.bytes_down,
+            byte_exact.comm_stats.bytes_down)
+      << label;
+  EXPECT_EQ(in_process.comm_stats.bytes_up, byte_exact.comm_stats.bytes_up)
+      << label;
+  EXPECT_EQ(in_process.comm_stats.messages_up,
+            byte_exact.comm_stats.messages_up)
+      << label;
+}
+
+TEST(WireEquivalenceTest, EveryCodecFamilyBitIdentical) {
+  for (const char* uplink :
+       {"identity", "topk", "qsgd4", "randmask", "ef+topk"}) {
+    fl::ExperimentConfig cfg = fl::testing::tiny_config();
+    cfg.comm.uplink = uplink;
+    expect_bit_identical(cfg, uplink);
+  }
+}
+
+TEST(WireEquivalenceTest, LosslessUplinkWithDeltaBitIdentical) {
+  // The trap combination: a lossless uplink skips the delta round-trip
+  // ((x - ref) + ref re-rounds floats), and must keep skipping it in
+  // byte-exact mode — the skip is keyed on losslessness, not on the
+  // zero-copy transparency shortcut byte-exact disables.
+  fl::ExperimentConfig cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "identity";
+  cfg.comm.delta_uplink = true;
+  expect_bit_identical(cfg, "identity/delta");
+}
+
+TEST(WireEquivalenceTest, DownlinkAndDeltaComposition) {
+  fl::ExperimentConfig cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "ef+qsgd8";
+  cfg.comm.downlink = "topk";
+  cfg.comm.params.topk_fraction = 0.1f;
+  cfg.comm.delta_uplink = true;
+  expect_bit_identical(cfg, "ef+qsgd8/topk/delta");
+}
+
+TEST(WireEquivalenceTest, EventDrivenSchedulerBitIdentical) {
+  // Async exercises per-dispatch unicast downlinks and out-of-order
+  // arrivals; the byte path must not perturb the virtual clock.
+  fl::ExperimentConfig cfg = fl::testing::tiny_config();
+  cfg.comm.uplink = "topk";
+  cfg.comm.params.topk_fraction = 0.1f;
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  cfg.sched.policy = "async";
+  expect_bit_identical(cfg, "async/topk/straggler");
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,95 @@
+// Format-stability gate: the files committed under tests/data/wire/ must
+// byte-match what src/wire/golden.cpp builds today AND still decode. An
+// accidental layout change (endianness, struct padding, framing, a version
+// bump without a shim) breaks the byte comparison against frozen fixtures;
+// an intentional change requires regenerating them with wire_golden_gen —
+// a deliberate, reviewable act.
+#include "wire/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/compressor.h"
+#include "wire/payload.h"
+
+namespace fedtrip::wire {
+namespace {
+
+const std::string kFixtureDir =
+    std::string(FEDTRIP_SOURCE_DIR) + "/tests/data/wire/";
+
+std::vector<std::uint8_t> read_fixture(const std::string& filename) {
+  std::ifstream in(kFixtureDir + filename, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in) << "missing fixture " << kFixtureDir << filename
+                  << " — regenerate with: ./wire_golden_gen "
+                  << kFixtureDir;
+  if (!in) return {};
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(size));
+  return buf;
+}
+
+TEST(WireGoldenTest, CommittedFixturesByteMatch) {
+  const auto fixtures = golden::fixtures();
+  ASSERT_FALSE(fixtures.empty());
+  for (const auto& f : fixtures) {
+    const auto committed = read_fixture(f.filename);
+    EXPECT_EQ(committed, f.bytes)
+        << f.filename << " drifted from src/wire/golden.cpp — either the "
+        << "wire format changed accidentally, or an intentional change "
+        << "needs regenerated fixtures (wire_golden_gen) and a "
+        << "docs/WIRE_FORMAT.md update";
+  }
+}
+
+TEST(WireGoldenTest, CommittedFixturesDecode) {
+  for (const auto& f : golden::fixtures()) {
+    const auto committed = read_fixture(f.filename);
+    ASSERT_FALSE(committed.empty()) << f.filename;
+    const auto records = read_container(committed.data(), committed.size());
+    ASSERT_EQ(records.size(), 1u) << f.filename;
+    const auto& rec = records[0];
+    if (rec.type == RecordType::kCheckpoint) {
+      const auto params =
+          deserialize_params(rec.bytes.data(), rec.bytes.size());
+      EXPECT_EQ(params.size(), 10u) << f.filename;
+    } else {
+      ASSERT_EQ(rec.type, RecordType::kPayload) << f.filename;
+      const auto kind = static_cast<comm::Codec>(rec.aux & 0xFF);
+      const comm::Encoded e =
+          deserialize_payload(rec.bytes.data(), rec.bytes.size(), kind);
+      EXPECT_GT(e.dim, 0u) << f.filename;
+      EXPECT_EQ(e.wire_bytes, rec.bytes.size()) << f.filename;
+    }
+  }
+}
+
+TEST(WireGoldenTest, IdentityFixtureCarriesSpecialValues) {
+  // Semantic anchor independent of the generator: the identity fixture's
+  // exact special-value bit patterns, decoded from the committed bytes.
+  const auto committed = read_fixture("payload_identity.bin");
+  ASSERT_FALSE(committed.empty());
+  const auto records = read_container(committed.data(), committed.size());
+  ASSERT_EQ(records.size(), 1u);
+  const comm::Encoded e =
+      deserialize_payload(records[0].bytes.data(), records[0].bytes.size(),
+                          comm::Codec::kIdentity);
+  ASSERT_EQ(e.dim, 8u);
+  EXPECT_EQ(e.values[0], 0.0f);
+  EXPECT_TRUE(std::signbit(e.values[1]));  // -0.0f
+  EXPECT_EQ(e.values[2], 1.0f);
+  EXPECT_EQ(e.values[5], std::numeric_limits<float>::infinity());
+  EXPECT_EQ(e.values[6], -std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isnan(e.values[7]));
+}
+
+}  // namespace
+}  // namespace fedtrip::wire

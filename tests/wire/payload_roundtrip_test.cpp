@@ -1,0 +1,228 @@
+// Payload serialization round-trip properties, for every registered
+// compressor: serialized size equals the accounted wire_bytes (the PR-1
+// promise, now falsifiable), decode-after-round-trip is bit-identical to
+// the in-process decode, sizes 0 and 1 work, NaN/Inf values survive, and
+// malformed buffers (truncated, oversized, corrupt framing, hostile
+// indices) are rejected with WireError rather than corrupting memory.
+#include "wire/payload.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "comm/registry.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::wire {
+namespace {
+
+using comm::Codec;
+using comm::Encoded;
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+std::vector<comm::CompressorPtr> registry_compressors() {
+  comm::CommParams params;  // defaults: topk 1%, qsgd 8 bit, mask 10%
+  std::vector<comm::CompressorPtr> out;
+  for (const auto& name : comm::all_compressors()) {
+    out.push_back(comm::make_compressor(name, params));
+  }
+  out.push_back(std::make_unique<comm::QsgdCompressor>(1));
+  out.push_back(std::make_unique<comm::QsgdCompressor>(3));
+  out.push_back(std::make_unique<comm::TopKCompressor>(1.0f));
+  out.push_back(std::make_unique<comm::RandomMaskCompressor>(1.0f));
+  return out;
+}
+
+TEST(PayloadRoundTripTest, EveryRegistryCompressorEverySize) {
+  for (const auto& codec : registry_compressors()) {
+    for (std::size_t dim : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                            std::size_t{3}, std::size_t{17},
+                            std::size_t{256}, std::size_t{1000}}) {
+      Rng rng(dim * 31 + 7);
+      const auto x = random_vector(dim, dim + 1);
+      const Encoded e = codec->compress(x, rng);
+
+      const auto buf = serialize(e);
+      // The enforced invariant: materialised bytes == accounted bytes ==
+      // the data-independent prediction.
+      EXPECT_EQ(buf.size(), e.wire_bytes) << codec->name() << " dim " << dim;
+      EXPECT_EQ(buf.size(), codec->wire_bytes(dim))
+          << codec->name() << " dim " << dim;
+
+      const Encoded rx = deserialize_payload(buf, e.codec);
+      EXPECT_EQ(rx.dim, e.dim);
+      EXPECT_EQ(rx.wire_bytes, buf.size());
+      // Decode after the byte round-trip is bit-identical to the
+      // in-process decode.
+      EXPECT_EQ(codec->decompress(rx), codec->decompress(e))
+          << codec->name() << " dim " << dim;
+    }
+  }
+}
+
+TEST(PayloadRoundTripTest, IdentityNanInfBitExact) {
+  comm::IdentityCompressor id;
+  Rng rng(1);
+  std::vector<float> x = {std::numeric_limits<float>::quiet_NaN(),
+                          std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity(),
+                          -0.0f,
+                          std::numeric_limits<float>::denorm_min()};
+  const Encoded e = id.compress(x, rng);
+  const auto y = id.decompress(deserialize_payload(serialize(e), e.codec));
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(y[i]),
+              std::bit_cast<std::uint32_t>(x[i]))
+        << i;
+  }
+}
+
+TEST(PayloadRoundTripTest, SparseValuesCarryNanInf) {
+  // Hand-built top-k payload whose retained values are non-finite: the
+  // wire layer must not interpret floats, only move their bit patterns.
+  Encoded e;
+  e.codec = Codec::kTopK;
+  e.dim = 10;
+  e.indices = {2, 7};
+  e.values = {std::numeric_limits<float>::quiet_NaN(),
+              -std::numeric_limits<float>::infinity()};
+  e.wire_bytes = 12 + 8 * e.values.size();
+  const Encoded rx = deserialize_payload(serialize(e), Codec::kTopK);
+  EXPECT_EQ(rx.indices, e.indices);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(rx.values[0]),
+            std::bit_cast<std::uint32_t>(e.values[0]));
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(rx.values[1]),
+            std::bit_cast<std::uint32_t>(e.values[1]));
+}
+
+TEST(PayloadRoundTripTest, EveryTruncationRejected) {
+  for (const auto& codec : registry_compressors()) {
+    Rng rng(3);
+    const auto x = random_vector(33, 5);
+    const Encoded e = codec->compress(x, rng);
+    const auto buf = serialize(e);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      // Identity prefixes that stay float-aligned decode to a shorter
+      // vector by design (dim travels out of band); all else must throw.
+      if (e.codec == Codec::kIdentity && cut % 4 == 0) continue;
+      EXPECT_THROW(deserialize_payload(buf.data(), cut, e.codec), WireError)
+          << codec->name() << " cut " << cut;
+    }
+  }
+}
+
+TEST(PayloadRoundTripTest, OversizedBufferRejected) {
+  for (const auto& codec : registry_compressors()) {
+    Rng rng(3);
+    const Encoded e = codec->compress(random_vector(16, 9), rng);
+    auto buf = serialize(e);
+    buf.push_back(0);
+    if (e.codec == Codec::kIdentity) {
+      // Still misaligned for identity; aligned oversize changes dim, which
+      // the caller's own dim check catches — pad to alignment and verify
+      // the parsed dim grows rather than silently truncating.
+      buf.insert(buf.end(), {0, 0, 0});
+      EXPECT_EQ(deserialize_payload(buf, e.codec).dim, e.dim + 1);
+    } else {
+      EXPECT_THROW(deserialize_payload(buf, e.codec), WireError)
+          << codec->name();
+    }
+  }
+}
+
+TEST(PayloadRoundTripTest, WrongKindTagRejected) {
+  Rng rng(3);
+  comm::TopKCompressor topk(0.25f);
+  const auto buf = serialize(topk.compress(random_vector(16, 9), rng));
+  EXPECT_THROW(deserialize_payload(buf, Codec::kRandMask), WireError);
+  EXPECT_THROW(deserialize_payload(buf, Codec::kQsgd), WireError);
+}
+
+TEST(PayloadRoundTripTest, ReservedTagBitsRejected) {
+  Rng rng(3);
+  comm::TopKCompressor topk(0.25f);
+  auto buf = serialize(topk.compress(random_vector(16, 9), rng));
+  buf[6] = 1;  // tag byte 2 (reserved)
+  EXPECT_THROW(deserialize_payload(buf, Codec::kTopK), WireError);
+}
+
+TEST(PayloadRoundTripTest, HostileIndicesRejected) {
+  Rng rng(3);
+  comm::TopKCompressor topk(0.5f);
+  const Encoded e = topk.compress(random_vector(8, 9), rng);
+  {
+    // Index out of range: would be an OOB write in decompress.
+    Encoded bad = e;
+    bad.indices.back() = 1000;
+    EXPECT_THROW(deserialize_payload(serialize(bad), Codec::kTopK),
+                 WireError);
+  }
+  {
+    // Duplicate/unsorted indices: non-canonical encodings are rejected.
+    Encoded bad = e;
+    bad.indices[1] = bad.indices[0];
+    EXPECT_THROW(deserialize_payload(serialize(bad), Codec::kTopK),
+                 WireError);
+  }
+}
+
+TEST(PayloadRoundTripTest, HostileQsgdBitsRejected) {
+  Rng rng(3);
+  comm::QsgdCompressor qsgd(8);
+  auto buf = serialize(qsgd.compress(random_vector(16, 9), rng));
+  buf[5] = 0;  // tag param byte: bits = 0
+  EXPECT_THROW(deserialize_payload(buf, Codec::kQsgd), WireError);
+  buf[5] = 9;  // bits = 9 (and the packed length no longer matches)
+  EXPECT_THROW(deserialize_payload(buf, Codec::kQsgd), WireError);
+}
+
+TEST(PayloadRoundTripTest, KLargerThanDimRejected) {
+  Encoded e;
+  e.codec = Codec::kRandMask;
+  e.dim = 2;
+  e.mask_seed = 42;
+  e.values = {1.0f, 2.0f, 3.0f};  // k = 3 > dim
+  e.wire_bytes = 20 + 4 * e.values.size();
+  EXPECT_THROW(serialize(e), WireError);  // writer refuses to produce it
+  // Hand-craft the same bytes to test the reader independently.
+  WireWriter w;
+  w.u32(2);
+  w.u32(static_cast<std::uint32_t>(Codec::kRandMask));
+  w.u64(42);
+  w.u32(3);
+  for (float v : e.values) w.f32(v);
+  EXPECT_THROW(deserialize_payload(w.buffer(), Codec::kRandMask), WireError);
+}
+
+TEST(PayloadRoundTripTest, UnknownCodecKindRejected) {
+  // A container record whose aux byte names a kind this build doesn't
+  // know must throw, not skip validation (the switch would fall through).
+  WireWriter w;
+  w.u32(1);
+  w.u32(4);  // kind 4: unknown
+  EXPECT_THROW(deserialize_payload(w.buffer(), static_cast<Codec>(4)),
+               WireError);
+}
+
+TEST(PayloadRoundTripTest, SerializeEnforcesAccounting) {
+  // A payload whose wire_bytes disagrees with its content is an accounting
+  // bug; serialize must refuse rather than ship mis-billed bytes.
+  Rng rng(3);
+  comm::TopKCompressor topk(0.25f);
+  Encoded e = topk.compress(random_vector(16, 9), rng);
+  e.wire_bytes += 1;
+  EXPECT_THROW(serialize(e), WireError);
+}
+
+}  // namespace
+}  // namespace fedtrip::wire

@@ -1,0 +1,172 @@
+// Wire primitives: little-endian byte order pinned to exact bytes, IEEE
+// bit-pattern float round-trips (NaN payloads included), hard bounds
+// checking on the reader, and container framing validation.
+#include "wire/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+
+#include "wire/container.h"
+
+namespace fedtrip::wire {
+namespace {
+
+TEST(WireWriterTest, LittleEndianByteOrderPinned) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x0102);
+  w.u32(0x01020304u);
+  w.u64(0x0102030405060708ull);
+  const std::vector<std::uint8_t> expected = {
+      0xAB,                                            // u8
+      0x02, 0x01,                                      // u16 LE
+      0x04, 0x03, 0x02, 0x01,                          // u32 LE
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // u64 LE
+  };
+  EXPECT_EQ(w.buffer(), expected);
+}
+
+TEST(WireWriterTest, FloatIsIeeeBitPatternLittleEndian) {
+  WireWriter w;
+  w.f32(1.0f);  // 0x3F800000
+  const std::vector<std::uint8_t> expected = {0x00, 0x00, 0x80, 0x3F};
+  EXPECT_EQ(w.buffer(), expected);
+}
+
+TEST(WireRoundTripTest, AllPrimitiveWidths) {
+  WireWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0xDEADBEEFu);
+  w.u64(0xFEEDFACECAFEBEEFull);
+  w.f32(-2.5f);
+  w.f64(3.141592653589793);
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u16(), 65535u);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(r.f32(), -2.5f);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(WireRoundTripTest, NanBitPatternPreserved) {
+  // A specific quiet-NaN payload must survive, not just "some NaN".
+  const auto nan_in = std::bit_cast<float>(std::uint32_t{0x7FC00123u});
+  WireWriter w;
+  w.f32(nan_in);
+  w.f32(std::numeric_limits<float>::infinity());
+  w.f32(-std::numeric_limits<float>::infinity());
+  WireReader r(w.buffer());
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(r.f32()), 0x7FC00123u);
+  EXPECT_EQ(r.f32(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(r.f32(), -std::numeric_limits<float>::infinity());
+}
+
+TEST(WireReaderTest, OverrunThrowsNotReads) {
+  WireWriter w;
+  w.u16(42);
+  WireReader r(w.buffer());
+  EXPECT_THROW(r.u32(), WireError);
+  // The failed read must not have consumed anything.
+  EXPECT_EQ(r.u16(), 42u);
+  EXPECT_THROW(r.u8(), WireError);
+}
+
+TEST(WireReaderTest, TrailingBytesDetected) {
+  WireWriter w;
+  w.u32(1);
+  w.u8(0);
+  WireReader r(w.buffer());
+  r.u32();
+  EXPECT_THROW(r.expect_end(), WireError);
+}
+
+TEST(WireReaderTest, EmptyBufferSafe) {
+  WireReader r(nullptr, 0);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.u8(), WireError);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+// ------------------------------------------------------------- container
+
+TEST(ContainerTest, RoundTripsRecords) {
+  std::vector<Record> records;
+  records.push_back({RecordType::kCheckpoint, 0, {1, 2, 3}});
+  records.push_back({RecordType::kPayload, 0x102, {}});  // empty payload ok
+  const auto buf = write_container(records);
+  EXPECT_TRUE(is_container(buf.data(), buf.size()));
+
+  const auto back = read_container(buf.data(), buf.size());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].type, RecordType::kCheckpoint);
+  EXPECT_EQ(back[0].bytes, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(back[1].type, RecordType::kPayload);
+  EXPECT_EQ(back[1].aux, 0x102u);
+  EXPECT_TRUE(back[1].bytes.empty());
+}
+
+TEST(ContainerTest, HeaderLayoutPinned) {
+  const auto buf = write_container({});
+  // "FTWIRE" + u16 version 1 little-endian.
+  const std::vector<std::uint8_t> expected = {'F', 'T', 'W', 'I',
+                                              'R', 'E', 1,   0};
+  EXPECT_EQ(buf, expected);
+}
+
+TEST(ContainerTest, RejectsBadMagic) {
+  std::vector<std::uint8_t> buf = write_container({});
+  buf[0] = 'X';
+  EXPECT_THROW(read_container(buf.data(), buf.size()), WireError);
+}
+
+TEST(ContainerTest, RejectsUnsupportedVersion) {
+  std::vector<std::uint8_t> buf = write_container({});
+  buf[6] = 99;  // version low byte
+  EXPECT_THROW(read_container(buf.data(), buf.size()), WireError);
+}
+
+TEST(ContainerTest, RejectsTruncatedRecord) {
+  auto buf = write_container({{RecordType::kCheckpoint, 0, {1, 2, 3, 4}}});
+  // Cut exactly after the header: a valid, empty container.
+  EXPECT_TRUE(read_container(buf.data(), kContainerHeaderBytes).empty());
+  // Any cut inside a record must throw.
+  for (std::size_t cut = kContainerHeaderBytes + 1; cut < buf.size(); ++cut) {
+    EXPECT_THROW(read_container(buf.data(), cut), WireError) << cut;
+  }
+}
+
+TEST(ContainerTest, RejectsHostileRecordLength) {
+  // A record claiming ~2^63 bytes must throw cleanly before allocating.
+  WireWriter w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u16(kVersion);
+  w.u32(1);
+  w.u32(0);
+  w.u64(0x7FFFFFFFFFFFFFFFull);
+  const auto buf = w.take();
+  EXPECT_THROW(read_container(buf.data(), buf.size()), WireError);
+}
+
+TEST(ContainerTest, ParamsRecordRoundTrip) {
+  const std::vector<float> params = {1.5f, -2.0f, 0.0f, 1e-30f};
+  const auto bytes = serialize_params(params);
+  EXPECT_EQ(bytes.size(), 8u + 4u * params.size());
+  EXPECT_EQ(deserialize_params(bytes.data(), bytes.size()), params);
+}
+
+TEST(ContainerTest, ParamsRecordRejectsCountMismatch) {
+  auto bytes = serialize_params({1.0f, 2.0f});
+  bytes[0] = 3;  // claim 3 params, carry 2
+  EXPECT_THROW(deserialize_params(bytes.data(), bytes.size()), WireError);
+  bytes[0] = 2;
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_THROW(deserialize_params(bytes.data(), bytes.size()), WireError);
+}
+
+}  // namespace
+}  // namespace fedtrip::wire

@@ -1,0 +1,150 @@
+// wire_dump: human-readable decode of any wire artefact — payload or
+// checkpoint containers (docs/WIRE_FORMAT.md) and legacy FEDTRIP1
+// checkpoints. The inspector half of the serialization subsystem: when a
+// run, a golden fixture, or a future socket peer produces bytes you don't
+// understand, point this at the file.
+//
+// Usage: wire_dump FILE...
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/compressor.h"
+#include "wire/container.h"
+#include "wire/payload.h"
+
+namespace {
+
+using namespace fedtrip;
+
+void print_floats(const char* label, const std::vector<float>& v,
+                  std::size_t head = 8) {
+  std::printf("    %s[%zu]:", label, v.size());
+  for (std::size_t i = 0; i < v.size() && i < head; ++i) {
+    std::printf(" %g", static_cast<double>(v[i]));
+  }
+  if (v.size() > head) std::printf(" ...");
+  std::printf("\n");
+}
+
+void print_stats(const std::vector<float>& v) {
+  if (v.empty()) return;
+  // min/max/mean over the finite values only (a leading NaN/Inf must not
+  // poison them — corrupted artefacts are exactly what gets inspected).
+  double sum = 0.0, min = 0.0, max = 0.0;
+  std::size_t finite = 0;
+  for (float f : v) {
+    if (!std::isfinite(f)) continue;
+    if (finite == 0) {
+      min = max = static_cast<double>(f);
+    } else {
+      min = std::min(min, static_cast<double>(f));
+      max = std::max(max, static_cast<double>(f));
+    }
+    ++finite;
+    sum += f;
+  }
+  if (finite == 0) {
+    std::printf("    finite 0/%zu\n", v.size());
+    return;
+  }
+  std::printf("    finite %zu/%zu  min %g  max %g  mean %g\n", finite,
+              v.size(), min, max, sum / static_cast<double>(finite));
+}
+
+void dump_payload(const wire::Record& rec) {
+  const auto kind = static_cast<comm::Codec>(rec.aux & 0xFF);
+  const comm::Encoded e =
+      wire::deserialize_payload(rec.bytes.data(), rec.bytes.size(), kind);
+  std::printf("  payload: codec %s  dim %zu  wire bytes %zu\n",
+              comm::codec_kind_name(e.codec), e.dim, e.wire_bytes);
+  switch (e.codec) {
+    case comm::Codec::kIdentity:
+      print_floats("values", e.values);
+      print_stats(e.values);
+      break;
+    case comm::Codec::kTopK: {
+      std::printf("    k %zu  indices:", e.indices.size());
+      for (std::size_t i = 0; i < e.indices.size() && i < 8; ++i) {
+        std::printf(" %u", e.indices[i]);
+      }
+      if (e.indices.size() > 8) std::printf(" ...");
+      std::printf("\n");
+      print_floats("values", e.values);
+      break;
+    }
+    case comm::Codec::kQsgd:
+      std::printf("    bits %u  lo %g  hi %g  packed %zu bytes\n",
+                  e.level_bits, static_cast<double>(e.lo),
+                  static_cast<double>(e.hi), e.packed.size());
+      break;
+    case comm::Codec::kRandMask:
+      std::printf("    mask seed %llu  k %zu\n",
+                  static_cast<unsigned long long>(e.mask_seed),
+                  e.values.size());
+      print_floats("values", e.values);
+      break;
+  }
+}
+
+int dump_file(const char* path) {
+  const auto buf = wire::read_file(path);
+  std::printf("%s: %zu bytes\n", path, buf.size());
+
+  constexpr char kLegacyMagic[8] = {'F', 'E', 'D', 'T', 'R', 'I', 'P', '1'};
+  if (buf.size() >= sizeof(kLegacyMagic) &&
+      std::memcmp(buf.data(), kLegacyMagic, sizeof(kLegacyMagic)) == 0) {
+    std::uint64_t n = 0;
+    if (buf.size() >= 16) std::memcpy(&n, buf.data() + 8, sizeof(n));
+    std::printf("  legacy checkpoint (FEDTRIP1), %llu parameters\n",
+                static_cast<unsigned long long>(n));
+    return 0;
+  }
+
+  const auto records = wire::read_container(buf.data(), buf.size());
+  std::printf("  FTWIRE container, version %u, %zu record(s)\n",
+              wire::kVersion, records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    std::printf("  record %zu: type %u  aux 0x%x  %zu bytes\n", i,
+                static_cast<unsigned>(rec.type), rec.aux, rec.bytes.size());
+    switch (rec.type) {
+      case wire::RecordType::kCheckpoint: {
+        const auto params =
+            wire::deserialize_params(rec.bytes.data(), rec.bytes.size());
+        std::printf("  checkpoint: %zu parameters\n", params.size());
+        print_floats("params", params);
+        print_stats(params);
+        break;
+      }
+      case wire::RecordType::kPayload:
+        dump_payload(rec);
+        break;
+      default:
+        std::printf("  (unknown record type — skipped)\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: wire_dump FILE...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      dump_file(argv[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,31 @@
+// wire_golden_gen: (re)writes the golden wire-format fixtures under
+// tests/data/wire/. Run after an *intentional* format change, commit the
+// output, and update docs/WIRE_FORMAT.md; tests/wire/golden_test.cpp fails
+// the build whenever the committed bytes and src/wire/golden.cpp disagree.
+//
+// Usage: wire_golden_gen [OUTDIR]   (default: tests/data/wire)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "wire/golden.h"
+
+int main(int argc, char** argv) {
+  const std::string outdir = argc > 1 ? argv[1] : "tests/data/wire";
+  for (const auto& f : fedtrip::wire::golden::fixtures()) {
+    const std::string path = outdir + "/" + f.filename;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for write\n", path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(f.bytes.data()),
+              static_cast<std::streamsize>(f.bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "write failed: %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), f.bytes.size());
+  }
+  return 0;
+}
