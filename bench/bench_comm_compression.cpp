@@ -41,6 +41,15 @@ int main(int argc, char** argv) {
     models.push_back({"AlexNet", alex});
   }
 
+  struct BytesRow {
+    std::string model;
+    std::size_t param_floats = 0;
+    std::string compressor;
+    std::size_t update_bytes = 0;
+    double reduction = 0.0;
+  };
+  std::vector<BytesRow> bytes_rows;
+
   comm::CommParams cp;  // topk 1%, qsgd 8-bit, randmask 10%
   for (const auto& m : models) {
     auto model = nn::build_model(m.spec, 1);
@@ -58,6 +67,8 @@ int main(int argc, char** argv) {
       const auto bytes = c->wire_bytes(w);
       std::printf("%-12s %14zu %11.1fx\n", c->name().c_str(), bytes,
                   raw / static_cast<double>(bytes));
+      bytes_rows.push_back({m.name, w, c->name(), bytes,
+                            raw / static_cast<double>(bytes)});
     }
   }
 
@@ -90,6 +101,14 @@ int main(int argc, char** argv) {
   rows.push_back({"identity", "qsgd8"});
   rows.push_back({"topk", "qsgd8"});
 
+  struct RunRow {
+    std::string uplink, downlink, network;
+    bool delta = false;
+    double mb_up = 0.0, mb_down = 0.0, best_acc = 0.0;
+    double sim_seconds_per_round = 0.0;
+  };
+  std::vector<RunRow> run_rows;
+
   for (const auto& row : rows) {
     for (const char* profile : {"uniform", "straggler"}) {
       fl::ExperimentConfig cfg = base;
@@ -102,12 +121,75 @@ int main(int argc, char** argv) {
                          algorithms::make_algorithm("FedTrip", params));
       auto result = sim.run();
       const std::string up_label = row.uplink + (row.delta ? " (delta)" : "");
+      RunRow rr;
+      rr.uplink = row.uplink;
+      rr.downlink = row.downlink;
+      rr.network = profile;
+      rr.delta = row.delta;
+      rr.mb_up = result.comm_stats.mb_up();
+      rr.mb_down = result.comm_stats.mb_down();
+      rr.best_acc = fl::best_accuracy(result.history);
+      rr.sim_seconds_per_round =
+          result.comm_seconds / static_cast<double>(cfg.rounds);
+      run_rows.push_back(rr);
       std::printf("%-16s %-12s %-14s %10.3f %10.3f %8.2f%% %12.3f\n",
                   up_label.c_str(), row.downlink.c_str(), profile,
-                  result.comm_stats.mb_up(), result.comm_stats.mb_down(),
-                  100.0 * fl::best_accuracy(result.history),
-                  result.comm_seconds / static_cast<double>(cfg.rounds));
+                  rr.mb_up, rr.mb_down, 100.0 * rr.best_acc,
+                  rr.sim_seconds_per_round);
     }
+  }
+
+  if (opt.json) {
+    const std::string path = opt.json_path.empty()
+                                 ? "bench_comm_compression.json"
+                                 : opt.json_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for write\n", path.c_str());
+      return 1;
+    }
+    JsonWriter j(f);
+    j.begin_object();
+    j.field("bench", "bench_comm_compression");
+    j.field("schema_version", std::size_t{1});
+    j.begin_object("config");
+    j.field("rounds", base.rounds);
+    j.field("clients", base.num_clients);
+    j.field("per_round", base.clients_per_round);
+    j.field("data_scale", base.data_scale);
+    j.field("topk_fraction", static_cast<double>(cp.topk_fraction));
+    j.field("qsgd_bits", static_cast<std::size_t>(cp.qsgd_bits));
+    j.field("mask_keep", static_cast<double>(cp.mask_keep));
+    j.end_object();
+    j.begin_array("update_bytes");
+    for (const auto& r : bytes_rows) {
+      j.begin_object();
+      j.field("model", r.model);
+      j.field("param_floats", r.param_floats);
+      j.field("compressor", r.compressor);
+      j.field("bytes", r.update_bytes);
+      j.field("reduction", r.reduction);
+      j.end_object();
+    }
+    j.end_array();
+    j.begin_array("runs");
+    for (const auto& r : run_rows) {
+      j.begin_object();
+      j.field("uplink", r.uplink);
+      j.field("downlink", r.downlink);
+      j.field("delta", r.delta);
+      j.field("network", r.network);
+      j.field("mb_up", r.mb_up);
+      j.field("mb_down", r.mb_down);
+      j.field("best_accuracy", r.best_acc);
+      j.field("sim_seconds_per_round", r.sim_seconds_per_round);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    std::fprintf(f, "\n");
+    std::fclose(f);
+    std::printf("\nmachine-readable results written to %s\n", path.c_str());
   }
   std::printf(
       "\nExpected: topk (1%%) >= 10x uplink reduction, qsgd8 ~4x; identity"

@@ -40,6 +40,15 @@ int main(int argc, char** argv) {
               "best%", "sim s", "s to tgt", "stale avg", "stale max",
               "dropped");
 
+  struct PolicyResult {
+    std::string policy;
+    double final_acc = 0.0, best_acc = 0.0, sim_seconds = 0.0;
+    std::optional<double> seconds_to_target;
+    double mean_staleness = 0.0;
+    std::size_t max_staleness = 0, dropped = 0;
+  };
+  std::vector<PolicyResult> json_rows;
+
   std::optional<double> sync_seconds;
   for (const auto& policy : sched::all_policies()) {
     fl::ExperimentConfig cfg = base;
@@ -69,16 +78,66 @@ int main(int argc, char** argv) {
       }
       tgt = buf;
     }
+    PolicyResult row;
+    row.policy = policy;
+    row.final_acc = fl::final_accuracy(result.history, 5);
+    row.best_acc = fl::best_accuracy(result.history);
+    row.sim_seconds = result.comm_seconds;
+    row.seconds_to_target = to_target;
+    row.mean_staleness =
+        stale_sum / static_cast<double>(result.history.size());
+    row.max_staleness = stale_max;
+    row.dropped = dropped;
+    json_rows.push_back(row);
+
     std::printf("%-8s %7.2f%% %8.2f%% %11.1f %12s %10.2f %9zu %8zu\n",
-                policy.c_str(),
-                100.0 * fl::final_accuracy(result.history, 5),
-                100.0 * fl::best_accuracy(result.history),
-                result.comm_seconds, tgt.c_str(),
-                stale_sum / static_cast<double>(result.history.size()),
+                policy.c_str(), 100.0 * row.final_acc, 100.0 * row.best_acc,
+                result.comm_seconds, tgt.c_str(), row.mean_staleness,
                 stale_max, dropped);
 
     const std::string csv = "sched_" + policy + ".csv";
     fl::save_history_csv(csv, result.history);
+  }
+
+  if (opt.json) {
+    const std::string path =
+        opt.json_path.empty() ? "bench_sched_async.json" : opt.json_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for write\n", path.c_str());
+      return 1;
+    }
+    JsonWriter j(f);
+    j.begin_object();
+    j.field("bench", "bench_sched_async");
+    j.field("schema_version", std::size_t{1});
+    j.begin_object("config");
+    j.field("rounds", base.rounds);
+    j.field("clients", base.num_clients);
+    j.field("per_round", base.clients_per_round);
+    j.field("data_scale", base.data_scale);
+    j.field("target_accuracy", target);
+    j.field("network", "straggler");
+    j.field("straggler_fraction", base.comm.network.straggler_fraction);
+    j.end_object();
+    j.begin_array("results");
+    for (const auto& r : json_rows) {
+      j.begin_object();
+      j.field("policy", r.policy);
+      j.field("final_accuracy", r.final_acc);
+      j.field("best_accuracy", r.best_acc);
+      j.field("sim_seconds", r.sim_seconds);
+      j.field("seconds_to_target", r.seconds_to_target);
+      j.field("mean_staleness", r.mean_staleness);
+      j.field("max_staleness", r.max_staleness);
+      j.field("dropped", r.dropped);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    std::fprintf(f, "\n");
+    std::fclose(f);
+    std::printf("machine-readable results written to %s\n", path.c_str());
   }
 
   std::printf(

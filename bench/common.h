@@ -8,8 +8,9 @@
 //   --json [FILE] additionally write machine-readable results (default
 //                 <bench>.json) — the format CI archives as an artifact to
 //                 build the BENCH_* perf trajectory. Implemented by
-//                 bench_heterogeneity so far; benches without a JSON
-//                 emitter ignore the flag (see opt.json).
+//                 bench_heterogeneity, bench_sched_async and
+//                 bench_comm_compression; benches without a JSON emitter
+//                 ignore the flag (see opt.json).
 // and prints rows shaped like the corresponding paper table/figure.
 #pragma once
 
@@ -87,6 +88,11 @@ class JsonWriter {
     key(k);
     value();
     std::fprintf(f_, "%zu", v);
+  }
+  void field(const char* k, bool v) {
+    key(k);
+    value();
+    std::fputs(v ? "true" : "false", f_);
   }
   void field(const char* k, const char* v) {
     key(k);

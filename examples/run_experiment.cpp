@@ -27,7 +27,41 @@
 #include "fl/checkpoint.h"
 #include "fl/flags.h"
 #include "fl/metrics.h"
+#include "fl/round_host.h"
 #include "fl/simulation.h"
+#include "net/net_host.h"
+#include "net/pool.h"
+
+namespace {
+
+/// Directory of this process's executable + "/fl_worker" — the default
+/// --worker-bin (the two binaries are built side by side).
+std::string default_worker_bin(const char* argv0) {
+  std::string path = argv0;
+  const auto slash = path.rfind('/');
+  if (slash == std::string::npos) return "./fl_worker";
+  return path.substr(0, slash + 1) + "fl_worker";
+}
+
+std::vector<fedtrip::net::Endpoint> parse_endpoint_list(
+    const std::string& list) {
+  std::vector<fedtrip::net::Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const std::string spec =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!spec.empty()) {
+      endpoints.push_back(fedtrip::net::parse_endpoint(spec));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fedtrip;
@@ -40,6 +74,9 @@ int main(int argc, char** argv) {
   cfg.batch_size = 32;
   std::string method = "FedTrip";
   std::string out_csv, save_model, load_model, idx_dir;
+  std::size_t workers_remote = 0;
+  std::string connect_list;
+  std::string worker_bin = default_worker_bin(argv[0]);
   algorithms::AlgoParams params;
   params.mu = 0.4f;
 
@@ -152,6 +189,12 @@ int main(int argc, char** argv) {
        [&](const char* v) { cfg.clients.markov_mean_on_s = std::atof(v); }},
       {"--avail-off",
        [&](const char* v) { cfg.clients.markov_mean_off_s = std::atof(v); }},
+      {"--workers-remote",
+       [&](const char* v) {
+         workers_remote = static_cast<std::size_t>(std::atoi(v));
+       }},
+      {"--connect", [&](const char* v) { connect_list = v; }},
+      {"--worker-bin", [&](const char* v) { worker_bin = v; }},
       {"--help",
        [&](const char*) {
          std::printf("%s", usage.c_str());
@@ -240,7 +283,16 @@ int main(int argc, char** argv) {
               cfg.sched.policy.c_str(), cfg.clients.compute_profile.c_str(),
               cfg.clients.availability.c_str());
 
+  const bool distributed = workers_remote > 0 || !connect_list.empty();
   auto algorithm = algorithms::make_algorithm(method, params);
+  if (distributed && !algorithm->remote_trainable()) {
+    std::fprintf(stderr,
+                 "method %s is not remote-trainable (mutable algorithm "
+                 "state on the train path; see docs/TRANSPORT.md) — run "
+                 "it in-process\n",
+                 method.c_str());
+    return 2;
+  }
   auto sim = real_data.has_value()
                  ? fl::Simulation(cfg, std::move(algorithm),
                                   std::move(*real_data))
@@ -252,7 +304,40 @@ int main(int argc, char** argv) {
                 load_model.c_str(), initial.size(),
                 100.0 * sim.evaluate(initial));
   }
-  auto result = sim.run();
+
+  fl::RunResult result;
+  if (distributed) {
+    net::SetupMsg setup;
+    setup.method = method;
+    setup.algo = params;
+    setup.config = cfg;
+    setup.idx_dir = real_data.has_value() ? idx_dir : std::string();
+    try {
+      net::WorkerPool pool =
+          !connect_list.empty()
+              ? net::WorkerPool::connect(parse_endpoint_list(connect_list),
+                                         setup, sim.param_dim())
+              : net::WorkerPool::spawn_local(workers_remote, worker_bin,
+                                             setup, sim.param_dim());
+      std::printf("distributed: training sharded across %zu worker "
+                  "process(es)\n",
+                  pool.size());
+      std::optional<net::NetHost> host;
+      result = sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
+        host.emplace(inner, pool);
+        return *host;
+      });
+      pool.shutdown();
+    } catch (const std::exception& e) {
+      // NetError for transport failures; wire::WireError can still
+      // surface from a hostile peer's payload — both end the run with
+      // the diagnostic, not a terminate.
+      std::fprintf(stderr, "distributed run failed: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    result = sim.run();
+  }
 
   for (const auto& r : result.history) {
     std::printf("round %3zu  acc %6.2f%%  loss %7.4f  gflops %9.2f\n",

@@ -38,6 +38,10 @@ class FedDane : public GradientAdjustingAlgorithm {
     return param_dim;  // local gradient upload (see on_round_end)
   }
 
+  /// pre_round averages gradients over the whole cohort — sharding the
+  /// batch across workers would average over shards instead.
+  bool remote_trainable() const override { return false; }
+
  protected:
   double adjust_gradients(std::vector<float>& delta,
                           const std::vector<float>& w,

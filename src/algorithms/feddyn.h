@@ -36,6 +36,10 @@ class FedDyn : public GradientAdjustingAlgorithm {
     return optim::OptKind::kSGD;
   }
 
+  /// The per-client gradient memory g_k is mutated by training and read
+  /// back next participation — it would go stale in a worker process.
+  bool remote_trainable() const override { return false; }
+
  protected:
   double adjust_gradients(std::vector<float>& delta,
                           const std::vector<float>& w,

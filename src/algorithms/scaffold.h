@@ -45,6 +45,10 @@ class Scaffold : public GradientAdjustingAlgorithm {
     return param_dim;  // control delta upload (see on_round_end)
   }
 
+  /// c / c_k are mutated by training and aggregation and read back on the
+  /// next participation — the state would go stale in a worker process.
+  bool remote_trainable() const override { return false; }
+
  protected:
   double adjust_gradients(std::vector<float>& delta,
                           const std::vector<float>& w,

@@ -96,6 +96,17 @@ class FederatedAlgorithm {
     (void)param_dim;
     return 0;
   }
+
+  /// True when train_client is a pure function of its ClientContext (plus
+  /// immutable hyperparameters): no reads of mutable algorithm state that
+  /// aggregate(), pre_round() or other clients' rounds update. Such a
+  /// dispatch can execute in a separate worker process given only (config,
+  /// dispatch, history) — the distributed-runner contract (src/net/,
+  /// docs/TRANSPORT.md). SCAFFOLD and FedDyn (per-client control/gradient
+  /// state mutated on the train path and read next round) and FedDANE
+  /// (cohort-coupled pre_round gradient averaging) override this to false
+  /// and must train in-process.
+  virtual bool remote_trainable() const { return true; }
 };
 
 using AlgorithmPtr = std::unique_ptr<FederatedAlgorithm>;

@@ -69,6 +69,16 @@ const std::vector<FlagSpec>& experiment_flags() {
        "dispatch (default always)"},
       {"--avail-on", "X", "markov availability: mean on-window seconds"},
       {"--avail-off", "X", "markov availability: mean off-window seconds"},
+      // Distributed runner (docs/TRANSPORT.md).
+      {"--workers-remote", "N",
+       "distribute training across N spawned local worker processes "
+       "(bit-identical to the in-process run)"},
+      {"--connect", "LIST",
+       "comma-separated host:port of pre-started fl_worker --listen "
+       "processes to distribute training across"},
+      {"--worker-bin", "PATH",
+       "fl_worker binary for --workers-remote (default: next to this "
+       "executable)"},
       // Meta.
       {"--help", nullptr, "print this help and exit"},
   };

@@ -1,12 +1,12 @@
 #include "fl/simulation.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 #include "clients/registry.h"
 #include "comm/registry.h"
+#include "fl/round_host.h"
 #include "nn/loss.h"
 #include "nn/parameter_vector.h"
 #include "optim/sgd.h"
@@ -144,211 +144,44 @@ void Simulation::init_result(RunResult* result) const {
 }
 
 // ----------------------------------------------------- scheduler adapter
+//
+// The sched::Host adapter itself lives in fl/round_host.{h,cpp} — it is
+// public API now, because the distributed runner (net::NetHost) wraps it.
 
-/// The sched::Host the Simulation hands to the configured policy: each
-/// primitive is one stage of the classic round, so the sync policy driving
-/// them in legacy order with legacy RNG stream keys reproduces
-/// run_reference() bit for bit.
-class RoundHost final : public sched::Host {
- public:
-  RoundHost(Simulation& sim, RunResult& result)
-      : sim_(sim),
-        result_(result),
-        dim_(sim.global_params_.size()),
-        select_rng_(sim.root_rng_.split(0x5E1EC7)),
-        comm_rng_(sim.root_rng_.split(0xC0B17E5)) {}
-
-  std::size_t num_clients() const override { return sim_.config_.num_clients; }
-  std::size_t clients_per_round() const override {
-    return sim_.config_.clients_per_round;
-  }
-  std::size_t total_rounds() const override { return sim_.config_.rounds; }
-  const comm::NetworkModel& network() const override {
-    return *sim_.network_;
-  }
-  const clients::AvailabilityModel& availability() const override {
-    return *sim_.availability_;
-  }
-  bool compute_enabled() const override { return sim_.compute_->enabled(); }
-  double compute_seconds(std::size_t client) const override {
-    return sim_.compute_->train_seconds(
-        client, sim_.clients_[client]->num_samples(),
-        sim_.config_.local_epochs);
-  }
-  std::size_t message_bytes(comm::Direction dir) const override {
-    return sim_.channel_->message_bytes(dir, dim_);
-  }
-  std::size_t extra_down_bytes() const override {
-    return 4 * sim_.algorithm_->extra_downlink_floats(dim_);
-  }
-  std::size_t extra_up_bytes() const override {
-    return 4 * sim_.algorithm_->extra_uplink_floats(dim_);
+std::vector<ClientUpdate> Simulation::train_shard(
+    const std::vector<ShardWork>& work, double* pre_round_flops) {
+  std::vector<ClientContext> contexts;
+  contexts.reserve(work.size());
+  for (const auto& wk : work) {
+    ClientContext ctx;
+    ctx.round = wk.d.round;
+    ctx.client = clients_[wk.d.client_id].get();
+    ctx.global_params = wk.d.params.get();
+    ctx.history = wk.history;
+    ctx.model_factory = &model_factory_;
+    ctx.local_epochs = config_.local_epochs;
+    // Stream keyed by the dispatch: identical for any thread schedule —
+    // and for any process, since root_rng_ derives from config.seed alone.
+    ctx.rng = root_rng_.split(wk.d.train_key);
+    contexts.push_back(std::move(ctx));
   }
 
-  std::vector<std::size_t> select(std::size_t count,
-                                  const std::vector<bool>* busy) override {
-    std::vector<std::size_t> selected;
-    if (busy == nullptr) {
-      selected = select_rng_.sample_without_replacement(
-          sim_.config_.num_clients, count);
-    } else {
-      std::vector<std::size_t> available;
-      available.reserve(busy->size());
-      for (std::size_t k = 0; k < busy->size(); ++k) {
-        if (!(*busy)[k]) available.push_back(k);
-      }
-      count = std::min(count, available.size());
-      for (std::size_t i :
-           select_rng_.sample_without_replacement(available.size(), count)) {
-        selected.push_back(available[i]);
-      }
-    }
-    std::sort(selected.begin(), selected.end());
-    return selected;
-  }
+  *pre_round_flops = algorithm_->pre_round(contexts);
 
-  std::shared_ptr<const std::vector<float>> broadcast(
-      std::uint64_t key, std::size_t copies, bool alias_ok,
-      std::size_t* wire_bytes) override {
-    Rng down_rng = comm_rng_.split(key);
-    std::shared_ptr<const std::vector<float>> snapshot;
-    if (sim_.channel_->transparent(comm::Direction::kDown)) {
-      *wire_bytes = sim_.channel_->transmit(
-          comm::Direction::kDown, sim_.global_params_, down_rng, copies);
-      if (alias_ok) {
-        // Non-owning view of the live global vector: valid because the
-        // caller consumes it before the next aggregation mutates it.
-        snapshot = std::shared_ptr<const std::vector<float>>(
-            std::shared_ptr<void>(), &sim_.global_params_);
-      } else {
-        snapshot =
-            std::make_shared<std::vector<float>>(sim_.global_params_);
-      }
-    } else {
-      auto bcast =
-          std::make_shared<std::vector<float>>(sim_.global_params_);
-      *wire_bytes = sim_.channel_->transmit(comm::Direction::kDown, *bcast,
-                                            down_rng, copies);
-      snapshot = std::move(bcast);
-    }
-    sim_.channel_->account_raw(
-        comm::Direction::kDown,
-        copies * sim_.algorithm_->extra_downlink_floats(dim_));
-    return snapshot;
-  }
+  std::vector<ClientUpdate> updates(contexts.size());
+  parallel_for(
+      0, contexts.size(),
+      [&](std::size_t i) {
+        updates[i] = algorithm_->train_client(contexts[i]);
+        updates[i].client_id = contexts[i].client->id();
+      },
+      own_pool_.get());
+  return updates;
+}
 
-  std::vector<ClientUpdate> train(
-      const std::vector<sched::Dispatch>& batch) override {
-    std::vector<ClientContext> contexts;
-    contexts.reserve(batch.size());
-    for (const auto& d : batch) {
-      ClientContext ctx;
-      ctx.round = d.round;
-      ctx.client = sim_.clients_[d.client_id].get();
-      ctx.global_params = d.params.get();
-      ctx.history = sim_.history_.get(d.client_id);
-      ctx.model_factory = &sim_.model_factory_;
-      ctx.local_epochs = sim_.config_.local_epochs;
-      // Stream keyed by the dispatch: identical for any thread schedule.
-      ctx.rng = sim_.root_rng_.split(d.train_key);
-      contexts.push_back(std::move(ctx));
-    }
+RunResult Simulation::run() { return run_with_host(nullptr); }
 
-    cum_flops_ += sim_.algorithm_->pre_round(contexts);
-
-    std::vector<ClientUpdate> updates(contexts.size());
-    parallel_for(
-        0, contexts.size(),
-        [&](std::size_t i) {
-          updates[i] = sim_.algorithm_->train_client(contexts[i]);
-          updates[i].client_id = contexts[i].client->id();
-        },
-        sim_.own_pool_.get());
-    for (const auto& u : updates) cum_flops_ += u.flops;
-    return updates;
-  }
-
-  std::size_t uplink(ClientUpdate& update, std::uint64_t key,
-                     const std::vector<float>& sent_from,
-                     std::size_t round) override {
-    Rng up_rng = comm_rng_.split(key);
-    std::size_t bytes;
-    if (sim_.channel_->lossless(comm::Direction::kUp)) {
-      // Lossless: the decode is bit-exact whether or not a delta was
-      // framed, so skip the delta round-trip (x - ref + ref re-rounds) —
-      // keyed on losslessness, not transparency, so byte-exact mode stays
-      // bit-identical to this path while still moving real buffers.
-      bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
-                                      up_rng, 1, update.client_id);
-      sim_.history_.put(update.client_id, update.params, round);
-    } else {
-      // The client keeps its own uncompressed model as its history entry;
-      // the server aggregates what it decodes.
-      std::vector<float> local = update.params;
-      if (sim_.config_.comm.delta_uplink) {
-        vec::sub(update.params, sent_from, update.params);
-        bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
-                                        up_rng, 1, update.client_id);
-        vec::add(update.params, sent_from, update.params);
-      } else {
-        bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
-                                        up_rng, 1, update.client_id);
-      }
-      sim_.history_.put(update.client_id, std::move(local), round);
-    }
-    sim_.channel_->account_raw(comm::Direction::kUp,
-                               update.extra_upload_floats);
-    return bytes;
-  }
-
-  void aggregate(std::vector<ClientUpdate>& updates,
-                 const sched::RoundMeta& meta) override {
-    assert(!updates.empty());
-    double loss_sum = 0.0;
-    for (const auto& u : updates) {
-      loss_sum += u.train_loss;
-      ++result_.participation[u.client_id];
-    }
-
-    sim_.algorithm_->aggregate(sim_.global_params_, updates, meta.round);
-    clock_seconds_ = meta.clock_seconds;
-
-    const std::size_t t = meta.round;
-    if (t % sim_.config_.eval_every == 0 || t == sim_.config_.rounds) {
-      RoundRecord rec;
-      rec.round = t;
-      rec.test_accuracy = sim_.evaluate(sim_.global_params_);
-      rec.train_loss = loss_sum / static_cast<double>(updates.size());
-      rec.cum_gflops = cum_flops_ / 1e9;
-      const auto& stats = sim_.channel_->stats();
-      rec.cum_comm_mb = stats.total_mb();
-      rec.cum_mb_down = stats.mb_down();
-      rec.cum_mb_up = stats.mb_up();
-      rec.cum_comm_seconds = clock_seconds_;
-      rec.mean_staleness = meta.mean_staleness;
-      rec.max_staleness = meta.max_staleness;
-      rec.dropped = meta.dropped;
-      rec.unavailable = meta.unavailable;
-      rec.deadline_deferred = meta.deadline_deferred;
-      rec.mean_compute_seconds = meta.mean_compute_seconds;
-      rec.mean_comm_seconds = meta.mean_comm_seconds;
-      result_.history.push_back(rec);
-    }
-  }
-
-  double clock_seconds() const { return clock_seconds_; }
-
- private:
-  Simulation& sim_;
-  RunResult& result_;
-  std::size_t dim_;
-  Rng select_rng_;
-  Rng comm_rng_;
-  double cum_flops_ = 0.0;
-  double clock_seconds_ = 0.0;
-};
-
-RunResult Simulation::run() {
+RunResult Simulation::run_with_host(const HostWrapper& wrap) {
   auto scheduler = sched::make_scheduler(config_.sched);
 
   RunResult result;
@@ -357,7 +190,8 @@ RunResult Simulation::run() {
   result.participation.assign(config_.num_clients, 0);
 
   RoundHost host(*this, result);
-  scheduler->run(host);
+  sched::Host& driven = wrap ? wrap(host) : static_cast<sched::Host&>(host);
+  scheduler->run(driven);
 
   result.final_params = global_params_;
   result.comm_stats = channel_->stats();

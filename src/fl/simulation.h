@@ -11,6 +11,7 @@
 // bit.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "tensor/thread_pool.h"
 
 namespace fedtrip::fl {
+
+class RoundHost;
 
 struct RunResult {
   std::vector<RoundRecord> history;
@@ -55,6 +58,16 @@ struct RunResult {
   std::vector<std::size_t> participation;
 };
 
+/// One unit of the shard-executable train core: a scheduler dispatch plus
+/// the history entry it trains against. The in-process host passes its own
+/// store's entry; a distributed worker passes the entry shipped inside the
+/// dispatch message (src/net/) — both paths run the identical
+/// Simulation::train_shard code.
+struct ShardWork {
+  sched::Dispatch d;
+  const HistoryEntry* history = nullptr;
+};
+
 class Simulation {
  public:
   /// Generates the configured synthetic dataset analogue.
@@ -72,6 +85,29 @@ class Simulation {
   /// Runs the configured number of rounds under the configured scheduling
   /// policy and returns the recorded history.
   RunResult run();
+
+  /// Host wrapper hook: given the in-process RoundHost, returns the Host
+  /// the scheduler should actually drive. The distributed runner
+  /// (net::NetHost) wraps train() with a worker-pool fan-out and delegates
+  /// everything else; the returned reference must stay valid for the run.
+  using HostWrapper = std::function<sched::Host&(RoundHost&)>;
+
+  /// run() with `wrap` interposed between the engine and the scheduler
+  /// (nullptr = in-process, identical to run()).
+  RunResult run_with_host(const HostWrapper& wrap);
+
+  /// The shard-executable train core: algorithm pre-round phase over
+  /// `work`, then parallel local training with per-dispatch RNG streams
+  /// (FLOPs of the pre-round phase go to *pre_round_flops; per-update
+  /// FLOPs ride each ClientUpdate). Pure function of (config seed, work):
+  /// both the in-process host and a remote worker process produce
+  /// bit-identical updates from equal inputs.
+  std::vector<ClientUpdate> train_shard(const std::vector<ShardWork>& work,
+                                        double* pre_round_flops);
+
+  /// |w| of the configured model — what a remote worker cross-checks
+  /// against the coordinator during the transport handshake.
+  std::size_t param_dim() const { return global_params_.size(); }
 
   /// The pre-scheduler synchronous loop, preserved verbatim as the
   /// executable specification of the sync policy: a run() with the default

@@ -1,0 +1,23 @@
+// NetError: the transport-layer failure type of the distributed runner.
+//
+// Everything that goes wrong between two processes — connection setup,
+// short reads / peer disconnects, oversize or malformed frame headers,
+// protocol-version mismatches, a worker reporting a fatal error — throws
+// this one type, so the coordinator fails a distributed run with a single
+// catchable diagnostic instead of hanging. Malformed message *payloads*
+// (bytes inside a well-framed record) throw wire::WireError like every
+// other deserializer in the system; the two layers mirror the
+// frame-vs-record split of docs/TRANSPORT.md.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fedtrip::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace fedtrip::net

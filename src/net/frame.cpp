@@ -1,0 +1,86 @@
+#include "net/frame.h"
+
+#include <string>
+
+#include "wire/wire.h"
+
+namespace fedtrip::net {
+
+std::vector<std::uint8_t> encode_frame_header(wire::RecordType type,
+                                              std::uint32_t aux,
+                                              std::uint64_t length) {
+  wire::WireWriter w;
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u32(aux);
+  w.u64(length);
+  return w.take();
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t size) {
+  if (size < wire::kRecordHeaderBytes) {
+    throw NetError("truncated frame header: " + std::to_string(size) +
+                   " of " + std::to_string(wire::kRecordHeaderBytes) +
+                   " bytes");
+  }
+  wire::WireReader r(data, wire::kRecordHeaderBytes);
+  FrameHeader h;
+  h.type = static_cast<wire::RecordType>(r.u32());
+  h.aux = r.u32();
+  h.length = r.u64();
+  if (h.length > kMaxFramePayload) {
+    throw NetError("oversize frame: " + std::to_string(h.length) +
+                   " bytes exceeds the " +
+                   std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  return h;
+}
+
+void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
+                const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    // Fail fast at the sender with the real cause — the receiver would
+    // only see a hostile-looking oversize header after the full transfer.
+    throw NetError("refusing to send a " + std::to_string(payload.size()) +
+                   "-byte frame (type " +
+                   std::to_string(static_cast<std::uint32_t>(type)) +
+                   "): exceeds the " + std::to_string(kMaxFramePayload) +
+                   "-byte frame cap");
+  }
+  const auto header = encode_frame_header(type, aux, payload.size());
+  sock.send_all(header.data(), header.size());
+  if (!payload.empty()) sock.send_all(payload.data(), payload.size());
+}
+
+Frame recv_frame(Socket& sock, const char* peer, bool eof_ok) {
+  std::uint8_t header[wire::kRecordHeaderBytes];
+  try {
+    if (!sock.recv_all(header, sizeof(header), eof_ok)) {
+      return Frame{wire::RecordType::kNetShutdown, 0, {}};
+    }
+  } catch (const NetError& e) {
+    throw NetError(std::string(peer) + ": " + e.what());
+  }
+  FrameHeader h;
+  try {
+    h = decode_frame_header(header, sizeof(header));
+  } catch (const NetError& e) {
+    throw NetError(std::string(peer) + ": " + e.what());
+  }
+  Frame f;
+  f.type = h.type;
+  f.aux = h.aux;
+  f.payload.resize(static_cast<std::size_t>(h.length));
+  if (h.length > 0) {
+    try {
+      sock.recv_all(f.payload.data(), f.payload.size());
+    } catch (const NetError& e) {
+      throw NetError(std::string(peer) + " died mid-frame (type " +
+                     std::to_string(static_cast<std::uint32_t>(h.type)) +
+                     ", " + std::to_string(h.length) + " bytes): " +
+                     e.what());
+    }
+  }
+  return f;
+}
+
+}  // namespace fedtrip::net

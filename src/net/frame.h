@@ -1,0 +1,62 @@
+// Length-prefixed message framing over a stream socket.
+//
+// One frame = one FTWIRE record on the wire: the 16-byte record header
+// (u32 type, u32 aux, u64 length — wire/container.h conventions, explicit
+// little-endian) followed by `length` payload bytes. The record header IS
+// the length prefix; there is no container envelope on a live socket
+// (docs/TRANSPORT.md), which is what lets tools/wire_dump decode a
+// captured session that was wrapped in a container after the fact.
+//
+// Framing violations — truncated header, a length above kMaxFramePayload,
+// the peer disconnecting mid-frame — throw net::NetError; the payload
+// bytes inside a well-formed frame are the protocol layer's problem
+// (net/protocol.h, which throws wire::WireError on malformed ones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/error.h"
+#include "net/socket.h"
+#include "wire/container.h"
+
+namespace fedtrip::net {
+
+/// Hard cap on one frame's payload: well above any legitimate message
+/// (the largest is a dispatch batch of |w|-float snapshots), far below
+/// anything that could OOM the receiver from a corrupt or hostile length.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+struct Frame {
+  wire::RecordType type{};
+  std::uint32_t aux = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes the 16-byte frame header (exposed separately so the hostile
+/// -input tests can craft byte-exact corrupt headers).
+std::vector<std::uint8_t> encode_frame_header(wire::RecordType type,
+                                              std::uint32_t aux,
+                                              std::uint64_t length);
+
+/// Parses a frame header; `size` must be >= 16 (NetError otherwise) and
+/// the length field must be <= kMaxFramePayload (NetError: oversize).
+struct FrameHeader {
+  wire::RecordType type{};
+  std::uint32_t aux = 0;
+  std::uint64_t length = 0;
+};
+FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t size);
+
+/// Writes one frame to the socket.
+void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
+                const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame. Throws NetError on disconnect, truncation, or an
+/// oversize length; `peer` labels the diagnostic ("worker 1"). When
+/// `eof_ok` and the peer closed cleanly between frames, returns a frame
+/// of type kNetShutdown with empty payload (a close is an implicit
+/// shutdown only where the caller opts in).
+Frame recv_frame(Socket& sock, const char* peer, bool eof_ok = false);
+
+}  // namespace fedtrip::net

@@ -1,0 +1,99 @@
+#include "net/golden.h"
+
+#include "net/protocol.h"
+
+namespace fedtrip::net::golden {
+
+namespace {
+
+SetupMsg canonical_setup() {
+  SetupMsg m;
+  m.method = "FedTrip";
+  m.algo.mu = 0.5f;
+  m.algo.xi_scale = 1.0f;
+  m.config.model.arch = nn::Arch::kMLP;
+  m.config.dataset = "mnist";
+  m.config.data_scale = 0.25;
+  m.config.heterogeneity = data::Heterogeneity::kDir05;
+  m.config.num_clients = 4;
+  m.config.clients_per_round = 2;
+  m.config.rounds = 3;
+  m.config.batch_size = 8;
+  m.config.seed = 2024;
+  m.config.comm.uplink = "ef+topk";
+  m.config.comm.delta_uplink = true;
+  m.config.sched.policy = "deadline";
+  m.config.clients.availability = "markov";
+  m.worker_index = 1;
+  m.num_workers = 2;
+  return m;
+}
+
+DispatchBatchMsg canonical_batch() {
+  DispatchBatchMsg b;
+  b.batch_seq = 1;
+  b.param_sets = {{0.5f, -0.5f, 1.0f, -1.0f}, {0.25f, 0.25f, 0.25f, 0.25f}};
+  WireDispatch d0;
+  d0.seq = 1;
+  d0.client_id = 1;
+  d0.round = 1;
+  d0.train_key = 0x100001;
+  d0.param_set = 0;
+  WireDispatch d1;
+  d1.seq = 2;
+  d1.client_id = 3;
+  d1.round = 1;
+  d1.train_key = 0x100003;
+  d1.param_set = 1;
+  d1.has_history = true;
+  d1.history_round = 1;
+  d1.history_params = {1.5f, 2.5f, -3.5f, 4.5f};
+  b.dispatches = {d0, d1};
+  return b;
+}
+
+TrainResultMsg canonical_result() {
+  TrainResultMsg r;
+  r.batch_seq = 1;
+  r.pre_round_flops = 0.0;
+  WireUpdate u0;
+  u0.client_id = 1;
+  u0.num_samples = 8;
+  u0.train_loss = 2.25;
+  u0.flops = 1024.0;
+  u0.params = {0.125f, -0.125f, 0.75f, -0.75f};
+  WireUpdate u1;
+  u1.client_id = 3;
+  u1.num_samples = 6;
+  u1.train_loss = 1.5;
+  u1.flops = 768.0;
+  u1.extra_upload_floats = 2;
+  u1.params = {-1.0f, 1.0f, -2.0f, 2.0f};
+  u1.aux = {9.0f, -9.0f};
+  r.updates = {u0, u1};
+  return r;
+}
+
+}  // namespace
+
+wire::golden::Fixture session_fixture() {
+  std::vector<wire::Record> records;
+  records.push_back({wire::RecordType::kNetHello, 0,
+                     serialize_hello(HelloMsg{1, 1})});
+  records.push_back({wire::RecordType::kNetHello, 0,
+                     serialize_hello(HelloMsg{1, 1})});
+  records.push_back(
+      {wire::RecordType::kNetSetup, 0, serialize_setup(canonical_setup())});
+  records.push_back({wire::RecordType::kNetSetupAck, 0,
+                     serialize_setup_ack(SetupAckMsg{42})});
+  records.push_back({wire::RecordType::kNetDispatch, 0,
+                     serialize_dispatch_batch(canonical_batch())});
+  records.push_back({wire::RecordType::kNetResult, 0,
+                     serialize_train_result(canonical_result())});
+  records.push_back({wire::RecordType::kNetError, 0,
+                     serialize_error("example worker diagnostic")});
+  records.push_back({wire::RecordType::kNetShutdown, 0, {}});
+  return {"net_session.bin", wire::write_container(records)};
+}
+
+}  // namespace fedtrip::net::golden

@@ -1,0 +1,20 @@
+// Golden fixture for the transport messages: one FTWIRE container holding
+// a canonical coordinator/worker session (hello exchange, setup + ack, a
+// dispatch batch, its train result, an error, shutdown) with fully pinned
+// field values. tools/wire_golden_gen writes it to
+// tests/data/wire/net_session.bin; tests/net/net_golden_test.cpp asserts
+// the committed bytes still match and still parse — an accidental change
+// to any message layout (or to the framing they share with container
+// records) fails CI against frozen bytes, exactly like the payload and
+// checkpoint fixtures in wire/golden.h. tools/wire_dump decodes the same
+// records for humans.
+#pragma once
+
+#include "wire/golden.h"
+
+namespace fedtrip::net::golden {
+
+/// The canonical session container (filename + full file bytes).
+wire::golden::Fixture session_fixture();
+
+}  // namespace fedtrip::net::golden

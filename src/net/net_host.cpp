@@ -1,0 +1,171 @@
+#include "net/net_host.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace fedtrip::net {
+
+NetHost::NetHost(fl::RoundHost& inner, WorkerPool& pool)
+    : inner_(inner), pool_(pool) {
+  if (pool_.size() == 0) {
+    throw NetError("NetHost needs at least one worker");
+  }
+}
+
+std::size_t NetHost::num_clients() const { return inner_.num_clients(); }
+std::size_t NetHost::clients_per_round() const {
+  return inner_.clients_per_round();
+}
+std::size_t NetHost::total_rounds() const { return inner_.total_rounds(); }
+const comm::NetworkModel& NetHost::network() const {
+  return inner_.network();
+}
+const clients::AvailabilityModel& NetHost::availability() const {
+  return inner_.availability();
+}
+bool NetHost::compute_enabled() const { return inner_.compute_enabled(); }
+double NetHost::compute_seconds(std::size_t client) const {
+  return inner_.compute_seconds(client);
+}
+std::size_t NetHost::message_bytes(comm::Direction dir) const {
+  return inner_.message_bytes(dir);
+}
+std::size_t NetHost::extra_down_bytes() const {
+  return inner_.extra_down_bytes();
+}
+std::size_t NetHost::extra_up_bytes() const {
+  return inner_.extra_up_bytes();
+}
+std::vector<std::size_t> NetHost::select(std::size_t count,
+                                         const std::vector<bool>* busy) {
+  return inner_.select(count, busy);
+}
+std::shared_ptr<const std::vector<float>> NetHost::broadcast(
+    std::uint64_t key, std::size_t copies, bool alias_ok,
+    std::size_t* wire_bytes) {
+  return inner_.broadcast(key, copies, alias_ok, wire_bytes);
+}
+std::size_t NetHost::uplink(fl::ClientUpdate& update, std::uint64_t key,
+                            const std::vector<float>& sent_from,
+                            std::size_t round) {
+  return inner_.uplink(update, key, sent_from, round);
+}
+void NetHost::aggregate(std::vector<fl::ClientUpdate>& updates,
+                        const sched::RoundMeta& meta) {
+  inner_.aggregate(updates, meta);
+}
+
+std::vector<fl::ClientUpdate> NetHost::train(
+    const std::vector<sched::Dispatch>& batch) {
+  const std::size_t n = pool_.size();
+  ++batch_seq_;
+
+  // Assemble one message per worker that owns part of the batch. Snapshot
+  // vectors are deduplicated by pointer: a sync/fastk cohort shares one
+  // broadcast, so it travels once per worker, not once per dispatch.
+  struct PerWorker {
+    DispatchBatchMsg msg;
+    std::vector<std::size_t> positions;  // indices into `batch`
+    std::unordered_map<const void*, std::uint32_t> set_index;
+  };
+  std::vector<PerWorker> shards(n);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& d = batch[i];
+    PerWorker& pw = shards[d.client_id % n];
+    const void* key = d.params.get();
+    auto [it, inserted] = pw.set_index.try_emplace(
+        key, static_cast<std::uint32_t>(pw.msg.param_sets.size()));
+    if (inserted) pw.msg.param_sets.push_back(*d.params);
+
+    WireDispatch wd;
+    wd.seq = d.seq;
+    wd.client_id = d.client_id;
+    wd.round = d.round;
+    wd.train_key = d.train_key;
+    wd.param_set = it->second;
+    if (const fl::HistoryEntry* h = inner_.client_history(d.client_id)) {
+      wd.has_history = true;
+      wd.history_round = h->round;
+      wd.history_params = h->params;
+    }
+    pw.msg.dispatches.push_back(std::move(wd));
+    pw.positions.push_back(i);
+  }
+
+  // Ship every shard before collecting any result: the workers overlap
+  // their local training, which is the point of the exercise.
+  for (std::size_t w = 0; w < n; ++w) {
+    if (shards[w].msg.dispatches.empty()) continue;
+    shards[w].msg.batch_seq = batch_seq_;
+    send_frame(pool_.worker(w), wire::RecordType::kNetDispatch, 0,
+               serialize_dispatch_batch(shards[w].msg));
+  }
+
+  std::vector<fl::ClientUpdate> updates(batch.size());
+  double pre_round_flops = 0.0;
+  for (std::size_t w = 0; w < n; ++w) {
+    PerWorker& pw = shards[w];
+    if (pw.msg.dispatches.empty()) continue;
+    const std::string& label = pool_.label(w);
+    Frame f = recv_frame(pool_.worker(w), label.c_str());
+    if (f.type == wire::RecordType::kNetError) {
+      throw NetError(label + " failed mid-round: " +
+                     parse_error(f.payload.data(), f.payload.size()));
+    }
+    if (f.type != wire::RecordType::kNetResult) {
+      throw NetError(label + ": expected train result, got frame type " +
+                     std::to_string(static_cast<std::uint32_t>(f.type)));
+    }
+    TrainResultMsg result;
+    try {
+      result = parse_train_result(f.payload.data(), f.payload.size());
+    } catch (const wire::WireError& e) {
+      // Transport-facing contract: everything a bad peer can cause
+      // surfaces as NetError with the worker named (a malformed payload
+      // inside a well-formed frame included).
+      throw NetError(label + " returned a malformed train result: " +
+                     e.what());
+    }
+    if (result.batch_seq != batch_seq_) {
+      throw NetError(label + " answered batch " +
+                     std::to_string(result.batch_seq) + " while batch " +
+                     std::to_string(batch_seq_) +
+                     " was outstanding (protocol desync)");
+    }
+    if (result.updates.size() != pw.positions.size()) {
+      throw NetError(label + " returned " +
+                     std::to_string(result.updates.size()) +
+                     " updates for " + std::to_string(pw.positions.size()) +
+                     " dispatches");
+    }
+    pre_round_flops += result.pre_round_flops;
+    for (std::size_t j = 0; j < result.updates.size(); ++j) {
+      const std::size_t pos = pw.positions[j];
+      fl::ClientUpdate u = to_client_update(std::move(result.updates[j]));
+      if (u.client_id != batch[pos].client_id) {
+        throw NetError(label + " returned an update for client " +
+                       std::to_string(u.client_id) + " at a slot "
+                       "dispatched to client " +
+                       std::to_string(batch[pos].client_id));
+      }
+      if (u.params.size() != batch[pos].params->size()) {
+        throw NetError(label + " returned " +
+                       std::to_string(u.params.size()) +
+                       " parameters, model has " +
+                       std::to_string(batch[pos].params->size()));
+      }
+      updates[pos] = std::move(u);
+    }
+  }
+
+  // Same accounting order as the in-process path: pre-round first, then
+  // each update in batch order (pre-round is exactly 0.0 for every
+  // remote-trainable method, so the shard-wise sum changes nothing).
+  inner_.add_flops(pre_round_flops);
+  for (const auto& u : updates) inner_.add_flops(u.flops);
+  return updates;
+}
+
+}  // namespace fedtrip::net

@@ -1,0 +1,69 @@
+// NetHost: the socket-backed sched::Host.
+//
+// Wraps the in-process fl::RoundHost and overrides exactly one primitive:
+// train() fans the dispatch batch out to the pool's workers (clients are
+// sharded by id % num_workers), ships each dispatch with its broadcast
+// snapshot and history entry, and reassembles the returned ClientUpdates
+// into the original batch order — the deterministic, seq-ordered form the
+// schedulers expect, bit-identical to in-process training because the
+// workers run the same Simulation::train_shard from the same seed.
+// Everything else — selection RNG, channel encode/decode and
+// error-feedback state, history store, aggregation, the virtual clock —
+// delegates to the wrapped RoundHost on the coordinator, which is why no
+// policy code knows the difference (the documented remote contract of
+// sched::Host; docs/TRANSPORT.md).
+//
+// FLOPs accounting mirrors the in-process order exactly: the summed
+// pre-round FLOPs first, then each update's FLOPs in batch order.
+//
+// A worker failing mid-round (disconnect, error frame, desynchronised or
+// malformed result) throws NetError with the worker's label and the
+// cause; the run fails loudly instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/round_host.h"
+#include "net/pool.h"
+#include "sched/scheduler.h"
+
+namespace fedtrip::net {
+
+class NetHost final : public sched::Host {
+ public:
+  NetHost(fl::RoundHost& inner, WorkerPool& pool);
+
+  std::size_t num_clients() const override;
+  std::size_t clients_per_round() const override;
+  std::size_t total_rounds() const override;
+  const comm::NetworkModel& network() const override;
+  const clients::AvailabilityModel& availability() const override;
+  bool compute_enabled() const override;
+  double compute_seconds(std::size_t client) const override;
+  std::size_t message_bytes(comm::Direction dir) const override;
+  std::size_t extra_down_bytes() const override;
+  std::size_t extra_up_bytes() const override;
+  std::vector<std::size_t> select(std::size_t count,
+                                  const std::vector<bool>* busy) override;
+  std::shared_ptr<const std::vector<float>> broadcast(
+      std::uint64_t key, std::size_t copies, bool alias_ok,
+      std::size_t* wire_bytes) override;
+  std::size_t uplink(fl::ClientUpdate& update, std::uint64_t key,
+                     const std::vector<float>& sent_from,
+                     std::size_t round) override;
+  void aggregate(std::vector<fl::ClientUpdate>& updates,
+                 const sched::RoundMeta& meta) override;
+
+  /// The remote primitive: dispatches sharded across the pool, updates
+  /// reassembled in batch order.
+  std::vector<fl::ClientUpdate> train(
+      const std::vector<sched::Dispatch>& batch) override;
+
+ private:
+  fl::RoundHost& inner_;
+  WorkerPool& pool_;
+  std::uint64_t batch_seq_ = 0;
+};
+
+}  // namespace fedtrip::net

@@ -1,0 +1,209 @@
+#include "net/pool.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace fedtrip::net {
+
+namespace {
+
+/// One worker's handshake: version negotiation, setup, param_dim check.
+void handshake_worker(Socket& conn, const std::string& label,
+                      SetupMsg setup, std::uint32_t index,
+                      std::uint32_t num_workers, std::size_t expected_dim) {
+  send_frame(conn, wire::RecordType::kNetHello, 0,
+             serialize_hello(HelloMsg{}));
+  Frame reply = recv_frame(conn, label.c_str());
+  if (reply.type == wire::RecordType::kNetError) {
+    throw NetError(label + " rejected the handshake: " +
+                   parse_error(reply.payload.data(), reply.payload.size()));
+  }
+  if (reply.type != wire::RecordType::kNetHello) {
+    throw NetError(label + ": expected hello reply, got frame type " +
+                   std::to_string(static_cast<std::uint32_t>(reply.type)));
+  }
+  HelloMsg theirs;
+  try {
+    theirs = parse_hello(reply.payload.data(), reply.payload.size());
+  } catch (const wire::WireError& e) {
+    throw NetError(label + " sent a malformed hello: " + e.what());
+  }
+  // The worker already chose from our offer; re-negotiating against its
+  // (degenerate) range validates the choice is one we speak.
+  (void)negotiate_version(HelloMsg{}, theirs);
+
+  setup.worker_index = index;
+  setup.num_workers = num_workers;
+  send_frame(conn, wire::RecordType::kNetSetup, 0, serialize_setup(setup));
+  Frame ack = recv_frame(conn, label.c_str());
+  if (ack.type == wire::RecordType::kNetError) {
+    throw NetError(label + " failed setup: " +
+                   parse_error(ack.payload.data(), ack.payload.size()));
+  }
+  if (ack.type != wire::RecordType::kNetSetupAck) {
+    throw NetError(label + ": expected setup ack, got frame type " +
+                   std::to_string(static_cast<std::uint32_t>(ack.type)));
+  }
+  SetupAckMsg got;
+  try {
+    got = parse_setup_ack(ack.payload.data(), ack.payload.size());
+  } catch (const wire::WireError& e) {
+    throw NetError(label + " sent a malformed setup ack: " + e.what());
+  }
+  if (got.param_dim != expected_dim) {
+    throw NetError(label + " built |w| = " + std::to_string(got.param_dim) +
+                   ", coordinator has |w| = " +
+                   std::to_string(expected_dim) +
+                   " — the processes disagree on the model (config drift?)");
+  }
+}
+
+}  // namespace
+
+WorkerPool::~WorkerPool() {
+  try {
+    shutdown();
+  } catch (...) {
+  }
+}
+
+WorkerPool WorkerPool::handshake(std::vector<Socket> conns, SetupMsg setup,
+                                 std::size_t expected_dim) {
+  WorkerPool pool;
+  pool.conns_ = std::move(conns);
+  const std::size_t n = pool.conns_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.labels_.push_back("worker " + std::to_string(i + 1) + "/" +
+                           std::to_string(n));
+    handshake_worker(pool.conns_[i], pool.labels_[i], setup,
+                     static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(n), expected_dim);
+  }
+  return pool;
+}
+
+WorkerPool WorkerPool::spawn_local(std::size_t n,
+                                   const std::string& worker_bin,
+                                   SetupMsg setup, std::size_t expected_dim) {
+  if (n == 0) throw NetError("cannot spawn a pool of 0 workers");
+  Listener listener(0);
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(listener.port());
+
+  std::vector<int> pids;
+  pids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw NetError("fork failed: " + std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: become the worker binary. On exec failure exit hard — the
+      // parent sees the missing connection and reports the path.
+      ::execl(worker_bin.c_str(), worker_bin.c_str(), "--connect",
+              endpoint.c_str(), static_cast<char*>(nullptr));
+      std::fprintf(stderr, "exec %s failed: %s\n", worker_bin.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    pids.push_back(static_cast<int>(pid));
+  }
+
+  // Accept with a poll loop that watches the children: a worker that
+  // dies before dialing in (exec failure, crash on startup) must fail the
+  // spawn with a diagnostic, not block accept() forever.
+  auto fail_spawn = [&](const std::string& why) -> NetError {
+    for (int pid : pids) ::kill(pid, SIGKILL);
+    for (int pid : pids) ::waitpid(pid, nullptr, 0);
+    return NetError(why);
+  };
+  std::vector<Socket> conns;
+  conns.reserve(n);
+  constexpr int kSpawnTimeoutMs = 30000;
+  int waited_ms = 0;
+  while (conns.size() < n) {
+    Socket conn = listener.accept_timeout(200);
+    if (conn.valid()) {
+      conns.push_back(std::move(conn));
+      continue;
+    }
+    for (int pid : pids) {
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        throw fail_spawn(
+            "spawned worker (pid " + std::to_string(pid) +
+            ") exited before connecting — is " + worker_bin +
+            " the fl_worker binary? (exit status " +
+            std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) +
+            ")");
+      }
+    }
+    waited_ms += 200;
+    if (waited_ms >= kSpawnTimeoutMs) {
+      throw fail_spawn("spawned workers did not connect within " +
+                       std::to_string(kSpawnTimeoutMs / 1000) +
+                       " s (binary: " + worker_bin + ")");
+    }
+  }
+
+  try {
+    WorkerPool pool = handshake(std::move(conns), std::move(setup),
+                                expected_dim);
+    pool.child_pids_ = std::move(pids);
+    // Connections are labeled in accept order, which need not match
+    // spawn order — so labels say "spawned", never a specific pid (the
+    // pids are held for reaping only).
+    for (auto& label : pool.labels_) label += " (spawned)";
+    return pool;
+  } catch (...) {
+    // A handshake/setup failure after connect: the children would
+    // otherwise linger unkilled and unreaped.
+    for (int pid : pids) ::kill(pid, SIGKILL);
+    for (int pid : pids) ::waitpid(pid, nullptr, 0);
+    throw;
+  }
+}
+
+WorkerPool WorkerPool::connect(const std::vector<Endpoint>& endpoints,
+                               SetupMsg setup, std::size_t expected_dim) {
+  if (endpoints.empty()) {
+    throw NetError("cannot build a pool from 0 endpoints");
+  }
+  std::vector<Socket> conns;
+  conns.reserve(endpoints.size());
+  for (const auto& ep : endpoints) {
+    conns.push_back(connect_to(ep.host, ep.port));
+  }
+  WorkerPool pool =
+      handshake(std::move(conns), std::move(setup), expected_dim);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    pool.labels_[i] += " (" + endpoints[i].host + ":" +
+                       std::to_string(endpoints[i].port) + ")";
+  }
+  return pool;
+}
+
+void WorkerPool::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& conn : conns_) {
+    if (!conn.valid()) continue;
+    try {
+      send_frame(conn, wire::RecordType::kNetShutdown, 0, {});
+    } catch (...) {
+      // A worker that already died still gets reaped below.
+    }
+    conn.close();
+  }
+  for (int pid : child_pids_) ::waitpid(pid, nullptr, 0);
+  child_pids_.clear();
+}
+
+}  // namespace fedtrip::net

@@ -1,0 +1,71 @@
+// WorkerPool: the coordinator's handle on N connected, set-up workers.
+//
+// Three ways to populate it, all ending in the same state (a handshaken,
+// setup-acknowledged socket per worker, shard i of n):
+//   * spawn_local  — fork/exec N `fl_worker --connect 127.0.0.1:<port>`
+//                    children against a local listener (the
+//                    run_experiment --workers-remote path);
+//   * connect      — dial pre-started workers (`fl_worker --listen PORT`
+//                    elsewhere; the run_experiment --connect path);
+//   * handshake    — adopt already-connected sockets (the in-process
+//                    equivalence tests drive WorkerServer threads over
+//                    socketpair/loopback sockets).
+//
+// The handshake performs version negotiation (net/protocol.h), ships the
+// Setup message with this worker's shard coordinates, and cross-checks
+// the acknowledged param_dim against the coordinator's model — a config
+// drift between processes fails the run at setup, not as silent numeric
+// divergence mid-training.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace fedtrip::net {
+
+class WorkerPool {
+ public:
+  WorkerPool(WorkerPool&&) noexcept = default;
+  WorkerPool& operator=(WorkerPool&&) noexcept = default;
+  /// Best-effort shutdown() if the owner did not call it.
+  ~WorkerPool();
+
+  /// Adopts connected sockets and runs the handshake + setup on each
+  /// (worker i of conns.size() in adoption order). `setup` carries
+  /// everything but the shard coordinates, which this fills per worker;
+  /// `expected_dim` is the coordinator model's |w| for the ack check.
+  static WorkerPool handshake(std::vector<Socket> conns, SetupMsg setup,
+                              std::size_t expected_dim);
+
+  /// Spawns `n` local worker processes (fork/exec of `worker_bin`) that
+  /// connect back to an ephemeral loopback listener, then handshakes.
+  static WorkerPool spawn_local(std::size_t n, const std::string& worker_bin,
+                                SetupMsg setup, std::size_t expected_dim);
+
+  /// Connects to pre-started workers at `endpoints`, then handshakes.
+  static WorkerPool connect(const std::vector<Endpoint>& endpoints,
+                            SetupMsg setup, std::size_t expected_dim);
+
+  std::size_t size() const { return conns_.size(); }
+  Socket& worker(std::size_t i) { return conns_[i]; }
+  /// Diagnostic label ("worker 1/2 (pid 4242)").
+  const std::string& label(std::size_t i) const { return labels_[i]; }
+
+  /// Sends every worker an orderly shutdown, closes the sockets, and
+  /// reaps spawned children. Safe to call twice.
+  void shutdown();
+
+ private:
+  WorkerPool() = default;
+
+  std::vector<Socket> conns_;
+  std::vector<std::string> labels_;
+  std::vector<int> child_pids_;  // spawn_local only
+  bool shut_down_ = false;
+};
+
+}  // namespace fedtrip::net

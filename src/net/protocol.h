@@ -1,0 +1,145 @@
+// The distributed-runner message set: the byte layout of every record the
+// coordinator and a worker exchange (frame types in wire/container.h,
+// framing in net/frame.h, lifecycle in docs/TRANSPORT.md).
+//
+// Session shape:
+//
+//   coordinator -> worker   kNetHello     (supported version range)
+//   worker -> coordinator   kNetHello     (chosen version, echoed twice)
+//   coordinator -> worker   kNetSetup     (method + config + shard coords)
+//   worker -> coordinator   kNetSetupAck  (param_dim cross-check)
+//   repeat:
+//     coordinator -> worker kNetDispatch  (snapshots + dispatches)
+//     worker -> coordinator kNetResult    (trained updates, in order)
+//   coordinator -> worker   kNetShutdown
+//   either direction        kNetError     (fatal diagnostic, any time)
+//
+// Serializers build on wire::WireWriter; parsers validate everything —
+// counts bounds-checked against the remaining buffer BEFORE allocation,
+// bools restricted to 0/1, enums range-checked, exact-consumption
+// enforced — and throw wire::WireError on malformed payloads, mirroring
+// the tests/wire/ hostile-input discipline. Version-negotiation failures
+// throw net::NetError. A layout change to any message bumps
+// kProtocolVersion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/params.h"
+#include "fl/config.h"
+#include "fl/types.h"
+#include "net/error.h"
+#include "wire/wire.h"
+
+namespace fedtrip::net {
+
+/// Protocol versions this build can speak (negotiation picks the highest
+/// version inside both peers' ranges).
+inline constexpr std::uint16_t kProtocolVersionMin = 1;
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+// ------------------------------------------------------------- handshake
+
+struct HelloMsg {
+  std::uint16_t version_min = kProtocolVersionMin;
+  std::uint16_t version_max = kProtocolVersion;
+};
+
+std::vector<std::uint8_t> serialize_hello(const HelloMsg& m);
+HelloMsg parse_hello(const std::uint8_t* data, std::size_t size);
+
+/// The version both sides will speak, or throws NetError when the ranges
+/// do not overlap ("bad protocol version" with both ranges spelled out).
+std::uint16_t negotiate_version(const HelloMsg& ours, const HelloMsg& theirs);
+
+/// Everything a worker needs to rebuild the coordinator's deterministic
+/// world: the algorithm (by registry name + hyperparameters), the full
+/// ExperimentConfig (same seed -> same data, partition, models, RNG
+/// streams), and which shard of the client space this worker owns
+/// (clients with id % num_workers == worker_index).
+struct SetupMsg {
+  std::string method;
+  algorithms::AlgoParams algo;
+  fl::ExperimentConfig config;
+  std::uint32_t worker_index = 0;
+  std::uint32_t num_workers = 1;
+  /// Real-data directory (run_experiment --idx-dir); empty = synthetic.
+  /// Must resolve on the worker's filesystem.
+  std::string idx_dir;
+};
+
+std::vector<std::uint8_t> serialize_setup(const SetupMsg& m);
+SetupMsg parse_setup(const std::uint8_t* data, std::size_t size);
+
+struct SetupAckMsg {
+  std::uint64_t param_dim = 0;
+};
+
+std::vector<std::uint8_t> serialize_setup_ack(const SetupAckMsg& m);
+SetupAckMsg parse_setup_ack(const std::uint8_t* data, std::size_t size);
+
+// -------------------------------------------------------------- training
+
+/// One training dispatch inside a batch. The broadcast snapshot is shared
+/// by index into DispatchBatchMsg::param_sets (sync/fastk batches share
+/// one snapshot across the cohort; async/deadline unicast per dispatch),
+/// and the client's history entry — the coordinator's store is the source
+/// of truth — rides along so the worker stays stateless across batches.
+struct WireDispatch {
+  std::uint64_t seq = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t round = 0;
+  std::uint64_t train_key = 0;
+  std::uint32_t param_set = 0;
+  bool has_history = false;
+  std::uint64_t history_round = 0;
+  std::vector<float> history_params;
+};
+
+struct DispatchBatchMsg {
+  /// Coordinator-side batch counter; the worker echoes it in the result
+  /// so a desynchronised pairing fails loudly.
+  std::uint64_t batch_seq = 0;
+  std::vector<std::vector<float>> param_sets;
+  std::vector<WireDispatch> dispatches;
+};
+
+std::vector<std::uint8_t> serialize_dispatch_batch(const DispatchBatchMsg& m);
+DispatchBatchMsg parse_dispatch_batch(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// The trained updates of one batch, aligned with the dispatch order the
+/// batch arrived in (which is the coordinator's batch order — the
+/// deterministic, seq-ordered reassembly contract).
+struct WireUpdate {
+  std::uint64_t client_id = 0;
+  std::uint64_t num_samples = 0;
+  double train_loss = 0.0;
+  double flops = 0.0;
+  std::uint64_t extra_upload_floats = 0;
+  std::vector<float> params;
+  std::vector<float> aux;
+};
+
+struct TrainResultMsg {
+  std::uint64_t batch_seq = 0;
+  double pre_round_flops = 0.0;
+  std::vector<WireUpdate> updates;
+};
+
+std::vector<std::uint8_t> serialize_train_result(const TrainResultMsg& m);
+TrainResultMsg parse_train_result(const std::uint8_t* data,
+                                  std::size_t size);
+
+// ----------------------------------------------------------------- error
+
+std::vector<std::uint8_t> serialize_error(const std::string& message);
+std::string parse_error(const std::uint8_t* data, std::size_t size);
+
+/// Converts a wire update back into the engine's value type.
+fl::ClientUpdate to_client_update(WireUpdate&& w);
+WireUpdate to_wire_update(const fl::ClientUpdate& u);
+
+}  // namespace fedtrip::net

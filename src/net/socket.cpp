@@ -1,0 +1,211 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace fedtrip::net {
+
+namespace {
+
+std::string errno_str() { return std::strerror(errno); }
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("send failed: " + errno_str());
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t n, bool eof_ok) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("recv failed: " + errno_str());
+    }
+    if (r == 0) {
+      if (eof_ok && got == 0) return false;
+      throw NetError("peer closed the connection mid-message (" +
+                     std::to_string(got) + " of " + std::to_string(n) +
+                     " bytes received)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw NetError("socket() failed: " + errno_str());
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = errno_str();
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("bind(127.0.0.1:" + std::to_string(port) +
+                   ") failed: " + err);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string err = errno_str();
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("listen failed: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = errno_str();
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("getsockname failed: " + err);
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Listener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    throw NetError("accept failed: " + errno_str());
+  }
+}
+
+Socket Listener::accept_timeout(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("poll failed: " + errno_str());
+    }
+    if (rc == 0) return Socket();  // timeout: no connection
+    return accept();
+  }
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw NetError("cannot resolve " + host + ": " + gai_strerror(rc));
+  }
+  std::string last_err = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno_str();
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last_err = errno_str();
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  throw NetError("cannot connect to " + host + ":" + std::to_string(port) +
+                 ": " + last_err);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    throw NetError("bad endpoint '" + spec + "' (expected host:port)");
+  }
+  Endpoint ep;
+  ep.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    throw NetError("bad port in endpoint '" + spec + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+SocketPair make_socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw NetError("socketpair failed: " + errno_str());
+  }
+  return SocketPair{Socket(fds[0]), Socket(fds[1])};
+}
+
+}  // namespace fedtrip::net

@@ -1,0 +1,86 @@
+// Thin RAII wrappers over POSIX TCP sockets — the only file in the system
+// that talks to the BSD socket API. Loopback/IPv4 via getaddrinfo;
+// send/recv loop until the full buffer moved (short reads and EINTR are
+// handled here, so the framing layer above sees all-or-nothing I/O).
+// Failures throw net::NetError with the peer label in the message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/error.h"
+
+namespace fedtrip::net {
+
+/// A connected stream socket (owns the fd; move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Sends exactly `n` bytes (MSG_NOSIGNAL: a dead peer surfaces as
+  /// NetError, never SIGPIPE). Throws NetError on any failure.
+  void send_all(const void* data, std::size_t n);
+
+  /// Receives exactly `n` bytes. Throws NetError on failure or when the
+  /// peer closes before `n` bytes arrive (`eof_ok` suppresses the throw
+  /// for a clean close at offset 0 and returns false — how a server loop
+  /// distinguishes "session over" from "died mid-message").
+  bool recv_all(void* data, std::size_t n, bool eof_ok = false);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (port 0 = kernel-assigned;
+/// port() reports the actual one).
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  Listener(Listener&&) noexcept;
+  Listener& operator=(Listener&&) noexcept;
+  ~Listener();
+
+  std::uint16_t port() const { return port_; }
+  /// Blocks until a peer connects.
+  Socket accept();
+  /// accept() with a poll timeout: an invalid Socket after `timeout_ms`
+  /// with no connection (what lets the spawner notice a worker that died
+  /// before dialing in, instead of blocking forever).
+  Socket accept_timeout(int timeout_ms);
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port (numeric or resolvable host). Throws NetError.
+Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// Splits "host:port" (the --connect argument form). Throws NetError on a
+/// missing/invalid port.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+Endpoint parse_endpoint(const std::string& spec);
+
+/// An fd pair connected to each other (socketpair) — what the in-process
+/// tests drive the framing and worker loops through without a listener.
+struct SocketPair {
+  Socket a;
+  Socket b;
+};
+SocketPair make_socket_pair();
+
+}  // namespace fedtrip::net

@@ -1,0 +1,204 @@
+#include "net/worker.h"
+
+#include <cstdarg>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "data/idx_loader.h"
+#include "fl/simulation.h"
+
+namespace fedtrip::net {
+
+namespace {
+
+/// The worker's session state once Setup arrived: the rebuilt world plus
+/// the shard coordinates dispatches are validated against.
+struct WorkerWorld {
+  std::unique_ptr<fl::Simulation> sim;
+  std::uint32_t worker_index = 0;
+  std::uint32_t num_workers = 1;
+  std::size_t num_clients = 0;
+};
+
+WorkerWorld build_world(const SetupMsg& setup) {
+  auto algorithm = algorithms::make_algorithm(setup.method, setup.algo);
+  if (!algorithm->remote_trainable()) {
+    throw NetError("method " + setup.method +
+                   " is not remote-trainable (mutable algorithm state on "
+                   "the train path; see docs/TRANSPORT.md)");
+  }
+  WorkerWorld world;
+  world.worker_index = setup.worker_index;
+  world.num_workers = setup.num_workers;
+  world.num_clients = setup.config.num_clients;
+  if (!setup.idx_dir.empty()) {
+    auto real =
+        data::try_load_mnist_dir(setup.idx_dir, setup.config.model.classes);
+    if (!real.has_value()) {
+      throw NetError("worker cannot load IDX data from " + setup.idx_dir +
+                     " (the coordinator did — path must resolve on the "
+                     "worker's filesystem)");
+    }
+    world.sim = std::make_unique<fl::Simulation>(
+        setup.config, std::move(algorithm),
+        data::TrainTest{std::move(real->train), std::move(real->test)});
+  } else {
+    world.sim =
+        std::make_unique<fl::Simulation>(setup.config, std::move(algorithm));
+  }
+  return world;
+}
+
+TrainResultMsg execute_batch(WorkerWorld& world, DispatchBatchMsg&& batch) {
+  const std::size_t dim = world.sim->param_dim();
+  // Promote the snapshots to shared ownership once; every dispatch in the
+  // batch references them by index.
+  std::vector<std::shared_ptr<const std::vector<float>>> snapshots;
+  snapshots.reserve(batch.param_sets.size());
+  for (auto& p : batch.param_sets) {
+    if (p.size() != dim) {
+      throw NetError("dispatch snapshot has " + std::to_string(p.size()) +
+                     " floats, model expects " + std::to_string(dim));
+    }
+    snapshots.push_back(
+        std::make_shared<const std::vector<float>>(std::move(p)));
+  }
+
+  // History entries need stable addresses across the whole batch: size the
+  // vector once, then point ShardWork at its slots.
+  std::vector<fl::HistoryEntry> history(batch.dispatches.size());
+  std::vector<fl::ShardWork> work;
+  work.reserve(batch.dispatches.size());
+  for (std::size_t i = 0; i < batch.dispatches.size(); ++i) {
+    auto& d = batch.dispatches[i];
+    if (d.client_id >= world.num_clients) {
+      throw NetError("dispatch for client " + std::to_string(d.client_id) +
+                     " of " + std::to_string(world.num_clients));
+    }
+    if (d.client_id % world.num_workers != world.worker_index) {
+      throw NetError("dispatch for client " + std::to_string(d.client_id) +
+                     " does not belong to worker " +
+                     std::to_string(world.worker_index) + " of " +
+                     std::to_string(world.num_workers));
+    }
+    fl::ShardWork sw;
+    sw.d.seq = static_cast<std::size_t>(d.seq);
+    sw.d.client_id = static_cast<std::size_t>(d.client_id);
+    sw.d.round = static_cast<std::size_t>(d.round);
+    sw.d.train_key = d.train_key;
+    sw.d.params = snapshots[d.param_set];
+    if (d.has_history) {
+      if (d.history_params.size() != dim) {
+        throw NetError("history entry has " +
+                       std::to_string(d.history_params.size()) +
+                       " floats, model expects " + std::to_string(dim));
+      }
+      history[i] =
+          fl::HistoryEntry{std::move(d.history_params),
+                           static_cast<std::size_t>(d.history_round)};
+      sw.history = &history[i];
+    }
+    work.push_back(std::move(sw));
+  }
+
+  TrainResultMsg result;
+  result.batch_seq = batch.batch_seq;
+  auto updates = world.sim->train_shard(work, &result.pre_round_flops);
+  result.updates.reserve(updates.size());
+  for (const auto& u : updates) result.updates.push_back(to_wire_update(u));
+  return result;
+}
+
+}  // namespace
+
+void WorkerServer::logf(const char* fmt, ...) {
+  if (log_ == nullptr) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(log_, "fl_worker: ");
+  std::vfprintf(log_, fmt, args);
+  std::fprintf(log_, "\n");
+  std::fflush(log_);
+  va_end(args);
+}
+
+void WorkerServer::serve(Socket conn) {
+  try {
+    // Handshake: the coordinator offers its version range, the worker
+    // answers with the negotiated version (echoed as a degenerate range).
+    Frame hello = recv_frame(conn, "coordinator");
+    if (hello.type != wire::RecordType::kNetHello) {
+      throw NetError("expected hello, got frame type " +
+                     std::to_string(static_cast<std::uint32_t>(hello.type)));
+    }
+    const HelloMsg theirs =
+        parse_hello(hello.payload.data(), hello.payload.size());
+    const std::uint16_t version = negotiate_version(HelloMsg{}, theirs);
+    send_frame(conn, wire::RecordType::kNetHello, 0,
+               serialize_hello(HelloMsg{version, version}));
+
+    Frame setup_frame = recv_frame(conn, "coordinator");
+    if (setup_frame.type == wire::RecordType::kNetError) {
+      throw NetError("coordinator aborted: " +
+                     parse_error(setup_frame.payload.data(),
+                                 setup_frame.payload.size()));
+    }
+    if (setup_frame.type != wire::RecordType::kNetSetup) {
+      throw NetError(
+          "expected setup, got frame type " +
+          std::to_string(static_cast<std::uint32_t>(setup_frame.type)));
+    }
+    const SetupMsg setup =
+        parse_setup(setup_frame.payload.data(), setup_frame.payload.size());
+    logf("setup: method=%s clients=%zu shard %u/%u seed=%llu",
+         setup.method.c_str(), setup.config.num_clients, setup.worker_index,
+         setup.num_workers,
+         static_cast<unsigned long long>(setup.config.seed));
+    WorkerWorld world = build_world(setup);
+    send_frame(conn, wire::RecordType::kNetSetupAck, 0,
+               serialize_setup_ack(SetupAckMsg{world.sim->param_dim()}));
+    logf("world ready: |w| = %zu", world.sim->param_dim());
+
+    std::size_t batches = 0;
+    while (true) {
+      Frame f = recv_frame(conn, "coordinator");
+      switch (f.type) {
+        case wire::RecordType::kNetDispatch: {
+          auto batch =
+              parse_dispatch_batch(f.payload.data(), f.payload.size());
+          auto result = execute_batch(world, std::move(batch));
+          send_frame(conn, wire::RecordType::kNetResult, 0,
+                     serialize_train_result(result));
+          ++batches;
+          break;
+        }
+        case wire::RecordType::kNetShutdown:
+          logf("shutdown after %zu batches", batches);
+          return;
+        case wire::RecordType::kNetError:
+          throw NetError("coordinator aborted: " +
+                         parse_error(f.payload.data(), f.payload.size()));
+        default:
+          throw NetError(
+              "unexpected frame type " +
+              std::to_string(static_cast<std::uint32_t>(f.type)) +
+              " in the dispatch loop");
+      }
+    }
+  } catch (const std::exception& e) {
+    logf("fatal: %s", e.what());
+    // Best effort: ship the diagnostic to the coordinator before dying, so
+    // the run fails with the cause instead of a bare disconnect.
+    try {
+      send_frame(conn, wire::RecordType::kNetError, 0,
+                 serialize_error(e.what()));
+    } catch (...) {
+    }
+    throw;
+  }
+}
+
+}  // namespace fedtrip::net

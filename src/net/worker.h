@@ -1,0 +1,47 @@
+// WorkerServer: the worker-process half of the distributed runner.
+//
+// A worker owns a shard of the client space (id % num_workers ==
+// worker_index) and executes exactly one Host primitive remotely: train.
+// From the Setup message it rebuilds the coordinator's deterministic
+// world — same ExperimentConfig, same seed, hence bit-identical dataset,
+// partition, model init and per-dispatch RNG streams — and then serves
+// dispatch batches through Simulation::train_shard, the same code path
+// the in-process host runs. Everything stateful (channel, error-feedback
+// residuals, history store, aggregation, the virtual clock) stays on the
+// coordinator; the per-dispatch history entry rides inside the dispatch
+// message, so the worker holds no cross-batch mutable state at all.
+//
+// serve() handles one coordinator session: handshake, setup, a
+// dispatch/result loop, shutdown. Protocol violations and transport
+// failures throw (NetError / WireError) after a best-effort kNetError
+// frame to the peer, so the coordinator fails the run with the worker's
+// diagnostic instead of a bare disconnect.
+#pragma once
+
+#include <cstdio>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace fedtrip::net {
+
+class WorkerServer {
+ public:
+  /// `log` (optional) receives one-line lifecycle messages (fl_worker
+  /// points it at stderr; tests pass nullptr).
+  explicit WorkerServer(std::FILE* log = nullptr) : log_(log) {}
+
+  /// Serves one coordinator session on a connected socket; returns after
+  /// an orderly shutdown. Throws NetError / wire::WireError on transport
+  /// or protocol failure (after attempting to send the diagnostic to the
+  /// coordinator as a kNetError frame).
+  void serve(Socket conn);
+
+ private:
+  void logf(const char* fmt, ...);
+
+  std::FILE* log_ = nullptr;
+};
+
+}  // namespace fedtrip::net

@@ -58,6 +58,29 @@ double earliest_comeback(const Host& host, const std::vector<bool>* busy,
   return t;
 }
 
+/// Earliest instant at which some idle client's availability state
+/// *changes* (an offline client comes back, an online client churns off).
+/// The doomed-skipping deadline dispatch waits on this instead of
+/// earliest_comeback: when every online client's remaining window is too
+/// short, the comeback of an online client is "now" and the clock would
+/// never advance — but after the client churns off and returns, its fresh
+/// window may fit, so the state-change instant always makes progress
+/// (online clients' windows end strictly later than now; an infinite
+/// window can never be doomed, so it never lands in this wait).
+double earliest_availability_change(const Host& host,
+                                    const std::vector<bool>* busy,
+                                    double now) {
+  const auto& avail = host.availability();
+  double t = kInf;
+  for (std::size_t k = 0; k < host.num_clients(); ++k) {
+    if (busy != nullptr && (*busy)[k]) continue;
+    t = std::min(t, avail.available(k, now)
+                        ? avail.online_until(k, now)
+                        : avail.next_available_time(k, now));
+  }
+  return t;
+}
+
 /// Draws `count` clients and keeps the ones online at *clock, counting
 /// offline skips in *unavailable (the server's dispatch ping goes
 /// unanswered). When every sampled client is offline, advances *clock to
@@ -280,7 +303,20 @@ class FlightDeck {
         // not accounting gaps.
         up_bytes_(host.message_bytes(comm::Direction::kUp) +
                   host.extra_up_bytes()),
+        // Downlink prediction for the doomed-dispatch check: equals the
+        // actual per-dispatch broadcast bytes (every codec's wire size is
+        // a pure function of dim), known before any broadcast runs.
+        down_bytes_pred_(host.message_bytes(comm::Direction::kDown) +
+                         host.extra_down_bytes()),
         busy_(host.num_clients(), false) {}
+
+  /// Availability-aware dispatch (the deadline policy): skip clients whose
+  /// remaining on-window cannot fit their predicted round-trip + compute
+  /// time instead of dispatching work that is doomed to be dropped. Both
+  /// inputs are exact at dispatch time, so the skip catches precisely the
+  /// flights that would otherwise be lost to churn — and it runs before
+  /// the broadcast, so no downlink bytes are spent on them.
+  void set_skip_doomed(bool on) { skip_doomed_ = on; }
 
   std::size_t in_flight() const { return in_flight_; }
   /// In-flight dispatches that will actually arrive (excludes flights
@@ -300,6 +336,21 @@ class FlightDeck {
       if (!avail_.always() && !avail_.available(c, now)) {
         ++*unavailable;
         continue;
+      }
+      if (skip_doomed_ && !avail_.always()) {
+        // Predicted arrival vs the end of the client's current on-window:
+        // identical arithmetic to the flight construction below, with the
+        // data-independent downlink prediction standing in for the actual
+        // broadcast bytes (they are equal for every codec).
+        const double predicted =
+            now +
+            host_.network().client_seconds(c, down_bytes_pred_, up_bytes_) +
+            host_.network().server_seconds(down_bytes_pred_ + up_bytes_) +
+            host_.compute_seconds(c);
+        if (avail_.online_until(c, now) < predicted) {
+          ++*unavailable;
+          continue;
+        }
       }
       ++seq_;
       std::size_t down_wire = 0;
@@ -367,6 +418,8 @@ class FlightDeck {
   Host& host_;
   const clients::AvailabilityModel& avail_;
   std::size_t up_bytes_;
+  std::size_t down_bytes_pred_;
+  bool skip_doomed_ = false;
   std::vector<Flight> flights_;
   std::vector<bool> busy_;
   std::size_t in_flight_ = 0;
@@ -525,6 +578,7 @@ void DeadlineScheduler::run(Host& host) {
   const double deadline = deadline_for(config_, host);
 
   FlightDeck deck(host);
+  deck.set_skip_doomed(config_.deadline_skip_doomed);
   double clock = 0.0;
   std::size_t unavailable = 0;  // per-round offline skips/drops
 
@@ -539,8 +593,9 @@ void DeadlineScheduler::run(Host& host) {
     }
   };
 
-  // Top up, and when every idle client is offline wait for the earliest
-  // comeback so at least one dispatch is always in flight.
+  // Top up, and when every idle client is offline (or online but doomed,
+  // under skip_doomed) wait for the earliest availability change so at
+  // least one dispatch is always in flight.
   auto ensure_in_flight = [&](std::size_t round) {
     dispatch_fill(round, clock);
     std::size_t guard = 0;
@@ -548,7 +603,10 @@ void DeadlineScheduler::run(Host& host) {
       if (++guard > kStarveGuard) {
         throw std::runtime_error("deadline: client dispatch starved");
       }
-      const double t = earliest_comeback(host, &deck.busy(), clock);
+      const double t =
+          config_.deadline_skip_doomed
+              ? earliest_availability_change(host, &deck.busy(), clock)
+              : earliest_comeback(host, &deck.busy(), clock);
       if (!std::isfinite(t)) {
         throw std::runtime_error(
             "deadline: no client ever comes back online");

@@ -32,6 +32,32 @@ enum class RecordType : std::uint32_t {
   /// payload tag (codec kind | param << 8) — identity is unframed, so the
   /// kind must live in the envelope.
   kPayload = 2,
+
+  // Distributed-runner messages (src/net/, docs/TRANSPORT.md). On a
+  // socket each one travels as a bare record frame (the 16-byte record
+  // header is the length prefix — no container envelope); the same record
+  // layouts are embeddable in container files, which is how the net
+  // golden fixture and tools/wire_dump decode captured sessions. aux = 0
+  // for all of them.
+  /// Version negotiation: u16 min + u16 max supported protocol version
+  /// (the coordinator's offer and the worker's echo of the chosen one).
+  kNetHello = 16,
+  /// Run setup shipped coordinator -> worker: method + hyperparameters +
+  /// the full ExperimentConfig + this worker's shard coordinates
+  /// (net/protocol.h spells the field order).
+  kNetSetup = 17,
+  /// Worker -> coordinator setup acknowledgement: u64 param_dim — the
+  /// cross-check that both processes built the same model.
+  kNetSetupAck = 18,
+  /// A batch of training dispatches (snapshots + per-dispatch history).
+  kNetDispatch = 19,
+  /// The trained ClientUpdates of one dispatch batch, in dispatch order.
+  kNetResult = 20,
+  /// Orderly end of session (empty payload); the worker exits cleanly.
+  kNetShutdown = 21,
+  /// Fatal peer-side failure: a UTF-8 diagnostic string. The receiver
+  /// surfaces it and fails the run.
+  kNetError = 22,
 };
 
 struct Record {

@@ -1,0 +1,143 @@
+// Transport framing: the 16-byte record-header prefix, the oversize cap,
+// and the fail-loudly semantics of a peer dying mid-frame. Mirrors the
+// tests/wire/ hostile-input discipline one layer down: frame-level
+// violations throw net::NetError (payload-level ones are protocol_test's
+// WireError territory).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedtrip {
+namespace {
+
+TEST(FrameTest, HeaderRoundTrip) {
+  const auto bytes =
+      net::encode_frame_header(wire::RecordType::kNetDispatch, 7, 1234);
+  ASSERT_EQ(bytes.size(), wire::kRecordHeaderBytes);
+  const auto h = net::decode_frame_header(bytes.data(), bytes.size());
+  EXPECT_EQ(h.type, wire::RecordType::kNetDispatch);
+  EXPECT_EQ(h.aux, 7u);
+  EXPECT_EQ(h.length, 1234u);
+}
+
+TEST(FrameTest, HeaderIsLittleEndianRecordLayout) {
+  // Byte-pinned: u32 type, u32 aux, u64 length — identical to a container
+  // record header (wire/container.h), so captured sessions are container-
+  // embeddable.
+  const auto bytes =
+      net::encode_frame_header(wire::RecordType::kNetHello, 0x0102, 0x03);
+  const std::uint8_t expected[16] = {16, 0, 0, 0, 0x02, 0x01, 0, 0,
+                                     3,  0, 0, 0, 0,    0,    0, 0};
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(bytes[i], expected[i]) << "byte " << i;
+  }
+}
+
+TEST(FrameTest, TruncatedHeaderRejected) {
+  const auto bytes =
+      net::encode_frame_header(wire::RecordType::kNetHello, 0, 0);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(net::decode_frame_header(bytes.data(), cut),
+                 net::NetError)
+        << "cut " << cut;
+  }
+}
+
+TEST(FrameTest, OversizeLengthRejected) {
+  const auto bytes = net::encode_frame_header(
+      wire::RecordType::kNetDispatch, 0, net::kMaxFramePayload + 1);
+  EXPECT_THROW(net::decode_frame_header(bytes.data(), bytes.size()),
+               net::NetError);
+  // The cap itself is fine.
+  const auto ok = net::encode_frame_header(wire::RecordType::kNetDispatch,
+                                           0, net::kMaxFramePayload);
+  EXPECT_NO_THROW(net::decode_frame_header(ok.data(), ok.size()));
+}
+
+TEST(FrameTest, SocketRoundTrip) {
+  auto pair = net::make_socket_pair();
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  net::send_frame(pair.a, wire::RecordType::kNetResult, 42, payload);
+  const auto f = net::recv_frame(pair.b, "peer");
+  EXPECT_EQ(f.type, wire::RecordType::kNetResult);
+  EXPECT_EQ(f.aux, 42u);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrip) {
+  auto pair = net::make_socket_pair();
+  net::send_frame(pair.a, wire::RecordType::kNetShutdown, 0, {});
+  const auto f = net::recv_frame(pair.b, "peer");
+  EXPECT_EQ(f.type, wire::RecordType::kNetShutdown);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(FrameTest, PeerDiesMidFrameThrowsWithDiagnostic) {
+  auto pair = net::make_socket_pair();
+  // A header promising 100 bytes, then only 10 delivered before close.
+  const auto header =
+      net::encode_frame_header(wire::RecordType::kNetDispatch, 0, 100);
+  pair.a.send_all(header.data(), header.size());
+  const std::uint8_t some[10] = {};
+  pair.a.send_all(some, sizeof(some));
+  pair.a.close();
+  try {
+    net::recv_frame(pair.b, "worker 1/2");
+    FAIL() << "expected NetError";
+  } catch (const net::NetError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker 1/2"), std::string::npos) << what;
+    EXPECT_NE(what.find("mid-frame"), std::string::npos) << what;
+  }
+}
+
+TEST(FrameTest, PeerDiesMidHeaderThrows) {
+  auto pair = net::make_socket_pair();
+  const std::uint8_t half[7] = {};
+  pair.a.send_all(half, sizeof(half));
+  pair.a.close();
+  EXPECT_THROW(net::recv_frame(pair.b, "worker"), net::NetError);
+}
+
+TEST(FrameTest, CleanCloseIsErrorUnlessOptedIn) {
+  {
+    auto pair = net::make_socket_pair();
+    pair.a.close();
+    EXPECT_THROW(net::recv_frame(pair.b, "worker"), net::NetError);
+  }
+  {
+    auto pair = net::make_socket_pair();
+    pair.a.close();
+    const auto f = net::recv_frame(pair.b, "worker", /*eof_ok=*/true);
+    EXPECT_EQ(f.type, wire::RecordType::kNetShutdown);
+  }
+}
+
+TEST(FrameTest, OversizeFrameFromPeerRejectedBeforeAllocation) {
+  auto pair = net::make_socket_pair();
+  const auto header = net::encode_frame_header(
+      wire::RecordType::kNetDispatch, 0, net::kMaxFramePayload);
+  // Corrupt the length field to something absurd (bits above the cap).
+  auto bytes = header;
+  bytes[15] = 0x7F;  // top byte of the u64 length
+  pair.a.send_all(bytes.data(), bytes.size());
+  EXPECT_THROW(net::recv_frame(pair.b, "worker"), net::NetError);
+}
+
+TEST(FrameTest, EndpointParsing) {
+  const auto ep = net::parse_endpoint("localhost:8080");
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 8080);
+  EXPECT_THROW(net::parse_endpoint("noport"), net::NetError);
+  EXPECT_THROW(net::parse_endpoint(":123"), net::NetError);
+  EXPECT_THROW(net::parse_endpoint("host:"), net::NetError);
+  EXPECT_THROW(net::parse_endpoint("host:abc"), net::NetError);
+  EXPECT_THROW(net::parse_endpoint("host:99999"), net::NetError);
+}
+
+}  // namespace
+}  // namespace fedtrip

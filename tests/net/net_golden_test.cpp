@@ -1,0 +1,83 @@
+// Format-stability gate for the transport messages: the committed
+// tests/data/wire/net_session.bin must byte-match what src/net/golden.cpp
+// builds today AND still parse into the pinned field values. Any
+// accidental change to a message layout — field order, a config field
+// added without a protocol-version bump, framing — breaks this against
+// frozen bytes; an intentional change requires regenerating with
+// wire_golden_gen and updating docs/TRANSPORT.md.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/golden.h"
+#include "net/protocol.h"
+#include "wire/container.h"
+
+namespace fedtrip {
+namespace {
+
+std::vector<std::uint8_t> read_committed() {
+  const std::string path = std::string(FEDTRIP_SOURCE_DIR) +
+                           "/tests/data/wire/net_session.bin";
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in) << "missing fixture " << path
+                  << " — regenerate with: ./wire_golden_gen";
+  if (!in) return {};
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(size));
+  return buf;
+}
+
+TEST(NetGoldenTest, CommittedSessionByteMatches) {
+  const auto fixture = net::golden::session_fixture();
+  EXPECT_EQ(fixture.filename, "net_session.bin");
+  EXPECT_EQ(read_committed(), fixture.bytes)
+      << "net_session.bin drifted from src/net/golden.cpp — either a "
+      << "message layout changed accidentally, or an intentional protocol "
+      << "change needs a kProtocolVersion bump, regenerated fixtures "
+      << "(wire_golden_gen) and a docs/TRANSPORT.md update";
+}
+
+TEST(NetGoldenTest, CommittedSessionParses) {
+  const auto bytes = read_committed();
+  ASSERT_FALSE(bytes.empty());
+  const auto records = wire::read_container(bytes.data(), bytes.size());
+  ASSERT_EQ(records.size(), 8u);
+
+  const auto hello =
+      net::parse_hello(records[0].bytes.data(), records[0].bytes.size());
+  EXPECT_EQ(hello.version_max, net::kProtocolVersion)
+      << "the canonical session must speak the current protocol version";
+
+  ASSERT_EQ(records[2].type, wire::RecordType::kNetSetup);
+  const auto setup =
+      net::parse_setup(records[2].bytes.data(), records[2].bytes.size());
+  EXPECT_EQ(setup.method, "FedTrip");
+  EXPECT_EQ(setup.config.num_clients, 4u);
+  EXPECT_EQ(setup.config.comm.uplink, "ef+topk");
+  EXPECT_EQ(setup.worker_index, 1u);
+
+  ASSERT_EQ(records[4].type, wire::RecordType::kNetDispatch);
+  const auto batch = net::parse_dispatch_batch(records[4].bytes.data(),
+                                               records[4].bytes.size());
+  ASSERT_EQ(batch.dispatches.size(), 2u);
+  EXPECT_TRUE(batch.dispatches[1].has_history);
+  EXPECT_EQ(batch.dispatches[1].history_params.size(), 4u);
+
+  ASSERT_EQ(records[5].type, wire::RecordType::kNetResult);
+  const auto result = net::parse_train_result(records[5].bytes.data(),
+                                              records[5].bytes.size());
+  ASSERT_EQ(result.updates.size(), 2u);
+  EXPECT_EQ(result.updates[1].aux.size(), 2u);
+
+  EXPECT_EQ(records[7].type, wire::RecordType::kNetShutdown);
+  EXPECT_TRUE(records[7].bytes.empty());
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,140 @@
+// Availability-aware deadline dispatch: both the remaining on-window
+// (AvailabilityModel::online_until) and the predicted round-trip +
+// compute time are known exactly at dispatch, so the policy can refuse to
+// dispatch work that cannot arrive before the client churns off
+// (SchedConfig::deadline_skip_doomed). The regression claim: under churn
+// whose windows are short relative to the round-trip, skipping doomed
+// dispatches spends strictly fewer broadcasts per aggregated update —
+// no downlink bytes on flights that were lost from the start — at
+// equivalent accuracy; and with churn disabled (or windows that always
+// fit) the flag is fully transparent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "algorithms/registry.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+#include "../fl/sim_util.h"
+
+namespace fedtrip {
+namespace {
+
+/// Tight-window churn: every client repeats 10 s on / 10 s off (staggered
+/// per client), while the 1 Mbps links put one round-trip (~5 s for the
+/// tiny MLP's ~318 KB messages) at half a window — dispatches late in a
+/// window are doomed.
+fl::ExperimentConfig churny_config(const std::string& trace_path) {
+  fl::ExperimentConfig cfg = fl::testing::tiny_config();
+  cfg.rounds = 6;
+  cfg.sched.policy = "deadline";
+  cfg.comm.network.profile = comm::NetProfile::kUniform;
+  cfg.comm.network.bandwidth_mbps = 1.0;
+  cfg.comm.network.latency_ms = 50.0;
+  cfg.clients.availability = "trace";
+  cfg.clients.availability_trace = trace_path;
+  return cfg;
+}
+
+std::string write_staggered_trace(std::size_t num_clients) {
+  const std::string path = ::testing::TempDir() + "/staggered_windows.csv";
+  std::ofstream out(path);
+  out << "client,start_s,end_s\n";
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    for (int k = 0; k < 300; ++k) {
+      const double start = 20.0 * k + 2.0 * static_cast<double>(c);
+      out << c << "," << start << "," << start + 10.0 << "\n";
+    }
+  }
+  return path;
+}
+
+fl::RunResult run_deadline(const fl::ExperimentConfig& base,
+                           bool skip_doomed) {
+  fl::ExperimentConfig cfg = base;
+  cfg.sched.deadline_skip_doomed = skip_doomed;
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  return sim.run();
+}
+
+std::size_t total_participation(const fl::RunResult& r) {
+  std::size_t total = 0;
+  for (std::size_t c : r.participation) total += c;
+  return total;
+}
+
+TEST(DeadlineAvailabilityTest, SkippingDoomedDispatchesSavesBroadcasts) {
+  const std::string trace = write_staggered_trace(5);
+  const fl::ExperimentConfig cfg = churny_config(trace);
+  const auto with_skip = run_deadline(cfg, true);
+  const auto without_skip = run_deadline(cfg, false);
+  std::remove(trace.c_str());
+
+  // The scenario actually exercises churn on both paths.
+  std::size_t unavailable_skip = 0, unavailable_blind = 0;
+  for (const auto& r : with_skip.history) unavailable_skip += r.unavailable;
+  for (const auto& r : without_skip.history) {
+    unavailable_blind += r.unavailable;
+  }
+  EXPECT_GT(unavailable_blind, 0u);
+  EXPECT_GT(unavailable_skip, 0u);
+
+  // Efficiency: broadcasts spent per aggregated update strictly improve —
+  // the blind policy pays downlink bytes for flights that never arrive.
+  const double per_update_skip =
+      static_cast<double>(with_skip.comm_stats.messages_down) /
+      static_cast<double>(total_participation(with_skip));
+  const double per_update_blind =
+      static_cast<double>(without_skip.comm_stats.messages_down) /
+      static_cast<double>(total_participation(without_skip));
+  EXPECT_LT(per_update_skip, per_update_blind)
+      << "skip: " << with_skip.comm_stats.messages_down << " broadcasts / "
+      << total_participation(with_skip) << " updates; blind: "
+      << without_skip.comm_stats.messages_down << " / "
+      << total_participation(without_skip);
+  // With exact predictions the skip catches every doomed dispatch: no
+  // broadcast is ever wasted, so broadcasts == aggregated updates.
+  EXPECT_EQ(with_skip.comm_stats.messages_down,
+            total_participation(with_skip));
+
+  // Equal accuracy: same rounds aggregated, same ballpark quality (the
+  // runs see different cohorts, so bit-equality is not expected).
+  ASSERT_EQ(with_skip.history.size(), without_skip.history.size());
+  EXPECT_NEAR(fl::best_accuracy(with_skip.history),
+              fl::best_accuracy(without_skip.history), 0.15);
+}
+
+TEST(DeadlineAvailabilityTest, TransparentWithoutChurn) {
+  // Always-available clients: the doomed check never fires, and the flag
+  // must be bit-transparent.
+  fl::ExperimentConfig cfg = fl::testing::tiny_config();
+  cfg.rounds = 4;
+  cfg.sched.policy = "deadline";
+  cfg.comm.network.profile = comm::NetProfile::kStraggler;
+  const auto on = run_deadline(cfg, true);
+  const auto off = run_deadline(cfg, false);
+  EXPECT_EQ(on.final_params, off.final_params);
+  EXPECT_EQ(on.comm_stats.bytes_down, off.comm_stats.bytes_down);
+  EXPECT_EQ(on.comm_seconds, off.comm_seconds);
+}
+
+TEST(DeadlineAvailabilityTest, TransparentWhenWindowsAlwaysFit) {
+  // Churn whose on-windows dwarf the round-trip: nothing is ever doomed,
+  // so the flag changes nothing bit-for-bit.
+  fl::ExperimentConfig cfg = fl::testing::tiny_config();
+  cfg.rounds = 4;
+  cfg.sched.policy = "deadline";
+  cfg.comm.network.profile = comm::NetProfile::kUniform;
+  cfg.clients.availability = "markov";
+  cfg.clients.markov_mean_on_s = 100000.0;
+  cfg.clients.markov_mean_off_s = 1.0;
+  const auto on = run_deadline(cfg, true);
+  const auto off = run_deadline(cfg, false);
+  EXPECT_EQ(on.final_params, off.final_params);
+  EXPECT_EQ(on.comm_seconds, off.comm_seconds);
+}
+
+}  // namespace
+}  // namespace fedtrip

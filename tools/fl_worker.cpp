@@ -1,0 +1,73 @@
+// fl_worker: the worker-process binary of the distributed runner.
+//
+// Owns a shard of an experiment's clients and executes training for the
+// dispatch batches a coordinator (run_experiment --workers-remote /
+// --connect) sends it over the socket protocol (docs/TRANSPORT.md). The
+// entire experiment definition arrives over the wire in the Setup
+// message, so the worker takes no experiment flags — only where to find
+// its coordinator:
+//
+//   fl_worker --connect HOST:PORT   dial a waiting coordinator (what
+//                                   spawned workers do)
+//   fl_worker --listen PORT         wait for a coordinator to dial in
+//                                   (pre-started mode; PORT 0 picks an
+//                                   ephemeral port and prints it)
+//
+// Serves one session, then exits: 0 after an orderly shutdown, 1 on any
+// transport or protocol failure (diagnostic on stderr, and best-effort
+// shipped to the coordinator as an error frame).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/socket.h"
+#include "net/worker.h"
+
+int main(int argc, char** argv) {
+  using namespace fedtrip;
+
+  std::string connect_spec;
+  long listen_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--connect") && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else if (!std::strcmp(argv[i], "--listen") && i + 1 < argc) {
+      listen_port = std::atol(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: fl_worker --connect HOST:PORT | --listen PORT\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (connect_spec.empty() == (listen_port < 0)) {
+    std::fprintf(stderr,
+                 "exactly one of --connect HOST:PORT or --listen PORT is "
+                 "required\n");
+    return 2;
+  }
+
+  try {
+    net::Socket conn;
+    if (!connect_spec.empty()) {
+      const net::Endpoint ep = net::parse_endpoint(connect_spec);
+      conn = net::connect_to(ep.host, ep.port);
+      std::fprintf(stderr, "fl_worker: connected to %s\n",
+                   connect_spec.c_str());
+    } else {
+      net::Listener listener(static_cast<std::uint16_t>(listen_port));
+      std::fprintf(stderr, "fl_worker: listening on 127.0.0.1:%u\n",
+                   listener.port());
+      conn = listener.accept();
+      std::fprintf(stderr, "fl_worker: coordinator connected\n");
+    }
+    net::WorkerServer server(stderr);
+    server.serve(std::move(conn));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fl_worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
 // wire_dump: human-readable decode of any wire artefact — payload or
-// checkpoint containers (docs/WIRE_FORMAT.md) and legacy FEDTRIP1
-// checkpoints. The inspector half of the serialization subsystem: when a
-// run, a golden fixture, or a future socket peer produces bytes you don't
+// checkpoint containers (docs/WIRE_FORMAT.md), legacy FEDTRIP1
+// checkpoints, and the distributed-runner transport records
+// (docs/TRANSPORT.md; a captured session wrapped in a container decodes
+// record by record). The inspector half of the serialization subsystem:
+// when a run, a golden fixture, or a socket peer produces bytes you don't
 // understand, point this at the file.
 //
 // Usage: wire_dump FILE...
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "comm/compressor.h"
+#include "net/protocol.h"
 #include "wire/container.h"
 #include "wire/payload.h"
 
@@ -90,6 +93,82 @@ void dump_payload(const wire::Record& rec) {
   }
 }
 
+void dump_net_record(const wire::Record& rec) {
+  const std::uint8_t* data = rec.bytes.data();
+  const std::size_t size = rec.bytes.size();
+  switch (rec.type) {
+    case wire::RecordType::kNetHello: {
+      const auto m = net::parse_hello(data, size);
+      std::printf("  net hello: versions [%u, %u]\n", m.version_min,
+                  m.version_max);
+      break;
+    }
+    case wire::RecordType::kNetSetup: {
+      const auto m = net::parse_setup(data, size);
+      std::printf(
+          "  net setup: method %s  worker %u/%u  clients %zu  rounds %zu  "
+          "seed %llu\n",
+          m.method.c_str(), m.worker_index, m.num_workers,
+          m.config.num_clients, m.config.rounds,
+          static_cast<unsigned long long>(m.config.seed));
+      std::printf(
+          "    dataset %s  model %s  schedule %s  uplink %s  downlink %s  "
+          "availability %s\n",
+          m.config.dataset.c_str(), nn::arch_name(m.config.model.arch),
+          m.config.sched.policy.c_str(), m.config.comm.uplink.c_str(),
+          m.config.comm.downlink.c_str(),
+          m.config.clients.availability.c_str());
+      break;
+    }
+    case wire::RecordType::kNetSetupAck: {
+      const auto m = net::parse_setup_ack(data, size);
+      std::printf("  net setup ack: |w| = %llu\n",
+                  static_cast<unsigned long long>(m.param_dim));
+      break;
+    }
+    case wire::RecordType::kNetDispatch: {
+      const auto m = net::parse_dispatch_batch(data, size);
+      std::printf("  net dispatch batch %llu: %zu snapshot(s), %zu "
+                  "dispatch(es)\n",
+                  static_cast<unsigned long long>(m.batch_seq),
+                  m.param_sets.size(), m.dispatches.size());
+      for (const auto& d : m.dispatches) {
+        std::printf("    seq %llu  client %llu  round %llu  snapshot %u  "
+                    "history %s\n",
+                    static_cast<unsigned long long>(d.seq),
+                    static_cast<unsigned long long>(d.client_id),
+                    static_cast<unsigned long long>(d.round), d.param_set,
+                    d.has_history ? "yes" : "no");
+      }
+      break;
+    }
+    case wire::RecordType::kNetResult: {
+      const auto m = net::parse_train_result(data, size);
+      std::printf("  net train result batch %llu: %zu update(s), pre-round "
+                  "flops %g\n",
+                  static_cast<unsigned long long>(m.batch_seq),
+                  m.updates.size(), m.pre_round_flops);
+      for (const auto& u : m.updates) {
+        std::printf("    client %llu  samples %llu  loss %g  |w| %zu  "
+                    "aux %zu\n",
+                    static_cast<unsigned long long>(u.client_id),
+                    static_cast<unsigned long long>(u.num_samples),
+                    u.train_loss, u.params.size(), u.aux.size());
+      }
+      break;
+    }
+    case wire::RecordType::kNetShutdown:
+      std::printf("  net shutdown\n");
+      break;
+    case wire::RecordType::kNetError:
+      std::printf("  net error: %s\n",
+                  net::parse_error(data, size).c_str());
+      break;
+    default:
+      break;
+  }
+}
+
 int dump_file(const char* path) {
   const auto buf = wire::read_file(path);
   std::printf("%s: %zu bytes\n", path, buf.size());
@@ -122,6 +201,15 @@ int dump_file(const char* path) {
       }
       case wire::RecordType::kPayload:
         dump_payload(rec);
+        break;
+      case wire::RecordType::kNetHello:
+      case wire::RecordType::kNetSetup:
+      case wire::RecordType::kNetSetupAck:
+      case wire::RecordType::kNetDispatch:
+      case wire::RecordType::kNetResult:
+      case wire::RecordType::kNetShutdown:
+      case wire::RecordType::kNetError:
+        dump_net_record(rec);
         break;
       default:
         std::printf("  (unknown record type — skipped)\n");

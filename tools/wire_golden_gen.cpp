@@ -8,11 +8,14 @@
 #include <fstream>
 #include <string>
 
+#include "net/golden.h"
 #include "wire/golden.h"
 
 int main(int argc, char** argv) {
   const std::string outdir = argc > 1 ? argv[1] : "tests/data/wire";
-  for (const auto& f : fedtrip::wire::golden::fixtures()) {
+  auto fixtures = fedtrip::wire::golden::fixtures();
+  fixtures.push_back(fedtrip::net::golden::session_fixture());
+  for (const auto& f : fixtures) {
     const std::string path = outdir + "/" + f.filename;
     std::ofstream out(path, std::ios::binary);
     if (!out) {
