@@ -1,0 +1,194 @@
+// bench_distributed: wall-clock scaling of the socket-backed runner.
+//
+// Runs the same experiment through the in-process engine and through
+// NetHost pools of 1, 2 and 4 workers (WorkerServer sessions in threads
+// over loopback TCP — the same transport code path a separate process
+// runs, without depending on the fl_worker binary's location), and prints
+// wall seconds + speedup vs the 1-worker pool for two regimes:
+//
+//   * train-bound — several local epochs on a real share of the data, so
+//     per-dispatch training dominates and extra workers should pay off;
+//   * comm-bound  — a bigger model on a sliver of data, so shipping
+//     snapshots/updates dominates and scaling should flatten (the honest
+//     half of the story: the runner does not promise speedups when the
+//     wire is the bottleneck).
+//
+// Results are wall-clock and machine-dependent — nothing here is a
+// deterministic artefact; the accompanying obs counters and the
+// equivalence tests are what pin correctness. --json writes the table for
+// the CI perf trajectory.
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "fl/round_host.h"
+#include "net/net_host.h"
+#include "net/pool.h"
+#include "net/socket.h"
+#include "net/worker.h"
+
+namespace {
+
+using namespace fedtrip;
+
+struct Regime {
+  const char* name;
+  fl::ExperimentConfig cfg;
+};
+
+fl::ExperimentConfig base(const bench::BenchOptions& opt) {
+  fl::ExperimentConfig cfg;
+  cfg.model.arch = nn::Arch::kMLP;
+  cfg.dataset = "mnist";
+  cfg.heterogeneity = data::Heterogeneity::kDir05;
+  cfg.num_clients = 8;
+  cfg.clients_per_round = 8;  // every worker gets work every round
+  cfg.rounds = opt.rounds > 0 ? opt.rounds : (opt.full ? 12 : 4);
+  cfg.batch_size = 32;
+  cfg.seed = 42;
+  cfg.eval_every = 1000000;  // evaluation is coordinator-side, not scaling
+  return cfg;
+}
+
+std::vector<Regime> regimes(const bench::BenchOptions& opt) {
+  Regime train_bound{"train-bound", base(opt)};
+  train_bound.cfg.data_scale =
+      opt.scale > 0.0 ? opt.scale : (opt.full ? 0.5 : 0.2);
+  train_bound.cfg.local_epochs = 3;
+
+  Regime comm_bound{"comm-bound", base(opt)};
+  comm_bound.cfg.model.arch = nn::Arch::kCNN;  // ~20x the MLP's |w|
+  comm_bound.cfg.data_scale = opt.scale > 0.0 ? opt.scale : 0.01;
+  comm_bound.cfg.local_epochs = 1;
+  return {train_bound, comm_bound};
+}
+
+double run_in_process(const fl::ExperimentConfig& cfg) {
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)sim.run();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double run_distributed(const fl::ExperimentConfig& cfg,
+                       std::size_t num_workers) {
+  net::Listener listener(0);
+  const std::uint16_t port = listener.port();
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers.emplace_back([port]() {
+      net::Socket conn = net::connect_to("127.0.0.1", port);
+      net::WorkerServer server;
+      server.serve(std::move(conn));
+    });
+  }
+  std::vector<net::Socket> conns;
+  conns.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    conns.push_back(listener.accept());
+  }
+
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  net::SetupMsg setup;
+  setup.method = "FedTrip";
+  setup.algo = p;
+  setup.config = cfg;
+  auto pool =
+      net::WorkerPool::handshake(std::move(conns), setup, sim.param_dim());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<net::NetHost> host;
+  (void)sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
+    host.emplace(inner, pool);
+    return *host;
+  });
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  pool.shutdown();
+  for (auto& w : workers) w.join();
+  return s;
+}
+
+struct Row {
+  const char* engine;
+  std::size_t workers;  // 0 = in-process
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Distributed runner scaling: wall seconds vs worker count",
+      "runner characterization (train-bound vs comm-bound; "
+      "docs/TRANSPORT.md)");
+
+  const std::vector<std::size_t> counts = {1, 2, 4};
+  std::vector<std::pair<const char*, std::vector<Row>>> results;
+
+  for (const auto& regime : regimes(opt)) {
+    std::printf("\n-- %s: %s, |clients| %zu, rounds %zu, epochs %zu, "
+                "scale %.3g --\n",
+                regime.name, nn::arch_name(regime.cfg.model.arch),
+                regime.cfg.num_clients, regime.cfg.rounds,
+                regime.cfg.local_epochs, regime.cfg.data_scale);
+    std::printf("%-14s %10s %14s\n", "engine", "seconds", "speedup vs 1w");
+    std::vector<Row> rows;
+    rows.push_back({"in-process", 0, run_in_process(regime.cfg)});
+    for (std::size_t n : counts) {
+      const char* label = n == 1 ? "1 worker" : (n == 2 ? "2 workers"
+                                                        : "4 workers");
+      rows.push_back({label, n, run_distributed(regime.cfg, n)});
+    }
+    const double one_worker = rows[1].seconds;
+    for (const auto& r : rows) {
+      std::printf("%-14s %9.2fs %13.2fx\n", r.engine, r.seconds,
+                  one_worker / r.seconds);
+    }
+    results.emplace_back(regime.name, std::move(rows));
+  }
+
+  if (opt.json) {
+    const std::string path =
+        opt.json_path.empty() ? "bench_distributed.json" : opt.json_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    bench::JsonWriter j(f);
+    j.begin_object();
+    j.field("bench", "distributed");
+    j.begin_array("regimes");
+    for (const auto& [name, rows] : results) {
+      j.begin_object();
+      j.field("name", name);
+      j.begin_array("engines");
+      const double one_worker = rows[1].seconds;
+      for (const auto& r : rows) {
+        j.begin_object();
+        j.field("engine", r.engine);
+        j.field("workers", r.workers);
+        j.field("seconds", r.seconds);
+        j.field("speedup_vs_1w", one_worker / r.seconds);
+        j.end_object();
+      }
+      j.end_array();
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", path.c_str());
+  }
+  return 0;
+}

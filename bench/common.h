@@ -24,6 +24,7 @@
 #include "algorithms/registry.h"
 #include "fl/metrics.h"
 #include "fl/simulation.h"
+#include "obs/json.h"
 
 namespace fedtrip::bench {
 
@@ -61,73 +62,9 @@ struct BenchOptions {
   }
 };
 
-/// Minimal JSON emitter for the bench result files: objects, arrays,
-/// numeric and string fields, null for absent optionals. Numbers print
-/// with %.17g (lossless double round-trip). Keys and string values must
-/// not need escaping (bench-controlled identifiers only).
-class JsonWriter {
- public:
-  explicit JsonWriter(std::FILE* f) : f_(f) {}
-
-  void begin_object() { value(); std::fputc('{', f_); first_ = true; }
-  void begin_object(const char* k) { key(k); begin_object(); }
-  void end_object() { std::fputc('}', f_); first_ = false; }
-  void begin_array(const char* k) {
-    key(k);
-    value();
-    std::fputc('[', f_);
-    first_ = true;
-  }
-  void end_array() { std::fputc(']', f_); first_ = false; }
-  void field(const char* k, double v) {
-    key(k);
-    value();
-    std::fprintf(f_, "%.17g", v);
-  }
-  void field(const char* k, std::size_t v) {
-    key(k);
-    value();
-    std::fprintf(f_, "%zu", v);
-  }
-  void field(const char* k, bool v) {
-    key(k);
-    value();
-    std::fputs(v ? "true" : "false", f_);
-  }
-  void field(const char* k, const char* v) {
-    key(k);
-    value();
-    std::fprintf(f_, "\"%s\"", v);
-  }
-  void field(const char* k, const std::string& v) { field(k, v.c_str()); }
-  void field(const char* k, const std::optional<double>& v) {
-    key(k);
-    value();
-    if (v.has_value()) std::fprintf(f_, "%.17g", *v);
-    else std::fputs("null", f_);
-  }
-
- private:
-  void key(const char* k) {
-    if (!first_) std::fputc(',', f_);
-    first_ = false;
-    std::fprintf(f_, "\"%s\":", k);
-    pending_key_ = true;
-  }
-  /// Comma-separates array elements; values following a key are already
-  /// positioned.
-  void value() {
-    if (pending_key_) {
-      pending_key_ = false;
-      return;
-    }
-    if (!first_) std::fputc(',', f_);
-    first_ = false;
-  }
-  std::FILE* f_;
-  bool first_ = true;
-  bool pending_key_ = false;
-};
+/// The bench-result JSON emitter now lives in src/obs/json.h (the obs
+/// exporters share it); the bench-facing name is unchanged.
+using JsonWriter = obs::JsonWriter;
 
 /// One experiment case of the paper's evaluation grid.
 struct Case {

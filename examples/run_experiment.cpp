@@ -31,6 +31,8 @@
 #include "fl/simulation.h"
 #include "net/net_host.h"
 #include "net/pool.h"
+#include "obs/export.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -195,6 +197,17 @@ int main(int argc, char** argv) {
        }},
       {"--connect", [&](const char* v) { connect_list = v; }},
       {"--worker-bin", [&](const char* v) { worker_bin = v; }},
+      {"--obs", [&](const char*) { cfg.obs.enabled = true; }},
+      {"--trace-out",
+       [&](const char* v) {
+         cfg.obs.enabled = true;
+         cfg.obs.trace_out = v;
+       }},
+      {"--metrics-out",
+       [&](const char* v) {
+         cfg.obs.enabled = true;
+         cfg.obs.metrics_out = v;
+       }},
       {"--help",
        [&](const char*) {
          std::printf("%s", usage.c_str());
@@ -305,6 +318,18 @@ int main(int argc, char** argv) {
                 100.0 * sim.evaluate(initial));
   }
 
+  // Observability: the runner owns the Tracer (the Simulation holds only a
+  // pointer). Off by default; when off nothing below ever touches it and
+  // results are bit-identical to a build without tracing.
+  std::optional<obs::Tracer> tracer;
+  if (cfg.obs.enabled) {
+    tracer.emplace(cfg.obs);
+    sim.set_tracer(&*tracer);
+  }
+  // Lanes of the merged export: coordinator first, then one per worker
+  // (filled from the StatsReports collected before shutdown).
+  std::vector<obs::TraceLane> lanes;
+
   fl::RunResult result;
   if (distributed) {
     net::SetupMsg setup;
@@ -327,6 +352,12 @@ int main(int argc, char** argv) {
         host.emplace(inner, pool);
         return *host;
       });
+      if (cfg.obs.enabled) {
+        auto reports = pool.collect_stats();
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+          lanes.push_back({pool.label(i), std::move(reports[i])});
+        }
+      }
       pool.shutdown();
     } catch (const std::exception& e) {
       // NetError for transport failures; wire::WireError can still
@@ -377,6 +408,25 @@ int main(int argc, char** argv) {
   if (!save_model.empty()) {
     fl::save_parameters(save_model, result.final_params);
     std::printf("final model written to %s\n", save_model.c_str());
+  }
+
+  if (cfg.obs.enabled) {
+    lanes.insert(lanes.begin(), {"coordinator", tracer->snapshot()});
+    try {
+      if (!cfg.obs.trace_out.empty()) {
+        obs::write_chrome_trace(cfg.obs.trace_out, lanes);
+        std::printf("trace written to %s (%zu lane(s); load in Perfetto or "
+                    "chrome://tracing)\n",
+                    cfg.obs.trace_out.c_str(), lanes.size());
+      }
+      if (!cfg.obs.metrics_out.empty()) {
+        obs::write_metrics_json(cfg.obs.metrics_out, lanes);
+        std::printf("metrics written to %s\n", cfg.obs.metrics_out.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "observability export failed: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

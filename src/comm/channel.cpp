@@ -1,12 +1,22 @@
 #include "comm/channel.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.h"
 #include "tensor/vec_math.h"
 #include "wire/payload.h"
 
 namespace fedtrip::comm {
+
+namespace {
+
+const char* dir_name(Direction dir) {
+  return dir == Direction::kDown ? "down" : "up";
+}
+
+}  // namespace
 
 void Channel::account_raw(Direction dir, std::size_t floats) {
   if (floats == 0) return;
@@ -16,6 +26,9 @@ void Channel::account_raw(Direction dir, std::size_t floats) {
   } else {
     stats_.raw_floats_up += floats;
     stats_.bytes_up += 4 * floats;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->count(std::string("comm.bytes_") + dir_name(dir), 4 * floats);
   }
 }
 
@@ -27,6 +40,11 @@ void Channel::record(Direction dir, std::size_t wire_bytes,
   } else {
     stats_.bytes_up += wire_bytes * copies;
     stats_.messages_up += copies;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->count(std::string("comm.bytes_") + dir_name(dir),
+                   wire_bytes * copies);
+    tracer_->count(std::string("comm.msgs_") + dir_name(dir), copies);
   }
 }
 
@@ -65,7 +83,12 @@ bool CompressedChannel::transparent(Direction dir) const {
 std::vector<float> CompressedChannel::decode(const Compressor& codec,
                                              const Encoded& e) const {
   if (!byte_exact_) return codec.decompress(e);
-  const auto buf = wire::serialize(e);  // throws if size != wire_bytes
+  std::vector<std::uint8_t> buf;
+  {
+    obs::ScopedTimer t(tracer_, "wire.serialize");
+    buf = wire::serialize(e);  // throws if size != wire_bytes
+  }
+  obs::ScopedTimer t(tracer_, "wire.deserialize");
   return codec.decompress(wire::deserialize_payload(buf, e.codec));
 }
 
@@ -95,6 +118,14 @@ Encoded CompressedChannel::encode(Direction dir, const std::vector<float>& x,
   Encoded e = codec.compress(carried, rng);
   *decoded = decode(codec, e);
   vec::sub(carried, *decoded, r);
+  if (tracer_ != nullptr) {
+    // Accumulated L2 of the post-transmit residual: how much error the EF
+    // loop is still carrying (deterministic — a pure function of the run).
+    double sq = 0.0;
+    for (float v : r) sq += static_cast<double>(v) * v;
+    tracer_->gauge_add(std::string("comm.ef_residual_l2.") + dir_name(dir),
+                       std::sqrt(sq));
+  }
   return e;
 }
 
@@ -107,10 +138,24 @@ std::size_t CompressedChannel::transmit(Direction dir, std::vector<float>& x,
     // Transparent path: accounting only, no encode/decode, no copy.
     bytes = codec.wire_bytes(x.size());
   } else {
-    std::vector<float> decoded;
-    Encoded e = encode(dir, x, rng, stream, &decoded);
-    bytes = e.wire_bytes;
-    x = std::move(decoded);
+    {
+      obs::WallSpan span(tracer_, "compress",
+                         {{"in_bytes", static_cast<double>(4 * x.size())},
+                          {"copies", static_cast<double>(copies)}});
+      std::vector<float> decoded;
+      Encoded e = encode(dir, x, rng, stream, &decoded);
+      bytes = e.wire_bytes;
+      x = std::move(decoded);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->count("comm.compress_in_bytes", 4 * x.size());
+      tracer_->count("comm.compress_out_bytes", bytes);
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->count(std::string("comm.bytes_") + dir_name(dir) + "." +
+                       codec.name(),
+                   bytes * copies);
   }
   record(dir, bytes, copies);
   return bytes;

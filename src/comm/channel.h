@@ -16,6 +16,10 @@
 #include "comm/compressor.h"
 #include "comm/config.h"
 
+namespace fedtrip::obs {
+class Tracer;
+}  // namespace fedtrip::obs
+
 namespace fedtrip::comm {
 
 enum class Direction { kDown, kUp };
@@ -91,10 +95,16 @@ class Channel {
 
   const ChannelStats& stats() const { return stats_; }
 
+  /// Attaches an observability sink (non-owning, nullptr = off): compress
+  /// spans, per-codec byte counters, EF residual gauges. Never changes what
+  /// the channel transmits or accounts.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  protected:
   void record(Direction dir, std::size_t wire_bytes, std::size_t copies);
 
   ChannelStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 using ChannelPtr = std::unique_ptr<Channel>;

@@ -11,6 +11,7 @@
 #include "comm/config.h"
 #include "data/partition.h"
 #include "nn/models.h"
+#include "obs/config.h"
 #include "sched/config.h"
 
 namespace fedtrip::fl {
@@ -54,6 +55,12 @@ struct ExperimentConfig {
   /// availability. Defaults (no compute model, always available) are fully
   /// transparent — the run is bit-identical to one without the subsystem.
   clients::ClientsConfig clients;
+
+  /// Observability: spans, counters, trace/metrics export. Disabled by
+  /// default — no Tracer exists and every instrumentation site is one
+  /// null-pointer check; enabling it never changes CSV/params/byte
+  /// accounting (docs/OBSERVABILITY.md).
+  obs::ObsConfig obs;
 };
 
 }  // namespace fedtrip::fl

@@ -79,6 +79,16 @@ const std::vector<FlagSpec>& experiment_flags() {
       {"--worker-bin", "PATH",
        "fl_worker binary for --workers-remote (default: next to this "
        "executable)"},
+      // Observability (docs/OBSERVABILITY.md).
+      {"--obs", nullptr,
+       "enable tracing + metrics collection (virtual/wall spans, counters); "
+       "off by default and bit-transparent to results either way"},
+      {"--trace-out", "FILE",
+       "write a Chrome trace-event JSON (Perfetto-loadable; distributed "
+       "runs merge worker stats into one trace). Implies --obs"},
+      {"--metrics-out", "FILE",
+       "write end-of-run counters/gauges/timers JSON, one lane per "
+       "process. Implies --obs"},
       // Meta.
       {"--help", nullptr, "print this help and exit"},
   };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/tracer.h"
 #include "tensor/thread_pool.h"
 #include "tensor/vec_math.h"
 
@@ -47,6 +48,8 @@ std::size_t RoundHost::extra_up_bytes() const {
 const HistoryEntry* RoundHost::client_history(std::size_t client) const {
   return sim_.history_.get(client);
 }
+
+obs::Tracer* RoundHost::tracer() const { return sim_.tracer(); }
 
 std::vector<std::size_t> RoundHost::select(std::size_t count,
                                            const std::vector<bool>* busy) {
@@ -100,6 +103,8 @@ std::shared_ptr<const std::vector<float>> RoundHost::broadcast(
 
 std::vector<ClientUpdate> RoundHost::train(
     const std::vector<sched::Dispatch>& batch) {
+  obs::WallSpan span(sim_.tracer(), "train_batch",
+                     {{"dispatches", static_cast<double>(batch.size())}});
   std::vector<ShardWork> work;
   work.reserve(batch.size());
   for (const auto& d : batch) {
@@ -148,6 +153,9 @@ std::size_t RoundHost::uplink(ClientUpdate& update, std::uint64_t key,
 void RoundHost::aggregate(std::vector<ClientUpdate>& updates,
                           const sched::RoundMeta& meta) {
   assert(!updates.empty());
+  obs::WallSpan span(sim_.tracer(), "aggregate",
+                     {{"round", static_cast<double>(meta.round)},
+                      {"updates", static_cast<double>(updates.size())}});
   double loss_sum = 0.0;
   for (const auto& u : updates) {
     loss_sum += u.train_loss;
@@ -161,7 +169,11 @@ void RoundHost::aggregate(std::vector<ClientUpdate>& updates,
   if (t % sim_.config_.eval_every == 0 || t == sim_.config_.rounds) {
     RoundRecord rec;
     rec.round = t;
-    rec.test_accuracy = sim_.evaluate(sim_.global_params_);
+    {
+      obs::WallSpan eval_span(sim_.tracer(), "eval",
+                              {{"round", static_cast<double>(t)}});
+      rec.test_accuracy = sim_.evaluate(sim_.global_params_);
+    }
     rec.train_loss = loss_sum / static_cast<double>(updates.size());
     rec.cum_gflops = cum_flops_ / 1e9;
     const auto& stats = sim_.channel_->stats();

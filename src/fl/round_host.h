@@ -55,6 +55,8 @@ class RoundHost final : public sched::Host {
                      std::size_t round) override;
   void aggregate(std::vector<ClientUpdate>& updates,
                  const sched::RoundMeta& meta) override;
+  /// The Simulation's observability sink (nullptr when tracing is off).
+  obs::Tracer* tracer() const override;
 
   /// Virtual clock at the last aggregation (the run's final comm_seconds).
   double clock_seconds() const { return clock_seconds_; }

@@ -8,6 +8,7 @@
 #include "comm/registry.h"
 #include "fl/round_host.h"
 #include "nn/loss.h"
+#include "obs/tracer.h"
 #include "nn/parameter_vector.h"
 #include "optim/sgd.h"
 #include "sched/registry.h"
@@ -98,6 +99,11 @@ Simulation::Simulation(Simulation&&) noexcept = default;
 Simulation& Simulation::operator=(Simulation&&) noexcept = default;
 Simulation::~Simulation() = default;
 
+void Simulation::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  channel_->set_tracer(tracer);
+}
+
 void Simulation::set_initial_params(const std::vector<float>& params) {
   if (params.size() != global_params_.size()) {
     throw std::invalid_argument(
@@ -168,10 +174,15 @@ std::vector<ClientUpdate> Simulation::train_shard(
 
   *pre_round_flops = algorithm_->pre_round(contexts);
 
+  obs::Tracer* const tr = tracer_;
   std::vector<ClientUpdate> updates(contexts.size());
   parallel_for(
       0, contexts.size(),
       [&](std::size_t i) {
+        obs::WallSpan span(
+            tr, "train_shard",
+            {{"client", static_cast<double>(contexts[i].client->id())},
+             {"round", static_cast<double>(contexts[i].round)}});
         updates[i] = algorithm_->train_client(contexts[i]);
         updates[i].client_id = contexts[i].client->id();
       },

@@ -109,6 +109,13 @@ class Simulation {
   /// against the coordinator during the transport handshake.
   std::size_t param_dim() const { return global_params_.size(); }
 
+  /// Attaches an observability sink (non-owning; the caller keeps it alive
+  /// for the run) and propagates it to the channel. nullptr detaches.
+  /// Tracing never perturbs RNG streams or accounting — a traced run is
+  /// bit-identical to an untraced one.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// The pre-scheduler synchronous loop, preserved verbatim as the
   /// executable specification of the sync policy: a run() with the default
   /// SchedConfig must match it bit for bit (enforced by
@@ -160,6 +167,8 @@ class Simulation {
   Rng root_rng_;
   /// Dedicated pool when config.workers > 0; otherwise the global pool.
   std::unique_ptr<ThreadPool> own_pool_;
+  /// Observability sink (non-owning, nullptr = tracing off).
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace fedtrip::fl

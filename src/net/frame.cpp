@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/tracer.h"
 #include "wire/wire.h"
 
 namespace fedtrip::net {
@@ -36,7 +37,8 @@ FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t size) {
 }
 
 void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
-                const std::vector<std::uint8_t>& payload) {
+                const std::vector<std::uint8_t>& payload,
+                obs::Tracer* tracer) {
   if (payload.size() > kMaxFramePayload) {
     // Fail fast at the sender with the real cause — the receiver would
     // only see a hostile-looking oversize header after the full transfer.
@@ -49,9 +51,14 @@ void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
   const auto header = encode_frame_header(type, aux, payload.size());
   sock.send_all(header.data(), header.size());
   if (!payload.empty()) sock.send_all(payload.data(), payload.size());
+  if (tracer != nullptr) {
+    tracer->count("net.frames_sent");
+    tracer->count("net.bytes_sent", header.size() + payload.size());
+  }
 }
 
-Frame recv_frame(Socket& sock, const char* peer, bool eof_ok) {
+Frame recv_frame(Socket& sock, const char* peer, bool eof_ok,
+                 obs::Tracer* tracer) {
   std::uint8_t header[wire::kRecordHeaderBytes];
   try {
     if (!sock.recv_all(header, sizeof(header), eof_ok)) {
@@ -79,6 +86,10 @@ Frame recv_frame(Socket& sock, const char* peer, bool eof_ok) {
                      ", " + std::to_string(h.length) + " bytes): " +
                      e.what());
     }
+  }
+  if (tracer != nullptr) {
+    tracer->count("net.frames_recv");
+    tracer->count("net.bytes_recv", wire::kRecordHeaderBytes + f.payload.size());
   }
   return f;
 }

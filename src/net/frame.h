@@ -20,6 +20,10 @@
 #include "net/socket.h"
 #include "wire/container.h"
 
+namespace fedtrip::obs {
+class Tracer;
+}  // namespace fedtrip::obs
+
 namespace fedtrip::net {
 
 /// Hard cap on one frame's payload: well above any legitimate message
@@ -48,15 +52,20 @@ struct FrameHeader {
 };
 FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t size);
 
-/// Writes one frame to the socket.
+/// Writes one frame to the socket. A non-null `tracer` counts
+/// net.frames_sent and net.bytes_sent (header + payload); accounting never
+/// changes what goes on the wire.
 void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
-                const std::vector<std::uint8_t>& payload);
+                const std::vector<std::uint8_t>& payload,
+                obs::Tracer* tracer = nullptr);
 
 /// Reads one frame. Throws NetError on disconnect, truncation, or an
 /// oversize length; `peer` labels the diagnostic ("worker 1"). When
 /// `eof_ok` and the peer closed cleanly between frames, returns a frame
 /// of type kNetShutdown with empty payload (a close is an implicit
-/// shutdown only where the caller opts in).
-Frame recv_frame(Socket& sock, const char* peer, bool eof_ok = false);
+/// shutdown only where the caller opts in). A non-null `tracer` counts
+/// net.frames_recv and net.bytes_recv.
+Frame recv_frame(Socket& sock, const char* peer, bool eof_ok = false,
+                 obs::Tracer* tracer = nullptr);
 
 }  // namespace fedtrip::net

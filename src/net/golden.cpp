@@ -1,6 +1,7 @@
 #include "net/golden.h"
 
 #include "net/protocol.h"
+#include "obs/stats.h"
 
 namespace fedtrip::net::golden {
 
@@ -26,7 +27,27 @@ SetupMsg canonical_setup() {
   m.config.clients.availability = "markov";
   m.worker_index = 1;
   m.num_workers = 2;
+  m.config.obs.enabled = true;
+  m.config.obs.spans = true;
+  m.config.obs.counters = true;
   return m;
+}
+
+obs::TraceData canonical_stats() {
+  obs::TraceData d;
+  d.counters["net.frames_recv"] = 3;
+  d.counters["sched.dispatches"] = 7;
+  d.gauges["comm.ef_residual_l2.up"] = 0.125;
+  d.timers_ns["wire.serialize"] = 123456;
+  obs::Span s;
+  s.name = "train_shard";
+  s.clock = obs::SpanClock::kWall;
+  s.track = 1;
+  s.t0 = 0.25;
+  s.t1 = 0.75;
+  s.args = {{"client", 3.0}, {"round", 1.0}};
+  d.spans.push_back(std::move(s));
+  return d;
 }
 
 DispatchBatchMsg canonical_batch() {
@@ -79,9 +100,9 @@ TrainResultMsg canonical_result() {
 wire::golden::Fixture session_fixture() {
   std::vector<wire::Record> records;
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{1, 1})});
+                     serialize_hello(HelloMsg{2, 2})});
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{1, 1})});
+                     serialize_hello(HelloMsg{2, 2})});
   records.push_back(
       {wire::RecordType::kNetSetup, 0, serialize_setup(canonical_setup())});
   records.push_back({wire::RecordType::kNetSetupAck, 0,
@@ -90,6 +111,9 @@ wire::golden::Fixture session_fixture() {
                      serialize_dispatch_batch(canonical_batch())});
   records.push_back({wire::RecordType::kNetResult, 0,
                      serialize_train_result(canonical_result())});
+  records.push_back({wire::RecordType::kNetStatsReq, 0, {}});
+  records.push_back({wire::RecordType::kNetStats, 0,
+                     obs::serialize_stats(canonical_stats())});
   records.push_back({wire::RecordType::kNetError, 0,
                      serialize_error("example worker diagnostic")});
   records.push_back({wire::RecordType::kNetShutdown, 0, {}});

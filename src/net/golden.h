@@ -1,6 +1,7 @@
 // Golden fixture for the transport messages: one FTWIRE container holding
 // a canonical coordinator/worker session (hello exchange, setup + ack, a
-// dispatch batch, its train result, an error, shutdown) with fully pinned
+// dispatch batch, its train result, a stats request + report, an error,
+// shutdown) with fully pinned
 // field values. tools/wire_golden_gen writes it to
 // tests/data/wire/net_session.bin; tests/net/net_golden_test.cpp asserts
 // the committed bytes still match and still parse — an accidental change

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/frame.h"
+#include "obs/tracer.h"
 
 namespace fedtrip::net {
 
@@ -56,11 +57,16 @@ void NetHost::aggregate(std::vector<fl::ClientUpdate>& updates,
                         const sched::RoundMeta& meta) {
   inner_.aggregate(updates, meta);
 }
+obs::Tracer* NetHost::tracer() const { return inner_.tracer(); }
 
 std::vector<fl::ClientUpdate> NetHost::train(
     const std::vector<sched::Dispatch>& batch) {
   const std::size_t n = pool_.size();
   ++batch_seq_;
+  obs::Tracer* const tr = inner_.tracer();
+  obs::WallSpan rpc_span(tr, "rpc_batch",
+                         {{"batch_seq", static_cast<double>(batch_seq_)},
+                          {"dispatches", static_cast<double>(batch.size())}});
 
   // Assemble one message per worker that owns part of the batch. Snapshot
   // vectors are deduplicated by pointer: a sync/fastk cohort shares one
@@ -99,8 +105,12 @@ std::vector<fl::ClientUpdate> NetHost::train(
   for (std::size_t w = 0; w < n; ++w) {
     if (shards[w].msg.dispatches.empty()) continue;
     shards[w].msg.batch_seq = batch_seq_;
-    send_frame(pool_.worker(w), wire::RecordType::kNetDispatch, 0,
-               serialize_dispatch_batch(shards[w].msg));
+    std::vector<std::uint8_t> bytes;
+    {
+      obs::ScopedTimer t(tr, "wire.serialize");
+      bytes = serialize_dispatch_batch(shards[w].msg);
+    }
+    send_frame(pool_.worker(w), wire::RecordType::kNetDispatch, 0, bytes, tr);
   }
 
   std::vector<fl::ClientUpdate> updates(batch.size());
@@ -109,7 +119,7 @@ std::vector<fl::ClientUpdate> NetHost::train(
     PerWorker& pw = shards[w];
     if (pw.msg.dispatches.empty()) continue;
     const std::string& label = pool_.label(w);
-    Frame f = recv_frame(pool_.worker(w), label.c_str());
+    Frame f = recv_frame(pool_.worker(w), label.c_str(), false, tr);
     if (f.type == wire::RecordType::kNetError) {
       throw NetError(label + " failed mid-round: " +
                      parse_error(f.payload.data(), f.payload.size()));
@@ -120,6 +130,7 @@ std::vector<fl::ClientUpdate> NetHost::train(
     }
     TrainResultMsg result;
     try {
+      obs::ScopedTimer t(tr, "wire.deserialize");
       result = parse_train_result(f.payload.data(), f.payload.size());
     } catch (const wire::WireError& e) {
       // Transport-facing contract: everything a bad peer can cause

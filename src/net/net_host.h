@@ -54,6 +54,9 @@ class NetHost final : public sched::Host {
                      std::size_t round) override;
   void aggregate(std::vector<fl::ClientUpdate>& updates,
                  const sched::RoundMeta& meta) override;
+  /// The coordinator's tracer (the wrapped RoundHost's Simulation owns
+  /// the pointer) — policies see one sink whichever engine runs them.
+  obs::Tracer* tracer() const override;
 
   /// The remote primitive: dispatches sharded across the pool, updates
   /// reassembled in batch order.

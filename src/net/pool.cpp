@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "net/frame.h"
+#include "obs/stats.h"
 
 namespace fedtrip::net {
 
@@ -188,6 +189,30 @@ WorkerPool WorkerPool::connect(const std::vector<Endpoint>& endpoints,
                        std::to_string(endpoints[i].port) + ")";
   }
   return pool;
+}
+
+std::vector<obs::TraceData> WorkerPool::collect_stats() {
+  std::vector<obs::TraceData> reports;
+  reports.reserve(conns_.size());
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    const std::string& label = labels_[i];
+    send_frame(conns_[i], wire::RecordType::kNetStatsReq, 0, {});
+    Frame f = recv_frame(conns_[i], label.c_str());
+    if (f.type == wire::RecordType::kNetError) {
+      throw NetError(label + " failed during stats collection: " +
+                     parse_error(f.payload.data(), f.payload.size()));
+    }
+    if (f.type != wire::RecordType::kNetStats) {
+      throw NetError(label + ": expected stats report, got frame type " +
+                     std::to_string(static_cast<std::uint32_t>(f.type)));
+    }
+    try {
+      reports.push_back(obs::parse_stats(f.payload.data(), f.payload.size()));
+    } catch (const wire::WireError& e) {
+      throw NetError(label + " sent a malformed stats report: " + e.what());
+    }
+  }
+  return reports;
 }
 
 void WorkerPool::shutdown() {

@@ -24,6 +24,7 @@
 
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/tracer.h"
 
 namespace fedtrip::net {
 
@@ -54,6 +55,13 @@ class WorkerPool {
   Socket& worker(std::size_t i) { return conns_[i]; }
   /// Diagnostic label ("worker 1/2 (pid 4242)").
   const std::string& label(std::size_t i) const { return labels_[i]; }
+
+  /// Collects every worker's accumulated stats (kNetStatsReq ->
+  /// kNetStats, protocol v2), one TraceData per worker in pool order.
+  /// Call before shutdown(); workers always answer (an empty report when
+  /// tracing was off their side). A malformed or refused report throws
+  /// NetError with the worker's label.
+  std::vector<obs::TraceData> collect_stats();
 
   /// Sends every worker an orderly shutdown, closes the sockets, and
   /// reaps spawned children. Safe to call twice.

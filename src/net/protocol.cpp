@@ -197,6 +197,12 @@ void write_config(WireWriter& w, const fl::ExperimentConfig& c) {
   write_comm(w, c.comm);
   write_sched(w, c.sched);
   write_clients(w, c.clients);
+  // Observability enablement (protocol v2). Output paths (trace_out /
+  // metrics_out) are coordinator-only and deliberately not shipped: the
+  // worker accumulates and the coordinator exports.
+  write_bool(w, c.obs.enabled);
+  write_bool(w, c.obs.spans);
+  write_bool(w, c.obs.counters);
 }
 
 fl::ExperimentConfig read_config(WireReader& r) {
@@ -221,6 +227,9 @@ fl::ExperimentConfig read_config(WireReader& r) {
   c.comm = read_comm(r);
   c.sched = read_sched(r);
   c.clients = read_clients(r);
+  c.obs.enabled = read_bool(r);
+  c.obs.spans = read_bool(r);
+  c.obs.counters = read_bool(r);
   return c;
 }
 

@@ -11,6 +11,9 @@
 //   repeat:
 //     coordinator -> worker kNetDispatch  (snapshots + dispatches)
 //     worker -> coordinator kNetResult    (trained updates, in order)
+//   optional, before shutdown:
+//     coordinator -> worker kNetStatsReq  (empty: "ship your stats")
+//     worker -> coordinator kNetStats     (StatsReport — obs/stats.h)
 //   coordinator -> worker   kNetShutdown
 //   either direction        kNetError     (fatal diagnostic, any time)
 //
@@ -36,9 +39,12 @@
 namespace fedtrip::net {
 
 /// Protocol versions this build can speak (negotiation picks the highest
-/// version inside both peers' ranges).
-inline constexpr std::uint16_t kProtocolVersionMin = 1;
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// version inside both peers' ranges). v2 added the observability fields
+/// to the Setup config block and the kNetStatsReq/kNetStats record pair;
+/// coordinator and workers deploy in lockstep (one binary, one repo), so
+/// the minimum moves with the maximum rather than carrying a v1 shim.
+inline constexpr std::uint16_t kProtocolVersionMin = 2;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 // ------------------------------------------------------------- handshake
 

@@ -9,6 +9,8 @@
 #include "algorithms/registry.h"
 #include "data/idx_loader.h"
 #include "fl/simulation.h"
+#include "obs/stats.h"
+#include "obs/tracer.h"
 
 namespace fedtrip::net {
 
@@ -126,6 +128,13 @@ void WorkerServer::logf(const char* fmt, ...) {
 }
 
 void WorkerServer::serve(Socket conn) {
+  // Diagnostics tracer: alive for the whole session regardless of --obs,
+  // so a crash can always report the open span and counter snapshot. Span
+  // *recording* stays off until Setup asks for spans back (protocol v2).
+  obs::ObsConfig diag_cfg;
+  diag_cfg.enabled = true;
+  diag_cfg.spans = false;
+  obs::Tracer tracer(diag_cfg);
   try {
     // Handshake: the coordinator offers its version range, the worker
     // answers with the negotiated version (echoed as a degenerate range).
@@ -158,23 +167,41 @@ void WorkerServer::serve(Socket conn) {
          setup.num_workers,
          static_cast<unsigned long long>(setup.config.seed));
     WorkerWorld world = build_world(setup);
+    tracer.set_spans(setup.config.obs.enabled && setup.config.obs.spans);
+    world.sim->set_tracer(&tracer);
     send_frame(conn, wire::RecordType::kNetSetupAck, 0,
-               serialize_setup_ack(SetupAckMsg{world.sim->param_dim()}));
+               serialize_setup_ack(SetupAckMsg{world.sim->param_dim()}),
+               &tracer);
     logf("world ready: |w| = %zu", world.sim->param_dim());
 
     std::size_t batches = 0;
     while (true) {
-      Frame f = recv_frame(conn, "coordinator");
+      Frame f = recv_frame(conn, "coordinator", false, &tracer);
       switch (f.type) {
         case wire::RecordType::kNetDispatch: {
           auto batch =
               parse_dispatch_batch(f.payload.data(), f.payload.size());
-          auto result = execute_batch(world, std::move(batch));
+          TrainResultMsg result;
+          {
+            obs::WallSpan span(
+                &tracer, "execute_batch",
+                {{"batch_seq", static_cast<double>(batch.batch_seq)},
+                 {"dispatches",
+                  static_cast<double>(batch.dispatches.size())}});
+            result = execute_batch(world, std::move(batch));
+          }
           send_frame(conn, wire::RecordType::kNetResult, 0,
-                     serialize_train_result(result));
+                     serialize_train_result(result), &tracer);
           ++batches;
           break;
         }
+        case wire::RecordType::kNetStatsReq:
+          // Always answered — with an empty-ish report when tracing was
+          // off — so the coordinator's collect loop never depends on the
+          // worker's local view of the config.
+          send_frame(conn, wire::RecordType::kNetStats, 0,
+                     obs::serialize_stats(tracer.snapshot()), &tracer);
+          break;
         case wire::RecordType::kNetShutdown:
           logf("shutdown after %zu batches", batches);
           return;
@@ -189,12 +216,20 @@ void WorkerServer::serve(Socket conn) {
       }
     }
   } catch (const std::exception& e) {
-    logf("fatal: %s", e.what());
+    // The diagnostic names what the worker was *doing* when it died — the
+    // most recently opened wall span ("mid-train_shard(client=17)") and a
+    // counter snapshot — on top of the failure cause.
+    std::string diag = e.what();
+    const std::string open = tracer.last_open_span();
+    if (!open.empty()) diag += " | while in " + open;
+    const std::string counters = tracer.counters_brief();
+    if (!counters.empty()) diag += " | counters: " + counters;
+    logf("fatal: %s", diag.c_str());
     // Best effort: ship the diagnostic to the coordinator before dying, so
     // the run fails with the cause instead of a bare disconnect.
     try {
       send_frame(conn, wire::RecordType::kNetError, 0,
-                 serialize_error(e.what()));
+                 serialize_error(diag));
     } catch (...) {
     }
     throw;

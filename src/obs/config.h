@@ -1,0 +1,29 @@
+// Observability configuration, CommConfig-style: a block of off-by-default
+// switches carried inside ExperimentConfig. With `enabled == false` nothing
+// in the hot path allocates, locks, or branches beyond a null-pointer check
+// — the Tracer simply never exists (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string>
+
+namespace fedtrip::obs {
+
+struct ObsConfig {
+  /// Master switch. False (the default) means no Tracer is constructed at
+  /// all and every instrumentation site reduces to `if (nullptr)`.
+  bool enabled = false;
+
+  /// Record spans (virtual-clock and wall-clock). Counters stay available
+  /// even with spans off — a cheap mode for long runs.
+  bool spans = true;
+
+  /// Record counters / gauges / timers.
+  bool counters = true;
+
+  /// Coordinator-side output paths; never shipped to workers. Empty means
+  /// "don't write".
+  std::string trace_out;    // Chrome trace-event JSON (Perfetto-loadable)
+  std::string metrics_out;  // end-of-run counter/gauge/timer JSON
+};
+
+}  // namespace fedtrip::obs

@@ -1,0 +1,122 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace fedtrip::obs {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_for_write(const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for write");
+  return f;
+}
+
+void close_checked(File f, const std::string& path) {
+  std::FILE* raw = f.release();
+  const bool write_err = std::ferror(raw) != 0;
+  if (std::fclose(raw) != 0 || write_err) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+void emit_metadata(JsonWriter& j, const char* what, std::size_t pid,
+                   std::size_t tid, bool has_tid, const std::string& name) {
+  j.begin_object();
+  j.field("name", what);
+  j.field("ph", "M");
+  j.field("pid", pid);
+  if (has_tid) j.field("tid", tid);
+  j.begin_object("args");
+  j.field_escaped("name", name);
+  j.end_object();
+  j.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceLane>& lanes) {
+  File f = open_for_write(path);
+  JsonWriter j(f.get());
+  j.begin_object();
+  j.field("displayTimeUnit", "ms");
+  j.begin_array("traceEvents");
+  for (std::size_t pid = 0; pid < lanes.size(); ++pid) {
+    const TraceLane& lane = lanes[pid];
+    emit_metadata(j, "process_name", pid, 0, false, lane.name);
+
+    std::set<std::uint32_t> tracks;
+    for (const Span& s : lane.data.spans) tracks.insert(s.track);
+    for (std::uint32_t t : tracks) {
+      emit_metadata(j, "thread_name", pid, t, true,
+                    t == 0 ? "virtual clock"
+                           : "thread " + std::to_string(t));
+    }
+
+    for (const Span& s : lane.data.spans) {
+      j.begin_object();
+      j.field_escaped("name", s.name);
+      j.field("ph", "X");
+      j.field("cat", s.clock == SpanClock::kVirtual ? "virtual" : "wall");
+      j.field("pid", pid);
+      j.field("tid", static_cast<std::size_t>(s.track));
+      j.field("ts", s.t0 * 1e6);           // trace-event ts is microseconds
+      j.field("dur", (s.t1 - s.t0) * 1e6);
+      if (!s.args.empty()) {
+        j.begin_object("args");
+        // Arg keys are instrumentation-site identifiers; no escaping needed.
+        for (const auto& [k, v] : s.args) j.field(k.c_str(), v);
+        j.end_object();
+      }
+      j.end_object();
+    }
+  }
+  j.end_array();
+  j.end_object();
+  std::fputc('\n', f.get());
+  close_checked(std::move(f), path);
+}
+
+void write_metrics_json(const std::string& path,
+                        const std::vector<TraceLane>& lanes) {
+  File f = open_for_write(path);
+  JsonWriter j(f.get());
+  j.begin_object();
+  j.begin_array("lanes");
+  for (const TraceLane& lane : lanes) {
+    j.begin_object();
+    j.field_escaped("name", lane.name);
+    j.begin_object("counters");
+    for (const auto& [k, v] : lane.data.counters) {
+      j.field(k.c_str(), static_cast<std::size_t>(v));
+    }
+    j.end_object();
+    j.begin_object("gauges");
+    for (const auto& [k, v] : lane.data.gauges) j.field(k.c_str(), v);
+    j.end_object();
+    j.begin_object("timers_ns");
+    for (const auto& [k, v] : lane.data.timers_ns) {
+      j.field(k.c_str(), static_cast<std::size_t>(v));
+    }
+    j.end_object();
+    j.field("spans", lane.data.spans.size());
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::fputc('\n', f.get());
+  close_checked(std::move(f), path);
+}
+
+}  // namespace fedtrip::obs

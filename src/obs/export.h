@@ -1,0 +1,31 @@
+// End-of-run exporters: Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) and a machine-readable metrics JSON. Both take a list
+// of lanes — one per process (coordinator, worker 1..N) — so a distributed
+// run exports a single merged multi-process trace with per-worker tracks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace fedtrip::obs {
+
+struct TraceLane {
+  std::string name;  // "coordinator", "worker 1/2 (spawned)", ...
+  TraceData data;
+};
+
+/// Writes {"traceEvents": [...]} — ph:"X" duration events (ts/dur in
+/// microseconds), one pid per lane, tid 0 for the virtual-clock track and
+/// tid >= 1 for wall-clock threads, with ph:"M" metadata naming each.
+/// Throws std::runtime_error on I/O failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceLane>& lanes);
+
+/// Writes the counter / gauge / timer registries per lane, via the same
+/// JsonWriter the bench artifacts use.
+void write_metrics_json(const std::string& path,
+                        const std::vector<TraceLane>& lanes);
+
+}  // namespace fedtrip::obs

@@ -1,0 +1,103 @@
+// Minimal JSON emitter shared by the bench binaries and the obs exporters:
+// objects, arrays, numeric and string fields, null for absent optionals.
+// Numbers print with %.17g (lossless double round-trip). Moved here from
+// bench/common.h so src/ code can emit JSON without depending on bench/;
+// bench/common.h aliases it back into fedtrip::bench.
+//
+// `field(key, string)` assumes the value needs no escaping (identifiers the
+// caller controls); `field_escaped` handles arbitrary text (span names,
+// error strings) by escaping quotes, backslashes and control characters.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace fedtrip::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { value(); std::fputc('{', f_); first_ = true; }
+  void begin_object(const char* k) { key(k); begin_object(); }
+  void end_object() { std::fputc('}', f_); first_ = false; }
+  void begin_array(const char* k) {
+    key(k);
+    value();
+    std::fputc('[', f_);
+    first_ = true;
+  }
+  void end_array() { std::fputc(']', f_); first_ = false; }
+  void field(const char* k, double v) {
+    key(k);
+    value();
+    std::fprintf(f_, "%.17g", v);
+  }
+  void field(const char* k, std::size_t v) {
+    key(k);
+    value();
+    std::fprintf(f_, "%zu", v);
+  }
+  void field(const char* k, bool v) {
+    key(k);
+    value();
+    std::fputs(v ? "true" : "false", f_);
+  }
+  void field(const char* k, const char* v) {
+    key(k);
+    value();
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void field(const char* k, const std::string& v) { field(k, v.c_str()); }
+  void field(const char* k, const std::optional<double>& v) {
+    key(k);
+    value();
+    if (v.has_value()) std::fprintf(f_, "%.17g", *v);
+    else std::fputs("null", f_);
+  }
+  void field_escaped(const char* k, const std::string& v) {
+    key(k);
+    value();
+    std::fputc('"', f_);
+    for (char c : v) {
+      switch (c) {
+        case '"': std::fputs("\\\"", f_); break;
+        case '\\': std::fputs("\\\\", f_); break;
+        case '\n': std::fputs("\\n", f_); break;
+        case '\t': std::fputs("\\t", f_); break;
+        case '\r': std::fputs("\\r", f_); break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::fprintf(f_, "\\u%04x", static_cast<unsigned>(c));
+          } else {
+            std::fputc(c, f_);
+          }
+      }
+    }
+    std::fputc('"', f_);
+  }
+
+ private:
+  void key(const char* k) {
+    if (!first_) std::fputc(',', f_);
+    first_ = false;
+    std::fprintf(f_, "\"%s\":", k);
+    pending_key_ = true;
+  }
+  /// Comma-separates array elements; values following a key are already
+  /// positioned.
+  void value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_) std::fputc(',', f_);
+    first_ = false;
+  }
+  std::FILE* f_;
+  bool first_ = true;
+  bool pending_key_ = false;
+};
+
+}  // namespace fedtrip::obs

@@ -1,0 +1,132 @@
+#include "obs/stats.h"
+
+#include <string>
+
+#include "wire/wire.h"
+
+namespace fedtrip::obs {
+
+namespace {
+
+void write_string(wire::WireWriter& w, const std::string& s) {
+  if (s.size() > kMaxStatsName) {
+    throw wire::WireError("stats name too long: " +
+                          std::to_string(s.size()) + " bytes");
+  }
+  w.u16(static_cast<std::uint16_t>(s.size()));
+  w.bytes(s.data(), s.size());
+}
+
+std::string read_string(wire::WireReader& r) {
+  const std::uint16_t n = r.u16();
+  if (n > kMaxStatsName) {
+    throw wire::WireError("stats name too long: " + std::to_string(n) +
+                          " bytes");
+  }
+  r.require(n);
+  std::string s(n, '\0');
+  r.bytes(s.data(), n);
+  return s;
+}
+
+/// A declared entry count may not exceed what the remaining bytes could
+/// possibly hold — rejects allocation-bomb counts before any loop runs.
+void check_count(const wire::WireReader& r, std::uint32_t n,
+                 std::size_t min_entry_bytes, const char* what) {
+  if (n > r.remaining() / min_entry_bytes) {
+    throw wire::WireError(std::string("stats ") + what + " count " +
+                          std::to_string(n) + " exceeds buffer capacity");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_stats(const TraceData& data) {
+  wire::WireWriter w;
+  w.u32(static_cast<std::uint32_t>(data.counters.size()));
+  for (const auto& [name, value] : data.counters) {
+    write_string(w, name);
+    w.u64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(data.gauges.size()));
+  for (const auto& [name, value] : data.gauges) {
+    write_string(w, name);
+    w.f64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(data.timers_ns.size()));
+  for (const auto& [name, value] : data.timers_ns) {
+    write_string(w, name);
+    w.u64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(data.spans.size()));
+  for (const auto& s : data.spans) {
+    write_string(w, s.name);
+    w.u8(static_cast<std::uint8_t>(s.clock));
+    w.u32(s.track);
+    w.f64(s.t0);
+    w.f64(s.t1);
+    w.u16(static_cast<std::uint16_t>(s.args.size()));
+    for (const auto& [name, value] : s.args) {
+      write_string(w, name);
+      w.f64(value);
+    }
+  }
+  return w.take();
+}
+
+TraceData parse_stats(const std::uint8_t* data, std::size_t size) {
+  wire::WireReader r(data, size);
+  TraceData out;
+
+  // name(>=2) + u64 value
+  const std::uint32_t n_counters = r.u32();
+  check_count(r, n_counters, 10, "counter");
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    std::string name = read_string(r);
+    out.counters[std::move(name)] = r.u64();
+  }
+
+  const std::uint32_t n_gauges = r.u32();
+  check_count(r, n_gauges, 10, "gauge");
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    std::string name = read_string(r);
+    out.gauges[std::move(name)] = r.f64();
+  }
+
+  const std::uint32_t n_timers = r.u32();
+  check_count(r, n_timers, 10, "timer");
+  for (std::uint32_t i = 0; i < n_timers; ++i) {
+    std::string name = read_string(r);
+    out.timers_ns[std::move(name)] = r.u64();
+  }
+
+  // name(>=2) + clock(1) + track(4) + t0(8) + t1(8) + n_args(2)
+  const std::uint32_t n_spans = r.u32();
+  check_count(r, n_spans, 25, "span");
+  for (std::uint32_t i = 0; i < n_spans; ++i) {
+    Span s;
+    s.name = read_string(r);
+    const std::uint8_t clock = r.u8();
+    if (clock > 1) {
+      throw wire::WireError("stats span clock out of range: " +
+                            std::to_string(clock));
+    }
+    s.clock = static_cast<SpanClock>(clock);
+    s.track = r.u32();
+    s.t0 = r.f64();
+    s.t1 = r.f64();
+    const std::uint16_t n_args = r.u16();
+    check_count(r, n_args, 10, "span arg");
+    s.args.reserve(n_args);
+    for (std::uint16_t a = 0; a < n_args; ++a) {
+      std::string name = read_string(r);
+      s.args.emplace_back(std::move(name), r.f64());
+    }
+    out.spans.push_back(std::move(s));
+  }
+
+  r.expect_end();
+  return out;
+}
+
+}  // namespace fedtrip::obs

@@ -1,0 +1,30 @@
+// StatsReport: the wire payload a worker ships its accumulated TraceData
+// back in (wire::RecordType::kNetStats). Parsing is hostile-input hardened
+// exactly like the net/protocol.h messages: every count is bounds-checked
+// against the remaining bytes *before* anything is allocated, enum values
+// are range-checked, strings are length-capped, and the buffer must be
+// consumed exactly — any violation throws wire::WireError.
+//
+// Layout (all little-endian; str = u16 length + bytes):
+//   u32 n_counters, n × (str name, u64 value)
+//   u32 n_gauges,   n × (str name, f64 value)
+//   u32 n_timers,   n × (str name, u64 nanoseconds)
+//   u32 n_spans,    n × (str name, u8 clock, u32 track, f64 t0, f64 t1,
+//                        u16 n_args, n × (str name, f64 value))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace fedtrip::obs {
+
+/// Longest name/arg string a StatsReport may carry; anything longer is a
+/// protocol violation (span and counter names are short identifiers).
+inline constexpr std::size_t kMaxStatsName = 4096;
+
+std::vector<std::uint8_t> serialize_stats(const TraceData& data);
+TraceData parse_stats(const std::uint8_t* data, std::size_t size);
+
+}  // namespace fedtrip::obs

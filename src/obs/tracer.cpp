@@ -1,0 +1,196 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+namespace fedtrip::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  // Integral values (client ids, rounds, byte counts) print as integers;
+  // everything else as shortest-lossy %g. Keeps labels like
+  // "train_shard(client=17)" readable.
+  char buf[32];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_span(const Span& s) {
+  std::string out = s.name;
+  if (!s.args.empty()) {
+    out += '(';
+    for (std::size_t i = 0; i < s.args.size(); ++i) {
+      if (i) out += ", ";
+      out += s.args[i].first;
+      out += '=';
+      append_number(out, s.args[i].second);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- WallSpan
+
+WallSpan::WallSpan(Tracer* t, const char* name,
+                   std::initializer_list<Arg> args) {
+  if (t == nullptr) return;
+  tracer_ = t;
+  token_ = t->open_wall_span(name, args);
+}
+
+void WallSpan::end() {
+  if (tracer_ == nullptr) return;
+  tracer_->close_wall_span(token_);
+  tracer_ = nullptr;
+}
+
+// -------------------------------------------------------------- ScopedTimer
+
+ScopedTimer::ScopedTimer(Tracer* t, const char* name)
+    : tracer_(t), name_(name) {
+  if (tracer_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (tracer_ == nullptr) return;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  tracer_->timer_ns(name_, static_cast<std::uint64_t>(ns));
+  tracer_->count(std::string(name_) + ".calls");
+}
+
+// ------------------------------------------------------------------ Tracer
+
+Tracer::Tracer(const ObsConfig& cfg)
+    : spans_(cfg.spans),
+      counters_(cfg.counters),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::count(const std::string& name, std::uint64_t delta) {
+  if (!counters_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.counters[name] += delta;
+}
+
+void Tracer::gauge_add(const std::string& name, double delta) {
+  if (!counters_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.gauges[name] += delta;
+}
+
+void Tracer::timer_ns(const std::string& name, std::uint64_t ns) {
+  if (!counters_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.timers_ns[name] += ns;
+}
+
+void Tracer::virtual_span(const char* name, double t0, double t1,
+                          std::initializer_list<WallSpan::Arg> args) {
+  if (!spans_) return;
+  Span s;
+  s.name = name;
+  s.clock = SpanClock::kVirtual;
+  s.track = 0;
+  s.t0 = t0;
+  s.t1 = t1;
+  s.args.reserve(args.size());
+  for (const auto& a : args) s.args.emplace_back(a.first, a.second);
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.spans.push_back(std::move(s));
+}
+
+double Tracer::wall_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::uint64_t Tracer::open_wall_span(
+    const char* name, std::initializer_list<WallSpan::Arg> args) {
+  OpenSpan entry;
+  entry.span.name = name;
+  entry.span.clock = SpanClock::kWall;
+  entry.span.t0 = wall_now();
+  entry.span.args.reserve(args.size());
+  for (const auto& a : args) entry.span.args.emplace_back(a.first, a.second);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.token = next_token_++;
+  entry.span.track = track_of_current_thread_locked();
+  open_.push_back(std::move(entry));
+  // A new span opening means normal operation: any crash context captured
+  // from an earlier (caught and handled) unwind is stale.
+  crash_context_.clear();
+  return open_.back().token;
+}
+
+void Tracer::close_wall_span(std::uint64_t token) {
+  const double t1 = wall_now();
+  const bool unwinding = std::uncaught_exceptions() > 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Spans close in roughly LIFO order; scan from the back.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->token != token) continue;
+    if (unwinding && crash_context_.empty()) {
+      // RAII closes every span before a catch block can ask what was
+      // open, so remember the first (deepest, most specific) span the
+      // unwind tears down — that's what the process was doing when it
+      // threw.
+      crash_context_ = format_span(it->span);
+    }
+    if (spans_) {
+      it->span.t1 = t1;
+      data_.spans.push_back(std::move(it->span));
+    }
+    open_.erase(std::next(it).base());
+    return;
+  }
+}
+
+std::uint32_t Tracer::track_of_current_thread_locked() {
+  const auto id = std::this_thread::get_id();
+  auto it = tracks_.find(id);
+  if (it != tracks_.end()) return it->second;
+  const std::uint32_t track = next_track_++;
+  tracks_.emplace(id, track);
+  return track;
+}
+
+std::string Tracer::last_open_span() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_.empty()) return format_span(open_.back().span);
+  return crash_context_;
+}
+
+std::string Tracer::counters_brief(std::size_t max_len) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, value] : data_.counters) {
+    if (!out.empty()) out += ' ';
+    if (out.size() > max_len) {
+      out += "...";
+      break;
+    }
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+TraceData Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+}  // namespace fedtrip::obs

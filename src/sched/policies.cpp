@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/tracer.h"
+
 namespace fedtrip::sched {
 
 namespace {
@@ -87,6 +89,15 @@ double earliest_availability_change(const Host& host,
 /// the earliest comeback among idle clients and re-samples — fresh draws
 /// plus clock progress guarantee termination whenever anyone ever returns.
 /// With the always-available default this is exactly one host.select call.
+/// Emits the deterministic "wait" virtual span when a policy jumps the
+/// clock forward to an availability event (no-op for zero-length jumps).
+void trace_wait(Host& host, double from, double to) {
+  obs::Tracer* tr = host.tracer();
+  if (tr == nullptr || to <= from) return;
+  tr->virtual_span("wait", from, to);
+  tr->count("sched.waits");
+}
+
 std::vector<std::size_t> select_online(Host& host, std::size_t count,
                                        const std::vector<bool>* busy,
                                        double* clock,
@@ -102,6 +113,9 @@ std::vector<std::size_t> select_online(Host& host, std::size_t count,
         online.push_back(c);
       } else {
         ++*unavailable;
+        if (obs::Tracer* tr = host.tracer()) {
+          tr->count("sched.skipped_offline");
+        }
       }
     }
     if (!online.empty()) return online;
@@ -110,6 +124,7 @@ std::vector<std::size_t> select_online(Host& host, std::size_t count,
       throw std::runtime_error(
           "availability: no client ever comes back online");
     }
+    trace_wait(host, *clock, std::max(*clock, t));
     *clock = std::max(*clock, t);
     selected = host.select(count, busy);
     if (selected.empty()) return selected;
@@ -119,12 +134,14 @@ std::vector<std::size_t> select_online(Host& host, std::size_t count,
 
 // Synchronous round tail shared by sync and fastk: uplink every update,
 // advance the clock by the slowest participant (network round-trip plus
-// local compute), aggregate.
+// local compute), aggregate. `round_start` is the virtual clock when the
+// round's dispatch went out — the left edge of its trace spans.
 void finish_round(Host& host, std::vector<Dispatch>& batch,
                   std::vector<fl::ClientUpdate>& updates,
                   const std::vector<std::size_t>& participants,
                   std::size_t round, std::size_t down_wire, double* clock,
-                  std::size_t dropped, std::size_t unavailable) {
+                  std::size_t dropped, std::size_t unavailable,
+                  double round_start) {
   std::vector<std::size_t> up_wire(updates.size(), 0);
   for (std::size_t i = 0; i < updates.size(); ++i) {
     up_wire[i] =
@@ -133,17 +150,21 @@ void finish_round(Host& host, std::vector<Dispatch>& batch,
 
   const bool net = host.network().enabled();
   const bool comp = host.compute_enabled();
+  obs::Tracer* tr = host.tracer();
 
   RoundMeta meta;
   meta.round = round;
   meta.dropped = dropped;
   meta.unavailable = unavailable;
 
+  // Per-participant arrival offsets relative to round_start (zero without
+  // time models) — also the per-dispatch trace spans.
+  std::vector<double> rt(participants.size(), 0.0);
+  std::vector<double> cs(participants.size(), 0.0);
+
   if ((net || comp) && !participants.empty()) {
     const std::size_t client_down = down_wire + host.extra_down_bytes();
     std::vector<std::size_t> client_up(updates.size(), 0);
-    std::vector<double> rt(participants.size(), 0.0);
-    std::vector<double> cs(participants.size(), 0.0);
     for (std::size_t i = 0; i < updates.size(); ++i) {
       client_up[i] = up_wire[i] + 4 * updates[i].extra_upload_floats;
       if (net) {
@@ -181,6 +202,24 @@ void finish_round(Host& host, std::vector<Dispatch>& batch,
 
   meta.clock_seconds = *clock;
   host.aggregate(updates, meta);
+
+  if (tr != nullptr) {
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      tr->virtual_span("dispatch", round_start, round_start + rt[i] + cs[i],
+                       {{"client", static_cast<double>(participants[i])},
+                        {"round", static_cast<double>(round)},
+                        {"staleness", 0.0}});
+    }
+    tr->virtual_span("round", round_start, *clock,
+                     {{"round", static_cast<double>(round)},
+                      {"clients", static_cast<double>(updates.size())},
+                      {"dropped", static_cast<double>(dropped)},
+                      {"unavailable", static_cast<double>(unavailable)}});
+    tr->count("sched.rounds");
+    tr->count("sched.updates", updates.size());
+    tr->count("sched.dispatches", updates.size() + dropped);
+    if (dropped > 0) tr->count("sched.dropped", dropped);
+  }
 }
 
 }  // namespace
@@ -193,13 +232,14 @@ void SyncScheduler::run(Host& host) {
     std::size_t unavailable = 0;
     auto selected = select_online(host, host.clients_per_round(), nullptr,
                                   &clock, &unavailable);
+    const double round_start = clock;
     std::size_t down_wire = 0;
     auto params = host.broadcast(2 * t, selected.size(), /*alias_ok=*/true,
                                  &down_wire);
     auto batch = make_batch(selected, t, params);
     auto updates = host.train(batch);
     finish_round(host, batch, updates, selected, t, down_wire, &clock,
-                 /*dropped=*/0, unavailable);
+                 /*dropped=*/0, unavailable, round_start);
   }
 }
 
@@ -232,6 +272,7 @@ void FastKScheduler::run(Host& host) {
   for (std::size_t t = 1; t <= host.total_rounds(); ++t) {
     std::size_t unavailable = 0;
     auto selected = select_online(host, m, nullptr, &clock, &unavailable);
+    const double round_start = clock;
     std::size_t down_wire = 0;
     auto params = host.broadcast(2 * t, selected.size(), /*alias_ok=*/true,
                                  &down_wire);
@@ -255,7 +296,7 @@ void FastKScheduler::run(Host& host) {
     auto batch = make_batch(winners, t, params);
     auto updates = host.train(batch);
     finish_round(host, batch, updates, winners, t, down_wire, &clock,
-                 /*dropped=*/order.size() - k_eff, unavailable);
+                 /*dropped=*/order.size() - k_eff, unavailable, round_start);
   }
 }
 
@@ -332,9 +373,11 @@ class FlightDeck {
   /// counted in *unavailable — the server's ping goes unanswered.
   void dispatch(std::size_t count, double now, std::size_t round,
                 std::size_t version, std::size_t* unavailable) {
+    obs::Tracer* tr = host_.tracer();
     for (std::size_t c : host_.select(count, &busy_)) {
       if (!avail_.always() && !avail_.available(c, now)) {
         ++*unavailable;
+        if (tr != nullptr) tr->count("sched.skipped_offline");
         continue;
       }
       if (skip_doomed_ && !avail_.always()) {
@@ -349,6 +392,7 @@ class FlightDeck {
             host_.compute_seconds(c);
         if (avail_.online_until(c, now) < predicted) {
           ++*unavailable;
+          if (tr != nullptr) tr->count("sched.skipped_doomed");
           continue;
         }
       }
@@ -390,6 +434,10 @@ class FlightDeck {
       }
       busy_[c] = true;
       ++in_flight_;
+      if (tr != nullptr) {
+        tr->count("sched.dispatches");
+        if (f.lost) tr->count("sched.lost_to_churn");
+      }
       flights_.push_back(std::move(f));
       queue_.emplace(event_time, c, flights_.size() - 1);
     }
@@ -455,6 +503,9 @@ void AsyncScheduler::run(Host& host) {
   std::size_t starve = 0;
   std::size_t consecutive_lost = 0;
 
+  obs::Tracer* tr = host.tracer();
+  double round_open = 0.0;  // clock at the previous aggregation
+
   while (version < rounds) {
     if (deck.empty()) {
       // Every candidate was offline at its dispatch instant: jump to the
@@ -467,6 +518,7 @@ void AsyncScheduler::run(Host& host) {
       if (!std::isfinite(t)) {
         throw std::runtime_error("async: no client ever comes back online");
       }
+      trace_wait(host, clock, std::max(clock, t));
       clock = std::max(clock, t);
       dispatch(concurrency - deck.in_flight(), clock);
       continue;
@@ -478,6 +530,13 @@ void AsyncScheduler::run(Host& host) {
 
     if (f.lost) {
       ++unavailable;
+      if (tr != nullptr) {
+        tr->virtual_span(
+            "dispatch", f.d.dispatch_time, event_time,
+            {{"client", static_cast<double>(f.d.client_id)},
+             {"seq", static_cast<double>(f.d.seq)},
+             {"lost", 1.0}});
+      }
       f.d.params.reset();
       // Progress guard: with on-windows consistently shorter than the
       // round-trip every flight is lost and no round ever completes —
@@ -507,6 +566,12 @@ void AsyncScheduler::run(Host& host) {
     f.d.params.reset();  // release the snapshot
 
     const std::size_t staleness = version - f.version;
+    if (tr != nullptr) {
+      tr->virtual_span("dispatch", f.d.dispatch_time, event_time,
+                       {{"client", static_cast<double>(f.d.client_id)},
+                        {"seq", static_cast<double>(f.d.seq)},
+                        {"staleness", static_cast<double>(staleness)}});
+    }
     f.update.staleness = staleness;
     f.update.weight_scale = staleness_weight(alpha, staleness);
     staleness_sum += static_cast<double>(staleness);
@@ -528,7 +593,19 @@ void AsyncScheduler::run(Host& host) {
           comm_sum / static_cast<double>(buffer.size());
       meta.mean_compute_seconds =
           compute_sum / static_cast<double>(buffer.size());
+      const std::size_t aggregated = buffer.size();
       host.aggregate(buffer, meta);
+      if (tr != nullptr) {
+        tr->virtual_span(
+            "round", round_open, clock,
+            {{"round", static_cast<double>(version)},
+             {"clients", static_cast<double>(aggregated)},
+             {"max_staleness", static_cast<double>(staleness_max)},
+             {"unavailable", static_cast<double>(unavailable)}});
+        tr->count("sched.rounds");
+        tr->count("sched.updates", aggregated);
+      }
+      round_open = clock;
       buffer.clear();
       staleness_sum = 0.0;
       staleness_max = 0;
@@ -611,13 +688,16 @@ void DeadlineScheduler::run(Host& host) {
         throw std::runtime_error(
             "deadline: no client ever comes back online");
       }
+      trace_wait(host, clock, std::max(clock, t));
       clock = std::max(clock, t);
       dispatch_fill(round, clock);
     }
   };
 
+  obs::Tracer* tr = host.tracer();
   std::size_t consecutive_lost = 0;
   for (std::size_t t = 1; t <= rounds; ++t) {
+    const double round_start = clock;
     ensure_in_flight(t);
     const double close_target = clock + deadline;
     double close = close_target;
@@ -641,6 +721,13 @@ void DeadlineScheduler::run(Host& host) {
 
       if (f.lost) {
         ++unavailable;
+        if (tr != nullptr) {
+          tr->virtual_span(
+              "dispatch", f.d.dispatch_time, event_time,
+              {{"client", static_cast<double>(f.d.client_id)},
+               {"seq", static_cast<double>(f.d.seq)},
+               {"lost", 1.0}});
+        }
         f.d.params.reset();
         if (++consecutive_lost > kStarveGuard) {
           throw std::runtime_error(
@@ -660,6 +747,15 @@ void DeadlineScheduler::run(Host& host) {
       f.d.params.reset();
 
       const std::size_t staleness = (t - 1) - f.version;
+      if (tr != nullptr) {
+        // "late": the arrival that extended the round past its deadline —
+        // the deadline verdict of this dispatch.
+        tr->virtual_span("dispatch", f.d.dispatch_time, event_time,
+                         {{"client", static_cast<double>(f.d.client_id)},
+                          {"seq", static_cast<double>(f.d.seq)},
+                          {"staleness", static_cast<double>(staleness)},
+                          {"late", event_time > close_target ? 1.0 : 0.0}});
+      }
       update.staleness = staleness;
       update.weight_scale = staleness_weight(alpha, staleness);
       staleness_sum += static_cast<double>(staleness);
@@ -690,7 +786,21 @@ void DeadlineScheduler::run(Host& host) {
         comm_sum / static_cast<double>(harvest.size());
     meta.mean_compute_seconds =
         compute_sum / static_cast<double>(harvest.size());
+    const std::size_t harvested = harvest.size();
     host.aggregate(harvest, meta);
+    if (tr != nullptr) {
+      tr->virtual_span(
+          "round", round_start, clock,
+          {{"round", static_cast<double>(t)},
+           {"clients", static_cast<double>(harvested)},
+           {"deferred", static_cast<double>(meta.deadline_deferred)},
+           {"unavailable", static_cast<double>(unavailable)}});
+      tr->count("sched.rounds");
+      tr->count("sched.updates", harvested);
+      if (meta.deadline_deferred > 0) {
+        tr->count("sched.deferred", meta.deadline_deferred);
+      }
+    }
     unavailable = 0;
   }
 }

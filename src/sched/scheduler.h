@@ -44,6 +44,10 @@
 #include "fl/types.h"
 #include "sched/config.h"
 
+namespace fedtrip::obs {
+class Tracer;
+}  // namespace fedtrip::obs
+
 namespace fedtrip::sched {
 
 /// One unit of client work handed out by a scheduler: train client
@@ -171,6 +175,11 @@ class Host {
   /// records metrics/eval on the configured cadence.
   virtual void aggregate(std::vector<fl::ClientUpdate>& updates,
                          const RoundMeta& meta) = 0;
+
+  /// Observability sink, or nullptr when tracing is off (the default).
+  /// Policies emit deterministic virtual-clock spans and counters through
+  /// it; every site guards with a single null check.
+  virtual obs::Tracer* tracer() const { return nullptr; }
 };
 
 class Scheduler {

@@ -58,6 +58,12 @@ enum class RecordType : std::uint32_t {
   /// Fatal peer-side failure: a UTF-8 diagnostic string. The receiver
   /// surfaces it and fails the run.
   kNetError = 22,
+  /// Coordinator -> worker: "ship me your accumulated stats" (empty
+  /// payload). Sent before shutdown when tracing is on. Protocol >= 2.
+  kNetStatsReq = 23,
+  /// Worker -> coordinator: the worker's StatsReport (obs/stats.h layout —
+  /// counters, gauges, timers, spans). Protocol >= 2.
+  kNetStats = 24,
 };
 
 struct Record {

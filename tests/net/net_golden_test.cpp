@@ -13,6 +13,7 @@
 
 #include "net/golden.h"
 #include "net/protocol.h"
+#include "obs/stats.h"
 #include "wire/container.h"
 
 namespace fedtrip {
@@ -47,7 +48,7 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   const auto bytes = read_committed();
   ASSERT_FALSE(bytes.empty());
   const auto records = wire::read_container(bytes.data(), bytes.size());
-  ASSERT_EQ(records.size(), 8u);
+  ASSERT_EQ(records.size(), 10u);
 
   const auto hello =
       net::parse_hello(records[0].bytes.data(), records[0].bytes.size());
@@ -75,8 +76,24 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   ASSERT_EQ(result.updates.size(), 2u);
   EXPECT_EQ(result.updates[1].aux.size(), 2u);
 
-  EXPECT_EQ(records[7].type, wire::RecordType::kNetShutdown);
-  EXPECT_TRUE(records[7].bytes.empty());
+  // Stats collection pair (protocol v2): an empty request followed by the
+  // worker's StatsReport with pinned registry entries and one wall span.
+  ASSERT_EQ(records[6].type, wire::RecordType::kNetStatsReq);
+  EXPECT_TRUE(records[6].bytes.empty());
+  ASSERT_EQ(records[7].type, wire::RecordType::kNetStats);
+  const auto stats =
+      obs::parse_stats(records[7].bytes.data(), records[7].bytes.size());
+  EXPECT_EQ(stats.counters.at("net.frames_recv"), 3u);
+  EXPECT_EQ(stats.counters.at("sched.dispatches"), 7u);
+  EXPECT_DOUBLE_EQ(stats.gauges.at("comm.ef_residual_l2.up"), 0.125);
+  EXPECT_EQ(stats.timers_ns.at("wire.serialize"), 123456u);
+  ASSERT_EQ(stats.spans.size(), 1u);
+  EXPECT_EQ(obs::format_span(stats.spans[0]),
+            "train_shard(client=3, round=1)");
+  EXPECT_EQ(stats.spans[0].clock, obs::SpanClock::kWall);
+
+  EXPECT_EQ(records[9].type, wire::RecordType::kNetShutdown);
+  EXPECT_TRUE(records[9].bytes.empty());
 }
 
 }  // namespace

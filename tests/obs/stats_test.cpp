@@ -1,0 +1,163 @@
+// StatsReport wire safety: the payload a worker ships its TraceData back
+// in must round-trip exactly, and its parser must survive hostile bytes —
+// truncations at every offset, allocation-bomb entry counts, out-of-range
+// enums, oversize names, trailing garbage — by throwing wire::WireError,
+// never by reading out of bounds or allocating unbounded memory. Mirrors
+// the tests/wire/ discipline for every other record type.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+#include "wire/wire.h"
+
+namespace fedtrip::obs {
+namespace {
+
+TraceData sample_data() {
+  TraceData d;
+  d.counters["net.frames_recv"] = 3;
+  d.counters["sched.dispatches"] = 7;
+  d.gauges["comm.ef_residual_l2.up"] = 0.125;
+  d.timers_ns["wire.serialize"] = 123456;
+
+  Span v;
+  v.name = "round";
+  v.clock = SpanClock::kVirtual;
+  v.track = 0;
+  v.t0 = 0.0;
+  v.t1 = 2.5;
+  v.args = {{"round", 1.0}, {"clients", 2.0}};
+  d.spans.push_back(v);
+
+  Span w;
+  w.name = "train_shard";
+  w.clock = SpanClock::kWall;
+  w.track = 1;
+  w.t0 = 0.25;
+  w.t1 = 0.75;
+  w.args = {{"client", 3.0}};
+  d.spans.push_back(w);
+  return d;
+}
+
+TEST(StatsReportTest, RoundTripPreservesEverything) {
+  const TraceData d = sample_data();
+  const auto bytes = serialize_stats(d);
+  const TraceData back = parse_stats(bytes.data(), bytes.size());
+
+  EXPECT_EQ(back.counters, d.counters);
+  EXPECT_EQ(back.gauges, d.gauges);
+  EXPECT_EQ(back.timers_ns, d.timers_ns);
+  ASSERT_EQ(back.spans.size(), d.spans.size());
+  for (std::size_t i = 0; i < d.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i], d.spans[i]) << "span " << i;
+  }
+}
+
+TEST(StatsReportTest, EmptyReportRoundTrips) {
+  const auto bytes = serialize_stats(TraceData{});
+  EXPECT_EQ(bytes.size(), 16u);  // four zero u32 section counts
+  const TraceData back = parse_stats(bytes.data(), bytes.size());
+  EXPECT_TRUE(back.counters.empty());
+  EXPECT_TRUE(back.spans.empty());
+}
+
+TEST(StatsReportTest, EveryTruncationRejected) {
+  // Cutting the buffer at any offset must throw — never parse, never
+  // over-read. The section counts live in the prefix, so a shorter
+  // buffer always promises more than it holds.
+  const auto bytes = serialize_stats(sample_data());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(parse_stats(bytes.data(), n), wire::WireError)
+        << "prefix of " << n << " bytes parsed";
+  }
+}
+
+TEST(StatsReportTest, AllocationBombCountsRejectedBeforeAllocation) {
+  // A count field claiming more entries than the remaining bytes could
+  // possibly hold is rejected up front — one u32 per section.
+  for (int section = 0; section < 4; ++section) {
+    wire::WireWriter w;
+    for (int s = 0; s < section; ++s) w.u32(0);  // empty earlier sections
+    w.u32(0xFFFFFFFFu);                          // the bomb
+    const auto bytes = w.take();
+    try {
+      parse_stats(bytes.data(), bytes.size());
+      FAIL() << "bomb in section " << section << " parsed";
+    } catch (const wire::WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("exceeds buffer capacity"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(StatsReportTest, SpanClockOutOfRangeRejected) {
+  wire::WireWriter w;
+  w.u32(0);  // counters
+  w.u32(0);  // gauges
+  w.u32(0);  // timers
+  w.u32(1);  // one span
+  w.u16(1);
+  w.bytes("x", 1);
+  w.u8(2);  // SpanClock only admits 0 (wall) and 1 (virtual)
+  w.u32(0);
+  w.f64(0.0);
+  w.f64(1.0);
+  w.u16(0);
+  const auto bytes = w.take();
+  try {
+    parse_stats(bytes.data(), bytes.size());
+    FAIL() << "clock value 2 parsed";
+  } catch (const wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("clock out of range"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StatsReportTest, OversizeNameRejectedOnBothSides) {
+  // Parser: a declared name length past kMaxStatsName is a protocol
+  // violation even when that many bytes are actually present.
+  const std::size_t big = kMaxStatsName + 1;
+  wire::WireWriter w;
+  w.u32(1);  // one counter
+  w.u16(static_cast<std::uint16_t>(big));
+  const std::string name(big, 'a');
+  w.bytes(name.data(), name.size());
+  w.u64(1);
+  w.u32(0);
+  w.u32(0);
+  w.u32(0);
+  const auto bytes = w.take();
+  try {
+    parse_stats(bytes.data(), bytes.size());
+    FAIL() << "oversize name parsed";
+  } catch (const wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("name too long"), std::string::npos)
+        << e.what();
+  }
+
+  // Serializer: refuses to emit what the parser would reject.
+  TraceData d;
+  d.counters[name] = 1;
+  EXPECT_THROW(serialize_stats(d), wire::WireError);
+}
+
+TEST(StatsReportTest, TrailingBytesRejected) {
+  auto bytes = serialize_stats(sample_data());
+  bytes.push_back(0x00);
+  try {
+    parse_stats(bytes.data(), bytes.size());
+    FAIL() << "trailing byte accepted";
+  } catch (const wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing bytes"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace fedtrip::obs

@@ -1,0 +1,205 @@
+// The tracing core's contracts: deterministic registries (counters,
+// gauges) vs wall-time ones (timers), the two span clock domains, the
+// no-op guarantees of disabled modes and null tracers, and the
+// crash-context rule that lets a worker's error path say what the process
+// was doing even though RAII closes every span before a catch block runs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/tracer.h"
+
+namespace fedtrip::obs {
+namespace {
+
+TEST(TracerTest, CountersGaugesAndTimersAccumulate) {
+  Tracer t;
+  t.count("a");
+  t.count("a", 4);
+  t.count("b", 7);
+  t.gauge_add("g", 0.5);
+  t.gauge_add("g", 0.25);
+  t.timer_ns("w", 100);
+  t.timer_ns("w", 23);
+
+  const TraceData d = t.snapshot();
+  EXPECT_EQ(d.counters.at("a"), 5u);
+  EXPECT_EQ(d.counters.at("b"), 7u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("g"), 0.75);
+  EXPECT_EQ(d.timers_ns.at("w"), 123u);
+}
+
+TEST(TracerTest, VirtualSpansKeepEmissionOrderAndArgs) {
+  Tracer t;
+  t.virtual_span("dispatch", 0.0, 1.5, {{"client", 3.0}});
+  t.virtual_span("round", 0.0, 2.0, {{"round", 0.0}, {"clients", 2.0}});
+
+  const TraceData d = t.snapshot();
+  ASSERT_EQ(d.spans.size(), 2u);
+  EXPECT_EQ(d.spans[0].name, "dispatch");
+  EXPECT_EQ(d.spans[0].clock, SpanClock::kVirtual);
+  EXPECT_EQ(d.spans[0].track, 0u);  // track 0 is the virtual lane
+  EXPECT_DOUBLE_EQ(d.spans[0].t1, 1.5);
+  ASSERT_EQ(d.spans[1].args.size(), 2u);
+  EXPECT_EQ(d.spans[1].args[0].first, "round");
+  EXPECT_EQ(d.spans[1].args[1].first, "clients");
+}
+
+TEST(TracerTest, WallSpanRecordsOnCloseWithNonVirtualTrack) {
+  Tracer t;
+  {
+    WallSpan s(&t, "train_shard", {{"client", 17.0}});
+    EXPECT_EQ(t.last_open_span(), "train_shard(client=17)");
+  }
+  EXPECT_EQ(t.last_open_span(), "");  // clean close: no crash context
+
+  const TraceData d = t.snapshot();
+  ASSERT_EQ(d.spans.size(), 1u);
+  EXPECT_EQ(d.spans[0].clock, SpanClock::kWall);
+  EXPECT_GE(d.spans[0].track, 1u);  // wall threads never use track 0
+  EXPECT_GE(d.spans[0].t1, d.spans[0].t0);
+}
+
+TEST(TracerTest, LastOpenSpanIsTheDeepestNestedOne) {
+  Tracer t;
+  WallSpan outer(&t, "execute_batch", {{"batch_seq", 2.0}});
+  {
+    WallSpan inner(&t, "train_shard", {{"client", 4.0}});
+    EXPECT_EQ(t.last_open_span(), "train_shard(client=4)");
+  }
+  EXPECT_EQ(t.last_open_span(), "execute_batch(batch_seq=2)");
+}
+
+TEST(TracerTest, WallSpanMoveTransfersOwnershipWithoutDoubleClose) {
+  Tracer t;
+  {
+    WallSpan a(&t, "moved");
+    WallSpan b(std::move(a));
+    // `a` is inert now; destroying both must record exactly one span.
+  }
+  EXPECT_EQ(t.snapshot().spans.size(), 1u);
+}
+
+TEST(TracerTest, WallThreadsGetDistinctTracks) {
+  Tracer t;
+  { WallSpan s(&t, "main_thread"); }
+  std::thread other([&t]() { WallSpan s(&t, "other_thread"); });
+  other.join();
+
+  const TraceData d = t.snapshot();
+  ASSERT_EQ(d.spans.size(), 2u);
+  EXPECT_NE(d.spans[0].track, d.spans[1].track);
+}
+
+TEST(TracerTest, CrashContextSurvivesTheUnwind) {
+  // RAII closes every span before a catch block can ask what was open —
+  // the tracer must remember the deepest span the unwind tore down, so
+  // the worker's error path can say "died mid-train_shard(client=17)".
+  Tracer t;
+  try {
+    WallSpan outer(&t, "execute_batch", {{"batch_seq", 1.0}});
+    WallSpan inner(&t, "train_shard", {{"client", 17.0}});
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(t.last_open_span(), "train_shard(client=17)");
+
+  // A new span opening means the earlier failure was handled: stale
+  // crash context must not leak into a later, unrelated report.
+  { WallSpan s(&t, "recovered"); }
+  EXPECT_EQ(t.last_open_span(), "");
+}
+
+TEST(TracerTest, CrashContextWorksEvenWithSpanRecordingOff) {
+  // The worker keeps a diagnostics tracer with spans=false until Setup
+  // asks for them; crash context must work in that mode too.
+  ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.spans = false;
+  Tracer t(cfg);
+  try {
+    WallSpan s(&t, "execute_batch", {{"batch_seq", 3.0}});
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(t.last_open_span(), "execute_batch(batch_seq=3)");
+  EXPECT_TRUE(t.snapshot().spans.empty());  // tracked, never recorded
+}
+
+TEST(TracerTest, SetSpansFlipsRecordingMidSession) {
+  ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.spans = false;
+  Tracer t(cfg);
+  { WallSpan s(&t, "before"); }
+  t.virtual_span("before_v", 0.0, 1.0);
+  t.set_spans(true);
+  { WallSpan s(&t, "after"); }
+
+  const TraceData d = t.snapshot();
+  ASSERT_EQ(d.spans.size(), 1u);
+  EXPECT_EQ(d.spans[0].name, "after");
+}
+
+TEST(TracerTest, DisabledCountersRecordNothing) {
+  ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.counters = false;
+  Tracer t(cfg);
+  t.count("a");
+  t.gauge_add("g", 1.0);
+  t.timer_ns("w", 5);
+
+  const TraceData d = t.snapshot();
+  EXPECT_TRUE(d.counters.empty());
+  EXPECT_TRUE(d.gauges.empty());
+  EXPECT_TRUE(d.timers_ns.empty());
+}
+
+TEST(TracerTest, NullTracerHelpersAreCompleteNoOps) {
+  WallSpan s(nullptr, "nothing", {{"x", 1.0}});
+  s.end();
+  ScopedTimer timer(nullptr, "nothing");
+  WallSpan default_constructed;
+  // Reaching here without a crash is the assertion.
+  SUCCEED();
+}
+
+TEST(TracerTest, ScopedTimerAccumulatesAndCountsCalls) {
+  Tracer t;
+  { ScopedTimer timer(&t, "wire.serialize"); }
+  { ScopedTimer timer(&t, "wire.serialize"); }
+
+  const TraceData d = t.snapshot();
+  EXPECT_EQ(d.counters.at("wire.serialize.calls"), 2u);
+  EXPECT_TRUE(d.timers_ns.count("wire.serialize"));
+}
+
+TEST(TracerTest, FormatSpanPrintsIntegralArgsAsIntegers) {
+  Span s;
+  s.name = "dispatch";
+  s.args = {{"client", 17.0}, {"loss", 0.25}};
+  EXPECT_EQ(format_span(s), "dispatch(client=17, loss=0.25)");
+  Span bare;
+  bare.name = "round";
+  EXPECT_EQ(format_span(bare), "round");
+}
+
+TEST(TracerTest, CountersBriefListsAndTruncates) {
+  Tracer t;
+  t.count("net.frames_recv", 3);
+  t.count("sched.rounds", 2);
+  EXPECT_EQ(t.counters_brief(), "net.frames_recv=3 sched.rounds=2");
+
+  for (int i = 0; i < 100; ++i) {
+    t.count("counter.with.a.long.name." + std::to_string(i));
+  }
+  const std::string brief = t.counters_brief(64);
+  EXPECT_LT(brief.size(), 128u);
+  EXPECT_EQ(brief.substr(brief.size() - 3), "...");
+}
+
+}  // namespace
+}  // namespace fedtrip::obs

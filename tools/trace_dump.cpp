@@ -1,0 +1,228 @@
+// trace_dump: human-readable summary of observability artefacts.
+//
+// Two input kinds, auto-detected:
+//   * Chrome trace-event JSON written by obs::write_chrome_trace (or the
+//     run_experiment --trace-out path): prints per-lane span statistics —
+//     event counts per clock domain, total and top spans by accumulated
+//     duration — without needing a browser.
+//   * FTWIRE containers holding kNetStats records (a captured or archived
+//     StatsReport stream): decodes every report in full, plus a bare
+//     StatsReport payload with no container around it.
+//
+// Usage: trace_dump FILE...
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+#include "obs/tracer.h"
+#include "wire/container.h"
+
+namespace {
+
+using namespace fedtrip;
+
+// ---- minimal scanner for the JSON we write ourselves ----
+//
+// obs::write_chrome_trace emits one flat {"traceEvents":[{...},{...}]}
+// array of small objects; this walks the top-level array and extracts the
+// few fields the summary needs. It tracks strings (with escapes) and brace
+// depth, so nested "args" objects are handled; it is a summarizer for our
+// own exporter's output, not a general JSON parser.
+
+struct JsonEvent {
+  std::string name;
+  std::string ph;
+  std::string cat;
+  long long pid = 0;
+  long long tid = 0;
+  double dur = 0.0;
+  std::string meta_name;  // args.name of ph:"M" metadata records
+};
+
+std::string extract_string(const std::string& obj, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":\"";
+  const auto at = obj.find(pat);
+  if (at == std::string::npos) return "";
+  std::string out;
+  for (std::size_t i = at + pat.size(); i < obj.size(); ++i) {
+    const char c = obj[i];
+    if (c == '\\' && i + 1 < obj.size()) {
+      out += obj[++i];  // good enough for \" and \\ in our own output
+      continue;
+    }
+    if (c == '"') break;
+    out += c;
+  }
+  return out;
+}
+
+double extract_number(const std::string& obj, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const auto at = obj.find(pat);
+  if (at == std::string::npos) return 0.0;
+  return std::atof(obj.c_str() + at + pat.size());
+}
+
+std::vector<JsonEvent> scan_trace_events(const std::string& text) {
+  std::vector<JsonEvent> events;
+  const auto array_at = text.find("\"traceEvents\":[");
+  if (array_at == std::string::npos) {
+    throw std::runtime_error("no traceEvents array (not a Chrome trace?)");
+  }
+  std::size_t i = array_at + std::strlen("\"traceEvents\":[");
+  int depth = 0;
+  bool in_string = false;
+  std::size_t obj_start = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        const std::string obj = text.substr(obj_start, i - obj_start + 1);
+        JsonEvent e;
+        e.name = extract_string(obj, "name");
+        e.ph = extract_string(obj, "ph");
+        e.cat = extract_string(obj, "cat");
+        e.pid = static_cast<long long>(extract_number(obj, "pid"));
+        e.tid = static_cast<long long>(extract_number(obj, "tid"));
+        e.dur = extract_number(obj, "dur");
+        if (e.ph == "M") {
+          // args: {"name":"..."} — the second "name" in the object.
+          const auto args_at = obj.find("\"args\":");
+          if (args_at != std::string::npos) {
+            e.meta_name = extract_string(obj.substr(args_at), "name");
+          }
+        }
+        events.push_back(std::move(e));
+      }
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return events;
+}
+
+void dump_chrome_trace(const std::string& text) {
+  const auto events = scan_trace_events(text);
+  std::map<long long, std::string> lane_names;
+  for (const auto& e : events) {
+    if (e.ph == "M" && e.name == "process_name") {
+      lane_names[e.pid] = e.meta_name;
+    }
+  }
+  std::printf("  Chrome trace: %zu event(s), %zu lane(s)\n", events.size(),
+              lane_names.size());
+  for (const auto& [pid, lane] : lane_names) {
+    std::size_t n_virtual = 0, n_wall = 0;
+    std::map<std::string, std::pair<std::size_t, double>> by_name;
+    for (const auto& e : events) {
+      if (e.pid != pid || e.ph != "X") continue;
+      (e.cat == "virtual" ? n_virtual : n_wall)++;
+      auto& [count, total] = by_name[e.name + " (" + e.cat + ")"];
+      ++count;
+      total += e.dur;
+    }
+    std::printf("  lane %lld \"%s\": %zu virtual + %zu wall span(s)\n", pid,
+                lane.c_str(), n_virtual, n_wall);
+    std::vector<std::pair<std::string, std::pair<std::size_t, double>>>
+        rows(by_name.begin(), by_name.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.second > b.second.second;
+    });
+    for (std::size_t i = 0; i < rows.size() && i < 8; ++i) {
+      std::printf("    %-24s x%-6zu total %12.3f us\n",
+                  rows[i].first.c_str(), rows[i].second.first,
+                  rows[i].second.second);
+    }
+  }
+}
+
+void dump_stats(const obs::TraceData& d) {
+  std::printf("  stats: %zu counter(s), %zu gauge(s), %zu timer(s), %zu "
+              "span(s)\n",
+              d.counters.size(), d.gauges.size(), d.timers_ns.size(),
+              d.spans.size());
+  for (const auto& [name, value] : d.counters) {
+    std::printf("    counter %s = %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : d.gauges) {
+    std::printf("    gauge %s = %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, ns] : d.timers_ns) {
+    std::printf("    timer %s = %llu ns\n", name.c_str(),
+                static_cast<unsigned long long>(ns));
+  }
+  for (const auto& s : d.spans) {
+    std::printf("    span %s  [%g, %g] %s track %u\n",
+                obs::format_span(s).c_str(), s.t0, s.t1,
+                s.clock == obs::SpanClock::kVirtual ? "virtual" : "wall",
+                s.track);
+  }
+}
+
+int dump_file(const char* path) {
+  const auto buf = wire::read_file(path);
+  std::printf("%s: %zu bytes\n", path, buf.size());
+  if (wire::is_container(buf.data(), buf.size())) {
+    const auto records = wire::read_container(buf.data(), buf.size());
+    std::printf("  FTWIRE container, %zu record(s)\n", records.size());
+    for (const auto& rec : records) {
+      if (rec.type == wire::RecordType::kNetStats) {
+        dump_stats(obs::parse_stats(rec.bytes.data(), rec.bytes.size()));
+      } else if (rec.type == wire::RecordType::kNetStatsReq) {
+        std::printf("  stats request (empty)\n");
+      } else {
+        std::printf("  record type %u (%zu bytes) — not a stats record, "
+                    "see wire_dump\n",
+                    static_cast<unsigned>(rec.type), rec.bytes.size());
+      }
+    }
+    return 0;
+  }
+  if (!buf.empty() && buf.front() == '{') {
+    dump_chrome_trace(std::string(buf.begin(), buf.end()));
+    return 0;
+  }
+  // Last resort: a bare StatsReport payload (no envelope).
+  dump_stats(obs::parse_stats(buf.data(), buf.size()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_dump FILE...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      dump_file(argv[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}

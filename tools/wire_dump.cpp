@@ -16,6 +16,7 @@
 
 #include "comm/compressor.h"
 #include "net/protocol.h"
+#include "obs/stats.h"
 #include "wire/container.h"
 #include "wire/payload.h"
 
@@ -164,6 +165,37 @@ void dump_net_record(const wire::Record& rec) {
       std::printf("  net error: %s\n",
                   net::parse_error(data, size).c_str());
       break;
+    case wire::RecordType::kNetStatsReq:
+      std::printf("  net stats request\n");
+      break;
+    case wire::RecordType::kNetStats: {
+      const auto d = obs::parse_stats(data, size);
+      std::printf("  net stats report: %zu counter(s), %zu gauge(s), %zu "
+                  "timer(s), %zu span(s)\n",
+                  d.counters.size(), d.gauges.size(), d.timers_ns.size(),
+                  d.spans.size());
+      for (const auto& [name, value] : d.counters) {
+        std::printf("    counter %s = %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      for (const auto& [name, value] : d.gauges) {
+        std::printf("    gauge %s = %g\n", name.c_str(), value);
+      }
+      for (const auto& [name, ns] : d.timers_ns) {
+        std::printf("    timer %s = %llu ns\n", name.c_str(),
+                    static_cast<unsigned long long>(ns));
+      }
+      for (std::size_t i = 0; i < d.spans.size() && i < 16; ++i) {
+        const auto& s = d.spans[i];
+        std::printf("    span %s  [%g, %g] %s track %u\n",
+                    obs::format_span(s).c_str(), s.t0, s.t1,
+                    s.clock == obs::SpanClock::kVirtual ? "virtual" : "wall",
+                    s.track);
+      }
+      if (d.spans.size() > 16) std::printf("    ... and %zu more span(s)\n",
+                                           d.spans.size() - 16);
+      break;
+    }
     default:
       break;
   }
@@ -209,6 +241,8 @@ int dump_file(const char* path) {
       case wire::RecordType::kNetResult:
       case wire::RecordType::kNetShutdown:
       case wire::RecordType::kNetError:
+      case wire::RecordType::kNetStatsReq:
+      case wire::RecordType::kNetStats:
         dump_net_record(rec);
         break;
       default:
