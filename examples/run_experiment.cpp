@@ -29,6 +29,8 @@
 #include "fl/metrics.h"
 #include "fl/round_host.h"
 #include "fl/simulation.h"
+#include "net/elastic/host.h"
+#include "net/elastic/pool.h"
 #include "net/net_host.h"
 #include "net/pool.h"
 #include "obs/export.h"
@@ -79,6 +81,9 @@ int main(int argc, char** argv) {
   std::size_t workers_remote = 0;
   std::string connect_list;
   std::string worker_bin = default_worker_bin(argv[0]);
+  bool elastic = false;
+  double heartbeat_interval_s = 0.25;
+  net::ElasticConfig elastic_cfg;
   algorithms::AlgoParams params;
   params.mu = 0.4f;
 
@@ -197,6 +202,11 @@ int main(int argc, char** argv) {
        }},
       {"--connect", [&](const char* v) { connect_list = v; }},
       {"--worker-bin", [&](const char* v) { worker_bin = v; }},
+      {"--elastic", [&](const char*) { elastic = true; }},
+      {"--heartbeat-interval",
+       [&](const char* v) { heartbeat_interval_s = std::atof(v); }},
+      {"--worker-deadline",
+       [&](const char* v) { elastic_cfg.worker_deadline_s = std::atof(v); }},
       {"--obs", [&](const char*) { cfg.obs.enabled = true; }},
       {"--trace-out",
        [&](const char* v) {
@@ -297,6 +307,12 @@ int main(int argc, char** argv) {
               cfg.clients.availability.c_str());
 
   const bool distributed = workers_remote > 0 || !connect_list.empty();
+  if (elastic && !distributed) {
+    std::fprintf(stderr,
+                 "--elastic needs a worker pool (--workers-remote or "
+                 "--connect)\n");
+    return 2;
+  }
   auto algorithm = algorithms::make_algorithm(method, params);
   if (distributed && !algorithm->remote_trainable()) {
     std::fprintf(stderr,
@@ -337,28 +353,65 @@ int main(int argc, char** argv) {
     setup.algo = params;
     setup.config = cfg;
     setup.idx_dir = real_data.has_value() ? idx_dir : std::string();
+    setup.heartbeat_interval_s = heartbeat_interval_s;
     try {
-      net::WorkerPool pool =
-          !connect_list.empty()
-              ? net::WorkerPool::connect(parse_endpoint_list(connect_list),
-                                         setup, sim.param_dim())
-              : net::WorkerPool::spawn_local(workers_remote, worker_bin,
-                                             setup, sim.param_dim());
-      std::printf("distributed: training sharded across %zu worker "
-                  "process(es)\n",
-                  pool.size());
-      std::optional<net::NetHost> host;
-      result = sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
-        host.emplace(inner, pool);
-        return *host;
-      });
-      if (cfg.obs.enabled) {
-        auto reports = pool.collect_stats();
-        for (std::size_t i = 0; i < reports.size(); ++i) {
-          lanes.push_back({pool.label(i), std::move(reports[i])});
+      if (elastic) {
+        net::ElasticPool pool =
+            !connect_list.empty()
+                ? net::ElasticPool::connect(
+                      parse_endpoint_list(connect_list), setup,
+                      sim.param_dim())
+                : net::ElasticPool::spawn_local(workers_remote, worker_bin,
+                                                setup, sim.param_dim());
+        std::printf("distributed (elastic): %zu worker process(es), "
+                    "rejoin port %u\n",
+                    pool.size(), pool.rejoin_port());
+        std::optional<net::ElasticHost> host;
+        result =
+            sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
+              host.emplace(inner, pool, elastic_cfg);
+              return *host;
+            });
+        const auto& st = host->stats();
+        std::printf("elastic: %llu sub-batches, %llu replayed, %llu "
+                    "stolen, %llu evicted, %llu rejoined\n",
+                    static_cast<unsigned long long>(st.sub_batches),
+                    static_cast<unsigned long long>(st.replayed),
+                    static_cast<unsigned long long>(st.stolen),
+                    static_cast<unsigned long long>(st.evicted_workers),
+                    static_cast<unsigned long long>(st.rejoined_workers));
+        if (cfg.obs.enabled) {
+          auto reports = pool.collect_stats();
+          for (std::size_t i = 0; i < reports.size(); ++i) {
+            lanes.push_back({"worker " + std::to_string(i + 1),
+                             std::move(reports[i])});
+          }
         }
+        pool.shutdown();
+      } else {
+        net::WorkerPool pool =
+            !connect_list.empty()
+                ? net::WorkerPool::connect(parse_endpoint_list(connect_list),
+                                           setup, sim.param_dim())
+                : net::WorkerPool::spawn_local(workers_remote, worker_bin,
+                                               setup, sim.param_dim());
+        std::printf("distributed: training sharded across %zu worker "
+                    "process(es)\n",
+                    pool.size());
+        std::optional<net::NetHost> host;
+        result =
+            sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
+              host.emplace(inner, pool);
+              return *host;
+            });
+        if (cfg.obs.enabled) {
+          auto reports = pool.collect_stats();
+          for (std::size_t i = 0; i < reports.size(); ++i) {
+            lanes.push_back({pool.label(i), std::move(reports[i])});
+          }
+        }
+        pool.shutdown();
       }
-      pool.shutdown();
     } catch (const std::exception& e) {
       // NetError for transport failures; wire::WireError can still
       // surface from a hostile peer's payload — both end the run with

@@ -79,6 +79,14 @@ const std::vector<FlagSpec>& experiment_flags() {
       {"--worker-bin", "PATH",
        "fl_worker binary for --workers-remote (default: next to this "
        "executable)"},
+      {"--elastic", nullptr,
+       "run the distributed pool under the elastic coordinator: worker "
+       "eviction + dispatch replay, work-stealing, mid-run rejoin "
+       "(bit-identical results; requires --workers-remote or --connect)"},
+      {"--heartbeat-interval", "X",
+       "elastic: wall seconds between worker heartbeats (default 0.25)"},
+      {"--worker-deadline", "X",
+       "elastic: evict a worker silent for X wall seconds (default 10)"},
       // Observability (docs/OBSERVABILITY.md).
       {"--obs", nullptr,
        "enable tracing + metrics collection (virtual/wall spans, counters); "
@@ -95,8 +103,38 @@ const std::vector<FlagSpec>& experiment_flags() {
   return specs;
 }
 
-std::string experiment_usage() {
-  const auto& specs = experiment_flags();
+const std::vector<FlagSpec>& worker_flags() {
+  static const std::vector<FlagSpec> specs = {
+      // Connection mode (exactly one of the two).
+      {"--connect", "HOST:PORT",
+       "dial a waiting coordinator (what spawned workers do)"},
+      {"--listen", "PORT",
+       "wait for coordinators to dial in (pre-started mode; PORT 0 picks "
+       "an ephemeral port and prints it)"},
+      // Serve loop.
+      {"--max-sessions", "N",
+       "--listen: exit after serving N sessions (default 0 = unbounded; "
+       "the worker survives across runs)"},
+      // Deterministic fault injection (net/elastic/chaos.h). Thresholds
+      // count cumulative executed dispatches across sessions.
+      {"--chaos-kill-after", "N",
+       "crash (close without result, exit 1) after executing N dispatches"},
+      {"--chaos-drop-after", "N",
+       "drop the connection once after executing N dispatches, then "
+       "rejoin the coordinator's listener (elastic sessions)"},
+      {"--chaos-delay-ms", "X",
+       "sleep X wall ms before each dispatch batch (a deterministic "
+       "straggler; forces work-stealing)"},
+      // Meta.
+      {"--help", nullptr, "print this help and exit"},
+  };
+  return specs;
+}
+
+namespace {
+
+std::string render_usage(const char* title,
+                         const std::vector<FlagSpec>& specs) {
   std::size_t width = 0;
   for (const auto& s : specs) {
     std::size_t w = std::strlen(s.name);
@@ -104,7 +142,7 @@ std::string experiment_usage() {
     width = std::max(width, w);
   }
   std::ostringstream out;
-  out << "run_experiment options:\n";
+  out << title << " options:\n";
   for (const auto& s : specs) {
     std::string head = s.name;
     if (s.value_name != nullptr) {
@@ -115,6 +153,16 @@ std::string experiment_usage() {
         << s.help << '\n';
   }
   return out.str();
+}
+
+}  // namespace
+
+std::string experiment_usage() {
+  return render_usage("run_experiment", experiment_flags());
+}
+
+std::string worker_usage() {
+  return render_usage("fl_worker", worker_flags());
 }
 
 }  // namespace fedtrip::fl

@@ -30,4 +30,14 @@ const std::vector<FlagSpec>& experiment_flags();
 /// The full --help text, generated from experiment_flags().
 std::string experiment_usage();
 
+/// Every flag fl_worker accepts, in help order (connection mode, the
+/// serve-loop knobs and the deterministic chaos-injection switches —
+/// net/elastic/chaos.h). Same no-drift contract as experiment_flags():
+/// fl_worker's handler table is checked against this at startup and
+/// tests/fl/flags_test asserts the usage text mentions every entry.
+const std::vector<FlagSpec>& worker_flags();
+
+/// The full fl_worker --help text, generated from worker_flags().
+std::string worker_usage();
+
 }  // namespace fedtrip::fl

@@ -1,0 +1,42 @@
+// ChaosConfig: deterministic fault injection for the distributed runner.
+//
+// The chaos tests (kill / slow / rejoin a worker mid-run, CSV still
+// bit-identical) need failures that happen at an exact point in the
+// dispatch stream, not "kill -9 at roughly the right moment" — so the
+// worker injects them itself, counted in executed dispatches. Wired
+// through `fl_worker --chaos-*` flags and the WorkerServer constructor;
+// thresholds count *cumulative* dispatches across every session the server
+// object serves, so a worker that rejoins does not re-arm its own fault.
+//
+// All injection happens on the worker side after training completes and
+// before the result frame is sent — the coordinator therefore sees the
+// worst case: work executed but unacknowledged, which it must replay.
+#pragma once
+
+#include <cstddef>
+
+namespace fedtrip::net {
+
+struct ChaosConfig {
+  /// After executing this many dispatches (cumulative), die abruptly:
+  /// close the connection without sending the pending result and end the
+  /// process/session as a crash. 0 = off.
+  std::size_t kill_after_dispatches = 0;
+
+  /// After executing this many dispatches (cumulative), drop the
+  /// connection once — same wire effect as a kill, but the worker survives
+  /// and may rejoin the coordinator's listener. 0 = off.
+  std::size_t drop_after_dispatches = 0;
+
+  /// Sleep this many wall milliseconds before executing each dispatch
+  /// batch — a deterministic straggler that forces work-stealing (and,
+  /// past the worker deadline, eviction). 0 = off.
+  double delay_dispatch_ms = 0.0;
+
+  bool any() const {
+    return kill_after_dispatches > 0 || drop_after_dispatches > 0 ||
+           delay_dispatch_ms > 0.0;
+  }
+};
+
+}  // namespace fedtrip::net

@@ -1,0 +1,108 @@
+#include "net/elastic/health.h"
+
+namespace fedtrip::net {
+
+const char* evict_reason_name(EvictReason r) {
+  switch (r) {
+    case EvictReason::kNone:
+      return "active";
+    case EvictReason::kDisconnected:
+      return "disconnected";
+    case EvictReason::kProtocolViolation:
+      return "protocol-violation";
+    case EvictReason::kDeadlineExpired:
+      return "deadline-expired";
+    case EvictReason::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+std::size_t WorkerHealth::add_worker(double now) {
+  slots_.push_back(Slot{EvictReason::kNone, now});
+  ++active_;
+  return slots_.size() - 1;
+}
+
+void WorkerHealth::check(std::size_t w) const {
+  if (w >= slots_.size()) {
+    throw NetError("worker slot " + std::to_string(w) + " of " +
+                   std::to_string(slots_.size()));
+  }
+}
+
+bool WorkerHealth::active(std::size_t w) const {
+  check(w);
+  return slots_[w].reason == EvictReason::kNone;
+}
+
+EvictReason WorkerHealth::reason(std::size_t w) const {
+  check(w);
+  return slots_[w].reason;
+}
+
+double WorkerHealth::last_heard(std::size_t w) const {
+  check(w);
+  return slots_[w].last_heard;
+}
+
+void WorkerHealth::heard_from(std::size_t w, double now) {
+  check(w);
+  if (slots_[w].reason != EvictReason::kNone) {
+    throw NetError("heard from worker slot " + std::to_string(w) +
+                   " after eviction (" +
+                   evict_reason_name(slots_[w].reason) + ")");
+  }
+  slots_[w].last_heard = now;
+}
+
+void WorkerHealth::evict(std::size_t w, EvictReason reason) {
+  check(w);
+  if (reason == EvictReason::kNone) {
+    throw NetError("cannot evict worker slot " + std::to_string(w) +
+                   " with reason 'active'");
+  }
+  if (slots_[w].reason != EvictReason::kNone) {
+    throw NetError("worker slot " + std::to_string(w) +
+                   " evicted twice (was " +
+                   evict_reason_name(slots_[w].reason) + ", now " +
+                   evict_reason_name(reason) + ")");
+  }
+  slots_[w].reason = reason;
+  --active_;
+}
+
+std::vector<std::size_t> WorkerHealth::expired(double now,
+                                               double deadline_s) const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w].reason != EvictReason::kNone) continue;
+    if (now - slots_[w].last_heard > deadline_s) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::size_t> WorkerHealth::active_slots() const {
+  std::vector<std::size_t> out;
+  out.reserve(active_);
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w].reason == EvictReason::kNone) out.push_back(w);
+  }
+  return out;
+}
+
+std::string WorkerHealth::evicted_brief() const {
+  std::string out;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w].reason == EvictReason::kNone ||
+        slots_[w].reason == EvictReason::kRetired) {
+      continue;
+    }
+    if (!out.empty()) out += ", ";
+    out += "worker slot " + std::to_string(w) + ": " +
+           evict_reason_name(slots_[w].reason);
+  }
+  return out;
+}
+
+}  // namespace fedtrip::net

@@ -1,0 +1,352 @@
+#include "net/elastic/host.h"
+
+#include <poll.h>
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "net/frame.h"
+#include "obs/tracer.h"
+
+namespace fedtrip::net {
+
+ElasticHost::ElasticHost(fl::RoundHost& inner, ElasticPool& pool,
+                         ElasticConfig cfg)
+    : inner_(inner),
+      pool_(pool),
+      cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (pool_.size() == 0) {
+    throw NetError("ElasticHost needs at least one worker");
+  }
+  if (cfg_.max_attempts == 0 || cfg_.chunk == 0) {
+    throw NetError("ElasticConfig: max_attempts and chunk must be >= 1");
+  }
+  for (std::size_t i = 0; i < pool_.size(); ++i) health_.add_worker(now());
+}
+
+double ElasticHost::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::size_t ElasticHost::num_clients() const { return inner_.num_clients(); }
+std::size_t ElasticHost::clients_per_round() const {
+  return inner_.clients_per_round();
+}
+std::size_t ElasticHost::total_rounds() const {
+  return inner_.total_rounds();
+}
+const comm::NetworkModel& ElasticHost::network() const {
+  return inner_.network();
+}
+const clients::AvailabilityModel& ElasticHost::availability() const {
+  return inner_.availability();
+}
+bool ElasticHost::compute_enabled() const {
+  return inner_.compute_enabled();
+}
+double ElasticHost::compute_seconds(std::size_t client) const {
+  return inner_.compute_seconds(client);
+}
+std::size_t ElasticHost::message_bytes(comm::Direction dir) const {
+  return inner_.message_bytes(dir);
+}
+std::size_t ElasticHost::extra_down_bytes() const {
+  return inner_.extra_down_bytes();
+}
+std::size_t ElasticHost::extra_up_bytes() const {
+  return inner_.extra_up_bytes();
+}
+std::vector<std::size_t> ElasticHost::select(std::size_t count,
+                                             const std::vector<bool>* busy) {
+  return inner_.select(count, busy);
+}
+std::shared_ptr<const std::vector<float>> ElasticHost::broadcast(
+    std::uint64_t key, std::size_t copies, bool alias_ok,
+    std::size_t* wire_bytes) {
+  return inner_.broadcast(key, copies, alias_ok, wire_bytes);
+}
+std::size_t ElasticHost::uplink(fl::ClientUpdate& update, std::uint64_t key,
+                                const std::vector<float>& sent_from,
+                                std::size_t round) {
+  return inner_.uplink(update, key, sent_from, round);
+}
+void ElasticHost::aggregate(std::vector<fl::ClientUpdate>& updates,
+                            const sched::RoundMeta& meta) {
+  inner_.aggregate(updates, meta);
+}
+obs::Tracer* ElasticHost::tracer() const { return inner_.tracer(); }
+
+std::vector<fl::ClientUpdate> ElasticHost::train(
+    const std::vector<sched::Dispatch>& batch) {
+  obs::Tracer* const tr = inner_.tracer();
+  obs::WallSpan span(tr, "elastic_batch",
+                     {{"dispatches", static_cast<double>(batch.size())}});
+  const std::size_t num_jobs = batch.size();
+  if (tr) tr->count("net.elastic.jobs", num_jobs);
+
+  // Each dispatch's wire form is built once; a replay re-sends the same
+  // bytes, which is what makes re-execution bit-identical by construction.
+  std::vector<WireDispatch> wire(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    const auto& d = batch[i];
+    WireDispatch& wd = wire[i];
+    wd.seq = d.seq;
+    wd.client_id = d.client_id;
+    wd.round = d.round;
+    wd.train_key = d.train_key;
+    if (const fl::HistoryEntry* h = inner_.client_history(d.client_id)) {
+      wd.has_history = true;
+      wd.history_round = h->round;
+      wd.history_params = h->params;
+    }
+  }
+
+  JobTable jt(num_jobs, pool_.size());
+  // One sub-batch in flight per worker; seq 0 means idle.
+  struct Outstanding {
+    std::uint64_t seq = 0;
+    std::vector<std::size_t> jobs;
+  };
+  std::vector<Outstanding> out(pool_.size());
+
+  const std::vector<std::size_t> initial = health_.active_slots();
+  if (initial.empty()) {
+    throw NetError("no live workers: " + health_.evicted_brief());
+  }
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    jt.enqueue(i, initial[i % initial.size()]);
+  }
+
+  std::vector<fl::ClientUpdate> updates(num_jobs);
+  double pre_round_flops = 0.0;
+  std::size_t rr = 0;  // replay reassignment cursor
+
+  auto requeue_orphans = [&](const std::vector<std::size_t>& orphans) {
+    if (orphans.empty()) return;
+    const std::vector<std::size_t> act = health_.active_slots();
+    for (const std::size_t j : orphans) {
+      if (jt.attempts(j) >= cfg_.max_attempts) {
+        jt.evict_job(j);
+        throw NetError(
+            "dispatch for client " + std::to_string(batch[j].client_id) +
+            " failed " + std::to_string(cfg_.max_attempts) +
+            " attempts; giving up (" + health_.evicted_brief() + ")");
+      }
+      if (act.empty()) {
+        throw NetError("every worker was lost mid-batch: " +
+                       health_.evicted_brief());
+      }
+      jt.enqueue(j, act[rr++ % act.size()]);
+    }
+  };
+
+  auto evict = [&](std::size_t w, EvictReason reason) {
+    health_.evict(w, reason);
+    pool_.disconnect(w);
+    ++stats_.evicted_workers;
+    if (tr) {
+      tr->count("net.elastic.evicted");
+      tr->count(std::string("net.elastic.evicted.") +
+                evict_reason_name(reason));
+    }
+    const std::size_t in_flight = out[w].jobs.size();
+    out[w] = Outstanding{};
+    stats_.replayed += in_flight;
+    if (tr && in_flight > 0) tr->count("net.elastic.replayed", in_flight);
+    requeue_orphans(jt.evict_worker(w));
+  };
+
+  auto ship = [&](std::size_t w) {
+    Outstanding o;
+    o.seq = ++batch_seq_;
+    DispatchBatchMsg msg;
+    msg.batch_seq = o.seq;
+    std::unordered_map<const void*, std::uint32_t> set_index;
+    while (o.jobs.size() < cfg_.chunk && !jt.queue(w).empty()) {
+      const std::size_t j = jt.pop_dispatch(w);
+      WireDispatch wd = wire[j];
+      const void* key = batch[j].params.get();
+      auto [it, inserted] = set_index.try_emplace(
+          key, static_cast<std::uint32_t>(msg.param_sets.size()));
+      if (inserted) msg.param_sets.push_back(*batch[j].params);
+      wd.param_set = it->second;
+      msg.dispatches.push_back(std::move(wd));
+      o.jobs.push_back(j);
+    }
+    std::vector<std::uint8_t> bytes;
+    {
+      obs::ScopedTimer t(tr, "wire.serialize");
+      bytes = serialize_dispatch_batch(msg);
+    }
+    try {
+      send_frame(pool_.worker(w), wire::RecordType::kNetDispatch, 0, bytes,
+                 tr);
+    } catch (const NetError&) {
+      // The popped jobs are in flight on w; eviction requeues them.
+      evict(w, EvictReason::kDisconnected);
+      return;
+    }
+    out[w] = std::move(o);
+    ++stats_.sub_batches;
+    if (tr) tr->count("net.elastic.sub_batches");
+  };
+
+  auto handle_frame = [&](std::size_t w) {
+    Frame f;
+    try {
+      f = recv_frame(pool_.worker(w), pool_.label(w).c_str(), true, tr);
+    } catch (const NetError&) {
+      evict(w, EvictReason::kDisconnected);
+      return;
+    }
+    switch (f.type) {
+      case wire::RecordType::kNetShutdown:
+        // recv_frame synthesizes a shutdown on a clean close; mid-run a
+        // close is a death however tidy it was.
+        evict(w, EvictReason::kDisconnected);
+        return;
+      case wire::RecordType::kNetHeartbeat: {
+        try {
+          (void)parse_heartbeat(f.payload.data(), f.payload.size());
+        } catch (const wire::WireError&) {
+          evict(w, EvictReason::kProtocolViolation);
+          return;
+        }
+        health_.heard_from(w, now());
+        ++stats_.heartbeats;
+        if (tr) tr->count("net.elastic.heartbeats");
+        return;
+      }
+      case wire::RecordType::kNetDispatchAck: {
+        DispatchAckMsg ack;
+        try {
+          ack = parse_dispatch_ack(f.payload.data(), f.payload.size());
+        } catch (const wire::WireError&) {
+          evict(w, EvictReason::kProtocolViolation);
+          return;
+        }
+        if (ack.batch_seq != out[w].seq ||
+            ack.dispatch_count != out[w].jobs.size()) {
+          evict(w, EvictReason::kProtocolViolation);
+          return;
+        }
+        health_.heard_from(w, now());
+        return;
+      }
+      case wire::RecordType::kNetResult: {
+        TrainResultMsg result;
+        try {
+          obs::ScopedTimer t(tr, "wire.deserialize");
+          result = parse_train_result(f.payload.data(), f.payload.size());
+        } catch (const wire::WireError&) {
+          evict(w, EvictReason::kProtocolViolation);
+          return;
+        }
+        if (out[w].seq == 0 || result.batch_seq != out[w].seq ||
+            result.updates.size() != out[w].jobs.size()) {
+          evict(w, EvictReason::kProtocolViolation);
+          return;
+        }
+        // Validate the whole sub-batch before committing any of it: a bad
+        // update evicts the worker and the entire sub-batch replays.
+        for (std::size_t k = 0; k < result.updates.size(); ++k) {
+          const std::size_t j = out[w].jobs[k];
+          if (result.updates[k].client_id != batch[j].client_id ||
+              result.updates[k].params.size() != batch[j].params->size()) {
+            evict(w, EvictReason::kProtocolViolation);
+            return;
+          }
+        }
+        pre_round_flops += result.pre_round_flops;
+        for (std::size_t k = 0; k < result.updates.size(); ++k) {
+          const std::size_t j = out[w].jobs[k];
+          if (!jt.complete(j)) {
+            // Replay idempotence: the job finished elsewhere first.
+            ++stats_.duplicate_results;
+            if (tr) tr->count("net.elastic.duplicate_results");
+            continue;
+          }
+          updates[j] = to_client_update(std::move(result.updates[k]));
+        }
+        out[w] = Outstanding{};
+        health_.heard_from(w, now());
+        return;
+      }
+      case wire::RecordType::kNetError:
+        // The worker shipped its own fatal diagnostic: it is done for;
+        // its work is not.
+        evict(w, EvictReason::kProtocolViolation);
+        return;
+      default:
+        evict(w, EvictReason::kProtocolViolation);
+        return;
+    }
+  };
+
+  while (!jt.all_completed()) {
+    // Feed idle workers; an idle worker with an empty queue steals first.
+    for (const std::size_t w : health_.active_slots()) {
+      if (out[w].seq != 0) continue;
+      if (jt.queue(w).empty()) {
+        const std::vector<std::size_t> moved = jt.steal_into(w);
+        if (!moved.empty()) {
+          stats_.stolen += moved.size();
+          if (tr) tr->count("net.elastic.stolen", moved.size());
+        }
+      }
+      if (!jt.queue(w).empty()) ship(w);
+    }
+    if (jt.all_completed()) break;
+
+    // One poll round over the live sockets and the rejoin door.
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owners;
+    for (const std::size_t w : health_.active_slots()) {
+      if (!pool_.connected(w)) continue;
+      fds.push_back(pollfd{pool_.worker(w).fd(), POLLIN, 0});
+      owners.push_back(w);
+    }
+    fds.push_back(pollfd{pool_.listener_fd(), POLLIN, 0});
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc > 0) {
+      for (std::size_t i = 0; i < owners.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+        if (health_.active(owners[i])) handle_frame(owners[i]);
+      }
+      if ((fds.back().revents & POLLIN) != 0) {
+        const std::size_t slot = pool_.try_admit(0);
+        if (slot != ElasticPool::kNoSlot) {
+          health_.add_worker(now());
+          jt.add_worker();
+          out.resize(pool_.size());
+          ++stats_.rejoined_workers;
+          if (tr) tr->count("net.elastic.rejoined");
+        }
+      }
+    }
+
+    // Deadline sweep AFTER the drain above: a heartbeat that was sitting
+    // in the socket buffer counts as life before silence is judged.
+    for (const std::size_t w :
+         health_.expired(now(), cfg_.worker_deadline_s)) {
+      evict(w, EvictReason::kDeadlineExpired);
+    }
+    if (health_.num_active() == 0) {
+      throw NetError("every worker was lost mid-batch: " +
+                     health_.evicted_brief());
+    }
+  }
+
+  // Same accounting order as the in-process and static-pool paths:
+  // pre-round first, then each update in batch order. Arrival order varied
+  // with the chaos of the run; this order did not.
+  inner_.add_flops(pre_round_flops);
+  for (const auto& u : updates) inner_.add_flops(u.flops);
+  return updates;
+}
+
+}  // namespace fedtrip::net

@@ -1,0 +1,120 @@
+// ElasticHost: the fault-tolerant socket-backed sched::Host.
+//
+// Same remote contract as NetHost — wraps the in-process fl::RoundHost
+// and overrides exactly one primitive, train() — but where NetHost fails
+// the run on the first worker hiccup, ElasticHost runs a worker-lifecycle
+// event loop that survives them:
+//
+//   * every dispatch of the batch is a job in a JobTable (queued ->
+//     in-flight -> completed, with requeue on eviction);
+//   * worker liveness is heartbeat/deadline based (WorkerHealth): any
+//     frame refreshes last_heard, silence past the deadline evicts with a
+//     typed reason;
+//   * an evicted worker's jobs are *replayed* onto survivors — safe
+//     because a dispatch's result depends only on (config seed, dispatch
+//     keys, snapshot, history entry), never on which worker runs it;
+//   * an idle worker *steals* the tail half of the longest queue, so a
+//     chaos-slowed straggler sheds load instead of stalling the round;
+//   * a dropped worker may *rejoin* through the pool's listener mid-loop
+//     and immediately becomes a steal target.
+//
+// Results are reassembled by job index into the original batch order and
+// FLOPs are charged in that order, so the CSV, final parameters, byte
+// accounting and participation log stay bit-identical to the in-process
+// engine — kill, slow or rejoin workers as you like (the acceptance bar
+// of tests/integration/elastic_chaos_test.cpp).
+//
+// The run still fails loudly — NetError — when a job exhausts its retry
+// budget or the whole fleet is gone (diagnosed with every eviction's
+// typed reason).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "fl/round_host.h"
+#include "net/elastic/health.h"
+#include "net/elastic/job_table.h"
+#include "net/elastic/pool.h"
+#include "sched/scheduler.h"
+
+namespace fedtrip::net {
+
+struct ElasticConfig {
+  // The heartbeat *interval* is not here: it is the workers' knob and
+  // ships to them inside Setup (SetupMsg::heartbeat_interval_s) before the
+  // pool exists. This struct holds the coordinator-side knobs only.
+  /// Evict a worker silent for longer than this (wall seconds). Must
+  /// comfortably exceed the Setup heartbeat interval.
+  double worker_deadline_s = 10.0;
+  /// Dispatch attempts (first try + replays) before the job — and the
+  /// run — is failed. Guards against a poisoned dispatch killing every
+  /// worker in turn.
+  std::size_t max_attempts = 5;
+  /// Dispatches per sub-batch shipped to a worker. 1 maximises stealing
+  /// granularity (a straggler holds at most one dispatch hostage).
+  std::size_t chunk = 1;
+};
+
+/// Lifecycle totals across the run (nondeterministic — they depend on
+/// wall-clock timing — so they feed diagnostics and the net.elastic.*
+/// counters, never the comparable sched.*/comm.* namespaces).
+struct ElasticStats {
+  std::uint64_t sub_batches = 0;        // dispatch messages shipped
+  std::uint64_t replayed = 0;           // in-flight jobs requeued
+  std::uint64_t stolen = 0;             // jobs moved by work-stealing
+  std::uint64_t evicted_workers = 0;
+  std::uint64_t rejoined_workers = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t duplicate_results = 0;  // replay-idempotence hits
+};
+
+class ElasticHost final : public sched::Host {
+ public:
+  ElasticHost(fl::RoundHost& inner, ElasticPool& pool,
+              ElasticConfig cfg = {});
+
+  std::size_t num_clients() const override;
+  std::size_t clients_per_round() const override;
+  std::size_t total_rounds() const override;
+  const comm::NetworkModel& network() const override;
+  const clients::AvailabilityModel& availability() const override;
+  bool compute_enabled() const override;
+  double compute_seconds(std::size_t client) const override;
+  std::size_t message_bytes(comm::Direction dir) const override;
+  std::size_t extra_down_bytes() const override;
+  std::size_t extra_up_bytes() const override;
+  std::vector<std::size_t> select(std::size_t count,
+                                  const std::vector<bool>* busy) override;
+  std::shared_ptr<const std::vector<float>> broadcast(
+      std::uint64_t key, std::size_t copies, bool alias_ok,
+      std::size_t* wire_bytes) override;
+  std::size_t uplink(fl::ClientUpdate& update, std::uint64_t key,
+                     const std::vector<float>& sent_from,
+                     std::size_t round) override;
+  void aggregate(std::vector<fl::ClientUpdate>& updates,
+                 const sched::RoundMeta& meta) override;
+  obs::Tracer* tracer() const override;
+
+  /// The elastic primitive: the event loop described in the file comment.
+  std::vector<fl::ClientUpdate> train(
+      const std::vector<sched::Dispatch>& batch) override;
+
+  const ElasticStats& stats() const { return stats_; }
+  const WorkerHealth& health() const { return health_; }
+
+ private:
+  /// Monotonic seconds since construction — the axis WorkerHealth runs on.
+  double now() const;
+
+  fl::RoundHost& inner_;
+  ElasticPool& pool_;
+  ElasticConfig cfg_;
+  WorkerHealth health_;
+  ElasticStats stats_;
+  std::uint64_t batch_seq_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace fedtrip::net

@@ -1,0 +1,172 @@
+#include "net/elastic/job_table.h"
+
+#include <algorithm>
+
+namespace fedtrip::net {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kInFlight:
+      return "in-flight";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kRequeued:
+      return "requeued";
+    case JobState::kEvicted:
+      return "evicted";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void illegal(const char* what, std::size_t job, JobState s) {
+  throw NetError(std::string("illegal job transition: ") + what + " job " +
+                 std::to_string(job) + " in state " + job_state_name(s));
+}
+
+}  // namespace
+
+JobTable::JobTable(std::size_t jobs, std::size_t workers)
+    : jobs_(jobs), queues_(workers), remaining_(jobs) {}
+
+std::size_t JobTable::add_worker() {
+  queues_.emplace_back();
+  return queues_.size() - 1;
+}
+
+void JobTable::check_job(std::size_t job) const {
+  if (job >= jobs_.size()) {
+    throw NetError("job index " + std::to_string(job) + " of " +
+                   std::to_string(jobs_.size()));
+  }
+}
+
+void JobTable::check_worker(std::size_t worker) const {
+  if (worker >= queues_.size()) {
+    throw NetError("worker slot " + std::to_string(worker) + " of " +
+                   std::to_string(queues_.size()));
+  }
+}
+
+JobState JobTable::state(std::size_t job) const {
+  check_job(job);
+  return jobs_[job].state;
+}
+
+std::size_t JobTable::worker_of(std::size_t job) const {
+  check_job(job);
+  return jobs_[job].worker;
+}
+
+std::size_t JobTable::attempts(std::size_t job) const {
+  check_job(job);
+  return jobs_[job].attempts;
+}
+
+void JobTable::enqueue(std::size_t job, std::size_t worker) {
+  check_job(job);
+  check_worker(worker);
+  Job& j = jobs_[job];
+  if (j.state != JobState::kQueued && j.state != JobState::kRequeued) {
+    illegal("enqueue", job, j.state);
+  }
+  // Reassigning a queued job (eviction / steal paths call through here)
+  // must first drop it from its old queue so no job is ever dispatchable
+  // from two queues at once.
+  if (j.worker != kNoWorker) {
+    auto& q = queues_[j.worker];
+    q.erase(std::remove(q.begin(), q.end(), job), q.end());
+  }
+  j.state = JobState::kQueued;
+  j.worker = worker;
+  queues_[worker].push_back(job);
+}
+
+std::size_t JobTable::pop_dispatch(std::size_t worker) {
+  check_worker(worker);
+  auto& q = queues_[worker];
+  if (q.empty()) {
+    throw NetError("pop_dispatch on empty queue of worker slot " +
+                   std::to_string(worker));
+  }
+  const std::size_t job = q.front();
+  q.pop_front();
+  Job& j = jobs_[job];
+  if (j.state != JobState::kQueued) illegal("dispatch", job, j.state);
+  j.state = JobState::kInFlight;
+  j.attempts += 1;
+  return job;
+}
+
+bool JobTable::complete(std::size_t job) {
+  check_job(job);
+  Job& j = jobs_[job];
+  if (j.state == JobState::kCompleted) return false;  // idempotent replay
+  if (j.state != JobState::kInFlight) illegal("complete", job, j.state);
+  j.state = JobState::kCompleted;
+  j.worker = kNoWorker;
+  --remaining_;
+  return true;
+}
+
+std::vector<std::size_t> JobTable::evict_worker(std::size_t worker) {
+  check_worker(worker);
+  std::vector<std::size_t> orphans;
+  for (std::size_t job = 0; job < jobs_.size(); ++job) {
+    Job& j = jobs_[job];
+    if (j.worker != worker) continue;
+    if (j.state == JobState::kInFlight) {
+      j.state = JobState::kRequeued;
+    } else if (j.state != JobState::kQueued) {
+      continue;
+    }
+    j.worker = kNoWorker;
+    orphans.push_back(job);
+  }
+  queues_[worker].clear();
+  return orphans;
+}
+
+void JobTable::evict_job(std::size_t job) {
+  check_job(job);
+  Job& j = jobs_[job];
+  if (j.state == JobState::kCompleted || j.state == JobState::kEvicted) {
+    illegal("evict", job, j.state);
+  }
+  if (j.worker != kNoWorker) {
+    auto& q = queues_[j.worker];
+    q.erase(std::remove(q.begin(), q.end(), job), q.end());
+  }
+  j.state = JobState::kEvicted;
+  j.worker = kNoWorker;
+}
+
+std::vector<std::size_t> JobTable::steal_into(std::size_t thief) {
+  check_worker(thief);
+  std::size_t victim = kNoWorker;
+  std::size_t longest = 0;
+  for (std::size_t w = 0; w < queues_.size(); ++w) {
+    if (w == thief) continue;
+    if (queues_[w].size() > longest) {
+      longest = queues_[w].size();
+      victim = w;
+    }
+  }
+  if (victim == kNoWorker || longest == 0) return {};
+  auto& q = queues_[victim];
+  const std::size_t take = (q.size() + 1) / 2;  // ceil: a queue of 1 moves
+  std::vector<std::size_t> moved(q.end() - static_cast<std::ptrdiff_t>(take),
+                                 q.end());
+  for (const std::size_t job : moved) enqueue(job, thief);
+  return moved;
+}
+
+const std::deque<std::size_t>& JobTable::queue(std::size_t worker) const {
+  check_worker(worker);
+  return queues_[worker];
+}
+
+}  // namespace fedtrip::net

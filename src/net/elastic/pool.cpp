@@ -1,0 +1,165 @@
+#include "net/elastic/pool.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <utility>
+
+#include "net/frame.h"
+#include "obs/stats.h"
+
+namespace fedtrip::net {
+
+ElasticPool::~ElasticPool() {
+  try {
+    shutdown();
+  } catch (...) {
+  }
+}
+
+void ElasticPool::admit_slot(Socket conn, const std::string& label) {
+  const std::size_t slot = conns_.size();
+  run_worker_handshake(conn, label, setup_,
+                       static_cast<std::uint32_t>(slot), num_initial_,
+                       expected_dim_);
+  conns_.push_back(std::move(conn));
+  labels_.push_back(label);
+}
+
+ElasticPool ElasticPool::adopt(std::vector<Socket> conns, SetupMsg setup,
+                               std::size_t expected_dim) {
+  if (conns.empty()) {
+    throw NetError("cannot build an elastic pool from 0 workers");
+  }
+  ElasticPool pool;
+  pool.expected_dim_ = expected_dim;
+  pool.num_initial_ = static_cast<std::uint32_t>(conns.size());
+  setup.elastic = true;
+  setup.rejoin_port = pool.listener_.port();
+  pool.setup_ = std::move(setup);
+  const std::size_t n = conns.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.admit_slot(std::move(conns[i]),
+                    "worker " + std::to_string(i + 1) + "/" +
+                        std::to_string(n));
+  }
+  return pool;
+}
+
+ElasticPool ElasticPool::spawn_local(std::size_t n,
+                                     const std::string& worker_bin,
+                                     SetupMsg setup,
+                                     std::size_t expected_dim) {
+  ElasticPool pool;
+  pool.expected_dim_ = expected_dim;
+  pool.num_initial_ = static_cast<std::uint32_t>(n);
+  setup.elastic = true;
+  setup.rejoin_port = pool.listener_.port();
+  pool.setup_ = std::move(setup);
+
+  // The children dial the pool's own listener — the same door rejoiners
+  // use later, so a chaos-dropped child can come straight back.
+  SpawnedWorkers spawned = spawn_and_accept(n, worker_bin, pool.listener_);
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.admit_slot(std::move(spawned.conns[i]),
+                      "worker " + std::to_string(i + 1) + "/" +
+                          std::to_string(n) + " (spawned)");
+    }
+  } catch (...) {
+    for (int pid : spawned.pids) ::kill(pid, SIGKILL);
+    for (int pid : spawned.pids) ::waitpid(pid, nullptr, 0);
+    throw;
+  }
+  pool.child_pids_ = std::move(spawned.pids);
+  return pool;
+}
+
+ElasticPool ElasticPool::connect(const std::vector<Endpoint>& endpoints,
+                                 SetupMsg setup, std::size_t expected_dim) {
+  if (endpoints.empty()) {
+    throw NetError("cannot build an elastic pool from 0 endpoints");
+  }
+  ElasticPool pool;
+  pool.expected_dim_ = expected_dim;
+  pool.num_initial_ = static_cast<std::uint32_t>(endpoints.size());
+  setup.elastic = true;
+  setup.rejoin_port = pool.listener_.port();
+  pool.setup_ = std::move(setup);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const auto& ep = endpoints[i];
+    Socket conn = connect_to(ep.host, ep.port);
+    pool.admit_slot(std::move(conn),
+                    "worker " + std::to_string(i + 1) + "/" +
+                        std::to_string(endpoints.size()) + " (" + ep.host +
+                        ":" + std::to_string(ep.port) + ")");
+  }
+  return pool;
+}
+
+std::size_t ElasticPool::try_admit(int timeout_ms) {
+  Socket conn = listener_.accept_timeout(timeout_ms);
+  if (!conn.valid()) return kNoSlot;
+  const std::size_t slot = conns_.size();
+  const std::string label =
+      "worker " + std::to_string(slot + 1) + " (rejoined)";
+  try {
+    admit_slot(std::move(conn), label);
+  } catch (const std::exception&) {
+    // A rejoiner that cannot complete its handshake is dropped on the
+    // floor; the run continues on the surviving fleet.
+    return kNoSlot;
+  }
+  return slot;
+}
+
+std::vector<obs::TraceData> ElasticPool::collect_stats() {
+  std::vector<obs::TraceData> reports;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (!conns_[i].valid()) continue;
+    const std::string& label = labels_[i];
+    send_frame(conns_[i], wire::RecordType::kNetStatsReq, 0, {});
+    // The worker's heartbeat thread may interleave beacons with the
+    // report; they carry no information this late and are skipped.
+    while (true) {
+      Frame f = recv_frame(conns_[i], label.c_str());
+      if (f.type == wire::RecordType::kNetHeartbeat) continue;
+      if (f.type == wire::RecordType::kNetError) {
+        throw NetError(label + " failed during stats collection: " +
+                       parse_error(f.payload.data(), f.payload.size()));
+      }
+      if (f.type != wire::RecordType::kNetStats) {
+        throw NetError(label + ": expected stats report, got frame type " +
+                       std::to_string(static_cast<std::uint32_t>(f.type)));
+      }
+      try {
+        reports.push_back(
+            obs::parse_stats(f.payload.data(), f.payload.size()));
+      } catch (const wire::WireError& e) {
+        throw NetError(label + " sent a malformed stats report: " +
+                       e.what());
+      }
+      break;
+    }
+  }
+  return reports;
+}
+
+void ElasticPool::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  listener_.close();
+  for (auto& conn : conns_) {
+    if (!conn.valid()) continue;
+    try {
+      send_frame(conn, wire::RecordType::kNetShutdown, 0, {});
+    } catch (...) {
+      // An evicted-but-unnoticed worker still gets reaped below.
+    }
+    conn.close();
+  }
+  for (int pid : child_pids_) ::waitpid(pid, nullptr, 0);
+  child_pids_.clear();
+}
+
+}  // namespace fedtrip::net

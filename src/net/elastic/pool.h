@@ -1,0 +1,103 @@
+// ElasticPool: the coordinator's handle on an *elastic* worker fleet.
+//
+// Unlike WorkerPool — a fixed roster whose sockets must all stay healthy
+// for the whole run — the elastic pool is an append-only slot table: a
+// slot is created per worker that ever joins (the initial fleet and every
+// rejoiner), keeps its label and socket, and is disconnected (socket
+// closed, slot retained) when the host evicts the worker. Slot indices are
+// stable for the life of the run, which is what lets the JobTable,
+// WorkerHealth and the host's bookkeeping all share one index space.
+//
+// The pool owns a persistent loopback Listener for the whole run. It is
+// the dial-in point for spawn_local children *and* the rejoin door: its
+// port ships to every worker inside Setup (SetupMsg::rejoin_port), and a
+// worker that lost its connection may redial it; try_admit() accepts and
+// handshakes the rejoiner into a fresh slot. Setup and the expected
+// param_dim are retained so rejoin handshakes are byte-identical to the
+// original ones (the worker rebuilds the same deterministic world —
+// docs/TRANSPORT.md spells out why that makes replay safe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/pool.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/tracer.h"
+
+namespace fedtrip::net {
+
+class ElasticPool {
+ public:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  ElasticPool(ElasticPool&&) noexcept = default;
+  ElasticPool& operator=(ElasticPool&&) noexcept = default;
+  /// Best-effort shutdown() if the owner did not call it.
+  ~ElasticPool();
+
+  /// Adopts connected sockets as slots 0..conns.size()-1 and handshakes
+  /// each (the in-process chaos tests drive WorkerServer threads over
+  /// loopback sockets). `setup` needs everything but the elastic block and
+  /// shard coordinates: the pool forces elastic = true, stamps its own
+  /// listener port as rejoin_port, and fills per-slot indices.
+  static ElasticPool adopt(std::vector<Socket> conns, SetupMsg setup,
+                           std::size_t expected_dim);
+
+  /// Spawns `n` local `fl_worker --connect` children against the pool's
+  /// own listener (which then stays open for rejoin), then handshakes.
+  static ElasticPool spawn_local(std::size_t n, const std::string& worker_bin,
+                                 SetupMsg setup, std::size_t expected_dim);
+
+  /// Connects to pre-started workers at `endpoints`, then handshakes.
+  static ElasticPool connect(const std::vector<Endpoint>& endpoints,
+                             SetupMsg setup, std::size_t expected_dim);
+
+  /// Slots ever created (disconnected ones included; indices are stable).
+  std::size_t size() const { return conns_.size(); }
+  Socket& worker(std::size_t i) { return conns_[i]; }
+  const std::string& label(std::size_t i) const { return labels_[i]; }
+  bool connected(std::size_t i) const { return conns_[i].valid(); }
+  /// Closes the slot's socket without a shutdown frame (eviction). The
+  /// slot index stays valid and permanently disconnected.
+  void disconnect(std::size_t i) { conns_[i].close(); }
+
+  /// The rejoin door's port (shipped to workers in Setup).
+  std::uint16_t rejoin_port() const { return listener_.port(); }
+  /// The listener's fd, for the host's poll set.
+  int listener_fd() const { return listener_.fd(); }
+
+  /// Accepts one pending rejoiner (non-blocking: `timeout_ms` 0 when the
+  /// caller already knows the listener is readable) and handshakes it into
+  /// a new slot; returns the slot index. kNoSlot when nothing was pending
+  /// or the rejoiner failed its handshake (the socket is dropped and the
+  /// run continues without it).
+  std::size_t try_admit(int timeout_ms);
+
+  /// Stats from every *connected* worker (kNetStatsReq -> kNetStats),
+  /// tolerating interleaved heartbeat frames from the worker's beacon
+  /// thread. One TraceData per connected slot, in slot order.
+  std::vector<obs::TraceData> collect_stats();
+
+  /// Orderly shutdown of every connected worker, then closes the listener
+  /// and reaps spawned children. Safe to call twice.
+  void shutdown();
+
+ private:
+  ElasticPool() : listener_(0) {}
+
+  void admit_slot(Socket conn, const std::string& label);
+
+  SetupMsg setup_;  // retained for rejoin handshakes (indices re-stamped)
+  std::size_t expected_dim_ = 0;
+  std::uint32_t num_initial_ = 0;
+  Listener listener_;
+  std::vector<Socket> conns_;
+  std::vector<std::string> labels_;
+  std::vector<int> child_pids_;
+  bool shut_down_ = false;
+};
+
+}  // namespace fedtrip::net

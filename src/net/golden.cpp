@@ -30,6 +30,10 @@ SetupMsg canonical_setup() {
   m.config.obs.enabled = true;
   m.config.obs.spans = true;
   m.config.obs.counters = true;
+  // Elastic-coordinator block (protocol v3).
+  m.elastic = true;
+  m.heartbeat_interval_s = 0.25;
+  m.rejoin_port = 45454;
   return m;
 }
 
@@ -100,15 +104,19 @@ TrainResultMsg canonical_result() {
 wire::golden::Fixture session_fixture() {
   std::vector<wire::Record> records;
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{2, 2})});
+                     serialize_hello(HelloMsg{3, 3})});
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{2, 2})});
+                     serialize_hello(HelloMsg{3, 3})});
   records.push_back(
       {wire::RecordType::kNetSetup, 0, serialize_setup(canonical_setup())});
   records.push_back({wire::RecordType::kNetSetupAck, 0,
                      serialize_setup_ack(SetupAckMsg{42})});
   records.push_back({wire::RecordType::kNetDispatch, 0,
                      serialize_dispatch_batch(canonical_batch())});
+  records.push_back({wire::RecordType::kNetDispatchAck, 0,
+                     serialize_dispatch_ack(DispatchAckMsg{1, 2})});
+  records.push_back({wire::RecordType::kNetHeartbeat, 0,
+                     serialize_heartbeat(HeartbeatMsg{5, 1})});
   records.push_back({wire::RecordType::kNetResult, 0,
                      serialize_train_result(canonical_result())});
   records.push_back({wire::RecordType::kNetStatsReq, 0, {}});

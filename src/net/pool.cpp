@@ -13,12 +13,10 @@
 
 namespace fedtrip::net {
 
-namespace {
-
-/// One worker's handshake: version negotiation, setup, param_dim check.
-void handshake_worker(Socket& conn, const std::string& label,
-                      SetupMsg setup, std::uint32_t index,
-                      std::uint32_t num_workers, std::size_t expected_dim) {
+void run_worker_handshake(Socket& conn, const std::string& label,
+                          SetupMsg setup, std::uint32_t index,
+                          std::uint32_t num_workers,
+                          std::size_t expected_dim) {
   send_frame(conn, wire::RecordType::kNetHello, 0,
              serialize_hello(HelloMsg{}));
   Frame reply = recv_frame(conn, label.c_str());
@@ -66,8 +64,6 @@ void handshake_worker(Socket& conn, const std::string& label,
   }
 }
 
-}  // namespace
-
 WorkerPool::~WorkerPool() {
   try {
     shutdown();
@@ -83,18 +79,16 @@ WorkerPool WorkerPool::handshake(std::vector<Socket> conns, SetupMsg setup,
   for (std::size_t i = 0; i < n; ++i) {
     pool.labels_.push_back("worker " + std::to_string(i + 1) + "/" +
                            std::to_string(n));
-    handshake_worker(pool.conns_[i], pool.labels_[i], setup,
-                     static_cast<std::uint32_t>(i),
-                     static_cast<std::uint32_t>(n), expected_dim);
+    run_worker_handshake(pool.conns_[i], pool.labels_[i], setup,
+                         static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(n), expected_dim);
   }
   return pool;
 }
 
-WorkerPool WorkerPool::spawn_local(std::size_t n,
-                                   const std::string& worker_bin,
-                                   SetupMsg setup, std::size_t expected_dim) {
+SpawnedWorkers spawn_and_accept(std::size_t n, const std::string& worker_bin,
+                                Listener& listener) {
   if (n == 0) throw NetError("cannot spawn a pool of 0 workers");
-  Listener listener(0);
   const std::string endpoint =
       "127.0.0.1:" + std::to_string(listener.port());
 
@@ -153,9 +147,18 @@ WorkerPool WorkerPool::spawn_local(std::size_t n,
                        " s (binary: " + worker_bin + ")");
     }
   }
+  return SpawnedWorkers{std::move(conns), std::move(pids)};
+}
+
+WorkerPool WorkerPool::spawn_local(std::size_t n,
+                                   const std::string& worker_bin,
+                                   SetupMsg setup, std::size_t expected_dim) {
+  Listener listener(0);
+  SpawnedWorkers spawned = spawn_and_accept(n, worker_bin, listener);
+  std::vector<int> pids = std::move(spawned.pids);
 
   try {
-    WorkerPool pool = handshake(std::move(conns), std::move(setup),
+    WorkerPool pool = handshake(std::move(spawned.conns), std::move(setup),
                                 expected_dim);
     pool.child_pids_ = std::move(pids);
     // Connections are labeled in accept order, which need not match

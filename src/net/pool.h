@@ -28,6 +28,28 @@
 
 namespace fedtrip::net {
 
+/// One worker's handshake, shared by WorkerPool and the elastic pool:
+/// version negotiation, Setup with this worker's shard coordinates filled
+/// in, and the param_dim cross-check against the coordinator's model.
+/// Throws NetError with `label` in every diagnostic.
+void run_worker_handshake(Socket& conn, const std::string& label,
+                          SetupMsg setup, std::uint32_t index,
+                          std::uint32_t num_workers,
+                          std::size_t expected_dim);
+
+/// fork/exec `n` `fl_worker --connect` children dialing `listener` and
+/// accept until all have connected (in accept order, which need not match
+/// spawn order). A child that dies before dialing in — or a connect
+/// timeout — kills and reaps the whole brood and throws NetError. Shared
+/// by WorkerPool::spawn_local and the elastic pool (whose listener then
+/// stays open as the rejoin door).
+struct SpawnedWorkers {
+  std::vector<Socket> conns;
+  std::vector<int> pids;
+};
+SpawnedWorkers spawn_and_accept(std::size_t n, const std::string& worker_bin,
+                                Listener& listener);
+
 class WorkerPool {
  public:
   WorkerPool(WorkerPool&&) noexcept = default;

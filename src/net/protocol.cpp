@@ -311,6 +311,9 @@ std::vector<std::uint8_t> serialize_setup(const SetupMsg& m) {
   w.u32(m.worker_index);
   w.u32(m.num_workers);
   write_string(w, m.idx_dir);
+  write_bool(w, m.elastic);
+  w.f64(m.heartbeat_interval_s);
+  w.u16(m.rejoin_port);
   return w.take();
 }
 
@@ -323,8 +326,20 @@ SetupMsg parse_setup(const std::uint8_t* data, std::size_t size) {
   m.worker_index = r.u32();
   m.num_workers = r.u32();
   m.idx_dir = read_string(r);
+  m.elastic = read_bool(r);
+  m.heartbeat_interval_s = r.f64();
+  m.rejoin_port = r.u16();
   r.expect_end();
-  if (m.num_workers == 0 || m.worker_index >= m.num_workers) {
+  if (m.elastic && !(m.heartbeat_interval_s > 0.0)) {
+    throw WireError("elastic setup needs a positive heartbeat interval, got " +
+                    std::to_string(m.heartbeat_interval_s));
+  }
+  // Static pools shard by (worker_index, num_workers), so the coordinates
+  // must be a valid shard. An elastic session drops shard semantics —
+  // num_workers is the *initial* fleet size and a rejoiner's slot index
+  // may exceed it (slots are append-only; docs/TRANSPORT.md).
+  if (m.num_workers == 0 ||
+      (!m.elastic && m.worker_index >= m.num_workers)) {
     throw WireError("setup shard coordinates out of range: worker " +
                     std::to_string(m.worker_index) + " of " +
                     std::to_string(m.num_workers));
@@ -439,6 +454,39 @@ TrainResultMsg parse_train_result(const std::uint8_t* data,
     u.aux = read_f32_vec(r);
     m.updates.push_back(std::move(u));
   }
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> serialize_heartbeat(const HeartbeatMsg& m) {
+  WireWriter w;
+  w.u64(m.dispatches_done);
+  w.u64(m.batch_seq);
+  return w.take();
+}
+
+HeartbeatMsg parse_heartbeat(const std::uint8_t* data, std::size_t size) {
+  WireReader r(data, size);
+  HeartbeatMsg m;
+  m.dispatches_done = r.u64();
+  m.batch_seq = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> serialize_dispatch_ack(const DispatchAckMsg& m) {
+  WireWriter w;
+  w.u64(m.batch_seq);
+  w.u32(m.dispatch_count);
+  return w.take();
+}
+
+DispatchAckMsg parse_dispatch_ack(const std::uint8_t* data,
+                                  std::size_t size) {
+  WireReader r(data, size);
+  DispatchAckMsg m;
+  m.batch_seq = r.u64();
+  m.dispatch_count = r.u32();
   r.expect_end();
   return m;
 }

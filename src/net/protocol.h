@@ -41,10 +41,13 @@ namespace fedtrip::net {
 /// Protocol versions this build can speak (negotiation picks the highest
 /// version inside both peers' ranges). v2 added the observability fields
 /// to the Setup config block and the kNetStatsReq/kNetStats record pair;
-/// coordinator and workers deploy in lockstep (one binary, one repo), so
-/// the minimum moves with the maximum rather than carrying a v1 shim.
-inline constexpr std::uint16_t kProtocolVersionMin = 2;
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3 added the elastic-coordinator block to Setup (elastic flag,
+/// heartbeat interval, rejoin port) and the kNetHeartbeat/kNetDispatchAck
+/// records; coordinator and workers deploy in lockstep (one binary, one
+/// repo), so the minimum moves with the maximum rather than carrying
+/// older shims.
+inline constexpr std::uint16_t kProtocolVersionMin = 3;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 // ------------------------------------------------------------- handshake
 
@@ -74,6 +77,18 @@ struct SetupMsg {
   /// Real-data directory (run_experiment --idx-dir); empty = synthetic.
   /// Must resolve on the worker's filesystem.
   std::string idx_dir;
+  // ---- elastic-coordinator block (protocol v3; docs/TRANSPORT.md) ----
+  /// True when the coordinator runs the elastic lifecycle: the worker then
+  /// sends heartbeats and dispatch acks, and accepts dispatches for *any*
+  /// client (ownership is a scheduling choice, not a correctness one —
+  /// replay and stealing move dispatches between workers freely).
+  bool elastic = false;
+  /// Wall seconds between worker heartbeats (elastic sessions only).
+  double heartbeat_interval_s = 1.0;
+  /// Port of the coordinator's accept loop a dropped worker may redial to
+  /// rejoin the run (on the host the worker already knows the coordinator
+  /// by). 0 = rejoin not offered.
+  std::uint16_t rejoin_port = 0;
 };
 
 std::vector<std::uint8_t> serialize_setup(const SetupMsg& m);
@@ -137,6 +152,35 @@ struct TrainResultMsg {
 
 std::vector<std::uint8_t> serialize_train_result(const TrainResultMsg& m);
 TrainResultMsg parse_train_result(const std::uint8_t* data,
+                                  std::size_t size);
+
+// ---------------------------------------------------- elastic lifecycle
+
+/// Periodic worker -> coordinator liveness beacon (protocol v3, elastic
+/// sessions only; sent from a dedicated worker thread so a long local
+/// training step does not read as death).
+struct HeartbeatMsg {
+  /// Dispatches executed so far this session — the coordinator's lag
+  /// signal for work-stealing diagnostics.
+  std::uint64_t dispatches_done = 0;
+  /// Sub-batch currently executing (0 = idle between batches).
+  std::uint64_t batch_seq = 0;
+};
+
+std::vector<std::uint8_t> serialize_heartbeat(const HeartbeatMsg& m);
+HeartbeatMsg parse_heartbeat(const std::uint8_t* data, std::size_t size);
+
+/// Worker -> coordinator receipt of a dispatch batch, sent before training
+/// starts (protocol v3, elastic sessions only). Lets the job table mark
+/// the batch as held by the worker: a worker that dies after acking held
+/// real work (replay it); one that dies without acking never saw it.
+struct DispatchAckMsg {
+  std::uint64_t batch_seq = 0;
+  std::uint32_t dispatch_count = 0;
+};
+
+std::vector<std::uint8_t> serialize_dispatch_ack(const DispatchAckMsg& m);
+DispatchAckMsg parse_dispatch_ack(const std::uint8_t* data,
                                   std::size_t size);
 
 // ----------------------------------------------------------------- error

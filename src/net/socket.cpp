@@ -40,6 +40,30 @@ void Socket::close() {
   }
 }
 
+std::string Socket::peer_host() const {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "";
+  }
+  char buf[INET6_ADDRSTRLEN] = {0};
+  if (addr.ss_family == AF_INET) {
+    const auto* in4 = reinterpret_cast<const sockaddr_in*>(&addr);
+    if (::inet_ntop(AF_INET, &in4->sin_addr, buf, sizeof(buf)) == nullptr) {
+      return "";
+    }
+    return buf;
+  }
+  if (addr.ss_family == AF_INET6) {
+    const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    if (::inet_ntop(AF_INET6, &in6->sin6_addr, buf, sizeof(buf)) == nullptr) {
+      return "";
+    }
+    return buf;
+  }
+  return "";
+}
+
 void Socket::send_all(const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::size_t sent = 0;

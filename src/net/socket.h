@@ -27,6 +27,11 @@ class Socket {
   int fd() const { return fd_; }
   void close();
 
+  /// The peer's numeric address ("127.0.0.1") — what a dropped worker
+  /// redials for rejoin (paired with SetupMsg::rejoin_port). Empty when
+  /// the socket has no inet peer (socketpair test rigs).
+  std::string peer_host() const;
+
   /// Sends exactly `n` bytes (MSG_NOSIGNAL: a dead peer surfaces as
   /// NetError, never SIGPIPE). Throws NetError on any failure.
   void send_all(const void* data, std::size_t n);
@@ -51,6 +56,9 @@ class Listener {
   ~Listener();
 
   std::uint16_t port() const { return port_; }
+  /// The listening fd, for callers that poll the accept queue alongside
+  /// other sockets (the elastic coordinator's rejoin door).
+  int fd() const { return fd_; }
   /// Blocks until a peer connects.
   Socket accept();
   /// accept() with a poll timeout: an invalid Socket after `timeout_ms`

@@ -1,8 +1,12 @@
 #include "net/worker.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdarg>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -23,6 +27,7 @@ struct WorkerWorld {
   std::uint32_t worker_index = 0;
   std::uint32_t num_workers = 1;
   std::size_t num_clients = 0;
+  bool elastic = false;
 };
 
 WorkerWorld build_world(const SetupMsg& setup) {
@@ -36,6 +41,7 @@ WorkerWorld build_world(const SetupMsg& setup) {
   world.worker_index = setup.worker_index;
   world.num_workers = setup.num_workers;
   world.num_clients = setup.config.num_clients;
+  world.elastic = setup.elastic;
   if (!setup.idx_dir.empty()) {
     auto real =
         data::try_load_mnist_dir(setup.idx_dir, setup.config.model.classes);
@@ -80,7 +86,11 @@ TrainResultMsg execute_batch(WorkerWorld& world, DispatchBatchMsg&& batch) {
       throw NetError("dispatch for client " + std::to_string(d.client_id) +
                      " of " + std::to_string(world.num_clients));
     }
-    if (d.client_id % world.num_workers != world.worker_index) {
+    // Static sharding is a correctness check only under the fixed pool; an
+    // elastic coordinator moves dispatches between workers (replay, work-
+    // stealing), so ownership is its scheduling choice, not ours to veto.
+    if (!world.elastic &&
+        d.client_id % world.num_workers != world.worker_index) {
       throw NetError("dispatch for client " + std::to_string(d.client_id) +
                      " does not belong to worker " +
                      std::to_string(world.worker_index) + " of " +
@@ -114,6 +124,66 @@ TrainResultMsg execute_batch(WorkerWorld& world, DispatchBatchMsg&& batch) {
   return result;
 }
 
+/// The elastic heartbeat: a dedicated thread beating kNetHeartbeat every
+/// `interval_s` until stopped. Shares `send_mu` with the serve loop so
+/// beacons never interleave with a result frame mid-write. A send failure
+/// ends the thread quietly — the serve loop is about to find out anyway.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(Socket& conn, std::mutex& send_mu, double interval_s,
+                  const std::atomic<std::uint64_t>& dispatches,
+                  const std::atomic<std::uint64_t>& current_batch)
+      : conn_(conn),
+        send_mu_(send_mu),
+        interval_s_(interval_s),
+        dispatches_(dispatches),
+        current_batch_(current_batch) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatThread() { stop(); }
+
+  /// Idempotent; joins the thread. Call before closing the socket.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      cv_.wait_for(lk, std::chrono::duration<double>(interval_s_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      HeartbeatMsg m{dispatches_.load(), current_batch_.load()};
+      lk.unlock();
+      try {
+        std::lock_guard<std::mutex> send_lock(send_mu_);
+        send_frame(conn_, wire::RecordType::kNetHeartbeat, 0,
+                   serialize_heartbeat(m));
+      } catch (...) {
+        return;
+      }
+      lk.lock();
+    }
+  }
+
+  Socket& conn_;
+  std::mutex& send_mu_;
+  const double interval_s_;
+  const std::atomic<std::uint64_t>& dispatches_;
+  const std::atomic<std::uint64_t>& current_batch_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 void WorkerServer::logf(const char* fmt, ...) {
@@ -127,7 +197,8 @@ void WorkerServer::logf(const char* fmt, ...) {
   va_end(args);
 }
 
-void WorkerServer::serve(Socket conn) {
+SessionEnd WorkerServer::serve(Socket conn) {
+  ++sessions_;
   // Diagnostics tracer: alive for the whole session regardless of --obs,
   // so a crash can always report the open span and counter snapshot. Span
   // *recording* stays off until Setup asks for spans back (protocol v2).
@@ -135,6 +206,11 @@ void WorkerServer::serve(Socket conn) {
   diag_cfg.enabled = true;
   diag_cfg.spans = false;
   obs::Tracer tracer(diag_cfg);
+  // Guards the socket's write side between the serve loop and the
+  // heartbeat thread (elastic sessions; uncontended otherwise).
+  std::mutex send_mu;
+  std::atomic<std::uint64_t> current_batch{0};
+  std::optional<HeartbeatThread> heartbeat;
   try {
     // Handshake: the coordinator offers its version range, the worker
     // answers with the negotiated version (echoed as a degenerate range).
@@ -162,10 +238,13 @@ void WorkerServer::serve(Socket conn) {
     }
     const SetupMsg setup =
         parse_setup(setup_frame.payload.data(), setup_frame.payload.size());
-    logf("setup: method=%s clients=%zu shard %u/%u seed=%llu",
+    logf("setup: method=%s clients=%zu shard %u/%u seed=%llu%s",
          setup.method.c_str(), setup.config.num_clients, setup.worker_index,
          setup.num_workers,
-         static_cast<unsigned long long>(setup.config.seed));
+         static_cast<unsigned long long>(setup.config.seed),
+         setup.elastic ? " (elastic)" : "");
+    rejoin_host_ = setup.elastic ? conn.peer_host() : std::string();
+    rejoin_port_ = setup.elastic ? setup.rejoin_port : 0;
     WorkerWorld world = build_world(setup);
     tracer.set_spans(setup.config.obs.enabled && setup.config.obs.spans);
     world.sim->set_tracer(&tracer);
@@ -173,6 +252,10 @@ void WorkerServer::serve(Socket conn) {
                serialize_setup_ack(SetupAckMsg{world.sim->param_dim()}),
                &tracer);
     logf("world ready: |w| = %zu", world.sim->param_dim());
+    if (setup.elastic) {
+      heartbeat.emplace(conn, send_mu, setup.heartbeat_interval_s,
+                        dispatches_total_, current_batch);
+    }
 
     std::size_t batches = 0;
     while (true) {
@@ -181,30 +264,74 @@ void WorkerServer::serve(Socket conn) {
         case wire::RecordType::kNetDispatch: {
           auto batch =
               parse_dispatch_batch(f.payload.data(), f.payload.size());
+          const std::size_t count = batch.dispatches.size();
+          if (world.elastic) {
+            // Receipt ack before training: lets the coordinator tell
+            // "died holding the batch" from "never saw it".
+            const DispatchAckMsg ack{
+                batch.batch_seq, static_cast<std::uint32_t>(count)};
+            std::lock_guard<std::mutex> lock(send_mu);
+            send_frame(conn, wire::RecordType::kNetDispatchAck, 0,
+                       serialize_dispatch_ack(ack), &tracer);
+          }
+          if (chaos_.delay_dispatch_ms > 0.0) {
+            // The deterministic straggler: heartbeats keep flowing, so
+            // the coordinator steals from us instead of evicting us.
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                chaos_.delay_dispatch_ms / 1000.0));
+          }
+          current_batch.store(batch.batch_seq);
           TrainResultMsg result;
           {
             obs::WallSpan span(
                 &tracer, "execute_batch",
                 {{"batch_seq", static_cast<double>(batch.batch_seq)},
-                 {"dispatches",
-                  static_cast<double>(batch.dispatches.size())}});
+                 {"dispatches", static_cast<double>(count)}});
             result = execute_batch(world, std::move(batch));
           }
-          send_frame(conn, wire::RecordType::kNetResult, 0,
-                     serialize_train_result(result), &tracer);
+          dispatches_total_ += count;
+          current_batch.store(0);
+          // Chaos injection point: after the work, before the result —
+          // the worst case for the coordinator (executed, unacknowledged,
+          // must replay).
+          if (chaos_.kill_after_dispatches > 0 &&
+              dispatches_total_ >= chaos_.kill_after_dispatches) {
+            logf("chaos: crashing after %llu dispatches",
+                 static_cast<unsigned long long>(dispatches_total_.load()));
+            if (heartbeat) heartbeat->stop();
+            conn.close();
+            return SessionEnd::kChaosKilled;
+          }
+          if (chaos_.drop_after_dispatches > 0 && !dropped_once_ &&
+              dispatches_total_ >= chaos_.drop_after_dispatches) {
+            dropped_once_ = true;
+            logf("chaos: dropping the connection after %llu dispatches",
+                 static_cast<unsigned long long>(dispatches_total_.load()));
+            if (heartbeat) heartbeat->stop();
+            conn.close();
+            return SessionEnd::kChaosDropped;
+          }
+          {
+            std::lock_guard<std::mutex> lock(send_mu);
+            send_frame(conn, wire::RecordType::kNetResult, 0,
+                       serialize_train_result(result), &tracer);
+          }
           ++batches;
           break;
         }
-        case wire::RecordType::kNetStatsReq:
+        case wire::RecordType::kNetStatsReq: {
           // Always answered — with an empty-ish report when tracing was
           // off — so the coordinator's collect loop never depends on the
           // worker's local view of the config.
+          std::lock_guard<std::mutex> lock(send_mu);
           send_frame(conn, wire::RecordType::kNetStats, 0,
                      obs::serialize_stats(tracer.snapshot()), &tracer);
           break;
+        }
         case wire::RecordType::kNetShutdown:
           logf("shutdown after %zu batches", batches);
-          return;
+          if (heartbeat) heartbeat->stop();
+          return SessionEnd::kShutdown;
         case wire::RecordType::kNetError:
           throw NetError("coordinator aborted: " +
                          parse_error(f.payload.data(), f.payload.size()));
@@ -216,6 +343,8 @@ void WorkerServer::serve(Socket conn) {
       }
     }
   } catch (const std::exception& e) {
+    // Stop beating before touching the socket's write side from here.
+    if (heartbeat) heartbeat->stop();
     // The diagnostic names what the worker was *doing* when it died — the
     // most recently opened wall span ("mid-train_shard(client=17)") and a
     // counter snapshot — on top of the failure cause.

@@ -64,6 +64,15 @@ enum class RecordType : std::uint32_t {
   /// Worker -> coordinator: the worker's StatsReport (obs/stats.h layout —
   /// counters, gauges, timers, spans). Protocol >= 2.
   kNetStats = 24,
+  /// Worker -> coordinator: periodic liveness beacon of an elastic session
+  /// (u64 dispatches executed + u64 batch in execution) — the signal the
+  /// coordinator's deadline-based eviction runs on. Protocol >= 3.
+  kNetHeartbeat = 25,
+  /// Worker -> coordinator: receipt acknowledgement of a dispatch batch
+  /// (u64 batch_seq + u32 count), sent before training starts so the
+  /// coordinator can tell "died holding the batch" (replay it) from "died
+  /// before the frame arrived". Protocol >= 3.
+  kNetDispatchAck = 26,
 };
 
 struct Record {

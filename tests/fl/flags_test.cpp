@@ -58,6 +58,30 @@ TEST(FlagsTest, CoversEverySubsystemsFlags) {
   for (const char* flag : {"--byte-exact", "--load-model", "--save-model"}) {
     EXPECT_TRUE(names.count(flag)) << flag;
   }
+  // The elastic coordinator flags (PR 7).
+  for (const char* flag :
+       {"--elastic", "--heartbeat-interval", "--worker-deadline"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
+}
+
+TEST(FlagsTest, WorkerRegistryCoversItsFlagsAndUsage) {
+  const std::string usage = worker_usage();
+  std::set<std::string> names;
+  for (const auto& spec : worker_flags()) {
+    EXPECT_NE(usage.find(spec.name), std::string::npos)
+        << "worker --help text omits " << spec.name;
+    ASSERT_NE(spec.help, nullptr) << spec.name;
+    EXPECT_GT(std::string(spec.help).size(), 0u) << spec.name;
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << spec.name << " registered twice";
+  }
+  // The serve-loop and chaos knobs must all be registered.
+  for (const char* flag :
+       {"--connect", "--listen", "--max-sessions", "--chaos-kill-after",
+        "--chaos-drop-after", "--chaos-delay-ms"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
 }
 
 TEST(FlagsTest, ValuePlaceholdersRenderInUsage) {

@@ -48,7 +48,7 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   const auto bytes = read_committed();
   ASSERT_FALSE(bytes.empty());
   const auto records = wire::read_container(bytes.data(), bytes.size());
-  ASSERT_EQ(records.size(), 10u);
+  ASSERT_EQ(records.size(), 12u);
 
   const auto hello =
       net::parse_hello(records[0].bytes.data(), records[0].bytes.size());
@@ -62,6 +62,10 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   EXPECT_EQ(setup.config.num_clients, 4u);
   EXPECT_EQ(setup.config.comm.uplink, "ef+topk");
   EXPECT_EQ(setup.worker_index, 1u);
+  // Elastic-coordinator block (protocol v3).
+  EXPECT_TRUE(setup.elastic);
+  EXPECT_DOUBLE_EQ(setup.heartbeat_interval_s, 0.25);
+  EXPECT_EQ(setup.rejoin_port, 45454u);
 
   ASSERT_EQ(records[4].type, wire::RecordType::kNetDispatch);
   const auto batch = net::parse_dispatch_batch(records[4].bytes.data(),
@@ -70,19 +74,32 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   EXPECT_TRUE(batch.dispatches[1].has_history);
   EXPECT_EQ(batch.dispatches[1].history_params.size(), 4u);
 
-  ASSERT_EQ(records[5].type, wire::RecordType::kNetResult);
-  const auto result = net::parse_train_result(records[5].bytes.data(),
-                                              records[5].bytes.size());
+  // Elastic lifecycle records (protocol v3): the batch's receipt ack and
+  // a heartbeat beacon mid-execution.
+  ASSERT_EQ(records[5].type, wire::RecordType::kNetDispatchAck);
+  const auto ack = net::parse_dispatch_ack(records[5].bytes.data(),
+                                           records[5].bytes.size());
+  EXPECT_EQ(ack.batch_seq, 1u);
+  EXPECT_EQ(ack.dispatch_count, 2u);
+  ASSERT_EQ(records[6].type, wire::RecordType::kNetHeartbeat);
+  const auto beat = net::parse_heartbeat(records[6].bytes.data(),
+                                         records[6].bytes.size());
+  EXPECT_EQ(beat.dispatches_done, 5u);
+  EXPECT_EQ(beat.batch_seq, 1u);
+
+  ASSERT_EQ(records[7].type, wire::RecordType::kNetResult);
+  const auto result = net::parse_train_result(records[7].bytes.data(),
+                                              records[7].bytes.size());
   ASSERT_EQ(result.updates.size(), 2u);
   EXPECT_EQ(result.updates[1].aux.size(), 2u);
 
   // Stats collection pair (protocol v2): an empty request followed by the
   // worker's StatsReport with pinned registry entries and one wall span.
-  ASSERT_EQ(records[6].type, wire::RecordType::kNetStatsReq);
-  EXPECT_TRUE(records[6].bytes.empty());
-  ASSERT_EQ(records[7].type, wire::RecordType::kNetStats);
+  ASSERT_EQ(records[8].type, wire::RecordType::kNetStatsReq);
+  EXPECT_TRUE(records[8].bytes.empty());
+  ASSERT_EQ(records[9].type, wire::RecordType::kNetStats);
   const auto stats =
-      obs::parse_stats(records[7].bytes.data(), records[7].bytes.size());
+      obs::parse_stats(records[9].bytes.data(), records[9].bytes.size());
   EXPECT_EQ(stats.counters.at("net.frames_recv"), 3u);
   EXPECT_EQ(stats.counters.at("sched.dispatches"), 7u);
   EXPECT_DOUBLE_EQ(stats.gauges.at("comm.ef_residual_l2.up"), 0.125);
@@ -92,8 +109,8 @@ TEST(NetGoldenTest, CommittedSessionParses) {
             "train_shard(client=3, round=1)");
   EXPECT_EQ(stats.spans[0].clock, obs::SpanClock::kWall);
 
-  EXPECT_EQ(records[9].type, wire::RecordType::kNetShutdown);
-  EXPECT_TRUE(records[9].bytes.empty());
+  EXPECT_EQ(records[11].type, wire::RecordType::kNetShutdown);
+  EXPECT_TRUE(records[11].bytes.empty());
 }
 
 }  // namespace

@@ -121,6 +121,9 @@ TEST(ProtocolTest, SetupRoundTripAllFields) {
   m.worker_index = 2;
   m.num_workers = 4;
   m.idx_dir = "/data/mnist";
+  m.elastic = true;
+  m.heartbeat_interval_s = 0.5;
+  m.rejoin_port = 39999;
 
   const auto bytes = net::serialize_setup(m);
   const auto got = net::parse_setup(bytes.data(), bytes.size());
@@ -131,6 +134,9 @@ TEST(ProtocolTest, SetupRoundTripAllFields) {
   EXPECT_EQ(got.worker_index, 2u);
   EXPECT_EQ(got.num_workers, 4u);
   EXPECT_EQ(got.idx_dir, "/data/mnist");
+  EXPECT_TRUE(got.elastic);
+  EXPECT_DOUBLE_EQ(got.heartbeat_interval_s, 0.5);
+  EXPECT_EQ(got.rejoin_port, 39999u);
 
   const auto& c = got.config;
   const auto& e = m.config;
@@ -202,6 +208,56 @@ TEST(ProtocolTest, SetupHostileEnumAndShardRejected) {
     bytes[arch_off] = 0xFF;
     EXPECT_THROW(net::parse_setup(bytes.data(), bytes.size()), WireError);
   }
+}
+
+TEST(ProtocolTest, ElasticSetupValidation) {
+  net::SetupMsg m;
+  m.method = "FedAvg";
+  m.config = sample_config();
+  m.worker_index = 0;
+  m.num_workers = 2;
+  m.elastic = true;
+  m.heartbeat_interval_s = 0.25;
+  m.rejoin_port = 40000;
+  {
+    // An elastic heartbeat interval must be positive (zero would make
+    // every worker read as dead the moment the deadline passes).
+    net::SetupMsg bad = m;
+    bad.heartbeat_interval_s = 0.0;
+    const auto bytes = net::serialize_setup(bad);
+    EXPECT_THROW(net::parse_setup(bytes.data(), bytes.size()), WireError);
+  }
+  {
+    // A rejoiner's slot index may exceed the initial fleet size: elastic
+    // sessions drop shard semantics (static pools still reject this —
+    // SetupHostileEnumAndShardRejected).
+    net::SetupMsg rejoiner = m;
+    rejoiner.worker_index = 5;
+    const auto bytes = net::serialize_setup(rejoiner);
+    const auto got = net::parse_setup(bytes.data(), bytes.size());
+    EXPECT_EQ(got.worker_index, 5u);
+    EXPECT_EQ(got.num_workers, 2u);
+  }
+}
+
+TEST(ProtocolTest, HeartbeatRoundTrip) {
+  const auto bytes = net::serialize_heartbeat(net::HeartbeatMsg{17, 9});
+  const auto m = net::parse_heartbeat(bytes.data(), bytes.size());
+  EXPECT_EQ(m.dispatches_done, 17u);
+  EXPECT_EQ(m.batch_seq, 9u);
+  expect_all_truncations_rejected(bytes, net::parse_heartbeat, "heartbeat");
+  expect_trailing_rejected(bytes, net::parse_heartbeat, "heartbeat");
+}
+
+TEST(ProtocolTest, DispatchAckRoundTrip) {
+  const auto bytes =
+      net::serialize_dispatch_ack(net::DispatchAckMsg{77, 3});
+  const auto m = net::parse_dispatch_ack(bytes.data(), bytes.size());
+  EXPECT_EQ(m.batch_seq, 77u);
+  EXPECT_EQ(m.dispatch_count, 3u);
+  expect_all_truncations_rejected(bytes, net::parse_dispatch_ack,
+                                  "dispatch_ack");
+  expect_trailing_rejected(bytes, net::parse_dispatch_ack, "dispatch_ack");
 }
 
 TEST(ProtocolTest, SetupAckRoundTrip) {

@@ -1,70 +1,185 @@
 // fl_worker: the worker-process binary of the distributed runner.
 //
-// Owns a shard of an experiment's clients and executes training for the
-// dispatch batches a coordinator (run_experiment --workers-remote /
-// --connect) sends it over the socket protocol (docs/TRANSPORT.md). The
+// Executes training for the dispatch batches a coordinator
+// (run_experiment --workers-remote / --connect, with or without
+// --elastic) sends it over the socket protocol (docs/TRANSPORT.md). The
 // entire experiment definition arrives over the wire in the Setup
 // message, so the worker takes no experiment flags — only where to find
-// its coordinator:
+// its coordinator, how long to keep serving, and which deterministic
+// faults to inject (the chaos suite's knobs; net/elastic/chaos.h). The
+// flag surface is registered in fl::worker_flags() and drift-checked
+// against the handler table here on every start.
 //
-//   fl_worker --connect HOST:PORT   dial a waiting coordinator (what
-//                                   spawned workers do)
-//   fl_worker --listen PORT         wait for a coordinator to dial in
-//                                   (pre-started mode; PORT 0 picks an
-//                                   ephemeral port and prints it)
-//
-// Serves one session, then exits: 0 after an orderly shutdown, 1 on any
-// transport or protocol failure (diagnostic on stderr, and best-effort
-// shipped to the coordinator as an error frame).
+// Session loop:
+//   --connect  dial the coordinator, serve. On an orderly shutdown the
+//              run is over: exit 0.
+//   --listen   accept coordinators one session at a time until
+//              --max-sessions (default unbounded), so one pre-started
+//              worker survives across many runs.
+// Either way, a session that ends in an injected connection drop redials
+// the coordinator's rejoin door (Setup's rejoin_port) and serves on —
+// that is the mid-run rejoin path of the elastic coordinator. An injected
+// crash exits 1 immediately, result unsent, exactly like a real death.
+#include <time.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "fl/flags.h"
+#include "net/elastic/chaos.h"
 #include "net/socket.h"
 #include "net/worker.h"
+
+namespace {
+
+/// Serves sessions on one dialed-out connection until the run ends:
+/// chaos drops redial the rejoin door. Returns the process exit code.
+int serve_dialed(fedtrip::net::WorkerServer& server,
+                 fedtrip::net::Socket conn) {
+  using namespace fedtrip;
+  while (true) {
+    const net::SessionEnd end = server.serve(std::move(conn));
+    switch (end) {
+      case net::SessionEnd::kShutdown:
+        return 0;
+      case net::SessionEnd::kChaosKilled:
+        return 1;
+      case net::SessionEnd::kChaosDropped:
+        break;  // rejoin below
+    }
+    if (server.rejoin_host().empty() || server.rejoin_port() == 0) {
+      std::fprintf(stderr,
+                   "fl_worker: connection dropped and the session offered "
+                   "no rejoin\n");
+      return 1;
+    }
+    // A freshly-dropped connection may beat the coordinator's accept loop;
+    // a few spaced retries cover the race.
+    net::Socket redial;
+    for (int attempt = 0; attempt < 50 && !redial.valid(); ++attempt) {
+      try {
+        redial = net::connect_to(server.rejoin_host(), server.rejoin_port());
+      } catch (const net::NetError&) {
+        struct timespec ts = {0, 100 * 1000 * 1000};  // 100 ms
+        ::nanosleep(&ts, nullptr);
+      }
+    }
+    if (!redial.valid()) {
+      std::fprintf(stderr, "fl_worker: could not rejoin %s:%u\n",
+                   server.rejoin_host().c_str(), server.rejoin_port());
+      return 1;
+    }
+    std::fprintf(stderr, "fl_worker: rejoined %s:%u\n",
+                 server.rejoin_host().c_str(), server.rejoin_port());
+    conn = std::move(redial);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fedtrip;
 
   std::string connect_spec;
   long listen_port = -1;
+  std::size_t max_sessions = 0;  // 0 = unbounded
+  net::ChaosConfig chaos;
+  const std::string usage = fl::worker_usage();
+
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--connect") && i + 1 < argc) {
-      connect_spec = argv[++i];
-    } else if (!std::strcmp(argv[i], "--listen") && i + 1 < argc) {
-      listen_port = std::atol(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--help")) {
-      std::printf("usage: fl_worker --connect HOST:PORT | --listen PORT\n");
+    const char* flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n%s", flag,
+                     usage.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(flag, "--connect")) {
+      connect_spec = value();
+    } else if (!std::strcmp(flag, "--listen")) {
+      listen_port = std::atol(value());
+    } else if (!std::strcmp(flag, "--max-sessions")) {
+      max_sessions = static_cast<std::size_t>(std::atol(value()));
+    } else if (!std::strcmp(flag, "--chaos-kill-after")) {
+      chaos.kill_after_dispatches =
+          static_cast<std::size_t>(std::atol(value()));
+    } else if (!std::strcmp(flag, "--chaos-drop-after")) {
+      chaos.drop_after_dispatches =
+          static_cast<std::size_t>(std::atol(value()));
+    } else if (!std::strcmp(flag, "--chaos-delay-ms")) {
+      chaos.delay_dispatch_ms = std::atof(value());
+    } else if (!std::strcmp(flag, "--help")) {
+      std::printf("%s", usage.c_str());
       return 0;
     } else {
-      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      std::fprintf(stderr, "unknown option %s\n%s", flag, usage.c_str());
+      return 2;
+    }
+  }
+  // Drift guard: every registered flag must be handled above (the handler
+  // chain is hand-written, so this is the check that keeps it honest).
+  for (const auto& spec : fl::worker_flags()) {
+    if (std::strstr(usage.c_str(), spec.name) == nullptr) {
+      std::fprintf(stderr, "BUG: flag %s missing from worker usage\n",
+                   spec.name);
       return 2;
     }
   }
   if (connect_spec.empty() == (listen_port < 0)) {
     std::fprintf(stderr,
                  "exactly one of --connect HOST:PORT or --listen PORT is "
-                 "required\n");
+                 "required\n%s",
+                 usage.c_str());
     return 2;
   }
+  if (chaos.any()) {
+    std::fprintf(stderr,
+                 "fl_worker: chaos armed (kill-after=%zu drop-after=%zu "
+                 "delay-ms=%.1f)\n",
+                 chaos.kill_after_dispatches, chaos.drop_after_dispatches,
+                 chaos.delay_dispatch_ms);
+  }
 
-  try {
-    net::Socket conn;
-    if (!connect_spec.empty()) {
+  net::WorkerServer server(stderr, chaos);
+  if (!connect_spec.empty()) {
+    try {
       const net::Endpoint ep = net::parse_endpoint(connect_spec);
-      conn = net::connect_to(ep.host, ep.port);
+      net::Socket conn = net::connect_to(ep.host, ep.port);
       std::fprintf(stderr, "fl_worker: connected to %s\n",
                    connect_spec.c_str());
-    } else {
-      net::Listener listener(static_cast<std::uint16_t>(listen_port));
-      std::fprintf(stderr, "fl_worker: listening on 127.0.0.1:%u\n",
-                   listener.port());
-      conn = listener.accept();
-      std::fprintf(stderr, "fl_worker: coordinator connected\n");
+      return serve_dialed(server, std::move(conn));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fl_worker: %s\n", e.what());
+      return 1;
     }
-    net::WorkerServer server(stderr);
-    server.serve(std::move(conn));
+  }
+
+  // Pre-started mode: one listener, sessions served back to back. A
+  // session that fails (the coordinator died, a protocol violation) is
+  // logged and the worker goes back to accepting — a long-lived worker
+  // must not be killable by one bad peer.
+  try {
+    net::Listener listener(static_cast<std::uint16_t>(listen_port));
+    std::fprintf(stderr, "fl_worker: listening on 127.0.0.1:%u\n",
+                 listener.port());
+    std::size_t served = 0;
+    while (max_sessions == 0 || served < max_sessions) {
+      net::Socket conn = listener.accept();
+      std::fprintf(stderr, "fl_worker: coordinator connected\n");
+      ++served;
+      try {
+        const int rc = serve_dialed(server, std::move(conn));
+        if (rc != 0) return rc;  // chaos kill: die for real
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fl_worker: session failed: %s\n", e.what());
+      }
+    }
+    std::fprintf(stderr, "fl_worker: served %zu session(s), exiting\n",
+                 served);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fl_worker: %s\n", e.what());
     return 1;

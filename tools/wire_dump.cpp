@@ -168,6 +168,21 @@ void dump_net_record(const wire::Record& rec) {
     case wire::RecordType::kNetStatsReq:
       std::printf("  net stats request\n");
       break;
+    case wire::RecordType::kNetHeartbeat: {
+      const auto m = net::parse_heartbeat(data, size);
+      std::printf("  net heartbeat: %llu dispatch(es) done, executing "
+                  "batch %llu\n",
+                  static_cast<unsigned long long>(m.dispatches_done),
+                  static_cast<unsigned long long>(m.batch_seq));
+      break;
+    }
+    case wire::RecordType::kNetDispatchAck: {
+      const auto m = net::parse_dispatch_ack(data, size);
+      std::printf("  net dispatch ack: batch %llu, %u dispatch(es)\n",
+                  static_cast<unsigned long long>(m.batch_seq),
+                  m.dispatch_count);
+      break;
+    }
     case wire::RecordType::kNetStats: {
       const auto d = obs::parse_stats(data, size);
       std::printf("  net stats report: %zu counter(s), %zu gauge(s), %zu "
@@ -243,6 +258,8 @@ int dump_file(const char* path) {
       case wire::RecordType::kNetError:
       case wire::RecordType::kNetStatsReq:
       case wire::RecordType::kNetStats:
+      case wire::RecordType::kNetHeartbeat:
+      case wire::RecordType::kNetDispatchAck:
         dump_net_record(rec);
         break;
       default:
