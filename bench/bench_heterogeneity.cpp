@@ -92,13 +92,11 @@ int main(int argc, char** argv) {
                      });
     const std::size_t tail_n = std::max<std::size_t>(
         1, cfg.num_clients / 5);
-    std::size_t tail_part = 0, total_part = 0, tail_min = SIZE_MAX;
-    for (std::size_t i = 0; i < cfg.num_clients; ++i) {
-      total_part += result.participation[i];
-    }
+    std::size_t tail_part = 0, tail_min = SIZE_MAX;
+    const std::size_t total_part = result.participation.total();
     for (std::size_t i = 0; i < tail_n; ++i) {
-      tail_part += result.participation[by_speed[i]];
-      tail_min = std::min(tail_min, result.participation[by_speed[i]]);
+      tail_part += result.participation.count(by_speed[i]);
+      tail_min = std::min(tail_min, result.participation.count(by_speed[i]));
     }
 
     std::string tgt = "-";

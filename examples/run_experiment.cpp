@@ -138,6 +138,19 @@ int main(int argc, char** argv) {
        }},
       {"--width-mult",
        [&](const char* v) { cfg.model.width_mult = std::atof(v); }},
+      {"--client-data", [&](const char* v) { cfg.client_data = v; }},
+      {"--shard-samples",
+       [&](const char* v) {
+         cfg.shard_samples = static_cast<std::size_t>(std::atoll(v));
+       }},
+      {"--virtual-chunk",
+       [&](const char* v) {
+         cfg.virtual_chunk = static_cast<std::size_t>(std::atoll(v));
+       }},
+      {"--no-participation",
+       [&](const char*) { cfg.track_participation = false; }},
+      {"--no-partition-stats",
+       [&](const char*) { cfg.partition_stats = false; }},
       {"--out", [&](const char* v) { out_csv = v; }},
       {"--save-model", [&](const char* v) { save_model = v; }},
       {"--load-model", [&](const char* v) { load_model = v; }},

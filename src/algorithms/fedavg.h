@@ -9,6 +9,7 @@ namespace fedtrip::algorithms {
 class FedAvg : public GradientAdjustingAlgorithm {
  public:
   std::string name() const override { return "FedAvg"; }
+  bool uses_history() const override { return false; }
 
  protected:
   bool has_adjustment() const override { return false; }

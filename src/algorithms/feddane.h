@@ -22,6 +22,7 @@ class FedDane : public GradientAdjustingAlgorithm {
   explicit FedDane(float mu) : mu_(mu) {}
 
   std::string name() const override { return "FedDANE"; }
+  bool uses_history() const override { return false; }
 
   void initialize(std::size_t num_clients, std::size_t param_dim) override {
     local_grads_.assign(num_clients, {});

@@ -20,6 +20,7 @@ class FedDyn : public GradientAdjustingAlgorithm {
   explicit FedDyn(float alpha) : alpha_(alpha) {}
 
   std::string name() const override { return "FedDyn"; }
+  bool uses_history() const override { return false; }
 
   void initialize(std::size_t num_clients, std::size_t param_dim) override {
     grad_memory_.assign(num_clients,

@@ -10,6 +10,7 @@ class FedProx : public GradientAdjustingAlgorithm {
  public:
   explicit FedProx(float mu) : mu_(mu) {}
   std::string name() const override { return "FedProx"; }
+  bool uses_history() const override { return false; }
 
   float mu() const { return mu_; }
 

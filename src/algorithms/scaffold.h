@@ -22,6 +22,7 @@ class Scaffold : public GradientAdjustingAlgorithm {
   explicit Scaffold(float client_lr) : client_lr_(client_lr) {}
 
   std::string name() const override { return "SCAFFOLD"; }
+  bool uses_history() const override { return false; }
 
   void initialize(std::size_t num_clients, std::size_t param_dim) override {
     c_server_.assign(param_dim, 0.0f);

@@ -22,6 +22,7 @@ class FedAvgM : public GradientAdjustingAlgorithm {
       : beta1_(beta1), server_lr_(server_lr) {}
 
   std::string name() const override { return "FedAvgM"; }
+  bool uses_history() const override { return false; }
 
   void initialize(std::size_t /*num_clients*/,
                   std::size_t param_dim) override {
@@ -51,6 +52,7 @@ class FedAdam : public GradientAdjustingAlgorithm {
       : beta1_(beta1), beta2_(beta2), server_lr_(server_lr), eps_(epsilon) {}
 
   std::string name() const override { return "FedAdam"; }
+  bool uses_history() const override { return false; }
 
   void initialize(std::size_t /*num_clients*/,
                   std::size_t param_dim) override {

@@ -19,6 +19,7 @@ class SlowMo : public GradientAdjustingAlgorithm {
       : beta_(beta), slow_lr_(slow_lr), client_lr_(client_lr) {}
 
   std::string name() const override { return "SlowMo"; }
+  bool uses_history() const override { return false; }
 
   void initialize(std::size_t /*num_clients*/,
                   std::size_t param_dim) override {

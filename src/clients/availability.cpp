@@ -89,13 +89,11 @@ AvailabilityModel AvailabilityModel::markov(double mean_on_s,
   m.kind_ = Kind::kMarkov;
   m.mean_on_s_ = mean_on_s;
   m.mean_off_s_ = mean_off_s;
-  m.clients_.resize(num_clients);
-  const double p_on = mean_on_s / (mean_on_s + mean_off_s);
-  for (std::size_t k = 0; k < num_clients; ++k) {
-    auto& c = m.clients_[k];
-    c.rng = rng.split(k + 1);  // each client churns on its own stream
-    c.gen_on = c.rng.uniform() < p_on;  // stationary initial state
-  }
+  // Per-client state materializes lazily in touch(): each client churns on
+  // its own rng.split(k + 1) stream, so nothing is allocated until a client
+  // is actually queried — O(queried) memory at any population size.
+  m.parent_rng_ = rng;
+  (void)num_clients;
   return m;
 }
 
@@ -103,12 +101,12 @@ AvailabilityModel AvailabilityModel::from_trace(
     const std::vector<TraceWindow>& trace, std::size_t num_clients) {
   AvailabilityModel m;
   m.kind_ = Kind::kTrace;
-  m.clients_.resize(num_clients);
   for (const auto& w : trace) {
     if (w.client >= num_clients) continue;  // ids beyond the population
     m.clients_[w.client].windows.push_back({w.start_s, w.end_s});
   }
-  for (auto& c : m.clients_) {
+  for (auto& entry : m.clients_) {
+    auto& c = entry.second;
     std::sort(c.windows.begin(), c.windows.end(),
               [](const Window& a, const Window& b) {
                 return a.start < b.start;
@@ -125,6 +123,18 @@ AvailabilityModel AvailabilityModel::from_trace(
     c.windows = std::move(merged);
   }
   return m;
+}
+
+AvailabilityModel::ClientWindows& AvailabilityModel::touch(
+    std::size_t client) const {
+  auto [it, inserted] = clients_.try_emplace(client);
+  if (inserted && kind_ == Kind::kMarkov) {
+    auto& c = it->second;
+    c.rng = parent_rng_.split(client + 1);  // its own churn stream
+    const double p_on = mean_on_s_ / (mean_on_s_ + mean_off_s_);
+    c.gen_on = c.rng.uniform() < p_on;  // stationary initial state
+  }
+  return it->second;
 }
 
 void AvailabilityModel::extend(ClientWindows& c, double t) const {
@@ -151,7 +161,7 @@ const AvailabilityModel::Window* AvailabilityModel::find(
 
 bool AvailabilityModel::available(std::size_t client, double t) const {
   if (kind_ == Kind::kAlways) return true;
-  auto& c = clients_[client];
+  auto& c = touch(client);
   if (kind_ == Kind::kTrace && c.windows.empty()) return true;  // untraced
   if (kind_ == Kind::kMarkov) extend(c, t);
   return find(c, t) != nullptr;
@@ -160,7 +170,7 @@ bool AvailabilityModel::available(std::size_t client, double t) const {
 double AvailabilityModel::next_available_time(std::size_t client,
                                               double t) const {
   if (kind_ == Kind::kAlways) return t;
-  auto& c = clients_[client];
+  auto& c = touch(client);
   if (kind_ == Kind::kTrace && c.windows.empty()) return t;
   if (kind_ == Kind::kMarkov) extend(c, t);
   if (find(c, t) != nullptr) return t;
@@ -184,7 +194,7 @@ double AvailabilityModel::next_available_time(std::size_t client,
 
 double AvailabilityModel::online_until(std::size_t client, double t) const {
   if (kind_ == Kind::kAlways) return kInf;
-  auto& c = clients_[client];
+  auto& c = touch(client);
   if (kind_ == Kind::kTrace && c.windows.empty()) return kInf;
   if (kind_ == Kind::kMarkov) extend(c, t);
   const Window* w = find(c, t);

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "clients/config.h"
@@ -76,6 +77,10 @@ class AvailabilityModel {
   /// window is open-ended). Returns t when the client is offline at t.
   double online_until(std::size_t client, double t) const;
 
+  /// Clients whose window state has materialized so far — O(queried), not
+  /// O(population). What the memory-ceiling tests pin down.
+  std::size_t materialized_clients() const { return clients_.size(); }
+
  private:
   enum class Kind { kAlways, kMarkov, kTrace };
 
@@ -97,11 +102,19 @@ class AvailabilityModel {
 
   void extend(ClientWindows& c, double t) const;
   const Window* find(const ClientWindows& c, double t) const;
+  /// The client's window state, materializing it on first touch (markov:
+  /// stream + stationary initial state derived from (parent rng, client) —
+  /// identical values whether clients are touched eagerly or lazily, in any
+  /// order).
+  ClientWindows& touch(std::size_t client) const;
 
   Kind kind_ = Kind::kAlways;
   double mean_on_s_ = 0.0;
   double mean_off_s_ = 0.0;
-  mutable std::vector<ClientWindows> clients_;
+  /// Markov: the parent stream per-client streams split from.
+  Rng parent_rng_;
+  /// Sparse: only queried (markov) or traced clients occupy memory.
+  mutable std::unordered_map<std::size_t, ClientWindows> clients_;
 };
 
 }  // namespace fedtrip::clients

@@ -7,7 +7,8 @@
 namespace fedtrip::clients {
 
 ComputeModel::ComputeModel(const ClientsConfig& config,
-                           std::size_t num_clients, Rng rng) {
+                           std::size_t num_clients, Rng rng)
+    : num_clients_(num_clients) {
   if (config.compute_profile == "none") return;
   if (config.seconds_per_sample < 0.0) {
     throw std::invalid_argument("seconds_per_sample must be >= 0");
@@ -37,11 +38,39 @@ ComputeModel::ComputeModel(const ClientsConfig& config,
   }
 }
 
+ComputeModel ComputeModel::per_client_streams(const ClientsConfig& config,
+                                              std::size_t num_clients,
+                                              Rng rng) {
+  ComputeModel m(config, 0, rng);  // validates the profile, draws nothing
+  m.num_clients_ = num_clients;
+  if (!m.enabled_) return m;
+  m.per_client_ = true;
+  m.config_ = config;
+  m.stream_root_ = rng;
+  m.speed_.clear();
+  return m;
+}
+
+double ComputeModel::derive_speed(std::size_t client) const {
+  if (config_.compute_profile == "lognormal") {
+    Rng r = stream_root_.split(client + 1);
+    const double sigma = std::max(config_.lognormal_sigma, 0.0);
+    return std::exp(sigma * static_cast<double>(r.normal()));
+  }
+  if (config_.compute_profile == "bimodal") {
+    Rng r = stream_root_.split(client + 1);
+    return r.uniform() < config_.bimodal_fraction
+               ? std::max(config_.bimodal_slowdown, 1.0)
+               : 1.0;
+  }
+  return 1.0;  // "uniform"
+}
+
 double ComputeModel::train_seconds(std::size_t client, std::size_t samples,
                                    std::size_t epochs) const {
   if (!enabled_) return 0.0;
   return static_cast<double>(samples) * static_cast<double>(epochs) *
-         seconds_per_sample_ * speed_[client];
+         seconds_per_sample_ * speed_factor(client);
 }
 
 }  // namespace fedtrip::clients

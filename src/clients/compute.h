@@ -27,13 +27,23 @@ class ComputeModel {
   /// profile or seconds_per_sample < 0.
   ComputeModel(const ClientsConfig& config, std::size_t num_clients, Rng rng);
 
-  bool enabled() const { return enabled_; }
-  std::size_t num_clients() const { return speed_.size(); }
+  /// Per-client-stream mode: no speeds are drawn or stored — speed_factor(k)
+  /// is computed on demand from rng.split(k + 1), a pure function of
+  /// (config, rng, k). O(1) memory at any population size; the shard data
+  /// modes use this. The draws intentionally differ from the dense
+  /// constructor's sequential sweep (bimodal marking becomes an independent
+  /// per-client Bernoulli(fraction) instead of an exact global count).
+  static ComputeModel per_client_streams(const ClientsConfig& config,
+                                         std::size_t num_clients, Rng rng);
 
-  /// The client's drawn slowdown multiplier (1 = nominal speed). 0 when the
+  bool enabled() const { return enabled_; }
+  std::size_t num_clients() const { return num_clients_; }
+
+  /// The client's slowdown multiplier (1 = nominal speed). 0 when the
   /// model is disabled.
   double speed_factor(std::size_t client) const {
-    return enabled_ ? speed_[client] : 0.0;
+    if (!enabled_) return 0.0;
+    return per_client_ ? derive_speed(client) : speed_[client];
   }
 
   /// Simulated seconds one dispatch of local training takes:
@@ -43,9 +53,16 @@ class ComputeModel {
                        std::size_t epochs) const;
 
  private:
+  double derive_speed(std::size_t client) const;
+
   bool enabled_ = false;
   double seconds_per_sample_ = 0.0;
+  std::size_t num_clients_ = 0;
   std::vector<double> speed_;
+  /// Per-client-stream mode: profile knobs + the parent stream.
+  bool per_client_ = false;
+  ClientsConfig config_;
+  Rng stream_root_;
 };
 
 }  // namespace fedtrip::clients

@@ -1,0 +1,103 @@
+#include "clients/shard_golden.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "clients/virtual_shard.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace fedtrip::clients::golden {
+
+namespace {
+
+/// FNV-1a 64 over the little-endian bytes of each float's bit pattern —
+/// byte-order independent, so the digest is identical on any platform.
+std::uint64_t fnv1a_floats(const float* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    for (int b = 0; b < 4; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+const char* het_name(data::Heterogeneity h) {
+  switch (h) {
+    case data::Heterogeneity::kIID: return "IID";
+    case data::Heterogeneity::kDir01: return "Dir-0.1";
+    case data::Heterogeneity::kDir05: return "Dir-0.5";
+    case data::Heterogeneity::kOrthogonal5: return "Orthogonal-5";
+    case data::Heterogeneity::kOrthogonal10: return "Orthogonal-10";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string shard_stream_fixture() {
+  // A deliberately tiny spec: big enough that prototypes, the class
+  // permutation and per-sample noise all contribute, small enough that the
+  // committed fixture stays readable.
+  data::SyntheticSpec spec;
+  spec.name = "golden";
+  spec.classes = 10;
+  spec.channels = 1;
+  spec.height = 8;
+  spec.width = 8;
+  spec.proto_grid = 4;
+  spec.test_samples = 0;
+
+  constexpr std::uint64_t kSeeds[] = {42, 20240817};
+  constexpr std::size_t kNumClients = 50;
+  constexpr std::size_t kSamples = 4;
+  constexpr std::size_t kClients[] = {0, 1, 7, 49};
+  constexpr data::Heterogeneity kHets[] = {
+      data::Heterogeneity::kIID, data::Heterogeneity::kDir01,
+      data::Heterogeneity::kDir05, data::Heterogeneity::kOrthogonal5,
+      data::Heterogeneity::kOrthogonal10};
+
+  std::ostringstream out;
+  out << "# Golden per-client shard streams. Regenerate: ./shard_golden_gen\n"
+      << "# het seed client | labels | fnv1a64(pixels) | first pixel bits\n";
+  for (std::uint64_t seed : kSeeds) {
+    for (data::Heterogeneity het : kHets) {
+      ShardSynthesizer synth(spec, het, seed, kNumClients, kSamples);
+      for (std::size_t k : kClients) {
+        const data::Dataset shard = synth.make_shard(k);
+        out << het_name(het) << ' ' << seed << ' ' << k << " |";
+        for (std::size_t i = 0; i < shard.size(); ++i) {
+          out << ' ' << shard.label(i);
+        }
+        const std::size_t numel =
+            static_cast<std::size_t>(shard.sample_numel());
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(fnv1a_floats(
+                          shard.pixels(0), shard.size() * numel)));
+        out << " | " << buf << " |";
+        for (std::size_t i = 0; i < 3; ++i) {
+          std::snprintf(buf, sizeof(buf), " %08x",
+                        float_bits(shard.pixels(0)[i]));
+          out << buf;
+        }
+        out << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fedtrip::clients::golden

@@ -1,0 +1,29 @@
+// Golden fixture for the per-client shard RNG streams.
+//
+// shard_stream_fixture() renders a deterministic text digest of the
+// shards a ShardSynthesizer produces for pinned (heterogeneity, seed,
+// client_id) tuples: every label spelled out plus a 64-bit FNV-1a hash
+// over the exact float bit patterns of all pixels (and the raw bits of
+// the first few pixels for debuggability). The committed copy lives at
+// tests/data/shards/shard_streams.txt; tests/clients/shard_golden_test.cpp
+// fails whenever the two disagree, so any drift in the stream-derivation
+// tree (root -> prototypes -> split(3) -> split(client+1) -> labels ->
+// pixels) — reordered draws, a changed split key, a refactor that
+// consumes one extra normal — is caught against frozen bytes instead of
+// silently changing every "deterministic" run. Regenerate after an
+// intentional change with: ./shard_golden_gen
+#pragma once
+
+#include <string>
+
+namespace fedtrip::clients::golden {
+
+/// The canonical digest text (identical on every platform: hashes are
+/// computed over little-endian float bit patterns, not raw memory).
+std::string shard_stream_fixture();
+
+/// Repo-relative path of the committed copy.
+inline constexpr const char* kFixturePath =
+    "tests/data/shards/shard_streams.txt";
+
+}  // namespace fedtrip::clients::golden

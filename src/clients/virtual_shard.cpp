@@ -1,0 +1,129 @@
+#include "clients/virtual_shard.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace fedtrip::clients {
+
+namespace {
+
+double dirichlet_alpha(data::Heterogeneity het) {
+  return het == data::Heterogeneity::kDir01 ? 0.1 : 0.5;
+}
+
+std::size_t cluster_count(data::Heterogeneity het) {
+  return het == data::Heterogeneity::kOrthogonal5 ? 5 : 10;
+}
+
+}  // namespace
+
+ShardSynthesizer::ShardSynthesizer(const data::SyntheticSpec& spec,
+                                   data::Heterogeneity het,
+                                   std::uint64_t seed,
+                                   std::size_t num_clients,
+                                   std::size_t samples_per_client)
+    : spec_(spec),
+      het_(het),
+      num_clients_(num_clients),
+      samples_(samples_per_client) {
+  if (samples_ == 0) {
+    throw std::invalid_argument("shard mode needs samples_per_client > 0");
+  }
+  Rng root(seed);
+  prototypes_ = data::make_prototypes(spec_, root);
+  // Keys 1 and 2 are the pooled train/test streams (data::generate); the
+  // shard tree hangs off key 3 and the class permutation off key 4.
+  shard_root_ = root.split(3);
+  if (het_ == data::Heterogeneity::kOrthogonal5 ||
+      het_ == data::Heterogeneity::kOrthogonal10) {
+    clusters_ = cluster_count(het_);
+    const auto classes = static_cast<std::size_t>(spec_.classes);
+    if (clusters_ > classes) {
+      throw std::invalid_argument(
+          "shard mode: more orthogonal clusters than classes");
+    }
+    Rng perm_rng = root.split(4);
+    class_perm_ = perm_rng.permutation(classes);
+  }
+}
+
+std::vector<std::int64_t> ShardSynthesizer::draw_labels(
+    std::size_t client_id, Rng& rng) const {
+  std::vector<std::int64_t> labels;
+  labels.reserve(samples_);
+  const auto classes = static_cast<std::size_t>(spec_.classes);
+  switch (het_) {
+    case data::Heterogeneity::kIID:
+      for (std::size_t i = 0; i < samples_; ++i) {
+        labels.push_back(static_cast<std::int64_t>(rng.uniform_int(classes)));
+      }
+      break;
+    case data::Heterogeneity::kDir01:
+    case data::Heterogeneity::kDir05: {
+      // The client's own class mixture ~ Dir(alpha): same law as the pooled
+      // Dirichlet partitioner, drawn from the client's private stream so it
+      // needs no shared per-class pools.
+      const auto p = rng.dirichlet(dirichlet_alpha(het_), classes);
+      for (std::size_t i = 0; i < samples_; ++i) {
+        const double u = rng.uniform();
+        double cdf = 0.0;
+        std::size_t label = classes - 1;
+        for (std::size_t c = 0; c < classes; ++c) {
+          cdf += p[c];
+          if (u < cdf) {
+            label = c;
+            break;
+          }
+        }
+        labels.push_back(static_cast<std::int64_t>(label));
+      }
+      break;
+    }
+    case data::Heterogeneity::kOrthogonal5:
+    case data::Heterogeneity::kOrthogonal10: {
+      std::vector<std::size_t> my_classes;
+      for (std::size_t i = client_id % clusters_; i < classes;
+           i += clusters_) {
+        my_classes.push_back(class_perm_[i]);
+      }
+      for (std::size_t i = 0; i < samples_; ++i) {
+        labels.push_back(static_cast<std::int64_t>(
+            my_classes[rng.uniform_int(my_classes.size())]));
+      }
+      break;
+    }
+  }
+  return labels;
+}
+
+std::vector<std::int64_t> ShardSynthesizer::shard_labels(
+    std::size_t client_id) const {
+  Rng rng = client_stream(client_id);
+  return draw_labels(client_id, rng);
+}
+
+std::vector<std::int64_t> ShardSynthesizer::label_histogram(
+    std::size_t client_id) const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(spec_.classes), 0);
+  for (std::int64_t label : shard_labels(client_id)) {
+    ++hist[static_cast<std::size_t>(label)];
+  }
+  return hist;
+}
+
+data::Dataset ShardSynthesizer::make_shard(std::size_t client_id) const {
+  Rng rng = client_stream(client_id);
+  const auto labels = draw_labels(client_id, rng);
+  data::Dataset shard(spec_.name + "-shard-" + std::to_string(client_id),
+                      spec_.classes, spec_.channels, spec_.height,
+                      spec_.width);
+  std::vector<float> pixels;
+  for (std::int64_t label : labels) {
+    data::synthesize_sample(
+        spec_, prototypes_[static_cast<std::size_t>(label)], rng, &pixels);
+    shard.add_sample(pixels, label);
+  }
+  return shard;
+}
+
+}  // namespace fedtrip::clients

@@ -1,0 +1,86 @@
+// ShardSynthesizer: per-client training datasets as pure functions of
+// (spec, heterogeneity, seed, client_id).
+//
+// The pooled data path (data::generate + data::make_partition) materializes
+// the whole training population up front, which caps client counts at what
+// RAM holds. Shard mode replaces the shared pool with per-client shards a
+// synthesizer can produce — and re-produce, bit for bit — on demand:
+//
+//   Rng(seed) --prototypes--> root --split(3)--> shard_root
+//                                  --split(4)--> class permutation
+//   shard_root --split(client_id + 1)--> the client's private stream
+//
+// The prototype draws are shared with data::generate (same seed => same
+// P_c fields, and the evaluation split stays the pooled one), keys 1 and 2
+// stay reserved for the pooled train/test streams, and each client's stream
+// is derived from (seed, client_id) alone — never from dispatch order,
+// thread schedule or worker count. A shard is: labels drawn first (the
+// heterogeneity model), then pixels via data::synthesize_sample, so label
+// histograms are available without paying for pixel synthesis. The exact
+// draw sequence is pinned by the golden fixture under tests/data/shards/.
+//
+// fl::Simulation uses one synthesizer for both shard data modes:
+//   client_data = "shard"    all shards materialized at construction (the
+//                            reference the equivalence tests compare to);
+//   client_data = "virtual"  shards materialize at dispatch inside
+//                            train_shard and are released right after —
+//                            O(active) memory, bit-identical to "shard".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "tensor/rng.h"
+
+namespace fedtrip::clients {
+
+class ShardSynthesizer {
+ public:
+  /// Throws std::invalid_argument when samples_per_client == 0 or the
+  /// heterogeneity model cannot be expressed per client.
+  ShardSynthesizer(const data::SyntheticSpec& spec, data::Heterogeneity het,
+                   std::uint64_t seed, std::size_t num_clients,
+                   std::size_t samples_per_client);
+
+  /// The client's full shard (labels + pixels). Calling this twice — in any
+  /// process, any thread, any order relative to other clients — returns
+  /// bit-identical datasets.
+  data::Dataset make_shard(std::size_t client_id) const;
+
+  /// The label sequence of the client's shard, without synthesizing pixels.
+  std::vector<std::int64_t> shard_labels(std::size_t client_id) const;
+
+  /// Per-class histogram of the client's shard (the Fig 4 data for shard
+  /// modes), again without pixel synthesis.
+  std::vector<std::int64_t> label_histogram(std::size_t client_id) const;
+
+  std::size_t samples_per_client() const { return samples_; }
+  std::size_t num_clients() const { return num_clients_; }
+  const data::SyntheticSpec& spec() const { return spec_; }
+
+ private:
+  /// The client's private stream; phase 1 of the stream draws labels,
+  /// phase 2 pixels. shard_labels() replays only phase 1.
+  Rng client_stream(std::size_t client_id) const {
+    return shard_root_.split(client_id + 1);
+  }
+  std::vector<std::int64_t> draw_labels(std::size_t client_id,
+                                        Rng& rng) const;
+
+  data::SyntheticSpec spec_;
+  data::Heterogeneity het_;
+  std::size_t num_clients_;
+  std::size_t samples_;
+  std::vector<std::vector<float>> prototypes_;
+  Rng shard_root_;
+  /// Orthogonal modes: group g owns classes {perm[i] : i mod clusters == g}
+  /// and client k draws from group k mod clusters — the partitioner's slice
+  /// rule, expressed per client. Drawn once from its own stream.
+  std::vector<std::size_t> class_perm_;
+  std::size_t clusters_ = 0;
+};
+
+}  // namespace fedtrip::clients

@@ -100,6 +100,13 @@ const std::vector<float>& CompressedChannel::residual(
   return it == map.end() ? kEmpty : it->second;
 }
 
+std::size_t CompressedChannel::residual_floats(Direction dir) const {
+  const auto& map = dir == Direction::kDown ? residual_down_ : residual_up_;
+  std::size_t total = 0;
+  for (const auto& entry : map) total += entry.second.size();
+  return total;
+}
+
 Encoded CompressedChannel::encode(Direction dir, const std::vector<float>& x,
                                   Rng& rng, std::size_t stream,
                                   std::vector<float>* decoded) {

@@ -148,6 +148,16 @@ class CompressedChannel : public Channel {
   }
   /// Accumulated EF residual of a stream (empty before its first transmit).
   const std::vector<float>& residual(Direction dir, std::size_t stream) const;
+  /// Streams with a materialized EF residual in `dir`. Residual state is
+  /// sparse by contract — keyed by sender stream, allocated on that
+  /// stream's first lossy transmit — so at scale this tracks participants,
+  /// never the population. The memory-ceiling tests pin this down.
+  std::size_t residual_streams(Direction dir) const {
+    return (dir == Direction::kDown ? residual_down_ : residual_up_).size();
+  }
+  /// Total floats held across all residuals of `dir` — the footprint gauge
+  /// behind the O(active) memory claim.
+  std::size_t residual_floats(Direction dir) const;
 
  private:
   /// Encodes `x` (plus the stream's residual under EF), stores the new

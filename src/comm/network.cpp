@@ -32,7 +32,7 @@ const char* net_profile_name(NetProfile profile) {
 
 NetworkModel::NetworkModel(const NetworkParams& params,
                            std::size_t num_clients, Rng rng)
-    : params_(params) {
+    : params_(params), num_clients_(num_clients) {
   if (params_.profile != NetProfile::kNone &&
       (params_.bandwidth_mbps <= 0.0 || params_.latency_ms < 0.0)) {
     throw std::invalid_argument("network needs bandwidth > 0, latency >= 0");
@@ -73,11 +73,46 @@ NetworkModel::NetworkModel(const NetworkParams& params,
   }
 }
 
+NetworkModel NetworkModel::per_client_streams(const NetworkParams& params,
+                                              std::size_t num_clients,
+                                              Rng rng) {
+  NetworkModel m(params, 0, rng);  // validates params, draws nothing
+  m.num_clients_ = num_clients;
+  m.per_client_ = true;
+  m.stream_root_ = rng;
+  return m;
+}
+
+LinkSpec NetworkModel::derive_link(std::size_t client) const {
+  const double base_bps = params_.bandwidth_mbps * kBytesPerMbit;
+  const double base_lat = params_.latency_ms / 1e3;
+  switch (params_.profile) {
+    case NetProfile::kNone:
+    case NetProfile::kUniform:
+      return {base_bps, base_lat};
+    case NetProfile::kHeterogeneous: {
+      Rng r = stream_root_.split(client + 1);
+      const double spread = std::max(params_.het_spread, 1.0);
+      const double u = 2.0 * r.uniform() - 1.0;  // [-1, 1)
+      return {base_bps * std::pow(spread, u), base_lat * (0.5 + r.uniform())};
+    }
+    case NetProfile::kStraggler: {
+      Rng r = stream_root_.split(client + 1);
+      const double slow = std::max(params_.straggler_slowdown, 1.0);
+      if (r.uniform() < params_.straggler_fraction) {
+        return {base_bps / slow, base_lat * slow};
+      }
+      return {base_bps, base_lat};
+    }
+  }
+  return {base_bps, base_lat};
+}
+
 double NetworkModel::client_seconds(std::size_t client,
                                     std::size_t bytes_down,
                                     std::size_t bytes_up) const {
   if (!enabled()) return 0.0;
-  const LinkSpec& l = links_[client];
+  const LinkSpec l = link(client);
   return 2.0 * l.latency_s +
          (static_cast<double>(bytes_down) + static_cast<double>(bytes_up)) /
              l.bandwidth_bps;

@@ -28,10 +28,22 @@ class NetworkModel {
   /// model disabled: round_seconds() is identically zero).
   NetworkModel(const NetworkParams& params, std::size_t num_clients, Rng rng);
 
+  /// Per-client-stream mode: no links are drawn or stored — link(k) is
+  /// computed on demand from rng.split(k + 1), a pure function of (params,
+  /// rng, k). O(1) memory at any population size, and the draw for client k
+  /// never depends on query order or on other clients. The shard data modes
+  /// use this; the draws intentionally differ from the dense constructor's
+  /// sequential sweep (straggler marking becomes an independent per-client
+  /// Bernoulli(fraction) instead of an exact global count).
+  static NetworkModel per_client_streams(const NetworkParams& params,
+                                         std::size_t num_clients, Rng rng);
+
   bool enabled() const { return params_.profile != NetProfile::kNone; }
   const NetworkParams& params() const { return params_; }
-  const LinkSpec& link(std::size_t client) const { return links_[client]; }
-  std::size_t num_clients() const { return links_.size(); }
+  LinkSpec link(std::size_t client) const {
+    return per_client_ ? derive_link(client) : links_[client];
+  }
+  std::size_t num_clients() const { return num_clients_; }
 
   /// Seconds one client needs for a round-trip: down latency + download,
   /// up latency + upload.
@@ -53,8 +65,14 @@ class NetworkModel {
                        const std::vector<std::size_t>& bytes_up) const;
 
  private:
+  LinkSpec derive_link(std::size_t client) const;
+
   NetworkParams params_;
+  std::size_t num_clients_ = 0;
   std::vector<LinkSpec> links_;
+  /// Per-client-stream mode: the parent stream links derive from.
+  bool per_client_ = false;
+  Rng stream_root_;
 };
 
 }  // namespace fedtrip::comm

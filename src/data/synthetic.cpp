@@ -41,7 +41,8 @@ void upsample_bilinear(const std::vector<float>& coarse, std::int64_t grid,
   }
 }
 
-/// Per-class prototypes: one smooth field per channel.
+}  // namespace
+
 std::vector<std::vector<float>> make_prototypes(const SyntheticSpec& spec,
                                                 Rng& rng) {
   const std::int64_t numel = spec.channels * spec.height * spec.width;
@@ -68,22 +69,31 @@ std::vector<std::vector<float>> make_prototypes(const SyntheticSpec& spec,
   return protos;
 }
 
+void synthesize_sample(const SyntheticSpec& spec,
+                       const std::vector<float>& proto, Rng& rng,
+                       std::vector<float>* pixels) {
+  const std::int64_t numel = spec.channels * spec.height * spec.width;
+  pixels->resize(static_cast<std::size_t>(numel));
+  const float gain = rng.normal(1.0f, spec.intra_class_jitter);
+  for (std::int64_t p = 0; p < numel; ++p) {
+    (*pixels)[static_cast<std::size_t>(p)] =
+        gain * proto[static_cast<std::size_t>(p)] +
+        spec.noise_sigma * rng.normal();
+  }
+}
+
+namespace {
+
 void fill_split(Dataset& ds, std::int64_t samples,
                 const std::vector<std::vector<float>>& protos,
                 const SyntheticSpec& spec, Rng& rng) {
-  const std::int64_t numel = spec.channels * spec.height * spec.width;
-  std::vector<float> pixels(static_cast<std::size_t>(numel));
+  std::vector<float> pixels;
   // Round-robin labels: exactly balanced class pools, which the orthogonal
   // partitioner relies on (each cluster's slice must hold enough samples).
   for (std::int64_t i = 0; i < samples; ++i) {
     const std::int64_t label = i % spec.classes;
-    const auto& proto = protos[static_cast<std::size_t>(label)];
-    const float gain = rng.normal(1.0f, spec.intra_class_jitter);
-    for (std::int64_t p = 0; p < numel; ++p) {
-      pixels[static_cast<std::size_t>(p)] =
-          gain * proto[static_cast<std::size_t>(p)] +
-          spec.noise_sigma * rng.normal();
-    }
+    synthesize_sample(spec, protos[static_cast<std::size_t>(label)], rng,
+                      &pixels);
     ds.add_sample(pixels, label);
   }
 }

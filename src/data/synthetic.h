@@ -45,8 +45,27 @@ SyntheticSpec emnist_spec(double scale = 1.0);
 SyntheticSpec cifar10_spec(double scale = 1.0);
 SyntheticSpec spec_by_name(const std::string& name, double scale = 1.0);
 
+/// Per-class prototype fields P_c (one smooth unit-RMS field per channel),
+/// drawn sequentially from `rng`. Exposed because the per-client shard
+/// synthesizer (src/clients/virtual_shard.h) must consume the exact same
+/// draws as generate() so prototypes agree bit for bit across data modes.
+std::vector<std::vector<float>> make_prototypes(const SyntheticSpec& spec,
+                                                Rng& rng);
+
+/// Fills `pixels` (resized to sample_numel) with one sample of the class
+/// whose prototype is `proto`: x = gain * P + sigma * noise with
+/// gain ~ N(1, jitter). Consumes exactly 1 + numel normal draws from `rng`
+/// — the draw sequence is part of the reproducibility contract pinned by
+/// tests/data/shards/.
+void synthesize_sample(const SyntheticSpec& spec,
+                       const std::vector<float>& proto, Rng& rng,
+                       std::vector<float>* pixels);
+
 /// Deterministically generates train and test splits. The same seed always
-/// produces the same prototypes and samples.
+/// produces the same prototypes and samples. A spec with train_samples == 0
+/// yields an empty train split and an unchanged test split — the shard data
+/// modes use this to share the pooled mode's evaluation set without paying
+/// for a pooled training set.
 struct TrainTest {
   Dataset train;
   Dataset test;

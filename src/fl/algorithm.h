@@ -97,6 +97,12 @@ class FederatedAlgorithm {
     return 0;
   }
 
+  /// True when train_client reads ClientContext::history (FedTrip's ~w_k,
+  /// MOON's historical representation model). When false the engine skips
+  /// storing per-client history entirely — at a million clients the store
+  /// would otherwise hold O(participants x |w|) floats for nothing.
+  virtual bool uses_history() const { return true; }
+
   /// True when train_client is a pure function of its ClientContext (plus
   /// immutable hyperparameters): no reads of mutable algorithm state that
   /// aggregate(), pre_round() or other clients' rounds update. Such a

@@ -60,24 +60,33 @@ std::vector<float> load_parameters_file(const std::string& path) {
   throw std::runtime_error("no checkpoint record in " + path);
 }
 
+HistoryCsvWriter::HistoryCsvWriter(const std::string& path)
+    : out_(path), path_(path) {
+  if (!out_) throw std::runtime_error("cannot open for write: " + path);
+  out_.precision(17);  // lossless double round-trip
+  out_ << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
+          "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
+          "max_staleness,dropped,unavailable,deadline_deferred,"
+          "mean_compute_s,mean_comm_s\n";
+  if (!out_) throw std::runtime_error("write failed: " + path);
+}
+
+void HistoryCsvWriter::append(const RoundRecord& r) {
+  out_ << r.round << ',' << r.test_accuracy << ',' << r.train_loss << ','
+       << r.cum_gflops << ',' << r.cum_comm_mb << ',' << r.cum_mb_down
+       << ',' << r.cum_mb_up << ',' << r.cum_comm_seconds << ','
+       << r.mean_staleness << ',' << r.max_staleness << ',' << r.dropped
+       << ',' << r.unavailable << ',' << r.deadline_deferred << ','
+       << r.mean_compute_seconds << ',' << r.mean_comm_seconds << '\n';
+  out_.flush();
+  if (!out_) throw std::runtime_error("write failed: " + path_);
+  ++rows_;
+}
+
 void save_history_csv(const std::string& path,
                       const std::vector<RoundRecord>& history) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  out.precision(17);  // lossless double round-trip
-  out << "round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,"
-         "cum_mb_down,cum_mb_up,cum_comm_seconds,mean_staleness,"
-         "max_staleness,dropped,unavailable,deadline_deferred,"
-         "mean_compute_s,mean_comm_s\n";
-  for (const auto& r : history) {
-    out << r.round << ',' << r.test_accuracy << ',' << r.train_loss << ','
-        << r.cum_gflops << ',' << r.cum_comm_mb << ',' << r.cum_mb_down
-        << ',' << r.cum_mb_up << ',' << r.cum_comm_seconds << ','
-        << r.mean_staleness << ',' << r.max_staleness << ',' << r.dropped
-        << ',' << r.unavailable << ',' << r.deadline_deferred << ','
-        << r.mean_compute_seconds << ',' << r.mean_comm_seconds << '\n';
-  }
-  if (!out) throw std::runtime_error("write failed: " + path);
+  HistoryCsvWriter csv(path);
+  for (const auto& r : history) csv.append(r);
 }
 
 std::vector<RoundRecord> load_history_csv(const std::string& path) {

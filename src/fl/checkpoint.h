@@ -7,6 +7,7 @@
 //    series).
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,34 @@ void save_parameters(const std::string& path, const std::vector<float>& params);
 /// checkpoints from older builds keep loading. Throws std::runtime_error on
 /// I/O failure or format mismatch.
 std::vector<float> load_parameters_file(const std::string& path);
+
+/// Streaming CSV export of per-round histories: opens `path` and writes the
+/// header immediately, then one row per append(), flushed as it goes — the
+/// file is valid CSV after every round, and memory stays O(1) in round
+/// count. Feed it to Simulation::set_round_sink for long runs:
+///
+///   HistoryCsvWriter csv("history.csv");
+///   sim.set_round_sink([&](const fl::RoundRecord& r) { csv.append(r); });
+///
+/// A file written row-by-row is byte-identical to save_history_csv over the
+/// same records (that function is implemented on this class).
+class HistoryCsvWriter {
+ public:
+  /// Opens `path` and writes the header. Throws std::runtime_error when the
+  /// file cannot be opened.
+  explicit HistoryCsvWriter(const std::string& path);
+
+  /// Appends one row and flushes it. Throws std::runtime_error on a failed
+  /// write.
+  void append(const RoundRecord& rec);
+
+  std::size_t rows() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::size_t rows_ = 0;
+};
 
 /// Writes a per-round history as CSV with a header row:
 /// round,test_accuracy,train_loss,cum_gflops,cum_comm_mb,cum_mb_down,

@@ -24,6 +24,30 @@ struct ExperimentConfig {
   double data_scale = 1.0;
   data::Heterogeneity heterogeneity = data::Heterogeneity::kDir05;
 
+  /// Client-data ownership (docs/ARCHITECTURE.md, "Virtual shards"):
+  ///   "pool"    legacy default — one shared synthetic pool split by the
+  ///             configured partitioner, every client materialized up front;
+  ///   "shard"   per-client shards synthesized from (seed, client_id), all
+  ///             materialized at construction — the reference the
+  ///             equivalence tests compare against;
+  ///   "virtual" the same shards, synthesized at dispatch time inside
+  ///             train_shard and released right after — O(active) memory,
+  ///             bit-identical to "shard" (requires a remote-trainable
+  ///             algorithm, since clients hold no cross-round state).
+  std::string client_data = "pool";
+  /// Shard modes: samples per client (0 = the dataset spec's Table II
+  /// per-client count scaled by data_scale).
+  std::size_t shard_samples = 0;
+  /// Virtual mode: clients materialized concurrently per train_shard chunk
+  /// (0 = auto). Bounds peak memory without changing results.
+  std::size_t virtual_chunk = 0;
+  /// Record per-client participation counts in RunResult (sparse; opt out
+  /// when even the map is unwanted bookkeeping at millions of clients).
+  bool track_participation = true;
+  /// Compute RunResult::partition_histograms — O(clients x classes) memory,
+  /// opt out at large scale.
+  bool partition_stats = true;
+
   std::size_t num_clients = 10;
   std::size_t clients_per_round = 4;
   std::size_t rounds = 100;

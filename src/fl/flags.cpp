@@ -26,6 +26,25 @@ const std::vector<FlagSpec>& experiment_flags() {
       {"--scale", "X", "dataset sample-count scale in (0,1] (default 0.1)"},
       {"--seed", "N", "root RNG seed (default 42)"},
       {"--width-mult", "X", "AlexNet width multiplier"},
+      // Client data modes (docs/ARCHITECTURE.md, virtual shards).
+      {"--client-data", "MODE",
+       "pool|shard|virtual — pool partitions one generated dataset "
+       "(default); shard synthesizes a per-client dataset from (seed, "
+       "client id); virtual synthesizes the same shards at dispatch time "
+       "and releases them after training (O(active) memory, bit-identical "
+       "to shard)"},
+      {"--shard-samples", "N",
+       "shard/virtual: training samples per client shard (default: the "
+       "dataset spec's per-client budget)"},
+      {"--virtual-chunk", "N",
+       "virtual: clients materialized at once inside one train call "
+       "(default 64; bit-transparent to results)"},
+      {"--no-participation", nullptr,
+       "skip the per-client participation tally (saves O(participants) "
+       "memory at million-client scale; never changes training)"},
+      {"--no-partition-stats", nullptr,
+       "skip per-client label histograms in the result (saves O(clients x "
+       "classes) memory; never changes training)"},
       // Output and data.
       {"--out", "FILE", "write per-round history CSV"},
       {"--save-model", "FILE", "write final global model checkpoint"},

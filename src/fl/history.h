@@ -5,10 +5,16 @@
 // xi = 1 / gap (the paper's xi lies in (0, 1]; its expectation p*ln(p)/(p-1)
 // matches E[1/gap] for geometric participation gaps — see DESIGN.md).
 // MOON reads the same store for its historical representation model.
+//
+// Storage is a sparse map keyed by client id: only clients that have
+// participated occupy memory, so population size does not bound the store
+// (the virtual-shard contract, docs/ARCHITECTURE.md). Entry references are
+// stable across put() calls for other clients — std::unordered_map never
+// moves elements on rehash — which the dispatch paths rely on.
 #pragma once
 
 #include <cstddef>
-#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "fl/types.h"
@@ -17,12 +23,13 @@ namespace fedtrip::fl {
 
 class HistoryStore {
  public:
-  explicit HistoryStore(std::size_t num_clients) : entries_(num_clients) {}
+  explicit HistoryStore(std::size_t num_clients)
+      : num_clients_(num_clients) {}
 
   /// Historical model of a client, or nullptr before first participation.
   const HistoryEntry* get(std::size_t client_id) const {
-    const auto& e = entries_[client_id];
-    return e.has_value() ? &*e : nullptr;
+    auto it = entries_.find(client_id);
+    return it != entries_.end() ? &it->second : nullptr;
   }
 
   /// Records the model a client produced at `round`.
@@ -31,10 +38,16 @@ class HistoryStore {
     entries_[client_id] = HistoryEntry{std::move(params), round};
   }
 
-  std::size_t num_clients() const { return entries_.size(); }
+  /// Population size the store was built for (not the stored entry count).
+  std::size_t num_clients() const { return num_clients_; }
+
+  /// Clients with a stored entry — O(participants), the memory the store
+  /// actually holds.
+  std::size_t stored() const { return entries_.size(); }
 
  private:
-  std::vector<std::optional<HistoryEntry>> entries_;
+  std::size_t num_clients_;
+  std::unordered_map<std::size_t, HistoryEntry> entries_;
 };
 
 }  // namespace fedtrip::fl

@@ -31,8 +31,10 @@ const clients::AvailabilityModel& RoundHost::availability() const {
 }
 bool RoundHost::compute_enabled() const { return sim_.compute_->enabled(); }
 double RoundHost::compute_seconds(std::size_t client) const {
+  // client_num_samples never touches a materialized Client — in virtual
+  // mode none exists until the dispatch trains.
   return sim_.compute_->train_seconds(client,
-                                      sim_.clients_[client]->num_samples(),
+                                      sim_.client_num_samples(client),
                                       sim_.config_.local_epochs);
 }
 std::size_t RoundHost::message_bytes(comm::Direction dir) const {
@@ -121,6 +123,11 @@ std::size_t RoundHost::uplink(ClientUpdate& update, std::uint64_t key,
                               const std::vector<float>& sent_from,
                               std::size_t round) {
   Rng up_rng = comm_rng_.split(key);
+  // Algorithms that never read history (FedAvg at a million clients) skip
+  // the store entirely — the entries would pin O(participants x |w|)
+  // floats for nothing. Never changes CSV/params/bytes: the store only
+  // feeds ClientContext::history, which such algorithms ignore.
+  const bool keep_history = sim_.algorithm_->uses_history();
   std::size_t bytes;
   if (sim_.channel_->lossless(comm::Direction::kUp)) {
     // Lossless: the decode is bit-exact whether or not a delta was
@@ -129,11 +136,14 @@ std::size_t RoundHost::uplink(ClientUpdate& update, std::uint64_t key,
     // bit-identical to this path while still moving real buffers.
     bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
                                     up_rng, 1, update.client_id);
-    sim_.history_.put(update.client_id, update.params, round);
+    if (keep_history) {
+      sim_.history_.put(update.client_id, update.params, round);
+    }
   } else {
     // The client keeps its own uncompressed model as its history entry;
     // the server aggregates what it decodes.
-    std::vector<float> local = update.params;
+    std::vector<float> local;
+    if (keep_history) local = update.params;
     if (sim_.config_.comm.delta_uplink) {
       vec::sub(update.params, sent_from, update.params);
       bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
@@ -143,7 +153,9 @@ std::size_t RoundHost::uplink(ClientUpdate& update, std::uint64_t key,
       bytes = sim_.channel_->transmit(comm::Direction::kUp, update.params,
                                       up_rng, 1, update.client_id);
     }
-    sim_.history_.put(update.client_id, std::move(local), round);
+    if (keep_history) {
+      sim_.history_.put(update.client_id, std::move(local), round);
+    }
   }
   sim_.channel_->account_raw(comm::Direction::kUp,
                              update.extra_upload_floats);
@@ -159,7 +171,9 @@ void RoundHost::aggregate(std::vector<ClientUpdate>& updates,
   double loss_sum = 0.0;
   for (const auto& u : updates) {
     loss_sum += u.train_loss;
-    ++result_.participation[u.client_id];
+    if (sim_.config_.track_participation) {
+      result_.participation.record(u.client_id);
+    }
   }
 
   sim_.algorithm_->aggregate(sim_.global_params_, updates, meta.round);
@@ -188,7 +202,12 @@ void RoundHost::aggregate(std::vector<ClientUpdate>& updates,
     rec.deadline_deferred = meta.deadline_deferred;
     rec.mean_compute_seconds = meta.mean_compute_seconds;
     rec.mean_comm_seconds = meta.mean_comm_seconds;
-    result_.history.push_back(rec);
+    if (sim_.round_sink_) {
+      sim_.round_sink_(rec);
+      if (sim_.sink_keeps_history_) result_.history.push_back(rec);
+    } else {
+      result_.history.push_back(rec);
+    }
   }
 }
 

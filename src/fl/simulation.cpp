@@ -27,13 +27,19 @@ void warm_up(nn::Sequential& model, const data::Dataset& ds) {
   (void)model.forward(x, /*train=*/false);
 }
 
+// Shard data modes synthesize per-client training data on their own; only
+// the evaluation split is generated here (identical to pool mode's — the
+// prototype and test streams don't depend on train_samples).
+data::TrainTest generate_for_mode(const ExperimentConfig& config) {
+  auto spec = data::spec_by_name(config.dataset, config.data_scale);
+  if (config.client_data != "pool") spec.train_samples = 0;
+  return data::generate(spec, config.seed);
+}
+
 }  // namespace
 
 Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm)
-    : Simulation(config, std::move(algorithm),
-                 data::generate(
-                     data::spec_by_name(config.dataset, config.data_scale),
-                     config.seed)) {}
+    : Simulation(config, std::move(algorithm), generate_for_mode(config)) {}
 
 Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm,
                        data::TrainTest dataset)
@@ -49,27 +55,68 @@ Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm,
         "clients_per_round must be in [1, num_clients]");
   }
   const auto spec = data::spec_by_name(config_.dataset, config_.data_scale);
-  // Per-client sample budget: the Table II per-client count, clamped so the
-  // partition always fits in the generated training split.
-  std::size_t per_client = static_cast<std::size_t>(spec.client_samples);
-  per_client = std::min(per_client, data_.train.size() / config_.num_clients);
-  if (per_client == 0) {
-    throw std::invalid_argument("dataset too small for num_clients");
-  }
+  const bool shard_mode = config_.client_data != "pool";
+  if (!shard_mode) {
+    // Per-client sample budget: the Table II per-client count, clamped so
+    // the partition always fits in the generated training split.
+    std::size_t per_client = static_cast<std::size_t>(spec.client_samples);
+    per_client =
+        std::min(per_client, data_.train.size() / config_.num_clients);
+    if (per_client == 0) {
+      throw std::invalid_argument("dataset too small for num_clients");
+    }
 
-  Rng part_rng = root_rng_.split(0xDA7A);
-  partition_ = data::make_partition(config_.heterogeneity, data_.train,
-                                    config_.num_clients, per_client, part_rng);
+    Rng part_rng = root_rng_.split(0xDA7A);
+    partition_ =
+        data::make_partition(config_.heterogeneity, data_.train,
+                             config_.num_clients, per_client, part_rng);
 
-  model_factory_ = nn::make_model_factory(config_.model, config_.seed);
+    model_factory_ = nn::make_model_factory(config_.model, config_.seed);
 
-  clients_.reserve(config_.num_clients);
-  for (std::size_t k = 0; k < config_.num_clients; ++k) {
-    auto opt = optim::make_optimizer(algorithm_->optimizer_kind(), config_.lr,
-                                     config_.momentum);
-    clients_.push_back(std::make_unique<Client>(
-        k, data_.train, partition_[k], model_factory_, std::move(opt),
-        config_.batch_size));
+    clients_.reserve(config_.num_clients);
+    for (std::size_t k = 0; k < config_.num_clients; ++k) {
+      auto opt = optim::make_optimizer(algorithm_->optimizer_kind(),
+                                       config_.lr, config_.momentum);
+      clients_.push_back(std::make_unique<Client>(
+          k, data_.train, partition_[k], model_factory_, std::move(opt),
+          config_.batch_size));
+    }
+  } else {
+    if (config_.client_data != "shard" && config_.client_data != "virtual") {
+      throw std::invalid_argument("unknown client_data mode: " +
+                                  config_.client_data);
+    }
+    const std::size_t per_client =
+        config_.shard_samples > 0
+            ? config_.shard_samples
+            : static_cast<std::size_t>(spec.client_samples);
+    synth_ = std::make_unique<clients::ShardSynthesizer>(
+        spec, config_.heterogeneity, config_.seed, config_.num_clients,
+        per_client);
+
+    model_factory_ = nn::make_model_factory(config_.model, config_.seed);
+
+    if (config_.client_data == "shard") {
+      // Materialized reference: every shard built up front, exactly what
+      // virtual mode must reproduce bit for bit.
+      clients_.reserve(config_.num_clients);
+      shard_data_.reserve(config_.num_clients);
+      for (std::size_t k = 0; k < config_.num_clients; ++k) {
+        auto t = materialize_client(k);
+        shard_data_.push_back(std::move(t.shard));
+        clients_.push_back(std::move(t.client));
+      }
+    } else {
+      if (!algorithm_->remote_trainable()) {
+        throw std::invalid_argument(
+            "client_data=virtual requires a remote-trainable algorithm (" +
+            algorithm_->name() +
+            " holds dense per-client state across rounds)");
+      }
+      virtual_mode_ = true;
+      virtual_chunk_ =
+          config_.virtual_chunk > 0 ? config_.virtual_chunk : 64;
+    }
   }
 
   eval_model_ = model_factory_();
@@ -78,12 +125,25 @@ Simulation::Simulation(const ExperimentConfig& config, AlgorithmPtr algorithm,
 
   // Channel, network and client-heterogeneity models draw from dedicated
   // split streams: configuring them never perturbs partitioning, model
-  // init, or training randomness.
+  // init, or training randomness. Shard modes use per-client-stream
+  // network/compute draws — O(1) state, and client k's draw is independent
+  // of population size and query order.
   channel_ = comm::make_channel(config_.comm);
-  network_ = std::make_unique<comm::NetworkModel>(
-      config_.comm.network, config_.num_clients, root_rng_.split(0x4E7F10));
-  compute_ = std::make_unique<clients::ComputeModel>(clients::make_compute(
-      config_.clients, config_.num_clients, root_rng_.split(0xC04B07E)));
+  if (shard_mode) {
+    network_ = std::make_unique<comm::NetworkModel>(
+        comm::NetworkModel::per_client_streams(config_.comm.network,
+                                               config_.num_clients,
+                                               root_rng_.split(0x4E7F10)));
+    compute_ = std::make_unique<clients::ComputeModel>(
+        clients::ComputeModel::per_client_streams(
+            config_.clients, config_.num_clients,
+            root_rng_.split(0xC04B07E)));
+  } else {
+    network_ = std::make_unique<comm::NetworkModel>(
+        config_.comm.network, config_.num_clients, root_rng_.split(0x4E7F10));
+    compute_ = std::make_unique<clients::ComputeModel>(clients::make_compute(
+        config_.clients, config_.num_clients, root_rng_.split(0xC04B07E)));
+  }
   availability_ = std::make_unique<clients::AvailabilityModel>(
       clients::make_availability(config_.clients, config_.num_clients,
                                  root_rng_.split(0xAB51E47)));
@@ -140,9 +200,33 @@ double Simulation::evaluate(const std::vector<float>& params) {
   return acc_sum / static_cast<double>(seen);
 }
 
+Simulation::TransientClient Simulation::materialize_client(
+    std::size_t client_id) {
+  TransientClient t;
+  t.shard =
+      std::make_unique<data::Dataset>(synth_->make_shard(client_id));
+  std::vector<std::size_t> indices(t.shard->size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  auto opt = optim::make_optimizer(algorithm_->optimizer_kind(), config_.lr,
+                                   config_.momentum);
+  t.client = std::make_unique<Client>(client_id, *t.shard,
+                                      std::move(indices), model_factory_,
+                                      std::move(opt), config_.batch_size);
+  return t;
+}
+
 void Simulation::init_result(RunResult* result) const {
-  result->partition_histograms =
-      data::partition_histograms(data_.train, partition_);
+  if (config_.partition_stats) {
+    if (synth_ != nullptr) {
+      result->partition_histograms.reserve(config_.num_clients);
+      for (std::size_t k = 0; k < config_.num_clients; ++k) {
+        result->partition_histograms.push_back(synth_->label_histogram(k));
+      }
+    } else {
+      result->partition_histograms =
+          data::partition_histograms(data_.train, partition_);
+    }
+  }
   result->model_params = static_cast<double>(global_params_.size());
   result->model_forward_flops = eval_model_->forward_flops_per_sample();
   result->model_backward_flops = eval_model_->backward_flops_per_sample();
@@ -156,6 +240,7 @@ void Simulation::init_result(RunResult* result) const {
 
 std::vector<ClientUpdate> Simulation::train_shard(
     const std::vector<ShardWork>& work, double* pre_round_flops) {
+  if (virtual_mode_) return train_shard_virtual(work, pre_round_flops);
   std::vector<ClientContext> contexts;
   contexts.reserve(work.size());
   for (const auto& wk : work) {
@@ -190,6 +275,53 @@ std::vector<ClientUpdate> Simulation::train_shard(
   return updates;
 }
 
+std::vector<ClientUpdate> Simulation::train_shard_virtual(
+    const std::vector<ShardWork>& work, double* pre_round_flops) {
+  *pre_round_flops = 0.0;
+  obs::Tracer* const tr = tracer_;
+  std::vector<ClientUpdate> updates(work.size());
+  for (std::size_t start = 0; start < work.size();
+       start += virtual_chunk_) {
+    const std::size_t end = std::min(work.size(), start + virtual_chunk_);
+    // Materialize this chunk's clients (shard + model + optimizer); all of
+    // it is released when `active` goes out of scope, so peak client state
+    // is O(chunk) however large the dispatch batch or the population.
+    std::vector<TransientClient> active;
+    active.reserve(end - start);
+    std::vector<ClientContext> contexts;
+    contexts.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      const auto& wk = work[i];
+      active.push_back(materialize_client(wk.d.client_id));
+      ClientContext ctx;
+      ctx.round = wk.d.round;
+      ctx.client = active.back().client.get();
+      ctx.global_params = wk.d.params.get();
+      ctx.history = wk.history;
+      ctx.model_factory = &model_factory_;
+      ctx.local_epochs = config_.local_epochs;
+      ctx.rng = root_rng_.split(wk.d.train_key);
+      contexts.push_back(std::move(ctx));
+    }
+    // Chunked pre_round is exact because virtual mode requires
+    // remote-trainable algorithms, whose pre_round is the stateless 0.0
+    // default (cohort-coupled pre-rounds imply remote_trainable() false).
+    *pre_round_flops += algorithm_->pre_round(contexts);
+    parallel_for(
+        0, contexts.size(),
+        [&](std::size_t i) {
+          obs::WallSpan span(
+              tr, "train_shard",
+              {{"client", static_cast<double>(contexts[i].client->id())},
+               {"round", static_cast<double>(contexts[i].round)}});
+          updates[start + i] = algorithm_->train_client(contexts[i]);
+          updates[start + i].client_id = contexts[i].client->id();
+        },
+        own_pool_.get());
+  }
+  return updates;
+}
+
 RunResult Simulation::run() { return run_with_host(nullptr); }
 
 RunResult Simulation::run_with_host(const HostWrapper& wrap) {
@@ -198,7 +330,6 @@ RunResult Simulation::run_with_host(const HostWrapper& wrap) {
   RunResult result;
   init_result(&result);
   result.sched_policy = scheduler->name();
-  result.participation.assign(config_.num_clients, 0);
 
   RoundHost host(*this, result);
   sched::Host& driven = wrap ? wrap(host) : static_cast<sched::Host&>(host);
@@ -249,6 +380,11 @@ std::vector<ClientUpdate> Simulation::run_round(
 }
 
 RunResult Simulation::run_reference() {
+  if (virtual_mode_) {
+    throw std::logic_error(
+        "run_reference requires materialized clients "
+        "(client_data=pool|shard)");
+  }
   RunResult result;
   init_result(&result);
   result.sched_policy = "reference";

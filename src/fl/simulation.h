@@ -18,6 +18,7 @@
 
 #include "clients/availability.h"
 #include "clients/compute.h"
+#include "clients/virtual_shard.h"
 #include "comm/channel.h"
 #include "comm/network.h"
 #include "data/partition.h"
@@ -54,8 +55,9 @@ struct RunResult {
   std::string sched_policy;
   /// Per-client count of aggregated updates over the run — the
   /// participation-fairness data (fastk starving the slow tail shows up
-  /// here). Filled by run(); empty from run_reference().
-  std::vector<std::size_t> participation;
+  /// here). Sparse: only participants occupy memory. Filled by run() unless
+  /// config.track_participation is off; empty from run_reference().
+  ParticipationMap participation;
 };
 
 /// One unit of the shard-executable train core: a scheduler dispatch plus
@@ -116,6 +118,32 @@ class Simulation {
   void set_tracer(obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Streams each RoundRecord to `sink` the moment it is produced (the
+  /// streaming-CSV path for long runs). With keep_in_result false,
+  /// RunResult::history stays empty — O(1) record memory regardless of
+  /// round count. Never changes what the records contain; run_reference()
+  /// ignores the sink (it is the frozen legacy spec).
+  using RoundSink = std::function<void(const RoundRecord&)>;
+  void set_round_sink(RoundSink sink, bool keep_in_result = false) {
+    round_sink_ = std::move(sink);
+    sink_keeps_history_ = keep_in_result;
+  }
+
+  /// Training samples of one client — constant per run in the shard data
+  /// modes (no materialized Client needed), the client's loader size in
+  /// pool mode. Schedulers predict compute time from this before any shard
+  /// exists.
+  std::size_t client_num_samples(std::size_t client) const {
+    return synth_ ? synth_->samples_per_client()
+                  : clients_[client]->num_samples();
+  }
+
+  /// The shard synthesizer (nullptr in pool mode) — what property tests
+  /// drive directly.
+  const clients::ShardSynthesizer* shard_synthesizer() const {
+    return synth_.get();
+  }
+
   /// The pre-scheduler synchronous loop, preserved verbatim as the
   /// executable specification of the sync policy: a run() with the default
   /// SchedConfig must match it bit for bit (enforced by
@@ -151,12 +179,36 @@ class Simulation {
   /// Shared head of run()/run_reference(): partition stats, model FLOPs.
   void init_result(RunResult* result) const;
 
+  /// train_shard for client_data == "virtual": materialize each chunk's
+  /// clients from the synthesizer, train, release — O(chunk) peak client
+  /// state, bit-identical to the materialized path.
+  std::vector<ClientUpdate> train_shard_virtual(
+      const std::vector<ShardWork>& work, double* pre_round_flops);
+
+  /// A transient client for one virtual-mode dispatch: the shard dataset
+  /// must outlive the Client (its DataLoader holds a reference), and both
+  /// are dropped together when the chunk completes.
+  struct TransientClient {
+    std::unique_ptr<data::Dataset> shard;
+    std::unique_ptr<Client> client;
+  };
+  TransientClient materialize_client(std::size_t client_id);
+
   ExperimentConfig config_;
   AlgorithmPtr algorithm_;
   data::TrainTest data_;
   data::Partition partition_;
   nn::ModelFactory model_factory_;
   std::vector<std::unique_ptr<Client>> clients_;
+  /// Shard data modes: the per-client synthesizer (nullptr in pool mode),
+  /// the materialized shards backing clients_ in "shard" mode, and the
+  /// virtual-mode chunk size.
+  std::unique_ptr<clients::ShardSynthesizer> synth_;
+  std::vector<std::unique_ptr<data::Dataset>> shard_data_;
+  bool virtual_mode_ = false;
+  std::size_t virtual_chunk_ = 0;
+  RoundSink round_sink_;
+  bool sink_keeps_history_ = false;
   std::unique_ptr<nn::Sequential> eval_model_;
   HistoryStore history_;
   std::vector<float> global_params_;

@@ -3,9 +3,44 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace fedtrip::fl {
+
+/// Sparse per-client participation counts: only clients that actually
+/// aggregated an update occupy memory, so a million-client run at 1%
+/// participation stores O(participants), not O(population). Equality is
+/// content-based (two runs match iff every client's count matches).
+class ParticipationMap {
+ public:
+  void record(std::size_t client_id) { ++counts_[client_id]; }
+
+  /// Aggregated updates of one client over the run (0 if never selected).
+  std::size_t count(std::size_t client_id) const {
+    auto it = counts_.find(client_id);
+    return it != counts_.end() ? it->second : 0;
+  }
+
+  /// Clients with at least one aggregated update.
+  std::size_t participants() const { return counts_.size(); }
+
+  /// Total aggregated updates across all clients.
+  std::size_t total() const {
+    std::size_t sum = 0;
+    for (const auto& [id, n] : counts_) sum += n;
+    return sum;
+  }
+
+  bool empty() const { return counts_.empty(); }
+  auto begin() const { return counts_.begin(); }
+  auto end() const { return counts_.end(); }
+
+  bool operator==(const ParticipationMap&) const = default;
+
+ private:
+  std::unordered_map<std::size_t, std::size_t> counts_;
+};
 
 /// Result of one client's local training in a round.
 struct ClientUpdate {

@@ -30,6 +30,13 @@ SetupMsg canonical_setup() {
   m.config.obs.enabled = true;
   m.config.obs.spans = true;
   m.config.obs.counters = true;
+  // Client-data block (protocol v4): non-default values so the fixture
+  // pins every field's position on the wire.
+  m.config.client_data = "virtual";
+  m.config.shard_samples = 24;
+  m.config.virtual_chunk = 16;
+  m.config.track_participation = false;
+  m.config.partition_stats = false;
   // Elastic-coordinator block (protocol v3).
   m.elastic = true;
   m.heartbeat_interval_s = 0.25;
@@ -104,9 +111,9 @@ TrainResultMsg canonical_result() {
 wire::golden::Fixture session_fixture() {
   std::vector<wire::Record> records;
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{3, 3})});
+                     serialize_hello(HelloMsg{4, 4})});
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{3, 3})});
+                     serialize_hello(HelloMsg{4, 4})});
   records.push_back(
       {wire::RecordType::kNetSetup, 0, serialize_setup(canonical_setup())});
   records.push_back({wire::RecordType::kNetSetupAck, 0,

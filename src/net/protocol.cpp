@@ -203,6 +203,14 @@ void write_config(WireWriter& w, const fl::ExperimentConfig& c) {
   write_bool(w, c.obs.enabled);
   write_bool(w, c.obs.spans);
   write_bool(w, c.obs.counters);
+  // Client-data block (protocol v4): a worker must construct its
+  // Simulation in the same data mode as the coordinator or every shard it
+  // trains diverges.
+  write_string(w, c.client_data);
+  w.u64(c.shard_samples);
+  w.u64(c.virtual_chunk);
+  write_bool(w, c.track_participation);
+  write_bool(w, c.partition_stats);
 }
 
 fl::ExperimentConfig read_config(WireReader& r) {
@@ -230,6 +238,11 @@ fl::ExperimentConfig read_config(WireReader& r) {
   c.obs.enabled = read_bool(r);
   c.obs.spans = read_bool(r);
   c.obs.counters = read_bool(r);
+  c.client_data = read_string(r);
+  c.shard_samples = static_cast<std::size_t>(r.u64());
+  c.virtual_chunk = static_cast<std::size_t>(r.u64());
+  c.track_participation = read_bool(r);
+  c.partition_stats = read_bool(r);
   return c;
 }
 

@@ -43,11 +43,14 @@ namespace fedtrip::net {
 /// to the Setup config block and the kNetStatsReq/kNetStats record pair;
 /// v3 added the elastic-coordinator block to Setup (elastic flag,
 /// heartbeat interval, rejoin port) and the kNetHeartbeat/kNetDispatchAck
-/// records; coordinator and workers deploy in lockstep (one binary, one
+/// records; v4 added the client-data block to the Setup config (client_data
+/// mode, shard_samples, virtual_chunk, track_participation,
+/// partition_stats) so a worker rebuilds shard/virtual simulations
+/// identically; coordinator and workers deploy in lockstep (one binary, one
 /// repo), so the minimum moves with the maximum rather than carrying
 /// older shims.
-inline constexpr std::uint16_t kProtocolVersionMin = 3;
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersionMin = 4;
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 // ------------------------------------------------------------- handshake
 

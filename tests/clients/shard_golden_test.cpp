@@ -1,0 +1,37 @@
+// Format-stability gate for the per-client shard RNG streams: the
+// committed tests/data/shards/shard_streams.txt must byte-match what
+// src/clients/shard_golden.cpp renders today. The fixture pins the whole
+// derivation tree — seed -> prototypes -> shard root split(3) -> class
+// permutation split(4) -> client stream split(client_id + 1) -> labels ->
+// pixels — so a reordered draw, a changed split key or a refactor that
+// consumes one extra normal breaks here against frozen bytes instead of
+// silently changing every "deterministic" shard. An intentional change
+// requires regenerating with shard_golden_gen and committing the diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "clients/shard_golden.h"
+
+namespace fedtrip {
+namespace {
+
+TEST(ShardGoldenTest, CommittedStreamsByteMatch) {
+  const std::string path = std::string(FEDTRIP_SOURCE_DIR) + "/" +
+                           clients::golden::kFixturePath;
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " — regenerate with: ./shard_golden_gen";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), clients::golden::shard_stream_fixture())
+      << "shard_streams.txt drifted from the shard synthesizer — either "
+      << "the RNG stream tree changed accidentally, or an intentional "
+      << "change needs regenerated fixtures (shard_golden_gen) and a "
+      << "docs/ARCHITECTURE.md update";
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -1,0 +1,238 @@
+// Property/fuzz suite for the per-client shard synthesizer — the
+// foundation of the virtual-shard memory claim: a shard must be a pure
+// function of (spec, heterogeneity, seed, client_id), so materialize ->
+// release -> rematerialize is bit-identical, in any order, from any
+// synthesizer instance, and from a world rebuilt on the far side of the
+// wire. Every case is seeded and prints its tuple on failure, so a red
+// run reproduces from the log alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clients/virtual_shard.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "net/protocol.h"
+#include "tensor/rng.h"
+
+namespace fedtrip {
+namespace {
+
+using clients::ShardSynthesizer;
+
+data::SyntheticSpec fuzz_spec(Rng& rng) {
+  data::SyntheticSpec spec;
+  spec.name = "fuzz";
+  spec.classes = 10;
+  spec.channels = 1;
+  // Random shard geometry: 4..11 pixels per edge, 2..5 proto grid.
+  spec.height = 4 + static_cast<std::int64_t>(rng.uniform_int(8));
+  spec.width = 4 + static_cast<std::int64_t>(rng.uniform_int(8));
+  spec.proto_grid = 2 + static_cast<std::int64_t>(rng.uniform_int(4));
+  return spec;
+}
+
+data::Heterogeneity fuzz_het(Rng& rng) {
+  constexpr data::Heterogeneity kAll[] = {
+      data::Heterogeneity::kIID, data::Heterogeneity::kDir01,
+      data::Heterogeneity::kDir05, data::Heterogeneity::kOrthogonal5,
+      data::Heterogeneity::kOrthogonal10};
+  return kAll[rng.uniform_int(5)];
+}
+
+std::string tuple_label(std::uint64_t seed, std::size_t client,
+                        const data::SyntheticSpec& spec,
+                        data::Heterogeneity het) {
+  return "seed=" + std::to_string(seed) + " client=" +
+         std::to_string(client) + " h=" + std::to_string(spec.height) +
+         " w=" + std::to_string(spec.width) + " grid=" +
+         std::to_string(spec.proto_grid) + " het=" +
+         std::to_string(static_cast<int>(het));
+}
+
+void expect_same_shard(const data::Dataset& a, const data::Dataset& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  EXPECT_EQ(a.labels(), b.labels()) << label;
+  const std::size_t numel = static_cast<std::size_t>(a.sample_numel());
+  ASSERT_EQ(numel, static_cast<std::size_t>(b.sample_numel())) << label;
+  const std::vector<float> pa(a.pixels(0), a.pixels(0) + a.size() * numel);
+  const std::vector<float> pb(b.pixels(0), b.pixels(0) + b.size() * numel);
+  EXPECT_EQ(pa, pb) << label;  // float equality IS the contract
+}
+
+TEST(VirtualShardPropertyTest, RematerializationIsBitIdentical) {
+  // Random (seed, client_id, geometry, het) tuples: a shard synthesized
+  // once, dropped, and synthesized again — interleaved with draws for
+  // *other* clients in a random order — must come back bit for bit.
+  Rng meta(0xF022D11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t seed = meta.uniform_int(1u << 30);
+    const data::SyntheticSpec spec = fuzz_spec(meta);
+    const data::Heterogeneity het = fuzz_het(meta);
+    const std::size_t num_clients = 2 + meta.uniform_int(200);
+    const std::size_t samples = 1 + meta.uniform_int(6);
+    const std::size_t client = meta.uniform_int(num_clients);
+    const std::string label = tuple_label(seed, client, spec, het);
+
+    ShardSynthesizer synth(spec, het, seed, num_clients, samples);
+    const data::Dataset first = synth.make_shard(client);
+    // Perturb internal ordering: touch other clients before re-asking.
+    for (int i = 0; i < 5; ++i) {
+      (void)synth.make_shard(meta.uniform_int(num_clients));
+    }
+    const data::Dataset again = synth.make_shard(client);
+    expect_same_shard(first, again, label + " [same instance]");
+
+    // A fresh synthesizer — the release/rematerialize cycle of virtual
+    // mode and what a rejoining worker does mid-run.
+    ShardSynthesizer fresh(spec, het, seed, num_clients, samples);
+    expect_same_shard(first, fresh.make_shard(client),
+                      label + " [fresh instance]");
+  }
+}
+
+TEST(VirtualShardPropertyTest, TouchOrderNeverLeaksBetweenClients) {
+  // Client k's shard must not depend on which clients were materialized
+  // before it — ascending, descending and shuffled sweeps must agree.
+  // This is the dispatch-order / worker-count independence property: a
+  // worker pool shards the client set arbitrarily, so any cross-client
+  // RNG leak would break distributed equivalence.
+  Rng meta(0x0D7E2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t seed = meta.uniform_int(1u << 30);
+    const data::SyntheticSpec spec = fuzz_spec(meta);
+    const data::Heterogeneity het = fuzz_het(meta);
+    const std::size_t num_clients = 3 + meta.uniform_int(20);
+
+    ShardSynthesizer up(spec, het, seed, num_clients, 3);
+    ShardSynthesizer down(spec, het, seed, num_clients, 3);
+    ShardSynthesizer shuffled(spec, het, seed, num_clients, 3);
+    std::vector<data::Dataset> ascending;
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      ascending.push_back(up.make_shard(k));
+    }
+    for (std::size_t k = num_clients; k-- > 0;) {
+      expect_same_shard(ascending[k], down.make_shard(k),
+                        tuple_label(seed, k, spec, het) + " [descending]");
+    }
+    for (std::size_t k : meta.permutation(num_clients)) {
+      expect_same_shard(ascending[k], shuffled.make_shard(k),
+                        tuple_label(seed, k, spec, het) + " [shuffled]");
+    }
+  }
+}
+
+TEST(VirtualShardPropertyTest, LabelReplayMatchesFullSynthesis) {
+  // shard_labels() replays only the label phase of the client stream;
+  // label_histogram() aggregates it. Both must agree with the labels the
+  // fully synthesized shard carries, for every heterogeneity mode.
+  Rng meta(0x1AB315);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::uint64_t seed = meta.uniform_int(1u << 30);
+    const data::SyntheticSpec spec = fuzz_spec(meta);
+    const data::Heterogeneity het = fuzz_het(meta);
+    const std::size_t num_clients = 2 + meta.uniform_int(50);
+    ShardSynthesizer synth(spec, het, seed, num_clients, 5);
+    for (int probe = 0; probe < 8; ++probe) {
+      const std::size_t k = meta.uniform_int(num_clients);
+      const std::string label = tuple_label(seed, k, spec, het);
+      const data::Dataset shard = synth.make_shard(k);
+      EXPECT_EQ(shard.labels(), synth.shard_labels(k)) << label;
+      std::vector<std::int64_t> expected(
+          static_cast<std::size_t>(spec.classes), 0);
+      for (std::int64_t l : shard.labels()) {
+        ++expected[static_cast<std::size_t>(l)];
+      }
+      EXPECT_EQ(expected, synth.label_histogram(k)) << label;
+    }
+  }
+}
+
+TEST(VirtualShardPropertyTest, OrthogonalModesRespectClusterDisjointness) {
+  // Orthogonal-C partitions the label space: two clients in different
+  // clusters may never share a class, two in the same cluster draw from
+  // the identical class group.
+  Rng meta(0x0271106);
+  for (data::Heterogeneity het : {data::Heterogeneity::kOrthogonal5,
+                                  data::Heterogeneity::kOrthogonal10}) {
+    const std::size_t clusters =
+        het == data::Heterogeneity::kOrthogonal5 ? 5 : 10;
+    const data::SyntheticSpec spec = fuzz_spec(meta);
+    ShardSynthesizer synth(spec, het, meta.uniform_int(1u << 30), 40, 12);
+    std::vector<std::vector<std::int64_t>> cluster_classes(clusters);
+    for (std::size_t k = 0; k < 40; ++k) {
+      auto hist = synth.label_histogram(k);
+      auto& seen = cluster_classes[k % clusters];
+      if (seen.empty()) {
+        seen = hist;  // first member defines the cluster's support
+        continue;
+      }
+      for (std::size_t c = 0; c < hist.size(); ++c) {
+        if (hist[c] > 0) {
+          EXPECT_GT(seen[c], 0)
+              << "client " << k << " drew class " << c
+              << " outside its cluster's class group";
+        }
+      }
+    }
+    // Disjointness across clusters.
+    for (std::size_t a = 0; a < clusters; ++a) {
+      for (std::size_t b = a + 1; b < clusters; ++b) {
+        for (std::size_t c = 0; c < cluster_classes[a].size(); ++c) {
+          EXPECT_FALSE(cluster_classes[a][c] > 0 && cluster_classes[b][c] > 0)
+              << "clusters " << a << " and " << b << " share class " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(VirtualShardPropertyTest, WireRoundTripRebuildsIdenticalShards) {
+  // The socket path: a worker rebuilds its synthesizer from the Setup
+  // message alone. Serialize the config through the real protocol and the
+  // shards on the "remote" side must match bit for bit.
+  Rng meta(0x50CCE7);
+  for (int trial = 0; trial < 8; ++trial) {
+    fl::ExperimentConfig cfg;
+    cfg.seed = meta.uniform_int(1u << 30);
+    cfg.num_clients = 2 + meta.uniform_int(60);
+    cfg.client_data = "virtual";
+    cfg.shard_samples = 1 + meta.uniform_int(5);
+    cfg.heterogeneity = fuzz_het(meta);
+
+    net::SetupMsg msg;
+    msg.method = "FedAvg";
+    msg.config = cfg;
+    msg.num_workers = 2;
+    const auto bytes = net::serialize_setup(msg);
+    const auto parsed = net::parse_setup(bytes.data(), bytes.size());
+
+    const data::SyntheticSpec spec =
+        data::spec_by_name(cfg.dataset, cfg.data_scale);
+    ShardSynthesizer local(spec, cfg.heterogeneity, cfg.seed,
+                           cfg.num_clients, cfg.shard_samples);
+    ShardSynthesizer remote(
+        data::spec_by_name(parsed.config.dataset, parsed.config.data_scale),
+        parsed.config.heterogeneity, parsed.config.seed,
+        parsed.config.num_clients, parsed.config.shard_samples);
+    const std::size_t k = meta.uniform_int(cfg.num_clients);
+    expect_same_shard(local.make_shard(k), remote.make_shard(k),
+                      "wire round trip, client " + std::to_string(k));
+  }
+}
+
+TEST(VirtualShardPropertyTest, ConstructorValidates) {
+  data::SyntheticSpec spec;
+  EXPECT_THROW(ShardSynthesizer(spec, data::Heterogeneity::kIID, 1, 10, 0),
+               std::invalid_argument);
+  spec.classes = 4;  // fewer classes than Orthogonal-5 clusters
+  EXPECT_THROW(
+      ShardSynthesizer(spec, data::Heterogeneity::kOrthogonal5, 1, 10, 5),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -62,6 +62,12 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   EXPECT_EQ(setup.config.num_clients, 4u);
   EXPECT_EQ(setup.config.comm.uplink, "ef+topk");
   EXPECT_EQ(setup.worker_index, 1u);
+  // Client-data block (protocol v4).
+  EXPECT_EQ(setup.config.client_data, "virtual");
+  EXPECT_EQ(setup.config.shard_samples, 24u);
+  EXPECT_EQ(setup.config.virtual_chunk, 16u);
+  EXPECT_FALSE(setup.config.track_participation);
+  EXPECT_FALSE(setup.config.partition_stats);
   // Elastic-coordinator block (protocol v3).
   EXPECT_TRUE(setup.elastic);
   EXPECT_DOUBLE_EQ(setup.heartbeat_interval_s, 0.25);

@@ -60,9 +60,7 @@ fl::RunResult run_deadline(const fl::ExperimentConfig& base,
 }
 
 std::size_t total_participation(const fl::RunResult& r) {
-  std::size_t total = 0;
-  for (std::size_t c : r.participation) total += c;
-  return total;
+  return r.participation.total();
 }
 
 TEST(DeadlineAvailabilityTest, SkippingDoomedDispatchesSavesBroadcasts) {

@@ -362,14 +362,13 @@ TEST(SchedPolicyTest, FastKStarvesComputeStragglers) {
   p.lr = cfg.lr;
   fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
   const auto result = sim.run();
-  ASSERT_EQ(result.participation.size(), cfg.num_clients);
   std::size_t slow_part = 0, fast_part = 0, n_slow = 0;
   for (std::size_t c = 0; c < cfg.num_clients; ++c) {
     if (sim.compute().speed_factor(c) > 1.0) {
-      slow_part += result.participation[c];
+      slow_part += result.participation.count(c);
       ++n_slow;
     } else {
-      fast_part += result.participation[c];
+      fast_part += result.participation.count(c);
     }
   }
   ASSERT_EQ(n_slow, 2u);

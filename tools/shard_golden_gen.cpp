@@ -1,0 +1,31 @@
+// shard_golden_gen: (re)writes the golden shard-stream fixture at
+// tests/data/shards/shard_streams.txt. Run after an *intentional* change
+// to the shard RNG stream tree and commit the output;
+// tests/clients/shard_golden_test.cpp fails the build whenever the
+// committed text and src/clients/shard_golden.cpp disagree.
+//
+// Usage: shard_golden_gen [OUTFILE]   (default: tests/data/shards/
+//                                      shard_streams.txt)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "clients/shard_golden.h"
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : fedtrip::clients::golden::kFixturePath;
+  const std::string text = fedtrip::clients::golden::shard_stream_fixture();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for write\n", path.c_str());
+    return 1;
+  }
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "write failed: %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+  return 0;
+}
