@@ -63,6 +63,11 @@ std::vector<Regime> regimes(const bench::BenchOptions& opt) {
   comm_bound.cfg.model.arch = nn::Arch::kCNN;  // ~20x the MLP's |w|
   comm_bound.cfg.data_scale = opt.scale > 0.0 ? opt.scale : 0.01;
   comm_bound.cfg.local_epochs = 1;
+  // A sparsifying downlink: every dispatched snapshot is the post-decode
+  // sparse vector, which is the regime where the socket wire codec below
+  // can losslessly shrink dispatch frames.
+  comm_bound.cfg.comm.downlink = "topk";
+  comm_bound.cfg.comm.params.topk_fraction = 0.05f;
   return {train_bound, comm_bound};
 }
 
@@ -75,8 +80,14 @@ double run_in_process(const fl::ExperimentConfig& cfg) {
       .count();
 }
 
-double run_distributed(const fl::ExperimentConfig& cfg,
-                       std::size_t num_workers) {
+struct DistRun {
+  double seconds = 0.0;
+  net::NetHost::Traffic traffic;
+};
+
+DistRun run_distributed(const fl::ExperimentConfig& cfg,
+                        std::size_t num_workers,
+                        const char* method = "FedTrip") {
   net::Listener listener(0);
   const std::uint16_t port = listener.port();
   std::vector<std::thread> workers;
@@ -95,9 +106,9 @@ double run_distributed(const fl::ExperimentConfig& cfg,
   }
 
   algorithms::AlgoParams p;
-  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
   net::SetupMsg setup;
-  setup.method = "FedTrip";
+  setup.method = method;
   setup.algo = p;
   setup.config = cfg;
   auto pool =
@@ -109,12 +120,14 @@ double run_distributed(const fl::ExperimentConfig& cfg,
     host.emplace(inner, pool);
     return *host;
   });
-  const double s =
+  DistRun out;
+  out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  out.traffic = host->traffic();
   pool.shutdown();
   for (auto& w : workers) w.join();
-  return s;
+  return out;
 }
 
 struct Row {
@@ -147,7 +160,7 @@ int main(int argc, char** argv) {
     for (std::size_t n : counts) {
       const char* label = n == 1 ? "1 worker" : (n == 2 ? "2 workers"
                                                         : "4 workers");
-      rows.push_back({label, n, run_distributed(regime.cfg, n)});
+      rows.push_back({label, n, run_distributed(regime.cfg, n).seconds});
     }
     const double one_worker = rows[1].seconds;
     for (const auto& r : rows) {
@@ -156,6 +169,36 @@ int main(int argc, char** argv) {
     }
     results.emplace_back(regime.name, std::move(rows));
   }
+
+  // Wire-codec characterization: the comm-bound regime again, 2 workers,
+  // with the raw socket path vs the Setup-negotiated topk wire codec. The
+  // dispatched snapshots are sparse (topk downlink), so the codec ships
+  // them losslessly in a fraction of the raw bytes — same results on the
+  // wire (the equivalence suites pin that). FedAvg isolates the transport:
+  // FedTrip would attach each client's dense history vector to every
+  // dispatch, measuring the algorithm's payload mix rather than the codec.
+  fl::ExperimentConfig wc_cfg = regimes(opt)[1].cfg;
+  const std::size_t wc_workers = 2;
+  wc_cfg.net.wire_codec = "identity";
+  const DistRun raw_run = run_distributed(wc_cfg, wc_workers, "FedAvg");
+  wc_cfg.net.wire_codec = "topk";
+  const DistRun codec_run = run_distributed(wc_cfg, wc_workers, "FedAvg");
+
+  const auto per_dispatch = [](const DistRun& r) {
+    return r.traffic.dispatch_frames == 0
+               ? 0.0
+               : static_cast<double>(r.traffic.down.wire_bytes) /
+                     static_cast<double>(r.traffic.dispatch_frames);
+  };
+  const double raw_pd = per_dispatch(raw_run);
+  const double codec_pd = per_dispatch(codec_run);
+  std::printf("\n-- comm-bound wire codec (%zu workers) --\n", wc_workers);
+  std::printf("%-14s %10s %22s %12s\n", "wire codec", "seconds",
+              "down bytes/dispatch", "reduction");
+  std::printf("%-14s %9.2fs %21.0f %11.2fx\n", "identity", raw_run.seconds,
+              raw_pd, 1.0);
+  std::printf("%-14s %9.2fs %21.0f %11.2fx\n", "topk", codec_run.seconds,
+              codec_pd, codec_pd > 0.0 ? raw_pd / codec_pd : 0.0);
 
   if (opt.json) {
     const std::string path =
@@ -167,7 +210,14 @@ int main(int argc, char** argv) {
     }
     bench::JsonWriter j(f);
     j.begin_object();
-    j.field("bench", "distributed");
+    j.field("bench", "bench_distributed");
+    j.field("schema_version", std::size_t{1});
+    j.begin_object("config");
+    const fl::ExperimentConfig& cfg0 = regimes(opt)[0].cfg;
+    j.field("rounds", cfg0.rounds);
+    j.field("clients", cfg0.num_clients);
+    j.field("per_round", cfg0.clients_per_round);
+    j.end_object();
     j.begin_array("regimes");
     for (const auto& [name, rows] : results) {
       j.begin_object();
@@ -186,7 +236,36 @@ int main(int argc, char** argv) {
       j.end_object();
     }
     j.end_array();
+    j.begin_object("wire_codec");
+    j.field("regime", "comm-bound");
+    j.field("workers", wc_workers);
+    const auto emit_run = [&](const char* name, const DistRun& r) {
+      j.begin_object(name);
+      j.field("seconds", r.seconds);
+      j.field("dispatch_frames", r.traffic.dispatch_frames);
+      j.field("down_raw_bytes", r.traffic.down.raw_bytes);
+      j.field("down_wire_bytes", r.traffic.down.wire_bytes);
+      j.field("down_wire_bytes_per_dispatch",
+              r.traffic.dispatch_frames == 0
+                  ? 0.0
+                  : static_cast<double>(r.traffic.down.wire_bytes) /
+                        static_cast<double>(r.traffic.dispatch_frames));
+      j.field("up_raw_bytes", r.traffic.up.raw_bytes);
+      j.field("up_wire_bytes", r.traffic.up.wire_bytes);
+      j.field("encoded_vecs", r.traffic.down.encoded_vecs +
+                                  r.traffic.up.encoded_vecs);
+      j.end_object();
+    };
+    emit_run("identity", raw_run);
+    emit_run("topk", codec_run);
+    j.field("down_bytes_reduction",
+            codec_run.traffic.down.wire_bytes == 0
+                ? 0.0
+                : static_cast<double>(raw_run.traffic.down.wire_bytes) /
+                      static_cast<double>(codec_run.traffic.down.wire_bytes));
     j.end_object();
+    j.end_object();
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("\nJSON written to %s\n", path.c_str());
   }

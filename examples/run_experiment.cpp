@@ -20,10 +20,13 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "algorithms/registry.h"
+#include "comm/registry.h"
 #include "data/idx_loader.h"
+#include "fl/aggregator.h"
 #include "fl/checkpoint.h"
 #include "fl/flags.h"
 #include "fl/metrics.h"
@@ -220,6 +223,26 @@ int main(int argc, char** argv) {
        [&](const char* v) { heartbeat_interval_s = std::atof(v); }},
       {"--worker-deadline",
        [&](const char* v) { elastic_cfg.worker_deadline_s = std::atof(v); }},
+      {"--wire-codec",
+       [&](const char* v) {
+         // Fail at parse time, not at the first worker handshake.
+         try {
+           (void)comm::make_compressor(v, cfg.comm.params);
+         } catch (const std::invalid_argument& e) {
+           std::fprintf(stderr, "--wire-codec: %s\n", e.what());
+           std::exit(2);
+         }
+         cfg.net.wire_codec = v;
+       }},
+      {"--aggregator",
+       [&](const char* v) {
+         try {
+           fl::set_default_aggregator(v);
+         } catch (const std::invalid_argument& e) {
+           std::fprintf(stderr, "--aggregator: %s\n", e.what());
+           std::exit(2);
+         }
+       }},
       {"--obs", [&](const char*) { cfg.obs.enabled = true; }},
       {"--trace-out",
        [&](const char* v) {

@@ -1,0 +1,133 @@
+#include "fl/aggregator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/vec_math.h"
+
+namespace fedtrip::fl {
+
+namespace {
+
+void check_shapes(std::span<float> out, std::span<const float> weights,
+                  std::span<const std::span<const float>> parts) {
+  assert(weights.size() == parts.size());
+  (void)weights;
+  for ([[maybe_unused]] const auto& p : parts) {
+    assert(p.size() == out.size());
+  }
+  (void)out;
+}
+
+class ScalarAggregator final : public Aggregator {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void weighted_sum(
+      std::span<float> out, std::span<const float> weights,
+      std::span<const std::span<const float>> parts) const override {
+    check_shapes(out, weights, parts);
+    vec::zero(out);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      vec::accumulate_weighted(out, weights[i], parts[i]);
+    }
+  }
+};
+
+class BlockedAggregator final : public Aggregator {
+ public:
+  const char* name() const override { return "blocked"; }
+
+  void weighted_sum(
+      std::span<float> out, std::span<const float> weights,
+      std::span<const std::span<const float>> parts) const override {
+    check_shapes(out, weights, parts);
+    // First call runs both kernels and compares bitwise; a mismatch
+    // (broken vectorization, unexpected contraction) demotes this backend
+    // to the scalar reference for the rest of the process.
+    int state = state_.load(std::memory_order_acquire);
+    if (state == kUnchecked) {
+      state = self_check(out, weights, parts);
+      state_.store(state, std::memory_order_release);
+      if (state == kChecked) return;  // self_check already filled `out`
+    }
+    if (state == kFallback) {
+      ScalarAggregator{}.weighted_sum(out, weights, parts);
+      return;
+    }
+    kernel(out, weights, parts);
+  }
+
+ private:
+  /// Output floats per tile: 16 KiB — resident in any L1 while every
+  /// update's slice streams through once.
+  static constexpr std::size_t kTile = 4096;
+
+  static void kernel(std::span<float> out, std::span<const float> weights,
+                     std::span<const std::span<const float>> parts) {
+    const std::size_t n = out.size();
+    float* const o = out.data();
+    for (std::size_t start = 0; start < n; start += kTile) {
+      const std::size_t len = std::min(kTile, n - start);
+      std::memset(o + start, 0, len * sizeof(float));
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        const float w = weights[i];
+        const float* const x = parts[i].data() + start;
+        // Per coordinate this applies update i with the same expression
+        // and in the same order as the scalar axpy pass — the bit-identity
+        // contract in the header.
+        for (std::size_t j = 0; j < len; ++j) o[start + j] += w * x[j];
+      }
+    }
+  }
+
+  enum State : int { kUnchecked = 0, kChecked = 1, kFallback = 2 };
+
+  static int self_check(std::span<float> out,
+                        std::span<const float> weights,
+                        std::span<const std::span<const float>> parts) {
+    std::vector<float> reference(out.size());
+    ScalarAggregator{}.weighted_sum(reference, weights, parts);
+    kernel(out, weights, parts);
+    if (out.empty() ||
+        std::memcmp(out.data(), reference.data(),
+                    out.size() * sizeof(float)) == 0) {
+      return kChecked;
+    }
+    std::fprintf(stderr,
+                 "fedtrip: blocked aggregator failed its bitwise self-check;"
+                 " falling back to the scalar reference\n");
+    std::memcpy(out.data(), reference.data(), out.size() * sizeof(float));
+    return kFallback;
+  }
+
+  mutable std::atomic<int> state_{kUnchecked};
+};
+
+ScalarAggregator g_scalar;
+BlockedAggregator g_blocked;
+std::atomic<const Aggregator*> g_default{&g_blocked};
+
+}  // namespace
+
+const Aggregator& get_aggregator(const std::string& name) {
+  if (name == "scalar") return g_scalar;
+  if (name == "blocked" || name == "auto") return g_blocked;
+  throw std::invalid_argument("unknown aggregator '" + name +
+                              "' (expected scalar, blocked or auto)");
+}
+
+const Aggregator& default_aggregator() {
+  return *g_default.load(std::memory_order_acquire);
+}
+
+void set_default_aggregator(const std::string& name) {
+  g_default.store(&get_aggregator(name), std::memory_order_release);
+}
+
+}  // namespace fedtrip::fl

@@ -1,0 +1,54 @@
+// Aggregator: pluggable backends for the server's weighted sum (Eq 2).
+//
+// The aggregation step — global = sum_i rho_i * w_i over the round's
+// updates — is the coordinator's hottest flat-buffer loop once training
+// is farmed out to workers. Two backends implement it:
+//
+//   * "scalar"  — the reference: vec::zero + one vec::axpy pass per
+//     update, exactly the legacy FederatedAlgorithm::aggregate loop.
+//   * "blocked" — a cache-tiled kernel: the output is processed in
+//     L1-resident tiles and every update's slice of the tile is
+//     accumulated before moving on, so each output float is written once
+//     from registers instead of |updates| times from memory, and the
+//     contiguous inner loop auto-vectorizes.
+//
+// Bit-identity is the contract, not a hope: for every coordinate j the
+// blocked kernel applies the updates in the same order with the same
+// `out[j] += w * x[j]` expression as the scalar pass, so the float result
+// is identical — and the blocked backend *proves* it at runtime by
+// re-running its first call through the scalar path and comparing
+// bitwise (falling back to scalar permanently on any mismatch, e.g. a
+// miscompiled kernel). tests/fl/aggregator_test.cpp pins the equivalence
+// over adversarial sizes; the end-to-end equivalence suites pin it over
+// whole runs.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace fedtrip::fl {
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual const char* name() const = 0;
+
+  /// out = sum_i weights[i] * parts[i]. Every part must have out's size;
+  /// parts must not alias out. `out`'s previous content is discarded.
+  virtual void weighted_sum(
+      std::span<float> out, std::span<const float> weights,
+      std::span<const std::span<const float>> parts) const = 0;
+};
+
+/// Registry lookup: "scalar", "blocked", or "auto" (the blocked kernel,
+/// which self-checks on first use). Returned references are process-wide
+/// singletons. Throws std::invalid_argument on unknown names.
+const Aggregator& get_aggregator(const std::string& name);
+
+/// The backend FederatedAlgorithm::aggregate routes through. Defaults to
+/// "auto"; set_default_aggregator (the --aggregator flag) replaces it —
+/// call before the run starts, not mid-round.
+const Aggregator& default_aggregator();
+void set_default_aggregator(const std::string& name);
+
+}  // namespace fedtrip::fl

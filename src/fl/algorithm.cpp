@@ -1,7 +1,9 @@
 #include "fl/algorithm.h"
 
 #include <cassert>
+#include <span>
 
+#include "fl/aggregator.h"
 #include "tensor/vec_math.h"
 
 namespace fedtrip::fl {
@@ -43,10 +45,10 @@ void FederatedAlgorithm::aggregate(std::vector<float>& global,
                                    const std::vector<ClientUpdate>& updates,
                                    std::size_t /*round*/) {
   const auto rho = aggregation_weights(updates);
-  vec::zero(global);
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    vec::accumulate_weighted(global, rho[i], updates[i].params);
-  }
+  std::vector<std::span<const float>> parts;
+  parts.reserve(updates.size());
+  for (const auto& u : updates) parts.emplace_back(u.params);
+  default_aggregator().weighted_sum(global, rho, parts);
 }
 
 }  // namespace fedtrip::fl

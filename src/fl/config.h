@@ -10,6 +10,7 @@
 #include "clients/config.h"
 #include "comm/config.h"
 #include "data/partition.h"
+#include "net/config.h"
 #include "nn/models.h"
 #include "obs/config.h"
 #include "sched/config.h"
@@ -85,6 +86,11 @@ struct ExperimentConfig {
   /// null-pointer check; enabling it never changes CSV/params/byte
   /// accounting (docs/OBSERVABILITY.md).
   obs::ObsConfig obs;
+
+  /// Socket transport: wire codec for distributed runs. Default (identity)
+  /// keeps the legacy byte stream; any other codec compresses real socket
+  /// traffic without changing results (docs/TRANSPORT.md).
+  net::NetConfig net;
 };
 
 }  // namespace fedtrip::fl

@@ -106,6 +106,15 @@ const std::vector<FlagSpec>& experiment_flags() {
        "elastic: wall seconds between worker heartbeats (default 0.25)"},
       {"--worker-deadline", "X",
        "elastic: evict a worker silent for X wall seconds (default 10)"},
+      {"--wire-codec", "NAME",
+       "socket wire codec for dispatch/result traffic: identity|topk|"
+       "qsgd|qsgd8|qsgd4|randmask (default identity). Verify-and-fallback: "
+       "a vector ships encoded only when the receiver reconstructs it "
+       "bit-exactly AND it is smaller, so results never change"},
+      {"--aggregator", "NAME",
+       "server aggregation backend: scalar|blocked|auto (default auto; "
+       "blocked is the cache-tiled vectorized kernel, bitwise-identical "
+       "to scalar and self-checked at runtime)"},
       // Observability (docs/OBSERVABILITY.md).
       {"--obs", nullptr,
        "enable tracing + metrics collection (virtual/wall spans, counters); "

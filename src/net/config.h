@@ -1,0 +1,23 @@
+// NetConfig: socket-transport tuning. These knobs change how bytes move
+// between coordinator and worker processes — never what any simulation
+// computes. The simulated channel (comm::CommConfig) keeps its own exact
+// byte accounting; NetConfig is about the real sockets underneath it.
+#pragma once
+
+#include <string>
+
+namespace fedtrip::net {
+
+struct NetConfig {
+  /// Codec applied to float payloads (model snapshots, trained updates,
+  /// history entries) at the socket boundary — any name the comm registry
+  /// knows ("identity" | "topk" | "qsgd" | "qsgd8" | "qsgd4" | "randmask").
+  /// "identity" disables the envelope entirely: the byte stream is the
+  /// legacy layout, bit for bit. Any other codec runs verify-and-fallback
+  /// per vector (net/wirecodec.h): a vector ships encoded only when the
+  /// round-trip is bit-exact and smaller, so results are identical to an
+  /// uncompressed run by construction. Negotiated in Setup (protocol v5).
+  std::string wire_codec = "identity";
+};
+
+}  // namespace fedtrip::net

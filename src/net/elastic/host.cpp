@@ -160,6 +160,7 @@ std::vector<fl::ClientUpdate> ElasticHost::train(
     requeue_orphans(jt.evict_worker(w));
   };
 
+  const WireCodec* const wc = pool_.wire_codec();
   auto ship = [&](std::size_t w) {
     Outstanding o;
     o.seq = ++batch_seq_;
@@ -177,18 +178,28 @@ std::vector<fl::ClientUpdate> ElasticHost::train(
       msg.dispatches.push_back(std::move(wd));
       o.jobs.push_back(j);
     }
-    std::vector<std::uint8_t> bytes;
+    // Scatter-gather emission with the Setup-negotiated wire codec — the
+    // same fast path as NetHost::train (msg outlives the send; the
+    // borrowed segments alias it).
+    SegmentWriter segs;
+    WireStats ws;
     {
       obs::ScopedTimer t(tr, "wire.serialize");
-      bytes = serialize_dispatch_batch(msg);
+      dispatch_batch_segments(msg, wc, &ws, segs);
     }
     try {
-      send_frame(pool_.worker(w), wire::RecordType::kNetDispatch, 0, bytes,
-                 tr);
+      send_frame_segments(pool_.worker(w), wire::RecordType::kNetDispatch,
+                          wc->tag(), segs, tr);
     } catch (const NetError&) {
       // The popped jobs are in flight on w; eviction requeues them.
       evict(w, EvictReason::kDisconnected);
       return;
+    }
+    ++stats_.dispatch_frames;
+    stats_.down += ws;
+    if (tr && wc->active()) {
+      tr->count("net.wire.down.raw_bytes", ws.raw_bytes);
+      tr->count("net.wire.down.wire_bytes", ws.wire_bytes);
     }
     out[w] = std::move(o);
     ++stats_.sub_batches;
@@ -239,12 +250,19 @@ std::vector<fl::ClientUpdate> ElasticHost::train(
       }
       case wire::RecordType::kNetResult: {
         TrainResultMsg result;
+        WireStats ws;
         try {
           obs::ScopedTimer t(tr, "wire.deserialize");
-          result = parse_train_result(f.payload.data(), f.payload.size());
+          result =
+              parse_train_result(f.payload.data(), f.payload.size(), wc, &ws);
         } catch (const wire::WireError&) {
           evict(w, EvictReason::kProtocolViolation);
           return;
+        }
+        stats_.up += ws;
+        if (tr && wc->active()) {
+          tr->count("net.wire.up.raw_bytes", ws.raw_bytes);
+          tr->count("net.wire.up.wire_bytes", ws.wire_bytes);
         }
         if (out[w].seq == 0 || result.batch_seq != out[w].seq ||
             result.updates.size() != out[w].jobs.size()) {

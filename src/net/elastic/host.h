@@ -68,6 +68,10 @@ struct ElasticStats {
   std::uint64_t rejoined_workers = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t duplicate_results = 0;  // replay-idempotence hits
+  // Socket traffic (mirrors the net.wire.* counters; NetHost::Traffic).
+  std::uint64_t dispatch_frames = 0;
+  WireStats down;  // coordinator -> worker
+  WireStats up;    // worker -> coordinator
 };
 
 class ElasticHost final : public sched::Host {

@@ -17,6 +17,16 @@ ElasticPool::~ElasticPool() {
   }
 }
 
+void ElasticPool::init_wire_codec() {
+  try {
+    wire_codec_ = std::make_shared<const WireCodec>(
+        setup_.config.net.wire_codec, setup_.config.comm.params,
+        setup_.config.seed);
+  } catch (const std::invalid_argument& e) {
+    throw NetError(std::string("bad wire codec: ") + e.what());
+  }
+}
+
 void ElasticPool::admit_slot(Socket conn, const std::string& label) {
   const std::size_t slot = conns_.size();
   run_worker_handshake(conn, label, setup_,
@@ -37,6 +47,7 @@ ElasticPool ElasticPool::adopt(std::vector<Socket> conns, SetupMsg setup,
   setup.elastic = true;
   setup.rejoin_port = pool.listener_.port();
   pool.setup_ = std::move(setup);
+  pool.init_wire_codec();
   const std::size_t n = conns.size();
   for (std::size_t i = 0; i < n; ++i) {
     pool.admit_slot(std::move(conns[i]),
@@ -56,6 +67,7 @@ ElasticPool ElasticPool::spawn_local(std::size_t n,
   setup.elastic = true;
   setup.rejoin_port = pool.listener_.port();
   pool.setup_ = std::move(setup);
+  pool.init_wire_codec();
 
   // The children dial the pool's own listener — the same door rejoiners
   // use later, so a chaos-dropped child can come straight back.
@@ -86,6 +98,7 @@ ElasticPool ElasticPool::connect(const std::vector<Endpoint>& endpoints,
   setup.elastic = true;
   setup.rejoin_port = pool.listener_.port();
   pool.setup_ = std::move(setup);
+  pool.init_wire_codec();
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     const auto& ep = endpoints[i];
     Socket conn = connect_to(ep.host, ep.port);

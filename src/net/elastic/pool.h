@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,11 @@ class ElasticPool {
   /// slot index stays valid and permanently disconnected.
   void disconnect(std::size_t i) { conns_[i].close(); }
 
+  /// The wire codec every session negotiated in Setup (protocol v5);
+  /// rejoiners handshake with the retained Setup, so it covers them too.
+  /// Never null; inactive for the identity codec.
+  const WireCodec* wire_codec() const { return wire_codec_.get(); }
+
   /// The rejoin door's port (shipped to workers in Setup).
   std::uint16_t rejoin_port() const { return listener_.port(); }
   /// The listener's fd, for the host's poll set.
@@ -89,8 +95,11 @@ class ElasticPool {
   ElasticPool() : listener_(0) {}
 
   void admit_slot(Socket conn, const std::string& label);
+  /// Builds wire_codec_ from setup_ (call after setup_ is assigned).
+  void init_wire_codec();
 
   SetupMsg setup_;  // retained for rejoin handshakes (indices re-stamped)
+  std::shared_ptr<const WireCodec> wire_codec_;
   std::size_t expected_dim_ = 0;
   std::uint32_t num_initial_ = 0;
   Listener listener_;

@@ -57,6 +57,31 @@ void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
   }
 }
 
+void send_frame_segments(Socket& sock, wire::RecordType type,
+                         std::uint32_t aux, SegmentWriter& payload,
+                         obs::Tracer* tracer) {
+  const std::vector<ByteSegment>& segs = payload.segments();
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  if (total > kMaxFramePayload) {
+    throw NetError("refusing to send a " + std::to_string(total) +
+                   "-byte frame (type " +
+                   std::to_string(static_cast<std::uint32_t>(type)) +
+                   "): exceeds the " + std::to_string(kMaxFramePayload) +
+                   "-byte frame cap");
+  }
+  const auto header = encode_frame_header(type, aux, total);
+  std::vector<ByteSegment> all;
+  all.reserve(segs.size() + 1);
+  all.push_back(ByteSegment{header.data(), header.size()});
+  all.insert(all.end(), segs.begin(), segs.end());
+  sock.send_segments(all.data(), all.size());
+  if (tracer != nullptr) {
+    tracer->count("net.frames_sent");
+    tracer->count("net.bytes_sent", header.size() + total);
+  }
+}
+
 Frame recv_frame(Socket& sock, const char* peer, bool eof_ok,
                  obs::Tracer* tracer) {
   std::uint8_t header[wire::kRecordHeaderBytes];

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/error.h"
+#include "net/segments.h"
 #include "net/socket.h"
 #include "wire/container.h"
 
@@ -58,6 +59,15 @@ FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t size);
 void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
                 const std::vector<std::uint8_t>& payload,
                 obs::Tracer* tracer = nullptr);
+
+/// Writes one frame whose payload is the concatenation of `payload`'s
+/// segments, gathered with Socket::send_segments — header and payload go
+/// out in one scatter-gather send with no flattening copy. The byte
+/// stream is identical to send_frame over the flattened payload; same
+/// cap, same counters.
+void send_frame_segments(Socket& sock, wire::RecordType type,
+                         std::uint32_t aux, SegmentWriter& payload,
+                         obs::Tracer* tracer = nullptr);
 
 /// Reads one frame. Throws NetError on disconnect, truncation, or an
 /// oversize length; `peer` labels the diagnostic ("worker 1"). When

@@ -41,6 +41,9 @@ SetupMsg canonical_setup() {
   m.elastic = true;
   m.heartbeat_interval_s = 0.25;
   m.rejoin_port = 45454;
+  // Socket-transport block (protocol v5): a non-default wire codec so the
+  // fixture pins the trailer's position and the codec-framed records below.
+  m.config.net.wire_codec = "topk";
   return m;
 }
 
@@ -84,6 +87,33 @@ DispatchBatchMsg canonical_batch() {
   return b;
 }
 
+// A batch shaped to pin both wire-codec envelope modes: param set 0 and
+// the history vector are sparse (nnz <= k, losslessly encodable -> mode 1),
+// param set 1 is dense (falls back to mode 0).
+DispatchBatchMsg canonical_codec_batch() {
+  DispatchBatchMsg b;
+  b.batch_seq = 2;
+  b.param_sets = {{0.0f, 0.0f, 3.5f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f},
+                  {0.25f, -0.25f, 0.5f, -0.5f, 0.75f, -0.75f, 1.0f, -1.0f}};
+  WireDispatch d0;
+  d0.seq = 3;
+  d0.client_id = 0;
+  d0.round = 2;
+  d0.train_key = 0x200000;
+  d0.param_set = 0;
+  WireDispatch d1;
+  d1.seq = 4;
+  d1.client_id = 2;
+  d1.round = 2;
+  d1.train_key = 0x200002;
+  d1.param_set = 1;
+  d1.has_history = true;
+  d1.history_round = 1;
+  d1.history_params = {0.0f, 0.0f, 0.0f, -1.25f, 0.0f, 0.0f, 0.0f, 0.0f};
+  b.dispatches = {d0, d1};
+  return b;
+}
+
 TrainResultMsg canonical_result() {
   TrainResultMsg r;
   r.batch_seq = 1;
@@ -109,13 +139,18 @@ TrainResultMsg canonical_result() {
 }  // namespace
 
 wire::golden::Fixture session_fixture() {
+  const SetupMsg setup = canonical_setup();
+  // The Setup-negotiated wire codec (protocol v5): both peers build it
+  // from the same config, exactly as WorkerPool/Worker do.
+  const WireCodec wc(setup.config.net.wire_codec, setup.config.comm.params,
+                     setup.config.seed);
   std::vector<wire::Record> records;
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{4, 4})});
+                     serialize_hello(HelloMsg{5, 5})});
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{4, 4})});
+                     serialize_hello(HelloMsg{5, 5})});
   records.push_back(
-      {wire::RecordType::kNetSetup, 0, serialize_setup(canonical_setup())});
+      {wire::RecordType::kNetSetup, 0, serialize_setup(setup)});
   records.push_back({wire::RecordType::kNetSetupAck, 0,
                      serialize_setup_ack(SetupAckMsg{42})});
   records.push_back({wire::RecordType::kNetDispatch, 0,
@@ -126,6 +161,13 @@ wire::golden::Fixture session_fixture() {
                      serialize_heartbeat(HeartbeatMsg{5, 1})});
   records.push_back({wire::RecordType::kNetResult, 0,
                      serialize_train_result(canonical_result())});
+  // Codec-framed pair (protocol v5): record aux carries the codec tag so
+  // offline tools can decode without the Setup; the batch pins both
+  // envelope modes (sparse -> encoded, dense -> raw fallback).
+  records.push_back({wire::RecordType::kNetDispatch, wc.tag(),
+                     serialize_dispatch_batch(canonical_codec_batch(), &wc)});
+  records.push_back({wire::RecordType::kNetResult, wc.tag(),
+                     serialize_train_result(canonical_result(), &wc)});
   records.push_back({wire::RecordType::kNetStatsReq, 0, {}});
   records.push_back({wire::RecordType::kNetStats, 0,
                      obs::serialize_stats(canonical_stats())});

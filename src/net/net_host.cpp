@@ -101,16 +101,29 @@ std::vector<fl::ClientUpdate> NetHost::train(
   }
 
   // Ship every shard before collecting any result: the workers overlap
-  // their local training, which is the point of the exercise.
+  // their local training, which is the point of the exercise. Emission is
+  // scatter-gather: metadata chunks + borrowed snapshot spans go out in
+  // one gathered send, with no |w|-sized flattening copy; the wire codec
+  // (Setup-negotiated) compresses each float vector when that is lossless
+  // and smaller.
+  const WireCodec* const wc = pool_.wire_codec();
   for (std::size_t w = 0; w < n; ++w) {
     if (shards[w].msg.dispatches.empty()) continue;
     shards[w].msg.batch_seq = batch_seq_;
-    std::vector<std::uint8_t> bytes;
+    SegmentWriter segs;
+    WireStats ws;
     {
       obs::ScopedTimer t(tr, "wire.serialize");
-      bytes = serialize_dispatch_batch(shards[w].msg);
+      dispatch_batch_segments(shards[w].msg, wc, &ws, segs);
     }
-    send_frame(pool_.worker(w), wire::RecordType::kNetDispatch, 0, bytes, tr);
+    send_frame_segments(pool_.worker(w), wire::RecordType::kNetDispatch,
+                        wc->tag(), segs, tr);
+    ++traffic_.dispatch_frames;
+    traffic_.down += ws;
+    if (tr != nullptr && wc->active()) {
+      tr->count("net.wire.down.raw_bytes", ws.raw_bytes);
+      tr->count("net.wire.down.wire_bytes", ws.wire_bytes);
+    }
   }
 
   std::vector<fl::ClientUpdate> updates(batch.size());
@@ -129,15 +142,22 @@ std::vector<fl::ClientUpdate> NetHost::train(
                      std::to_string(static_cast<std::uint32_t>(f.type)));
     }
     TrainResultMsg result;
+    WireStats ws;
     try {
       obs::ScopedTimer t(tr, "wire.deserialize");
-      result = parse_train_result(f.payload.data(), f.payload.size());
+      result = parse_train_result(f.payload.data(), f.payload.size(), wc,
+                                  &ws);
     } catch (const wire::WireError& e) {
       // Transport-facing contract: everything a bad peer can cause
       // surfaces as NetError with the worker named (a malformed payload
       // inside a well-formed frame included).
       throw NetError(label + " returned a malformed train result: " +
                      e.what());
+    }
+    traffic_.up += ws;
+    if (tr != nullptr && wc->active()) {
+      tr->count("net.wire.up.raw_bytes", ws.raw_bytes);
+      tr->count("net.wire.up.wire_bytes", ws.wire_bytes);
     }
     if (result.batch_seq != batch_seq_) {
       throw NetError(label + " answered batch " +

@@ -63,10 +63,21 @@ class NetHost final : public sched::Host {
   std::vector<fl::ClientUpdate> train(
       const std::vector<sched::Dispatch>& batch) override;
 
+  /// Per-direction socket traffic accounting accumulated across train()
+  /// calls (the same numbers the net.wire.* counters report; exposed as a
+  /// struct so bench_distributed can emit them without a Tracer).
+  struct Traffic {
+    std::uint64_t dispatch_frames = 0;
+    WireStats down;  // coordinator -> worker (dispatch batches)
+    WireStats up;    // worker -> coordinator (train results)
+  };
+  const Traffic& traffic() const { return traffic_; }
+
  private:
   fl::RoundHost& inner_;
   WorkerPool& pool_;
   std::uint64_t batch_seq_ = 0;
+  Traffic traffic_;
 };
 
 }  // namespace fedtrip::net

@@ -74,6 +74,13 @@ WorkerPool::~WorkerPool() {
 WorkerPool WorkerPool::handshake(std::vector<Socket> conns, SetupMsg setup,
                                  std::size_t expected_dim) {
   WorkerPool pool;
+  try {
+    pool.wire_codec_ = std::make_shared<const WireCodec>(
+        setup.config.net.wire_codec, setup.config.comm.params,
+        setup.config.seed);
+  } catch (const std::invalid_argument& e) {
+    throw NetError(std::string("bad wire codec: ") + e.what());
+  }
   pool.conns_ = std::move(conns);
   const std::size_t n = pool.conns_.size();
   for (std::size_t i = 0; i < n; ++i) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,12 @@ class WorkerPool {
   /// Diagnostic label ("worker 1/2 (pid 4242)").
   const std::string& label(std::size_t i) const { return labels_[i]; }
 
+  /// The wire codec every session of this pool negotiated in Setup
+  /// (protocol v5) — built from the same SetupMsg the workers parsed, so
+  /// coordinator emit and worker parse can never disagree. Never null;
+  /// inactive for the identity codec.
+  const WireCodec* wire_codec() const { return wire_codec_.get(); }
+
   /// Collects every worker's accumulated stats (kNetStatsReq ->
   /// kNetStats, protocol v2), one TraceData per worker in pool order.
   /// Call before shutdown(); workers always answer (an empty report when
@@ -95,6 +102,7 @@ class WorkerPool {
   std::vector<Socket> conns_;
   std::vector<std::string> labels_;
   std::vector<int> child_pids_;  // spawn_local only
+  std::shared_ptr<const WireCodec> wire_codec_;
   bool shut_down_ = false;
 };
 

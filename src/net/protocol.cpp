@@ -1,7 +1,10 @@
 #include "net/protocol.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "comm/registry.h"
 
 namespace fedtrip::net {
 
@@ -46,6 +49,144 @@ std::vector<float> read_f32_vec(WireReader& r) {
   std::vector<float> v(static_cast<std::size_t>(n));
   for (auto& x : v) x = r.f32();
   return v;
+}
+
+std::vector<float> read_f32_vec_enveloped(WireReader& r, const WireCodec* wc,
+                                          WireStats* stats) {
+  if (wc == nullptr || !wc->active()) {
+    auto v = read_f32_vec(r);
+    if (stats != nullptr) {
+      stats->raw_bytes += 8 + 4 * v.size();
+      stats->wire_bytes += 8 + 4 * v.size();
+      ++stats->raw_vecs;
+    }
+    return v;
+  }
+  const std::uint8_t mode = r.u8();
+  if (mode > 1) {
+    throw WireError("wire-codec envelope mode must be 0 or 1, got " +
+                    std::to_string(mode));
+  }
+  if (mode == 0) {
+    auto v = read_f32_vec(r);
+    if (stats != nullptr) {
+      stats->raw_bytes += 8 + 4 * v.size();
+      stats->wire_bytes += 1 + 8 + 4 * v.size();
+      ++stats->raw_vecs;
+    }
+    return v;
+  }
+  const std::uint32_t len = r.u32();
+  if (len > r.remaining()) {
+    throw WireError("encoded vector length " + std::to_string(len) +
+                    " exceeds remaining buffer (" +
+                    std::to_string(r.remaining()) + ")");
+  }
+  std::vector<std::uint8_t> buf(len);
+  r.bytes(buf.data(), len);
+  auto v = wc->decode(buf.data(), buf.size());
+  if (stats != nullptr) {
+    stats->raw_bytes += 8 + 4 * v.size();
+    stats->wire_bytes += 1 + 4 + len;
+    ++stats->encoded_vecs;
+  }
+  return v;
+}
+
+// ---- sinks: the two emission backends every training-path serializer is
+// ---- written against exactly once. BufferSink materialises one
+// ---- contiguous buffer (the legacy path, still the reference for tests
+// ---- and tools); SegmentSink gathers borrowed float spans + owned
+// ---- metadata chunks for writev-style sends. Identical byte streams by
+// ---- construction.
+
+struct BufferSink {
+  WireWriter w;
+  void u8(std::uint8_t v) { w.u8(v); }
+  void u32(std::uint32_t v) { w.u32(v); }
+  void u64(std::uint64_t v) { w.u64(v); }
+  void f64(double v) { w.f64(v); }
+  void bytes(const void* d, std::size_t n) { w.bytes(d, n); }
+  void f32_array(const std::vector<float>& v) {
+    for (float x : v) w.f32(x);
+  }
+};
+
+struct SegmentSink {
+  SegmentWriter& s;
+  void u8(std::uint8_t v) { s.u8(v); }
+  void u32(std::uint32_t v) { s.u32(v); }
+  void u64(std::uint64_t v) { s.u64(v); }
+  void f64(double v) { s.f64(v); }
+  void bytes(const void* d, std::size_t n) { s.bytes(d, n); }
+  void f32_array(const std::vector<float>& v) { s.f32_array(v); }
+};
+
+template <class Sink>
+void emit_f32_vec(Sink& sink, const std::vector<float>& v,
+                  const WireCodec* wc, WireStats* stats) {
+  if (stats != nullptr) stats->raw_bytes += 8 + 4 * v.size();
+  if (wc != nullptr && wc->active()) {
+    WireCodec::EncodedVec enc = wc->encode(v);
+    if (enc.encoded) {
+      sink.u8(1);
+      sink.u32(static_cast<std::uint32_t>(enc.bytes.size()));
+      sink.bytes(enc.bytes.data(), enc.bytes.size());
+      if (stats != nullptr) {
+        stats->wire_bytes += 1 + 4 + enc.bytes.size();
+        ++stats->encoded_vecs;
+      }
+      return;
+    }
+    sink.u8(0);
+    if (stats != nullptr) {
+      stats->wire_bytes += 1 + 8 + 4 * v.size();
+      ++stats->raw_vecs;
+    }
+  } else if (stats != nullptr) {
+    stats->wire_bytes += 8 + 4 * v.size();
+    ++stats->raw_vecs;
+  }
+  sink.u64(v.size());
+  sink.f32_array(v);
+}
+
+template <class Sink>
+void emit_dispatch_batch(Sink& sink, const DispatchBatchMsg& m,
+                         const WireCodec* wc, WireStats* stats) {
+  sink.u64(m.batch_seq);
+  sink.u32(static_cast<std::uint32_t>(m.param_sets.size()));
+  for (const auto& p : m.param_sets) emit_f32_vec(sink, p, wc, stats);
+  sink.u32(static_cast<std::uint32_t>(m.dispatches.size()));
+  for (const auto& d : m.dispatches) {
+    sink.u64(d.seq);
+    sink.u64(d.client_id);
+    sink.u64(d.round);
+    sink.u64(d.train_key);
+    sink.u32(d.param_set);
+    sink.u8(d.has_history ? 1 : 0);
+    if (d.has_history) {
+      sink.u64(d.history_round);
+      emit_f32_vec(sink, d.history_params, wc, stats);
+    }
+  }
+}
+
+template <class Sink>
+void emit_train_result(Sink& sink, const TrainResultMsg& m,
+                       const WireCodec* wc, WireStats* stats) {
+  sink.u64(m.batch_seq);
+  sink.f64(m.pre_round_flops);
+  sink.u32(static_cast<std::uint32_t>(m.updates.size()));
+  for (const auto& u : m.updates) {
+    sink.u64(u.client_id);
+    sink.u64(u.num_samples);
+    sink.f64(u.train_loss);
+    sink.f64(u.flops);
+    sink.u64(u.extra_upload_floats);
+    emit_f32_vec(sink, u.params, wc, stats);
+    emit_f32_vec(sink, u.aux, wc, stats);
+  }
 }
 
 void write_bool(WireWriter& w, bool b) { w.u8(b ? 1 : 0); }
@@ -211,6 +352,10 @@ void write_config(WireWriter& w, const fl::ExperimentConfig& c) {
   w.u64(c.virtual_chunk);
   write_bool(w, c.track_participation);
   write_bool(w, c.partition_stats);
+  // Socket-transport block (protocol v5): the wire codec both peers will
+  // run on dispatch/result payloads. Part of the config so the worker's
+  // parse side and the coordinator's emit side can never disagree.
+  write_string(w, c.net.wire_codec);
 }
 
 fl::ExperimentConfig read_config(WireReader& r) {
@@ -243,6 +388,15 @@ fl::ExperimentConfig read_config(WireReader& r) {
   c.virtual_chunk = static_cast<std::size_t>(r.u64());
   c.track_participation = read_bool(r);
   c.partition_stats = read_bool(r);
+  c.net.wire_codec = read_string(r);
+  // Validate against the codec registry here, where every other enum-ish
+  // field is validated — a bad name is a malformed setup, not a crash
+  // three layers later when the first dispatch arrives.
+  try {
+    (void)comm::make_compressor(c.net.wire_codec, c.comm.params);
+  } catch (const std::invalid_argument& e) {
+    throw WireError(std::string("unknown wire codec in setup: ") + e.what());
+  }
   return c;
 }
 
@@ -374,37 +528,30 @@ SetupAckMsg parse_setup_ack(const std::uint8_t* data, std::size_t size) {
   return m;
 }
 
-std::vector<std::uint8_t> serialize_dispatch_batch(
-    const DispatchBatchMsg& m) {
-  WireWriter w;
-  w.u64(m.batch_seq);
-  w.u32(static_cast<std::uint32_t>(m.param_sets.size()));
-  for (const auto& p : m.param_sets) write_f32_vec(w, p);
-  w.u32(static_cast<std::uint32_t>(m.dispatches.size()));
-  for (const auto& d : m.dispatches) {
-    w.u64(d.seq);
-    w.u64(d.client_id);
-    w.u64(d.round);
-    w.u64(d.train_key);
-    w.u32(d.param_set);
-    write_bool(w, d.has_history);
-    if (d.has_history) {
-      w.u64(d.history_round);
-      write_f32_vec(w, d.history_params);
-    }
-  }
-  return w.take();
+std::vector<std::uint8_t> serialize_dispatch_batch(const DispatchBatchMsg& m,
+                                                   const WireCodec* wc,
+                                                   WireStats* stats) {
+  BufferSink sink;
+  emit_dispatch_batch(sink, m, wc, stats);
+  return sink.w.take();
+}
+
+void dispatch_batch_segments(const DispatchBatchMsg& m, const WireCodec* wc,
+                             WireStats* stats, SegmentWriter& out) {
+  SegmentSink sink{out};
+  emit_dispatch_batch(sink, m, wc, stats);
 }
 
 DispatchBatchMsg parse_dispatch_batch(const std::uint8_t* data,
-                                      std::size_t size) {
+                                      std::size_t size, const WireCodec* wc,
+                                      WireStats* stats) {
   WireReader r(data, size);
   DispatchBatchMsg m;
   m.batch_seq = r.u64();
   const std::uint32_t num_sets = r.u32();
   m.param_sets.reserve(std::min<std::size_t>(num_sets, 1024));
   for (std::uint32_t i = 0; i < num_sets; ++i) {
-    m.param_sets.push_back(read_f32_vec(r));
+    m.param_sets.push_back(read_f32_vec_enveloped(r, wc, stats));
   }
   const std::uint32_t num_dispatches = r.u32();
   m.dispatches.reserve(std::min<std::size_t>(num_dispatches, 1024));
@@ -423,7 +570,7 @@ DispatchBatchMsg parse_dispatch_batch(const std::uint8_t* data,
     d.has_history = read_bool(r);
     if (d.has_history) {
       d.history_round = r.u64();
-      d.history_params = read_f32_vec(r);
+      d.history_params = read_f32_vec_enveloped(r, wc, stats);
     }
     m.dispatches.push_back(std::move(d));
   }
@@ -431,25 +578,22 @@ DispatchBatchMsg parse_dispatch_batch(const std::uint8_t* data,
   return m;
 }
 
-std::vector<std::uint8_t> serialize_train_result(const TrainResultMsg& m) {
-  WireWriter w;
-  w.u64(m.batch_seq);
-  w.f64(m.pre_round_flops);
-  w.u32(static_cast<std::uint32_t>(m.updates.size()));
-  for (const auto& u : m.updates) {
-    w.u64(u.client_id);
-    w.u64(u.num_samples);
-    w.f64(u.train_loss);
-    w.f64(u.flops);
-    w.u64(u.extra_upload_floats);
-    write_f32_vec(w, u.params);
-    write_f32_vec(w, u.aux);
-  }
-  return w.take();
+std::vector<std::uint8_t> serialize_train_result(const TrainResultMsg& m,
+                                                 const WireCodec* wc,
+                                                 WireStats* stats) {
+  BufferSink sink;
+  emit_train_result(sink, m, wc, stats);
+  return sink.w.take();
 }
 
-TrainResultMsg parse_train_result(const std::uint8_t* data,
-                                  std::size_t size) {
+void train_result_segments(const TrainResultMsg& m, const WireCodec* wc,
+                           WireStats* stats, SegmentWriter& out) {
+  SegmentSink sink{out};
+  emit_train_result(sink, m, wc, stats);
+}
+
+TrainResultMsg parse_train_result(const std::uint8_t* data, std::size_t size,
+                                  const WireCodec* wc, WireStats* stats) {
   WireReader r(data, size);
   TrainResultMsg m;
   m.batch_seq = r.u64();
@@ -463,8 +607,8 @@ TrainResultMsg parse_train_result(const std::uint8_t* data,
     u.train_loss = r.f64();
     u.flops = r.f64();
     u.extra_upload_floats = r.u64();
-    u.params = read_f32_vec(r);
-    u.aux = read_f32_vec(r);
+    u.params = read_f32_vec_enveloped(r, wc, stats);
+    u.aux = read_f32_vec_enveloped(r, wc, stats);
     m.updates.push_back(std::move(u));
   }
   r.expect_end();

@@ -34,6 +34,8 @@
 #include "fl/config.h"
 #include "fl/types.h"
 #include "net/error.h"
+#include "net/segments.h"
+#include "net/wirecodec.h"
 #include "wire/wire.h"
 
 namespace fedtrip::net {
@@ -46,11 +48,14 @@ namespace fedtrip::net {
 /// records; v4 added the client-data block to the Setup config (client_data
 /// mode, shard_samples, virtual_chunk, track_participation,
 /// partition_stats) so a worker rebuilds shard/virtual simulations
-/// identically; coordinator and workers deploy in lockstep (one binary, one
-/// repo), so the minimum moves with the maximum rather than carrying
-/// older shims.
-inline constexpr std::uint16_t kProtocolVersionMin = 4;
-inline constexpr std::uint16_t kProtocolVersion = 4;
+/// identically; v5 added the socket-transport block to the Setup config
+/// (NetConfig::wire_codec) and, when that codec is non-identity, the
+/// per-vector compression envelope inside DispatchBatch/TrainResult
+/// payloads (see the envelope note below); coordinator and workers deploy
+/// in lockstep (one binary, one repo), so the minimum moves with the
+/// maximum rather than carrying older shims.
+inline constexpr std::uint16_t kProtocolVersionMin = 5;
+inline constexpr std::uint16_t kProtocolVersion = 5;
 
 // ------------------------------------------------------------- handshake
 
@@ -130,9 +135,32 @@ struct DispatchBatchMsg {
   std::vector<WireDispatch> dispatches;
 };
 
-std::vector<std::uint8_t> serialize_dispatch_batch(const DispatchBatchMsg& m);
+// Wire-codec envelope (protocol v5). When the Setup-negotiated wire codec
+// is active (non-identity), every float vector inside DispatchBatch and
+// TrainResult payloads is written as:
+//   u8 mode 0 (raw):     u64 count + count f32s   (the legacy layout)
+//   u8 mode 1 (encoded): u32 byte_len + byte_len bytes of
+//                        wire::serialize(comm::Encoded)
+// The sender picks per vector with verify-and-fallback (net/wirecodec.h),
+// so the receiver always reconstructs the exact floats. With the codec
+// inactive (or `wc == nullptr`) the envelope vanishes and the byte layout
+// is the pre-v5 one bit for bit. `stats` (optional) accumulates raw-vs-
+// wire byte accounting for the net.wire.* counters.
+
+std::vector<std::uint8_t> serialize_dispatch_batch(
+    const DispatchBatchMsg& m, const WireCodec* wc = nullptr,
+    WireStats* stats = nullptr);
 DispatchBatchMsg parse_dispatch_batch(const std::uint8_t* data,
-                                      std::size_t size);
+                                      std::size_t size,
+                                      const WireCodec* wc = nullptr,
+                                      WireStats* stats = nullptr);
+
+/// Scatter-gather emission of a dispatch batch: appends segments to `out`
+/// whose concatenation is byte-identical to serialize_dispatch_batch with
+/// the same arguments (tests/net/segments_test.cpp pins it). Borrowed
+/// segments alias `m`'s float storage — `m` must outlive the send.
+void dispatch_batch_segments(const DispatchBatchMsg& m, const WireCodec* wc,
+                             WireStats* stats, SegmentWriter& out);
 
 /// The trained updates of one batch, aligned with the dispatch order the
 /// batch arrived in (which is the coordinator's batch order — the
@@ -153,9 +181,17 @@ struct TrainResultMsg {
   std::vector<WireUpdate> updates;
 };
 
-std::vector<std::uint8_t> serialize_train_result(const TrainResultMsg& m);
-TrainResultMsg parse_train_result(const std::uint8_t* data,
-                                  std::size_t size);
+std::vector<std::uint8_t> serialize_train_result(
+    const TrainResultMsg& m, const WireCodec* wc = nullptr,
+    WireStats* stats = nullptr);
+TrainResultMsg parse_train_result(const std::uint8_t* data, std::size_t size,
+                                  const WireCodec* wc = nullptr,
+                                  WireStats* stats = nullptr);
+
+/// Scatter-gather emission of a train result; same contract as
+/// dispatch_batch_segments.
+void train_result_segments(const TrainResultMsg& m, const WireCodec* wc,
+                           WireStats* stats, SegmentWriter& out);
 
 // ---------------------------------------------------- elastic lifecycle
 

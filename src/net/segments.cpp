@@ -1,0 +1,46 @@
+#include "net/segments.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fedtrip::net {
+
+void SegmentWriter::flush() {
+  if (cur_.size() == 0) return;
+  owned_.push_back(cur_.take());
+  segs_.push_back(ByteSegment{owned_.back().data(), owned_.back().size()});
+}
+
+void SegmentWriter::f32_array(const std::vector<float>& v) {
+  if (v.empty()) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    // In-memory floats already ARE the wire bytes: gather them in place.
+    flush();
+    segs_.push_back(ByteSegment{v.data(), v.size() * sizeof(float)});
+  } else {
+    for (float x : v) cur_.f32(x);
+  }
+}
+
+const std::vector<ByteSegment>& SegmentWriter::segments() {
+  flush();
+  return segs_;
+}
+
+std::size_t SegmentWriter::total_bytes() const {
+  std::size_t total = cur_.size();
+  for (const auto& s : segs_) total += s.len;
+  return total;
+}
+
+std::vector<std::uint8_t> SegmentWriter::flatten() {
+  std::vector<std::uint8_t> out;
+  out.reserve(total_bytes());
+  for (const auto& s : segments()) {
+    const auto* p = static_cast<const std::uint8_t*>(s.data);
+    out.insert(out.end(), p, p + s.len);
+  }
+  return out;
+}
+
+}  // namespace fedtrip::net

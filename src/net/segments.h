@@ -1,0 +1,69 @@
+// SegmentWriter: scatter-gather payload assembly for zero-copy framing.
+//
+// The legacy send path serialized a whole message into one heap buffer and
+// then copied it into the socket — for a dispatch batch that is an extra
+// |w|-sized copy per worker per round. A SegmentWriter instead builds a
+// list of byte segments: small metadata runs are accumulated into owned
+// little-endian chunks (same encoding as wire::WireWriter), while large
+// float arrays are *borrowed* — the segment points straight into the
+// message's own storage and writev() gathers everything in one syscall
+// family (net/socket.h). The concatenated segments are byte-identical to
+// the buffer path by construction; tests/net/segments_test.cpp pins it.
+//
+// Borrowing floats as raw bytes is only valid where the in-memory layout
+// equals the wire layout (IEEE-754 little-endian), so it is gated on
+// std::endian::native == little; big-endian hosts copy through the
+// portable WireWriter encoding instead and produce the same bytes.
+//
+// Lifetime: borrowed segments alias the vectors handed to f32_array();
+// the message must outlive every use of segments().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace fedtrip::net {
+
+/// One gather segment (iovec-shaped, without leaking <sys/uio.h>).
+struct ByteSegment {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
+
+class SegmentWriter {
+ public:
+  void u8(std::uint8_t v) { cur_.u8(v); }
+  void u16(std::uint16_t v) { cur_.u16(v); }
+  void u32(std::uint32_t v) { cur_.u32(v); }
+  void u64(std::uint64_t v) { cur_.u64(v); }
+  void f32(float v) { cur_.f32(v); }
+  void f64(double v) { cur_.f64(v); }
+  /// Copied into the current owned chunk (metadata, encoded payloads).
+  void bytes(const void* data, std::size_t n) { cur_.bytes(data, n); }
+
+  /// The n*4 little-endian bytes of `v` — borrowed zero-copy on
+  /// little-endian hosts (v must outlive the send), copied otherwise.
+  void f32_array(const std::vector<float>& v);
+
+  /// Finalizes and returns the segment list (flushes the open chunk).
+  const std::vector<ByteSegment>& segments();
+
+  /// Total payload bytes across all segments.
+  std::size_t total_bytes() const;
+
+  /// Concatenates every segment into one buffer — the equivalence bridge
+  /// to the legacy serialize path, used by tests and non-socket callers.
+  std::vector<std::uint8_t> flatten();
+
+ private:
+  void flush();
+
+  wire::WireWriter cur_;
+  std::deque<std::vector<std::uint8_t>> owned_;  // stable chunk storage
+  std::vector<ByteSegment> segs_;
+};
+
+}  // namespace fedtrip::net

@@ -3,14 +3,19 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <limits.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <utility>
+#include <vector>
+
+#include "net/segments.h"
 
 namespace fedtrip::net {
 
@@ -74,6 +79,62 @@ void Socket::send_all(const void* data, std::size_t n) {
       throw NetError("send failed: " + errno_str());
     }
     sent += static_cast<std::size_t>(r);
+  }
+}
+
+void Socket::send_segments(const ByteSegment* segs, std::size_t count) {
+#ifdef IOV_MAX
+  constexpr std::size_t kIovMax = IOV_MAX;
+#else
+  constexpr std::size_t kIovMax = 1024;
+#endif
+  std::vector<iovec> iov;
+  iov.reserve(count < kIovMax ? count : kIovMax);
+  std::size_t next = 0;          // first segment not yet fully queued
+  std::size_t head_off = 0;      // bytes of segs[next] already sent
+  while (next < count) {
+    iov.clear();
+    std::size_t pending = 0;
+    for (std::size_t i = next; i < count && iov.size() < kIovMax; ++i) {
+      const std::size_t off = (i == next) ? head_off : 0;
+      if (segs[i].len == off) continue;  // empty (or fully-sent head)
+      iov.push_back(
+          iovec{const_cast<char*>(static_cast<const char*>(segs[i].data)) +
+                    off,
+                segs[i].len - off});
+      pending += segs[i].len - off;
+    }
+    if (iov.empty()) {  // nothing but empty segments left
+      next = count;
+      break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = iov.size();
+    const ssize_t r = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("send failed: " + errno_str());
+    }
+    // Advance (next, head_off) past the bytes the kernel took; a partial
+    // write resumes mid-segment on the next loop.
+    std::size_t taken = static_cast<std::size_t>(r);
+    (void)pending;
+    while (taken > 0 && next < count) {
+      const std::size_t left = segs[next].len - head_off;
+      if (taken < left) {
+        head_off += taken;
+        taken = 0;
+      } else {
+        taken -= left;
+        ++next;
+        head_off = 0;
+      }
+    }
+    while (next < count && segs[next].len == head_off) {
+      ++next;
+      head_off = 0;
+    }
   }
 }
 

@@ -12,6 +12,8 @@
 
 namespace fedtrip::net {
 
+struct ByteSegment;  // net/segments.h
+
 /// A connected stream socket (owns the fd; move-only).
 class Socket {
  public:
@@ -35,6 +37,13 @@ class Socket {
   /// Sends exactly `n` bytes (MSG_NOSIGNAL: a dead peer surfaces as
   /// NetError, never SIGPIPE). Throws NetError on any failure.
   void send_all(const void* data, std::size_t n);
+
+  /// Sends the exact concatenation of `count` segments with sendmsg()
+  /// scatter-gather — one syscall per IOV_MAX-sized slice instead of one
+  /// buffer copy per message. Handles partial writes and EINTR; same
+  /// failure contract as send_all. The byte stream is indistinguishable
+  /// from send_all over the flattened segments.
+  void send_segments(const ByteSegment* segs, std::size_t count);
 
   /// Receives exactly `n` bytes. Throws NetError on failure or when the
   /// peer closes before `n` bytes arrive (`eof_ok` suppresses the throw

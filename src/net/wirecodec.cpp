@@ -1,0 +1,92 @@
+#include "net/wirecodec.h"
+
+#include <cstring>
+
+#include "comm/registry.h"
+#include "wire/payload.h"
+
+namespace fedtrip::net {
+
+namespace {
+
+/// Hard cap on a decoded vector's dimension: matches what the raw path
+/// can carry in one frame (kMaxFramePayload / 4 floats), so a hostile
+/// `dim` field cannot allocate more than a hostile raw count could.
+constexpr std::uint64_t kMaxDecodedDim = (1ull << 30) / 4;
+
+/// Cheap pre-check: sparsifying codecs (topk, randmask) can only be
+/// lossless when at most k coordinates are nonzero — skip the O(dim log)
+/// compress attempt on dense vectors the verify step would reject anyway.
+bool sparse_enough(const std::vector<float>& v, std::size_t k) {
+  std::size_t nnz = 0;
+  for (float x : v) {
+    if (x != 0.0f && ++nnz > k) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WireCodec::WireCodec(const std::string& name, const comm::CommParams& params,
+                     std::uint64_t seed)
+    : name_(name), seed_(seed) {
+  codec_ = comm::make_compressor(name, params);
+  // Probe the kind once on an empty message; compress() never draws rng
+  // for an empty input.
+  Rng probe(seed);
+  kind_ = codec_->compress({}, probe).codec;
+  active_ = kind_ != comm::Codec::kIdentity;
+}
+
+std::uint32_t WireCodec::tag() const {
+  if (!active_) return 0;
+  Rng probe(seed_);
+  return wire::payload_tag(codec_->compress({}, probe));
+}
+
+WireCodec::EncodedVec WireCodec::encode(const std::vector<float>& v) const {
+  EncodedVec out;
+  if (!active_ || v.empty()) return out;
+  const std::size_t raw_bytes = 4 * v.size();
+  // Data-independent size check first: a codec that cannot beat raw floats
+  // at this dimension never pays the compress attempt.
+  if (codec_->wire_bytes(v.size()) >= raw_bytes) return out;
+  if (kind_ == comm::Codec::kTopK) {
+    const auto* tk = static_cast<const comm::TopKCompressor*>(codec_.get());
+    if (!sparse_enough(v, tk->k_for(v.size()))) return out;
+  } else if (kind_ == comm::Codec::kRandMask) {
+    const auto* rm =
+        static_cast<const comm::RandomMaskCompressor*>(codec_.get());
+    if (!sparse_enough(v, rm->k_for(v.size()))) return out;
+  }
+  Rng rng(seed_);
+  const comm::Encoded e = codec_->compress(v, rng);
+  if (e.wire_bytes >= raw_bytes) return out;
+  // The verify step: ship encoded only when the receiver will reconstruct
+  // the sender's floats bit for bit (memcmp — signed zeros and NaN
+  // payloads included).
+  const std::vector<float> back = codec_->decompress(e);
+  if (back.size() != v.size() ||
+      std::memcmp(back.data(), v.data(), raw_bytes) != 0) {
+    return out;
+  }
+  out.bytes = wire::serialize(e);
+  out.encoded = true;
+  return out;
+}
+
+std::vector<float> WireCodec::decode(const std::uint8_t* data,
+                                     std::size_t size) const {
+  if (!active_) {
+    throw wire::WireError(
+        "encoded wire payload under an identity wire codec");
+  }
+  comm::Encoded e = wire::deserialize_payload(data, size, kind_);
+  if (e.dim > kMaxDecodedDim) {
+    throw wire::WireError("encoded vector dim " + std::to_string(e.dim) +
+                          " exceeds the frame-payload cap");
+  }
+  return codec_->decompress(e);
+}
+
+}  // namespace fedtrip::net

@@ -1,0 +1,100 @@
+// WireCodec: verify-and-fallback compression of float payloads at the
+// socket boundary (NetConfig::wire_codec; negotiated in Setup, protocol
+// v5).
+//
+// The contract that keeps every equivalence suite bit-identical: the
+// sender compresses a vector, decompresses its own encoding, and ships
+// the encoded form ONLY when the round-trip is bit-exact (memcmp) and
+// strictly smaller than the raw floats — otherwise the vector travels
+// raw. The receiver therefore always reconstructs the sender's floats
+// exactly, whatever codec is configured; lossy codecs simply stop saving
+// bytes instead of corrupting results.
+//
+// Why this wins anyway: broadcast snapshots are post-channel-decode — a
+// simulated topk downlink leaves at most k nonzeros, which the topk wire
+// codec encodes losslessly at ~fraction of the raw size; a qsgd downlink
+// leaves values on the quantization lattice, which the qsgd wire codec
+// reproduces exactly. Dense trained updates mostly fall back to raw, and
+// the per-direction net.wire.* counters report both numbers honestly.
+//
+// Stochastic codecs draw from a fresh Rng seeded with the run seed per
+// encode call, outside every engine RNG stream — wire compression can
+// never perturb a simulation's random state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/compressor.h"
+#include "comm/config.h"
+
+namespace fedtrip::net {
+
+/// Per-direction raw-vs-wire byte accounting for one serialized message:
+/// `raw_bytes` is what the float payloads occupy in the legacy layout,
+/// `wire_bytes` what the envelope actually emitted. Equal when the codec
+/// is inactive or every vector fell back.
+struct WireStats {
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  /// Vectors that shipped encoded / that fell back to raw floats.
+  std::uint64_t encoded_vecs = 0;
+  std::uint64_t raw_vecs = 0;
+
+  WireStats& operator+=(const WireStats& o) {
+    raw_bytes += o.raw_bytes;
+    wire_bytes += o.wire_bytes;
+    encoded_vecs += o.encoded_vecs;
+    raw_vecs += o.raw_vecs;
+    return *this;
+  }
+};
+
+class WireCodec {
+ public:
+  /// `name` is a comm registry name ("identity" = inactive envelope);
+  /// `params` supplies codec parameters (topk fraction, qsgd bits, mask
+  /// keep) and `seed` the deterministic stream for stochastic codecs.
+  /// Both peers build theirs from the same SetupMsg config, so they
+  /// always agree. Throws std::invalid_argument on an unknown name.
+  WireCodec(const std::string& name, const comm::CommParams& params,
+            std::uint64_t seed);
+
+  /// False for "identity": serializers skip the envelope and the byte
+  /// stream is the legacy layout bit for bit.
+  bool active() const { return active_; }
+  const std::string& name() const { return name_; }
+
+  /// Frame aux tag for dispatch/result frames carrying enveloped
+  /// payloads: low byte codec kind, second byte codec parameter (qsgd
+  /// bit width) — what lets tools/wire_dump decode a captured session
+  /// offline. 0 when inactive.
+  std::uint32_t tag() const;
+
+  struct EncodedVec {
+    /// False: ship raw floats (round-trip was lossy or not smaller).
+    bool encoded = false;
+    /// wire::serialize(Encoded) bytes when `encoded`.
+    std::vector<std::uint8_t> bytes;
+  };
+
+  /// Verify-and-fallback encode of one vector. Deterministic: stochastic
+  /// codecs use a fresh Rng(seed) per call.
+  EncodedVec encode(const std::vector<float>& v) const;
+
+  /// Decodes an encoded-form payload (fully validated; wire::WireError on
+  /// malformed or absurdly-dimensioned input). Inverse of the encoded arm
+  /// of encode().
+  std::vector<float> decode(const std::uint8_t* data, std::size_t size) const;
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  comm::Codec kind_ = comm::Codec::kIdentity;
+  std::uint64_t seed_ = 0;
+  std::unique_ptr<comm::Compressor> codec_;
+};
+
+}  // namespace fedtrip::net

@@ -245,6 +245,11 @@ SessionEnd WorkerServer::serve(Socket conn) {
          setup.elastic ? " (elastic)" : "");
     rejoin_host_ = setup.elastic ? conn.peer_host() : std::string();
     rejoin_port_ = setup.elastic ? setup.rejoin_port : 0;
+    // The Setup-negotiated wire codec (protocol v5): decodes dispatch
+    // envelopes, encodes result payloads. Built from the same config the
+    // coordinator used, so both ends always agree.
+    const WireCodec wire_codec(setup.config.net.wire_codec,
+                               setup.config.comm.params, setup.config.seed);
     WorkerWorld world = build_world(setup);
     tracer.set_spans(setup.config.obs.enabled && setup.config.obs.spans);
     world.sim->set_tracer(&tracer);
@@ -262,8 +267,8 @@ SessionEnd WorkerServer::serve(Socket conn) {
       Frame f = recv_frame(conn, "coordinator", false, &tracer);
       switch (f.type) {
         case wire::RecordType::kNetDispatch: {
-          auto batch =
-              parse_dispatch_batch(f.payload.data(), f.payload.size());
+          auto batch = parse_dispatch_batch(f.payload.data(),
+                                            f.payload.size(), &wire_codec);
           const std::size_t count = batch.dispatches.size();
           if (world.elastic) {
             // Receipt ack before training: lets the coordinator tell
@@ -312,9 +317,13 @@ SessionEnd WorkerServer::serve(Socket conn) {
             return SessionEnd::kChaosDropped;
           }
           {
+            // Scatter-gather result emission: trained params are borrowed
+            // straight out of `result`, which outlives the send.
+            SegmentWriter segs;
+            train_result_segments(result, &wire_codec, nullptr, segs);
             std::lock_guard<std::mutex> lock(send_mu);
-            send_frame(conn, wire::RecordType::kNetResult, 0,
-                       serialize_train_result(result), &tracer);
+            send_frame_segments(conn, wire::RecordType::kNetResult,
+                                wire_codec.tag(), segs, &tracer);
           }
           ++batches;
           break;

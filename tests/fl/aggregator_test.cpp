@@ -1,0 +1,103 @@
+// Aggregator backends: the blocked kernel must be bitwise identical to
+// the scalar reference for every size and shape — including dimensions
+// that straddle tile boundaries, single-float vectors, empty inputs, and
+// weights/values chosen to expose accumulation-order or contraction
+// differences.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fl/aggregator.h"
+
+namespace fedtrip {
+namespace {
+
+std::vector<std::span<const float>> as_spans(
+    const std::vector<std::vector<float>>& parts) {
+  std::vector<std::span<const float>> out;
+  out.reserve(parts.size());
+  for (const auto& p : parts) out.emplace_back(p);
+  return out;
+}
+
+void expect_backends_match(std::size_t dim, std::size_t num_parts,
+                           std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> val(-2.0f, 2.0f);
+  std::vector<std::vector<float>> parts(num_parts);
+  std::vector<float> weights(num_parts);
+  for (std::size_t i = 0; i < num_parts; ++i) {
+    parts[i].resize(dim);
+    for (auto& x : parts[i]) x = val(rng);
+    weights[i] = val(rng) * 0.25f + 0.3f;
+  }
+  const auto spans = as_spans(parts);
+
+  std::vector<float> scalar_out(dim), blocked_out(dim, -99.0f);
+  fl::get_aggregator("scalar").weighted_sum(scalar_out, weights, spans);
+  fl::get_aggregator("blocked").weighted_sum(blocked_out, weights, spans);
+  ASSERT_EQ(scalar_out.size(), blocked_out.size());
+  if (dim > 0) {
+    EXPECT_EQ(std::memcmp(scalar_out.data(), blocked_out.data(),
+                          dim * sizeof(float)),
+              0)
+        << "dim=" << dim << " parts=" << num_parts;
+  }
+}
+
+TEST(AggregatorTest, BlockedMatchesScalarBitwise) {
+  // Around the 4096-float tile boundary, tiny sizes, several-tile sizes.
+  const std::size_t dims[] = {1, 2, 3, 17, 4095, 4096, 4097, 8192, 13000};
+  for (std::size_t dim : dims) {
+    for (std::size_t parts : {1u, 2u, 7u}) {
+      expect_backends_match(dim, parts, static_cast<std::uint32_t>(
+                                            dim * 31 + parts));
+    }
+  }
+}
+
+TEST(AggregatorTest, EmptyDimensionIsFine) {
+  expect_backends_match(0, 3, 1);
+}
+
+TEST(AggregatorTest, SpecialValuesPreserved) {
+  // Signed zeros, infinities and NaN payload propagation must be the
+  // scalar path's, whatever the backend does internally.
+  std::vector<std::vector<float>> parts = {
+      {0.0f, -0.0f, 1e38f, -1e38f, 1.0f},
+      {-0.0f, 0.0f, 1e38f, -1e38f, 2.0f}};
+  std::vector<float> weights = {0.5f, 0.5f};
+  const auto spans = as_spans(parts);
+  std::vector<float> a(5), b(5);
+  fl::get_aggregator("scalar").weighted_sum(a, weights, spans);
+  fl::get_aggregator("blocked").weighted_sum(b, weights, spans);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+TEST(AggregatorTest, OutputPreviousContentDiscarded) {
+  std::vector<std::vector<float>> parts = {{1.0f, 2.0f}};
+  std::vector<float> weights = {2.0f};
+  const auto spans = as_spans(parts);
+  std::vector<float> out = {123.0f, 456.0f};
+  fl::get_aggregator("blocked").weighted_sum(out, weights, spans);
+  EXPECT_EQ(out, (std::vector<float>{2.0f, 4.0f}));
+}
+
+TEST(AggregatorTest, RegistryNamesAndDefault) {
+  EXPECT_STREQ(fl::get_aggregator("scalar").name(), "scalar");
+  EXPECT_STREQ(fl::get_aggregator("blocked").name(), "blocked");
+  EXPECT_STREQ(fl::get_aggregator("auto").name(), "blocked");
+  EXPECT_THROW(fl::get_aggregator("gpu"), std::invalid_argument);
+
+  fl::set_default_aggregator("scalar");
+  EXPECT_STREQ(fl::default_aggregator().name(), "scalar");
+  fl::set_default_aggregator("auto");
+  EXPECT_STREQ(fl::default_aggregator().name(), "blocked");
+}
+
+}  // namespace
+}  // namespace fedtrip

@@ -158,6 +158,26 @@ TEST(NetEquivalenceTest, ByteExactModeComposesWithTheSocketHost) {
   expect_bit_identical(cfg, "async/byte-exact");
 }
 
+TEST(NetEquivalenceTest, WireCodecStaysBitIdentical) {
+  // The Setup-negotiated wire codec compresses socket traffic with a
+  // verify-and-fallback envelope — by construction it may shrink frames
+  // but never change a float. Every policy-visible output must match the
+  // in-process run exactly, with a sparsifying codec on the wire.
+  fl::ExperimentConfig cfg = loaded_config();
+  cfg.sched.policy = "sync";
+  cfg.net.wire_codec = "topk";
+  expect_bit_identical(cfg, "sync/wire-codec=topk");
+}
+
+TEST(NetEquivalenceTest, LossyWireCodecStaysBitIdentical) {
+  // qsgd reconstruction is almost never bit-exact, so the verify step
+  // must keep every vector raw — the run still matches in-process.
+  fl::ExperimentConfig cfg = loaded_config();
+  cfg.sched.policy = "deadline";
+  cfg.net.wire_codec = "qsgd4";
+  expect_bit_identical(cfg, "deadline/wire-codec=qsgd4");
+}
+
 TEST(NetEquivalenceTest, OneWorkerAndManyWorkersAgree) {
   // Sharding is a pure partition: 1-, 2- and 3-worker pools must all
   // produce the in-process result.

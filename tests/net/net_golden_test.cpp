@@ -48,7 +48,7 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   const auto bytes = read_committed();
   ASSERT_FALSE(bytes.empty());
   const auto records = wire::read_container(bytes.data(), bytes.size());
-  ASSERT_EQ(records.size(), 12u);
+  ASSERT_EQ(records.size(), 14u);
 
   const auto hello =
       net::parse_hello(records[0].bytes.data(), records[0].bytes.size());
@@ -72,6 +72,8 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   EXPECT_TRUE(setup.elastic);
   EXPECT_DOUBLE_EQ(setup.heartbeat_interval_s, 0.25);
   EXPECT_EQ(setup.rejoin_port, 45454u);
+  // Socket-transport block (protocol v5).
+  EXPECT_EQ(setup.config.net.wire_codec, "topk");
 
   ASSERT_EQ(records[4].type, wire::RecordType::kNetDispatch);
   const auto batch = net::parse_dispatch_batch(records[4].bytes.data(),
@@ -99,13 +101,37 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   ASSERT_EQ(result.updates.size(), 2u);
   EXPECT_EQ(result.updates[1].aux.size(), 2u);
 
+  // Codec-framed pair (protocol v5): the record aux carries the codec tag
+  // and the payload's float vectors travel enveloped. The codec is rebuilt
+  // from the Setup config exactly as a worker would build it.
+  const net::WireCodec wc(setup.config.net.wire_codec,
+                          setup.config.comm.params, setup.config.seed);
+  ASSERT_TRUE(wc.active());
+  ASSERT_EQ(records[8].type, wire::RecordType::kNetDispatch);
+  EXPECT_EQ(records[8].aux, wc.tag());
+  const auto codec_batch = net::parse_dispatch_batch(
+      records[8].bytes.data(), records[8].bytes.size(), &wc);
+  EXPECT_EQ(codec_batch.batch_seq, 2u);
+  ASSERT_EQ(codec_batch.param_sets.size(), 2u);
+  EXPECT_EQ(codec_batch.param_sets[0],
+            (std::vector<float>{0.0f, 0.0f, 3.5f, 0.0f, 0.0f, 0.0f, 0.0f,
+                                0.0f}));
+  ASSERT_EQ(codec_batch.dispatches.size(), 2u);
+  EXPECT_EQ(codec_batch.dispatches[1].history_params[3], -1.25f);
+  ASSERT_EQ(records[9].type, wire::RecordType::kNetResult);
+  EXPECT_EQ(records[9].aux, wc.tag());
+  const auto codec_result = net::parse_train_result(
+      records[9].bytes.data(), records[9].bytes.size(), &wc);
+  ASSERT_EQ(codec_result.updates.size(), 2u);
+  EXPECT_EQ(codec_result.updates[1].aux.size(), 2u);
+
   // Stats collection pair (protocol v2): an empty request followed by the
   // worker's StatsReport with pinned registry entries and one wall span.
-  ASSERT_EQ(records[8].type, wire::RecordType::kNetStatsReq);
-  EXPECT_TRUE(records[8].bytes.empty());
-  ASSERT_EQ(records[9].type, wire::RecordType::kNetStats);
+  ASSERT_EQ(records[10].type, wire::RecordType::kNetStatsReq);
+  EXPECT_TRUE(records[10].bytes.empty());
+  ASSERT_EQ(records[11].type, wire::RecordType::kNetStats);
   const auto stats =
-      obs::parse_stats(records[9].bytes.data(), records[9].bytes.size());
+      obs::parse_stats(records[11].bytes.data(), records[11].bytes.size());
   EXPECT_EQ(stats.counters.at("net.frames_recv"), 3u);
   EXPECT_EQ(stats.counters.at("sched.dispatches"), 7u);
   EXPECT_DOUBLE_EQ(stats.gauges.at("comm.ef_residual_l2.up"), 0.125);
@@ -115,8 +141,8 @@ TEST(NetGoldenTest, CommittedSessionParses) {
             "train_shard(client=3, round=1)");
   EXPECT_EQ(stats.spans[0].clock, obs::SpanClock::kWall);
 
-  EXPECT_EQ(records[11].type, wire::RecordType::kNetShutdown);
-  EXPECT_TRUE(records[11].bytes.empty());
+  EXPECT_EQ(records[13].type, wire::RecordType::kNetShutdown);
+  EXPECT_TRUE(records[13].bytes.empty());
 }
 
 }  // namespace

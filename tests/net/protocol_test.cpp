@@ -291,6 +291,15 @@ net::DispatchBatchMsg sample_batch() {
   return m;
 }
 
+// The parsers take optional wire-codec arguments; a bare function pointer
+// loses the defaults, so the hostile-input helpers get lambda shims.
+const auto parse_batch_fn = [](const std::uint8_t* d, std::size_t n) {
+  return net::parse_dispatch_batch(d, n);
+};
+const auto parse_result_fn = [](const std::uint8_t* d, std::size_t n) {
+  return net::parse_train_result(d, n);
+};
+
 TEST(ProtocolTest, DispatchBatchRoundTrip) {
   const auto m = sample_batch();
   const auto bytes = net::serialize_dispatch_batch(m);
@@ -308,9 +317,8 @@ TEST(ProtocolTest, DispatchBatchRoundTrip) {
   EXPECT_EQ(got.dispatches[1].history_round, 1u);
   EXPECT_EQ(got.dispatches[1].history_params,
             (std::vector<float>{9.0f, 8.0f, 7.0f}));
-  expect_all_truncations_rejected(bytes, net::parse_dispatch_batch,
-                                  "dispatch");
-  expect_trailing_rejected(bytes, net::parse_dispatch_batch, "dispatch");
+  expect_all_truncations_rejected(bytes, parse_batch_fn, "dispatch");
+  expect_trailing_rejected(bytes, parse_batch_fn, "dispatch");
 }
 
 TEST(ProtocolTest, DispatchBatchHostileFieldsRejected) {
@@ -353,6 +361,89 @@ TEST(ProtocolTest, DispatchBatchHostileFieldsRejected) {
   }
 }
 
+TEST(ProtocolTest, SetupWireCodecNegotiation) {
+  net::SetupMsg m;
+  m.method = "FedAvg";
+  m.config = sample_config();
+  m.config.net.wire_codec = "topk";
+  m.worker_index = 0;
+  m.num_workers = 2;
+  const auto bytes = net::serialize_setup(m);
+  const auto got = net::parse_setup(bytes.data(), bytes.size());
+  EXPECT_EQ(got.config.net.wire_codec, "topk");
+  // The v5 trailer is covered by the byte-level truncation sweep too.
+  expect_all_truncations_rejected(bytes, net::parse_setup, "setup+codec");
+  expect_trailing_rejected(bytes, net::parse_setup, "setup+codec");
+  {
+    // A codec name the registry does not know must be rejected at parse
+    // time, not when the first dispatch arrives.
+    net::SetupMsg bad = m;
+    bad.config.net.wire_codec = "zstd-17";
+    const auto b = net::serialize_setup(bad);
+    EXPECT_THROW(net::parse_setup(b.data(), b.size()), WireError);
+  }
+}
+
+TEST(ProtocolTest, DispatchBatchWireCodecRoundTrip) {
+  // Sparse snapshots (the shape a topk downlink leaves after channel
+  // decode) ship encoded; dense ones fall back to raw. Both must decode
+  // bit-exactly, and truncation at every byte must still throw.
+  auto m = sample_batch();
+  m.param_sets = {{0.f, 0.f, 5.f, 0.f, 0.f, 0.f, 0.f, 0.f},
+                  {1.f, 2.f, 3.f, 4.f, 5.f, 6.f, 7.f, 8.f}};
+  const auto cfg = sample_config();
+  const net::WireCodec wc("topk", cfg.comm.params, cfg.seed);
+  ASSERT_TRUE(wc.active());
+
+  net::WireStats ws;
+  const auto bytes = net::serialize_dispatch_batch(m, &wc, &ws);
+  EXPECT_GE(ws.encoded_vecs, 1u);
+  EXPECT_GE(ws.raw_vecs, 1u);
+  EXPECT_LT(ws.wire_bytes, ws.raw_bytes);
+
+  const auto got = net::parse_dispatch_batch(bytes.data(), bytes.size(), &wc);
+  EXPECT_EQ(got.param_sets, m.param_sets);
+  ASSERT_EQ(got.dispatches.size(), 2u);
+  EXPECT_EQ(got.dispatches[1].history_params, m.dispatches[1].history_params);
+
+  const auto parse_with_codec = [&wc](const std::uint8_t* d, std::size_t n) {
+    return net::parse_dispatch_batch(d, n, &wc);
+  };
+  expect_all_truncations_rejected(bytes, parse_with_codec, "dispatch+codec");
+  expect_trailing_rejected(bytes, parse_with_codec, "dispatch+codec");
+
+  // Decoding a codec-framed batch without the codec must fail loudly, not
+  // misparse: the envelope bytes are not a legal raw layout here.
+  EXPECT_NE(net::serialize_dispatch_batch(m), bytes);
+}
+
+TEST(ProtocolTest, DispatchBatchHostileEnvelopeRejected) {
+  const auto cfg = sample_config();
+  const net::WireCodec wc("topk", cfg.comm.params, cfg.seed);
+  {
+    // Envelope mode must be 0 (raw) or 1 (encoded).
+    wire::WireWriter w;
+    w.u64(1);  // batch_seq
+    w.u32(1);  // one param set
+    w.u8(2);   // hostile mode byte
+    const auto b = w.take();
+    EXPECT_THROW(net::parse_dispatch_batch(b.data(), b.size(), &wc),
+                 WireError);
+  }
+  {
+    // An encoded-length field beyond the buffer must throw before any
+    // allocation or decode attempt.
+    wire::WireWriter w;
+    w.u64(1);
+    w.u32(1);
+    w.u8(1);            // mode: encoded
+    w.u32(0xFFFFFFFFu);  // hostile byte length
+    const auto b = w.take();
+    EXPECT_THROW(net::parse_dispatch_batch(b.data(), b.size(), &wc),
+                 WireError);
+  }
+}
+
 TEST(ProtocolTest, TrainResultRoundTrip) {
   net::TrainResultMsg m;
   m.batch_seq = 42;
@@ -379,8 +470,8 @@ TEST(ProtocolTest, TrainResultRoundTrip) {
   EXPECT_EQ(got.updates[0].extra_upload_floats, 10u);
   EXPECT_EQ(got.updates[0].params, u.params);
   EXPECT_EQ(got.updates[0].aux, u.aux);
-  expect_all_truncations_rejected(bytes, net::parse_train_result, "result");
-  expect_trailing_rejected(bytes, net::parse_train_result, "result");
+  expect_all_truncations_rejected(bytes, parse_result_fn, "result");
+  expect_trailing_rejected(bytes, parse_result_fn, "result");
 }
 
 TEST(ProtocolTest, ClientUpdateConversionRoundTrip) {

@@ -1,0 +1,119 @@
+// WireCodec: the verify-and-fallback compressor at the socket boundary.
+// The invariant under test is bit-identity — encode() may only say
+// "encoded" when the receiver reconstructs the sender's floats exactly —
+// plus the usual hostile-input discipline on decode().
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "comm/compressor.h"
+#include "net/wirecodec.h"
+#include "wire/payload.h"
+#include "wire/wire.h"
+
+namespace fedtrip {
+namespace {
+
+comm::CommParams params() {
+  comm::CommParams p;
+  p.topk_fraction = 0.05f;
+  return p;
+}
+
+TEST(WireCodecTest, IdentityIsInactive) {
+  const net::WireCodec wc("identity", params(), 1);
+  EXPECT_FALSE(wc.active());
+  EXPECT_EQ(wc.tag(), 0u);
+  // An inactive codec never encodes...
+  EXPECT_FALSE(wc.encode({1.0f, 2.0f, 3.0f}).encoded);
+  // ...and refuses to decode: an encoded payload under an identity codec
+  // is a protocol violation, not a soft fallback.
+  const std::uint8_t junk[4] = {1, 2, 3, 4};
+  EXPECT_THROW(wc.decode(junk, sizeof(junk)), wire::WireError);
+}
+
+TEST(WireCodecTest, UnknownNameRejected) {
+  EXPECT_THROW(net::WireCodec("zstd-17", params(), 1), std::invalid_argument);
+}
+
+TEST(WireCodecTest, SparseVectorRoundTripsBitExact) {
+  const net::WireCodec wc("topk", params(), 1);
+  ASSERT_TRUE(wc.active());
+  EXPECT_NE(wc.tag(), 0u);
+  // 64 floats, one nonzero: k_for(64) >= 1, losslessly encodable.
+  std::vector<float> v(64, 0.0f);
+  v[17] = -3.25f;
+  const auto e = wc.encode(v);
+  ASSERT_TRUE(e.encoded);
+  EXPECT_LT(e.bytes.size(), 4 * v.size());
+  EXPECT_EQ(wc.decode(e.bytes.data(), e.bytes.size()), v);
+}
+
+TEST(WireCodecTest, DenseVectorFallsBackToRaw) {
+  const net::WireCodec wc("topk", params(), 1);
+  std::vector<float> v(64);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i) + 0.5f;
+  }
+  // topk would drop coordinates — the verify step must refuse.
+  EXPECT_FALSE(wc.encode(v).encoded);
+}
+
+TEST(WireCodecTest, TinyVectorFallsBackToRaw) {
+  const net::WireCodec wc("topk", params(), 1);
+  // At dim 3 the topk wire format (header + count + 8/coord) cannot beat
+  // 12 raw bytes, whatever the content.
+  EXPECT_FALSE(wc.encode({0.0f, 1.0f, 0.0f}).encoded);
+  EXPECT_FALSE(wc.encode({}).encoded);
+}
+
+TEST(WireCodecTest, LossyCodecNeverShipsEncoded) {
+  // qsgd quantizes: reconstruction is almost never bit-exact, so the
+  // verify step keeps every vector raw — correctness never depends on a
+  // codec being well-behaved.
+  const net::WireCodec wc("qsgd4", params(), 1);
+  ASSERT_TRUE(wc.active());
+  std::vector<float> v(256);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 0.1f * static_cast<float>(i % 17) - 0.8f;
+  }
+  EXPECT_FALSE(wc.encode(v).encoded);
+}
+
+TEST(WireCodecTest, DecodeRejectsGarbage) {
+  const net::WireCodec wc("topk", params(), 1);
+  const std::uint8_t junk[7] = {9, 9, 9, 9, 9, 9, 9};
+  EXPECT_THROW(wc.decode(junk, sizeof(junk)), wire::WireError);
+  EXPECT_THROW(wc.decode(junk, 0), wire::WireError);
+}
+
+TEST(WireCodecTest, DecodeRejectsOversizeDim) {
+  // A well-formed topk payload whose dim field would allocate beyond the
+  // frame-payload cap must throw before the allocation.
+  comm::Encoded e;
+  e.codec = comm::Codec::kTopK;
+  e.dim = (1ull << 40);
+  e.indices = {0};
+  e.values = {1.0f};
+  e.wire_bytes = 20;
+  const auto bytes = wire::serialize(e);
+  const net::WireCodec wc("topk", params(), 1);
+  EXPECT_THROW(wc.decode(bytes.data(), bytes.size()), wire::WireError);
+}
+
+TEST(WireCodecTest, EncodeIsDeterministic) {
+  // Same codec, same content -> same bytes, independent of call order or
+  // how many encodes happened before (a fresh Rng per call; stochastic
+  // codecs cannot leak state between the buffer and segment paths).
+  const net::WireCodec wc("randmask", params(), 42);
+  std::vector<float> v(64, 0.0f);
+  v[3] = 1.5f;
+  const auto a = wc.encode(v);
+  wc.encode({0.0f, 0.0f, 0.0f, 9.0f});  // interleaved other content
+  const auto b = wc.encode(v);
+  EXPECT_EQ(a.encoded, b.encoded);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+}  // namespace
+}  // namespace fedtrip

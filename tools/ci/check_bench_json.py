@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Schema gate for the BENCH_* perf-trajectory artifacts.
+
+Every bench binary with a --json emitter writes one JSON file that CI
+archives to build the perf trajectory. A malformed file (missing metric,
+renamed key, emitter half-updated after a refactor) would poison every
+later comparison silently — this check fails the build *before* the
+artifact is uploaded instead.
+
+Usage: check_bench_json.py FILE.json [FILE.json ...]
+
+Each file must be a JSON object with a "bench" name and
+"schema_version"; the per-bench spec below then pins the required
+structure: which arrays exist and which keys every row carries, with the
+expected JSON type. Extra keys are allowed (emitters may grow fields;
+the trajectory tooling ignores what it does not know), missing or
+mistyped ones are errors.
+
+Stdlib only — runs on a bare CI python3.
+"""
+import json
+import sys
+
+# type tags: "num" (int or float), "int", "str", "bool"
+_NUM = "num"
+_INT = "int"
+_STR = "str"
+_BOOL = "bool"
+
+# Shape of one wire-codec run block in bench_distributed (the perf-gate
+# payload — compare_bench.py keys off these names).
+_RUN_KEYS = {
+    "seconds": _NUM, "dispatch_frames": _INT,
+    "down_raw_bytes": _INT, "down_wire_bytes": _INT,
+    "down_wire_bytes_per_dispatch": _NUM,
+    "up_raw_bytes": _INT, "up_wire_bytes": _INT,
+    "encoded_vecs": _INT,
+}
+
+# Per-bench spec: {array_key: {row_key: type}} for arrays of row objects,
+# plus "config" requirements and nested-object specs under "objects".
+SPECS = {
+    "bench_heterogeneity": {
+        "config": {"rounds": _INT, "clients": _INT, "per_round": _INT,
+                   "data_scale": _NUM},
+        "arrays": {
+            "results": {"policy": _STR, "final_accuracy": _NUM,
+                        "best_accuracy": _NUM, "sim_seconds": _NUM,
+                        "mean_staleness": _NUM},
+        },
+    },
+    "bench_sched_async": {
+        "config": {"rounds": _INT, "clients": _INT, "per_round": _INT,
+                   "data_scale": _NUM, "target_accuracy": _NUM},
+        "arrays": {
+            "results": {"policy": _STR, "final_accuracy": _NUM,
+                        "best_accuracy": _NUM, "sim_seconds": _NUM,
+                        "mean_staleness": _NUM, "dropped": _INT},
+        },
+    },
+    "bench_comm_compression": {
+        "config": {"rounds": _INT, "clients": _INT, "per_round": _INT,
+                   "topk_fraction": _NUM, "qsgd_bits": _INT},
+        "arrays": {
+            "update_bytes": {"model": _STR, "param_floats": _INT,
+                             "compressor": _STR, "bytes": _INT,
+                             "reduction": _NUM},
+            "runs": {"uplink": _STR, "downlink": _STR, "mb_up": _NUM,
+                     "mb_down": _NUM, "best_accuracy": _NUM},
+        },
+    },
+    "bench_scale": {
+        "config": {"rounds": _INT, "data_scale": _NUM,
+                   "shard_samples": _INT},
+        "arrays": {
+            "results": {"clients": _INT, "mode": _STR,
+                        "final_accuracy": _NUM, "wall_ms": _NUM,
+                        "peak_rss_mb": _NUM, "participants": _INT},
+        },
+    },
+    "bench_distributed": {
+        "config": {"rounds": _INT, "clients": _INT, "per_round": _INT},
+        "arrays": {
+            # "regimes" rows nest an "engines" array, checked below.
+            "regimes": {"name": _STR},
+        },
+        # Nested objects: dotted path -> required keys.
+        "objects": {
+            "wire_codec": {"regime": _STR, "workers": _INT,
+                           "down_bytes_reduction": _NUM},
+            "wire_codec.identity": _RUN_KEYS,
+            "wire_codec.topk": _RUN_KEYS,
+        },
+    },
+}
+
+ENGINE_ROW = {"engine": _STR, "workers": _INT, "seconds": _NUM,
+              "speedup_vs_1w": _NUM}
+
+
+def type_ok(value, tag):
+    if tag == _NUM:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if tag == _INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if tag == _STR:
+        return isinstance(value, str)
+    if tag == _BOOL:
+        return isinstance(value, bool)
+    raise ValueError(f"unknown type tag {tag}")
+
+
+def check_keys(obj, spec, where, errors):
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: expected object, got {type(obj).__name__}")
+        return
+    for key, tag in spec.items():
+        if key not in obj:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not type_ok(obj[key], tag):
+            errors.append(
+                f"{where}.{key}: expected {tag}, got "
+                f"{json.dumps(obj[key])[:40]}")
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+
+    name = doc.get("bench")
+    if not isinstance(name, str):
+        return [f"{path}: missing string 'bench' name"]
+    if doc.get("schema_version") != 1:
+        errors.append(f"{path}: schema_version must be 1, got "
+                      f"{doc.get('schema_version')!r}")
+    spec = SPECS.get(name)
+    if spec is None:
+        return errors + [
+            f"{path}: unknown bench '{name}' (known: "
+            f"{', '.join(sorted(SPECS))}) — add a spec before uploading"]
+
+    check_keys(doc.get("config"), spec.get("config", {}),
+               f"{path}:config", errors)
+    for arr_key, row_spec in spec.get("arrays", {}).items():
+        rows = doc.get(arr_key)
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"{path}: '{arr_key}' must be a non-empty array")
+            continue
+        for i, row in enumerate(rows):
+            check_keys(row, row_spec, f"{path}:{arr_key}[{i}]", errors)
+    for dotted, obj_spec in spec.get("objects", {}).items():
+        node = lookup(doc, dotted)
+        if node is None:
+            errors.append(f"{path}: missing object '{dotted}'")
+        else:
+            check_keys(node, obj_spec, f"{path}:{dotted}", errors)
+
+    # bench_distributed nests engine rows inside each regime.
+    if name == "bench_distributed":
+        for i, regime in enumerate(doc.get("regimes") or []):
+            engines = regime.get("engines") if isinstance(regime, dict) \
+                else None
+            if not isinstance(engines, list) or not engines:
+                errors.append(
+                    f"{path}:regimes[{i}]: 'engines' must be a non-empty "
+                    f"array")
+                continue
+            for k, row in enumerate(engines):
+                check_keys(row, ENGINE_ROW,
+                           f"{path}:regimes[{i}].engines[{k}]", errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(argv) - 1} bench JSON file(s): schema OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh bench JSON against the committed
+baseline under tests/data/bench/ and fail on regressions.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+                        [--wall-tolerance X] [--wall-slack SECONDS]
+
+Both files must come from the same bench binary run with the same flags
+(CI regenerates CURRENT with exactly the flags the baseline was built
+with). Metrics are classified by key name into three gates:
+
+  wall   seconds, wall_ms, sim_seconds — wall-clock. One-sided: the gate
+         fails only when CURRENT exceeds BASELINE by more than
+         --wall-tolerance (default 0.25, i.e. a >25%% regression) PLUS
+         --wall-slack absolute seconds (default 0.5). The slack keeps
+         sub-second CI-scale runs from flaking on scheduler noise —
+         there, only a regression measured in real fractions of a second
+         trips; at paper scale the relative tolerance dominates.
+         Getting faster never fails. speedup_vs_1w is the ratio of two
+         such noisy numbers, so it is reported but never gated.
+
+  floor  *reduction* — "bigger is better" ratios of deterministic byte
+         counts. Fails when CURRENT drops below BASELINE by more than
+         the wall tolerance. This is the machine-portable half of the
+         gate: a drop here means the code regressed (e.g. the wire codec
+         stopped shrinking dispatch frames), not that the runner was
+         slow.
+
+  count  *_bytes, *_frames, *_vecs — deterministic byte accounting of a
+         seeded run. Two-sided +-2%%: these are pure functions of the
+         config on one toolchain; the slack only absorbs cross-compiler
+         float drift flipping a few vectors across the sparse-enough
+         threshold, while still catching "compression silently disabled"
+         (a ~10x move).
+
+Everything else numeric is reported for the trajectory but never gates.
+Structural drift (a metric present in one file and missing in the other)
+always fails — that is what check_bench_json.py's schema plus this check
+pin between commits.
+
+Stdlib only — runs on a bare CI python3.
+"""
+import json
+import re
+import sys
+
+WALL = re.compile(r"(^|_)(seconds|wall_ms|sim_seconds)$")
+FLOOR = re.compile(r"(^|_)reduction(_|$)")
+COUNT = re.compile(r"(^|_)(bytes|frames|vecs|dispatch)(_|$)")
+COUNT_TOLERANCE = 0.02
+# wall_ms metrics share the wall class; the absolute slack is in the
+# metric's own unit, so scale it for *_ms keys.
+MS_KEY = re.compile(r"(^|_)wall_ms$")
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def classify(key):
+    if WALL.search(key):
+        return "wall"
+    if FLOOR.search(key):
+        return "floor"
+    if COUNT.search(key):
+        return "count"
+    return "info"
+
+
+def row_label(row):
+    """Identity of a row object inside an array, for stable pairing."""
+    for key in ("engine", "policy", "name", "mode", "compressor", "uplink",
+                "clients", "model"):
+        if key in row:
+            return f"{key}={row[key]}"
+    return None
+
+
+def walk(base, cur, path, out):
+    """Pair up numeric leaves of the two documents at matching paths."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in base:
+            if key not in cur:
+                out.append((f"{path}.{key}", None, None, "missing-current"))
+                continue
+            walk(base[key], cur[key], f"{path}.{key}", out)
+        for key in cur:
+            if key not in base:
+                # New metrics are fine (the trajectory grows); note them.
+                out.append((f"{path}.{key}", None, None, "new-metric"))
+    elif isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            out.append((path, None, None, "length-mismatch"))
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            label = row_label(b) if isinstance(b, dict) else None
+            if isinstance(c, dict) and label is not None and \
+                    label != (row_label(c) or label):
+                out.append((f"{path}[{i}]", None, None, "row-mismatch"))
+                continue
+            walk(b, c, f"{path}[{label or i}]", out)
+    elif is_number(base) and is_number(cur):
+        out.append((path, float(base), float(cur), "metric"))
+    elif type(base) is not type(cur):
+        out.append((path, None, None, "type-mismatch"))
+    # Matching strings/bools: nothing to gate.
+
+
+def gate(path, base, cur, wall_tol, wall_slack):
+    """Returns (class, verdict, detail)."""
+    key = path.rsplit(".", 1)[-1]
+    cls = classify(key)
+    if cls == "wall":
+        slack = wall_slack * (1000.0 if MS_KEY.search(key) else 1.0)
+        if base > 0 and cur > base * (1.0 + wall_tol) + slack:
+            return cls, "FAIL", (f"{cur:.4g} vs {base:.4g} "
+                                 f"(+{(cur / base - 1) * 100:.0f}%)")
+        return cls, "ok", f"{cur:.4g} vs {base:.4g}"
+    if cls == "floor":
+        if base > 0 and cur < base * (1.0 - wall_tol):
+            return cls, "FAIL", (f"{cur:.4g} vs {base:.4g} "
+                                 f"({(cur / base - 1) * 100:.0f}%)")
+        return cls, "ok", f"{cur:.4g} vs {base:.4g}"
+    if cls == "count":
+        if base == 0.0:
+            bad = cur != 0.0
+        else:
+            bad = abs(cur - base) > abs(base) * COUNT_TOLERANCE
+        if bad:
+            return cls, "FAIL", f"{cur:.6g} vs {base:.6g}"
+        return cls, "ok", f"{cur:.6g}"
+    return cls, "info", f"{cur:.4g} vs {base:.4g}"
+
+
+def main(argv):
+    args = []
+    wall_tol = 0.25
+    wall_slack = 0.5
+    it = iter(argv[1:])
+    for a in it:
+        if a in ("--wall-tolerance", "--wall-slack"):
+            try:
+                value = float(next(it))
+            except (StopIteration, ValueError):
+                print(f"{a} needs a number", file=sys.stderr)
+                return 2
+            if a == "--wall-tolerance":
+                wall_tol = value
+            else:
+                wall_slack = value
+        elif a.startswith("--"):
+            print(f"unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, current_path = args
+
+    docs = []
+    for path in (baseline_path, current_path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+    baseline, current = docs
+    if baseline.get("bench") != current.get("bench"):
+        print(f"bench mismatch: baseline is {baseline.get('bench')!r}, "
+              f"current is {current.get('bench')!r}", file=sys.stderr)
+        return 1
+
+    leaves = []
+    walk(baseline, current, baseline.get("bench", "$"), leaves)
+
+    failures = []
+    gated = 0
+    for path, base, cur, kind in leaves:
+        if kind == "metric":
+            cls, verdict, detail = gate(path, base, cur, wall_tol, wall_slack)
+            if cls != "info":
+                gated += 1
+            if verdict == "FAIL":
+                failures.append(f"[{cls}] {path}: {detail}")
+        elif kind == "new-metric":
+            print(f"note: new metric {path} (not in baseline)")
+        else:
+            failures.append(f"[structure] {path}: {kind}")
+
+    for f in failures:
+        print(f"REGRESSION {f}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {baseline_path} "
+              f"(wall tolerance {wall_tol:.0%})", file=sys.stderr)
+        return 1
+    print(f"perf gate green: {gated} gated metrics within tolerance "
+          f"(wall {wall_tol:.0%}, counts {COUNT_TOLERANCE:.0%}) vs "
+          f"{baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Bench smoke: every bench with a JSON emitter runs at CI scale and its
+# BENCH_* artifact passes the schema gate before upload.
+#
+# bench_distributed's flags here MUST match the committed baseline under
+# tests/data/bench/ — the perf gate (compare_bench.py) diffs the two and
+# only runs with identical flags are comparable.
+# Usage: smoke_bench.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "${1:-build}"
+
+./bench_heterogeneity --rounds 3 --scale 0.05 --json
+./bench_sched_async --rounds 3 --scale 0.05 --json
+./bench_comm_compression --rounds 2 --scale 0.05 --json
+./bench_distributed --rounds 2 --scale 0.02 --json
+./bench_scale --rounds 2 --scale 0.02 --json
+
+python3 "$ROOT/tools/ci/check_bench_json.py" \
+  bench_heterogeneity.json bench_sched_async.json \
+  bench_comm_compression.json bench_distributed.json bench_scale.json

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Checkpoint smoke: save -> resume is deterministic, wire format decodes.
+# Usage: smoke_checkpoint.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "${1:-build}"
+
+./run_experiment --method FedTrip --rounds 2 --scale 0.05 \
+  --save-model leg1.bin
+./run_experiment --method FedTrip --rounds 2 --scale 0.05 \
+  --load-model leg1.bin --save-model resume_a.bin
+./run_experiment --method FedTrip --rounds 2 --scale 0.05 \
+  --load-model leg1.bin --save-model resume_b.bin
+cmp resume_a.bin resume_b.bin
+./wire_dump leg1.bin resume_a.bin

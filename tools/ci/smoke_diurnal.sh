@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Diurnal trace smoke: the shipped example availability trace drives a run.
+# Usage: smoke_diurnal.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "${1:-build}"
+
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --schedule deadline \
+  --availability "$ROOT/tests/data/traces/diurnal.csv"

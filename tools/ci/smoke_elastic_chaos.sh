@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Elastic chaos smoke: 3 workers with drop+rejoin and a deterministic
+# straggler; the run must stay bit-identical to in-process.
+# Usage: smoke_elastic_chaos.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "${1:-build}"
+
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --per-round 6 --schedule deadline --compressor ef+topk --delta \
+  --network straggler --compute-profile bimodal \
+  --availability markov --out inproc_elastic.csv
+# Worker 1 drops its connection mid-run and rejoins; worker 2 is a
+# deterministic straggler (sheds load through stealing); worker 3 is
+# clean. The run must still match the in-process CSV exactly.
+./fl_worker --listen 5711 --max-sessions 1 --chaos-drop-after 2 \
+  2> w1.log &
+./fl_worker --listen 5712 --max-sessions 1 --chaos-delay-ms 25 \
+  2> w2.log &
+./fl_worker --listen 5713 --max-sessions 1 2> w3.log &
+sleep 1
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --per-round 6 --schedule deadline --compressor ef+topk --delta \
+  --network straggler --compute-profile bimodal \
+  --availability markov \
+  --connect 127.0.0.1:5711,127.0.0.1:5712,127.0.0.1:5713 \
+  --elastic --heartbeat-interval 0.05 --out elastic.csv
+wait
+cat w1.log w2.log w3.log
+diff inproc_elastic.csv elastic.csv
+grep -q "rejoined" w1.log  # the drop+rejoin actually happened

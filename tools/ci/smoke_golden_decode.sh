@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Golden decode smoke: every committed wire-format fixture (net session
+# records included) must decode cleanly with wire_dump.
+# Usage: smoke_golden_decode.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "${1:-build}"
+
+./wire_dump "$ROOT"/tests/data/wire/*.bin

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Scheduler smoke: fastk + async + deadline over the straggler network.
+# Usage: smoke_scheduler.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "${1:-build}"
+
+./run_experiment --schedule fastk --network straggler \
+  --method FedAvg --rounds 3 --scale 0.05
+./run_experiment --schedule async --network straggler \
+  --method FedTrip --rounds 3 --scale 0.05 --buffer 2 \
+  --staleness-alpha 1.0
+./run_experiment --schedule deadline --network straggler \
+  --compute-profile bimodal --availability markov \
+  --method FedTrip --rounds 3 --scale 0.05

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Trace smoke: a 2-worker traced run is bit-transparent and exports a
+# valid merged Chrome trace + metrics JSON (one lane per process).
+# Usage: smoke_trace.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "${1:-build}"
+
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --schedule fastk --compressor ef+topk --network straggler \
+  --out untraced.csv
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --schedule fastk --compressor ef+topk --network straggler \
+  --workers-remote 2 --trace-out trace.json \
+  --metrics-out metrics.json --out traced.csv
+diff untraced.csv traced.csv   # tracing is bit-transparent
+python3 - <<'EOF'
+import json
+trace = json.load(open("trace.json"))
+events = trace["traceEvents"]
+assert events, "empty trace"
+for e in events:
+    assert e["ph"] in ("X", "M"), e
+    assert isinstance(e["name"], str) and "pid" in e, e
+    if e["ph"] == "X":
+        assert "ts" in e and "dur" in e and "tid" in e, e
+lanes = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "process_name"}
+assert len(lanes) == 3, f"want coordinator + 2 workers: {lanes}"
+metrics = json.load(open("metrics.json"))
+assert len(metrics["lanes"]) == 3, metrics["lanes"]
+EOF
+./trace_dump trace.json

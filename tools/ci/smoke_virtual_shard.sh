@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Virtual-shard smoke: per-dispatch shard synthesis is bit-identical to
+# materialized shards, in-process and through a 2-process worker pool.
+# Usage: smoke_virtual_shard.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "${1:-build}"
+
+./run_experiment --method FedTrip --rounds 3 --scale 0.02 \
+  --clients 40 --per-round 6 --client-data shard \
+  --shard-samples 8 --compressor ef+topk --delta \
+  --network straggler --availability markov \
+  --out shard.csv
+./run_experiment --method FedTrip --rounds 3 --scale 0.02 \
+  --clients 40 --per-round 6 --client-data virtual \
+  --shard-samples 8 --compressor ef+topk --delta \
+  --network straggler --availability markov \
+  --out virtual.csv
+diff shard.csv virtual.csv
+# And through a real 2-process worker pool.
+./run_experiment --method FedTrip --rounds 3 --scale 0.02 \
+  --clients 40 --per-round 6 --client-data virtual \
+  --shard-samples 8 --compressor ef+topk --delta \
+  --network straggler --availability markov \
+  --workers-remote 2 --out virtual_dist.csv
+diff shard.csv virtual_dist.csv

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Wire smoke: a byte-exact run matches the in-process path bit for bit.
+# Usage: smoke_wire.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "${1:-build}"
+
+./run_experiment --compressor topk --down-compressor qsgd8 \
+  --method FedTrip --rounds 3 --scale 0.05 --out inproc.csv
+./run_experiment --compressor topk --down-compressor qsgd8 \
+  --method FedTrip --rounds 3 --scale 0.05 --byte-exact \
+  --out byteexact.csv
+diff inproc.csv byteexact.csv

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/compressor.h"
@@ -94,9 +96,41 @@ void dump_payload(const wire::Record& rec) {
   }
 }
 
+/// Rebuilds the wire codec a dispatch/result record was framed with from
+/// its aux tag (low byte: codec kind; second byte: qsgd bit width). No
+/// sender-side fraction is needed to *decode* — topk and randmask
+/// payloads are self-describing — so placeholder params suffice.
+std::optional<net::WireCodec> codec_from_tag(std::uint32_t aux) {
+  const auto kind = static_cast<comm::Codec>(aux & 0xFF);
+  const int param = static_cast<int>((aux >> 8) & 0xFF);
+  comm::CommParams p;
+  const char* name = nullptr;
+  switch (kind) {
+    case comm::Codec::kIdentity:
+      return std::nullopt;
+    case comm::Codec::kTopK:
+      name = "topk";
+      break;
+    case comm::Codec::kQsgd:
+      name = "qsgd";
+      p.qsgd_bits = param;
+      break;
+    case comm::Codec::kRandMask:
+      name = "randmask";
+      break;
+  }
+  if (name == nullptr) {
+    throw std::runtime_error("unknown wire codec tag 0x" +
+                             std::to_string(aux));
+  }
+  return net::WireCodec(name, p, /*seed=*/0);
+}
+
 void dump_net_record(const wire::Record& rec) {
   const std::uint8_t* data = rec.bytes.data();
   const std::size_t size = rec.bytes.size();
+  const std::optional<net::WireCodec> wc = codec_from_tag(rec.aux);
+  const net::WireCodec* wcp = wc.has_value() ? &*wc : nullptr;
   switch (rec.type) {
     case wire::RecordType::kNetHello: {
       const auto m = net::parse_hello(data, size);
@@ -128,11 +162,21 @@ void dump_net_record(const wire::Record& rec) {
       break;
     }
     case wire::RecordType::kNetDispatch: {
-      const auto m = net::parse_dispatch_batch(data, size);
+      net::WireStats ws;
+      const auto m = net::parse_dispatch_batch(data, size, wcp, &ws);
       std::printf("  net dispatch batch %llu: %zu snapshot(s), %zu "
                   "dispatch(es)\n",
                   static_cast<unsigned long long>(m.batch_seq),
                   m.param_sets.size(), m.dispatches.size());
+      if (wcp != nullptr) {
+        std::printf("    wire codec %s (tag 0x%x): %llu wire bytes for "
+                    "%llu raw, %llu vec(s) encoded, %llu raw\n",
+                    wcp->name().c_str(), rec.aux,
+                    static_cast<unsigned long long>(ws.wire_bytes),
+                    static_cast<unsigned long long>(ws.raw_bytes),
+                    static_cast<unsigned long long>(ws.encoded_vecs),
+                    static_cast<unsigned long long>(ws.raw_vecs));
+      }
       for (const auto& d : m.dispatches) {
         std::printf("    seq %llu  client %llu  round %llu  snapshot %u  "
                     "history %s\n",
@@ -144,11 +188,21 @@ void dump_net_record(const wire::Record& rec) {
       break;
     }
     case wire::RecordType::kNetResult: {
-      const auto m = net::parse_train_result(data, size);
+      net::WireStats ws;
+      const auto m = net::parse_train_result(data, size, wcp, &ws);
       std::printf("  net train result batch %llu: %zu update(s), pre-round "
                   "flops %g\n",
                   static_cast<unsigned long long>(m.batch_seq),
                   m.updates.size(), m.pre_round_flops);
+      if (wcp != nullptr) {
+        std::printf("    wire codec %s (tag 0x%x): %llu wire bytes for "
+                    "%llu raw, %llu vec(s) encoded, %llu raw\n",
+                    wcp->name().c_str(), rec.aux,
+                    static_cast<unsigned long long>(ws.wire_bytes),
+                    static_cast<unsigned long long>(ws.raw_bytes),
+                    static_cast<unsigned long long>(ws.encoded_vecs),
+                    static_cast<unsigned long long>(ws.raw_vecs));
+      }
       for (const auto& u : m.updates) {
         std::printf("    client %llu  samples %llu  loss %g  |w| %zu  "
                     "aux %zu\n",
