@@ -17,6 +17,7 @@
 // deterministic artefact; the accompanying obs counters and the
 // equivalence tests are what pin correctness. --json writes the table for
 // the CI perf trajectory.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -29,6 +30,7 @@
 #include "net/pool.h"
 #include "net/socket.h"
 #include "net/worker.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -87,7 +89,8 @@ struct DistRun {
 
 DistRun run_distributed(const fl::ExperimentConfig& cfg,
                         std::size_t num_workers,
-                        const char* method = "FedTrip") {
+                        const char* method = "FedTrip",
+                        obs::Tracer* tracer = nullptr) {
   net::Listener listener(0);
   const std::uint16_t port = listener.port();
   std::vector<std::thread> workers;
@@ -107,6 +110,7 @@ DistRun run_distributed(const fl::ExperimentConfig& cfg,
 
   algorithms::AlgoParams p;
   fl::Simulation sim(cfg, algorithms::make_algorithm(method, p));
+  if (tracer != nullptr) sim.set_tracer(tracer);
   net::SetupMsg setup;
   setup.method = method;
   setup.algo = p;
@@ -200,6 +204,44 @@ int main(int argc, char** argv) {
   std::printf("%-14s %9.2fs %21.0f %11.2fx\n", "topk", codec_run.seconds,
               codec_pd, codec_pd > 0.0 ? raw_pd / codec_pd : 0.0);
 
+  // Phase decomposition of the comm-bound RPC wall time: what share of a
+  // batch round-trip goes to serializing dispatches, deserializing
+  // results, and everything else (socket + remote execution). Shares are
+  // ratios of wall numbers from one run, so they are far more stable
+  // across machines than the seconds themselves — compare_bench.py gates
+  // them with an absolute-delta tolerance.
+  obs::ObsConfig ph_obs;
+  ph_obs.enabled = true;
+  ph_obs.spans = false;  // counters/timers/histograms only
+  obs::Tracer ph_tracer(ph_obs);
+  (void)run_distributed(regimes(opt)[1].cfg, wc_workers, "FedAvg",
+                        &ph_tracer);
+  const obs::TraceData ph = ph_tracer.snapshot();
+  const auto timer_seconds = [&](const char* key) {
+    const auto it = ph.timers_ns.find(key);
+    return it == ph.timers_ns.end()
+               ? 0.0
+               : static_cast<double>(it->second) / 1e9;
+  };
+  double rpc_seconds = 0.0;
+  const auto rpc = ph.histograms.find("wall.rpc_batch_s");
+  if (rpc != ph.histograms.end()) rpc_seconds = rpc->second.sum;
+  double serialize_share = 0.0, deserialize_share = 0.0, other_share = 0.0;
+  if (rpc_seconds > 0.0) {
+    serialize_share =
+        std::min(1.0, timer_seconds("wire.serialize") / rpc_seconds);
+    deserialize_share = std::min(1.0 - serialize_share,
+                                 timer_seconds("wire.deserialize") /
+                                     rpc_seconds);
+    other_share = 1.0 - serialize_share - deserialize_share;
+  }
+  std::printf("\n-- comm-bound rpc phase shares (%zu workers) --\n",
+              wc_workers);
+  std::printf("%-14s %10s\n", "phase", "share");
+  std::printf("%-14s %9.1f%%\n", "serialize", 100.0 * serialize_share);
+  std::printf("%-14s %9.1f%%\n", "deserialize", 100.0 * deserialize_share);
+  std::printf("%-14s %9.1f%%\n", "other", 100.0 * other_share);
+
   if (opt.json) {
     const std::string path =
         opt.json_path.empty() ? "bench_distributed.json" : opt.json_path;
@@ -263,6 +305,14 @@ int main(int argc, char** argv) {
                 ? 0.0
                 : static_cast<double>(raw_run.traffic.down.wire_bytes) /
                       static_cast<double>(codec_run.traffic.down.wire_bytes));
+    j.end_object();
+    j.begin_object("phases");
+    j.field("regime", "comm-bound");
+    j.field("workers", wc_workers);
+    j.field("rpc_seconds", rpc_seconds);
+    j.field("serialize_share", serialize_share);
+    j.field("deserialize_share", deserialize_share);
+    j.field("other_share", other_share);
     j.end_object();
     j.end_object();
     std::fputc('\n', f);

@@ -14,6 +14,8 @@
 //       --het Dir-0.5 --rounds 50 --clients 10 --per-round 4
 //       --schedule deadline --deadline 20 --compute-profile bimodal
 //       --availability markov --network straggler --out history.csv
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -37,6 +39,8 @@
 #include "net/net_host.h"
 #include "net/pool.h"
 #include "obs/export.h"
+#include "obs/flight.h"
+#include "obs/stream.h"
 #include "obs/tracer.h"
 
 namespace {
@@ -254,6 +258,21 @@ int main(int argc, char** argv) {
          cfg.obs.enabled = true;
          cfg.obs.metrics_out = v;
        }},
+      {"--metrics-interval",
+       [&](const char* v) {
+         cfg.obs.enabled = true;
+         cfg.obs.metrics_interval_s = std::max(0.0, std::atof(v));
+       }},
+      {"--metrics-ndjson",
+       [&](const char* v) {
+         cfg.obs.enabled = true;
+         cfg.obs.metrics_stream = v;
+       }},
+      {"--flight-recorder",
+       [&](const char* v) {
+         cfg.obs.enabled = true;
+         cfg.obs.flight_dir = v;
+       }},
       {"--help",
        [&](const char*) {
          std::printf("%s", usage.c_str());
@@ -378,6 +397,40 @@ int main(int argc, char** argv) {
     tracer.emplace(cfg.obs);
     sim.set_tracer(&*tracer);
   }
+  // Crash flight recorder: the tracer feeds the event ring; a distributed
+  // failure or a fatal signal dumps <dir>/flight-<pid>.json with the last
+  // spans this process touched.
+  obs::FlightRecorder flight;
+  if (!cfg.obs.flight_dir.empty()) {
+    tracer->set_flight_recorder(&flight);
+    obs::FlightRecorder::arm_process(&flight, cfg.obs.flight_dir, &*tracer);
+    std::printf("flight recorder armed (%s/flight-<pid>.json)\n",
+                cfg.obs.flight_dir.c_str());
+  }
+  // In-flight metrics stream: one NDJSON record per due interval, merged
+  // across the coordinator and (distributed) every live worker lane.
+  const bool streaming =
+      cfg.obs.metrics_interval_s >= 0.0 || !cfg.obs.metrics_stream.empty();
+  std::optional<obs::MetricsStreamer> streamer;
+  if (streaming) {
+    const std::string stream_path = cfg.obs.metrics_stream.empty()
+                                        ? std::string("metrics.ndjson")
+                                        : cfg.obs.metrics_stream;
+    // --metrics-ndjson alone defaults to 1 s; an explicit 0 means "every
+    // poll point" (MetricsStreamer's own contract).
+    const double interval_s = cfg.obs.metrics_interval_s >= 0.0
+                                  ? cfg.obs.metrics_interval_s
+                                  : 1.0;
+    try {
+      streamer.emplace(stream_path, interval_s);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-interval: %s\n", e.what());
+      return 1;
+    }
+    std::printf("streaming live metrics to %s every %.3g s "
+                "(tail with fl_top)\n",
+                stream_path.c_str(), interval_s);
+  }
   // Lanes of the merged export: coordinator first, then one per worker
   // (filled from the StatsReports collected before shutdown).
   std::vector<obs::TraceLane> lanes;
@@ -406,6 +459,7 @@ int main(int argc, char** argv) {
         result =
             sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
               host.emplace(inner, pool, elastic_cfg);
+              if (streamer) host->set_metrics(&*streamer);
               return *host;
             });
         const auto& st = host->stats();
@@ -438,6 +492,7 @@ int main(int argc, char** argv) {
         result =
             sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
               host.emplace(inner, pool);
+              if (streamer) host->set_metrics(&*streamer);
               return *host;
             });
         if (cfg.obs.enabled) {
@@ -453,8 +508,36 @@ int main(int argc, char** argv) {
       // surface from a hostile peer's payload — both end the run with
       // the diagnostic, not a terminate.
       std::fprintf(stderr, "distributed run failed: %s\n", e.what());
+      if (!cfg.obs.flight_dir.empty()) {
+        const std::string path = flight.dump(cfg.obs.flight_dir, e.what(),
+                                             tracer ? &*tracer : nullptr);
+        if (!path.empty()) {
+          std::fprintf(stderr, "flight dump: %s\n", path.c_str());
+        }
+      }
       return 1;
     }
+  } else if (streamer) {
+    // Live streaming without a worker pool: a round sink emits the
+    // coordinator lane between rounds, stamped with the engine's virtual
+    // clock (reached through the host-wrapper hook).
+    fl::RoundHost* engine = nullptr;
+    std::uint64_t rounds_done = 0;
+    sim.set_round_sink(
+        [&](const fl::RoundRecord& r) {
+          ++rounds_done;
+          if (!streamer->due()) return;
+          std::vector<obs::TraceLane> live;
+          live.push_back({"coordinator",
+                          tracer ? tracer->snapshot() : obs::TraceData{}});
+          streamer->emit(engine != nullptr ? engine->clock_seconds() : 0.0,
+                         r.round, rounds_done, live);
+        },
+        /*keep_in_result=*/true);
+    result = sim.run_with_host([&](fl::RoundHost& h) -> sched::Host& {
+      engine = &h;
+      return h;
+    });
   } else {
     result = sim.run();
   }

@@ -125,6 +125,20 @@ const std::vector<FlagSpec>& experiment_flags() {
       {"--metrics-out", "FILE",
        "write end-of-run counters/gauges/timers JSON, one lane per "
        "process. Implies --obs"},
+      {"--metrics-interval", "X",
+       "stream merged in-flight metrics as NDJSON every X wall seconds "
+       "while the run is live (distributed runs poll every worker's "
+       "stats lane mid-run; watch with fl_top). 0 emits at every poll "
+       "point. Implies --obs; default file metrics.ndjson, see "
+       "--metrics-ndjson"},
+      {"--metrics-ndjson", "FILE",
+       "path of the live metrics stream (implies --obs and, when "
+       "--metrics-interval is unset, a 1s interval)"},
+      {"--flight-recorder", "DIR",
+       "arm the crash flight recorder: a bounded ring of recent "
+       "spans/events dumps to DIR/flight-<pid>.json on a fatal error or "
+       "signal. Implies --obs; spawn workers with their own "
+       "--flight-recorder to cover worker crashes"},
       // Meta.
       {"--help", nullptr, "print this help and exit"},
   };
@@ -153,6 +167,11 @@ const std::vector<FlagSpec>& worker_flags() {
       {"--chaos-delay-ms", "X",
        "sleep X wall ms before each dispatch batch (a deterministic "
        "straggler; forces work-stealing)"},
+      // Crash forensics (obs/flight.h).
+      {"--flight-recorder", "DIR",
+       "arm the crash flight recorder: recent spans/events dump to "
+       "DIR/flight-<pid>.json — naming the in-flight dispatch — on a "
+       "chaos kill, fatal error or signal"},
       // Meta.
       {"--help", nullptr, "print this help and exit"},
   };

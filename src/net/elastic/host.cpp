@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "net/frame.h"
+#include "obs/stats.h"
+#include "obs/stream.h"
 #include "obs/tracer.h"
 
 namespace fedtrip::net {
@@ -364,6 +366,43 @@ std::vector<fl::ClientUpdate> ElasticHost::train(
   // with the chaos of the run; this order did not.
   inner_.add_flops(pre_round_flops);
   for (const auto& u : updates) inner_.add_flops(u.flops);
+
+  if (metrics_ != nullptr && metrics_->due()) {
+    span.end();  // the stats poll is not part of the batch
+    std::vector<obs::TraceLane> lanes;
+    lanes.push_back(
+        {"coordinator", tr != nullptr ? tr->snapshot() : obs::TraceData{}});
+    // Per-worker tolerant poll: evicted slots are skipped (disconnected),
+    // rejoiners are in the slot list and answer like anyone else, and a
+    // worker dying mid-poll just loses its lane this record — the next
+    // batch's health loop evicts it with a typed reason.
+    for (const std::size_t w : health_.active_slots()) {
+      if (!pool_.connected(w)) continue;
+      const std::string& label = pool_.label(w);
+      try {
+        send_frame(pool_.worker(w), wire::RecordType::kNetStatsReq, 0, {});
+        while (true) {
+          Frame f = recv_frame(pool_.worker(w), label.c_str());
+          // The worker's beacon thread may interleave heartbeats with the
+          // report; they refresh liveness and are otherwise skipped.
+          if (f.type == wire::RecordType::kNetHeartbeat) {
+            health_.heard_from(w, now());
+            continue;
+          }
+          if (f.type != wire::RecordType::kNetStats) break;
+          lanes.push_back(
+              {label, obs::parse_stats(f.payload.data(), f.payload.size())});
+          health_.heard_from(w, now());
+          break;
+        }
+      } catch (const std::exception&) {
+        // Lost lane, surviving run.
+      }
+    }
+    const std::uint64_t round =
+        batch.empty() ? 0 : static_cast<std::uint64_t>(batch.front().round);
+    metrics_->emit(inner_.clock_seconds(), round, batch_seq_, lanes);
+  }
   return updates;
 }
 

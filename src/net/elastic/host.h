@@ -39,6 +39,10 @@
 #include "net/elastic/pool.h"
 #include "sched/scheduler.h"
 
+namespace fedtrip::obs {
+class MetricsStreamer;
+}  // namespace fedtrip::obs
+
 namespace fedtrip::net {
 
 struct ElasticConfig {
@@ -108,6 +112,13 @@ class ElasticHost final : public sched::Host {
   const ElasticStats& stats() const { return stats_; }
   const WorkerHealth& health() const { return health_; }
 
+  /// Attaches the in-flight metrics stream (non-owning; nullptr
+  /// detaches). Polling happens between batches, per live worker, and is
+  /// *tolerant*: a worker dying during the poll loses its lane for this
+  /// record and is evicted by the next batch's health loop — a stats
+  /// request must never kill a run the elastic machinery would survive.
+  void set_metrics(obs::MetricsStreamer* metrics) { metrics_ = metrics; }
+
  private:
   /// Monotonic seconds since construction — the axis WorkerHealth runs on.
   double now() const;
@@ -119,6 +130,7 @@ class ElasticHost final : public sched::Host {
   ElasticStats stats_;
   std::uint64_t batch_seq_ = 0;
   std::chrono::steady_clock::time_point epoch_;
+  obs::MetricsStreamer* metrics_ = nullptr;
 };
 
 }  // namespace fedtrip::net

@@ -54,6 +54,8 @@ void send_frame(Socket& sock, wire::RecordType type, std::uint32_t aux,
   if (tracer != nullptr) {
     tracer->count("net.frames_sent");
     tracer->count("net.bytes_sent", header.size() + payload.size());
+    tracer->observe("net.frame_bytes.sent",
+                    static_cast<double>(header.size() + payload.size()));
   }
 }
 
@@ -79,6 +81,8 @@ void send_frame_segments(Socket& sock, wire::RecordType type,
   if (tracer != nullptr) {
     tracer->count("net.frames_sent");
     tracer->count("net.bytes_sent", header.size() + total);
+    tracer->observe("net.frame_bytes.sent",
+                    static_cast<double>(header.size() + total));
   }
 }
 
@@ -115,6 +119,9 @@ Frame recv_frame(Socket& sock, const char* peer, bool eof_ok,
   if (tracer != nullptr) {
     tracer->count("net.frames_recv");
     tracer->count("net.bytes_recv", wire::kRecordHeaderBytes + f.payload.size());
+    tracer->observe(
+        "net.frame_bytes.recv",
+        static_cast<double>(wire::kRecordHeaderBytes + f.payload.size()));
   }
   return f;
 }

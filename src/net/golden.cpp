@@ -61,6 +61,12 @@ obs::TraceData canonical_stats() {
   s.t1 = 0.75;
   s.args = {{"client", 3.0}, {"round", 1.0}};
   d.spans.push_back(std::move(s));
+  // Histogram section (protocol v6): three known samples so the fixture
+  // pins count/sum/min/max and the bucket the samples land in.
+  obs::Histogram& h = d.histograms["wall.train_shard_s"];
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(2.0);
   return d;
 }
 
@@ -146,9 +152,9 @@ wire::golden::Fixture session_fixture() {
                      setup.config.seed);
   std::vector<wire::Record> records;
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{5, 5})});
+                     serialize_hello(HelloMsg{6, 6})});
   records.push_back({wire::RecordType::kNetHello, 0,
-                     serialize_hello(HelloMsg{5, 5})});
+                     serialize_hello(HelloMsg{6, 6})});
   records.push_back(
       {wire::RecordType::kNetSetup, 0, serialize_setup(setup)});
   records.push_back({wire::RecordType::kNetSetupAck, 0,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/frame.h"
+#include "obs/stream.h"
 #include "obs/tracer.h"
 
 namespace fedtrip::net {
@@ -196,6 +197,20 @@ std::vector<fl::ClientUpdate> NetHost::train(
   // remote-trainable method, so the shard-wise sum changes nothing).
   inner_.add_flops(pre_round_flops);
   for (const auto& u : updates) inner_.add_flops(u.flops);
+
+  if (metrics_ != nullptr && metrics_->due()) {
+    rpc_span.end();  // the stats poll is not part of the batch RPC
+    std::vector<obs::TraceLane> lanes;
+    lanes.push_back(
+        {"coordinator", tr != nullptr ? tr->snapshot() : obs::TraceData{}});
+    std::vector<obs::TraceData> reports = pool_.collect_stats();
+    for (std::size_t w = 0; w < reports.size(); ++w) {
+      lanes.push_back({pool_.label(w), std::move(reports[w])});
+    }
+    const std::uint64_t round =
+        batch.empty() ? 0 : static_cast<std::uint64_t>(batch.front().round);
+    metrics_->emit(inner_.clock_seconds(), round, batch_seq_, lanes);
+  }
   return updates;
 }
 

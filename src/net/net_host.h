@@ -28,6 +28,10 @@
 #include "net/pool.h"
 #include "sched/scheduler.h"
 
+namespace fedtrip::obs {
+class MetricsStreamer;
+}  // namespace fedtrip::obs
+
 namespace fedtrip::net {
 
 class NetHost final : public sched::Host {
@@ -73,11 +77,20 @@ class NetHost final : public sched::Host {
   };
   const Traffic& traffic() const { return traffic_; }
 
+  /// Attaches the in-flight metrics stream (non-owning; nullptr detaches).
+  /// When the streamer is due, train() polls every worker's stats with
+  /// the shutdown-path kNetStatsReq machinery *between* batches — the
+  /// workers are idle then — and appends one merged snapshot record.
+  /// Pure observer: dispatch bytes, RNG streams and update order are
+  /// untouched (tests/integration/obs_equivalence_test.cpp).
+  void set_metrics(obs::MetricsStreamer* metrics) { metrics_ = metrics; }
+
  private:
   fl::RoundHost& inner_;
   WorkerPool& pool_;
   std::uint64_t batch_seq_ = 0;
   Traffic traffic_;
+  obs::MetricsStreamer* metrics_ = nullptr;
 };
 
 }  // namespace fedtrip::net

@@ -51,11 +51,14 @@ namespace fedtrip::net {
 /// identically; v5 added the socket-transport block to the Setup config
 /// (NetConfig::wire_codec) and, when that codec is non-identity, the
 /// per-vector compression envelope inside DispatchBatch/TrainResult
-/// payloads (see the envelope note below); coordinator and workers deploy
-/// in lockstep (one binary, one repo), so the minimum moves with the
-/// maximum rather than carrying older shims.
-inline constexpr std::uint16_t kProtocolVersionMin = 5;
-inline constexpr std::uint16_t kProtocolVersion = 5;
+/// payloads (see the envelope note below); v6 added the histogram section
+/// to the kNetStats StatsReport payload (obs/stats.h) so worker latency
+/// distributions ride the existing stats machinery, mid-run and at
+/// shutdown; coordinator and workers deploy in lockstep (one binary, one
+/// repo), so the minimum moves with the maximum rather than carrying
+/// older shims.
+inline constexpr std::uint16_t kProtocolVersionMin = 6;
+inline constexpr std::uint16_t kProtocolVersion = 6;
 
 // ------------------------------------------------------------- handshake
 

@@ -13,6 +13,7 @@
 #include "algorithms/registry.h"
 #include "data/idx_loader.h"
 #include "fl/simulation.h"
+#include "obs/flight.h"
 #include "obs/stats.h"
 #include "obs/tracer.h"
 
@@ -206,11 +207,15 @@ SessionEnd WorkerServer::serve(Socket conn) {
   diag_cfg.enabled = true;
   diag_cfg.spans = false;
   obs::Tracer tracer(diag_cfg);
+  if (flight_ != nullptr) tracer.set_flight_recorder(flight_);
   // Guards the socket's write side between the serve loop and the
   // heartbeat thread (elastic sessions; uncontended otherwise).
   std::mutex send_mu;
   std::atomic<std::uint64_t> current_batch{0};
   std::optional<HeartbeatThread> heartbeat;
+  // "batch_seq=3 dispatches=2 clients=1,5" of the most recent dispatch —
+  // what a flight dump reports the worker held when it died.
+  std::string last_dispatch;
   try {
     // Handshake: the coordinator offers its version range, the worker
     // answers with the negotiated version (echoed as a degenerate range).
@@ -270,6 +275,17 @@ SessionEnd WorkerServer::serve(Socket conn) {
           auto batch = parse_dispatch_batch(f.payload.data(),
                                             f.payload.size(), &wire_codec);
           const std::size_t count = batch.dispatches.size();
+          if (flight_ != nullptr) {
+            last_dispatch = "batch_seq=" + std::to_string(batch.batch_seq) +
+                            " dispatches=" + std::to_string(count) +
+                            " clients=";
+            for (std::size_t i = 0; i < count && i < 8; ++i) {
+              if (i > 0) last_dispatch += ',';
+              last_dispatch += std::to_string(batch.dispatches[i].client_id);
+            }
+            if (count > 8) last_dispatch += ",...";
+            flight_->note("dispatch " + last_dispatch);
+          }
           if (world.elastic) {
             // Receipt ack before training: lets the coordinator tell
             // "died holding the batch" from "never saw it".
@@ -303,6 +319,15 @@ SessionEnd WorkerServer::serve(Socket conn) {
               dispatches_total_ >= chaos_.kill_after_dispatches) {
             logf("chaos: crashing after %llu dispatches",
                  static_cast<unsigned long long>(dispatches_total_.load()));
+            if (flight_ != nullptr) {
+              const std::string path = flight_->dump(
+                  flight_dir_,
+                  "chaos kill after " +
+                      std::to_string(dispatches_total_.load()) +
+                      " dispatches",
+                  &tracer, {{"last_dispatch", last_dispatch}});
+              if (!path.empty()) logf("flight dump: %s", path.c_str());
+            }
             if (heartbeat) heartbeat->stop();
             conn.close();
             return SessionEnd::kChaosKilled;
@@ -310,6 +335,12 @@ SessionEnd WorkerServer::serve(Socket conn) {
           if (chaos_.drop_after_dispatches > 0 && !dropped_once_ &&
               dispatches_total_ >= chaos_.drop_after_dispatches) {
             dropped_once_ = true;
+            if (flight_ != nullptr) {
+              // Survivable fault: note it for a later dump, don't dump now.
+              flight_->note("chaos drop after " +
+                            std::to_string(dispatches_total_.load()) +
+                            " dispatches");
+            }
             logf("chaos: dropping the connection after %llu dispatches",
                  static_cast<unsigned long long>(dispatches_total_.load()));
             if (heartbeat) heartbeat->stop();
@@ -363,6 +394,11 @@ SessionEnd WorkerServer::serve(Socket conn) {
     const std::string counters = tracer.counters_brief();
     if (!counters.empty()) diag += " | counters: " + counters;
     logf("fatal: %s", diag.c_str());
+    if (flight_ != nullptr) {
+      const std::string path = flight_->dump(
+          flight_dir_, diag, &tracer, {{"last_dispatch", last_dispatch}});
+      if (!path.empty()) logf("flight dump: %s", path.c_str());
+    }
     // Best effort: ship the diagnostic to the coordinator before dying, so
     // the run fails with the cause instead of a bare disconnect.
     try {

@@ -36,6 +36,10 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 
+namespace fedtrip::obs {
+class FlightRecorder;
+}  // namespace fedtrip::obs
+
 namespace fedtrip::net {
 
 /// How a session ended. Chaos endings leave the connection closed without
@@ -72,6 +76,15 @@ class WorkerServer {
   const std::string& rejoin_host() const { return rejoin_host_; }
   std::uint16_t rejoin_port() const { return rejoin_port_; }
 
+  /// Arms the crash flight recorder (non-owning; obs/flight.h): each
+  /// session's tracer feeds its event ring, and a chaos kill or fatal
+  /// error dumps `<dir>/flight-<pid>.json` — naming the last dispatch the
+  /// worker held — before the process goes down.
+  void set_flight_recorder(obs::FlightRecorder* rec, std::string dir) {
+    flight_ = rec;
+    flight_dir_ = std::move(dir);
+  }
+
  private:
   void logf(const char* fmt, ...);
 
@@ -82,6 +95,8 @@ class WorkerServer {
   bool dropped_once_ = false;
   std::string rejoin_host_;
   std::uint16_t rejoin_port_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::string flight_dir_;
 };
 
 }  // namespace fedtrip::net

@@ -24,6 +24,20 @@ struct ObsConfig {
   /// "don't write".
   std::string trace_out;    // Chrome trace-event JSON (Perfetto-loadable)
   std::string metrics_out;  // end-of-run counter/gauge/timer JSON
+
+  /// In-flight metrics streaming (obs/stream.h): wall seconds between
+  /// appended snapshot records. 0 (the default) = no streaming. Like the
+  /// paths above, coordinator-side only — workers are polled over the
+  /// wire with the kNetStatsReq machinery they already speak.
+  /// -1 = streaming off unless metrics_stream is set; 0 = emit at every
+  /// poll point (the CI-friendly "no wall clock in the loop" setting).
+  double metrics_interval_s = -1.0;
+  /// NDJSON stream path; empty with streaming on means "metrics.ndjson".
+  std::string metrics_stream;
+
+  /// Flight-recorder dump directory (obs/flight.h); empty = recorder off.
+  /// Coordinator-side: each fl_worker arms its own with --flight-recorder.
+  std::string flight_dir;
 };
 
 }  // namespace fedtrip::obs

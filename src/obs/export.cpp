@@ -88,31 +88,47 @@ void write_chrome_trace(const std::string& path,
   close_checked(std::move(f), path);
 }
 
+void write_lane_json(JsonWriter& j, const TraceLane& lane) {
+  j.begin_object();
+  j.field_escaped("name", lane.name);
+  j.begin_object("counters");
+  for (const auto& [k, v] : lane.data.counters) {
+    j.field(k.c_str(), static_cast<std::size_t>(v));
+  }
+  j.end_object();
+  j.begin_object("gauges");
+  for (const auto& [k, v] : lane.data.gauges) j.field(k.c_str(), v);
+  j.end_object();
+  j.begin_object("timers_ns");
+  for (const auto& [k, v] : lane.data.timers_ns) {
+    j.field(k.c_str(), static_cast<std::size_t>(v));
+  }
+  j.end_object();
+  j.begin_object("histograms");
+  for (const auto& [k, h] : lane.data.histograms) {
+    if (h.count == 0) continue;  // min/max are meaningless when empty
+    j.begin_object(k.c_str());
+    j.field("count", static_cast<std::size_t>(h.count));
+    j.field("sum", h.sum);
+    j.field("min", h.min);
+    j.field("max", h.max);
+    j.field("p50", h.percentile(0.50));
+    j.field("p95", h.percentile(0.95));
+    j.field("p99", h.percentile(0.99));
+    j.end_object();
+  }
+  j.end_object();
+  j.field("spans", lane.data.spans.size());
+  j.end_object();
+}
+
 void write_metrics_json(const std::string& path,
                         const std::vector<TraceLane>& lanes) {
   File f = open_for_write(path);
   JsonWriter j(f.get());
   j.begin_object();
   j.begin_array("lanes");
-  for (const TraceLane& lane : lanes) {
-    j.begin_object();
-    j.field_escaped("name", lane.name);
-    j.begin_object("counters");
-    for (const auto& [k, v] : lane.data.counters) {
-      j.field(k.c_str(), static_cast<std::size_t>(v));
-    }
-    j.end_object();
-    j.begin_object("gauges");
-    for (const auto& [k, v] : lane.data.gauges) j.field(k.c_str(), v);
-    j.end_object();
-    j.begin_object("timers_ns");
-    for (const auto& [k, v] : lane.data.timers_ns) {
-      j.field(k.c_str(), static_cast<std::size_t>(v));
-    }
-    j.end_object();
-    j.field("spans", lane.data.spans.size());
-    j.end_object();
-  }
+  for (const TraceLane& lane : lanes) write_lane_json(j, lane);
   j.end_array();
   j.end_object();
   std::fputc('\n', f.get());

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/tracer.h"
 
 namespace fedtrip::obs {
@@ -27,5 +28,11 @@ void write_chrome_trace(const std::string& path,
 /// JsonWriter the bench artifacts use.
 void write_metrics_json(const std::string& path,
                         const std::vector<TraceLane>& lanes);
+
+/// Emits one lane as a JSON object (name + every registry, histograms as
+/// count/sum/min/max/p50/p95/p99, spans as a count). Shared by
+/// write_metrics_json and the NDJSON streamer (obs/stream.h) so the two
+/// lane schemas cannot drift. Empty histograms are skipped.
+void write_lane_json(JsonWriter& j, const TraceLane& lane);
 
 }  // namespace fedtrip::obs

@@ -1,0 +1,94 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fedtrip::obs {
+
+void Histogram::observe(double v) {
+  if (!std::isfinite(v)) return;
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  ++buckets[bucket_of(v)];
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets[i] += o.buckets[i];
+}
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
+  if (std::isinf(v)) return kNumBuckets - 1;
+  const int e = std::ilogb(v);
+  if (e < kMinExp) return 0;
+  if (e > kMaxExp) return kNumBuckets - 1;
+  return static_cast<std::size_t>(e - kMinExp) + 1;
+}
+
+double Histogram::bucket_lo(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i) - 1);
+}
+
+double Histogram::bucket_hi(std::size_t i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+}
+
+double Histogram::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  // The rank-1 and rank-count samples ARE the tracked extremes — return
+  // them exactly instead of a bucket estimate (p0/p100 exact, and every
+  // quantile of a single-sample histogram is that sample).
+  if (target == 1) return min;
+  if (target == count) return max;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets[i];
+    if (cum < target) continue;
+    double est;
+    if (i == 0) {
+      est = min;
+    } else if (i == kNumBuckets - 1) {
+      est = max;
+    } else {
+      est = std::sqrt(bucket_lo(i) * bucket_hi(i));
+    }
+    return std::clamp(est, min, max);
+  }
+  return max;  // unreachable when bucket counts sum to `count`
+}
+
+std::string histogram_row(const Histogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu p50=%.4g p95=%.4g p99=%.4g min=%.4g max=%.4g "
+                "sum=%.4g",
+                static_cast<unsigned long long>(h.count), h.percentile(0.50),
+                h.percentile(0.95), h.percentile(0.99), h.min, h.max, h.sum);
+  return buf;
+}
+
+}  // namespace fedtrip::obs

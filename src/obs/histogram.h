@@ -1,0 +1,81 @@
+// Log-bucketed histogram for the Tracer registry (docs/OBSERVABILITY.md,
+// "Histogram catalog").
+//
+// Bucket boundaries are FIXED powers of two — every Histogram in every
+// process uses the identical 86-bucket layout, so merging two histograms
+// is an elementwise add: order-independent, associative, commutative
+// (tests/obs/histogram_test.cpp pins all three). That is what lets a
+// coordinator fold worker snapshots shipped over the wire (obs/stats.h)
+// into fleet-wide percentiles without resampling.
+//
+// Like the rest of the registry, histograms split by clock domain through
+// their *names*, not their type: `vspan.*` histograms are fed from the
+// deterministic virtual clock and are bit-identical across runs, worker
+// counts, and engines; `wall.*`, `net.*`, and `*_ns` histograms measure
+// real time or real traffic and are never compared (see
+// tests/integration/obs_equivalence_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fedtrip::obs {
+
+struct Histogram {
+  /// Bucket i >= 1 covers [2^(kMinExp+i-1), 2^(kMinExp+i)); bucket 0 is
+  /// the underflow bucket (everything below 2^kMinExp, including zero),
+  /// the last bucket is the overflow bucket. 2^-40 ~ 9.1e-13 to
+  /// 2^44 ~ 1.8e13 spans nanosecond timers, sub-microsecond virtual
+  /// durations, and multi-gigabyte byte counts alike.
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 43;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 3);
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  /// Exact extremes of the observed values (not bucket edges). Meaningful
+  /// only when count > 0; exporters skip empty histograms.
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+
+  /// Records one sample. Non-finite values are ignored (no recorder emits
+  /// them; a NaN must not poison sum/min/max).
+  void observe(double v);
+
+  /// Elementwise fold of `o` into *this. merge(a,b) == merge(b,a) and
+  /// merging is associative — fixed shared boundaries make the bucket
+  /// vectors addable. Exact for count/min/max/buckets; the double `sum`
+  /// accumulates in fold order, so it is order-independent only up to
+  /// the last ulp (percentiles never read it).
+  void merge(const Histogram& o);
+
+  /// Estimated q-quantile (q in [0, 1], clamped): walks the cumulative
+  /// bucket counts to the bucket holding the ceil(q*count)-th sample and
+  /// returns its geometric midpoint, clamped to [min, max] (exact at the
+  /// extremes, within a 2x bucket elsewhere). 0 when empty.
+  double percentile(double q) const;
+
+  /// Bucket index a value lands in (total function: NaN and negatives go
+  /// to the underflow bucket, +inf to the overflow bucket).
+  static std::size_t bucket_of(double v);
+  /// Lower/upper edge of bucket i (bucket 0's lower edge is 0, the
+  /// overflow bucket's upper edge is +inf).
+  static double bucket_lo(std::size_t i);
+  static double bucket_hi(std::size_t i);
+
+  bool operator==(const Histogram& o) const {
+    return count == o.count && sum == o.sum && min == o.min &&
+           max == o.max && buckets == o.buckets;
+  }
+};
+
+/// One-line summary, shared by trace_dump and fl_top so the format is
+/// pinned in exactly one place (tests/obs/histogram_test.cpp golden):
+/// "n=100 p50=0.0013 p95=0.0051 p99=0.0098 min=0.001 max=0.01 sum=0.21"
+std::string histogram_row(const Histogram& h);
+
+}  // namespace fedtrip::obs

@@ -71,6 +71,16 @@ std::vector<std::uint8_t> serialize_stats(const TraceData& data) {
       w.f64(value);
     }
   }
+  w.u32(static_cast<std::uint32_t>(data.histograms.size()));
+  for (const auto& [name, h] : data.histograms) {
+    write_string(w, name);
+    w.u64(h.count);
+    w.f64(h.sum);
+    w.f64(h.min);
+    w.f64(h.max);
+    w.u16(static_cast<std::uint16_t>(Histogram::kNumBuckets));
+    for (std::uint64_t b : h.buckets) w.u64(b);
+  }
   return w.take();
 }
 
@@ -123,6 +133,32 @@ TraceData parse_stats(const std::uint8_t* data, std::size_t size) {
       s.args.emplace_back(std::move(name), r.f64());
     }
     out.spans.push_back(std::move(s));
+  }
+
+  // name(>=2) + count(8) + sum/min/max(24) + n_buckets(2); the bucket
+  // array's 8*kNumBuckets bytes are require()d per entry below.
+  const std::uint32_t n_hists = r.u32();
+  check_count(r, n_hists, 36, "histogram");
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    std::string name = read_string(r);
+    Histogram h;
+    h.count = r.u64();
+    h.sum = r.f64();
+    h.min = r.f64();
+    h.max = r.f64();
+    const std::uint16_t n_buckets = r.u16();
+    if (n_buckets != Histogram::kNumBuckets) {
+      // Fixed shared boundaries are the merge contract; a foreign layout
+      // is a protocol violation, not something to resample.
+      throw wire::WireError("stats histogram bucket count " +
+                            std::to_string(n_buckets) + " != " +
+                            std::to_string(Histogram::kNumBuckets));
+    }
+    r.require(static_cast<std::size_t>(n_buckets) * 8);
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      h.buckets[b] = r.u64();
+    }
+    out.histograms[std::move(name)] = h;
   }
 
   r.expect_end();

@@ -11,6 +11,11 @@
 //   u32 n_timers,   n × (str name, u64 nanoseconds)
 //   u32 n_spans,    n × (str name, u8 clock, u32 track, f64 t0, f64 t1,
 //                        u16 n_args, n × (str name, f64 value))
+//   u32 n_hists,    n × (str name, u64 count, f64 sum, f64 min, f64 max,
+//                        u16 n_buckets, n × u64)
+// The histogram section (protocol v6) requires n_buckets ==
+// Histogram::kNumBuckets exactly — both ends share the fixed power-of-two
+// bucket layout, which is what makes parsed histograms mergeable.
 #pragma once
 
 #include <cstdint>

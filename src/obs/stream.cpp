@@ -1,0 +1,54 @@
+#include "obs/stream.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace fedtrip::obs {
+
+MetricsStreamer::MetricsStreamer(std::string path, double interval_s)
+    : path_(std::move(path)),
+      interval_s_(interval_s),
+      epoch_(std::chrono::steady_clock::now()),
+      last_(epoch_) {
+  f_ = std::fopen(path_.c_str(), "w");
+  if (f_ == nullptr) {
+    throw std::runtime_error("cannot open " + path_ + " for write");
+  }
+}
+
+MetricsStreamer::~MetricsStreamer() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+bool MetricsStreamer::due() const {
+  if (!emitted_) return true;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_)
+             .count() >= interval_s_;
+}
+
+void MetricsStreamer::emit(double virtual_s, std::uint64_t round,
+                           std::uint64_t batch_seq,
+                           const std::vector<TraceLane>& lanes) {
+  const auto now = std::chrono::steady_clock::now();
+  JsonWriter j(f_);
+  j.begin_object();
+  j.field("t_wall_s", std::chrono::duration<double>(now - epoch_).count());
+  j.field("t_virtual_s", virtual_s);
+  j.field("round", static_cast<std::size_t>(round));
+  j.field("batch_seq", static_cast<std::size_t>(batch_seq));
+  j.begin_array("lanes");
+  for (const TraceLane& lane : lanes) write_lane_json(j, lane);
+  j.end_array();
+  j.end_object();
+  std::fputc('\n', f_);
+  // One flush per record: a tailing fl_top must only ever see complete
+  // lines.
+  std::fflush(f_);
+  last_ = now;
+  emitted_ = true;
+  ++records_;
+}
+
+}  // namespace fedtrip::obs

@@ -1,0 +1,66 @@
+// In-flight metrics streaming: appends one JSON object per line (NDJSON)
+// to a stream file while the run is still going, each record stamped with
+// wall time, virtual time, round index and batch sequence, carrying one
+// lane per process (coordinator + every polled worker). `fl_top` tails
+// the file for a live fleet view; tools/ci/check_metrics_ndjson.py pins
+// the schema:
+//
+//   {"t_wall_s":..,"t_virtual_s":..,"round":..,"batch_seq":..,
+//    "lanes":[{"name":..,"counters":{..},"gauges":{..},"timers_ns":{..},
+//              "histograms":{"<name>":{"count":..,"sum":..,"min":..,
+//                            "max":..,"p50":..,"p95":..,"p99":..}},
+//              "spans":..}, ...]}
+//
+// Streaming is a pure observer: the hosts poll workers with the existing
+// kNetStatsReq records between dispatch batches (workers answer any time
+// inside their dispatch loop), and nothing here touches RNG streams or
+// byte accounting — a streamed run stays bit-identical to a silent one
+// (tests/integration/obs_equivalence_test.cpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace fedtrip::obs {
+
+/// Single-threaded (the coordinator's scheduler thread owns it); each
+/// emit is one flushed line so a tail sees only complete records.
+class MetricsStreamer {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  /// `interval_s` <= 0 means "every poll point is due".
+  MetricsStreamer(std::string path, double interval_s);
+  ~MetricsStreamer();
+  MetricsStreamer(const MetricsStreamer&) = delete;
+  MetricsStreamer& operator=(const MetricsStreamer&) = delete;
+
+  /// True when the interval has elapsed since the last emit (always true
+  /// before the first one): the host's cue to spend wire frames polling
+  /// worker stats.
+  bool due() const;
+
+  /// Appends one record. `virtual_s` is the engine's virtual clock
+  /// (RoundHost::clock_seconds()); lanes[0] is the coordinator by
+  /// convention, evicted workers simply have no lane this record.
+  void emit(double virtual_s, std::uint64_t round, std::uint64_t batch_seq,
+            const std::vector<TraceLane>& lanes);
+
+  const std::string& path() const { return path_; }
+  std::size_t records() const { return records_; }
+
+ private:
+  std::string path_;
+  double interval_s_;
+  std::FILE* f_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point last_;
+  bool emitted_ = false;
+  std::size_t records_ = 0;
+};
+
+}  // namespace fedtrip::obs

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <exception>
 
+#include "obs/flight.h"
+
 namespace fedtrip::obs {
 
 namespace {
@@ -93,10 +95,25 @@ void Tracer::timer_ns(const std::string& name, std::uint64_t ns) {
   if (!counters_) return;
   std::lock_guard<std::mutex> lock(mu_);
   data_.timers_ns[name] += ns;
+  data_.histograms[name + "_ns"].observe(static_cast<double>(ns));
+}
+
+void Tracer::observe(const std::string& name, double value) {
+  if (!counters_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.histograms[name].observe(value);
 }
 
 void Tracer::virtual_span(const char* name, double t0, double t1,
                           std::initializer_list<WallSpan::Arg> args) {
+  if (!spans_ && !counters_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_) {
+    // Virtual durations are a deterministic function of the config, so
+    // these histograms are comparable across runs / engines / worker
+    // counts — the vspan.* half of the histogram registry.
+    data_.histograms[std::string("vspan.") + name + "_s"].observe(t1 - t0);
+  }
   if (!spans_) return;
   Span s;
   s.name = name;
@@ -106,7 +123,6 @@ void Tracer::virtual_span(const char* name, double t0, double t1,
   s.t1 = t1;
   s.args.reserve(args.size());
   for (const auto& a : args) s.args.emplace_back(a.first, a.second);
-  std::lock_guard<std::mutex> lock(mu_);
   data_.spans.push_back(std::move(s));
 }
 
@@ -131,6 +147,9 @@ std::uint64_t Tracer::open_wall_span(
   // A new span opening means normal operation: any crash context captured
   // from an earlier (caught and handled) unwind is stale.
   crash_context_.clear();
+  if (flight_ != nullptr) {
+    flight_->note("begin " + format_span(open_.back().span));
+  }
   return open_.back().token;
 }
 
@@ -148,6 +167,11 @@ void Tracer::close_wall_span(std::uint64_t token) {
       // threw.
       crash_context_ = format_span(it->span);
     }
+    if (counters_) {
+      data_.histograms["wall." + it->span.name + "_s"].observe(t1 -
+                                                               it->span.t0);
+    }
+    if (flight_ != nullptr) flight_->note("end " + it->span.name);
     if (spans_) {
       it->span.t1 = t1;
       data_.spans.push_back(std::move(it->span));

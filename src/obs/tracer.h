@@ -32,8 +32,11 @@
 #include <vector>
 
 #include "obs/config.h"
+#include "obs/histogram.h"
 
 namespace fedtrip::obs {
+
+class FlightRecorder;
 
 enum class SpanClock : std::uint8_t { kWall = 0, kVirtual = 1 };
 
@@ -57,6 +60,10 @@ struct TraceData {
   std::map<std::string, std::uint64_t> counters;  // deterministic
   std::map<std::string, double> gauges;           // deterministic
   std::map<std::string, std::uint64_t> timers_ns; // wall time: not compared
+  /// Distributions (obs/histogram.h). The name prefix carries the clock
+  /// domain: `vspan.*` are deterministic (virtual clock); everything else
+  /// is wall time or real traffic and never compared.
+  std::map<std::string, Histogram> histograms;
   std::vector<Span> spans;
 };
 
@@ -127,7 +134,13 @@ class Tracer {
   void count(const std::string& name, std::uint64_t delta = 1);
   void gauge_add(const std::string& name, double delta);
   // -- nondeterministic (wall-time) registry ---------------------------
+  /// Also feeds the `<name>_ns` histogram with the per-call duration, so
+  /// accumulated timers grow a latency distribution for free.
   void timer_ns(const std::string& name, std::uint64_t ns);
+
+  /// Records one sample into the named histogram. The caller picks the
+  /// domain through the name prefix (see TraceData::histograms).
+  void observe(const std::string& name, double value);
 
   /// Emit a completed virtual-clock span (scheduler thread only; emission
   /// order is part of the deterministic stream).
@@ -162,6 +175,14 @@ class Tracer {
     spans_ = on;
   }
 
+  /// Attaches a flight recorder (non-owning; nullptr detaches): every wall
+  /// span open/close is noted into its ring so a post-mortem dump shows
+  /// the recent event history, not just the deepest open span.
+  void set_flight_recorder(FlightRecorder* fr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flight_ = fr;
+  }
+
  private:
   friend class WallSpan;
 
@@ -185,6 +206,7 @@ class Tracer {
   TraceData data_;
   std::vector<OpenSpan> open_;  // open order; back() is most recent
   std::string crash_context_;  // deepest span torn down by an unwind
+  FlightRecorder* flight_ = nullptr;  // non-owning post-mortem ring
   std::uint64_t next_token_ = 1;
   std::map<std::thread::id, std::uint32_t> tracks_;
   std::uint32_t next_track_ = 1;  // 0 is reserved for the virtual lane

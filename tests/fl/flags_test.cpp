@@ -63,6 +63,12 @@ TEST(FlagsTest, CoversEverySubsystemsFlags) {
        {"--elastic", "--heartbeat-interval", "--worker-deadline"}) {
     EXPECT_TRUE(names.count(flag)) << flag;
   }
+  // The live telemetry flags (docs/OBSERVABILITY.md).
+  for (const char* flag : {"--obs", "--trace-out", "--metrics-out",
+                           "--metrics-interval", "--metrics-ndjson",
+                           "--flight-recorder"}) {
+    EXPECT_TRUE(names.count(flag)) << flag;
+  }
 }
 
 TEST(FlagsTest, WorkerRegistryCoversItsFlagsAndUsage) {
@@ -76,10 +82,10 @@ TEST(FlagsTest, WorkerRegistryCoversItsFlagsAndUsage) {
     EXPECT_TRUE(names.insert(spec.name).second)
         << spec.name << " registered twice";
   }
-  // The serve-loop and chaos knobs must all be registered.
+  // The serve-loop, chaos and forensics knobs must all be registered.
   for (const char* flag :
        {"--connect", "--listen", "--max-sessions", "--chaos-kill-after",
-        "--chaos-drop-after", "--chaos-delay-ms"}) {
+        "--chaos-drop-after", "--chaos-delay-ms", "--flight-recorder"}) {
     EXPECT_TRUE(names.count(flag)) << flag;
   }
 }

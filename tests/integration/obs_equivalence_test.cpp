@@ -33,6 +33,9 @@
 #include "net/pool.h"
 #include "net/socket.h"
 #include "net/worker.h"
+#include "obs/flight.h"
+#include "obs/histogram.h"
+#include "obs/stream.h"
 #include "obs/tracer.h"
 #include "../fl/sim_util.h"
 
@@ -80,8 +83,47 @@ TracedRun run_in_process(const fl::ExperimentConfig& cfg, bool traced) {
   return out;
 }
 
+/// The full PR-10 live-telemetry stack, in process: tracer + armed flight
+/// recorder + NDJSON streamer fed from the round sink (exactly the wiring
+/// run_experiment builds for --metrics-interval / --flight-recorder).
+TracedRun run_in_process_streamed(const fl::ExperimentConfig& cfg,
+                                  const std::string& ndjson_path) {
+  algorithms::AlgoParams p;
+  fl::Simulation sim(cfg, algorithms::make_algorithm("FedTrip", p));
+  obs::Tracer tracer;
+  sim.set_tracer(&tracer);
+  obs::FlightRecorder flight;
+  tracer.set_flight_recorder(&flight);
+  obs::MetricsStreamer streamer(ndjson_path, /*interval_s=*/0.0);
+  fl::RoundHost* engine = nullptr;
+  std::uint64_t rounds_done = 0;
+  sim.set_round_sink(
+      [&](const fl::RoundRecord& r) {
+        ++rounds_done;
+        if (!streamer.due()) return;
+        std::vector<obs::TraceLane> live;
+        live.push_back({"coordinator", tracer.snapshot()});
+        streamer.emit(engine != nullptr ? engine->clock_seconds() : 0.0,
+                      r.round, rounds_done, live);
+      },
+      /*keep_in_result=*/true);
+  TracedRun out;
+  out.result = sim.run_with_host([&](fl::RoundHost& h) -> sched::Host& {
+    engine = &h;
+    return h;
+  });
+  out.trace = tracer.snapshot();
+  EXPECT_GT(streamer.records(), 0u) << "streamer never emitted";
+  EXPECT_FALSE(flight.recent().empty()) << "flight ring never fed";
+  return out;
+}
+
+/// `ndjson_path` non-empty additionally attaches a MetricsStreamer to the
+/// NetHost (mid-run kNetStatsReq polling of every worker) and arms a
+/// flight recorder on the coordinator tracer — the --metrics-interval +
+/// --flight-recorder configuration whose transparency is under test.
 TracedRun run_distributed(fl::ExperimentConfig cfg, std::size_t num_workers,
-                          bool traced) {
+                          bool traced, const std::string& ndjson_path = "") {
   cfg.obs.enabled = traced;  // shipped to the workers in Setup
   net::Listener listener(0);
   const std::uint16_t port = listener.port();
@@ -107,6 +149,12 @@ TracedRun run_distributed(fl::ExperimentConfig cfg, std::size_t num_workers,
     tracer.emplace();
     sim.set_tracer(&*tracer);
   }
+  obs::FlightRecorder flight;
+  std::optional<obs::MetricsStreamer> streamer;
+  if (!ndjson_path.empty()) {
+    streamer.emplace(ndjson_path, /*interval_s=*/0.0);
+    if (tracer) tracer->set_flight_recorder(&flight);
+  }
   net::SetupMsg setup;
   setup.method = "FedTrip";
   setup.algo = p;
@@ -118,8 +166,12 @@ TracedRun run_distributed(fl::ExperimentConfig cfg, std::size_t num_workers,
   std::optional<net::NetHost> host;
   out.result = sim.run_with_host([&](fl::RoundHost& inner) -> sched::Host& {
     host.emplace(inner, pool);
+    if (streamer) host->set_metrics(&*streamer);
     return *host;
   });
+  if (streamer) {
+    EXPECT_GT(streamer->records(), 0u) << "streamer never emitted";
+  }
   if (traced) {
     // The workers must answer the stats request with parseable reports
     // even in this harness; their content (wall spans, net counters) is
@@ -171,6 +223,36 @@ std::map<std::string, std::uint64_t> comparable_counters(
   return out;
 }
 
+/// Deterministic histograms only: `vspan.*` is fed from the virtual clock
+/// on the coordinator lane and must be bit-identical (including the
+/// order-sensitive double sum — the observation order is deterministic).
+/// `wall.*` and `*_ns` histograms measure real seconds and are excluded,
+/// same split as comparable_counters.
+std::map<std::string, obs::Histogram> comparable_histograms(
+    const obs::TraceData& d) {
+  std::map<std::string, obs::Histogram> out;
+  for (const auto& [name, h] : d.histograms) {
+    if (name.rfind("vspan.", 0) == 0) out[name] = h;
+  }
+  return out;
+}
+
+void expect_histograms_identical(const obs::TraceData& a,
+                                 const obs::TraceData& b,
+                                 const std::string& label) {
+  const auto ha = comparable_histograms(a);
+  const auto hb = comparable_histograms(b);
+  ASSERT_FALSE(ha.empty()) << label << ": no vspan.* histograms recorded";
+  ASSERT_EQ(ha.size(), hb.size()) << label;
+  for (const auto& [name, h] : ha) {
+    ASSERT_TRUE(hb.count(name)) << label << ": " << name;
+    const obs::Histogram& o = hb.at(name);
+    EXPECT_TRUE(h == o) << label << ": vspan histogram " << name
+                        << " diverged — a: " << obs::histogram_row(h)
+                        << "  b: " << obs::histogram_row(o);
+  }
+}
+
 void expect_results_identical(const fl::RunResult& a, const fl::RunResult& b,
                               const std::string& label) {
   EXPECT_EQ(a.final_params, b.final_params) << label;
@@ -197,6 +279,37 @@ TEST(ObsTransparencyTest, TracedSocketRunIsBitIdenticalToUntraced) {
   const auto plain = run_distributed(cfg, 2, false);
   const auto traced = run_distributed(cfg, 2, true);
   expect_results_identical(plain.result, traced.result, "fastk/2 workers");
+}
+
+TEST(ObsTransparencyTest, StreamedFlightArmedInProcessRunIsBitIdentical) {
+  // --metrics-interval + --flight-recorder must inherit the transparency
+  // guarantee: streaming live NDJSON snapshots every round and feeding the
+  // flight ring cannot move a single byte of the run, for any policy.
+  for (const char* policy : kPolicies) {
+    const auto plain = run_in_process(loaded_config(policy), false);
+    const std::string ndjson = ::testing::TempDir() + "/obs_eq_stream_" +
+                               policy + ".ndjson";
+    const auto streamed =
+        run_in_process_streamed(loaded_config(policy), ndjson);
+    expect_results_identical(plain.result, streamed.result, policy);
+    std::remove(ndjson.c_str());
+  }
+}
+
+TEST(ObsTransparencyTest, StreamedFlightArmedSocketRunIsBitIdentical) {
+  // Same claim over sockets: the mid-run kNetStatsReq polls the streamer
+  // adds between batches are extra wire frames, not extra behaviour —
+  // workers answer from their tracer snapshot without touching training
+  // state, so a 2-worker streamed run byte-matches the plain one.
+  for (const char* policy : kPolicies) {
+    const auto cfg = loaded_config(policy);
+    const auto plain = run_distributed(cfg, 2, false);
+    const std::string ndjson = ::testing::TempDir() + "/obs_eq_sock_" +
+                               policy + ".ndjson";
+    const auto streamed = run_distributed(cfg, 2, true, ndjson);
+    expect_results_identical(plain.result, streamed.result, policy);
+    std::remove(ndjson.c_str());
+  }
 }
 
 TEST(ObsDeterminismTest, VirtualSpansAndCountersRepeatExactly) {
@@ -236,6 +349,35 @@ TEST(ObsDeterminismTest, VirtualSpansInvariantUnderWorkerCount) {
     EXPECT_EQ(comparable_counters(one.trace),
               comparable_counters(many.trace))
         << n << " workers";
+  }
+}
+
+TEST(ObsDeterminismTest, VspanHistogramsDeterministicAcrossEngines) {
+  // vspan.* histograms are the percentile view of the virtual-span stream:
+  // coordinator-only, observed in deterministic order, so they repeat
+  // bit-for-bit (sum included) across runs and between the in-process and
+  // socket engines, for every policy.
+  for (const char* policy : kPolicies) {
+    const auto a = run_in_process(loaded_config(policy), true);
+    const auto b = run_in_process(loaded_config(policy), true);
+    expect_histograms_identical(a.trace, b.trace,
+                                std::string(policy) + "/repeat");
+    const auto remote = run_distributed(loaded_config(policy), 2, true);
+    expect_histograms_identical(a.trace, remote.trace,
+                                std::string(policy) + "/local-vs-socket");
+  }
+}
+
+TEST(ObsDeterminismTest, VspanHistogramsInvariantUnderWorkerCount) {
+  // 1-vs-N: shipping training over more sockets must not perturb a single
+  // bucket count or the order-sensitive sum — the virtual clock schedule,
+  // and with it every vspan observation, is a pure function of the config.
+  const auto cfg = loaded_config("fastk");
+  const auto one = run_distributed(cfg, 1, true);
+  for (std::size_t n : {2, 3}) {
+    const auto many = run_distributed(cfg, n, true);
+    expect_histograms_identical(one.trace, many.trace,
+                                std::to_string(n) + " workers");
   }
 }
 

@@ -136,6 +136,15 @@ TEST(NetGoldenTest, CommittedSessionParses) {
   EXPECT_EQ(stats.counters.at("sched.dispatches"), 7u);
   EXPECT_DOUBLE_EQ(stats.gauges.at("comm.ef_residual_l2.up"), 0.125);
   EXPECT_EQ(stats.timers_ns.at("wire.serialize"), 123456u);
+  // Histogram section (protocol v6): fixed 86-bucket layout, exact
+  // extremes, counts where the canonical observations landed.
+  const obs::Histogram& hist = stats.histograms.at("wall.train_shard_s");
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_DOUBLE_EQ(hist.sum, 3.0);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 2.0);
+  EXPECT_EQ(hist.buckets[obs::Histogram::bucket_of(0.5)], 2u);
+  EXPECT_EQ(hist.buckets[obs::Histogram::bucket_of(2.0)], 1u);
   ASSERT_EQ(stats.spans.size(), 1u);
   EXPECT_EQ(obs::format_span(stats.spans[0]),
             "train_shard(client=3, round=1)");

@@ -1,0 +1,180 @@
+// Histogram invariants the rest of the telemetry stack leans on: the
+// fixed bucket layout (what makes wire-shipped histograms mergeable at
+// all), merge algebra (associative + commutative, so fold order across
+// workers cannot matter), percentile behaviour, and the pinned one-line
+// rendering shared by trace_dump and fl_top.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace fedtrip::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundariesArePinned) {
+  // The layout is protocol (obs/stats.h ships raw bucket vectors): 86
+  // buckets, powers of two from 2^-40 up, underflow and overflow at the
+  // ends. Changing any of these constants breaks cross-version merges
+  // and must show up here first.
+  EXPECT_EQ(Histogram::kMinExp, -40);
+  EXPECT_EQ(Histogram::kMaxExp, 43);
+  EXPECT_EQ(Histogram::kNumBuckets, 86u);
+
+  EXPECT_EQ(Histogram::bucket_lo(0), 0.0);
+  EXPECT_EQ(Histogram::bucket_hi(0), std::ldexp(1.0, Histogram::kMinExp));
+  EXPECT_EQ(Histogram::bucket_lo(1), std::ldexp(1.0, Histogram::kMinExp));
+  EXPECT_TRUE(std::isinf(Histogram::bucket_hi(Histogram::kNumBuckets - 1)));
+
+  // Every interior bucket i covers [2^(kMinExp+i-1), 2^(kMinExp+i)):
+  // the lower edge lands in i, the value just below the upper edge stays
+  // in i, and the upper edge itself starts bucket i+1.
+  for (std::size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    const double lo = Histogram::bucket_lo(i);
+    const double hi = Histogram::bucket_hi(i);
+    EXPECT_EQ(Histogram::bucket_of(lo), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::bucket_of(std::nextafter(hi, 0.0)), i)
+        << "bucket " << i;
+    EXPECT_EQ(Histogram::bucket_of(hi), i + 1) << "bucket " << i;
+  }
+
+  // Total function: junk values land in the end buckets, never UB.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, ObserveTracksExactExtremesAndSum) {
+  Histogram h;
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(0.25);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 2.75);
+  EXPECT_DOUBLE_EQ(h.min, 0.25);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+
+  // Non-finite observations are dropped whole: no count, no NaN poison.
+  h.observe(std::nan(""));
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 2.75);
+}
+
+// Everything percentiles read — count, extremes, bucket vector — must
+// match exactly; the double `sum` accumulates in fold order, so it only
+// agrees to rounding (see the merge contract in obs/histogram.h).
+void expect_same_distribution(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_NEAR(a.sum, b.sum, 1e-9 * std::abs(a.sum));
+}
+
+TEST(HistogramTest, MergeIsCommutativeAndAssociative) {
+  // Property check over random shards: however the per-worker histograms
+  // are folded, the result is the histogram of the union. This is the
+  // exact guarantee the coordinator's stats merge relies on.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-9, 1e6);
+  std::vector<Histogram> shards(4);
+  Histogram all;
+  for (Histogram& shard : shards) {
+    for (int i = 0; i < 50; ++i) {
+      const double v = dist(rng);
+      shard.observe(v);
+      all.observe(v);
+    }
+  }
+
+  Histogram ab = shards[0];
+  ab.merge(shards[1]);
+  Histogram ba = shards[1];
+  ba.merge(shards[0]);
+  expect_same_distribution(ab, ba);
+
+  // ((a+b)+c)+d vs (a+(b+(c+d))) vs the union-built histogram.
+  Histogram left = shards[0];
+  left.merge(shards[1]);
+  left.merge(shards[2]);
+  left.merge(shards[3]);
+  Histogram right = shards[3];
+  {
+    Histogram tmp = shards[2];
+    tmp.merge(right);
+    right = shards[1];
+    right.merge(tmp);
+    Histogram r2 = shards[0];
+    r2.merge(right);
+    right = r2;
+  }
+  expect_same_distribution(left, right);
+  expect_same_distribution(left, all);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram h;
+  h.observe(1.5);
+  h.observe(3.0);
+  const Histogram before = h;
+  h.merge(Histogram{});
+  EXPECT_EQ(h, before);
+
+  Histogram empty;
+  empty.merge(before);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(HistogramTest, PercentilesBracketTheData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 0.001);  // 0.001 .. 1.0
+  // Extremes are exact; interior quantiles are bucket estimates, so the
+  // contract is "right bucket", i.e. within a factor of 2.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+  const double p50 = h.percentile(0.50);
+  EXPECT_GE(p50, 0.25);
+  EXPECT_LE(p50, 1.0);
+  const double p95 = h.percentile(0.95);
+  EXPECT_GE(p95, 0.5);
+  EXPECT_LE(p95, 1.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.95));
+  EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+
+  EXPECT_EQ(Histogram{}.percentile(0.5), 0.0);  // empty: defined, zero
+
+  // One sample: every quantile is that sample.
+  Histogram one;
+  one.observe(0.125);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 0.125);
+}
+
+TEST(HistogramTest, RowFormatIsGolden) {
+  // trace_dump output and fl_top cells both come from histogram_row; the
+  // format is part of the observable surface, so pin it byte for byte.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(0.001);
+  h.observe(0.01);
+  EXPECT_EQ(histogram_row(h),
+            "n=100 p50=0.001381 p95=0.001381 p99=0.001381 min=0.001 "
+            "max=0.01 sum=0.109");
+
+  Histogram one;
+  one.observe(2.0);
+  EXPECT_EQ(histogram_row(one),
+            "n=1 p50=2 p95=2 p99=2 min=2 max=2 sum=2");
+}
+
+}  // namespace
+}  // namespace fedtrip::obs

@@ -22,6 +22,13 @@ TraceData sample_data() {
   d.gauges["comm.ef_residual_l2.up"] = 0.125;
   d.timers_ns["wire.serialize"] = 123456;
 
+  Histogram& h = d.histograms["wall.train_shard_s"];
+  h.observe(0.001);
+  h.observe(0.25);
+  h.observe(4.0);
+  Histogram& ns = d.histograms["wire.serialize_ns"];
+  ns.observe(123456.0);
+
   Span v;
   v.name = "round";
   v.clock = SpanClock::kVirtual;
@@ -50,6 +57,7 @@ TEST(StatsReportTest, RoundTripPreservesEverything) {
   EXPECT_EQ(back.counters, d.counters);
   EXPECT_EQ(back.gauges, d.gauges);
   EXPECT_EQ(back.timers_ns, d.timers_ns);
+  EXPECT_EQ(back.histograms, d.histograms);
   ASSERT_EQ(back.spans.size(), d.spans.size());
   for (std::size_t i = 0; i < d.spans.size(); ++i) {
     EXPECT_EQ(back.spans[i], d.spans[i]) << "span " << i;
@@ -58,7 +66,7 @@ TEST(StatsReportTest, RoundTripPreservesEverything) {
 
 TEST(StatsReportTest, EmptyReportRoundTrips) {
   const auto bytes = serialize_stats(TraceData{});
-  EXPECT_EQ(bytes.size(), 16u);  // four zero u32 section counts
+  EXPECT_EQ(bytes.size(), 20u);  // five zero u32 section counts
   const TraceData back = parse_stats(bytes.data(), bytes.size());
   EXPECT_TRUE(back.counters.empty());
   EXPECT_TRUE(back.spans.empty());
@@ -78,7 +86,7 @@ TEST(StatsReportTest, EveryTruncationRejected) {
 TEST(StatsReportTest, AllocationBombCountsRejectedBeforeAllocation) {
   // A count field claiming more entries than the remaining bytes could
   // possibly hold is rejected up front — one u32 per section.
-  for (int section = 0; section < 4; ++section) {
+  for (int section = 0; section < 5; ++section) {
     wire::WireWriter w;
     for (int s = 0; s < section; ++s) w.u32(0);  // empty earlier sections
     w.u32(0xFFFFFFFFu);                          // the bomb
@@ -144,6 +152,41 @@ TEST(StatsReportTest, OversizeNameRejectedOnBothSides) {
   TraceData d;
   d.counters[name] = 1;
   EXPECT_THROW(serialize_stats(d), wire::WireError);
+}
+
+TEST(StatsReportTest, HistogramBucketCountMismatchRejected) {
+  // The histogram section's bucket vector is fixed-width by protocol
+  // (Histogram::kNumBuckets): any other length is a hostile or
+  // version-skewed peer, not something to "best effort" through — merged
+  // buckets would silently land in the wrong ranges.
+  for (const std::uint16_t n_buckets :
+       {std::uint16_t{0}, std::uint16_t{Histogram::kNumBuckets - 1},
+        std::uint16_t{Histogram::kNumBuckets + 1},
+        std::uint16_t{0xFFFF}}) {
+    wire::WireWriter w;
+    w.u32(0);  // counters
+    w.u32(0);  // gauges
+    w.u32(0);  // timers
+    w.u32(0);  // spans
+    w.u32(1);  // one histogram
+    w.u16(1);
+    w.bytes("h", 1);
+    w.u64(1);    // count
+    w.f64(1.0);  // sum
+    w.f64(1.0);  // min
+    w.f64(1.0);  // max
+    w.u16(n_buckets);
+    for (std::uint16_t i = 0; i < n_buckets && i < 8; ++i) w.u64(0);
+    const auto bytes = w.take();
+    try {
+      parse_stats(bytes.data(), bytes.size());
+      FAIL() << "bucket count " << n_buckets << " parsed";
+    } catch (const wire::WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("bucket count"),
+                std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST(StatsReportTest, TrailingBytesRejected) {

@@ -90,6 +90,9 @@ SPECS = {
                            "down_bytes_reduction": _NUM},
             "wire_codec.identity": _RUN_KEYS,
             "wire_codec.topk": _RUN_KEYS,
+            "phases": {"regime": _STR, "workers": _INT,
+                       "rpc_seconds": _NUM, "serialize_share": _NUM,
+                       "deserialize_share": _NUM, "other_share": _NUM},
         },
     },
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Schema gate for the live metrics stream (obs::MetricsStreamer).
+
+run_experiment --metrics-interval appends one JSON object per line to
+metrics.ndjson; fl_top and any downstream dashboard parse that stream,
+so a half-updated emitter must fail CI before it ships. This validator
+pins the record shape documented in src/obs/stream.h:
+
+  {"t_wall_s": N, "t_virtual_s": N, "round": I, "batch_seq": I,
+   "lanes": [{"name": S, "counters": {S: I}, "gauges": {S: N},
+              "timers_ns": {S: I}, "histograms": {S: HIST},
+              "spans": I}]}
+  HIST = {"count": I>0, "sum": N, "min": N, "max": N,
+          "p50": N, "p95": N, "p99": N} with min<=p50<=p95<=p99<=max
+
+Cross-record invariants: t_wall_s is non-decreasing, every record has a
+"coordinator" lane first, and every value is finite (the emitter skips
+empty histograms precisely so no inf/nan can appear).
+
+Usage: check_metrics_ndjson.py FILE.ndjson [--min-records N]
+
+Stdlib only — runs on a bare CI python3.
+"""
+import json
+import math
+import sys
+
+HIST_KEYS = ("sum", "min", "max", "p50", "p95", "p99")
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_numeric_map(obj, where, errors, integral=False):
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: expected object")
+        return
+    for key, value in obj.items():
+        if not isinstance(key, str) or not key:
+            errors.append(f"{where}: non-string or empty key")
+        ok = is_count(value) if integral else is_num(value)
+        if not ok or (is_num(value) and not math.isfinite(value)):
+            errors.append(f"{where}.{key}: bad value {value!r}")
+
+
+def check_histogram(name, hist, where, errors):
+    if not isinstance(hist, dict):
+        errors.append(f"{where}: expected object")
+        return
+    count = hist.get("count")
+    if not is_count(count) or count == 0:
+        errors.append(f"{where}.count: must be a positive integer "
+                      f"(empty histograms are never emitted)")
+    for key in HIST_KEYS:
+        v = hist.get(key)
+        if not is_num(v) or not math.isfinite(v):
+            errors.append(f"{where}.{key}: bad value {v!r}")
+            return
+    lo, p50, p95, p99, hi = (hist["min"], hist["p50"], hist["p95"],
+                             hist["p99"], hist["max"])
+    if not (lo <= p50 <= p95 <= p99 <= hi):
+        errors.append(f"{where}: percentile order violated "
+                      f"min={lo} p50={p50} p95={p95} p99={p99} max={hi}")
+
+
+def check_lane(lane, where, errors):
+    if not isinstance(lane, dict):
+        errors.append(f"{where}: expected object")
+        return
+    if not isinstance(lane.get("name"), str) or not lane["name"]:
+        errors.append(f"{where}.name: missing or empty")
+    check_numeric_map(lane.get("counters"), f"{where}.counters", errors,
+                      integral=True)
+    check_numeric_map(lane.get("gauges"), f"{where}.gauges", errors)
+    check_numeric_map(lane.get("timers_ns"), f"{where}.timers_ns", errors,
+                      integral=True)
+    hists = lane.get("histograms")
+    if not isinstance(hists, dict):
+        errors.append(f"{where}.histograms: expected object")
+    else:
+        for name, hist in hists.items():
+            check_histogram(name, hist, f"{where}.histograms.{name}",
+                            errors)
+    if not is_count(lane.get("spans")):
+        errors.append(f"{where}.spans: expected non-negative integer")
+
+
+def check_record(rec, where, errors):
+    for key in ("t_wall_s", "t_virtual_s"):
+        v = rec.get(key)
+        if not is_num(v) or not math.isfinite(v) or v < 0:
+            errors.append(f"{where}.{key}: bad value {v!r}")
+    for key in ("round", "batch_seq"):
+        if not is_count(rec.get(key)):
+            errors.append(f"{where}.{key}: expected non-negative integer")
+    lanes = rec.get("lanes")
+    if not isinstance(lanes, list) or not lanes:
+        errors.append(f"{where}.lanes: must be a non-empty array")
+        return
+    if not isinstance(lanes[0], dict) or \
+            lanes[0].get("name") != "coordinator":
+        errors.append(f"{where}.lanes[0]: first lane must be the "
+                      f"coordinator")
+    for i, lane in enumerate(lanes):
+        check_lane(lane, f"{where}.lanes[{i}]", errors)
+
+
+def main(argv):
+    path = None
+    min_records = 1
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--min-records":
+            try:
+                min_records = int(next(it))
+            except (StopIteration, ValueError):
+                print("--min-records needs an integer", file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(f"unknown flag {a}", file=sys.stderr)
+            return 2
+        elif path is None:
+            path = a
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    errors = []
+    records = 0
+    prev_wall = -1.0
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}:{lineno}"
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"{where}: not JSON ({exc})")
+                    continue
+                if not isinstance(rec, dict):
+                    errors.append(f"{where}: record must be an object")
+                    continue
+                records += 1
+                check_record(rec, where, errors)
+                wall = rec.get("t_wall_s")
+                if is_num(wall):
+                    if wall < prev_wall:
+                        errors.append(f"{where}: t_wall_s went backwards "
+                                      f"({wall} < {prev_wall})")
+                    prev_wall = wall
+    except OSError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 2
+
+    if records < min_records:
+        errors.append(f"{path}: {records} record(s), expected at least "
+                      f"{min_records}")
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"{path}: {records} metrics record(s), schema OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,6 +33,11 @@ with). Metrics are classified by key name into three gates:
          threshold, while still catching "compression silently disabled"
          (a ~10x move).
 
+  share  *_share — fractions of one run's own wall total (the bench
+         phase decomposition). Two-sided absolute tolerance of 0.25:
+         ratios cancel machine speed, so a bigger move means the phase
+         *mix* changed (e.g. serialization suddenly dominating the RPC).
+
 Everything else numeric is reported for the trajectory but never gates.
 Structural drift (a metric present in one file and missing in the other)
 always fails — that is what check_bench_json.py's schema plus this check
@@ -47,7 +52,13 @@ import sys
 WALL = re.compile(r"(^|_)(seconds|wall_ms|sim_seconds)$")
 FLOOR = re.compile(r"(^|_)reduction(_|$)")
 COUNT = re.compile(r"(^|_)(bytes|frames|vecs|dispatch)(_|$)")
+SHARE = re.compile(r"_share$")
 COUNT_TOLERANCE = 0.02
+# Shares are fractions in [0, 1] of one run's own wall total (the bench
+# phase decomposition): ratios cancel most machine speed, so an absolute
+# delta is the honest gate — a phase moving by >25 points of share means
+# the phase mix changed, not that the runner was slow.
+SHARE_TOLERANCE = 0.25
 # wall_ms metrics share the wall class; the absolute slack is in the
 # metric's own unit, so scale it for *_ms keys.
 MS_KEY = re.compile(r"(^|_)wall_ms$")
@@ -58,6 +69,8 @@ def is_number(v):
 
 
 def classify(key):
+    if SHARE.search(key):
+        return "share"
     if WALL.search(key):
         return "wall"
     if FLOOR.search(key):
@@ -110,6 +123,11 @@ def gate(path, base, cur, wall_tol, wall_slack):
     """Returns (class, verdict, detail)."""
     key = path.rsplit(".", 1)[-1]
     cls = classify(key)
+    if cls == "share":
+        if abs(cur - base) > SHARE_TOLERANCE:
+            return cls, "FAIL", (f"{cur:.3f} vs {base:.3f} "
+                                 f"(|delta| > {SHARE_TOLERANCE})")
+        return cls, "ok", f"{cur:.3f} vs {base:.3f}"
     if cls == "wall":
         slack = wall_slack * (1000.0 if MS_KEY.search(key) else 1.0)
         if base > 0 and cur > base * (1.0 + wall_tol) + slack:

@@ -19,3 +19,22 @@ cd "${1:-build}"
 python3 "$ROOT/tools/ci/check_bench_json.py" \
   bench_heterogeneity.json bench_sched_async.json \
   bench_comm_compression.json bench_distributed.json bench_scale.json
+
+# The perf gate itself is exercised both ways: the fresh run must pass
+# against the committed baseline (green — the real gate runs as its own
+# CI step too), and a synthetically shifted per-phase share must FAIL —
+# proving the share class actually bites, not just parses.
+python3 "$ROOT/tools/ci/compare_bench.py" \
+  "$ROOT/tests/data/bench/bench_distributed.json" bench_distributed.json
+python3 - <<'EOF'
+import json
+d = json.load(open("bench_distributed.json"))
+d["phases"]["serialize_share"] = min(1.0, d["phases"]["serialize_share"] + 0.5)
+json.dump(d, open("bench_distributed_perturbed.json", "w"), indent=1)
+EOF
+if python3 "$ROOT/tools/ci/compare_bench.py" \
+    "$ROOT/tests/data/bench/bench_distributed.json" \
+    bench_distributed_perturbed.json; then
+  echo "perf gate failed to flag a +0.5 phase-share shift"; exit 1
+fi
+echo "perf gate red path confirmed (share shift flagged)"

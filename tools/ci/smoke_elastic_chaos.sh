@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Elastic chaos smoke: 3 workers with drop+rejoin and a deterministic
-# straggler; the run must stay bit-identical to in-process.
+# straggler; the run must stay bit-identical to in-process. A second
+# scenario kills a flight-recorder-armed worker mid-run: the run must
+# still survive (eviction + dispatch replay) and the dying worker must
+# leave a parseable flight-<pid>.json naming its in-flight dispatch.
 # Usage: smoke_elastic_chaos.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
 cd "${1:-build}"
@@ -28,3 +31,33 @@ wait
 cat w1.log w2.log w3.log
 diff inproc_elastic.csv elastic.csv
 grep -q "rejoined" w1.log  # the drop+rejoin actually happened
+
+# Flight-recorder scenario: worker 1 is armed and chaos-kills itself
+# after 2 dispatches (a hard process death, no farewell frame); the
+# elastic coordinator must evict + replay, and the corpse must have
+# dumped its black box first.
+rm -rf flightdir && mkdir flightdir
+./fl_worker --listen 5721 --max-sessions 1 --chaos-kill-after 2 \
+  --flight-recorder flightdir 2> fw1.log &
+./fl_worker --listen 5722 --max-sessions 1 2> fw2.log &
+sleep 1
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --per-round 6 --schedule deadline --compressor ef+topk --delta \
+  --network straggler --compute-profile bimodal \
+  --availability markov \
+  --connect 127.0.0.1:5721,127.0.0.1:5722 \
+  --elastic --heartbeat-interval 0.05 --out flight_run.csv
+wait || true   # the killed worker's exit status is the point
+cat fw1.log fw2.log
+diff inproc_elastic.csv flight_run.csv  # survived the kill, bit-identical
+python3 - <<'EOF'
+import glob, json
+dumps = glob.glob("flightdir/flight-*.json")
+assert dumps, "chaos-killed worker left no flight dump"
+d = json.load(open(dumps[0]))["flight_recorder"]
+assert d["reason"].startswith("chaos kill"), d["reason"]
+assert "batch_seq=" in d.get("last_dispatch", ""), d
+assert any("dispatch" in e["what"] for e in d["events"]), \
+    "event ring never saw a dispatch"
+print(f"flight dump ok: {dumps[0]} ({d['last_dispatch']})")
+EOF

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
 # Golden decode smoke: every committed wire-format fixture (net session
-# records included) must decode cleanly with wire_dump.
+# records included) must decode cleanly with wire_dump, and trace_dump's
+# stats view must render the canonical StatsReport's histogram (the
+# shared histogram_row format is pinned byte-exact by
+# tests/obs/histogram_test.cpp; this pins the fixture->row path).
 # Usage: smoke_golden_decode.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 cd "${1:-build}"
 
 ./wire_dump "$ROOT"/tests/data/wire/*.bin
+
+stats_text="$(./trace_dump "$ROOT"/tests/data/wire/net_session.bin)"
+grep -qF "hist wall.train_shard_s  n=3 p50=0.7071 p95=2 p99=2 min=0.5 max=2 sum=3" \
+  <<< "$stats_text" \
+  || { echo "trace_dump lost the golden histogram row:"; \
+       echo "$stats_text"; exit 1; }

@@ -16,8 +16,17 @@ for flag in --schedule --overselect --buffer --staleness-alpha \
     --elastic --heartbeat-interval --worker-deadline \
     --client-data --shard-samples --virtual-chunk \
     --no-participation --no-partition-stats \
-    --wire-codec --aggregator; do
+    --wire-codec --aggregator \
+    --metrics-interval --metrics-ndjson --flight-recorder; do
   grep -q -- "$flag" <<< "$help_text" \
     || { echo "--help omits $flag"; exit 1; }
+done
+
+worker_help="$(./fl_worker --help)"
+for flag in --connect --listen --max-sessions \
+    --chaos-kill-after --chaos-drop-after --chaos-delay-ms \
+    --flight-recorder; do
+  grep -q -- "$flag" <<< "$worker_help" \
+    || { echo "fl_worker --help omits $flag"; exit 1; }
 done
 echo "help text covers every checked flag"

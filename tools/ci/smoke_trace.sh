@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Trace smoke: a 2-worker traced run is bit-transparent and exports a
-# valid merged Chrome trace + metrics JSON (one lane per process).
+# valid merged Chrome trace + metrics JSON (one lane per process); a
+# streamed run (--metrics-interval) is equally transparent and its
+# metrics.ndjson passes the schema validator + renders in fl_top.
 # Usage: smoke_trace.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
+ci_dir="$(cd "$(dirname "$0")" && pwd)"
 cd "${1:-build}"
 
 ./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
@@ -30,3 +33,14 @@ metrics = json.load(open("metrics.json"))
 assert len(metrics["lanes"]) == 3, metrics["lanes"]
 EOF
 ./trace_dump trace.json
+
+# In-flight streaming: interval 0 emits every poll point; the live NDJSON
+# must not move a byte of the run, must pass the schema validator, and
+# must render in fl_top's one-shot mode.
+./run_experiment --method FedTrip --rounds 3 --scale 0.05 \
+  --schedule fastk --compressor ef+topk --network straggler \
+  --workers-remote 2 --metrics-interval 0 \
+  --metrics-ndjson metrics.ndjson --out streamed.csv
+diff untraced.csv streamed.csv   # streaming is bit-transparent too
+python3 "$ci_dir/check_metrics_ndjson.py" metrics.ndjson --min-records 2
+./fl_top --once metrics.ndjson

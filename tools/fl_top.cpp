@@ -1,0 +1,224 @@
+// fl_top: live view of a running experiment's metrics stream.
+//
+// Tails the NDJSON file written by run_experiment --metrics-interval
+// (obs::MetricsStreamer, schema in src/obs/stream.h) and redraws a
+// per-lane table — coordinator plus every worker the coordinator could
+// poll — each time a new record lands. The scanner walks only the JSON
+// our own streamer writes (same approach as trace_dump): it is not a
+// general JSON parser.
+//
+// Usage:
+//   fl_top [FILE]          follow FILE (default metrics.ndjson), redraw
+//                          on every new record until interrupted
+//   fl_top --once [FILE]   print the latest record once and exit (CI)
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal scanner for the streamer's own output ----
+
+double extract_number(const std::string& obj, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const auto at = obj.find(pat);
+  if (at == std::string::npos) return 0.0;
+  return std::atof(obj.c_str() + at + pat.size());
+}
+
+bool has_key(const std::string& obj, const char* key) {
+  return obj.find(std::string("\"") + key + "\":") != std::string::npos;
+}
+
+std::string extract_string(const std::string& obj, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":\"";
+  const auto at = obj.find(pat);
+  if (at == std::string::npos) return "";
+  std::string out;
+  for (std::size_t i = at + pat.size(); i < obj.size(); ++i) {
+    const char c = obj[i];
+    if (c == '\\' && i + 1 < obj.size()) {
+      out += obj[++i];
+      continue;
+    }
+    if (c == '"') break;
+    out += c;
+  }
+  return out;
+}
+
+/// The balanced {...} value of `"key":{`, or "" when absent.
+std::string extract_block(const std::string& obj, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":{";
+  const auto at = obj.find(pat);
+  if (at == std::string::npos) return "";
+  std::size_t i = at + pat.size() - 1;  // at the '{'
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t j = i; j < obj.size(); ++j) {
+    const char c = obj[j];
+    if (in_string) {
+      if (c == '\\') {
+        ++j;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) return obj.substr(i, j - i + 1);
+    }
+  }
+  return "";
+}
+
+/// Top-level {...} objects of the array following `"key":[`.
+std::vector<std::string> extract_array_objects(const std::string& obj,
+                                               const char* key) {
+  std::vector<std::string> out;
+  const std::string pat = std::string("\"") + key + "\":[";
+  const auto at = obj.find(pat);
+  if (at == std::string::npos) return out;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (std::size_t i = at + pat.size(); i < obj.size(); ++i) {
+    const char c = obj[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(obj.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+// ---- the table ----
+
+/// "p50/p95" of one histogram in seconds, "-" when the lane lacks it.
+std::string hist_cell(const std::string& hists, const char* name) {
+  const std::string h = extract_block(hists, name);
+  if (h.empty()) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g/%.3g", extract_number(h, "p50"),
+                extract_number(h, "p95"));
+  return buf;
+}
+
+void render_record(const std::string& line, std::size_t record_no) {
+  std::printf("record %zu  round %.0f  batch %.0f  t_virtual %.3g s  "
+              "t_wall %.3g s\n",
+              record_no, extract_number(line, "round"),
+              extract_number(line, "batch_seq"),
+              extract_number(line, "t_virtual_s"),
+              extract_number(line, "t_wall_s"));
+  std::printf("%-24s %10s %9s %9s %15s %15s %15s\n", "LANE", "FRAMES",
+              "MB SENT", "MB RECV", "TRAIN p50/p95", "EXEC p50/p95",
+              "DISPATCH p50/p95");
+  for (const std::string& lane : extract_array_objects(line, "lanes")) {
+    const std::string name = extract_string(lane, "name");
+    const std::string counters = extract_block(lane, "counters");
+    const std::string hists = extract_block(lane, "histograms");
+    const double frames = extract_number(counters, "net.frames_sent") +
+                          extract_number(counters, "net.frames_recv");
+    std::printf("%-24s %10.0f %9.3f %9.3f %15s %15s %15s\n", name.c_str(),
+                frames, extract_number(counters, "net.bytes_sent") / 1e6,
+                extract_number(counters, "net.bytes_recv") / 1e6,
+                hist_cell(hists, "wall.train_shard_s").c_str(),
+                hist_cell(hists, "wall.execute_batch_s").c_str(),
+                hist_cell(hists, "vspan.dispatch_s").c_str());
+  }
+}
+
+/// Complete lines of `path` (the streamer flushes one whole line per
+/// record, so a trailing partial line means "mid-write" and is dropped).
+std::vector<std::string> read_lines(const char* path) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return lines;
+  std::string cur;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') {
+        if (!cur.empty()) lines.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += buf[i];
+      }
+    }
+  }
+  std::fclose(f);
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  const char* path = "metrics.ndjson";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--once")) {
+      once = true;
+    } else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: fl_top [--once] [FILE]\n"
+                  "  follows the NDJSON metrics stream written by "
+                  "run_experiment --metrics-interval\n"
+                  "  (default FILE metrics.ndjson); --once prints the "
+                  "latest record and exits\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "fl_top: unknown option %s\n", argv[i]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  if (once) {
+    const auto lines = read_lines(path);
+    if (lines.empty() || !has_key(lines.back(), "lanes")) {
+      std::fprintf(stderr, "fl_top: no metrics records in %s\n", path);
+      return 1;
+    }
+    std::printf("%s\n", path);
+    render_record(lines.back(), lines.size());
+    return 0;
+  }
+
+  std::size_t shown = 0;
+  while (true) {
+    const auto lines = read_lines(path);
+    if (lines.size() > shown && has_key(lines.back(), "lanes")) {
+      shown = lines.size();
+      // Clear + home, then the fresh table — a cheap live redraw.
+      std::printf("\x1b[2J\x1b[H%s (^C to quit)\n", path);
+      render_record(lines.back(), shown);
+      std::fflush(stdout);
+    }
+    struct timespec ts = {0, 250 * 1000 * 1000};  // 250 ms
+    ::nanosleep(&ts, nullptr);
+  }
+}

@@ -31,6 +31,7 @@
 #include "net/elastic/chaos.h"
 #include "net/socket.h"
 #include "net/worker.h"
+#include "obs/flight.h"
 
 namespace {
 
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
   long listen_port = -1;
   std::size_t max_sessions = 0;  // 0 = unbounded
   net::ChaosConfig chaos;
+  std::string flight_dir;
   const std::string usage = fl::worker_usage();
 
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +114,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(value()));
     } else if (!std::strcmp(flag, "--chaos-delay-ms")) {
       chaos.delay_dispatch_ms = std::atof(value());
+    } else if (!std::strcmp(flag, "--flight-recorder")) {
+      flight_dir = value();
     } else if (!std::strcmp(flag, "--help")) {
       std::printf("%s", usage.c_str());
       return 0;
@@ -145,6 +149,15 @@ int main(int argc, char** argv) {
   }
 
   net::WorkerServer server(stderr, chaos);
+  // Crash flight recorder: session tracers feed the ring; a chaos kill,
+  // fatal session error or signal dumps flight-<pid>.json into the dir.
+  obs::FlightRecorder flight;
+  if (!flight_dir.empty()) {
+    server.set_flight_recorder(&flight, flight_dir);
+    obs::FlightRecorder::arm_process(&flight, flight_dir, nullptr);
+    std::fprintf(stderr, "fl_worker: flight recorder armed (%s)\n",
+                 flight_dir.c_str());
+  }
   if (!connect_spec.empty()) {
     try {
       const net::Endpoint ep = net::parse_endpoint(connect_spec);

@@ -158,9 +158,9 @@ void dump_chrome_trace(const std::string& text) {
 
 void dump_stats(const obs::TraceData& d) {
   std::printf("  stats: %zu counter(s), %zu gauge(s), %zu timer(s), %zu "
-              "span(s)\n",
+              "histogram(s), %zu span(s)\n",
               d.counters.size(), d.gauges.size(), d.timers_ns.size(),
-              d.spans.size());
+              d.histograms.size(), d.spans.size());
   for (const auto& [name, value] : d.counters) {
     std::printf("    counter %s = %llu\n", name.c_str(),
                 static_cast<unsigned long long>(value));
@@ -171,6 +171,11 @@ void dump_stats(const obs::TraceData& d) {
   for (const auto& [name, ns] : d.timers_ns) {
     std::printf("    timer %s = %llu ns\n", name.c_str(),
                 static_cast<unsigned long long>(ns));
+  }
+  for (const auto& [name, h] : d.histograms) {
+    if (h.count == 0) continue;
+    std::printf("    hist %s  %s\n", name.c_str(),
+                obs::histogram_row(h).c_str());
   }
   for (const auto& s : d.spans) {
     std::printf("    span %s  [%g, %g] %s track %u\n",
